@@ -1,0 +1,92 @@
+//! Figures 10 & 11 bench: real DOLC-indexed PATH predictors vs the ideal,
+//! plus the two §6.1 design-heuristic ablations DESIGN.md calls out:
+//!
+//! * **fold vs truncate** — the same history information folded by XOR
+//!   into the index versus simply truncated to the low index bits;
+//! * **tapered vs uniform bits** — fewer bits from older tasks versus the
+//!   same number of bits from every task at equal intermediate length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_workload;
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::ideal::IdealPath;
+use multiscalar_core::predictor::ExitPredictor;
+use multiscalar_harness::dispatch::exit_ladder;
+use multiscalar_sim::measure::measure_exits;
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+type Leh2 = LastExitHysteresis<2>;
+
+fn dolc(c: &mut Criterion) {
+    let bench = bench_workload(Spec92::Gcc);
+
+    println!("\nFigure 10 (regenerated, gcc): real vs ideal exit prediction");
+    for cfg in exit_ladder() {
+        let mut real: PathPredictor<Leh2> = PathPredictor::new(cfg);
+        let rr = measure_exits(&mut real, &bench.descs, &bench.trace.events);
+        let mut ideal: IdealPath<Leh2> = IdealPath::new(cfg.depth() as u32);
+        let ir = measure_exits(&mut ideal, &bench.descs, &bench.trace.events);
+        println!(
+            "  {:<14} real {:>6.2}% ({} states)   ideal {:>6.2}% ({} states)",
+            cfg.to_string(),
+            rr.miss_rate() * 100.0,
+            real.states_touched(),
+            ir.miss_rate() * 100.0,
+            ideal.states(),
+        );
+    }
+
+    // Ablation 1 (fold vs truncate): same depth/bit budget, folds = 3 vs a
+    // configuration whose intermediate index already fits (no folding) and
+    // therefore carries fewer older-task bits.
+    let folded = Dolc::new(6, 5, 8, 9, 3); // 42 bits -> 14
+    let truncated = Dolc::new(6, 1, 4, 5, 1); // 14 bits, no fold
+    let mut pf: PathPredictor<Leh2> = PathPredictor::new(folded);
+    let fr = measure_exits(&mut pf, &bench.descs, &bench.trace.events);
+    let mut pt: PathPredictor<Leh2> = PathPredictor::new(truncated);
+    let tr = measure_exits(&mut pt, &bench.descs, &bench.trace.events);
+    println!(
+        "\nAblation §6.1-1 (gcc): folded {folded} {:.2}%  vs  unfolded {truncated} {:.2}%",
+        fr.miss_rate() * 100.0,
+        tr.miss_rate() * 100.0
+    );
+
+    // Ablation 2 (taper): more bits to recent tasks vs uniform spread,
+    // equal intermediate length (42 bits, F=3).
+    let tapered = Dolc::new(6, 5, 8, 9, 3); // 25 older + 8 last + 9 current
+    let uniform = Dolc::new(6, 7, 7, 7, 3); // 35 + 7 + 7 = 49? keep 42: 6-6-6-6 = 30+6+6
+    let uniform = if uniform.intermediate_bits() == tapered.intermediate_bits() {
+        uniform
+    } else {
+        Dolc::new(6, 6, 6, 6, 3)
+    };
+    let mut pu: PathPredictor<Leh2> = PathPredictor::new(uniform);
+    let ur = measure_exits(&mut pu, &bench.descs, &bench.trace.events);
+    println!(
+        "Ablation §6.1-2 (gcc): tapered {tapered} {:.2}%  vs  uniform {uniform} {:.2}%",
+        fr.miss_rate() * 100.0,
+        ur.miss_rate() * 100.0
+    );
+
+    let mut group = c.benchmark_group("fig10_fig11_dolc");
+    group.sample_size(10);
+    group.bench_function("real_path_d6_8kb", |b| {
+        b.iter(|| {
+            let mut p: PathPredictor<Leh2> = PathPredictor::new(folded);
+            black_box(measure_exits(&mut p, &bench.descs, &bench.trace.events))
+        })
+    });
+    group.bench_function("ideal_path_d6", |b| {
+        b.iter(|| {
+            let mut p: IdealPath<Leh2> = IdealPath::new(6);
+            black_box(measure_exits(&mut p, &bench.descs, &bench.trace.events))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dolc);
+criterion_main!(benches);

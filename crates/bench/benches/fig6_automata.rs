@@ -1,0 +1,38 @@
+//! Figure 6 bench: the seven multi-way prediction automata driven by an
+//! ideal path-indexed predictor over the gcc trace. Criterion measures
+//! prediction throughput; the regenerated miss rates are printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_workload;
+use multiscalar_core::automata::AutomatonKind;
+use multiscalar_harness::dispatch::measure_ideal_path_automaton;
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let bench = bench_workload(Spec92::Gcc);
+    let depth = 7;
+
+    println!("\nFigure 6 (regenerated, gcc, ideal PATH depth {depth}):");
+    for kind in AutomatonKind::ALL {
+        let stats = measure_ideal_path_automaton(kind, depth, &bench);
+        println!(
+            "  {:<16} {:>7.2}% miss  ({} bits/entry)",
+            kind.name(),
+            stats.miss_rate() * 100.0,
+            kind.storage_bits()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig6_automata");
+    group.sample_size(10);
+    for kind in AutomatonKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(measure_ideal_path_automaton(kind, depth, &bench)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

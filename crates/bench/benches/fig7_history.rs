@@ -1,0 +1,36 @@
+//! Figure 7 bench: ideal GLOBAL / PER / PATH history schemes across the
+//! five benchmarks. Criterion measures scheme throughput at depth 7; the
+//! regenerated miss rates per depth are printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_workload;
+use multiscalar_harness::dispatch::{measure_ideal, Scheme};
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    println!("\nFigure 7 (regenerated): ideal miss rate at depths 0 / 3 / 7");
+    let benches: Vec<_> = Spec92::ALL.iter().map(|&s| bench_workload(s)).collect();
+    for b in &benches {
+        for scheme in Scheme::ALL {
+            let r: Vec<String> = [0, 3, 7]
+                .iter()
+                .map(|&d| format!("{:.2}%", measure_ideal(scheme, d, b).miss_rate() * 100.0))
+                .collect();
+            println!("  {:<10} {:<7} {}", b.name(), scheme.name(), r.join(" / "));
+        }
+    }
+
+    let gcc = &benches[0];
+    let mut group = c.benchmark_group("fig7_history_gcc_depth7");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| black_box(measure_ideal(scheme, 7, gcc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

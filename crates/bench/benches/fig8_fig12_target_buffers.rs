@@ -1,0 +1,68 @@
+//! Figures 8 & 12 bench: target-buffer prediction of indirect branch/call
+//! targets — plain TTB baseline, real CTTB ladder, and ideal CTTB, on the
+//! indirect-heavy gcc and xlisp analogs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_workload;
+use multiscalar_core::target::{Cttb, IdealCttb, Ttb};
+use multiscalar_harness::dispatch::cttb_ladder;
+use multiscalar_sim::measure::measure_indirect_targets;
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+fn target_buffers(c: &mut Criterion) {
+    let benches: Vec<_> =
+        [Spec92::Gcc, Spec92::Xlisp].iter().map(|&s| bench_workload(s)).collect();
+
+    println!("\nFigures 8 & 12 (regenerated): indirect-target miss rates");
+    for b in &benches {
+        let mut ttb = Ttb::new(11);
+        let ttb_rate = measure_indirect_targets(&mut ttb, &b.descs, &b.trace.events);
+        println!(
+            "  {:<8} TTB(11b): {:.2}%  over {} indirect exits",
+            b.name(),
+            ttb_rate.miss_rate() * 100.0,
+            ttb_rate.predictions
+        );
+        for cfg in cttb_ladder() {
+            let mut real = Cttb::new(cfg);
+            let rr = measure_indirect_targets(&mut real, &b.descs, &b.trace.events);
+            let mut ideal = IdealCttb::new(cfg.depth());
+            let ir = measure_indirect_targets(&mut ideal, &b.descs, &b.trace.events);
+            println!(
+                "  {:<8} CTTB {:<14} real {:>7.2}%  ideal {:>7.2}%",
+                b.name(),
+                cfg.to_string(),
+                rr.miss_rate() * 100.0,
+                ir.miss_rate() * 100.0
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig8_fig12_target_buffers");
+    group.sample_size(10);
+    for b in &benches {
+        group.bench_function(format!("{}_cttb_real_d7", b.name()), |bch| {
+            bch.iter(|| {
+                let mut cttb = Cttb::new(cttb_ladder()[7]);
+                black_box(measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events))
+            })
+        });
+        group.bench_function(format!("{}_cttb_ideal_d7", b.name()), |bch| {
+            bch.iter(|| {
+                let mut cttb = IdealCttb::new(7);
+                black_box(measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events))
+            })
+        });
+        group.bench_function(format!("{}_ttb", b.name()), |bch| {
+            bch.iter(|| {
+                let mut ttb = Ttb::new(11);
+                black_box(measure_indirect_targets(&mut ttb, &b.descs, &b.trace.events))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, target_buffers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 2 / Figures 3–4 bench: the functional-simulation front end —
+//! workload generation, task formation and trace collection — whose
+//! statistics those artifacts tabulate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_params;
+use multiscalar_sim::trace::collect_trace;
+use multiscalar_taskform::TaskFormer;
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+fn tracing(c: &mut Criterion) {
+    let params = bench_params();
+
+    println!("\nTable 2 (regenerated at bench scale):");
+    println!(
+        "  {:<10} {:>8} {:>10} {:>9} {:>12}",
+        "benchmark", "static", "dynamic", "distinct", "instructions"
+    );
+    for spec in Spec92::ALL {
+        let w = spec.build(&params);
+        let tp = TaskFormer::default().form(&w.program).unwrap();
+        let run = collect_trace(&w.program, &tp, w.max_steps).unwrap();
+        println!(
+            "  {:<10} {:>8} {:>10} {:>9} {:>12}",
+            spec.name(),
+            tp.static_task_count(),
+            run.stats.dynamic_tasks,
+            run.stats.distinct_tasks,
+            run.stats.instructions
+        );
+    }
+
+    let mut group = c.benchmark_group("table2_tracing");
+    group.sample_size(10);
+    for spec in [Spec92::Compress, Spec92::Gcc] {
+        let w = spec.build(&params);
+        let tp = TaskFormer::default().form(&w.program).unwrap();
+        group.bench_function(format!("trace_{}", spec.name()), |b| {
+            b.iter(|| black_box(collect_trace(&w.program, &tp, w.max_steps).unwrap()))
+        });
+        group.bench_function(format!("taskform_{}", spec.name()), |b| {
+            b.iter(|| black_box(TaskFormer::default().form(&w.program).unwrap()))
+        });
+    }
+    group.bench_function("generate_gcc", |b| {
+        b.iter(|| black_box(Spec92::Gcc.build(&params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tracing);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table 3 bench: the full composite predictor (exit predictor + RAS +
+//! CTTB) against headerless CTTB-only prediction, including the §6.1
+//! single-exit-optimisation ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_workload;
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::{PathPredictor, SingleExitMode};
+use multiscalar_core::predictor::{CttbOnlyPredictor, ExitPredictor, TaskPredictor};
+use multiscalar_sim::measure::{measure_cttb_only, measure_exits, measure_full};
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+type Leh2 = LastExitHysteresis<2>;
+
+fn exit_cfg() -> Dolc {
+    Dolc::new(7, 4, 9, 9, 3)
+}
+
+fn cttb_cfg() -> Dolc {
+    Dolc::new(7, 4, 4, 5, 3)
+}
+
+fn composite(c: &mut Criterion) {
+    println!("\nTable 3 (regenerated): next-task-address miss rates");
+    let benches: Vec<_> = Spec92::ALL.iter().map(|&s| bench_workload(s)).collect();
+    for b in &benches {
+        let mut only = CttbOnlyPredictor::new(exit_cfg());
+        let o = measure_cttb_only(&mut only, &b.descs, &b.trace.events);
+        let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(exit_cfg(), cttb_cfg(), 64);
+        let f = measure_full(&mut full, &b.descs, &b.trace.events);
+        println!(
+            "  {:<10} CTTB-only(64KB) {:>6.2}%   exit+RAS+CTTB(16KB) {:>6.2}%",
+            b.name(),
+            o.miss_rate() * 100.0,
+            f.next_task.miss_rate() * 100.0
+        );
+    }
+
+    // Ablation: the single-exit optimisation's effect on PHT pressure.
+    let gcc = &benches[0];
+    for mode in [SingleExitMode::Off, SingleExitMode::SkipPht, SingleExitMode::SkipAll] {
+        let mut p: PathPredictor<Leh2> = PathPredictor::with_mode(exit_cfg(), mode);
+        let s = measure_exits(&mut p, &gcc.descs, &gcc.trace.events);
+        println!(
+            "  single-exit ablation (gcc) {:?}: {:.2}% miss, {} PHT states",
+            mode,
+            s.miss_rate() * 100.0,
+            p.states_touched()
+        );
+    }
+
+    let mut group = c.benchmark_group("table3_composite");
+    group.sample_size(10);
+    group.bench_function("full_predictor_gcc", |b| {
+        b.iter(|| {
+            let mut p =
+                TaskPredictor::<PathPredictor<Leh2>>::path(exit_cfg(), cttb_cfg(), 64);
+            black_box(measure_full(&mut p, &gcc.descs, &gcc.trace.events))
+        })
+    });
+    group.bench_function("cttb_only_gcc", |b| {
+        b.iter(|| {
+            let mut p = CttbOnlyPredictor::new(exit_cfg());
+            black_box(measure_cttb_only(&mut p, &gcc.descs, &gcc.trace.events))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, composite);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table 4 bench: the ring timing simulator under Simple / PATH / Perfect
+//! inter-task prediction, plus a machine-width ablation (2 vs 4 vs 8
+//! processing units).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multiscalar_bench::bench_workload;
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::predictor::TaskPredictor;
+use multiscalar_harness::dispatch::{dolc_15bit, real_predictor_16kb, Scheme};
+use multiscalar_harness::Bench;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig, TimingResult};
+use multiscalar_workloads::Spec92;
+use std::hint::black_box;
+
+type Leh2 = LastExitHysteresis<2>;
+
+fn run(b: &Bench, pred: Option<&mut dyn NextTaskPredictor>, config: &TimingConfig) -> TimingResult {
+    simulate(&b.workload.program, &b.tasks, &b.descs, pred, config, b.workload.max_steps)
+        .expect("timing simulation succeeds")
+}
+
+fn timing(c: &mut Criterion) {
+    let config = TimingConfig::default();
+    let cttb_cfg = Dolc::new(7, 4, 4, 5, 3);
+
+    println!("\nTable 4 (regenerated at bench scale): IPC");
+    let benches: Vec<_> = Spec92::ALL.iter().map(|&s| bench_workload(s)).collect();
+    for b in &benches {
+        let mut simple = TaskPredictor::new(
+            Box::new(PathPredictor::<Leh2>::new(dolc_15bit(0)))
+                as Box<dyn multiscalar_core::predictor::ExitPredictor>,
+            cttb_cfg,
+            64,
+        );
+        let simple_r = run(b, Some(&mut simple), &config);
+        let mut path = TaskPredictor::new(real_predictor_16kb(Scheme::Path), cttb_cfg, 64);
+        let path_r = run(b, Some(&mut path), &config);
+        let perfect = run(b, None, &config);
+        println!(
+            "  {:<10} simple {:>5.2}  path {:>5.2}  perfect {:>5.2}",
+            b.name(),
+            simple_r.ipc(),
+            path_r.ipc(),
+            perfect.ipc()
+        );
+    }
+
+    // Ablation: ring width under perfect prediction.
+    let gcc = &benches[0];
+    for units in [2, 4, 8] {
+        let cfg = TimingConfig { n_units: units, ..config };
+        let r = run(gcc, None, &cfg);
+        println!("  width ablation (gcc, perfect): {units} units -> IPC {:.2}", r.ipc());
+    }
+
+    let mut group = c.benchmark_group("table4_timing");
+    group.sample_size(10);
+    group.bench_function("perfect_gcc", |b| {
+        b.iter(|| black_box(run(gcc, None, &config)))
+    });
+    group.bench_function("path_gcc", |b| {
+        b.iter(|| {
+            let mut p = TaskPredictor::new(real_predictor_16kb(Scheme::Path), cttb_cfg, 64);
+            black_box(run(gcc, Some(&mut p), &config))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, timing);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared setup for the Criterion benches: prepared benchmarks at a small
+//! scale, so each bench target measures predictor/simulator throughput over
+//! a realistic trace while also printing the accuracy numbers it
+//! regenerates (the paper's tables and figures come from the same kernels).
+
+use multiscalar_harness::{prepare, Bench};
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+/// The workload scale used by the benches (small: keeps `cargo bench`
+/// minutes-scale while exercising the identical code paths as the
+/// full-scale harness).
+pub fn bench_params() -> WorkloadParams {
+    WorkloadParams { seed: 0xC0FFEE, scale: 1 }
+}
+
+/// Prepares one benchmark at bench scale.
+pub fn bench_workload(spec: Spec92) -> Bench {
+    prepare(spec, &bench_params())
+}

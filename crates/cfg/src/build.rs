@@ -1,0 +1,227 @@
+//! CFG construction from a function's instruction range.
+
+use crate::graph::{BasicBlock, BlockId, Cfg, Edge, EdgeKind, Terminator};
+use multiscalar_isa::{Addr, ControlFlow, FuncId, Program};
+use std::collections::{BTreeSet, HashMap};
+
+/// Builds the control-flow graph for `func` in `program`.
+///
+/// Leaders are: the function entry, every in-function target of a direct
+/// branch/jump, every declared target of a resolved indirect jump, and the
+/// instruction following any control instruction. Edges to targets outside
+/// the function (which would indicate a malformed program — the builder
+/// only emits intra-function labels for branches) are ignored.
+///
+/// # Panics
+///
+/// Panics if `func` is out of range for `program`.
+pub fn build_cfg(program: &Program, func: FuncId) -> Cfg {
+    let f = program.function(func);
+    let range = f.range();
+    let in_func = |a: Addr| range.contains(&a.0);
+
+    // 1. Collect leaders.
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    leaders.insert(range.start);
+    for pc in range.clone() {
+        let inst = program.fetch(Addr(pc)).expect("address in function range");
+        let Some(cf) = inst.control_flow() else { continue };
+        // Instruction after any control instruction starts a block.
+        if pc + 1 < range.end {
+            leaders.insert(pc + 1);
+        }
+        match cf {
+            ControlFlow::CondBranch(t) | ControlFlow::Jump(t) if in_func(t) => {
+                leaders.insert(t.0);
+            }
+            ControlFlow::IndirectJump => {
+                if let Some(ts) = program.indirect_targets(Addr(pc)) {
+                    for &t in ts {
+                        if in_func(t) {
+                            leaders.insert(t.0);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 2. Create blocks between consecutive leaders.
+    let leader_vec: Vec<u32> = leaders.iter().copied().collect();
+    let mut blocks = Vec::with_capacity(leader_vec.len());
+    let mut by_start = HashMap::with_capacity(leader_vec.len());
+    for (i, &start) in leader_vec.iter().enumerate() {
+        let end_limit = leader_vec.get(i + 1).copied().unwrap_or(range.end);
+        // The block ends at the first control instruction, or at the next
+        // leader / function end.
+        let mut end = end_limit;
+        for pc in start..end_limit {
+            if program.fetch(Addr(pc)).expect("in range").is_control() {
+                end = pc + 1;
+                break;
+            }
+        }
+        by_start.insert(start, BlockId(blocks.len() as u32));
+        blocks.push(BasicBlock {
+            range: start..end,
+            terminator: Terminator::FallThrough,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+    }
+
+    // 3. Terminators and successor edges.
+    let n = blocks.len();
+    let ranges: Vec<std::ops::Range<u32>> = blocks.iter().map(|b| b.range.clone()).collect();
+    for (i, range) in ranges.iter().enumerate() {
+        let last = Addr(range.end - 1);
+        let next_addr = range.end;
+        let inst = program.fetch(last).expect("in range");
+        let mut succs = Vec::new();
+        let push = |succs: &mut Vec<Edge>, target: u32, kind: EdgeKind| {
+            if let Some(&to) = by_start.get(&target) {
+                succs.push(Edge { to, kind });
+            }
+        };
+        let term = match inst.control_flow() {
+            None => {
+                // Pure fall-through into the next leader.
+                push(&mut succs, next_addr, EdgeKind::FallThrough);
+                Terminator::FallThrough
+            }
+            Some(ControlFlow::CondBranch(t)) => {
+                if in_func(t) {
+                    push(&mut succs, t.0, EdgeKind::Taken);
+                }
+                push(&mut succs, next_addr, EdgeKind::FallThrough);
+                Terminator::CondBranch
+            }
+            Some(ControlFlow::Jump(t)) => {
+                if in_func(t) {
+                    push(&mut succs, t.0, EdgeKind::Jump);
+                }
+                Terminator::Jump
+            }
+            Some(ControlFlow::IndirectJump) => {
+                let resolved = match program.indirect_targets(last) {
+                    Some(ts) => {
+                        for &t in ts {
+                            if in_func(t) {
+                                push(&mut succs, t.0, EdgeKind::IndirectCase);
+                            }
+                        }
+                        true
+                    }
+                    None => false,
+                };
+                Terminator::IndirectJump { resolved }
+            }
+            Some(ControlFlow::Call(t)) => {
+                // Control returns to the next instruction.
+                push(&mut succs, next_addr, EdgeKind::CallReturn);
+                Terminator::Call { target: t }
+            }
+            Some(ControlFlow::IndirectCall) => {
+                push(&mut succs, next_addr, EdgeKind::CallReturn);
+                Terminator::IndirectCall
+            }
+            Some(ControlFlow::Return) => Terminator::Return,
+            Some(ControlFlow::Halt) => Terminator::Halt,
+        };
+        blocks[i].terminator = term;
+        blocks[i].succs = succs;
+    }
+
+    // 4. Predecessors.
+    for i in 0..n {
+        let succs: Vec<BlockId> = blocks[i].succs.iter().map(|e| e.to).collect();
+        for to in succs {
+            let from = BlockId(i as u32);
+            if !blocks[to.index()].preds.contains(&from) {
+                blocks[to.index()].preds.push(from);
+            }
+        }
+    }
+
+    let entry = by_start[&range.start];
+    Cfg { func, blocks, entry, by_start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 1);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = build_cfg(&p, p.entry_function());
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.block(cfg.entry()).len(), 3);
+        assert_eq!(cfg.block(cfg.entry()).terminator(), Terminator::Halt);
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = build_cfg(&p, p.entry_function());
+        assert_eq!(cfg.blocks().len(), 2);
+        let loop_block = cfg.entry();
+        assert!(cfg.block(loop_block).succs().iter().any(|e| e.to == loop_block));
+    }
+
+    #[test]
+    fn every_instruction_belongs_to_exactly_one_block() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let l1 = b.new_label();
+        let l2 = b.new_label();
+        b.branch(Cond::Eq, Reg(0), Reg(1), l1);
+        b.load_imm(Reg(2), 1);
+        b.branch(Cond::Ne, Reg(0), Reg(1), l2);
+        b.bind(l1);
+        b.load_imm(Reg(2), 2);
+        b.bind(l2);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = build_cfg(&p, p.entry_function());
+        let f = p.function(p.entry_function());
+        let mut covered = vec![0u8; f.len()];
+        for blk in cfg.blocks() {
+            for a in blk.range() {
+                covered[(a - f.range().start) as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "blocks must tile the function: {covered:?}");
+    }
+
+    #[test]
+    fn unresolved_indirect_jump_has_no_succs() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 2);
+        b.jump_indirect(Reg(1)); // no metadata
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = build_cfg(&p, p.entry_function());
+        let entry = cfg.block(cfg.entry());
+        assert_eq!(entry.terminator(), Terminator::IndirectJump { resolved: false });
+        assert!(entry.succs().is_empty());
+    }
+}

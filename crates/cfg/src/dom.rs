@@ -1,0 +1,230 @@
+//! Dominator computation using the Cooper–Harvey–Kennedy iterative
+//! algorithm over reverse postorder.
+
+use crate::graph::{BlockId, Cfg};
+
+/// The dominator tree of a [`Cfg`].
+///
+/// Unreachable blocks have no immediate dominator and are dominated by
+/// nothing (queries on them return `false`/`None`).
+///
+/// # Example
+///
+/// ```
+/// use multiscalar_isa::{Cond, ProgramBuilder, Reg};
+/// use multiscalar_cfg::Cfg;
+/// let mut b = ProgramBuilder::new();
+/// let main = b.begin_function("main");
+/// let j = b.new_label();
+/// b.branch(Cond::Eq, Reg(0), Reg(1), j);
+/// b.load_imm(Reg(2), 1);
+/// b.bind(j);
+/// b.halt();
+/// b.end_function();
+/// let p = b.finish(main)?;
+/// let cfg = Cfg::build(&p, p.entry_function());
+/// let dom = cfg.dominators();
+/// // The entry dominates everything.
+/// for (i, _) in cfg.blocks().iter().enumerate() {
+///     assert!(dom.dominates(cfg.entry(), multiscalar_cfg::BlockId(i as u32)));
+/// }
+/// # Ok::<(), multiscalar_isa::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; entry maps to itself;
+    /// unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks().len();
+        let rpo = cfg.reverse_postorder();
+        // Position of each block in RPO; unreachable blocks keep usize::MAX.
+        let mut pos = vec![usize::MAX; n];
+        // Only the reachable prefix participates.
+        let reachable = cfg.reachable_count();
+        for (i, &b) in rpo.iter().take(reachable).enumerate() {
+            pos[b.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry().index()] = Some(cfg.entry());
+
+        let intersect = |idom: &[Option<BlockId>], pos: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while pos[a.index()] > pos[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while pos[b.index()] > pos[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().take(reachable) {
+                if b == cfg.entry() {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.block(b).preds() {
+                    if pos[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &pos, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Dominators { idom, entry: cfg.entry() }
+    }
+
+    /// The immediate dominator of `b` (the entry's idom is itself).
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return Some(self.entry);
+        }
+        self.idom[b.index()]
+    }
+
+    /// `true` if `a` dominates `b` (reflexive: every block dominates itself,
+    /// provided it is reachable).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// `true` if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use multiscalar_isa::{Cond, Program, ProgramBuilder, Reg};
+
+    fn diamond_with_loop() -> (Program, Cfg) {
+        // bb0: branch -> bb2 (then) or bb1 (else)
+        // bb1: jump join
+        // bb2: fall into join
+        // join(bb3): loop back to itself conditionally, then halt block bb4
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let then_ = b.new_label();
+        let join = b.new_label();
+        b.branch(Cond::Eq, Reg(1), Reg(0), then_);
+        b.load_imm(Reg(2), 2);
+        b.jump(join);
+        b.bind(then_);
+        b.load_imm(Reg(2), 1);
+        b.bind(join);
+        let top = b.here_label();
+        b.op_imm(multiscalar_isa::AluOp::Add, Reg(3), Reg(3), 1);
+        b.branch(Cond::Lt, Reg(3), Reg(4), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = Cfg::build(&p, p.entry_function());
+        (p, cfg)
+    }
+
+    #[test]
+    fn entry_dominates_all_reachable() {
+        let (_p, cfg) = diamond_with_loop();
+        let dom = cfg.dominators();
+        for i in 0..cfg.blocks().len() {
+            assert!(dom.dominates(cfg.entry(), BlockId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let (_p, cfg) = diamond_with_loop();
+        let dom = cfg.dominators();
+        // Find the join block: it has 2+ predecessors and a conditional
+        // branch terminator looping to itself.
+        let join = cfg
+            .blocks()
+            .iter()
+            .enumerate()
+            .find(|(i, b)| b.preds().len() >= 2 && b.succs().iter().any(|e| e.to.index() == *i))
+            .map(|(i, _)| BlockId(i as u32))
+            .expect("join block");
+        for &p in cfg.block(join).preds() {
+            if p != join && p != cfg.entry() {
+                assert!(!dom.dominates(p, join), "{p} should not dominate join {join}");
+            }
+        }
+        // But entry does, and join dominates itself.
+        assert!(dom.dominates(join, join));
+    }
+
+    #[test]
+    fn idom_chain_reaches_entry() {
+        let (_p, cfg) = diamond_with_loop();
+        let dom = cfg.dominators();
+        for i in 0..cfg.blocks().len() {
+            let mut cur = BlockId(i as u32);
+            let mut fuel = cfg.blocks().len() + 1;
+            while cur != cfg.entry() {
+                cur = dom.idom(cur).expect("reachable");
+                fuel -= 1;
+                assert!(fuel > 0, "idom chain must terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.halt();
+        // unreachable tail
+        b.load_imm(Reg(1), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = Cfg::build(&p, p.entry_function());
+        let dom = cfg.dominators();
+        assert!(dom.is_reachable(cfg.entry()));
+        let unreachable: Vec<_> =
+            (0..cfg.blocks().len()).map(|i| BlockId(i as u32)).filter(|&b| !dom.is_reachable(b)).collect();
+        assert!(!unreachable.is_empty());
+        for u in unreachable {
+            assert!(!dom.dominates(cfg.entry(), u));
+            assert_eq!(dom.idom(u), None);
+        }
+    }
+}

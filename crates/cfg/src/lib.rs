@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Control-flow graphs over [`multiscalar_isa`] programs, plus the classic
+//! analyses the task former needs: reverse postorder, dominators and natural
+//! loops.
+//!
+//! The paper's task former runs inside the Wisconsin Multiscalar compiler;
+//! this crate is the corresponding analysis substrate for our reproduction.
+//! A [`Cfg`] is built per function. Intra-function edges cover fall-through,
+//! taken branches, jumps, resolved indirect-jump cases (from builder
+//! metadata) and the return-continuation edge after a call. Calls and
+//! returns themselves leave the function and are represented by terminator
+//! kinds rather than edges.
+//!
+//! # Example
+//!
+//! ```
+//! use multiscalar_isa::{Cond, ProgramBuilder, Reg};
+//! use multiscalar_cfg::Cfg;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = b.begin_function("main");
+//! let done = b.new_label();
+//! let top = b.here_label();
+//! b.op_imm(multiscalar_isa::AluOp::Add, Reg(1), Reg(1), 1);
+//! b.branch(Cond::Ge, Reg(1), Reg(2), done);
+//! b.jump(top);
+//! b.bind(done);
+//! b.halt();
+//! b.end_function();
+//! let p = b.finish(main)?;
+//!
+//! let cfg = Cfg::build(&p, p.entry_function());
+//! assert_eq!(cfg.blocks().len(), 3);
+//! let loops = cfg.natural_loops();
+//! assert_eq!(loops.len(), 1, "one natural loop");
+//! # Ok::<(), multiscalar_isa::BuildError>(())
+//! ```
+
+mod build;
+mod dom;
+mod graph;
+mod loops;
+
+pub use build::build_cfg;
+pub use dom::Dominators;
+pub use graph::{BasicBlock, BlockId, Cfg, Edge, EdgeKind, Terminator};
+pub use loops::{LoopInfo, NaturalLoop};

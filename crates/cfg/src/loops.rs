@@ -1,0 +1,193 @@
+//! Natural-loop detection from back edges.
+
+use crate::graph::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// A natural loop: a back edge `latch -> header` where `header` dominates
+/// `latch`, together with all blocks that can reach the latch without
+/// passing through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (single entry).
+    pub header: BlockId,
+    /// Latches: blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including header and latches, sorted.
+    pub body: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// `true` if `b` is part of the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+
+    /// Number of blocks in the loop.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// A loop always has at least its header.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// All natural loops of a function, plus per-block loop depth.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<NaturalLoop>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Detects loops in `cfg`. Loops sharing a header are merged (as in the
+    /// classic natural-loop formulation).
+    pub fn compute(cfg: &Cfg) -> LoopInfo {
+        let dom = cfg.dominators();
+        let n = cfg.blocks().len();
+
+        // Group back edges by header.
+        let mut latches_by_header: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, blk) in cfg.blocks().iter().enumerate() {
+            let from = BlockId(i as u32);
+            for e in blk.succs() {
+                if dom.is_reachable(from) && dom.dominates(e.to, from) {
+                    latches_by_header[e.to.index()].push(from);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for (h, latches) in latches_by_header.into_iter().enumerate() {
+            if latches.is_empty() {
+                continue;
+            }
+            let header = BlockId(h as u32);
+            // Body: header + everything reaching a latch backwards without
+            // crossing the header.
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in cfg.block(b).preds() {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                body: body.into_iter().collect(),
+            });
+        }
+
+        // Depth: number of loops containing each block.
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for &b in &l.body {
+                depth[b.index()] += 1;
+            }
+        }
+
+        LoopInfo { loops, depth }
+    }
+
+    /// The detected loops, in header order.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Consumes self, returning the loops.
+    pub fn into_loops(self) -> Vec<NaturalLoop> {
+        self.loops
+    }
+
+    /// Nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+
+    fn nested_loops_cfg() -> Cfg {
+        // for i { for j { body } }
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0); // i
+        let outer = b.here_label();
+        b.load_imm(Reg(2), 0); // j
+        let inner = b.here_label();
+        b.op_imm(AluOp::Add, Reg(2), Reg(2), 1);
+        b.branch(Cond::Lt, Reg(2), Reg(4), inner);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(3), outer);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        Cfg::build(&p, p.entry_function())
+    }
+
+    #[test]
+    fn finds_both_nested_loops() {
+        let cfg = nested_loops_cfg();
+        let info = LoopInfo::compute(&cfg);
+        assert_eq!(info.loops().len(), 2);
+        // One loop's body strictly contains the other's.
+        let (a, b) = (&info.loops()[0], &info.loops()[1]);
+        let (inner, outer) = if a.len() < b.len() { (a, b) } else { (b, a) };
+        for &blk in &inner.body {
+            assert!(outer.contains(blk), "inner loop nested in outer");
+        }
+        assert!(outer.len() > inner.len());
+    }
+
+    #[test]
+    fn depth_reflects_nesting() {
+        let cfg = nested_loops_cfg();
+        let info = LoopInfo::compute(&cfg);
+        let max_depth = (0..cfg.blocks().len())
+            .map(|i| info.depth(BlockId(i as u32)))
+            .max()
+            .unwrap();
+        assert_eq!(max_depth, 2);
+        // The entry block (before both loops) has depth 0.
+        assert_eq!(info.depth(cfg.entry()), 0);
+    }
+
+    #[test]
+    fn loop_free_function_has_no_loops() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let l = b.new_label();
+        b.branch(Cond::Eq, Reg(0), Reg(0), l);
+        b.load_imm(Reg(1), 1);
+        b.bind(l);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let cfg = Cfg::build(&p, p.entry_function());
+        assert!(cfg.natural_loops().is_empty());
+    }
+
+    #[test]
+    fn loop_body_is_sorted_and_contains_header_and_latches() {
+        let cfg = nested_loops_cfg();
+        for l in cfg.natural_loops() {
+            assert!(l.contains(l.header));
+            for &latch in &l.latches {
+                assert!(l.contains(latch));
+            }
+            let mut sorted = l.body.clone();
+            sorted.sort();
+            assert_eq!(sorted, l.body);
+            assert!(!l.is_empty());
+        }
+    }
+}

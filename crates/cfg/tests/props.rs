@@ -1,0 +1,120 @@
+//! Property-based tests: CFG construction and analyses over random
+//! structured programs.
+
+use multiscalar_cfg::{BlockId, Cfg};
+use multiscalar_isa::{Addr, FuncId};
+use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocks_tile_every_function(
+        seed in 0u64..10_000,
+        functions in 1usize..6,
+        constructs in 1usize..7,
+    ) {
+        let p = random_program(seed, &SyntheticConfig { functions, constructs, nesting: 2 });
+        for (i, f) in p.functions().iter().enumerate() {
+            let cfg = Cfg::build(&p, FuncId(i as u32));
+            let mut covered = vec![0u32; f.len()];
+            for blk in cfg.blocks() {
+                for a in blk.range() {
+                    covered[(a - f.range().start) as usize] += 1;
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1), "blocks must tile exactly once");
+            prop_assert_eq!(cfg.block(cfg.entry()).start(), f.entry());
+        }
+    }
+
+    #[test]
+    fn preds_and_succs_are_inverse(
+        seed in 0u64..10_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        for (i, _) in p.functions().iter().enumerate() {
+            let cfg = Cfg::build(&p, FuncId(i as u32));
+            for (bi, blk) in cfg.blocks().iter().enumerate() {
+                let from = BlockId(bi as u32);
+                for e in blk.succs() {
+                    prop_assert!(cfg.block(e.to).preds().contains(&from));
+                }
+                for &pr in blk.preds() {
+                    prop_assert!(cfg.block(pr).succs().iter().any(|e| e.to == from));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominator_chains_terminate_at_entry(
+        seed in 0u64..10_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        for (i, _) in p.functions().iter().enumerate() {
+            let cfg = Cfg::build(&p, FuncId(i as u32));
+            let dom = cfg.dominators();
+            for bi in 0..cfg.blocks().len() {
+                let b = BlockId(bi as u32);
+                if !dom.is_reachable(b) {
+                    continue;
+                }
+                prop_assert!(dom.dominates(cfg.entry(), b));
+                // Walk the idom chain to the entry with bounded fuel.
+                let mut cur = b;
+                for _ in 0..=cfg.blocks().len() {
+                    if cur == cfg.entry() {
+                        break;
+                    }
+                    cur = dom.idom(cur).expect("reachable block has an idom");
+                }
+                prop_assert_eq!(cur, cfg.entry());
+            }
+        }
+    }
+
+    #[test]
+    fn loops_are_dominated_by_their_headers(
+        seed in 0u64..10_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        for (i, _) in p.functions().iter().enumerate() {
+            let cfg = Cfg::build(&p, FuncId(i as u32));
+            let dom = cfg.dominators();
+            for l in cfg.natural_loops() {
+                for &b in &l.body {
+                    prop_assert!(
+                        dom.dominates(l.header, b),
+                        "loop header must dominate the whole body"
+                    );
+                }
+                for &latch in &l.latches {
+                    prop_assert!(
+                        cfg.block(latch).succs().iter().any(|e| e.to == l.header),
+                        "latch must branch back to the header"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_lookup_is_consistent(
+        seed in 0u64..5_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        for (i, f) in p.functions().iter().enumerate() {
+            let cfg = Cfg::build(&p, FuncId(i as u32));
+            for a in f.range() {
+                let containing = cfg.block_containing(Addr(a)).expect("tiled");
+                let blk = cfg.block(containing);
+                prop_assert!(blk.range().contains(&a));
+                if blk.start() == Addr(a) {
+                    prop_assert_eq!(cfg.block_at(Addr(a)), Some(containing));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Confidence estimation for task predictions — the follow-on mechanism of
+//! Jacobson, Rotenberg & Smith ("Assigning Confidence to Conditional
+//! Branch Predictions", MICRO-29 1996) applied to inter-task speculation.
+//!
+//! A small table of resetting *correct-streak* counters (the CIR estimator)
+//! is indexed by task address: a prediction is *high confidence* when the
+//! recent predictions for that task have been correct at least
+//! `threshold` times in a row. The timing simulator can gate speculation
+//! on it (`ext-confidence`): low-confidence predictions stall the
+//! sequencer instead of risking a squash.
+
+use crate::predictor::TaskDesc;
+use multiscalar_isa::Addr;
+
+/// A resetting-counter (CIR) confidence estimator for task predictions.
+///
+/// # Example
+///
+/// ```
+/// use multiscalar_core::confidence::ConfidenceEstimator;
+/// use multiscalar_isa::Addr;
+///
+/// let mut c = ConfidenceEstimator::new(10, 4);
+/// let task = Addr(0x40);
+/// assert!(!c.high_confidence(task), "cold entries are low confidence");
+/// for _ in 0..4 {
+///     c.update(task, true);
+/// }
+/// assert!(c.high_confidence(task));
+/// c.update(task, false);
+/// assert!(!c.high_confidence(task), "one miss resets the streak");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfidenceEstimator {
+    counters: Vec<u8>,
+    mask: u32,
+    threshold: u8,
+}
+
+impl ConfidenceEstimator {
+    /// Creates an estimator with `2^index_bits` resetting counters and the
+    /// given high-confidence threshold (correct predictions in a row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or > 28, or `threshold` is 0.
+    pub fn new(index_bits: u32, threshold: u8) -> ConfidenceEstimator {
+        assert!((1..=28).contains(&index_bits));
+        assert!(threshold > 0);
+        ConfidenceEstimator {
+            counters: vec![0; 1 << index_bits],
+            mask: (1 << index_bits) - 1,
+            threshold,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, task: Addr) -> usize {
+        (task.0 & self.mask) as usize
+    }
+
+    /// `true` when the predictor's recent record for this task clears the
+    /// threshold.
+    #[inline]
+    pub fn high_confidence(&self, task: Addr) -> bool {
+        self.counters[self.slot(task)] >= self.threshold
+    }
+
+    /// Convenience overload on a [`TaskDesc`].
+    #[inline]
+    pub fn high_confidence_for(&self, task: &TaskDesc) -> bool {
+        self.high_confidence(task.entry())
+    }
+
+    /// Records whether the prediction for `task` turned out correct: a hit
+    /// saturates the streak upward, a miss resets it (the CIR rule).
+    #[inline]
+    pub fn update(&mut self, task: Addr, correct: bool) {
+        let slot = self.slot(task);
+        if correct {
+            self.counters[slot] = self.counters[slot].saturating_add(1).min(15);
+        } else {
+            self.counters[slot] = 0;
+        }
+    }
+
+    /// The high-confidence threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    /// Storage in bytes (4 bits per counter).
+    pub fn storage_bytes(&self) -> usize {
+        self.counters.len() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaks_build_and_reset() {
+        let mut c = ConfidenceEstimator::new(8, 3);
+        let t = Addr(5);
+        for i in 0..3 {
+            assert!(!c.high_confidence(t), "below threshold after {i} hits");
+            c.update(t, true);
+        }
+        assert!(c.high_confidence(t));
+        c.update(t, true); // saturates, still high
+        assert!(c.high_confidence(t));
+        c.update(t, false);
+        assert!(!c.high_confidence(t), "reset on first miss");
+    }
+
+    #[test]
+    fn tasks_are_tracked_independently_modulo_aliasing() {
+        let mut c = ConfidenceEstimator::new(8, 2);
+        let (a, b) = (Addr(1), Addr(2));
+        c.update(a, true);
+        c.update(a, true);
+        assert!(c.high_confidence(a));
+        assert!(!c.high_confidence(b));
+        // Aliased addresses share a counter (256-entry table).
+        let alias = Addr(1 + 256);
+        assert!(c.high_confidence(alias));
+    }
+
+    #[test]
+    fn coverage_tradeoff_with_threshold() {
+        // Higher thresholds classify fewer predictions as high confidence
+        // on a noisy stream.
+        let mut rng = crate::rng::XorShift64::new(9);
+        let count_high = |threshold: u8| {
+            let mut c = ConfidenceEstimator::new(6, threshold);
+            let mut rng2 = crate::rng::XorShift64::new(9);
+            let mut high = 0;
+            for _ in 0..2000 {
+                let t = Addr(rng2.next_below(16));
+                high += c.high_confidence(t) as u32;
+                c.update(t, rng2.next_below(10) < 9); // 90% correct
+            }
+            high
+        };
+        let low_thr = count_high(1);
+        let high_thr = count_high(8);
+        assert!(low_thr > high_thr, "{low_thr} vs {high_thr}");
+        let _ = rng.next_u64();
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let c = ConfidenceEstimator::new(10, 4);
+        assert_eq!(c.storage_bytes(), 512);
+        assert_eq!(c.threshold(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! A tiny deterministic xorshift generator used for random tie-breaking.
+//!
+//! The paper's "VC RANDOM" automaton breaks counter ties randomly; for
+//! reproducible experiments we use a seeded xorshift64* generator rather
+//! than ambient randomness (a substitution documented in DESIGN.md).
+
+/// A seeded xorshift64* pseudo-random generator.
+///
+/// Not cryptographically secure — it only supplies tie-break entropy.
+///
+/// ```
+/// use multiscalar_core::rng::XorShift64;
+/// let mut a = XorShift64::new(42);
+/// let mut b = XorShift64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (zero is remapped to a fixed
+    /// non-zero constant, since xorshift cannot leave state 0).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "next_below(0)");
+        // Modulo bias is negligible for the tiny n (<= 4) used here.
+        (self.next_u64() % n as u64) as u32
+    }
+}
+
+impl Default for XorShift64 {
+    fn default() -> Self {
+        XorShift64::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = XorShift64::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = r.next_below(4);
+            assert!(v < 4);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        XorShift64::new(1).next_below(0);
+    }
+}

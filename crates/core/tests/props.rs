@@ -1,0 +1,185 @@
+//! Property-based tests for the prediction structures: automata, DOLC
+//! index construction, path registers and target buffers.
+
+use multiscalar_core::automata::{
+    Automaton, LastExit, LastExitHysteresis, VotingCounters,
+};
+use multiscalar_core::dolc::{Dolc, PathRegister};
+use multiscalar_core::rng::XorShift64;
+use multiscalar_core::target::ReturnAddressStack;
+use multiscalar_isa::{Addr, ExitIndex, MAX_EXITS};
+use proptest::prelude::*;
+
+fn exit_strategy() -> impl Strategy<Value = ExitIndex> {
+    (0u8..MAX_EXITS as u8).prop_map(|i| ExitIndex::new(i).expect("in range"))
+}
+
+/// Runs a sequence of updates and checks the basic automaton contract.
+fn check_automaton<A: Automaton>(updates: &[ExitIndex]) {
+    let mut a = A::default();
+    let mut tie = XorShift64::new(1);
+    for &u in updates {
+        let p = a.predict(&mut tie);
+        prop_assert_in_range(p);
+        a.update(u);
+    }
+    // Convergence: after enough repeats of one exit, it is predicted.
+    if let Some(&last) = updates.last() {
+        for _ in 0..16 {
+            a.update(last);
+        }
+        assert_eq!(a.predict(&mut tie), last, "{} must converge", A::NAME);
+    }
+}
+
+fn prop_assert_in_range(p: ExitIndex) {
+    assert!(p.index() < MAX_EXITS);
+}
+
+proptest! {
+    #[test]
+    fn automata_never_predict_out_of_range_and_converge(
+        updates in proptest::collection::vec(exit_strategy(), 1..60)
+    ) {
+        check_automaton::<VotingCounters<2, true>>(&updates);
+        check_automaton::<VotingCounters<2, false>>(&updates);
+        check_automaton::<VotingCounters<3, true>>(&updates);
+        check_automaton::<VotingCounters<3, false>>(&updates);
+        check_automaton::<LastExit>(&updates);
+        check_automaton::<LastExitHysteresis<1>>(&updates);
+        check_automaton::<LastExitHysteresis<2>>(&updates);
+    }
+
+    #[test]
+    fn leh_needs_at_least_confidence_plus_one_misses_to_flip(
+        build in 2u8..10, wrong in exit_strategy()
+    ) {
+        // Saturate confidence on exit 0, then count misses until the
+        // prediction flips: must be exactly MAX+1 when saturated.
+        prop_assume!(wrong.index() != 0);
+        let mut a: LastExitHysteresis<2> = Default::default();
+        let mut tie = XorShift64::new(2);
+        let e0 = ExitIndex::new(0).unwrap();
+        for _ in 0..build {
+            a.update(e0);
+        }
+        let mut flips = 0;
+        while a.predict(&mut tie) == e0 {
+            a.update(wrong);
+            flips += 1;
+            prop_assert!(flips <= 4, "2-bit hysteresis flips within 4 misses");
+        }
+        let expected = u32::from(build).min(3) + 1;
+        prop_assert_eq!(flips, expected);
+    }
+
+    #[test]
+    fn dolc_index_always_in_table(
+        depth in 0u8..8,
+        older in 0u8..10,
+        last in 1u8..12,
+        current in 1u8..12,
+        folds in 1u8..4,
+        addrs in proptest::collection::vec(0u32..1_000_000, 1..40),
+    ) {
+        // Only realizable configurations: the folded index must fit a table
+        // (Dolc::new rejects absurd ones by design).
+        let intermediate = if depth == 0 {
+            current as u32
+        } else {
+            (depth as u32 - 1) * older as u32 + last as u32 + current as u32
+        };
+        prop_assume!(intermediate.div_ceil(folds as u32) <= 28);
+        let d = Dolc::new(depth, older, last, current, folds);
+        let mut path = PathRegister::new(d.depth());
+        for &a in &addrs {
+            let idx = d.index(&path, Addr(a));
+            prop_assert!(idx < d.table_entries());
+            path.push(Addr(a));
+        }
+    }
+
+    #[test]
+    fn dolc_index_is_deterministic(
+        addrs in proptest::collection::vec(0u32..100_000, 1..30),
+    ) {
+        let d = Dolc::new(5, 4, 6, 6, 2);
+        let run = |addrs: &[u32]| -> Vec<usize> {
+            let mut path = PathRegister::new(d.depth());
+            addrs
+                .iter()
+                .map(|&a| {
+                    let i = d.index(&path, Addr(a));
+                    path.push(Addr(a));
+                    i
+                })
+                .collect()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    #[test]
+    fn path_register_matches_reference_model(
+        depth in 0usize..10,
+        pushes in proptest::collection::vec(0u32..5000, 0..50),
+    ) {
+        let mut reg = PathRegister::new(depth);
+        let mut model: Vec<u32> = Vec::new();
+        for &a in &pushes {
+            reg.push(Addr(a));
+            if depth > 0 {
+                model.push(a);
+                if model.len() > depth {
+                    model.remove(0);
+                }
+            }
+        }
+        let got: Vec<u32> = reg.addrs().map(|a| a.0).collect();
+        prop_assert_eq!(&got, &model);
+        for (i, &m) in model.iter().rev().enumerate() {
+            prop_assert_eq!(reg.recent(i), Some(Addr(m)));
+        }
+        prop_assert_eq!(&*reg.snapshot(), model.as_slice());
+    }
+
+    #[test]
+    fn ras_is_a_bounded_stack(
+        cap in 1usize..16,
+        ops in proptest::collection::vec(proptest::option::of(0u32..10_000), 0..80),
+    ) {
+        // Some(a) = push, None = pop. Model with a Vec truncated from the
+        // front on overflow.
+        let mut ras = ReturnAddressStack::new(cap);
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Some(a) => {
+                    ras.push(Addr(a));
+                    model.push(a);
+                    if model.len() > cap {
+                        model.remove(0);
+                    }
+                }
+                None => {
+                    let got = ras.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got, want.map(Addr));
+                }
+            }
+            prop_assert_eq!(ras.len(), model.len());
+            prop_assert_eq!(ras.peek(), model.last().copied().map(Addr));
+        }
+    }
+
+    #[test]
+    fn dolc_fold_is_linear_in_xor(
+        a in 0u64..u64::MAX, b in 0u64..u64::MAX,
+    ) {
+        // fold(a ^ b) == fold(a) ^ fold(b): folding is XOR of fields.
+        let d = Dolc::new(6, 5, 8, 9, 3);
+        let fa = d.fold(a as u128);
+        let fb = d.fold(b as u128);
+        let fab = d.fold((a ^ b) as u128);
+        prop_assert_eq!(fab, fa ^ fb);
+    }
+}

@@ -1,0 +1,180 @@
+//! Runtime dispatch over automaton kinds and history schemes, so the CLI
+//! can select predictors the library implements with static generics.
+
+use crate::Bench;
+use multiscalar_core::automata::{
+    AutomatonKind, LastExit, LastExitHysteresis, VotingCounters,
+};
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::{GlobalPredictor, PathPredictor, PerTaskPredictor};
+use multiscalar_core::ideal::{IdealGlobal, IdealPath, IdealPer};
+use multiscalar_core::predictor::ExitPredictor;
+use multiscalar_sim::measure::{measure_exits, MissStats};
+
+/// The three history-generation schemes of paper §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Global exit-history register.
+    Global,
+    /// Per-task history registers (PAp analog).
+    Per,
+    /// Path-based history.
+    Path,
+}
+
+impl Scheme {
+    /// All three schemes in the paper's order.
+    pub const ALL: [Scheme; 3] = [Scheme::Global, Scheme::Per, Scheme::Path];
+
+    /// Name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Global => "GLOBAL",
+            Scheme::Per => "PER",
+            Scheme::Path => "PATH",
+        }
+    }
+}
+
+/// Measures an *ideal* (alias-free) predictor of the given scheme and
+/// depth, with the LEH-2bit automaton (the paper's choice after Fig. 6).
+pub fn measure_ideal(scheme: Scheme, depth: u32, bench: &Bench) -> MissStats {
+    match scheme {
+        Scheme::Global => {
+            let mut p: IdealGlobal<LastExitHysteresis<2>> = IdealGlobal::new(depth);
+            measure_exits(&mut p, &bench.descs, &bench.trace.events)
+        }
+        Scheme::Per => {
+            let mut p: IdealPer<LastExitHysteresis<2>> = IdealPer::new(depth);
+            measure_exits(&mut p, &bench.descs, &bench.trace.events)
+        }
+        Scheme::Path => {
+            let mut p: IdealPath<LastExitHysteresis<2>> = IdealPath::new(depth);
+            measure_exits(&mut p, &bench.descs, &bench.trace.events)
+        }
+    }
+}
+
+/// Measures an ideal PATH predictor with the given automaton kind
+/// (Figure 6's experiment).
+pub fn measure_ideal_path_automaton(
+    kind: AutomatonKind,
+    depth: u32,
+    bench: &Bench,
+) -> MissStats {
+    fn run<A: multiscalar_core::automata::Automaton>(depth: u32, bench: &Bench) -> MissStats {
+        let mut p: IdealPath<A> = IdealPath::new(depth);
+        measure_exits(&mut p, &bench.descs, &bench.trace.events)
+    }
+    match kind {
+        AutomatonKind::Vc2Mru => run::<VotingCounters<2, true>>(depth, bench),
+        AutomatonKind::Vc2Random => run::<VotingCounters<2, false>>(depth, bench),
+        AutomatonKind::Leh1 => run::<LastExitHysteresis<1>>(depth, bench),
+        AutomatonKind::Vc3Mru => run::<VotingCounters<3, true>>(depth, bench),
+        AutomatonKind::Vc3Random => run::<VotingCounters<3, false>>(depth, bench),
+        AutomatonKind::Leh2 => run::<LastExitHysteresis<2>>(depth, bench),
+        AutomatonKind::LastExit => run::<LastExit>(depth, bench),
+    }
+}
+
+/// Builds a boxed *real* exit predictor of the given scheme, LEH-2bit, with
+/// the paper's Table 4 sizing (16 KB PHT = 2^15 4-bit entries, depth 7).
+pub fn real_predictor_16kb(scheme: Scheme) -> Box<dyn ExitPredictor> {
+    match scheme {
+        Scheme::Global => Box::new(GlobalPredictor::<LastExitHysteresis<2>>::new(7, 15)),
+        Scheme::Per => Box::new(PerTaskPredictor::<LastExitHysteresis<2>>::new(7, 8, 7)),
+        Scheme::Path => {
+            Box::new(PathPredictor::<LastExitHysteresis<2>>::new(dolc_15bit(7)))
+        }
+    }
+}
+
+/// The paper's Figure 10 ladder of `D-O-L-C (F)` configurations, all with a
+/// 14-bit index (8 KB PHT at 4 bits/entry), one per depth 0..=7.
+///
+/// The depth-7 entry in the paper's figure is illegible in our source; we
+/// substitute `7-4-9-9 (3)` which preserves the 14-bit index (documented in
+/// DESIGN.md).
+pub fn exit_ladder() -> Vec<Dolc> {
+    vec![
+        Dolc::new(0, 0, 0, 14, 1),
+        Dolc::new(1, 0, 7, 7, 1),
+        Dolc::new(2, 4, 5, 5, 1),
+        Dolc::new(3, 6, 8, 8, 2),
+        Dolc::new(4, 5, 6, 7, 2),
+        Dolc::new(5, 4, 6, 6, 2),
+        Dolc::new(6, 5, 8, 9, 3),
+        Dolc::new(7, 4, 9, 9, 3),
+    ]
+}
+
+/// The paper's Figure 12 ladder for the CTTB: 11-bit index (8 KB at
+/// 4 bytes/entry), one per depth 0..=7. These are exactly the
+/// configurations printed in the paper.
+pub fn cttb_ladder() -> Vec<Dolc> {
+    vec![
+        Dolc::new(0, 0, 0, 11, 1),
+        Dolc::new(1, 0, 5, 6, 1),
+        Dolc::new(2, 3, 3, 5, 1),
+        Dolc::new(3, 5, 6, 6, 2),
+        Dolc::new(4, 4, 5, 5, 2),
+        Dolc::new(5, 5, 6, 7, 3),
+        Dolc::new(6, 4, 6, 7, 3),
+        Dolc::new(7, 4, 4, 5, 3),
+    ]
+}
+
+/// A 15-bit-index PATH configuration (16 KB PHT) for the given depth, used
+/// by Table 4.
+pub fn dolc_15bit(depth: u8) -> Dolc {
+    match depth {
+        0 => Dolc::new(0, 0, 0, 15, 1),
+        7 => Dolc::new(7, 5, 7, 8, 3), // (6*5)+7+8 = 45 bits / 3 = 15
+        d => {
+            // Generic construction: spread bits to reach 15 * min(F, ...).
+            let f = 1 + (d as u32 + 1) / 3;
+            let target = 15 * f;
+            let older = if d > 1 { ((target - 16) / (d as u32 - 1)).min(10) as u8 } else { 0 };
+            let rest = target - (d as u32 - 1) * older as u32;
+            let last = (rest / 2) as u8;
+            let current = (rest - last as u32) as u8;
+            Dolc::new(d, older, last, current, f as u8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_have_constant_index_width() {
+        for d in exit_ladder() {
+            assert_eq!(d.index_bits(), 14, "exit ladder must stay at 8 KB: {d}");
+        }
+        for d in cttb_ladder() {
+            assert_eq!(d.index_bits(), 11, "CTTB ladder must stay at 8 KB: {d}");
+        }
+    }
+
+    #[test]
+    fn ladder_depths_are_sequential() {
+        for (i, d) in exit_ladder().iter().enumerate() {
+            assert_eq!(d.depth(), i);
+        }
+        for (i, d) in cttb_ladder().iter().enumerate() {
+            assert_eq!(d.depth(), i);
+        }
+    }
+
+    #[test]
+    fn table4_dolc_is_16kb() {
+        assert_eq!(dolc_15bit(0).index_bits(), 15);
+        assert_eq!(dolc_15bit(7).index_bits(), 15);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::ALL.map(|s| s.name()), ["GLOBAL", "PER", "PATH"]);
+    }
+}

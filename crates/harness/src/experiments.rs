@@ -1,0 +1,475 @@
+//! One function per paper table/figure. Each returns plain data; rendering
+//! lives in [`crate::report`].
+
+use crate::dispatch::{
+    cttb_ladder, dolc_15bit, exit_ladder, measure_ideal, measure_ideal_path_automaton,
+    real_predictor_16kb, Scheme,
+};
+use crate::Bench;
+use multiscalar_core::automata::{AutomatonKind, LastExitHysteresis};
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::ideal::IdealPath;
+use multiscalar_core::predictor::{CttbOnlyPredictor, ExitPredictor, TaskPredictor};
+use multiscalar_core::target::{Cttb, IdealCttb};
+use multiscalar_isa::ExitKind;
+use multiscalar_sim::measure::{
+    measure_cttb_only, measure_exits, measure_full, measure_indirect_targets, MissStats,
+};
+use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig, TimingResult};
+
+type Leh2 = LastExitHysteresis<2>;
+
+/// Depths swept by the history-depth figures (the paper plots 0..=7/8).
+pub const DEPTHS: std::ops::RangeInclusive<u32> = 0..=8;
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// One row of Table 2: benchmark task statistics.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Static tasks in the binary.
+    pub static_tasks: usize,
+    /// Dynamic task instances executed.
+    pub dynamic_tasks: u64,
+    /// Distinct static tasks seen at run time.
+    pub distinct_tasks: usize,
+    /// Dynamic instructions (not in the paper's table; useful context).
+    pub instructions: u64,
+}
+
+/// Reproduces Table 2: benchmarks, inputs and task information.
+pub fn table2(benches: &[Bench]) -> Vec<Table2Row> {
+    benches
+        .iter()
+        .map(|b| Table2Row {
+            name: b.name(),
+            static_tasks: b.tasks.static_task_count(),
+            dynamic_tasks: b.trace.stats.dynamic_tasks,
+            distinct_tasks: b.trace.stats.distinct_tasks,
+            instructions: b.trace.stats.instructions,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 & 4
+// ---------------------------------------------------------------------------
+
+/// Exit-count distribution for one benchmark (Figure 3): fraction of tasks
+/// with 1, 2, 3, 4 exits, statically and dynamically.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `static_frac[k-1]` = fraction of static tasks with `k` exits.
+    pub static_frac: [f64; 4],
+    /// Same, weighted by dynamic execution.
+    pub dynamic_frac: [f64; 4],
+}
+
+/// Reproduces Figure 3: number of exits per task.
+pub fn fig3(benches: &[Bench]) -> Vec<Fig3Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let mut stat = [0u64; 4];
+            for t in b.tasks.tasks() {
+                stat[(t.header().num_exits() - 1).min(3)] += 1;
+            }
+            let total: u64 = stat.iter().sum();
+            let static_frac =
+                std::array::from_fn(|i| stat[i] as f64 / total.max(1) as f64);
+            let dyn_total = b.trace.stats.dynamic_tasks.max(1) as f64;
+            let dynamic_frac = std::array::from_fn(|i| {
+                b.trace.stats.by_num_exits[i + 1] as f64 / dyn_total
+            });
+            Fig3Row { name: b.name(), static_frac, dynamic_frac }
+        })
+        .collect()
+}
+
+/// Exit-kind distribution for one benchmark (Figure 4), in Table 1 order:
+/// branch, call, return, indirect branch, indirect call.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Fraction of *static exit specifiers* of each kind.
+    pub static_frac: [f64; 5],
+    /// Fraction of *dynamic exits* of each kind.
+    pub dynamic_frac: [f64; 5],
+}
+
+/// Reproduces Figure 4: types of exit instructions.
+pub fn fig4(benches: &[Bench]) -> Vec<Fig4Row> {
+    let slot = |k: ExitKind| {
+        ExitKind::TABLE1.iter().position(|&x| x == k)
+    };
+    benches
+        .iter()
+        .map(|b| {
+            let mut stat = [0u64; 5];
+            for t in b.tasks.tasks() {
+                for e in t.header().exits() {
+                    if let Some(i) = slot(e.kind) {
+                        stat[i] += 1;
+                    }
+                }
+            }
+            let stotal: u64 = stat.iter().sum();
+            let static_frac = std::array::from_fn(|i| stat[i] as f64 / stotal.max(1) as f64);
+            let dtotal: u64 = b.trace.stats.by_kind[..5].iter().sum();
+            let dynamic_frac = std::array::from_fn(|i| {
+                b.trace.stats.by_kind[i] as f64 / dtotal.max(1) as f64
+            });
+            Fig4Row { name: b.name(), static_frac, dynamic_frac }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// Miss-rate curve of one automaton across history depths (Figure 6).
+#[derive(Debug, Clone)]
+pub struct Fig6Curve {
+    /// Automaton under test.
+    pub kind: AutomatonKind,
+    /// `miss[d]` = miss rate at history depth `d`.
+    pub miss: Vec<f64>,
+}
+
+/// Reproduces Figure 6: the seven prediction automata under an aggressive
+/// (ideal alias-free) path-based predictor, on the gcc analog.
+pub fn fig6(gcc: &Bench) -> Vec<Fig6Curve> {
+    AutomatonKind::ALL
+        .iter()
+        .map(|&kind| Fig6Curve {
+            kind,
+            miss: DEPTHS
+                .map(|d| measure_ideal_path_automaton(kind, d, gcc).miss_rate())
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// Ideal history-scheme comparison for one benchmark (Figure 7).
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// `miss[d]` = ideal miss rate at depth `d`.
+    pub miss: Vec<f64>,
+}
+
+/// Reproduces Figure 7: ideal (alias-free) GLOBAL vs PER vs PATH across
+/// history depths, for every benchmark.
+pub fn fig7(benches: &[Bench]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for b in benches {
+        for scheme in Scheme::ALL {
+            rows.push(Fig7Row {
+                name: b.name(),
+                scheme,
+                miss: DEPTHS.map(|d| measure_ideal(scheme, d, b).miss_rate()).collect(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// Ideal CTTB miss curve for one benchmark (Figure 8) — indirect branches
+/// and calls only.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `miss[d]` = ideal CTTB miss rate at path depth `d`; depth 0 is the
+    /// plain (ideal, infinite) TTB.
+    pub miss: Vec<f64>,
+    /// Number of indirect-exit events measured.
+    pub events: u64,
+}
+
+/// Reproduces Figure 8: ideal (alias-free) CTTB accuracy vs path depth on
+/// the indirect-heavy benchmarks.
+pub fn fig8(benches: &[Bench]) -> Vec<Fig8Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let mut events = 0;
+            let miss = DEPTHS
+                .map(|d| {
+                    let mut cttb = IdealCttb::new(d as usize);
+                    let s = measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events);
+                    events = s.predictions;
+                    s.miss_rate()
+                })
+                .collect();
+            Fig8Row { name: b.name(), miss, events }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10
+// ---------------------------------------------------------------------------
+
+/// Real-vs-ideal exit prediction for one benchmark (Figure 10).
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The DOLC configurations measured (label of the x axis).
+    pub configs: Vec<Dolc>,
+    /// Real (8 KB PHT) miss rate per configuration.
+    pub real: Vec<f64>,
+    /// Ideal (alias-free) miss rate at the same depth.
+    pub ideal: Vec<f64>,
+}
+
+/// Reproduces Figure 10: real DOLC implementations against the ideal
+/// path-based predictor, 8 KB tables.
+pub fn fig10(benches: &[Bench]) -> Vec<Fig10Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let configs = exit_ladder();
+            let real = configs
+                .iter()
+                .map(|&d| {
+                    let mut p: PathPredictor<Leh2> = PathPredictor::new(d);
+                    measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
+                })
+                .collect();
+            let ideal = configs
+                .iter()
+                .map(|d| {
+                    let mut p: IdealPath<Leh2> = IdealPath::new(d.depth() as u32);
+                    measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
+                })
+                .collect();
+            Fig10Row { name: b.name(), configs, real, ideal }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------------
+
+/// PHT states touched, ideal vs real (Figure 11).
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Distinct (task, path) states seen by the ideal predictor, per depth.
+    pub ideal_states: Vec<usize>,
+    /// Distinct PHT entries touched by the real implementation, per depth.
+    pub real_states: Vec<usize>,
+}
+
+/// Reproduces Figure 11: states touched in the PHT across history depths.
+pub fn fig11(benches: &[Bench]) -> Vec<Fig11Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let mut ideal_states = Vec::new();
+            let mut real_states = Vec::new();
+            for d in exit_ladder() {
+                let mut ideal: IdealPath<Leh2> = IdealPath::new(d.depth() as u32);
+                measure_exits(&mut ideal, &b.descs, &b.trace.events);
+                ideal_states.push(ideal.states());
+                let mut real: PathPredictor<Leh2> = PathPredictor::new(d);
+                measure_exits(&mut real, &b.descs, &b.trace.events);
+                real_states.push(real.states_touched());
+            }
+            Fig11Row { name: b.name(), ideal_states, real_states }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12
+// ---------------------------------------------------------------------------
+
+/// Real-vs-ideal CTTB target prediction for one benchmark (Figure 12).
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The DOLC configurations measured.
+    pub configs: Vec<Dolc>,
+    /// Real (8 KB CTTB) miss rate per configuration.
+    pub real: Vec<f64>,
+    /// Ideal (alias-free) miss rate at the same depth.
+    pub ideal: Vec<f64>,
+}
+
+/// Reproduces Figure 12: real CTTB implementations (8 KB) against the
+/// ideal, for indirect branches and calls.
+pub fn fig12(benches: &[Bench]) -> Vec<Fig12Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let configs = cttb_ladder();
+            let real = configs
+                .iter()
+                .map(|&d| {
+                    let mut c = Cttb::new(d);
+                    measure_indirect_targets(&mut c, &b.descs, &b.trace.events).miss_rate()
+                })
+                .collect();
+            let ideal = configs
+                .iter()
+                .map(|d| {
+                    let mut c = IdealCttb::new(d.depth());
+                    measure_indirect_targets(&mut c, &b.descs, &b.trace.events).miss_rate()
+                })
+                .collect();
+            Fig12Row { name: b.name(), configs, real, ideal }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------------
+
+/// One column of Table 3: next-task-address miss rates for the two
+/// predictor organisations.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// CTTB-only predictor (64 KB storage, 14-bit index, depth 7).
+    pub cttb_only: f64,
+    /// Exit predictor (8 KB PHT) with RAS & small CTTB (8 KB) — 16 KB total.
+    pub exit_with_ras_cttb: f64,
+}
+
+/// Reproduces Table 3: CTTB-only vs exit predictor with RAS & CTTB,
+/// predicting the actual address of the next task.
+pub fn table3(benches: &[Bench]) -> Vec<Table3Row> {
+    benches
+        .iter()
+        .map(|b| {
+            // CTTB-only: 14-bit index, depth 7 → 2^14 entries * 4 B = 64 KB.
+            let mut only = CttbOnlyPredictor::new(Dolc::new(7, 4, 9, 9, 3));
+            let only_stats = measure_cttb_only(&mut only, &b.descs, &b.trace.events);
+
+            // Full predictor: 14-bit exit PHT + RAS(64) + 11-bit CTTB.
+            let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(
+                Dolc::new(7, 4, 9, 9, 3),
+                Dolc::new(7, 4, 4, 5, 3),
+                64,
+            );
+            let full_stats = measure_full(&mut full, &b.descs, &b.trace.events);
+
+            Table3Row {
+                name: b.name(),
+                cttb_only: only_stats.miss_rate(),
+                exit_with_ras_cttb: full_stats.next_task.miss_rate(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4
+// ---------------------------------------------------------------------------
+
+/// IPC results for one benchmark (one column of Table 4).
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC with the Simple (task-address-indexed, depth 0) predictor.
+    pub simple: TimingResult,
+    /// IPC with the GLOBAL scheme.
+    pub global: TimingResult,
+    /// IPC with the PER scheme.
+    pub per: TimingResult,
+    /// IPC with the PATH scheme.
+    pub path: TimingResult,
+    /// IPC with perfect inter-task prediction.
+    pub perfect: TimingResult,
+}
+
+/// Reproduces Table 4: IPC from the timing simulator with Simple / GLOBAL /
+/// PER / PATH / Perfect inter-task prediction. All real predictors use a
+/// 16 KB PHT, depth 7 (depth 0 for Simple), a CTTB for indirects and a RAS
+/// for returns, matching the paper's setup.
+pub fn table4(benches: &[Bench], config: &TimingConfig) -> Vec<Table4Row> {
+    let cttb_cfg = Dolc::new(7, 4, 4, 5, 3);
+    let run_with = |b: &Bench, exit_pred: Box<dyn ExitPredictor>| -> TimingResult {
+        let mut pred = TaskPredictor::new(exit_pred, cttb_cfg, 64);
+        simulate(
+            &b.workload.program,
+            &b.tasks,
+            &b.descs,
+            Some(&mut pred as &mut dyn NextTaskPredictor),
+            config,
+            b.workload.max_steps,
+        )
+        .expect("timing simulation must succeed")
+    };
+
+    benches
+        .iter()
+        .map(|b| {
+            let simple: Box<dyn ExitPredictor> =
+                Box::new(PathPredictor::<Leh2>::new(dolc_15bit(0)));
+            let perfect = simulate(
+                &b.workload.program,
+                &b.tasks,
+                &b.descs,
+                None,
+                config,
+                b.workload.max_steps,
+            )
+            .expect("perfect timing simulation must succeed");
+            Table4Row {
+                name: b.name(),
+                simple: run_with(b, simple),
+                global: run_with(b, real_predictor_16kb(Scheme::Global)),
+                per: run_with(b, real_predictor_16kb(Scheme::Per)),
+                path: run_with(b, real_predictor_16kb(Scheme::Path)),
+                perfect,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the full-predictor miss stats used in several places.
+pub fn full_predictor_stats(b: &Bench) -> multiscalar_sim::measure::FullStats {
+    let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(
+        Dolc::new(7, 4, 9, 9, 3),
+        Dolc::new(7, 4, 4, 5, 3),
+        64,
+    );
+    measure_full(&mut full, &b.descs, &b.trace.events)
+}
+
+/// Convenience: miss stats for a plain (non-correlated) TTB on indirects —
+/// the paper's motivation for the CTTB (59% misses on gcc).
+pub fn ttb_baseline(b: &Bench, index_bits: u32) -> MissStats {
+    let mut ttb = multiscalar_core::target::Ttb::new(index_bits);
+    measure_indirect_targets(&mut ttb, &b.descs, &b.trace.events)
+}

@@ -1,0 +1,341 @@
+//! Extension experiments beyond the paper's artifacts:
+//!
+//! * [`ext_staleness`] — the cost of the paper's §3.1 update-timing
+//!   idealisation, measured with delayed PHT training;
+//! * [`ext_hybrid`] — a PATH/PER tournament predictor against its
+//!   components (the follow-on design Figure 7 invites);
+//! * [`ext_taskform`] — the paper's §3.2 claim that the *relative*
+//!   performance of predictors is consistent across compilations, tested
+//!   by re-partitioning every benchmark with three task-former budgets;
+//! * [`ext_memory`] — the timing simulator's ARB and register-forwarding
+//!   substrate models (violations, overflow stalls, release-at-end cost).
+
+use crate::dispatch::{measure_ideal, Scheme};
+use crate::{prepare, Bench};
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::{PathPredictor, PerTaskPredictor};
+use multiscalar_core::pollution::{PollutedExitAdapter, PollutedPathPredictor};
+use multiscalar_core::stale::StalePathPredictor;
+use multiscalar_core::tournament::TournamentPredictor;
+use multiscalar_sim::measure::{measure_exits, task_descs};
+use multiscalar_sim::timing::{simulate, ForwardingModel, TimingConfig};
+use multiscalar_sim::trace::collect_trace;
+use multiscalar_taskform::{TaskFormConfig, TaskFormer};
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+type Leh2 = LastExitHysteresis<2>;
+
+/// Training delays swept by [`ext_staleness`].
+pub const STALENESS_DELAYS: [usize; 6] = [0, 1, 2, 4, 8, 16];
+
+/// One row of the staleness study.
+#[derive(Debug, Clone)]
+pub struct StalenessRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Miss rate per delay in [`STALENESS_DELAYS`].
+    pub miss: Vec<f64>,
+}
+
+/// Measures how much accuracy delayed (realistic) PHT training costs,
+/// using the paper's 8 KB `6-5-8-9 (3)` PATH configuration.
+pub fn ext_staleness(benches: &[Bench]) -> Vec<StalenessRow> {
+    benches
+        .iter()
+        .map(|b| {
+            let miss = STALENESS_DELAYS
+                .iter()
+                .map(|&d| {
+                    let mut p: StalePathPredictor<Leh2> =
+                        StalePathPredictor::new(Dolc::new(6, 5, 8, 9, 3), d);
+                    measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
+                })
+                .collect();
+            StalenessRow { name: b.name(), miss }
+        })
+        .collect()
+}
+
+/// One row of the hybrid study.
+#[derive(Debug, Clone)]
+pub struct HybridRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Real PATH component alone (8 KB).
+    pub path: f64,
+    /// Real PER component alone (8 KB).
+    pub per: f64,
+    /// The tournament of both (16 KB + 0.25 KB chooser).
+    pub hybrid: f64,
+}
+
+/// Measures the PATH/PER tournament predictor against its components.
+pub fn ext_hybrid(benches: &[Bench]) -> Vec<HybridRow> {
+    benches
+        .iter()
+        .map(|b| {
+            let mut path: PathPredictor<Leh2> = PathPredictor::new(Dolc::new(6, 5, 8, 9, 3));
+            let path_rate = measure_exits(&mut path, &b.descs, &b.trace.events).miss_rate();
+            let mut per: PerTaskPredictor<Leh2> = PerTaskPredictor::new(7, 8, 6);
+            let per_rate = measure_exits(&mut per, &b.descs, &b.trace.events).miss_rate();
+            let mut hybrid = TournamentPredictor::new(
+                PathPredictor::<Leh2>::new(Dolc::new(6, 5, 8, 9, 3)),
+                PerTaskPredictor::<Leh2>::new(7, 8, 6),
+                10,
+            );
+            let hybrid_rate =
+                measure_exits(&mut hybrid, &b.descs, &b.trace.events).miss_rate();
+            HybridRow { name: b.name(), path: path_rate, per: per_rate, hybrid: hybrid_rate }
+        })
+        .collect()
+}
+
+/// Task-former budgets compared by [`ext_taskform`]: small, default, large
+/// tasks.
+pub const TASKFORM_CONFIGS: [(&str, TaskFormConfig); 3] = [
+    ("small (8/2)", TaskFormConfig { max_instrs: 8, max_blocks: 2 }),
+    ("default (32/12)", TaskFormConfig { max_instrs: 32, max_blocks: 12 }),
+    ("large (64/24)", TaskFormConfig { max_instrs: 64, max_blocks: 24 }),
+];
+
+/// One row of the cross-compilation study: miss rates of the three ideal
+/// schemes (depth 7) under one task-former budget.
+#[derive(Debug, Clone)]
+pub struct TaskformRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Former configuration label.
+    pub config: &'static str,
+    /// Dynamic tasks under this partition.
+    pub dynamic_tasks: u64,
+    /// Ideal miss rates at depth 7: `[GLOBAL, PER, PATH]`.
+    pub miss: [f64; 3],
+}
+
+/// Re-partitions every benchmark with three task budgets and re-measures
+/// the three history schemes — the paper's "relative performance of
+/// predictors is very consistent across ... compilations" (§3.2).
+pub fn ext_taskform(params: &WorkloadParams) -> Vec<TaskformRow> {
+    let mut rows = Vec::new();
+    for spec in Spec92::ALL {
+        let w = spec.build(params);
+        for (label, config) in TASKFORM_CONFIGS {
+            let tasks = TaskFormer::new(config).form(&w.program).expect("formation");
+            let trace =
+                collect_trace(&w.program, &tasks, w.max_steps).expect("trace succeeds");
+            let descs = task_descs(&tasks);
+            let bench = Bench {
+                spec,
+                workload: w.clone(),
+                tasks,
+                descs,
+                trace,
+            };
+            let miss = [
+                measure_ideal(Scheme::Global, 7, &bench).miss_rate(),
+                measure_ideal(Scheme::Per, 7, &bench).miss_rate(),
+                measure_ideal(Scheme::Path, 7, &bench).miss_rate(),
+            ];
+            rows.push(TaskformRow {
+                name: spec.name(),
+                config: label,
+                dynamic_tasks: bench.trace.stats.dynamic_tasks,
+                miss,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the memory-substrate study.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC with eager forwarding + default ARB (perfect task prediction).
+    pub eager_ipc: f64,
+    /// IPC with release-at-end register forwarding.
+    pub release_ipc: f64,
+    /// IPC with an ideal (conflict-free) memory system.
+    pub ideal_mem_ipc: f64,
+    /// IPC with a deliberately undersized ARB (1 bank x 4 entries).
+    pub tiny_arb_ipc: f64,
+    /// ARB memory-order violations under the default configuration.
+    pub violations: u64,
+    /// ARB bank-overflow stalls under the default configuration.
+    pub full_stalls: u64,
+    /// ARB bank-overflow stalls under the undersized configuration.
+    pub tiny_full_stalls: u64,
+}
+
+/// Measures the substrate models: register-forwarding policy and the ARB.
+pub fn ext_memory(benches: &[Bench]) -> Vec<MemoryRow> {
+    benches
+        .iter()
+        .map(|b| {
+            let run = |config: &TimingConfig| {
+                simulate(&b.workload.program, &b.tasks, &b.descs, None, config, b.workload.max_steps)
+                    .expect("timing succeeds")
+            };
+            let default = TimingConfig::default();
+            let eager = run(&default);
+            let release =
+                run(&TimingConfig { forwarding: ForwardingModel::ReleaseAtEnd, ..default });
+            let ideal_mem = run(&TimingConfig { arb: None, ..default });
+            let tiny = run(&TimingConfig {
+                arb: Some(multiscalar_sim::arb::ArbConfig {
+                    banks: 1,
+                    entries_per_bank: 4,
+                    stages: 4,
+                }),
+                ..default
+            });
+            MemoryRow {
+                name: b.name(),
+                eager_ipc: eager.ipc(),
+                release_ipc: release.ipc(),
+                ideal_mem_ipc: ideal_mem.ipc(),
+                tiny_arb_ipc: tiny.ipc(),
+                violations: eager.arb_violations,
+                full_stalls: eager.arb_full_stalls,
+                tiny_full_stalls: tiny.arb_full_stalls,
+            }
+        })
+        .collect()
+}
+
+/// Wrong-path excursion depths swept by [`ext_pollution`].
+pub const POLLUTION_DEPTHS: [usize; 4] = [0, 1, 2, 4];
+
+/// One row of the pollution study.
+#[derive(Debug, Clone)]
+pub struct PollutionRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Miss rate per unrepaired wrong-path depth in [`POLLUTION_DEPTHS`].
+    pub unrepaired: Vec<f64>,
+    /// Miss rate with perfect repair (the paper's assumption), depth 4.
+    pub repaired: f64,
+}
+
+/// Measures the paper's second §3.1 idealisation: wrong-path pollution of
+/// the speculative path register, with and without recovery repair.
+pub fn ext_pollution(benches: &[Bench]) -> Vec<PollutionRow> {
+    let dolc = Dolc::new(6, 5, 8, 9, 3);
+    benches
+        .iter()
+        .map(|b| {
+            let run = |depth: usize, repair: bool| {
+                let mut p: PollutedExitAdapter<Leh2> =
+                    PollutedExitAdapter::new(PollutedPathPredictor::new(dolc, depth, repair));
+                measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
+            };
+            PollutionRow {
+                name: b.name(),
+                unrepaired: POLLUTION_DEPTHS.iter().map(|&d| run(d, false)).collect(),
+                repaired: run(4, true),
+            }
+        })
+        .collect()
+}
+
+/// One row of the intra-task predictor ablation.
+#[derive(Debug, Clone)]
+pub struct IntraRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC and intra-task mispredicts per predictor kind
+    /// `[bimodal, gshare, mcfarling]`.
+    pub ipc: [f64; 3],
+    /// Intra-task misprediction counts in the same order.
+    pub mispredicts: [u64; 3],
+}
+
+/// Ablates the processing units' intra-task branch predictor (the paper
+/// uses a bimodal and reports "minimal accuracy loss"; §2.2).
+pub fn ext_intra(benches: &[Bench]) -> Vec<IntraRow> {
+    use multiscalar_sim::timing::IntraPredictorKind;
+    benches
+        .iter()
+        .map(|b| {
+            let run = |kind: IntraPredictorKind| {
+                let config = TimingConfig { intra_predictor: kind, ..TimingConfig::default() };
+                simulate(&b.workload.program, &b.tasks, &b.descs, None, &config, b.workload.max_steps)
+                    .expect("timing succeeds")
+            };
+            let bi = run(IntraPredictorKind::Bimodal);
+            let gs = run(IntraPredictorKind::Gshare);
+            let mc = run(IntraPredictorKind::McFarling);
+            IntraRow {
+                name: b.name(),
+                ipc: [bi.ipc(), gs.ipc(), mc.ipc()],
+                mispredicts: [bi.intra_mispredicts, gs.intra_mispredicts, mc.intra_mispredicts],
+            }
+        })
+        .collect()
+}
+
+/// One row of the confidence-gating study.
+#[derive(Debug, Clone)]
+pub struct ConfidenceRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC with unconditional speculation (PATH predictor).
+    pub always_ipc: f64,
+    /// IPC with CIR confidence gating (threshold 8).
+    pub gated_ipc: f64,
+    /// Fraction of boundaries the gate withheld speculation on.
+    pub gated_frac: f64,
+    /// Task misprediction rate (ungated run).
+    pub miss_rate: f64,
+}
+
+/// Measures confidence-gated speculation (Jacobson/Rotenberg/Smith's CIR
+/// estimator on task predictions): low-confidence boundaries stall instead
+/// of risking a squash.
+pub fn ext_confidence(benches: &[Bench]) -> Vec<ConfidenceRow> {
+    use multiscalar_sim::timing::NextTaskPredictor;
+    benches
+        .iter()
+        .map(|b| {
+            let make = || {
+                multiscalar_core::predictor::TaskPredictor::<PathPredictor<Leh2>>::path(
+                    Dolc::new(7, 5, 7, 8, 3),
+                    Dolc::new(7, 4, 4, 5, 3),
+                    64,
+                )
+            };
+            let run = |config: &TimingConfig| {
+                let mut p = make();
+                simulate(
+                    &b.workload.program,
+                    &b.tasks,
+                    &b.descs,
+                    Some(&mut p as &mut dyn NextTaskPredictor),
+                    config,
+                    b.workload.max_steps,
+                )
+                .expect("timing succeeds")
+            };
+            let default = TimingConfig::default();
+            let always = run(&default);
+            let gated = run(&TimingConfig { confidence_gate: Some(8), ..default });
+            ConfidenceRow {
+                name: b.name(),
+                always_ipc: always.ipc(),
+                gated_ipc: gated.ipc(),
+                gated_frac: gated.gated_boundaries as f64 / gated.dynamic_tasks.max(1) as f64,
+                miss_rate: always.task_miss_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Convenience used by tests: prepare one benchmark and confirm the hybrid
+/// never does much worse than its best component.
+pub fn hybrid_sanity(spec: Spec92, params: &WorkloadParams) -> (f64, f64, f64) {
+    let b = prepare(spec, params);
+    let row = &ext_hybrid(std::slice::from_ref(&b))[0];
+    (row.path, row.per, row.hybrid)
+}

@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: one function per table/figure of the paper,
+//! each returning structured results the CLI (and benches, and tests)
+//! render.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table 2 (task counts) | [`experiments::table2`] |
+//! | Figure 3 (exits per task) | [`experiments::fig3`] |
+//! | Figure 4 (exit kinds) | [`experiments::fig4`] |
+//! | Figure 6 (automata) | [`experiments::fig6`] |
+//! | Figure 7 (ideal history schemes) | [`experiments::fig7`] |
+//! | Figure 8 (ideal CTTB) | [`experiments::fig8`] |
+//! | Figure 10 (real vs ideal exit prediction) | [`experiments::fig10`] |
+//! | Figure 11 (PHT states touched) | [`experiments::fig11`] |
+//! | Figure 12 (real vs ideal CTTB) | [`experiments::fig12`] |
+//! | Table 3 (CTTB-only vs full predictor) | [`experiments::table3`] |
+//! | Table 4 (IPC) | [`experiments::table4`] |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use multiscalar_harness::{prepare, experiments};
+//! use multiscalar_workloads::{Spec92, WorkloadParams};
+//!
+//! let bench = prepare(Spec92::Compress, &WorkloadParams::small(1));
+//! let rows = experiments::table2(std::slice::from_ref(&bench));
+//! println!("{} dynamic tasks", rows[0].dynamic_tasks);
+//! ```
+
+pub mod csv;
+pub mod dispatch;
+pub mod verify;
+pub mod experiments;
+pub mod extensions;
+pub mod report;
+
+use multiscalar_core::predictor::TaskDesc;
+use multiscalar_sim::{measure, trace, TraceRun};
+use multiscalar_taskform::{TaskFormer, TaskProgram};
+use multiscalar_workloads::{Spec92, Workload, WorkloadParams};
+
+/// A fully prepared benchmark: program, task partition, predictor-facing
+/// task descriptions and the complete functional trace.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Which SPEC92 analog this is.
+    pub spec: Spec92,
+    /// The generated workload.
+    pub workload: Workload,
+    /// The task partition.
+    pub tasks: TaskProgram,
+    /// Per-task predictor-facing descriptions (indexed by task id).
+    pub descs: Vec<TaskDesc>,
+    /// The functional trace.
+    pub trace: TraceRun,
+}
+
+impl Bench {
+    /// Benchmark name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        self.spec.name()
+    }
+}
+
+/// Builds, task-forms and traces one benchmark.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build, form or execute — these are
+/// generator invariants, not user errors.
+pub fn prepare(spec: Spec92, params: &WorkloadParams) -> Bench {
+    let workload = spec.build(params);
+    let tasks = TaskFormer::default()
+        .form(&workload.program)
+        .unwrap_or_else(|e| panic!("{spec}: task formation failed: {e}"));
+    let descs = measure::task_descs(&tasks);
+    let trace = trace::collect_trace(&workload.program, &tasks, workload.max_steps)
+        .unwrap_or_else(|e| panic!("{spec}: trace failed: {e}"));
+    Bench { spec, workload, tasks, descs, trace }
+}
+
+/// Prepares all five benchmarks.
+pub fn prepare_all(params: &WorkloadParams) -> Vec<Bench> {
+    Spec92::ALL.iter().map(|&s| prepare(s, params)).collect()
+}

@@ -1,0 +1,214 @@
+//! `harness` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! harness <experiment> [--seed N] [--scale N] [--bench NAME]
+//!
+//! experiments: table2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig12
+//!              table3 table4 all
+//! ```
+
+use multiscalar_harness::{experiments, extensions, prepare, prepare_all, report, Bench};
+use multiscalar_sim::timing::TimingConfig;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    params: WorkloadParams,
+    bench: Option<Spec92>,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut params = WorkloadParams::standard(0xC0FFEE);
+    let mut bench = None;
+    let mut csv_dir = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => params.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--scale" => {
+                params.scale = value()?.parse().map_err(|e| format!("bad scale: {e}"))?
+            }
+            "--bench" => {
+                let name = value()?;
+                bench = Some(
+                    Spec92::from_name(&name).ok_or(format!("unknown benchmark `{name}`"))?,
+                );
+            }
+            "--csv" => csv_dir = Some(std::path::PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Args { experiment, params, bench, csv_dir })
+}
+
+fn usage() -> String {
+    "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
+     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify> [--seed N] [--scale N] [--bench NAME] [--csv DIR]"
+        .to_string()
+}
+
+fn benches_for(args: &Args) -> Vec<Bench> {
+    match args.bench {
+        Some(s) => vec![prepare(s, &args.params)],
+        None => prepare_all(&args.params),
+    }
+}
+
+fn benches_subset(args: &Args, wanted: &[Spec92]) -> Vec<Bench> {
+    match args.bench {
+        Some(s) => vec![prepare(s, &args.params)],
+        None => wanted.iter().map(|&s| prepare(s, &args.params)).collect(),
+    }
+}
+
+/// Writes every experiment's CSV into `dir`.
+fn write_all_csv(args: &Args, dir: &std::path::Path) -> std::io::Result<()> {
+    use multiscalar_harness::csv;
+    std::fs::create_dir_all(dir)?;
+    let benches = benches_for(args);
+    let two = benches_subset(args, &[Spec92::Gcc, Spec92::Xlisp]);
+    let eleven = benches_subset(args, &[Spec92::Gcc, Spec92::Espresso]);
+    let gcc = prepare(args.bench.unwrap_or(Spec92::Gcc), &args.params);
+
+    let files: Vec<(&str, String)> = vec![
+        ("table2.csv", csv::table2(&experiments::table2(&benches))),
+        ("fig3.csv", csv::fig3(&experiments::fig3(&benches))),
+        ("fig4.csv", csv::fig4(&experiments::fig4(&benches))),
+        ("fig6.csv", csv::fig6(&experiments::fig6(&gcc))),
+        ("fig7.csv", csv::fig7(&experiments::fig7(&benches))),
+        ("fig8.csv", csv::fig8(&experiments::fig8(&two))),
+        ("fig10.csv", csv::fig10(&experiments::fig10(&benches))),
+        ("fig11.csv", csv::fig11(&experiments::fig11(&eleven))),
+        ("fig12.csv", csv::fig12(&experiments::fig12(&two))),
+        ("table3.csv", csv::table3(&experiments::table3(&benches))),
+        (
+            "table4.csv",
+            csv::table4(&experiments::table4(&benches, &TimingConfig::default())),
+        ),
+        ("ext_staleness.csv", csv::staleness(&extensions::ext_staleness(&benches))),
+        ("ext_pollution.csv", csv::pollution(&extensions::ext_pollution(&benches))),
+    ];
+    for (name, contents) in files {
+        std::fs::write(dir.join(name), contents)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run_one = |name: &str| -> Option<String> {
+        Some(match name {
+            "table2" => report::render_table2(&experiments::table2(&benches_for(&args))),
+            "fig3" => report::render_fig3(&experiments::fig3(&benches_for(&args))),
+            "fig4" => report::render_fig4(&experiments::fig4(&benches_for(&args))),
+            "fig6" => {
+                let gcc = prepare(args.bench.unwrap_or(Spec92::Gcc), &args.params);
+                report::render_fig6(&experiments::fig6(&gcc))
+            }
+            "fig7" => report::render_fig7(&experiments::fig7(&benches_for(&args))),
+            "fig8" => {
+                // The paper studies the two indirect-heavy benchmarks.
+                let b = benches_subset(&args, &[Spec92::Gcc, Spec92::Xlisp]);
+                report::render_fig8(&experiments::fig8(&b))
+            }
+            "fig10" => report::render_fig10(&experiments::fig10(&benches_for(&args))),
+            "fig11" => {
+                let b = benches_subset(&args, &[Spec92::Gcc, Spec92::Espresso]);
+                report::render_fig11(&experiments::fig11(&b))
+            }
+            "fig12" => {
+                let b = benches_subset(&args, &[Spec92::Gcc, Spec92::Xlisp]);
+                report::render_fig12(&experiments::fig12(&b))
+            }
+            "table3" => report::render_table3(&experiments::table3(&benches_for(&args))),
+            "ext-staleness" => {
+                report::render_staleness(&extensions::ext_staleness(&benches_for(&args)))
+            }
+            "ext-hybrid" => report::render_hybrid(&extensions::ext_hybrid(&benches_for(&args))),
+            "ext-taskform" => {
+                report::render_taskform(&extensions::ext_taskform(&args.params))
+            }
+            "ext-memory" => report::render_memory(&extensions::ext_memory(&benches_for(&args))),
+            "ext-confidence" => {
+                report::render_confidence(&extensions::ext_confidence(&benches_for(&args)))
+            }
+            "ext-intra" => report::render_intra(&extensions::ext_intra(&benches_for(&args))),
+            "ext-pollution" => {
+                report::render_pollution(&extensions::ext_pollution(&benches_for(&args)))
+            }
+
+            "table4" => report::render_table4(&experiments::table4(
+                &benches_for(&args),
+                &TimingConfig::default(),
+            )),
+            _ => return None,
+        })
+    };
+
+    if args.experiment == "all" {
+        for name in [
+            "table2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12",
+            "table3", "table4",
+        ] {
+            println!("{}", run_one(name).expect("known experiment"));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.experiment == "verify" {
+        let claims = multiscalar_harness::verify::verify(&args.params);
+        println!("{}", multiscalar_harness::verify::render(&claims));
+        return if multiscalar_harness::verify::all_hold(&claims) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if args.experiment == "csv" {
+        let dir = args
+            .csv_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        if let Err(e) = write_all_csv(&args, &dir) {
+            eprintln!("csv export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote CSV results to {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.experiment == "ext" {
+        for name in [
+            "ext-staleness",
+            "ext-hybrid",
+            "ext-taskform",
+            "ext-memory",
+            "ext-confidence",
+            "ext-intra",
+            "ext-pollution",
+        ] {
+            println!("{}", run_one(name).expect("known experiment"));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match run_one(&args.experiment) {
+        Some(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown experiment `{}`\n{}", args.experiment, usage());
+            ExitCode::FAILURE
+        }
+    }
+}

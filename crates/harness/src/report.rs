@@ -1,0 +1,439 @@
+//! Plain-text rendering of experiment results, in the layout of the
+//! paper's tables and figures.
+
+use crate::experiments::*;
+use multiscalar_isa::ExitKind;
+use std::fmt::Write;
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 2: Benchmarks and Task Information");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>14} {:>16} {:>14}",
+        "Benchmark", "Static Tasks", "Dynamic Tasks", "Distinct Seen", "Instructions"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>12} {:>14} {:>16} {:>14}",
+            r.name, r.static_tasks, r.dynamic_tasks, r.distinct_tasks, r.instructions
+        );
+    }
+    s
+}
+
+/// Renders Figure 3 (exits per task, static & dynamic).
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 3: Number of Exits per Task (fraction of tasks)");
+    let _ = writeln!(
+        s,
+        "{:<10} {:<8} {:>9} {:>9} {:>9} {:>9}",
+        "Benchmark", "View", "1 exit", "2 exits", "3 exits", "4 exits"
+    );
+    for r in rows {
+        for (view, f) in [("static", &r.static_frac), ("dynamic", &r.dynamic_frac)] {
+            let _ = writeln!(
+                s,
+                "{:<10} {:<8} {:>9} {:>9} {:>9} {:>9}",
+                r.name,
+                view,
+                pct(f[0]),
+                pct(f[1]),
+                pct(f[2]),
+                pct(f[3])
+            );
+        }
+    }
+    s
+}
+
+/// Renders Figure 4 (exit kinds, static & dynamic).
+pub fn render_fig4(rows: &[Fig4Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 4: Types of Exit Instructions (fraction of exits)");
+    let _ = writeln!(
+        s,
+        "{:<10} {:<8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "Benchmark", "View", "branch", "call", "return", "ind.br", "ind.call"
+    );
+    for r in rows {
+        for (view, f) in [("static", &r.static_frac), ("dynamic", &r.dynamic_frac)] {
+            let _ = writeln!(
+                s,
+                "{:<10} {:<8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+                r.name,
+                view,
+                pct(f[0]),
+                pct(f[1]),
+                pct(f[2]),
+                pct(f[3]),
+                pct(f[4])
+            );
+        }
+    }
+    let _ = writeln!(s, "(kind order: {:?})", ExitKind::TABLE1.map(|k| k.to_string()));
+    s
+}
+
+/// Renders Figure 6 (automata comparison on gcc).
+pub fn render_fig6(curves: &[Fig6Curve]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 6: Prediction Automata (ideal PATH indexing, gcc), miss rate");
+    let _ = write!(s, "{:<18}", "Automaton");
+    for d in DEPTHS {
+        let _ = write!(s, " {:>7}", format!("d={d}"));
+    }
+    let _ = writeln!(s);
+    for c in curves {
+        let _ = write!(s, "{:<18}", c.kind.name());
+        for m in &c.miss {
+            let _ = write!(s, " {:>7}", pct(*m));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Renders Figure 7 (ideal history schemes).
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 7: Ideal (alias-free) Prediction, miss rate vs history depth");
+    let _ = write!(s, "{:<10} {:<8}", "Benchmark", "Scheme");
+    for d in DEPTHS {
+        let _ = write!(s, " {:>7}", format!("d={d}"));
+    }
+    let _ = writeln!(s);
+    for r in rows {
+        let _ = write!(s, "{:<10} {:<8}", r.name, r.scheme.name());
+        for m in &r.miss {
+            let _ = write!(s, " {:>7}", pct(*m));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Renders Figure 8 (ideal CTTB).
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 8: Ideal (alias-free) CTTB, indirect-target miss rate");
+    let _ = write!(s, "{:<10} {:>10}", "Benchmark", "indirects");
+    for d in DEPTHS {
+        let _ = write!(s, " {:>7}", format!("d={d}"));
+    }
+    let _ = writeln!(s);
+    for r in rows {
+        let _ = write!(s, "{:<10} {:>10}", r.name, r.events);
+        for m in &r.miss {
+            let _ = write!(s, " {:>7}", pct(*m));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Renders Figure 10 (real vs ideal exit prediction).
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 10: Real (8 KB PHT) vs Ideal Exit Prediction, miss rate");
+    for r in rows {
+        let _ = writeln!(s, "{}:", r.name);
+        let _ = writeln!(s, "  {:<16} {:>8} {:>8}", "DOLC (F)", "real", "ideal");
+        for (i, cfg) in r.configs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  {:<16} {:>8} {:>8}",
+                cfg.to_string(),
+                pct(r.real[i]),
+                pct(r.ideal[i])
+            );
+        }
+    }
+    s
+}
+
+/// Renders Figure 11 (PHT states touched).
+pub fn render_fig11(rows: &[Fig11Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 11: States Touched in the PHT (ideal vs real)");
+    for r in rows {
+        let _ = writeln!(s, "{}:", r.name);
+        let _ = writeln!(s, "  {:<8} {:>12} {:>12}", "depth", "ideal", "real");
+        for (d, (i, re)) in r.ideal_states.iter().zip(&r.real_states).enumerate() {
+            let _ = writeln!(s, "  {:<8} {:>12} {:>12}", d, i, re);
+        }
+    }
+    s
+}
+
+/// Renders Figure 12 (real vs ideal CTTB).
+pub fn render_fig12(rows: &[Fig12Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 12: Real (8 KB) vs Ideal CTTB, indirect-target miss rate");
+    for r in rows {
+        let _ = writeln!(s, "{}:", r.name);
+        let _ = writeln!(s, "  {:<16} {:>8} {:>8}", "DOLC (F)", "real", "ideal");
+        for (i, cfg) in r.configs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  {:<16} {:>8} {:>8}",
+                cfg.to_string(),
+                pct(r.real[i]),
+                pct(r.ideal[i])
+            );
+        }
+    }
+    s
+}
+
+/// Renders Table 3 (CTTB-only vs exit predictor with RAS & CTTB).
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 3: Next-Task-Address Miss Rates");
+    let _ = writeln!(
+        s,
+        "{:<34} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Prediction Method",
+        rows.first().map_or("gcc", |_| "gcc"),
+        "compr",
+        "espr",
+        "sc",
+        "xlisp"
+    );
+    let find = |n: &str| rows.iter().find(|r| r.name == n);
+    let fmt_row = |label: &str, f: &dyn Fn(&Table3Row) -> f64| {
+        let mut line = format!("{label:<34}");
+        for n in ["gcc", "compress", "espresso", "sc", "xlisp"] {
+            match find(n) {
+                Some(r) => line.push_str(&format!(" {:>8}", pct(f(r)))),
+                None => line.push_str(&format!(" {:>8}", "-")),
+            }
+        }
+        line
+    };
+    let _ = writeln!(s, "{}", fmt_row("CTTB-only (64 KB)", &|r| r.cttb_only));
+    let _ = writeln!(
+        s,
+        "{}",
+        fmt_row("Exit pred + RAS & CTTB (16 KB)", &|r| r.exit_with_ras_cttb)
+    );
+    s
+}
+
+/// A labelled column extractor for Table 4 rendering.
+type Table4Col = (&'static str, fn(&Table4Row) -> f64);
+
+/// Renders Table 4 (IPC).
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 4: IPC from the timing simulator");
+    let _ = write!(s, "{:<10}", "Predictor");
+    for r in rows {
+        let _ = write!(s, " {:>9}", r.name);
+    }
+    let _ = writeln!(s);
+    let lines: [Table4Col; 5] = [
+        ("Simple", |r| r.simple.ipc()),
+        ("GLOBAL", |r| r.global.ipc()),
+        ("PER", |r| r.per.ipc()),
+        ("PATH", |r| r.path.ipc()),
+        ("Perfect", |r| r.perfect.ipc()),
+    ];
+    for (label, f) in lines {
+        let _ = write!(s, "{label:<10}");
+        for r in rows {
+            let _ = write!(s, " {:>9.2}", f(r));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "\nTask misprediction rates (per dynamic task):");
+    let _ = write!(s, "{:<10}", "");
+    for r in rows {
+        let _ = write!(s, " {:>9}", r.name);
+    }
+    let _ = writeln!(s);
+    let miss_lines: [Table4Col; 4] = [
+        ("Simple", |r| r.simple.task_miss_rate()),
+        ("GLOBAL", |r| r.global.task_miss_rate()),
+        ("PER", |r| r.per.task_miss_rate()),
+        ("PATH", |r| r.path.task_miss_rate()),
+    ];
+    for (label, f) in miss_lines {
+        let _ = write!(s, "{label:<10}");
+        for r in rows {
+            let _ = write!(s, " {:>9}", pct(f(r)));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// extension experiments
+// ---------------------------------------------------------------------------
+
+use crate::extensions::{
+    ConfidenceRow, HybridRow, IntraRow, MemoryRow, PollutionRow, StalenessRow,
+    TaskformRow, POLLUTION_DEPTHS, STALENESS_DELAYS,
+};
+
+/// Renders the update-staleness study.
+pub fn render_staleness(rows: &[StalenessRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Extension: PHT training delay (the paper's §3.1 idealisation)");
+    let _ = write!(s, "{:<10}", "Benchmark");
+    for d in STALENESS_DELAYS {
+        let _ = write!(s, " {:>9}", format!("delay={d}"));
+    }
+    let _ = writeln!(s);
+    for r in rows {
+        let _ = write!(s, "{:<10}", r.name);
+        for m in &r.miss {
+            let _ = write!(s, " {:>9}", pct(*m));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Renders the tournament-predictor study.
+pub fn render_hybrid(rows: &[HybridRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Extension: PATH/PER tournament, exit miss rates");
+    let _ = writeln!(s, "{:<10} {:>9} {:>9} {:>9}", "Benchmark", "PATH", "PER", "hybrid");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>9} {:>9} {:>9}",
+            r.name,
+            pct(r.path),
+            pct(r.per),
+            pct(r.hybrid)
+        );
+    }
+    s
+}
+
+/// Renders the cross-compilation (task-former budget) study.
+pub fn render_taskform(rows: &[TaskformRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Extension: predictor ordering across task-former budgets (paper §3.2)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<10} {:<17} {:>11} {:>9} {:>9} {:>9}",
+        "Benchmark", "Former", "dyn.tasks", "GLOBAL", "PER", "PATH"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<17} {:>11} {:>9} {:>9} {:>9}",
+            r.name,
+            r.config,
+            r.dynamic_tasks,
+            pct(r.miss[0]),
+            pct(r.miss[1]),
+            pct(r.miss[2])
+        );
+    }
+    s
+}
+
+/// Renders the memory-substrate study.
+pub fn render_memory(rows: &[MemoryRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Extension: memory substrate (ARB + register forwarding), perfect prediction");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>10} {:>12} {:>11} {:>11} {:>11} {:>12}",
+        "Benchmark", "eager IPC", "release IPC", "idealM IPC", "tinyARB IPC", "violations", "tiny-stalls"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10.2} {:>12.2} {:>11.2} {:>11.2} {:>11} {:>12}",
+            r.name,
+            r.eager_ipc,
+            r.release_ipc,
+            r.ideal_mem_ipc,
+            r.tiny_arb_ipc,
+            r.violations,
+            r.tiny_full_stalls
+        );
+    }
+    s
+}
+
+/// Renders the confidence-gating study.
+pub fn render_confidence(rows: &[ConfidenceRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Extension: confidence-gated speculation (CIR threshold 8, PATH predictor)");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>11} {:>10} {:>11} {:>10}",
+        "Benchmark", "always IPC", "gated IPC", "gated frac", "miss rate"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>11.2} {:>10.2} {:>11} {:>10}",
+            r.name,
+            r.always_ipc,
+            r.gated_ipc,
+            pct(r.gated_frac),
+            pct(r.miss_rate)
+        );
+    }
+    s
+}
+
+/// Renders the intra-task predictor ablation.
+pub fn render_intra(rows: &[IntraRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Extension: intra-task branch predictor ablation (perfect task prediction)");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>12} {:>13} {:>14}",
+        "Benchmark", "bimodal IPC", "gshare IPC", "mcfarl. IPC", "bimodal misses"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>12.2} {:>12.2} {:>13.2} {:>14}",
+            r.name, r.ipc[0], r.ipc[1], r.ipc[2], r.mispredicts[0]
+        );
+    }
+    s
+}
+
+/// Renders the wrong-path pollution study.
+pub fn render_pollution(rows: &[PollutionRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Extension: wrong-path path-register pollution (the paper's other §3.1 idealisation)"
+    );
+    let _ = write!(s, "{:<10}", "Benchmark");
+    for d in POLLUTION_DEPTHS {
+        let _ = write!(s, " {:>10}", format!("unrep d={d}"));
+    }
+    let _ = writeln!(s, " {:>11}", "repaired d=4");
+    for r in rows {
+        let _ = write!(s, "{:<10}", r.name);
+        for m in &r.unrepaired {
+            let _ = write!(s, " {:>10}", pct(*m));
+        }
+        let _ = writeln!(s, " {:>11}", pct(r.repaired));
+    }
+    s
+}

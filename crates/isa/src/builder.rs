@@ -1,0 +1,545 @@
+//! An assembler-like builder for [`Program`]s with labels, forward
+//! references and label-valued data (jump tables, function-pointer tables).
+
+use crate::inst::{AluOp, Cond, Instruction, Reg, NUM_REGS};
+use crate::program::{Addr, FuncId, Function, Program};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An abstract code position that can be referenced before it is bound.
+///
+/// Labels are created by [`ProgramBuilder::new_label`] (or implicitly by
+/// [`ProgramBuilder::begin_function`] / [`ProgramBuilder::here_label`]) and
+/// attached to the next emitted instruction with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Errors produced by [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel(Label),
+    /// Two functions share the same name.
+    DuplicateFunction(String),
+    /// `begin_function` was called before the previous `end_function`.
+    NestedFunction,
+    /// Instructions were emitted outside any function.
+    CodeOutsideFunction,
+    /// `finish` called while a function is still open.
+    UnclosedFunction,
+    /// A function's last instruction can fall through past its end.
+    FallsOffEnd(String),
+    /// A function contains no instructions.
+    EmptyFunction(String),
+    /// An instruction names a register `>= 32`.
+    InvalidRegister(Reg),
+    /// The program has no functions at all.
+    NoFunctions,
+    /// The entry label does not mark a function entry.
+    EntryNotFunction,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            BuildError::DuplicateFunction(n) => write!(f, "duplicate function name `{n}`"),
+            BuildError::NestedFunction => f.write_str("begin_function inside an open function"),
+            BuildError::CodeOutsideFunction => f.write_str("instruction emitted outside a function"),
+            BuildError::UnclosedFunction => f.write_str("finish called with an open function"),
+            BuildError::FallsOffEnd(n) => write!(f, "function `{n}` can fall off its end"),
+            BuildError::EmptyFunction(n) => write!(f, "function `{n}` is empty"),
+            BuildError::InvalidRegister(r) => write!(f, "invalid register {r}"),
+            BuildError::NoFunctions => f.write_str("program has no functions"),
+            BuildError::EntryNotFunction => f.write_str("entry label is not a function entry"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Pending reference to a label from a code or data slot.
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// Patch the target of the instruction at this code index.
+    Code(u32),
+    /// Patch the data word at this index with the label's address.
+    Data(u32),
+}
+
+/// Builds a [`Program`] incrementally.
+///
+/// See the [crate-level example](crate) for typical use. The builder is a
+/// consuming-state machine: emit instructions between `begin_function` /
+/// `end_function` pairs, then call [`ProgramBuilder::finish`].
+///
+/// # Example
+///
+/// ```
+/// use multiscalar_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// let main = b.begin_function("main");
+/// b.load_imm(Reg(0), 7);
+/// b.halt();
+/// b.end_function();
+/// let program = b.finish(main)?;
+/// assert_eq!(program.len(), 2);
+/// # Ok::<(), multiscalar_isa::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Instruction>,
+    labels: Vec<Option<u32>>,
+    fixups: HashMap<u32, Vec<Fixup>>, // label index -> slots to patch
+    functions: Vec<(String, u32, u32)>, // name, start, end (end set at end_function)
+    open_function: Option<(String, u32, Label)>,
+    function_entries: HashMap<u32, u32>, // label index -> function index
+    data: Vec<u32>,
+    indirect_target_labels: Vec<(u32, Vec<Label>)>,
+    errors: Vec<BuildError>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current emission address (the address the next instruction will get).
+    pub fn here(&self) -> Addr {
+        Addr(self.code.len() as u32)
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder logic error).
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.code.len() as u32);
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Opens a new function with the given name and returns its entry label.
+    ///
+    /// Functions may not nest; close each with
+    /// [`ProgramBuilder::end_function`] before opening the next.
+    pub fn begin_function(&mut self, name: &str) -> Label {
+        if self.open_function.is_some() {
+            self.errors.push(BuildError::NestedFunction);
+        }
+        let entry = self.here_label();
+        self.function_entries
+            .insert(entry.0, self.functions.len() as u32);
+        self.open_function = Some((name.to_string(), self.code.len() as u32, entry));
+        entry
+    }
+
+    /// Closes the currently open function.
+    pub fn end_function(&mut self) {
+        match self.open_function.take() {
+            Some((name, start, _)) => {
+                let end = self.code.len() as u32;
+                self.functions.push((name, start, end));
+            }
+            None => self.errors.push(BuildError::CodeOutsideFunction),
+        }
+    }
+
+    fn check_reg(&mut self, r: Reg) {
+        if r.index() >= NUM_REGS {
+            self.errors.push(BuildError::InvalidRegister(r));
+        }
+    }
+
+    fn emit(&mut self, i: Instruction) {
+        if self.open_function.is_none() {
+            self.errors.push(BuildError::CodeOutsideFunction);
+        }
+        for r in i.sources() {
+            self.check_reg(r);
+        }
+        if let Some(r) = i.dest() {
+            self.check_reg(r);
+        }
+        self.code.push(i);
+    }
+
+    fn emit_with_label_target(&mut self, i: Instruction, label: Label) {
+        let at = self.code.len() as u32;
+        self.emit(i);
+        match self.labels[label.0 as usize] {
+            Some(addr) => self.patch_code(at, addr),
+            None => self.fixups.entry(label.0).or_default().push(Fixup::Code(at)),
+        }
+    }
+
+    fn patch_code(&mut self, at: u32, addr: u32) {
+        match &mut self.code[at as usize] {
+            Instruction::Branch { target, .. }
+            | Instruction::Jump { target }
+            | Instruction::Call { target } => *target = Addr(addr),
+            other => unreachable!("fixup on non-target instruction {other:?}"),
+        }
+    }
+
+    // --- instruction emitters -------------------------------------------
+
+    /// Emits `rd = op(rs1, rs2)`.
+    pub fn op(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instruction::Op { op, rd, rs1, rs2 });
+    }
+
+    /// Emits `rd = op(rs1, imm)`.
+    pub fn op_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instruction::OpImm { op, rd, rs1, imm });
+    }
+
+    /// Emits `rd = imm`.
+    pub fn load_imm(&mut self, rd: Reg, imm: i32) {
+        self.emit(Instruction::LoadImm { rd, imm });
+    }
+
+    /// Emits a word load `rd = mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.emit(Instruction::Load { rd, base, offset });
+    }
+
+    /// Emits a word store `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.emit(Instruction::Store { src, base, offset });
+    }
+
+    /// Emits a conditional branch to `target`.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_with_label_target(
+            Instruction::Branch { cond, rs1, rs2, target: Addr(u32::MAX) },
+            target,
+        );
+    }
+
+    /// Emits an unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) {
+        self.emit_with_label_target(Instruction::Jump { target: Addr(u32::MAX) }, target);
+    }
+
+    /// Emits an indirect jump through `rs` (an `INDIRECT_BRANCH`).
+    pub fn jump_indirect(&mut self, rs: Reg) {
+        self.emit(Instruction::JumpIndirect { rs });
+    }
+
+    /// Emits an indirect jump and records the set of possible targets
+    /// (typically the labels of a jump table built with
+    /// [`ProgramBuilder::alloc_label_table`]). The control-flow graph uses
+    /// this metadata to make switch case blocks reachable.
+    pub fn jump_indirect_with_targets(&mut self, rs: Reg, targets: &[Label]) {
+        let pc = self.code.len() as u32;
+        self.emit(Instruction::JumpIndirect { rs });
+        self.indirect_target_labels.push((pc, targets.to_vec()));
+    }
+
+    /// Emits an indirect call and records the set of possible callees
+    /// (function entry labels).
+    pub fn call_indirect_with_targets(&mut self, rs: Reg, targets: &[Label]) {
+        let pc = self.code.len() as u32;
+        self.emit(Instruction::CallIndirect { rs });
+        self.indirect_target_labels.push((pc, targets.to_vec()));
+    }
+
+    /// Emits a direct call to the function whose entry is `target`.
+    pub fn call_label(&mut self, target: Label) {
+        self.emit_with_label_target(Instruction::Call { target: Addr(u32::MAX) }, target);
+    }
+
+    /// Emits an indirect call through `rs` (an `INDIRECT_CALL`).
+    pub fn call_indirect(&mut self, rs: Reg) {
+        self.emit(Instruction::CallIndirect { rs });
+    }
+
+    /// Emits a subroutine return.
+    pub fn ret(&mut self) {
+        self.emit(Instruction::Return);
+    }
+
+    /// Emits a program halt.
+    pub fn halt(&mut self) {
+        self.emit(Instruction::Halt);
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Instruction::Nop);
+    }
+
+    // --- data segment ----------------------------------------------------
+
+    /// Appends `words` to the data segment and returns the word address of
+    /// the first one.
+    pub fn alloc_data(&mut self, words: &[u32]) -> u32 {
+        let at = self.data.len() as u32;
+        self.data.extend_from_slice(words);
+        at
+    }
+
+    /// Appends `n` zero words to the data segment and returns the address of
+    /// the first one.
+    pub fn alloc_zeroed(&mut self, n: usize) -> u32 {
+        let at = self.data.len() as u32;
+        self.data.resize(self.data.len() + n, 0);
+        at
+    }
+
+    /// Appends a table of code addresses (one word per label) to the data
+    /// segment — the building block for `switch` jump tables and
+    /// function-pointer tables. Labels may still be unbound; they are
+    /// patched at [`ProgramBuilder::finish`].
+    pub fn alloc_label_table(&mut self, labels: &[Label]) -> u32 {
+        let at = self.data.len() as u32;
+        for (i, l) in labels.iter().enumerate() {
+            let slot = at + i as u32;
+            self.data.push(u32::MAX);
+            match self.labels[l.0 as usize] {
+                Some(addr) => self.data[slot as usize] = addr,
+                None => self.fixups.entry(l.0).or_default().push(Fixup::Data(slot)),
+            }
+        }
+        at
+    }
+
+    /// Total number of data words allocated so far.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    // --- finish ------------------------------------------------------------
+
+    /// Resolves all labels and validates the program.
+    ///
+    /// `entry` must be the entry label of some function (as returned by
+    /// [`ProgramBuilder::begin_function`]); execution starts there.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered: unbound labels,
+    /// duplicate or empty functions, code outside functions, functions whose
+    /// last instruction can fall through, or invalid registers.
+    pub fn finish(mut self, entry: Label) -> Result<Program, BuildError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        if self.open_function.is_some() {
+            return Err(BuildError::UnclosedFunction);
+        }
+        if self.functions.is_empty() {
+            return Err(BuildError::NoFunctions);
+        }
+
+        // Resolve fixups.
+        let fixups = std::mem::take(&mut self.fixups);
+        for (label_idx, slots) in fixups {
+            let addr = self.labels[label_idx as usize]
+                .ok_or(BuildError::UnboundLabel(Label(label_idx)))?;
+            for slot in slots {
+                match slot {
+                    Fixup::Code(at) => self.patch_code(at, addr),
+                    Fixup::Data(at) => self.data[at as usize] = addr,
+                }
+            }
+        }
+
+        // Validate functions.
+        let mut seen = std::collections::HashSet::new();
+        for (name, start, end) in &self.functions {
+            if !seen.insert(name.clone()) {
+                return Err(BuildError::DuplicateFunction(name.clone()));
+            }
+            if start == end {
+                return Err(BuildError::EmptyFunction(name.clone()));
+            }
+            let last = self.code[(*end - 1) as usize];
+            if !last.is_unconditional_transfer() {
+                return Err(BuildError::FallsOffEnd(name.clone()));
+            }
+        }
+
+        // Entry must be a bound function entry.
+        let entry_fn = *self
+            .function_entries
+            .get(&entry.0)
+            .ok_or(BuildError::EntryNotFunction)?;
+        if entry_fn as usize >= self.functions.len() {
+            return Err(BuildError::EntryNotFunction);
+        }
+
+        let functions = self
+            .functions
+            .into_iter()
+            .map(|(name, start, end)| Function::new(name, start..end))
+            .collect();
+
+        // Resolve indirect-target metadata.
+        let mut indirect_targets = std::collections::HashMap::new();
+        for (pc, labels) in self.indirect_target_labels {
+            let mut addrs = Vec::with_capacity(labels.len());
+            for l in labels {
+                let a = self.labels[l.0 as usize].ok_or(BuildError::UnboundLabel(l))?;
+                addrs.push(Addr(a));
+            }
+            addrs.sort_unstable();
+            addrs.dedup();
+            indirect_targets.insert(pc, addrs);
+        }
+
+        Ok(Program {
+            code: self.code,
+            functions,
+            entry: FuncId(entry_fn),
+            data: self.data,
+            indirect_targets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_are_patched() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let skip = b.new_label();
+        b.branch(Cond::Eq, Reg(0), Reg(0), skip);
+        b.load_imm(Reg(1), 1);
+        b.bind(skip);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        match p.fetch(Addr(0)).unwrap() {
+            Instruction::Branch { target, .. } => assert_eq!(target, Addr(2)),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let nowhere = b.new_label();
+        b.jump(nowhere);
+        b.end_function();
+        assert!(matches!(b.finish(main), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn falling_off_function_end_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(0), 1);
+        b.end_function();
+        assert!(matches!(b.finish(main), Err(BuildError::FallsOffEnd(_))));
+    }
+
+    #[test]
+    fn duplicate_function_names_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f1 = b.begin_function("f");
+        b.halt();
+        b.end_function();
+        b.begin_function("f");
+        b.halt();
+        b.end_function();
+        assert!(matches!(b.finish(f1), Err(BuildError::DuplicateFunction(_))));
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        b.end_function();
+        assert!(matches!(b.finish(f), Err(BuildError::EmptyFunction(_))));
+    }
+
+    #[test]
+    fn entry_must_be_function_entry() {
+        let mut b = ProgramBuilder::new();
+        let _f = b.begin_function("f");
+        b.load_imm(Reg(0), 0);
+        let not_entry = b.here_label();
+        b.halt();
+        b.end_function();
+        assert!(matches!(b.finish(not_entry), Err(BuildError::EntryNotFunction)));
+    }
+
+    #[test]
+    fn invalid_register_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        b.load_imm(Reg(200), 0);
+        b.halt();
+        b.end_function();
+        assert!(matches!(b.finish(f), Err(BuildError::InvalidRegister(_))));
+    }
+
+    #[test]
+    fn label_tables_resolve_forward_labels() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let t0 = b.new_label();
+        let t1 = b.new_label();
+        let table = b.alloc_label_table(&[t0, t1]);
+        b.load_imm(Reg(1), table as i32);
+        b.load(Reg(2), Reg(1), 1); // second entry
+        b.jump_indirect(Reg(2));
+        b.bind(t0);
+        b.halt();
+        b.bind(t1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        assert_eq!(p.initial_data()[table as usize], 3); // t0 bound at @3
+        assert_eq!(p.initial_data()[table as usize + 1], 4); // t1 at @4
+    }
+
+    #[test]
+    fn code_outside_function_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.halt(); // no open function
+        let f = b.begin_function("f");
+        b.halt();
+        b.end_function();
+        assert!(matches!(b.finish(f), Err(BuildError::CodeOutsideFunction)));
+    }
+
+    #[test]
+    fn unclosed_function_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        b.halt();
+        assert!(matches!(b.finish(f), Err(BuildError::UnclosedFunction)));
+    }
+
+    #[test]
+    fn alloc_zeroed_and_data_addresses_are_sequential() {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc_data(&[1, 2, 3]);
+        let z = b.alloc_zeroed(2);
+        assert_eq!(a, 0);
+        assert_eq!(z, 3);
+        assert_eq!(b.data_len(), 5);
+    }
+}

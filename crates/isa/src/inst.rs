@@ -1,0 +1,597 @@
+//! Instruction definitions: registers, ALU operations, branch conditions and
+//! the [`Instruction`] enum itself, plus the control-flow classification used
+//! by the rest of the system.
+
+use crate::program::Addr;
+use std::fmt;
+
+/// A general-purpose register identifier.
+///
+/// The machine has 32 registers, `Reg(0)`..`Reg(31)`. By convention `Reg(0)`
+/// is an ordinary register (it is *not* hard-wired to zero); workload
+/// generators are free to assign their own conventions.
+///
+/// ```
+/// use multiscalar_isa::Reg;
+/// let r = Reg(3);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+impl Reg {
+    /// The register number as a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; values `>= 32` are rejected at program-build time by
+    /// [`crate::ProgramBuilder`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is a valid architectural register.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Arithmetic/logic operations for [`Instruction::Op`] and
+/// [`Instruction::OpImm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 32).
+    Shr,
+    /// Set-less-than, signed: `rd = (rs1 as i32) < (rs2 as i32)`.
+    Slt,
+    /// Set-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 32-bit operands.
+    ///
+    /// All arithmetic wraps; shifts use the low 5 bits of the right operand.
+    ///
+    /// ```
+    /// use multiscalar_isa::AluOp;
+    /// assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+    /// assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1); // -1 < 0 signed
+    /// ```
+    #[inline]
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b & 31),
+            AluOp::Shr => a.wrapping_shr(b & 31),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Conditions for [`Instruction::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 32-bit operands.
+    ///
+    /// ```
+    /// use multiscalar_isa::Cond;
+    /// assert!(Cond::Lt.eval(u32::MAX, 0)); // -1 < 0 signed
+    /// assert!(!Cond::Ltu.eval(u32::MAX, 0));
+    /// ```
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// The logically negated condition.
+    ///
+    /// ```
+    /// use multiscalar_isa::Cond;
+    /// assert_eq!(Cond::Eq.negate(), Cond::Ne);
+    /// ```
+    #[inline]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Ltu => "ltu",
+            Cond::Geu => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single machine instruction.
+///
+/// Control-transfer semantics:
+///
+/// * [`Instruction::Call`] and [`Instruction::CallIndirect`] push the return
+///   address (the following instruction) onto the interpreter's hardware
+///   call stack; [`Instruction::Return`] pops it. This models link-register
+///   discipline without requiring workloads to spill/restore manually and
+///   guarantees well-nested calls, matching the paper's assumption that a
+///   return-address stack is "nearly perfect".
+/// * [`Instruction::JumpIndirect`] reads its target from a register; it is
+///   the `INDIRECT_BRANCH` of the paper's Table 1 and is how workload
+///   generators express `switch` jump tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields are self-describing (rd/rs1/rs2/imm/...)
+pub enum Instruction {
+    /// `rd = op(rs1, rs2)`.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = op(rs1, imm)`; the immediate is sign-extended to 32 bits.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// `rd = imm`.
+    LoadImm { rd: Reg, imm: i32 },
+    /// `rd = mem[rs1 + offset]` (word addressed).
+    Load { rd: Reg, base: Reg, offset: i32 },
+    /// `mem[rs1 + offset] = rs2` (word addressed).
+    Store { src: Reg, base: Reg, offset: i32 },
+    /// Conditional PC-relative branch: if `cond(rs1, rs2)` jump to `target`,
+    /// else fall through.
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, target: Addr },
+    /// Unconditional direct jump.
+    Jump { target: Addr },
+    /// Unconditional indirect jump through a register (`INDIRECT_BRANCH`).
+    JumpIndirect { rs: Reg },
+    /// Direct call; pushes the return address onto the call stack.
+    Call { target: Addr },
+    /// Indirect call through a register (`INDIRECT_CALL`).
+    CallIndirect { rs: Reg },
+    /// Return to the most recent pushed return address.
+    Return,
+    /// Stop execution.
+    Halt,
+    /// No operation (used as padding by the builder).
+    Nop,
+}
+
+impl Instruction {
+    /// Classifies the instruction's control-flow behaviour, if any.
+    ///
+    /// Returns `None` for straight-line instructions.
+    ///
+    /// ```
+    /// use multiscalar_isa::{Addr, ControlFlow, Instruction};
+    /// let j = Instruction::Jump { target: Addr(7) };
+    /// assert_eq!(j.control_flow(), Some(ControlFlow::Jump(Addr(7))));
+    /// ```
+    pub fn control_flow(&self) -> Option<ControlFlow> {
+        match *self {
+            Instruction::Branch { target, .. } => Some(ControlFlow::CondBranch(target)),
+            Instruction::Jump { target } => Some(ControlFlow::Jump(target)),
+            Instruction::JumpIndirect { .. } => Some(ControlFlow::IndirectJump),
+            Instruction::Call { target } => Some(ControlFlow::Call(target)),
+            Instruction::CallIndirect { .. } => Some(ControlFlow::IndirectCall),
+            Instruction::Return => Some(ControlFlow::Return),
+            Instruction::Halt => Some(ControlFlow::Halt),
+            _ => None,
+        }
+    }
+
+    /// `true` if the instruction always transfers control (never falls
+    /// through to the next instruction).
+    pub fn is_unconditional_transfer(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Jump { .. }
+                | Instruction::JumpIndirect { .. }
+                | Instruction::Call { .. }
+                | Instruction::CallIndirect { .. }
+                | Instruction::Return
+                | Instruction::Halt
+        )
+    }
+
+    /// `true` if the instruction can transfer control somewhere other than
+    /// the next instruction.
+    pub fn is_control(&self) -> bool {
+        self.control_flow().is_some()
+    }
+
+    /// The registers this instruction reads, in encoding order.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> {
+        let (a, b) = match *self {
+            Instruction::Op { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instruction::OpImm { rs1, .. } => (Some(rs1), None),
+            Instruction::Load { base, .. } => (Some(base), None),
+            Instruction::Store { src, base, .. } => (Some(src), Some(base)),
+            Instruction::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instruction::JumpIndirect { rs } | Instruction::CallIndirect { rs } => {
+                (Some(rs), None)
+            }
+            _ => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The register this instruction writes, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instruction::Op { rd, .. }
+            | Instruction::OpImm { rd, .. }
+            | Instruction::LoadImm { rd, .. }
+            | Instruction::Load { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Op { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Instruction::OpImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Instruction::LoadImm { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instruction::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
+            Instruction::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Instruction::Branch { cond, rs1, rs2, target } => {
+                write!(f, "b{cond} {rs1}, {rs2}, {target}")
+            }
+            Instruction::Jump { target } => write!(f, "j {target}"),
+            Instruction::JumpIndirect { rs } => write!(f, "jr {rs}"),
+            Instruction::Call { target } => write!(f, "call {target}"),
+            Instruction::CallIndirect { rs } => write!(f, "callr {rs}"),
+            Instruction::Return => f.write_str("ret"),
+            Instruction::Halt => f.write_str("halt"),
+            Instruction::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+/// Static classification of a control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlFlow {
+    /// Conditional branch with a known taken target (falls through otherwise).
+    CondBranch(Addr),
+    /// Unconditional direct jump.
+    Jump(Addr),
+    /// Indirect jump (target in a register).
+    IndirectJump,
+    /// Direct call with a known target.
+    Call(Addr),
+    /// Indirect call (target in a register).
+    IndirectCall,
+    /// Subroutine return.
+    Return,
+    /// Program halt.
+    Halt,
+}
+
+/// The inter-task control-flow classes of the paper's Table 1.
+///
+/// Every task exit is one of these five kinds (plus [`ExitKind::Halt`] for
+/// the final task). The classification drives how a target address is
+/// predicted: `Branch`/`Call` targets are in the task header, `Return`
+/// targets come from a return-address stack, and `IndirectBranch` /
+/// `IndirectCall` targets must be predicted by a (correlated) task target
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExitKind {
+    /// `BRANCH` — (un)conditional PC-relative branch; target known at
+    /// compile time and stored in the task header.
+    Branch,
+    /// `CALL` — direct call; target known, return address pushed on the RAS.
+    Call,
+    /// `RETURN` — target unknown statically, predicted by the RAS.
+    Return,
+    /// `INDIRECT_BRANCH` — target unknown, unlimited possibilities.
+    IndirectBranch,
+    /// `INDIRECT_CALL` — target unknown; return address pushed on the RAS.
+    IndirectCall,
+    /// Program end. Not part of the paper's taxonomy; emitted once per run.
+    Halt,
+}
+
+impl ExitKind {
+    /// `true` if the exit's target address is known statically and can be
+    /// stored in the task header (Table 1 "Target Known" column).
+    ///
+    /// ```
+    /// use multiscalar_isa::ExitKind;
+    /// assert!(ExitKind::Branch.target_known());
+    /// assert!(!ExitKind::Return.target_known());
+    /// ```
+    pub fn target_known(self) -> bool {
+        matches!(self, ExitKind::Branch | ExitKind::Call | ExitKind::Halt)
+    }
+
+    /// `true` if taking this exit pushes a return address on the RAS.
+    pub fn pushes_return_address(self) -> bool {
+        matches!(self, ExitKind::Call | ExitKind::IndirectCall)
+    }
+
+    /// `true` if this exit's target is predicted by popping the RAS.
+    pub fn pops_return_address(self) -> bool {
+        matches!(self, ExitKind::Return)
+    }
+
+    /// `true` for the indirect kinds whose targets require a (correlated)
+    /// task target buffer.
+    pub fn needs_target_buffer(self) -> bool {
+        matches!(self, ExitKind::IndirectBranch | ExitKind::IndirectCall)
+    }
+
+    /// All five kinds of the paper's Table 1, in table order.
+    pub const TABLE1: [ExitKind; 5] = [
+        ExitKind::Branch,
+        ExitKind::Call,
+        ExitKind::Return,
+        ExitKind::IndirectBranch,
+        ExitKind::IndirectCall,
+    ];
+}
+
+/// Maximum number of exits a Multiscalar task may have (the paper's
+/// implementation limit; see §2.1).
+pub const MAX_EXITS: usize = 4;
+
+/// Which of a task's (up to [`MAX_EXITS`]) exits was taken or predicted.
+///
+/// Exit indices are assigned by the task former in a canonical order
+/// (ascending source address, then target address), so index `i` means the
+/// same static exit on every dynamic execution of the task.
+///
+/// ```
+/// use multiscalar_isa::ExitIndex;
+/// let e = ExitIndex::new(2).unwrap();
+/// assert_eq!(e.as_u8(), 2);
+/// assert!(ExitIndex::new(4).is_none(), "only four exits exist");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ExitIndex(u8);
+
+impl ExitIndex {
+    /// Creates an exit index, returning `None` if `i >= MAX_EXITS`.
+    #[inline]
+    pub const fn new(i: u8) -> Option<ExitIndex> {
+        if (i as usize) < MAX_EXITS {
+            Some(ExitIndex(i))
+        } else {
+            None
+        }
+    }
+
+    /// The raw index, guaranteed `< MAX_EXITS`.
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// The raw index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All four exit indices in order.
+    pub fn all() -> impl Iterator<Item = ExitIndex> {
+        (0..MAX_EXITS as u8).map(ExitIndex)
+    }
+}
+
+impl fmt::Display for ExitIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exit{}", self.0)
+    }
+}
+
+impl fmt::Display for ExitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExitKind::Branch => "BRANCH",
+            ExitKind::Call => "CALL",
+            ExitKind::Return => "RETURN",
+            ExitKind::IndirectBranch => "INDIRECT_BRANCH",
+            ExitKind::IndirectCall => "INDIRECT_CALL",
+            ExitKind::Halt => "HALT",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_wrap_and_compare() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 2), 1);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Mul.apply(1 << 31, 2), 0);
+        assert_eq!(AluOp::Shl.apply(1, 33), 2, "shift amount is mod 32");
+        assert_eq!(AluOp::Shr.apply(8, 3), 1);
+        assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1);
+        assert_eq!(AluOp::Sltu.apply(u32::MAX, 0), 0);
+        assert_eq!(AluOp::Xor.apply(0b1010, 0b0110), 0b1100);
+        assert_eq!(AluOp::And.apply(0b1010, 0b0110), 0b0010);
+        assert_eq!(AluOp::Or.apply(0b1010, 0b0110), 0b1110);
+    }
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        assert!(Cond::Lt.eval(u32::MAX, 0));
+        assert!(!Cond::Ltu.eval(u32::MAX, 0));
+        assert!(Cond::Ge.eval(0, u32::MAX));
+        assert!(Cond::Geu.eval(u32::MAX, 0));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+    }
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu] {
+            assert_eq!(c.negate().negate(), c);
+            // negation flips the outcome on arbitrary operands
+            for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 0), (7, 7)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let i = Instruction::Branch { cond: Cond::Eq, rs1: Reg(0), rs2: Reg(1), target: Addr(3) };
+        assert_eq!(i.control_flow(), Some(ControlFlow::CondBranch(Addr(3))));
+        assert!(!i.is_unconditional_transfer());
+
+        assert!(Instruction::Return.is_unconditional_transfer());
+        assert!(Instruction::Halt.is_unconditional_transfer());
+        assert!(Instruction::Jump { target: Addr(0) }.is_unconditional_transfer());
+        assert_eq!(
+            Instruction::Nop.control_flow(),
+            None,
+            "straight-line instructions have no control flow"
+        );
+        assert_eq!(
+            Instruction::CallIndirect { rs: Reg(4) }.control_flow(),
+            Some(ControlFlow::IndirectCall)
+        );
+    }
+
+    #[test]
+    fn sources_and_dest() {
+        let i = Instruction::Op { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) };
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![Reg(2), Reg(3)]);
+        assert_eq!(i.dest(), Some(Reg(1)));
+
+        let s = Instruction::Store { src: Reg(4), base: Reg(5), offset: 0 };
+        assert_eq!(s.sources().collect::<Vec<_>>(), vec![Reg(4), Reg(5)]);
+        assert_eq!(s.dest(), None);
+
+        let l = Instruction::Load { rd: Reg(6), base: Reg(7), offset: 1 };
+        assert_eq!(l.sources().collect::<Vec<_>>(), vec![Reg(7)]);
+        assert_eq!(l.dest(), Some(Reg(6)));
+    }
+
+    #[test]
+    fn exit_kind_table1_properties() {
+        // Mirrors the paper's Table 1 columns.
+        assert!(ExitKind::Branch.target_known());
+        assert!(ExitKind::Call.target_known());
+        assert!(!ExitKind::Return.target_known());
+        assert!(!ExitKind::IndirectBranch.target_known());
+        assert!(!ExitKind::IndirectCall.target_known());
+
+        assert!(ExitKind::Call.pushes_return_address());
+        assert!(ExitKind::IndirectCall.pushes_return_address());
+        assert!(ExitKind::Return.pops_return_address());
+
+        assert!(ExitKind::IndirectBranch.needs_target_buffer());
+        assert!(ExitKind::IndirectCall.needs_target_buffer());
+        assert!(!ExitKind::Branch.needs_target_buffer());
+        assert_eq!(ExitKind::TABLE1.len(), 5);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        let instrs = [
+            Instruction::Op { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) },
+            Instruction::OpImm { op: AluOp::Xor, rd: Reg(1), rs1: Reg(2), imm: -4 },
+            Instruction::LoadImm { rd: Reg(0), imm: 9 },
+            Instruction::Load { rd: Reg(0), base: Reg(1), offset: 2 },
+            Instruction::Store { src: Reg(0), base: Reg(1), offset: 2 },
+            Instruction::Branch { cond: Cond::Ne, rs1: Reg(0), rs2: Reg(1), target: Addr(9) },
+            Instruction::Jump { target: Addr(1) },
+            Instruction::JumpIndirect { rs: Reg(2) },
+            Instruction::Call { target: Addr(5) },
+            Instruction::CallIndirect { rs: Reg(2) },
+            Instruction::Return,
+            Instruction::Halt,
+            Instruction::Nop,
+        ];
+        for i in instrs {
+            assert!(!i.to_string().is_empty());
+        }
+        for k in ExitKind::TABLE1 {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

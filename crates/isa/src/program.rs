@@ -1,0 +1,284 @@
+//! The [`Program`] container: code, function boundaries and initial data
+//! memory.
+
+use crate::inst::Instruction;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+/// A word-granular instruction (or data) address.
+///
+/// Instructions and data live in separate spaces; an `Addr` always refers to
+/// the instruction space. Data addresses are plain `u32` word indices into
+/// the interpreter's memory.
+///
+/// ```
+/// use multiscalar_isa::Addr;
+/// assert_eq!(Addr(4).next(), Addr(5));
+/// assert_eq!(format!("{}", Addr(10)), "@10");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The address of the following instruction.
+    #[inline]
+    pub fn next(self) -> Addr {
+        Addr(self.0 + 1)
+    }
+
+    /// The raw word index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Identifier of a function within a [`Program`] (index into
+/// [`Program::functions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// A function: a contiguous, named range of instructions with a single entry
+/// at its first instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    name: String,
+    range: Range<u32>,
+}
+
+impl Function {
+    pub(crate) fn new(name: String, range: Range<u32>) -> Self {
+        Function { name, range }
+    }
+
+    /// The function's name (unique within the program).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry address (first instruction).
+    pub fn entry(&self) -> Addr {
+        Addr(self.range.start)
+    }
+
+    /// The half-open address range `[entry, end)` covered by the function.
+    pub fn range(&self) -> Range<u32> {
+        self.range.clone()
+    }
+
+    /// Number of instructions in the function.
+    pub fn len(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// `true` if the function contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// `true` if `addr` falls inside this function.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.range.contains(&addr.0)
+    }
+}
+
+/// An executable program: instructions, function table, entry point and
+/// initial data memory.
+///
+/// Programs are immutable once built; construct them with
+/// [`crate::ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    pub(crate) code: Vec<Instruction>,
+    pub(crate) functions: Vec<Function>,
+    pub(crate) entry: FuncId,
+    pub(crate) data: Vec<u32>,
+    pub(crate) indirect_targets: HashMap<u32, Vec<Addr>>,
+}
+
+impl Program {
+    /// The instruction at `addr`, or `None` if out of range.
+    #[inline]
+    pub fn fetch(&self, addr: Addr) -> Option<Instruction> {
+        self.code.get(addr.index()).copied()
+    }
+
+    /// All instructions in address order.
+    pub fn code(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// Total number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The function table, in address order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids only come from this program's own
+    /// builder, so this indicates a logic error).
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name() == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// The function containing `addr`, if any.
+    pub fn function_at(&self, addr: Addr) -> Option<FuncId> {
+        // Functions are contiguous and sorted by range start.
+        let idx = self
+            .functions
+            .partition_point(|f| f.range().start <= addr.0)
+            .checked_sub(1)?;
+        self.functions[idx].contains(addr).then_some(FuncId(idx as u32))
+    }
+
+    /// The program entry function.
+    pub fn entry_function(&self) -> FuncId {
+        self.entry
+    }
+
+    /// The address execution starts at.
+    pub fn entry_point(&self) -> Addr {
+        self.functions[self.entry.index()].entry()
+    }
+
+    /// The initial contents of data memory (word granular).
+    pub fn initial_data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// The declared possible targets of the indirect jump/call at `pc`, if
+    /// the builder recorded them (see
+    /// [`crate::ProgramBuilder::jump_indirect_with_targets`]).
+    pub fn indirect_targets(&self, pc: Addr) -> Option<&[Addr]> {
+        self.indirect_targets.get(&pc.0).map(|v| v.as_slice())
+    }
+
+    /// Renders the program as pseudo-assembly, one instruction per line,
+    /// with function headers.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.functions {
+            let _ = writeln!(out, "{}:  ; {} instrs", f.name(), f.len());
+            for a in f.range() {
+                let _ = writeln!(out, "  {:>6}  {}", format!("@{a}"), self.code[a as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Reg;
+
+    fn two_function_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let callee = b.begin_function("callee");
+        b.load_imm(Reg(1), 42);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.call_label(callee);
+        b.halt();
+        b.end_function();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn function_lookup_by_name_and_addr() {
+        let p = two_function_program();
+        assert_eq!(p.functions().len(), 2);
+        let (id, f) = p.function_by_name("callee").unwrap();
+        assert_eq!(f.entry(), Addr(0));
+        assert_eq!(p.function_at(Addr(0)), Some(id));
+        assert_eq!(p.function_at(Addr(1)), Some(id));
+        let (mid, mf) = p.function_by_name("main").unwrap();
+        assert_eq!(p.function_at(mf.entry()), Some(mid));
+        assert_eq!(p.function_at(Addr(99)), None);
+        assert!(p.function_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn entry_point_is_main() {
+        let p = two_function_program();
+        let (_, mf) = p.function_by_name("main").unwrap();
+        assert_eq!(p.entry_point(), mf.entry());
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = two_function_program();
+        assert!(p.fetch(Addr(0)).is_some());
+        assert!(p.fetch(Addr(p.len() as u32)).is_none());
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn disassembly_contains_all_functions() {
+        let p = two_function_program();
+        let d = p.disassemble();
+        assert!(d.contains("callee:"));
+        assert!(d.contains("main:"));
+        assert!(d.contains("halt"));
+    }
+
+    #[test]
+    fn addr_ordering_and_next() {
+        assert!(Addr(1) < Addr(2));
+        assert_eq!(Addr(1).next(), Addr(2));
+        assert_eq!(Addr(3).index(), 3);
+        assert_eq!(format!("{:x}", Addr(255)), "ff");
+    }
+}

@@ -1,0 +1,364 @@
+//! An Address Resolution Buffer (ARB) model — the Multiscalar memory
+//! disambiguation hardware of Franklin & Sohi ("ARB: A Hardware Mechanism
+//! for Dynamic Reordering of Memory References", IEEE ToC 1996), which the
+//! paper's processing-unit ring relies on (its reference \[5\]).
+//!
+//! The ARB is an interleaved, set-associative buffer. Each entry tracks one
+//! memory address with per-*stage* (in-flight task) load/store marks:
+//!
+//! * a **load** records its stage so that a later store by an *older* stage
+//!   can detect that the load ran too early (a memory-order violation that
+//!   squashes the loading stage and everything younger);
+//! * a **store** records its stage so later loads by *younger* stages can
+//!   forward from it;
+//! * when the head task commits, its stage's marks are erased and empty
+//!   entries are freed;
+//! * when a bank is full, the reference cannot be tracked and the machine
+//!   must stall until the head commits.
+//!
+//! The timing simulator uses this structure for capacity/occupancy
+//! modelling and violation bookkeeping; see
+//! [`crate::timing::TimingConfig::arb`].
+
+use std::collections::VecDeque;
+
+/// Configuration of the ARB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbConfig {
+    /// Number of interleaved banks (addresses map to `addr % banks`).
+    pub banks: usize,
+    /// Entries per bank.
+    pub entries_per_bank: usize,
+    /// Maximum in-flight stages (the ring size).
+    pub stages: usize,
+}
+
+impl Default for ArbConfig {
+    fn default() -> Self {
+        ArbConfig { banks: 8, entries_per_bank: 32, stages: 4 }
+    }
+}
+
+/// Outcome of recording a memory reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbEvent {
+    /// Tracked without incident.
+    Ok,
+    /// The bank had no free entry: the reference stalls until the head
+    /// stage commits.
+    Full,
+    /// A store found younger stages that already loaded the address: those
+    /// stages (task sequence numbers, ascending) must squash.
+    Violation(Vec<u64>),
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    addr: u32,
+    valid: bool,
+    /// Task sequence numbers that loaded this address, ascending.
+    loads: Vec<u64>,
+    /// Task sequence numbers that stored to this address, ascending.
+    stores: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    entries: Vec<Entry>,
+}
+
+/// The ARB: banks of address entries plus the active stage window.
+#[derive(Debug, Clone)]
+pub struct Arb {
+    config: ArbConfig,
+    banks: Vec<Bank>,
+    /// Active (uncommitted) task sequence numbers, oldest first.
+    window: VecDeque<u64>,
+    /// Total references rejected because a bank was full.
+    full_events: u64,
+    /// Total violations detected.
+    violations: u64,
+}
+
+impl Arb {
+    /// Creates an empty ARB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is zero.
+    pub fn new(config: ArbConfig) -> Arb {
+        assert!(config.banks > 0 && config.entries_per_bank > 0 && config.stages > 0);
+        Arb {
+            banks: (0..config.banks)
+                .map(|_| Bank {
+                    entries: vec![Entry::default(); config.entries_per_bank],
+                })
+                .collect(),
+            config,
+            window: VecDeque::new(),
+            full_events: 0,
+            violations: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &ArbConfig {
+        &self.config
+    }
+
+    /// Opens a new speculative stage for task `seq`. If the window is full
+    /// the caller must [`Arb::commit_head`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window already holds `stages` tasks, or `seq` is not
+    /// strictly increasing.
+    pub fn begin_task(&mut self, seq: u64) {
+        assert!(self.window.len() < self.config.stages, "stage window full");
+        if let Some(&back) = self.window.back() {
+            assert!(seq > back, "task sequence numbers must increase");
+        }
+        self.window.push_back(seq);
+    }
+
+    /// Number of active stages.
+    pub fn active_stages(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` if a new stage cannot begin before a commit.
+    pub fn window_full(&self) -> bool {
+        self.window.len() == self.config.stages
+    }
+
+    fn entry_slot(&mut self, addr: u32) -> Option<(usize, usize)> {
+        let b = (addr as usize) % self.config.banks;
+        // Existing entry?
+        if let Some(i) =
+            self.banks[b].entries.iter().position(|e| e.valid && e.addr == addr)
+        {
+            return Some((b, i));
+        }
+        // Free entry?
+        if let Some(i) = self.banks[b].entries.iter().position(|e| !e.valid) {
+            let e = &mut self.banks[b].entries[i];
+            e.addr = addr;
+            e.valid = true;
+            e.loads.clear();
+            e.stores.clear();
+            return Some((b, i));
+        }
+        None
+    }
+
+    /// Records a load of `addr` by the stage for task `seq`.
+    pub fn load(&mut self, addr: u32, seq: u64) -> ArbEvent {
+        debug_assert!(self.window.contains(&seq), "load from inactive stage");
+        match self.entry_slot(addr) {
+            Some((b, i)) => {
+                let e = &mut self.banks[b].entries[i];
+                if e.loads.last() != Some(&seq) {
+                    e.loads.push(seq);
+                }
+                ArbEvent::Ok
+            }
+            None => {
+                self.full_events += 1;
+                ArbEvent::Full
+            }
+        }
+    }
+
+    /// Records a store to `addr` by the stage for task `seq`, reporting any
+    /// younger stages that loaded the address too early.
+    pub fn store(&mut self, addr: u32, seq: u64) -> ArbEvent {
+        debug_assert!(self.window.contains(&seq), "store from inactive stage");
+        match self.entry_slot(addr) {
+            Some((b, i)) => {
+                let e = &mut self.banks[b].entries[i];
+                let squash: Vec<u64> =
+                    e.loads.iter().copied().filter(|&l| l > seq).collect();
+                if e.stores.last() != Some(&seq) {
+                    e.stores.push(seq);
+                }
+                if squash.is_empty() {
+                    ArbEvent::Ok
+                } else {
+                    self.violations += squash.len() as u64;
+                    ArbEvent::Violation(squash)
+                }
+            }
+            None => {
+                self.full_events += 1;
+                ArbEvent::Full
+            }
+        }
+    }
+
+    /// Commits the head (oldest) stage: erases its marks and frees empty
+    /// entries. Returns the committed task's sequence number.
+    pub fn commit_head(&mut self) -> Option<u64> {
+        let seq = self.window.pop_front()?;
+        for bank in &mut self.banks {
+            for e in &mut bank.entries {
+                if !e.valid {
+                    continue;
+                }
+                e.loads.retain(|&l| l != seq);
+                e.stores.retain(|&s| s != seq);
+                if e.loads.is_empty() && e.stores.is_empty() {
+                    e.valid = false;
+                }
+            }
+        }
+        Some(seq)
+    }
+
+    /// Squashes every stage with sequence number `>= from`: their marks are
+    /// erased (the tasks will re-execute).
+    pub fn squash_from(&mut self, from: u64) {
+        self.window.retain(|&s| s < from);
+        for bank in &mut self.banks {
+            for e in &mut bank.entries {
+                if !e.valid {
+                    continue;
+                }
+                e.loads.retain(|&l| l < from);
+                e.stores.retain(|&s| s < from);
+                if e.loads.is_empty() && e.stores.is_empty() {
+                    e.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Currently valid (occupied) entries across all banks.
+    pub fn occupancy(&self) -> usize {
+        self.banks
+            .iter()
+            .map(|b| b.entries.iter().filter(|e| e.valid).count())
+            .sum()
+    }
+
+    /// References rejected because a bank was full.
+    pub fn full_events(&self) -> u64 {
+        self.full_events
+    }
+
+    /// Memory-order violations detected.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arb() -> Arb {
+        Arb::new(ArbConfig { banks: 2, entries_per_bank: 4, stages: 4 })
+    }
+
+    #[test]
+    fn store_after_younger_load_is_a_violation() {
+        let mut a = arb();
+        a.begin_task(1);
+        a.begin_task(2);
+        // Task 2 (younger) loads address 100 first...
+        assert_eq!(a.load(100, 2), ArbEvent::Ok);
+        // ...then task 1 (older) stores to it: task 2 loaded stale data.
+        match a.store(100, 1) {
+            ArbEvent::Violation(squash) => assert_eq!(squash, vec![2]),
+            other => panic!("expected violation, got {other:?}"),
+        }
+        assert_eq!(a.violations(), 1);
+    }
+
+    #[test]
+    fn store_before_younger_load_is_fine() {
+        let mut a = arb();
+        a.begin_task(1);
+        a.begin_task(2);
+        assert_eq!(a.store(100, 1), ArbEvent::Ok);
+        assert_eq!(a.load(100, 2), ArbEvent::Ok, "forwarding case, no violation");
+    }
+
+    #[test]
+    fn same_stage_reordering_is_not_a_violation() {
+        let mut a = arb();
+        a.begin_task(5);
+        assert_eq!(a.load(64, 5), ArbEvent::Ok);
+        assert_eq!(a.store(64, 5), ArbEvent::Ok, "intra-task order is the PU's job");
+    }
+
+    #[test]
+    fn commit_frees_entries() {
+        let mut a = arb();
+        a.begin_task(1);
+        for addr in 0..4 {
+            assert_eq!(a.load(addr * 2, 1), ArbEvent::Ok); // all to bank 0
+        }
+        assert_eq!(a.occupancy(), 4);
+        assert_eq!(a.commit_head(), Some(1));
+        assert_eq!(a.occupancy(), 0);
+    }
+
+    #[test]
+    fn bank_overflow_reports_full() {
+        let mut a = arb();
+        a.begin_task(1);
+        // Bank 0 has 4 entries; the 5th even-numbered address overflows.
+        for addr in 0..4 {
+            assert_eq!(a.load(addr * 2, 1), ArbEvent::Ok);
+        }
+        assert_eq!(a.load(100, 1), ArbEvent::Full);
+        assert_eq!(a.full_events(), 1);
+        // The odd bank still has room.
+        assert_eq!(a.load(101, 1), ArbEvent::Ok);
+    }
+
+    #[test]
+    fn squash_erases_young_marks() {
+        let mut a = arb();
+        a.begin_task(1);
+        a.begin_task(2);
+        a.begin_task(3);
+        a.load(10, 2);
+        a.load(10, 3);
+        a.store(12, 3);
+        a.squash_from(2);
+        assert_eq!(a.active_stages(), 1);
+        // Address 10 and 12 marks from stages 2,3 are gone.
+        assert_eq!(a.occupancy(), 0);
+        // The violation that *would* have hit stage 2 no longer exists.
+        assert_eq!(a.store(10, 1), ArbEvent::Ok);
+    }
+
+    #[test]
+    fn window_capacity_is_enforced() {
+        let mut a = arb();
+        for s in 1..=4 {
+            a.begin_task(s);
+        }
+        assert!(a.window_full());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.begin_task(5)));
+        assert!(r.is_err(), "fifth stage must panic");
+        a.commit_head();
+        a.begin_task(5); // now fine
+        assert_eq!(a.active_stages(), 4);
+    }
+
+    #[test]
+    fn repeated_references_do_not_duplicate_marks() {
+        let mut a = arb();
+        a.begin_task(1);
+        a.begin_task(2);
+        for _ in 0..5 {
+            a.load(40, 2);
+        }
+        match a.store(40, 1) {
+            ArbEvent::Violation(squash) => assert_eq!(squash, vec![2]),
+            other => panic!("{other:?}"),
+        }
+    }
+}

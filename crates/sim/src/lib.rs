@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! The Multiscalar simulators of the reproduction.
+//!
+//! Two simulators, mirroring the paper's methodology (§3.1):
+//!
+//! * a **functional simulator** ([`trace`], [`measure`]) that executes a
+//!   program, reconstructs its task-level trace (which task ran, which exit
+//!   it took, where it went) and drives predictors over it — with the
+//!   paper's idealisations: immediate predictor updates and no wrong-path
+//!   pollution;
+//! * a **timing simulator** ([`timing`]) modelling the ring of processing
+//!   units (4 × 2-way by default), in-order issue with register-dataflow
+//!   stalls, intra-task bimodal prediction and full squash on inter-task
+//!   mispredictions — the source of Table 4's IPC numbers.
+//!
+//! # Example: measuring a predictor on a workload
+//!
+//! ```no_run
+//! use multiscalar_core::automata::LastExitHysteresis;
+//! use multiscalar_core::dolc::Dolc;
+//! use multiscalar_core::history::PathPredictor;
+//! use multiscalar_sim::{measure, trace};
+//! use multiscalar_taskform::TaskFormer;
+//! use multiscalar_workloads::{Spec92, WorkloadParams};
+//!
+//! let w = Spec92::Compress.build(&WorkloadParams::small(1));
+//! let tasks = TaskFormer::default().form(&w.program).unwrap();
+//! let run = trace::collect_trace(&w.program, &tasks, w.max_steps).unwrap();
+//! let descs = measure::task_descs(&tasks);
+//!
+//! let mut pred: PathPredictor<LastExitHysteresis<2>> =
+//!     PathPredictor::new(Dolc::new(6, 5, 8, 9, 3));
+//! let stats = measure::measure_exits(&mut pred, &descs, &run.events);
+//! println!("miss rate: {:.2}%", stats.miss_rate() * 100.0);
+//! ```
+
+pub mod arb;
+pub mod measure;
+pub mod timing;
+pub mod trace;
+
+pub use measure::{task_descs, MissStats};
+pub use trace::{TaskEvent, TraceRun, TraceStats};

@@ -1,0 +1,693 @@
+//! A timing simulator for the Multiscalar ring of processing units — the
+//! source of the reproduction's Table 4 (IPC vs. task predictor).
+//!
+//! The model (simplified from the Wisconsin detailed simulator, see
+//! DESIGN.md §5.3):
+//!
+//! * `n_units` processing units in a ring, tasks assigned round-robin,
+//!   strictly FIFO commit;
+//! * the global sequencer dispatches one task per `dispatch_cost` cycles
+//!   along the *predicted* path; a task misprediction is discovered when
+//!   the mispredicting task completes, squashes all younger work and
+//!   restarts dispatch after `squash_penalty` cycles;
+//! * within a task: in-order `issue_width`-wide issue with true
+//!   register-dataflow stalls (a global register-availability scoreboard
+//!   also captures inter-task forwarding delays around the ring), 1-cycle
+//!   ALU ops, `load_latency`-cycle loads;
+//! * intra-task conditional branches are predicted by a shared bimodal
+//!   predictor (as in the paper, §2.2); a miss costs `intra_penalty`
+//!   cycles.
+//!
+//! Absolute IPC differs from the paper's out-of-order cores; what Table 4's
+//! reproduction preserves is the *ordering* (Simple < GLOBAL/PER < PATH <
+//! Perfect) and the relative gaps.
+
+use crate::arb::{Arb, ArbConfig, ArbEvent};
+use multiscalar_core::predictor::{ExitPredictor, TaskDesc, TaskPredictor};
+use std::collections::HashMap;
+use multiscalar_core::confidence::ConfidenceEstimator;
+use multiscalar_core::scalar::{Bimodal, McFarling, TwoLevelGag};
+use multiscalar_isa::{Addr, ExitIndex, Instruction, Interpreter, Program, NUM_REGS};
+use multiscalar_taskform::TaskProgram;
+
+use crate::trace::TraceError;
+
+/// Which predictor the processing units use for *intra-task* conditional
+/// branches (paper §2.2 uses a bimodal; the others are ablation choices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntraPredictorKind {
+    /// Bimodal 2-bit counters (the paper's choice).
+    #[default]
+    Bimodal,
+    /// gshare-style global two-level.
+    Gshare,
+    /// McFarling combining predictor.
+    McFarling,
+}
+
+/// Runtime state for the selected intra-task predictor.
+#[derive(Debug, Clone)]
+enum IntraState {
+    Bimodal(Bimodal),
+    Gshare(TwoLevelGag),
+    McFarling(McFarling),
+}
+
+impl IntraState {
+    fn new(kind: IntraPredictorKind, bits: u32) -> IntraState {
+        match kind {
+            IntraPredictorKind::Bimodal => IntraState::Bimodal(Bimodal::new(bits)),
+            IntraPredictorKind::Gshare => {
+                IntraState::Gshare(TwoLevelGag::new(bits, bits.min(12)))
+            }
+            IntraPredictorKind::McFarling => IntraState::McFarling(McFarling::new(bits)),
+        }
+    }
+
+    fn predict(&self, pc: Addr) -> bool {
+        match self {
+            IntraState::Bimodal(p) => p.predict(pc),
+            IntraState::Gshare(p) => p.predict(pc),
+            IntraState::McFarling(p) => p.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        match self {
+            IntraState::Bimodal(p) => p.update(pc, taken),
+            IntraState::Gshare(p) => p.update(pc, taken),
+            IntraState::McFarling(p) => p.update(pc, taken),
+        }
+    }
+}
+
+/// How register values travel between tasks on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardingModel {
+    /// Eager, last-write forwarding: a value is visible to younger tasks
+    /// the cycle it is produced — models the Multiscalar compiler's
+    /// forward-bit annotations plus last-update detection (Breach et al.).
+    #[default]
+    Eager,
+    /// Release-at-end forwarding: values named in a task's create mask are
+    /// only released to younger tasks when the task completes — the
+    /// conservative scheme a header-only implementation gets. Ablated in
+    /// `cargo bench -p multiscalar-bench --bench table4_timing`.
+    ReleaseAtEnd,
+}
+
+/// Machine parameters for the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Processing units in the ring (paper: 4).
+    pub n_units: usize,
+    /// Issue width per unit (paper: 2-way).
+    pub issue_width: u32,
+    /// Load-to-use latency in cycles.
+    pub load_latency: u64,
+    /// Cycles the global sequencer needs per task dispatch.
+    pub dispatch_cost: u64,
+    /// Cycles to recover after a task misprediction (squash + refill).
+    pub squash_penalty: u64,
+    /// Cycles lost to an intra-task branch misprediction.
+    pub intra_penalty: u64,
+    /// Index bits of the shared intra-task bimodal predictor.
+    pub bimodal_bits: u32,
+    /// Which intra-task branch predictor the processing units use.
+    pub intra_predictor: IntraPredictorKind,
+    /// Inter-task register forwarding model.
+    pub forwarding: ForwardingModel,
+    /// Memory disambiguation hardware; `None` models an ideal, conflict-free
+    /// memory system.
+    pub arb: Option<ArbConfig>,
+    /// Cycles lost when the ARB detects a memory-order violation (squash of
+    /// the offending load's task tail and re-execution).
+    pub violation_penalty: u64,
+    /// Cycles the machine stalls when an ARB bank overflows.
+    pub arb_full_penalty: u64,
+    /// Confidence gating: `Some(threshold)` makes the sequencer stall
+    /// instead of speculating past a low-confidence task prediction
+    /// (a CIR estimator with the given correct-streak threshold).
+    pub confidence_gate: Option<u8>,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            n_units: 4,
+            issue_width: 2,
+            load_latency: 2,
+            dispatch_cost: 1,
+            squash_penalty: 12,
+            intra_penalty: 3,
+            bimodal_bits: 12,
+            intra_predictor: IntraPredictorKind::default(),
+            forwarding: ForwardingModel::Eager,
+            arb: Some(ArbConfig::default()),
+            violation_penalty: 8,
+            arb_full_penalty: 2,
+            confidence_gate: None,
+        }
+    }
+}
+
+/// Result of a timing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingResult {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Total cycles until the last commit.
+    pub cycles: u64,
+    /// Dynamic tasks executed.
+    pub dynamic_tasks: u64,
+    /// Inter-task (next-task-address) mispredictions.
+    pub task_mispredicts: u64,
+    /// Intra-task conditional-branch mispredictions.
+    pub intra_mispredicts: u64,
+    /// Memory-order violations detected by the ARB model.
+    pub arb_violations: u64,
+    /// References stalled by ARB bank overflow.
+    pub arb_full_stalls: u64,
+    /// Boundaries where confidence gating withheld speculation.
+    pub gated_boundaries: u64,
+}
+
+impl TimingResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Task misprediction rate per dynamic task.
+    pub fn task_miss_rate(&self) -> f64 {
+        if self.dynamic_tasks == 0 {
+            0.0
+        } else {
+            self.task_mispredicts as f64 / self.dynamic_tasks as f64
+        }
+    }
+}
+
+/// Inter-task prediction as the timing simulator consumes it.
+///
+/// Implemented by [`TaskPredictor`] for real predictors; pass `None` to
+/// [`simulate`] for the paper's "Perfect" upper bound.
+pub trait NextTaskPredictor {
+    /// Predicts the entry address of the task following `task`.
+    fn predict_next(&mut self, task: &TaskDesc) -> Option<Addr>;
+    /// Resolves the step with the actual exit and next-task address.
+    fn resolve(&mut self, task: &TaskDesc, actual_exit: ExitIndex, actual_next: Addr);
+}
+
+impl<E: ExitPredictor> NextTaskPredictor for TaskPredictor<E> {
+    fn predict_next(&mut self, task: &TaskDesc) -> Option<Addr> {
+        self.predict(task).target
+    }
+    fn resolve(&mut self, task: &TaskDesc, actual_exit: ExitIndex, actual_next: Addr) {
+        self.update(task, actual_exit, actual_next);
+    }
+}
+
+/// Runs the timing model over a full program execution.
+///
+/// `predictor` drives inter-task speculation; `None` simulates perfect
+/// next-task prediction (the paper's "Perfect" row).
+///
+/// # Errors
+///
+/// Same failure modes as trace generation: execution faults, unmatched
+/// boundary crossings, step-budget exhaustion.
+pub fn simulate(
+    program: &Program,
+    tasks: &TaskProgram,
+    descs: &[TaskDesc],
+    mut predictor: Option<&mut dyn NextTaskPredictor>,
+    config: &TimingConfig,
+    max_steps: u64,
+) -> Result<TimingResult, TraceError> {
+    let mut interp = Interpreter::new(program);
+    let mut intra = IntraState::new(config.intra_predictor, config.bimodal_bits);
+
+    let mut result = TimingResult {
+        instructions: 0,
+        cycles: 0,
+        dynamic_tasks: 0,
+        task_mispredicts: 0,
+        intra_mispredicts: 0,
+        arb_violations: 0,
+        arb_full_stalls: 0,
+        gated_boundaries: 0,
+    };
+    let mut confidence = config.confidence_gate.map(|t| ConfidenceEstimator::new(12, t));
+
+    // Memory disambiguation: the ARB tracks in-flight references per ring
+    // stage; time-based detection catches loads that would have issued
+    // before an older in-flight task's store to the same address.
+    let mut arb = config.arb.map(|mut c| {
+        c.stages = c.stages.max(config.n_units);
+        Arb::new(c)
+    });
+    let mut last_store: HashMap<u32, (u64, u64)> = HashMap::new(); // addr -> (issue, task)
+
+    // Global register scoreboard: cycle each register's value is ready
+    // (exact production time). Under release-at-end forwarding, younger
+    // tasks instead see `released`, updated when the producing task ends.
+    let mut avail = [0u64; NUM_REGS];
+    let mut released = [0u64; NUM_REGS];
+    let mut written_this_task: u32 = 0;
+    // Ring state.
+    let mut unit_free = vec![0u64; config.n_units];
+    let mut prev_commit: u64 = 0;
+
+    // Current task instance state.
+    let mut cur_task = tasks
+        .task_entered_at(program.entry_point())
+        .expect("entry starts a task");
+    let mut task_index: u64 = 0;
+    let mut dispatch = 1u64; // first dispatch
+    let mut t_issue = dispatch + 1;
+    let mut slots = 0u32;
+    let mut complete = t_issue;
+
+    if let Some(arb) = arb.as_mut() {
+        arb.begin_task(0);
+    }
+
+    let mut steps = 0u64;
+    loop {
+        if steps >= max_steps {
+            return Err(TraceError::StepLimit);
+        }
+        let info = interp.step()?;
+        steps += 1;
+        result.instructions += 1;
+
+        // --- issue timing for this instruction --------------------------
+        let mut ready = t_issue;
+        for r in info.inst.sources() {
+            let t = match config.forwarding {
+                ForwardingModel::Eager => avail[r.index()],
+                ForwardingModel::ReleaseAtEnd => {
+                    // Values produced by this task bypass locally; values
+                    // from older tasks arrive at their release time.
+                    if written_this_task & (1 << r.index()) != 0 {
+                        avail[r.index()]
+                    } else {
+                        released[r.index()]
+                    }
+                }
+            };
+            ready = ready.max(t);
+        }
+        if ready > t_issue {
+            t_issue = ready;
+            slots = 0;
+        }
+        let issue_time = t_issue;
+        slots += 1;
+        if slots >= config.issue_width {
+            t_issue += 1;
+            slots = 0;
+        }
+        let latency = match info.inst {
+            Instruction::Load { .. } => config.load_latency,
+            _ => 1,
+        };
+
+        // --- memory disambiguation -----------------------------------------
+        if let Some(ea) = info.mem_addr {
+            let is_load = matches!(info.inst, Instruction::Load { .. });
+            if is_load {
+                // Would this load have issued before an older in-flight
+                // store to the same address produced its value?
+                if let Some(&(store_time, store_task)) = last_store.get(&ea) {
+                    if store_task < task_index && store_time > issue_time {
+                        // Violation: the load's task re-executes from here.
+                        result.arb_violations += 1;
+                        t_issue = store_time + config.violation_penalty;
+                        slots = 0;
+                        complete = complete.max(t_issue);
+                    }
+                }
+            } else {
+                last_store.insert(ea, (issue_time, task_index));
+            }
+            if let Some(arb) = arb.as_mut() {
+                let ev = if is_load {
+                    arb.load(ea, task_index)
+                } else {
+                    arb.store(ea, task_index)
+                };
+                if ev == ArbEvent::Full {
+                    // No free entry: stall until the head commits.
+                    result.arb_full_stalls += 1;
+                    t_issue += config.arb_full_penalty;
+                    slots = 0;
+                }
+            }
+        }
+        if let Some(rd) = info.inst.dest() {
+            avail[rd.index()] = issue_time + latency;
+            written_this_task |= 1 << rd.index();
+        }
+        complete = complete.max(issue_time + latency);
+
+        if interp.is_halted() {
+            break;
+        }
+
+        // --- task boundary? ----------------------------------------------
+        let next_pc = info.next;
+        let crossed = if next_pc == info.pc.next() && tasks.task_at(next_pc) == Some(cur_task) {
+            None
+        } else {
+            tasks.resolve_exit(cur_task, info.pc, next_pc)
+        };
+
+        match crossed {
+            Some(exit) => {
+                // Inter-task prediction for this boundary.
+                let desc = &descs[cur_task.index()];
+                let mut gated = false;
+                let miss = match predictor.as_deref_mut() {
+                    Some(p) => {
+                        let predicted = p.predict_next(desc);
+                        p.resolve(desc, exit, next_pc);
+                        let miss = predicted != Some(next_pc);
+                        if let Some(c) = confidence.as_mut() {
+                            gated = !c.high_confidence(desc.entry());
+                            c.update(desc.entry(), !miss);
+                        }
+                        miss
+                    }
+                    None => false, // perfect
+                };
+                result.dynamic_tasks += 1;
+                result.task_mispredicts += miss as u64;
+                result.gated_boundaries += gated as u64;
+
+                // Retire the finished task: release its created registers
+                // (the header's create mask, §2.1) to younger tasks.
+                if config.forwarding == ForwardingModel::ReleaseAtEnd {
+                    for (r, rel) in released.iter_mut().enumerate() {
+                        if written_this_task & (1 << r) != 0 {
+                            *rel = (*rel).max(complete);
+                        }
+                    }
+                    written_this_task = 0;
+                }
+                let commit = complete.max(prev_commit);
+                let unit = (task_index as usize) % config.n_units;
+                unit_free[unit] = commit + 1;
+
+                // Advance the ARB stage window with the ring.
+                if let Some(arb) = arb.as_mut() {
+                    if arb.window_full() {
+                        arb.commit_head();
+                    }
+                    arb.begin_task(task_index + 1);
+                }
+
+                // Dispatch the next task. The boundary just resolved tells
+                // us how the *next* task's dispatch went on real hardware:
+                task_index += 1;
+                let next_unit = (task_index as usize) % config.n_units;
+                let next_dispatch = if miss && !gated {
+                    // Mispredicted: the wrong-path work is squashed when
+                    // this task completes and reveals its actual exit; the
+                    // correct next task dispatches after recovery.
+                    complete + config.squash_penalty
+                } else if gated {
+                    // The sequencer withheld speculation on a
+                    // low-confidence prediction: the next task starts once
+                    // this boundary resolves — no squash, but no overlap.
+                    complete.max(unit_free[next_unit])
+                } else {
+                    // Correct speculation: one prediction per
+                    // `dispatch_cost` cycles, subject to a free unit.
+                    (dispatch + config.dispatch_cost).max(unit_free[next_unit])
+                };
+                prev_commit = commit;
+                dispatch = next_dispatch.max(dispatch + config.dispatch_cost);
+                cur_task = match tasks.task_entered_at(next_pc) {
+                    Some(t) => t,
+                    None => {
+                        return Err(TraceError::UnmatchedExit {
+                            task: cur_task,
+                            from: info.pc,
+                            to: next_pc,
+                        })
+                    }
+                };
+                t_issue = t_issue.max(dispatch + 1);
+                slots = 0;
+                complete = complete.max(t_issue);
+            }
+            None => {
+                // Still inside the task: internal conditional branches go
+                // through the intra-task bimodal predictor.
+                if let Instruction::Branch { .. } = info.inst {
+                    let taken = next_pc != info.pc.next();
+                    let predicted = intra.predict(info.pc);
+                    if predicted != taken {
+                        result.intra_mispredicts += 1;
+                        t_issue = issue_time + 1 + config.intra_penalty;
+                        slots = 0;
+                    }
+                    intra.update(info.pc, taken);
+                }
+                // Sanity: control must remain within the current task.
+                if tasks.task_at(next_pc) != Some(cur_task) {
+                    return Err(TraceError::UnmatchedExit {
+                        task: cur_task,
+                        from: info.pc,
+                        to: next_pc,
+                    });
+                }
+            }
+        }
+    }
+
+    result.cycles = complete.max(prev_commit);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::Program;
+    use crate::measure::task_descs;
+    use multiscalar_core::automata::LastExitHysteresis;
+    use multiscalar_core::dolc::Dolc;
+    use multiscalar_core::history::PathPredictor;
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+    use multiscalar_taskform::TaskFormer;
+
+    type PathLeh2 = PathPredictor<LastExitHysteresis<2>>;
+
+    fn loop_program(iters: i32) -> multiscalar_isa::Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), iters);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(3), Reg(3), 1);
+        b.op_imm(AluOp::Xor, Reg(4), Reg(3), 5);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        b.finish(main).unwrap()
+    }
+
+    fn run(
+        p: &multiscalar_isa::Program,
+        pred: Option<&mut dyn NextTaskPredictor>,
+    ) -> TimingResult {
+        let tp = TaskFormer::default().form(p).unwrap();
+        let descs = task_descs(&tp);
+        simulate(p, &tp, &descs, pred, &TimingConfig::default(), 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn perfect_prediction_beats_or_ties_real_prediction() {
+        let p = loop_program(2000);
+        let perfect = run(&p, None);
+        let mut real = TaskPredictor::<PathLeh2>::path(
+            Dolc::new(4, 4, 6, 6, 2),
+            Dolc::new(4, 3, 4, 4, 2),
+            16,
+        );
+        let realr = run(&p, Some(&mut real));
+        assert_eq!(perfect.instructions, realr.instructions, "same committed work");
+        assert!(perfect.cycles <= realr.cycles, "perfect can never be slower");
+        assert_eq!(perfect.task_mispredicts, 0);
+        assert!(perfect.ipc() >= realr.ipc());
+        assert!(perfect.ipc() > 0.5, "a tight loop should overlap well: {}", perfect.ipc());
+    }
+
+    #[test]
+    fn ipc_bounded_by_machine_width() {
+        let p = loop_program(500);
+        let r = run(&p, None);
+        let peak = 4.0 * 2.0;
+        assert!(r.ipc() <= peak, "IPC {} cannot exceed peak {peak}", r.ipc());
+        assert!(r.ipc() > 0.1);
+        assert!(r.cycles > 0);
+        assert!(r.dynamic_tasks >= 499);
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        // Compare a deliberately tiny (bad) predictor against a good one on
+        // a program with a learnable pattern.
+        let p = loop_program(3000);
+        let mut good = TaskPredictor::<PathLeh2>::path(
+            Dolc::new(4, 4, 6, 6, 2),
+            Dolc::new(4, 3, 4, 4, 2),
+            16,
+        );
+        let good_r = run(&p, Some(&mut good));
+        // The loop task always re-enters itself, so even the good predictor
+        // only misses at the very end; verify costs are visible by checking
+        // misses translate into cycles vs perfect.
+        let perfect = run(&p, None);
+        if good_r.task_mispredicts > 0 {
+            assert!(good_r.cycles > perfect.cycles);
+        }
+        assert!(good_r.task_miss_rate() < 0.05, "loop exits are trivially learnable");
+    }
+
+    #[test]
+    fn dataflow_dependences_throttle_ipc() {
+        // A pure dependence chain cannot exceed 1 instruction per cycle.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        for _ in 0..64 {
+            b.op_imm(AluOp::Add, Reg(1), Reg(1), 1); // serial chain
+        }
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = run(&p, None);
+        assert!(r.ipc() <= 1.1, "serial chain must be ~1 IPC, got {}", r.ipc());
+
+        // Independent streams can exceed 1 IPC on a 2-wide unit.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        for _ in 0..32 {
+            b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+            b.op_imm(AluOp::Add, Reg(2), Reg(2), 1);
+        }
+        b.halt();
+        b.end_function();
+        let p2 = b.finish(main).unwrap();
+        let r2 = run(&p2, None);
+        assert!(r2.ipc() > 1.2, "independent streams should dual-issue: {}", r2.ipc());
+    }
+
+    /// A producer loop that stores, then a consumer loop that loads the
+    /// same addresses — cross-task memory traffic for the ARB model.
+    fn store_load_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), 200);
+        let top = b.here_label();
+        // store to addr (i & 7), then immediately load it back
+        b.op_imm(AluOp::And, Reg(3), Reg(1), 7);
+        b.store(Reg(1), Reg(3), 0);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.load(Reg(4), Reg(3), 0);
+        b.op(AluOp::Xor, Reg(5), Reg(5), Reg(4));
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn arb_model_is_wired_and_ideal_memory_is_faster_or_equal() {
+        let p = store_load_program();
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let descs = task_descs(&tp);
+        let with_arb = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000)
+            .unwrap();
+        let ideal_mem = TimingConfig { arb: None, ..TimingConfig::default() };
+        let without = simulate(&p, &tp, &descs, None, &ideal_mem, 1_000_000).unwrap();
+        assert_eq!(with_arb.instructions, without.instructions);
+        // The ARB can only add stalls, never remove them.
+        assert!(with_arb.cycles >= without.cycles);
+        assert_eq!(without.arb_full_stalls, 0);
+    }
+
+    #[test]
+    fn tiny_arb_banks_cause_full_stalls() {
+        let p = store_load_program();
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let descs = task_descs(&tp);
+        let tiny = TimingConfig {
+            arb: Some(crate::arb::ArbConfig { banks: 1, entries_per_bank: 1, stages: 4 }),
+            ..TimingConfig::default()
+        };
+        let r = simulate(&p, &tp, &descs, None, &tiny, 1_000_000).unwrap();
+        assert!(r.arb_full_stalls > 0, "a one-entry ARB must overflow on 8 addresses");
+        let roomy = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000)
+            .unwrap();
+        assert!(roomy.arb_full_stalls < r.arb_full_stalls);
+        assert!(r.cycles >= roomy.cycles, "overflow stalls cost cycles");
+    }
+
+    #[test]
+    fn release_at_end_forwarding_is_slower_or_equal() {
+        let p = loop_program(1000);
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let descs = task_descs(&tp);
+        let eager = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000)
+            .unwrap();
+        let conservative = TimingConfig {
+            forwarding: ForwardingModel::ReleaseAtEnd,
+            ..TimingConfig::default()
+        };
+        let released = simulate(&p, &tp, &descs, None, &conservative, 1_000_000).unwrap();
+        assert_eq!(eager.instructions, released.instructions);
+        assert!(
+            released.cycles >= eager.cycles,
+            "release-at-end can only delay values: {} vs {}",
+            released.cycles,
+            eager.cycles
+        );
+        // For a dependence-carrying loop the difference must be visible.
+        assert!(released.cycles > eager.cycles, "the loop-carried counter must stall");
+    }
+
+    #[test]
+    fn intra_task_branch_mispredicts_are_counted() {
+        // A data-dependent alternating branch inside a task body.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), 500);
+        let top = b.here_label();
+        b.op_imm(AluOp::And, Reg(3), Reg(1), 1);
+        let skip = b.new_label();
+        b.branch(Cond::Ne, Reg(3), Reg(0), skip);
+        b.op_imm(AluOp::Add, Reg(4), Reg(4), 1);
+        b.bind(skip);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = run(&p, None);
+        // The alternating branch defeats a bimodal predictor; it may be a
+        // task exit or internal depending on partitioning, so just check
+        // the counter is wired (0 is only possible if it became an exit).
+        assert!(r.intra_mispredicts < r.instructions);
+    }
+}

@@ -1,0 +1,364 @@
+//! Task-level trace generation: the functional simulator's view of the
+//! global sequencer's job.
+//!
+//! The interpreter executes the program instruction by instruction; this
+//! module watches control flow, detects task-boundary crossings against the
+//! task former's partition, and emits one [`TaskEvent`] per dynamic task.
+
+use multiscalar_isa::{Addr, ExecError, ExitIndex, ExitKind, Interpreter, Program};
+use multiscalar_taskform::{TaskId, TaskProgram};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One dynamic task instance: which static task ran, which exit it took,
+/// and where control went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskEvent {
+    /// The static task that executed.
+    pub task: TaskId,
+    /// The exit taken (index into the task's header).
+    pub exit: ExitIndex,
+    /// The exit's control-flow class.
+    pub kind: ExitKind,
+    /// Entry address of the task executed next.
+    pub next: Addr,
+    /// Dynamic instructions executed by this task instance.
+    pub instrs: u32,
+}
+
+/// Errors from trace generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The program faulted.
+    Exec(ExecError),
+    /// Control crossed a task boundary that matches no header exit —
+    /// indicates a task-formation bug.
+    UnmatchedExit {
+        /// The task control was in.
+        task: TaskId,
+        /// The transferring instruction.
+        from: Addr,
+        /// Where control landed.
+        to: Addr,
+    },
+    /// The step budget ran out before the program halted.
+    StepLimit,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Exec(e) => write!(f, "execution fault: {e}"),
+            TraceError::UnmatchedExit { task, from, to } => {
+                write!(f, "{task} crossed {from}->{to} without a matching header exit")
+            }
+            TraceError::StepLimit => f.write_str("step budget exhausted before halt"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<ExecError> for TraceError {
+    fn from(e: ExecError) -> Self {
+        TraceError::Exec(e)
+    }
+}
+
+/// Summary statistics of a trace (the raw material of the paper's Table 2
+/// and Figures 3–4).
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Dynamic task count (Table 2, "Dynamic Tasks").
+    pub dynamic_tasks: u64,
+    /// Distinct static tasks seen (Table 2, "Distinct Tasks Seen").
+    pub distinct_tasks: usize,
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Dynamic task count by number of header exits (index 0 unused;
+    /// `by_num_exits[k]` = tasks with `k` exits). Figure 3, "dynamic" bars.
+    pub by_num_exits: [u64; 5],
+    /// Dynamic exit count by kind, Table 1 order + Halt. Figure 4,
+    /// "dynamic" bars.
+    pub by_kind: [u64; 6],
+}
+
+impl TraceStats {
+    /// Mean dynamic task size in instructions.
+    pub fn mean_task_size(&self) -> f64 {
+        if self.dynamic_tasks == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.dynamic_tasks as f64
+        }
+    }
+
+    /// Fraction of dynamic tasks with `n` exits (`1..=4`).
+    pub fn frac_with_exits(&self, n: usize) -> f64 {
+        if self.dynamic_tasks == 0 {
+            0.0
+        } else {
+            self.by_num_exits[n] as f64 / self.dynamic_tasks as f64
+        }
+    }
+
+    /// Fraction of dynamic exits with the given kind.
+    pub fn frac_kind(&self, kind: ExitKind) -> f64 {
+        let i = kind_slot(kind);
+        if self.dynamic_tasks == 0 {
+            0.0
+        } else {
+            self.by_kind[i] as f64 / self.dynamic_tasks as f64
+        }
+    }
+}
+
+pub(crate) fn kind_slot(kind: ExitKind) -> usize {
+    match kind {
+        ExitKind::Branch => 0,
+        ExitKind::Call => 1,
+        ExitKind::Return => 2,
+        ExitKind::IndirectBranch => 3,
+        ExitKind::IndirectCall => 4,
+        ExitKind::Halt => 5,
+    }
+}
+
+/// A completed trace: the events plus summary statistics.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// One event per dynamic task, in execution order. The final task (the
+    /// one ending in `Halt`) is not recorded — it has no successor to
+    /// predict.
+    pub events: Vec<TaskEvent>,
+    /// Aggregate statistics over `events`.
+    pub stats: TraceStats,
+}
+
+/// Streams task events to `sink` while executing `program` under the task
+/// partition `tasks`.
+///
+/// # Errors
+///
+/// Fails on execution faults, unmatched boundary crossings (task-former
+/// bugs) or step-budget exhaustion.
+pub fn stream_trace<F: FnMut(TaskEvent)>(
+    program: &Program,
+    tasks: &TaskProgram,
+    max_steps: u64,
+    mut sink: F,
+) -> Result<TraceStats, TraceError> {
+    let mut interp = Interpreter::new(program);
+    let mut stats = TraceStats::default();
+    let mut distinct: HashSet<TaskId> = HashSet::new();
+
+    let mut cur_task = tasks
+        .task_entered_at(program.entry_point())
+        .expect("program entry starts a task");
+    let mut cur_instrs: u32 = 0;
+    let mut steps: u64 = 0;
+
+    loop {
+        if steps >= max_steps {
+            return Err(TraceError::StepLimit);
+        }
+        let info = interp.step()?;
+        steps += 1;
+        cur_instrs += 1;
+
+        if interp.is_halted() {
+            // The final task is not emitted (nothing left to predict), but
+            // its instructions count toward the totals.
+            stats.instructions += cur_instrs as u64;
+            break;
+        }
+
+        let next_pc = info.next;
+        // Fast path: sequential flow inside the same task.
+        if next_pc == info.pc.next() && tasks.task_at(next_pc) == Some(cur_task) {
+            continue;
+        }
+        // A control transfer (or sequential flow into a new block): did we
+        // cross a task boundary?
+        match tasks.resolve_exit(cur_task, info.pc, next_pc) {
+            Some(exit) => {
+                let header = tasks.task(cur_task).header();
+                let kind = header.exits()[exit.index()].kind;
+                sink(TaskEvent { task: cur_task, exit, kind, next: next_pc, instrs: cur_instrs });
+                stats.dynamic_tasks += 1;
+                stats.instructions += cur_instrs as u64;
+                stats.by_num_exits[header.num_exits().min(4)] += 1;
+                stats.by_kind[kind_slot(kind)] += 1;
+                distinct.insert(cur_task);
+
+                cur_task = match tasks.task_entered_at(next_pc) {
+                    Some(t) => t,
+                    None => {
+                        return Err(TraceError::UnmatchedExit {
+                            task: cur_task,
+                            from: info.pc,
+                            to: next_pc,
+                        })
+                    }
+                };
+                cur_instrs = 0;
+            }
+            None => {
+                // Must still be inside the current task.
+                if tasks.task_at(next_pc) != Some(cur_task) {
+                    return Err(TraceError::UnmatchedExit {
+                        task: cur_task,
+                        from: info.pc,
+                        to: next_pc,
+                    });
+                }
+            }
+        }
+    }
+
+    stats.distinct_tasks = distinct.len();
+    Ok(stats)
+}
+
+/// Collects a full trace into memory.
+///
+/// # Errors
+///
+/// Same conditions as [`stream_trace`].
+pub fn collect_trace(
+    program: &Program,
+    tasks: &TaskProgram,
+    max_steps: u64,
+) -> Result<TraceRun, TraceError> {
+    let mut events = Vec::new();
+    let stats = stream_trace(program, tasks, max_steps, |e| events.push(e))?;
+    Ok(TraceRun { events, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+    use multiscalar_taskform::TaskFormer;
+
+    fn trace_of(p: &Program, max: u64) -> (TaskProgram, TraceRun) {
+        let tp = TaskFormer::default().form(p).unwrap();
+        tp.validate(p).unwrap();
+        let run = collect_trace(p, &tp, max).unwrap();
+        (tp, run)
+    }
+
+    #[test]
+    fn loop_task_re_enters_itself() {
+        // A 10-iteration self-loop task must appear 10 times in the trace
+        // (paper Fig. 1: tasks re-enter through exits).
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), 10);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let (tp, run) = trace_of(&p, 10_000);
+
+        // The loop back-edge produces repeated instances of the loop task.
+        let loop_task = tp.task_at(multiscalar_isa::Addr(2)).unwrap();
+        let n = run.events.iter().filter(|e| e.task == loop_task).count();
+        assert!(n >= 9, "expected ~10 loop-task instances, got {n}");
+        assert!(run.stats.dynamic_tasks >= 9);
+    }
+
+    #[test]
+    fn call_return_events_have_matching_kinds() {
+        let mut b = ProgramBuilder::new();
+        let callee = b.begin_function("callee");
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.call_label(callee);
+        b.call_label(callee);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let (_tp, run) = trace_of(&p, 10_000);
+
+        let calls = run.events.iter().filter(|e| e.kind == ExitKind::Call).count();
+        let rets = run.events.iter().filter(|e| e.kind == ExitKind::Return).count();
+        assert_eq!(calls, 2);
+        assert_eq!(rets, 2);
+        // Each event's `next` is the entry of the task recorded by the
+        // following event's execution.
+        for e in &run.events {
+            assert!(p.fetch(e.next).is_some());
+        }
+    }
+
+    #[test]
+    fn instruction_counts_add_up() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), 50);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let (_tp, run) = trace_of(&p, 10_000);
+        // Total instructions = interpreter steps.
+        let mut i = Interpreter::new(&p);
+        let out = i.run(10_000).unwrap();
+        assert_eq!(run.stats.instructions, out.steps);
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.jump(top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = TaskFormer::default().form(&p).unwrap();
+        assert_eq!(collect_trace(&p, &tp, 100).unwrap_err(), TraceError::StepLimit);
+    }
+
+    #[test]
+    fn stats_distributions_are_consistent() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        let l = b.new_label();
+        b.branch(Cond::Eq, Reg(1), Reg(0), l);
+        b.op_imm(AluOp::Add, Reg(2), Reg(2), 1);
+        b.bind(l);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(3), 20);
+        let top = b.here_label();
+        b.call_label(f);
+        b.op_imm(AluOp::Add, Reg(4), Reg(4), 1);
+        b.branch(Cond::Lt, Reg(4), Reg(3), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let (_tp, run) = trace_of(&p, 100_000);
+
+        let s = &run.stats;
+        assert_eq!(s.dynamic_tasks as usize, run.events.len());
+        assert_eq!(s.by_num_exits.iter().sum::<u64>(), s.dynamic_tasks);
+        assert_eq!(s.by_kind.iter().sum::<u64>(), s.dynamic_tasks);
+        assert!(s.mean_task_size() > 0.0);
+        assert!(s.distinct_tasks >= 3);
+        let frac_sum: f64 = (1..=4).map(|n| s.frac_with_exits(n)).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests: the functional simulator over random structured
+//! programs — trace well-formedness, determinism, and predictor-harness
+//! invariants.
+
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::predictor::TaskPredictor;
+use multiscalar_sim::measure::{measure_full, task_descs};
+use multiscalar_sim::trace::collect_trace;
+use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig};
+use multiscalar_taskform::TaskFormer;
+use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
+use proptest::prelude::*;
+
+type Leh2 = LastExitHysteresis<2>;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traces_are_well_formed(
+        seed in 0u64..10_000,
+        functions in 1usize..6,
+        constructs in 1usize..6,
+    ) {
+        let p = random_program(seed, &SyntheticConfig { functions, constructs, nesting: 2 });
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let run = collect_trace(&p, &tp, 5_000_000).expect("trace succeeds");
+
+        prop_assert_eq!(run.events.len() as u64, run.stats.dynamic_tasks);
+        for e in &run.events {
+            let task = tp.task(e.task);
+            // The exit index refers to a real header exit of that task.
+            let spec = task.header().exits().get(e.exit.index()).expect("exit exists");
+            prop_assert_eq!(spec.kind, e.kind);
+            // Control landed on a task entry.
+            prop_assert!(tp.task_entered_at(e.next).is_some());
+            // Known-target exits must match the recorded destination.
+            if let Some(t) = spec.target {
+                prop_assert_eq!(t, e.next);
+            }
+            prop_assert!(e.instrs >= 1);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic(seed in 0u64..5_000) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let a = collect_trace(&p, &tp, 5_000_000).unwrap();
+        let b = collect_trace(&p, &tp, 5_000_000).unwrap();
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn full_predictor_never_panics_and_counts_every_event(
+        seed in 0u64..5_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let run = collect_trace(&p, &tp, 5_000_000).unwrap();
+        let descs = task_descs(&tp);
+        let mut pred = TaskPredictor::<PathPredictor<Leh2>>::path(
+            Dolc::new(3, 4, 5, 6, 2),
+            Dolc::new(3, 3, 4, 4, 2),
+            16,
+        );
+        let stats = measure_full(&mut pred, &descs, &run.events);
+        prop_assert_eq!(stats.exits.predictions, run.events.len() as u64);
+        prop_assert!(stats.exits.misses <= stats.exits.predictions);
+        // An exit miss implies a next-task miss, so next-task misses are
+        // at least as common.
+        prop_assert!(stats.next_task.misses >= stats.exits.misses);
+    }
+
+    #[test]
+    fn perfect_timing_dominates_real_timing(
+        seed in 0u64..2_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let descs = task_descs(&tp);
+        let config = TimingConfig::default();
+        let perfect = simulate(&p, &tp, &descs, None, &config, 5_000_000).unwrap();
+        let mut pred = TaskPredictor::<PathPredictor<Leh2>>::path(
+            Dolc::new(3, 4, 5, 6, 2),
+            Dolc::new(3, 3, 4, 4, 2),
+            16,
+        );
+        let real = simulate(
+            &p,
+            &tp,
+            &descs,
+            Some(&mut pred as &mut dyn NextTaskPredictor),
+            &config,
+            5_000_000,
+        )
+        .unwrap();
+        prop_assert_eq!(perfect.instructions, real.instructions);
+        prop_assert!(perfect.cycles <= real.cycles, "perfect prediction can never be slower");
+        prop_assert_eq!(perfect.task_mispredicts, 0);
+        // IPC is bounded by the machine's peak.
+        let peak = (config.n_units as f64) * (config.issue_width as f64);
+        prop_assert!(perfect.ipc() <= peak + 1e-9);
+    }
+
+    #[test]
+    fn trace_instruction_totals_match_interpreter(
+        seed in 0u64..2_000,
+    ) {
+        let p = random_program(seed, &SyntheticConfig::default());
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let run = collect_trace(&p, &tp, 5_000_000).unwrap();
+        let mut interp = multiscalar_isa::Interpreter::new(&p);
+        let out = interp.run(5_000_000).unwrap();
+        prop_assert!(out.halted);
+        prop_assert_eq!(run.stats.instructions, out.steps);
+    }
+}

@@ -1,0 +1,573 @@
+//! The task-forming pass: interval-style region growth with an exit budget.
+
+use crate::header::{ExitSpec, TaskHeader};
+use crate::task::{Task, TaskId, TaskProgram};
+use multiscalar_cfg::{BlockId, Cfg, EdgeKind, Terminator};
+use multiscalar_isa::{Addr, ExitKind, FuncId, Program, MAX_EXITS};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// Tuning knobs for the task former.
+///
+/// The defaults produce tasks comparable in size to the paper's (a handful
+/// of basic blocks, tens of instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskFormConfig {
+    /// Maximum static instructions per task.
+    pub max_instrs: usize,
+    /// Maximum basic blocks per task.
+    pub max_blocks: usize,
+}
+
+impl Default for TaskFormConfig {
+    fn default() -> Self {
+        TaskFormConfig { max_instrs: 32, max_blocks: 12 }
+    }
+}
+
+/// Errors from [`TaskFormer::form`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormError {
+    /// An indirect jump has no declared target set
+    /// (see [`multiscalar_isa::ProgramBuilder::jump_indirect_with_targets`]);
+    /// without it the landing blocks cannot be made task entries.
+    UnresolvedIndirectJump(Addr),
+}
+
+impl fmt::Display for FormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormError::UnresolvedIndirectJump(a) => {
+                write!(f, "indirect jump at {a} has no declared targets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormError {}
+
+/// Partitions programs into Multiscalar tasks.
+///
+/// See the [crate-level documentation](crate) for the partitioning rules.
+#[derive(Debug, Clone, Default)]
+pub struct TaskFormer {
+    config: TaskFormConfig,
+}
+
+impl TaskFormer {
+    /// Creates a former with the given configuration.
+    pub fn new(config: TaskFormConfig) -> TaskFormer {
+        TaskFormer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TaskFormConfig {
+        &self.config
+    }
+
+    /// Forms tasks for every function of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormError::UnresolvedIndirectJump`] if any indirect jump
+    /// lacks target metadata.
+    pub fn form(&self, program: &Program) -> Result<TaskProgram, FormError> {
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut task_by_addr: Vec<Option<TaskId>> = vec![None; program.len()];
+
+        for (fidx, _) in program.functions().iter().enumerate() {
+            let func = FuncId(fidx as u32);
+            let cfg = Cfg::build(program, func);
+            self.form_function(program, func, &cfg, &mut tasks, &mut task_by_addr)?;
+        }
+
+        let task_by_addr = task_by_addr
+            .into_iter()
+            .map(|t| t.expect("every instruction assigned to a task"))
+            .collect();
+        Ok(TaskProgram { tasks, task_by_addr })
+    }
+
+    fn form_function(
+        &self,
+        program: &Program,
+        func: FuncId,
+        cfg: &Cfg,
+        tasks: &mut Vec<Task>,
+        task_by_addr: &mut [Option<TaskId>],
+    ) -> Result<(), FormError> {
+        let n = cfg.blocks().len();
+
+        // Reject unresolved indirect jumps up front.
+        for b in cfg.blocks() {
+            if let Terminator::IndirectJump { resolved: false } = b.terminator() {
+                return Err(FormError::UnresolvedIndirectJump(b.last()));
+            }
+        }
+
+        // Mandatory task entries: function entry, call-return points,
+        // indirect-jump case targets.
+        let mut mandatory: HashSet<BlockId> = HashSet::new();
+        mandatory.insert(cfg.entry());
+        for b in cfg.blocks() {
+            for e in b.succs() {
+                if matches!(e.kind, EdgeKind::CallReturn | EdgeKind::IndirectCase) {
+                    mandatory.insert(e.to);
+                }
+            }
+        }
+
+        let mut assigned: Vec<bool> = vec![false; n];
+
+        // Seed order: mandatory seeds by address, then any leftovers.
+        let mut seeds: Vec<BlockId> = mandatory.iter().copied().collect();
+        seeds.sort_by_key(|b| cfg.block(*b).start());
+
+        let mut seed_queue: std::collections::VecDeque<BlockId> = seeds.into();
+        let mut next_fallback = 0usize; // scan cursor for unassigned blocks
+
+        loop {
+            let seed = match seed_queue.pop_front() {
+                Some(s) if !assigned[s.index()] => s,
+                Some(_) => continue,
+                None => {
+                    // Pick the lowest-address unassigned block, if any.
+                    while next_fallback < n && assigned[next_fallback] {
+                        next_fallback += 1;
+                    }
+                    if next_fallback == n {
+                        break;
+                    }
+                    BlockId(next_fallback as u32)
+                }
+            };
+
+            let region = self.grow_region(cfg, seed, &mandatory, &assigned);
+            let exits = region_exits(program, cfg, &region, seed);
+            debug_assert!(exits.len() <= MAX_EXITS);
+
+            let id = TaskId(tasks.len() as u32);
+            let mut block_starts: Vec<Addr> = Vec::with_capacity(region.len());
+            let mut num_instrs = 0;
+            let mut create_mask = 0u32;
+            for &b in &region {
+                let blk = cfg.block(b);
+                block_starts.push(blk.start());
+                num_instrs += blk.len();
+                assigned[b.index()] = true;
+                for a in blk.range() {
+                    task_by_addr[a as usize] = Some(id);
+                    if let Some(rd) =
+                        program.fetch(Addr(a)).expect("in range").dest()
+                    {
+                        create_mask |= 1 << rd.index();
+                    }
+                }
+            }
+            block_starts.sort_unstable();
+
+            tasks.push(Task {
+                id,
+                func,
+                entry: cfg.block(seed).start(),
+                header: TaskHeader::with_create_mask(exits, create_mask),
+                block_starts,
+                num_instrs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Grows a single-entry region from `seed` (interval construction with
+    /// budgets). Returns the blocks of the region.
+    fn grow_region(
+        &self,
+        cfg: &Cfg,
+        seed: BlockId,
+        mandatory: &HashSet<BlockId>,
+        assigned: &[bool],
+    ) -> BTreeSet<BlockId> {
+        let mut region: BTreeSet<BlockId> = BTreeSet::new();
+        region.insert(seed);
+        let mut instrs = cfg.block(seed).len();
+
+        let mut frontier: BTreeSet<BlockId> = BTreeSet::new();
+        let mut rejected: HashSet<BlockId> = HashSet::new();
+        let push_succs = |region: &BTreeSet<BlockId>,
+                          frontier: &mut BTreeSet<BlockId>,
+                          b: BlockId| {
+            for e in cfg.block(b).succs() {
+                let internal_kind = matches!(
+                    e.kind,
+                    EdgeKind::FallThrough | EdgeKind::Taken | EdgeKind::Jump
+                );
+                if internal_kind && !region.contains(&e.to) {
+                    frontier.insert(e.to);
+                }
+            }
+        };
+        push_succs(&region, &mut frontier, seed);
+
+        loop {
+            let mut progressed = false;
+            let candidates: Vec<BlockId> = frontier.iter().copied().collect();
+            for c in candidates {
+                if region.contains(&c) || assigned[c.index()] || mandatory.contains(&c)
+                    || rejected.contains(&c) || c == seed
+                {
+                    frontier.remove(&c);
+                    continue;
+                }
+                // Single-entry (interval) condition: every predecessor of a
+                // candidate must already be inside the region.
+                if !cfg.block(c).preds().iter().all(|p| region.contains(p)) {
+                    continue; // retry on a later pass
+                }
+                // Budget checks.
+                let c_len = cfg.block(c).len();
+                if region.len() + 1 > self.max_blocks()
+                    || instrs + c_len > self.config.max_instrs
+                {
+                    rejected.insert(c);
+                    frontier.remove(&c);
+                    continue;
+                }
+                let mut tentative = region.clone();
+                tentative.insert(c);
+                // `region_exits` only needs structural info, so a dummy
+                // program is not required — it reads the CFG. Exit counting:
+                if count_region_exits(cfg, &tentative, seed) > MAX_EXITS {
+                    rejected.insert(c);
+                    frontier.remove(&c);
+                    continue;
+                }
+                region.insert(c);
+                instrs += c_len;
+                frontier.remove(&c);
+                push_succs(&region, &mut frontier, c);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        region
+    }
+
+    fn max_blocks(&self) -> usize {
+        self.config.max_blocks.max(1)
+    }
+}
+
+/// Counts the exits a region would have. Must agree exactly with
+/// [`region_exits`].
+fn count_region_exits(cfg: &Cfg, region: &BTreeSet<BlockId>, seed: BlockId) -> usize {
+    let mut count = 0;
+    for &b in region {
+        let blk = cfg.block(b);
+        match blk.terminator() {
+            Terminator::CondBranch | Terminator::Jump | Terminator::FallThrough => {
+                for e in blk.succs() {
+                    if !region.contains(&e.to) || e.to == seed {
+                        count += 1;
+                    }
+                }
+            }
+            Terminator::IndirectJump { .. }
+            | Terminator::Call { .. }
+            | Terminator::IndirectCall
+            | Terminator::Return
+            | Terminator::Halt => count += 1,
+        }
+    }
+    count
+}
+
+/// Computes the exit specs of a finished region.
+///
+/// Rules (see crate docs): calls, indirect calls, returns, indirect jumps
+/// and halts always exit; branch/jump/fall-through edges exit when their
+/// target lies outside the region *or* is the region's own entry (a task
+/// looping back to itself re-enters as a new dynamic task, as in the
+/// paper's Figure 1).
+fn region_exits(
+    program: &Program,
+    cfg: &Cfg,
+    region: &BTreeSet<BlockId>,
+    seed: BlockId,
+) -> Vec<ExitSpec> {
+    let mut exits = Vec::new();
+    for &b in region {
+        let blk = cfg.block(b);
+        let last = blk.last();
+        match blk.terminator() {
+            Terminator::CondBranch | Terminator::Jump | Terminator::FallThrough => {
+                for e in blk.succs() {
+                    if !region.contains(&e.to) || e.to == seed {
+                        exits.push(ExitSpec {
+                            source: last,
+                            kind: ExitKind::Branch,
+                            target: Some(cfg.block(e.to).start()),
+                            return_addr: None,
+                        });
+                    }
+                }
+            }
+            Terminator::IndirectJump { .. } => exits.push(ExitSpec {
+                source: last,
+                kind: ExitKind::IndirectBranch,
+                target: None,
+                return_addr: None,
+            }),
+            Terminator::Call { target } => {
+                debug_assert!(program.fetch(target).is_some());
+                exits.push(ExitSpec {
+                    source: last,
+                    kind: ExitKind::Call,
+                    target: Some(target),
+                    return_addr: Some(last.next()),
+                });
+            }
+            Terminator::IndirectCall => exits.push(ExitSpec {
+                source: last,
+                kind: ExitKind::IndirectCall,
+                target: None,
+                return_addr: Some(last.next()),
+            }),
+            Terminator::Return => exits.push(ExitSpec {
+                source: last,
+                kind: ExitKind::Return,
+                target: None,
+                return_addr: None,
+            }),
+            Terminator::Halt => exits.push(ExitSpec {
+                source: last,
+                kind: ExitKind::Halt,
+                target: None,
+                return_addr: None,
+            }),
+        }
+    }
+    // Deduplicate (a conditional branch whose two sides reach the same
+    // outside block produces one exit).
+    exits.sort_by_key(|e| (e.source, e.target));
+    exits.dedup_by_key(|e| (e.source, e.target));
+    exits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+    fn form(p: &Program) -> TaskProgram {
+        let tp = TaskFormer::new(TaskFormConfig::default()).form(p).unwrap();
+        tp.validate(p).unwrap();
+        tp
+    }
+
+    #[test]
+    fn straight_line_program_is_one_task() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 1);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = form(&p);
+        assert_eq!(tp.static_task_count(), 1);
+        let t = &tp.tasks()[0];
+        assert_eq!(t.header().num_exits(), 1);
+        assert_eq!(t.header().exits()[0].kind, ExitKind::Halt);
+        assert_eq!(t.num_instrs(), 3);
+    }
+
+    #[test]
+    fn loop_back_edge_to_entry_is_an_exit() {
+        // A single-task loop: the back edge targets the task's own entry
+        // and must be an exit (paper Fig. 1, task 3).
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = form(&p);
+        // One task contains the loop header; its header has a BRANCH exit
+        // targeting its own entry.
+        let loop_task = tp.task_at(Addr(0)).unwrap();
+        let t = tp.task(loop_task);
+        assert!(t
+            .header()
+            .exits()
+            .iter()
+            .any(|e| e.kind == ExitKind::Branch && e.target == Some(t.entry())));
+    }
+
+    #[test]
+    fn call_terminates_task_and_return_point_starts_one() {
+        let mut b = ProgramBuilder::new();
+        let callee = b.begin_function("callee");
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.call_label(callee);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = form(&p);
+
+        let (_, mf) = p.function_by_name("main").unwrap();
+        let call_task = tp.task_at(mf.entry()).unwrap();
+        let t = tp.task(call_task);
+        let call_exit = t
+            .header()
+            .exits()
+            .iter()
+            .find(|e| e.kind == ExitKind::Call)
+            .expect("call exit");
+        // Target is the callee entry; return address starts a fresh task.
+        let (_, cf) = p.function_by_name("callee").unwrap();
+        assert_eq!(call_exit.target, Some(cf.entry()));
+        let ra = call_exit.return_addr.unwrap();
+        assert!(tp.task_entered_at(ra).is_some(), "return point must start a task");
+        // The callee entry is also a task entry.
+        assert!(tp.task_entered_at(cf.entry()).is_some());
+    }
+
+    #[test]
+    fn exit_budget_is_respected_on_branchy_code() {
+        // A chain of conditional branches all targeting distinct far-away
+        // blocks forces task splits.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let mut outs = Vec::new();
+        for _ in 0..8 {
+            let l = b.new_label();
+            b.branch(Cond::Eq, Reg(1), Reg(2), l);
+            outs.push(l);
+        }
+        b.halt();
+        for l in outs {
+            b.bind(l);
+            b.halt();
+        }
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = form(&p);
+        for t in tp.tasks() {
+            assert!(t.header().num_exits() <= MAX_EXITS);
+        }
+        assert!(tp.static_task_count() >= 3, "the branch chain must split");
+    }
+
+    #[test]
+    fn every_instruction_belongs_to_exactly_one_task() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        let l = b.new_label();
+        b.branch(Cond::Eq, Reg(0), Reg(1), l);
+        b.load_imm(Reg(2), 1);
+        b.bind(l);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.call_label(f);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = form(&p);
+        for pc in 0..p.len() as u32 {
+            assert!(tp.task_at(Addr(pc)).is_some());
+        }
+    }
+
+    #[test]
+    fn indirect_jump_case_targets_become_task_entries() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let c0 = b.new_label();
+        let c1 = b.new_label();
+        let table = b.alloc_label_table(&[c0, c1]);
+        b.load_imm(Reg(1), table as i32);
+        b.load(Reg(2), Reg(1), 0);
+        b.jump_indirect_with_targets(Reg(2), &[c0, c1]);
+        b.bind(c0);
+        b.halt();
+        b.bind(c1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = form(&p);
+        // The dispatch task exits via INDIRECT_BRANCH.
+        let dispatch = tp.task(tp.task_at(Addr(0)).unwrap());
+        assert!(dispatch
+            .header()
+            .exits()
+            .iter()
+            .any(|e| e.kind == ExitKind::IndirectBranch));
+        // Both case blocks are entries of their own tasks.
+        for t in p.indirect_targets(Addr(2)).unwrap() {
+            assert!(tp.task_entered_at(*t).is_some());
+        }
+    }
+
+    #[test]
+    fn unresolved_indirect_jump_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 2);
+        b.jump_indirect(Reg(1));
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let err = TaskFormer::default().form(&p).unwrap_err();
+        assert!(matches!(err, FormError::UnresolvedIndirectJump(_)));
+    }
+
+    #[test]
+    fn small_instruction_budget_splits_tasks() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        for _ in 0..20 {
+            b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        }
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        // A whole straight-line function is one block, so even a tiny
+        // instruction budget cannot split a single block; but the default
+        // config keeps it as one task.
+        let tp = form(&p);
+        assert_eq!(tp.static_task_count(), 1);
+
+        // With branches creating multiple blocks, the budget forces splits.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        for _ in 0..6 {
+            let skip = b.new_label();
+            b.branch(Cond::Eq, Reg(1), Reg(2), skip);
+            b.op_imm(AluOp::Add, Reg(3), Reg(3), 1);
+            b.op_imm(AluOp::Add, Reg(3), Reg(3), 2);
+            b.bind(skip);
+            b.op_imm(AluOp::Add, Reg(4), Reg(4), 1);
+        }
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tight = TaskFormer::new(TaskFormConfig { max_instrs: 6, max_blocks: 4 })
+            .form(&p)
+            .unwrap();
+        tight.validate(&p).unwrap();
+        let loose = TaskFormer::default().form(&p).unwrap();
+        assert!(tight.static_task_count() > loose.static_task_count());
+        for t in tight.tasks() {
+            assert!(t.num_instrs() <= 6 || t.block_starts().len() == 1);
+        }
+    }
+}

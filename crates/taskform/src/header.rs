@@ -1,0 +1,221 @@
+//! Task headers: the per-task metadata the Multiscalar global sequencer
+//! uses to predict the next task (paper §2.1).
+
+use multiscalar_isa::{Addr, ExitIndex, ExitKind, MAX_EXITS};
+use std::fmt;
+
+/// One exit of a task, as recorded in the task header.
+///
+/// Mirrors the paper's per-exit header fields: the *exit specifier* (control
+/// flow type, [`ExitKind`]), the *target address* when statically known, and
+/// the *return address* for call exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExitSpec {
+    /// Address of the instruction that realises this exit. For an implicit
+    /// fall-through exit this is the last instruction of the source block.
+    pub source: Addr,
+    /// The paper's 5-bit exit specifier: which control-flow class the exit
+    /// belongs to.
+    pub kind: ExitKind,
+    /// Target address if known at compile time (`BRANCH`, `CALL`, and
+    /// implicit fall-through exits); `None` for returns and indirects.
+    pub target: Option<Addr>,
+    /// Address executed after a called routine returns (`CALL` /
+    /// `INDIRECT_CALL` only); pushed onto the hardware RAS.
+    pub return_addr: Option<Addr>,
+}
+
+impl ExitSpec {
+    /// `true` if this exit spec matches a dynamic transfer from `source_pc`
+    /// landing at `to`.
+    ///
+    /// Exits with a known target require an exact `(source, target)` match;
+    /// exits with unknown targets (returns, indirects) match on source
+    /// alone.
+    pub fn matches(&self, source_pc: Addr, to: Addr) -> bool {
+        self.source == source_pc && self.target.is_none_or(|t| t == to)
+    }
+}
+
+impl fmt::Display for ExitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.source)?;
+        if let Some(t) = self.target {
+            write!(f, " -> {t}")?;
+        }
+        if let Some(r) = self.return_addr {
+            write!(f, " (ra {r})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A task header: up to [`MAX_EXITS`] exits in canonical order, plus the
+/// *create mask* — the paper's "bit mask indicating which registers may
+/// have new values created within the task" (§2.1), which the inter-unit
+/// register forwarding hardware uses to know which values to wait for.
+///
+/// Canonical order is ascending `(source, target)`, so exit indices are
+/// stable across executions — index `i` always denotes the same static
+/// exit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskHeader {
+    exits: Vec<ExitSpec>,
+    create_mask: u32,
+}
+
+impl TaskHeader {
+    /// Builds a header from exit specs, sorting them into canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_EXITS`] exits are supplied — the task
+    /// former must never let that happen.
+    pub fn new(exits: Vec<ExitSpec>) -> TaskHeader {
+        TaskHeader::with_create_mask(exits, 0)
+    }
+
+    /// Builds a header with an explicit create mask (bit `r` set when
+    /// register `r` may be written inside the task).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_EXITS`] exits are supplied.
+    pub fn with_create_mask(mut exits: Vec<ExitSpec>, create_mask: u32) -> TaskHeader {
+        assert!(
+            exits.len() <= MAX_EXITS,
+            "task has {} exits, max is {MAX_EXITS}",
+            exits.len()
+        );
+        exits.sort_by_key(|e| (e.source, e.target));
+        TaskHeader { exits, create_mask }
+    }
+
+    /// The create mask: bit `r` is set when the task may write register
+    /// `r`. A consumer of register `r` in a younger task must wait for the
+    /// newest older task whose mask contains `r` to release its value.
+    pub fn create_mask(&self) -> u32 {
+        self.create_mask
+    }
+
+    /// `true` if the task may write register `r`.
+    pub fn creates(&self, r: multiscalar_isa::Reg) -> bool {
+        self.create_mask & (1 << r.index()) != 0
+    }
+
+    /// The exits in canonical order.
+    pub fn exits(&self) -> &[ExitSpec] {
+        &self.exits
+    }
+
+    /// Number of exits (1..=4 for well-formed tasks; the final task of a
+    /// program may have a single `Halt` exit).
+    pub fn num_exits(&self) -> usize {
+        self.exits.len()
+    }
+
+    /// The exit at `index`, if present.
+    pub fn exit(&self, index: ExitIndex) -> Option<&ExitSpec> {
+        self.exits.get(index.index())
+    }
+
+    /// Finds the exit matching a dynamic transfer `(source_pc -> to)`.
+    ///
+    /// Prefers an exact target match over a wildcard (unknown-target) match
+    /// so that a conditional branch whose taken and fall-through sides are
+    /// both exits resolves to the right one.
+    pub fn find_exit(&self, source_pc: Addr, to: Addr) -> Option<ExitIndex> {
+        let mut wildcard = None;
+        for (i, e) in self.exits.iter().enumerate() {
+            if e.source != source_pc {
+                continue;
+            }
+            match e.target {
+                Some(t) if t == to => return ExitIndex::new(i as u8),
+                None => wildcard = ExitIndex::new(i as u8),
+                _ => {}
+            }
+        }
+        wildcard
+    }
+
+    /// `true` if the task has exactly one exit (the paper's single-exit
+    /// optimisation: such tasks are trivially predicted and do not update
+    /// the pattern history table).
+    pub fn single_exit(&self) -> bool {
+        self.exits.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(source: u32, kind: ExitKind, target: Option<u32>) -> ExitSpec {
+        ExitSpec {
+            source: Addr(source),
+            kind,
+            target: target.map(Addr),
+            return_addr: None,
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_source_then_target() {
+        let h = TaskHeader::new(vec![
+            spec(9, ExitKind::Branch, Some(20)),
+            spec(3, ExitKind::Branch, Some(10)),
+            spec(9, ExitKind::Branch, Some(10)),
+        ]);
+        let sources: Vec<u32> = h.exits().iter().map(|e| e.source.0).collect();
+        assert_eq!(sources, vec![3, 9, 9]);
+        assert_eq!(h.exits()[1].target, Some(Addr(10)));
+        assert_eq!(h.exits()[2].target, Some(Addr(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "max is 4")]
+    fn more_than_four_exits_panics() {
+        TaskHeader::new((0..5).map(|i| spec(i, ExitKind::Branch, Some(100 + i))).collect());
+    }
+
+    #[test]
+    fn find_exit_prefers_exact_target() {
+        // A return (wildcard) and a branch at the same pc cannot really
+        // coexist, but the resolution rule is what we verify.
+        let h = TaskHeader::new(vec![
+            spec(5, ExitKind::Branch, Some(10)),
+            spec(5, ExitKind::Branch, Some(12)),
+        ]);
+        assert_eq!(h.find_exit(Addr(5), Addr(12)).unwrap().index(), 1);
+        assert_eq!(h.find_exit(Addr(5), Addr(10)).unwrap().index(), 0);
+        assert_eq!(h.find_exit(Addr(5), Addr(99)), None);
+        assert_eq!(h.find_exit(Addr(6), Addr(10)), None);
+    }
+
+    #[test]
+    fn wildcard_matches_any_target() {
+        let h = TaskHeader::new(vec![spec(7, ExitKind::Return, None)]);
+        assert_eq!(h.find_exit(Addr(7), Addr(1)).unwrap().index(), 0);
+        assert_eq!(h.find_exit(Addr(7), Addr(9999)).unwrap().index(), 0);
+    }
+
+    #[test]
+    fn single_exit_detection() {
+        assert!(TaskHeader::new(vec![spec(1, ExitKind::Call, Some(2))]).single_exit());
+        assert!(!TaskHeader::new(vec![
+            spec(1, ExitKind::Branch, Some(2)),
+            spec(1, ExitKind::Branch, Some(3)),
+        ])
+        .single_exit());
+    }
+
+    #[test]
+    fn exit_spec_matches_semantics() {
+        let e = spec(4, ExitKind::Branch, Some(8));
+        assert!(e.matches(Addr(4), Addr(8)));
+        assert!(!e.matches(Addr(4), Addr(9)));
+        let r = spec(4, ExitKind::Return, None);
+        assert!(r.matches(Addr(4), Addr(1234)));
+    }
+}

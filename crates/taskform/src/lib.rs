@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! The Multiscalar **task former**: a compiler pass that partitions a
+//! program's control-flow graphs into *tasks* and emits *task headers*,
+//! standing in for the Wisconsin Multiscalar compiler used by the paper.
+//!
+//! A task is a connected, single-entry region of basic blocks. Control may
+//! flow arbitrarily inside a task; it leaves through one of at most
+//! [`multiscalar_isa::MAX_EXITS`] (four) *exits*, each classified as one of
+//! the paper's Table 1 kinds ([`multiscalar_isa::ExitKind`]). The header
+//! ([`TaskHeader`]) records, per exit: the kind (the paper's 5-bit *exit
+//! specifier*), the target address when statically known (branches and
+//! calls) and the return address for calls.
+//!
+//! ## Partitioning rules
+//!
+//! * Function entries, call-return points and indirect-jump case targets
+//!   always start tasks (their blocks are *mandatory seeds*).
+//! * Calls, indirect calls, returns and indirect jumps always terminate a
+//!   task (they are always exits).
+//! * Regions grow greedily over fall-through / branch / jump edges until the
+//!   exit budget (4), instruction budget or block budget would be exceeded.
+//! * A region boundary crossed by a branch fall-through or a block's plain
+//!   fall-through is modelled as a `BRANCH` exit with a known target — the
+//!   real compiler would insert an unconditional jump there; we account for
+//!   it without rewriting the code.
+//!
+//! # Example
+//!
+//! ```
+//! use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+//! use multiscalar_taskform::{TaskFormer, TaskFormConfig};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = b.begin_function("main");
+//! let top = b.here_label();
+//! b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+//! b.branch(Cond::Lt, Reg(1), Reg(2), top);
+//! b.halt();
+//! b.end_function();
+//! let p = b.finish(main)?;
+//!
+//! let tasks = TaskFormer::new(TaskFormConfig::default()).form(&p).unwrap();
+//! assert!(tasks.static_task_count() >= 1);
+//! for t in tasks.tasks() {
+//!     assert!(t.header().num_exits() <= 4);
+//! }
+//! # Ok::<(), multiscalar_isa::BuildError>(())
+//! ```
+
+mod former;
+mod header;
+mod task;
+pub mod tfg;
+
+pub use former::{FormError, TaskFormConfig, TaskFormer};
+pub use header::{ExitSpec, TaskHeader};
+pub use task::{Task, TaskId, TaskProgram};
+pub use tfg::{TaskFlowGraph, TfgArc};

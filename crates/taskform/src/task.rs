@@ -1,0 +1,155 @@
+//! Tasks and the whole-program task map ([`TaskProgram`]).
+
+use crate::header::TaskHeader;
+use multiscalar_isa::{Addr, ExitIndex, FuncId, Program};
+use std::fmt;
+
+/// Identifier of a task within a [`TaskProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// One static task: a single-entry region of basic blocks within a function,
+/// plus its header.
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub(crate) id: TaskId,
+    pub(crate) func: FuncId,
+    pub(crate) entry: Addr,
+    pub(crate) header: TaskHeader,
+    pub(crate) block_starts: Vec<Addr>,
+    pub(crate) num_instrs: usize,
+}
+
+impl Task {
+    /// The task's id within its [`TaskProgram`].
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The function the task belongs to.
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The task's entry address — the value used to identify the task in
+    /// predictors (the "task starting address" of the paper).
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// The task header.
+    pub fn header(&self) -> &TaskHeader {
+        &self.header
+    }
+
+    /// Start addresses of the basic blocks making up the task, sorted.
+    pub fn block_starts(&self) -> &[Addr] {
+        &self.block_starts
+    }
+
+    /// Total static instruction count over all blocks.
+    pub fn num_instrs(&self) -> usize {
+        self.num_instrs
+    }
+}
+
+/// The result of task formation: every instruction of the program assigned
+/// to exactly one task.
+#[derive(Debug, Clone)]
+pub struct TaskProgram {
+    pub(crate) tasks: Vec<Task>,
+    /// Task owning each instruction address (`task_by_addr[pc] = TaskId`).
+    pub(crate) task_by_addr: Vec<TaskId>,
+}
+
+impl TaskProgram {
+    /// All tasks, indexed by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Number of static tasks (paper Table 2, "Static Tasks").
+    pub fn static_task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task containing instruction address `pc`.
+    pub fn task_at(&self, pc: Addr) -> Option<TaskId> {
+        self.task_by_addr.get(pc.index()).copied()
+    }
+
+    /// The task whose *entry* is `pc`, if `pc` starts a task.
+    pub fn task_entered_at(&self, pc: Addr) -> Option<TaskId> {
+        let id = self.task_at(pc)?;
+        (self.tasks[id.index()].entry == pc).then_some(id)
+    }
+
+    /// Resolves which exit of `task` a dynamic transfer `(source_pc -> to)`
+    /// took. Returns `None` if the transfer does not match any header exit —
+    /// which would indicate a task-formation bug and is asserted against in
+    /// the simulator.
+    pub fn resolve_exit(&self, task: TaskId, source_pc: Addr, to: Addr) -> Option<ExitIndex> {
+        self.tasks[task.index()].header.find_exit(source_pc, to)
+    }
+
+    /// Sanity-checks the partition against the program: every address is
+    /// covered, every task entry owns its entry address, every task has at
+    /// most four exits, and exit sources lie inside their task. Returns a
+    /// human-readable description of the first violation.
+    ///
+    /// Intended for tests and debugging; O(program size).
+    pub fn validate(&self, program: &Program) -> Result<(), String> {
+        if self.task_by_addr.len() != program.len() {
+            return Err(format!(
+                "task map covers {} addresses, program has {}",
+                self.task_by_addr.len(),
+                program.len()
+            ));
+        }
+        for t in &self.tasks {
+            if self.task_at(t.entry) != Some(t.id) {
+                return Err(format!("{} does not own its entry {}", t.id, t.entry));
+            }
+            if t.header.num_exits() > multiscalar_isa::MAX_EXITS {
+                return Err(format!("{} has too many exits", t.id));
+            }
+            for e in t.header.exits() {
+                if self.task_at(e.source) != Some(t.id) {
+                    return Err(format!(
+                        "{} exit source {} lies outside the task",
+                        t.id, e.source
+                    ));
+                }
+            }
+            for &b in &t.block_starts {
+                if self.task_at(b) != Some(t.id) {
+                    return Err(format!("{} block {} not owned by task", t.id, b));
+                }
+            }
+        }
+        Ok(())
+    }
+}

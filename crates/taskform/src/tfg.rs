@@ -1,0 +1,231 @@
+//! The static **Task Flow Graph** (TFG) — the paper's Figure 1 view of a
+//! Multiscalar executable: tasks at the nodes, control flow between tasks
+//! on the arcs.
+//!
+//! Arcs with statically known targets (branch and call exits, plus call
+//! return-addresses) are resolved to task ids; return and indirect exits
+//! have statically unknown targets and appear as [`TfgArc::Unknown`]. This
+//! is exactly the information the global sequencer's predictor must supply
+//! at run time.
+
+use crate::task::{TaskId, TaskProgram};
+use multiscalar_isa::ExitKind;
+use std::fmt::Write as _;
+
+/// One outgoing arc of a task in the TFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TfgArc {
+    /// Control transfers to a known task (branch/call exits).
+    To(TaskId),
+    /// Target unknown statically (returns, indirect branches/calls).
+    Unknown(ExitKind),
+}
+
+/// The static task flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct TaskFlowGraph {
+    /// `arcs[task][exit]` — one arc per header exit, in exit order.
+    arcs: Vec<Vec<TfgArc>>,
+}
+
+impl TaskFlowGraph {
+    /// Builds the TFG from a task partition.
+    pub fn build(tasks: &TaskProgram) -> TaskFlowGraph {
+        let arcs = tasks
+            .tasks()
+            .iter()
+            .map(|t| {
+                t.header()
+                    .exits()
+                    .iter()
+                    .map(|e| match e.target {
+                        Some(addr) => match tasks.task_entered_at(addr) {
+                            Some(id) => TfgArc::To(id),
+                            None => TfgArc::Unknown(e.kind),
+                        },
+                        None => TfgArc::Unknown(e.kind),
+                    })
+                    .collect()
+            })
+            .collect();
+        TaskFlowGraph { arcs }
+    }
+
+    /// Number of tasks (nodes).
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// `true` if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// The outgoing arcs of `task`, one per header exit.
+    pub fn arcs(&self, task: TaskId) -> &[TfgArc] {
+        &self.arcs[task.index()]
+    }
+
+    /// Successor tasks with statically known targets.
+    pub fn known_succs(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.arcs[task.index()].iter().filter_map(|a| match a {
+            TfgArc::To(t) => Some(*t),
+            TfgArc::Unknown(_) => None,
+        })
+    }
+
+    /// Fraction of all arcs whose target is statically known — an upper
+    /// bound on how much of sequencing could ever be done without dynamic
+    /// target prediction.
+    pub fn known_arc_fraction(&self) -> f64 {
+        let total: usize = self.arcs.iter().map(|a| a.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let known = self
+            .arcs
+            .iter()
+            .flatten()
+            .filter(|a| matches!(a, TfgArc::To(_)))
+            .count();
+        known as f64 / total as f64
+    }
+
+    /// Tasks reachable from `entry` over known arcs.
+    pub fn reachable_from(&self, entry: TaskId) -> usize {
+        let mut seen = vec![false; self.arcs.len()];
+        let mut stack = vec![entry];
+        seen[entry.index()] = true;
+        let mut n = 0;
+        while let Some(t) = stack.pop() {
+            n += 1;
+            for s in self.known_succs(t) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        n
+    }
+
+    /// Renders the graph in Graphviz dot format (tasks labelled with entry
+    /// address and instruction count; unknown-target arcs drawn dashed to a
+    /// per-kind sink).
+    pub fn to_dot(&self, tasks: &TaskProgram) -> String {
+        let mut s = String::from("digraph tfg {\n  node [shape=box];\n");
+        for t in tasks.tasks() {
+            let _ = writeln!(
+                s,
+                "  t{} [label=\"{} @{}\\n{} instrs\"];",
+                t.id().index(),
+                t.id(),
+                t.entry().0,
+                t.num_instrs()
+            );
+        }
+        for (i, arcs) in self.arcs.iter().enumerate() {
+            for (k, a) in arcs.iter().enumerate() {
+                match a {
+                    TfgArc::To(to) => {
+                        let _ = writeln!(s, "  t{i} -> t{} [label=\"e{k}\"];", to.index());
+                    }
+                    TfgArc::Unknown(kind) => {
+                        let sink = format!("u_{kind}").to_lowercase();
+                        let _ = writeln!(
+                            s,
+                            "  t{i} -> {sink} [label=\"e{k}\", style=dashed];"
+                        );
+                    }
+                }
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::former::TaskFormer;
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+
+    fn figure1_like() -> (multiscalar_isa::Program, TaskProgram) {
+        let mut b = ProgramBuilder::new();
+        let callee = b.begin_function("do_some_more");
+        b.op_imm(AluOp::Add, Reg(5), Reg(5), 1);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.call_label(callee);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let tp = TaskFormer::default().form(&p).unwrap();
+        (p, tp)
+    }
+
+    #[test]
+    fn arcs_match_header_exits() {
+        let (_p, tp) = figure1_like();
+        let tfg = TaskFlowGraph::build(&tp);
+        assert_eq!(tfg.len(), tp.static_task_count());
+        for t in tp.tasks() {
+            assert_eq!(tfg.arcs(t.id()).len(), t.header().num_exits());
+        }
+    }
+
+    #[test]
+    fn known_arcs_point_at_task_entries() {
+        let (_p, tp) = figure1_like();
+        let tfg = TaskFlowGraph::build(&tp);
+        for t in tp.tasks() {
+            for s in tfg.known_succs(t.id()) {
+                assert!(s.index() < tp.static_task_count());
+            }
+        }
+    }
+
+    #[test]
+    fn returns_are_unknown_arcs() {
+        let (_p, tp) = figure1_like();
+        let tfg = TaskFlowGraph::build(&tp);
+        let ret_task = tp
+            .tasks()
+            .iter()
+            .find(|t| t.header().exits().iter().any(|e| e.kind == ExitKind::Return))
+            .expect("callee has a return");
+        assert!(tfg
+            .arcs(ret_task.id())
+            .iter()
+            .any(|a| matches!(a, TfgArc::Unknown(ExitKind::Return))));
+        let frac = tfg.known_arc_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "mix of known and unknown arcs: {frac}");
+    }
+
+    #[test]
+    fn main_entry_reaches_loop_tasks() {
+        let (p, tp) = figure1_like();
+        let (_, mf) = p.function_by_name("main").unwrap();
+        let entry = tp.task_entered_at(mf.entry()).unwrap();
+        assert!(tfg_reach(&tp, entry) >= 2, "the loop tasks are statically reachable");
+
+        fn tfg_reach(tp: &TaskProgram, e: TaskId) -> usize {
+            TaskFlowGraph::build(tp).reachable_from(e)
+        }
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (_p, tp) = figure1_like();
+        let dot = TaskFlowGraph::build(&tp).to_dot(&tp);
+        assert!(dot.starts_with("digraph tfg {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("style=dashed"), "unknown arcs rendered dashed");
+    }
+}

@@ -1,0 +1,251 @@
+//! Code-generation helpers shared by the workload generators: register
+//! conventions, a software stack for locals across calls, and switch /
+//! indirect-call dispatch through tables.
+//!
+//! # Register conventions
+//!
+//! The hardware call stack only saves return addresses, so generators
+//! follow a software convention:
+//!
+//! * `r1..=r4` ([`A0`]–[`A3`]) — arguments and return value ([`RV`] = `r1`),
+//!   caller-clobbered,
+//! * `r10..=r17` ([`T0`]–[`T7`]) — temporaries, caller-clobbered,
+//! * `r20..=r25` ([`S0`]–[`S5`]) — callee-saved (push/pop via [`push_regs`]
+//!   / [`pop_regs`] around use),
+//! * `r28` ([`GP`]) — global data pointer, set once in `main`,
+//! * `r31` ([`SP`]) — software stack pointer, initialised by
+//!   [`init_stack`].
+
+use multiscalar_isa::{AluOp, Label, ProgramBuilder, Reg};
+
+/// First argument / return value register.
+pub const A0: Reg = Reg(1);
+/// Second argument register.
+pub const A1: Reg = Reg(2);
+/// Third argument register.
+pub const A2: Reg = Reg(3);
+/// Fourth argument register.
+pub const A3: Reg = Reg(4);
+/// Return-value register (alias of [`A0`]).
+pub const RV: Reg = Reg(1);
+
+/// Temporary registers `T0..=T7` (`r10..=r17`).
+#[allow(missing_docs)] // the group doc above names the whole bank
+pub const T0: Reg = Reg(10);
+#[allow(missing_docs)]
+pub const T1: Reg = Reg(11);
+#[allow(missing_docs)]
+pub const T2: Reg = Reg(12);
+#[allow(missing_docs)]
+pub const T3: Reg = Reg(13);
+#[allow(missing_docs)]
+pub const T4: Reg = Reg(14);
+#[allow(missing_docs)]
+pub const T5: Reg = Reg(15);
+#[allow(missing_docs)]
+pub const T6: Reg = Reg(16);
+#[allow(missing_docs)]
+pub const T7: Reg = Reg(17);
+
+/// Callee-saved registers `S0..=S5` (`r20..=r25`).
+#[allow(missing_docs)] // the group doc above names the whole bank
+pub const S0: Reg = Reg(20);
+#[allow(missing_docs)]
+pub const S1: Reg = Reg(21);
+#[allow(missing_docs)]
+pub const S2: Reg = Reg(22);
+#[allow(missing_docs)]
+pub const S3: Reg = Reg(23);
+#[allow(missing_docs)]
+pub const S4: Reg = Reg(24);
+#[allow(missing_docs)]
+pub const S5: Reg = Reg(25);
+
+/// Global data pointer.
+pub const GP: Reg = Reg(28);
+/// Software stack pointer.
+pub const SP: Reg = Reg(31);
+/// Conventional zero register: workloads never write `r0`.
+pub const ZERO: Reg = Reg(0);
+
+/// Emits a register move (`dst = src`).
+pub fn mov(b: &mut ProgramBuilder, dst: Reg, src: Reg) {
+    b.op_imm(AluOp::Add, dst, src, 0);
+}
+
+/// Word address the software stack grows down from (the interpreter's
+/// default memory is 2^20 words; the data segment grows up from 0).
+pub const STACK_TOP: i32 = (1 << 20) - 8;
+
+/// Emits the stack-pointer initialisation; call once at the top of `main`.
+pub fn init_stack(b: &mut ProgramBuilder) {
+    b.load_imm(SP, STACK_TOP);
+}
+
+/// Pushes `regs` onto the software stack (one `sub` plus one store each).
+pub fn push_regs(b: &mut ProgramBuilder, regs: &[Reg]) {
+    if regs.is_empty() {
+        return;
+    }
+    b.op_imm(AluOp::Sub, SP, SP, regs.len() as i32);
+    for (i, &r) in regs.iter().enumerate() {
+        b.store(r, SP, i as i32);
+    }
+}
+
+/// Pops `regs` (previously pushed with [`push_regs`], same order).
+pub fn pop_regs(b: &mut ProgramBuilder, regs: &[Reg]) {
+    if regs.is_empty() {
+        return;
+    }
+    for (i, &r) in regs.iter().enumerate() {
+        b.load(r, SP, i as i32);
+    }
+    b.op_imm(AluOp::Add, SP, SP, regs.len() as i32);
+}
+
+/// Emits a computed `switch` over `cases`: allocates a jump table, indexes
+/// it with `idx` (which the caller guarantees is `< cases.len()`), and
+/// jumps. Clobbers `scratch`. The case labels must be bound by the caller
+/// (before or after this call).
+pub fn switch_jump(b: &mut ProgramBuilder, idx: Reg, scratch: Reg, cases: &[Label]) {
+    assert!(!cases.is_empty(), "switch needs at least one case");
+    let table = b.alloc_label_table(cases);
+    b.load_imm(scratch, table as i32);
+    b.op(AluOp::Add, scratch, scratch, idx);
+    b.load(scratch, scratch, 0);
+    b.jump_indirect_with_targets(scratch, cases);
+}
+
+/// Emits an indirect call through a function-pointer table: indexes the
+/// table with `idx` (caller-bounded) and calls. Clobbers `scratch`.
+pub fn call_via_table(b: &mut ProgramBuilder, idx: Reg, scratch: Reg, funcs: &[Label]) {
+    assert!(!funcs.is_empty(), "call table needs at least one function");
+    let table = b.alloc_label_table(funcs);
+    b.load_imm(scratch, table as i32);
+    b.op(AluOp::Add, scratch, scratch, idx);
+    b.load(scratch, scratch, 0);
+    b.call_indirect_with_targets(scratch, funcs);
+}
+
+/// Emits `dst = dst & (pow2 - 1)`, a cheap bound for table indices.
+///
+/// # Panics
+///
+/// Panics if `pow2` is not a power of two.
+pub fn mask_pow2(b: &mut ProgramBuilder, dst: Reg, pow2: u32) {
+    assert!(pow2.is_power_of_two(), "mask_pow2 requires a power of two");
+    b.op_imm(AluOp::And, dst, dst, (pow2 - 1) as i32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{Cond, Interpreter};
+
+    #[test]
+    fn push_pop_round_trips_registers() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        init_stack(&mut b);
+        b.load_imm(S0, 111);
+        b.load_imm(S1, 222);
+        push_regs(&mut b, &[S0, S1]);
+        b.load_imm(S0, 0);
+        b.load_imm(S1, 0);
+        pop_regs(&mut b, &[S0, S1]);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.reg(S0), 111);
+        assert_eq!(i.reg(S1), 222);
+        assert_eq!(i.reg(SP) as i32, STACK_TOP, "stack balanced");
+    }
+
+    #[test]
+    fn switch_jump_selects_correct_case() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        init_stack(&mut b);
+        let c: Vec<_> = (0..4).map(|_| b.new_label()).collect();
+        b.load_imm(T0, 2);
+        switch_jump(&mut b, T0, T1, &c);
+        let done = b.new_label();
+        for (i, &l) in c.iter().enumerate() {
+            b.bind(l);
+            b.load_imm(S0, 100 + i as i32);
+            b.jump(done);
+        }
+        b.bind(done);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.reg(S0), 102);
+    }
+
+    #[test]
+    fn call_via_table_calls_selected_function() {
+        let mut b = ProgramBuilder::new();
+        let f0 = b.begin_function("f0");
+        b.load_imm(RV, 7);
+        b.ret();
+        b.end_function();
+        let f1 = b.begin_function("f1");
+        b.load_imm(RV, 9);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        init_stack(&mut b);
+        b.load_imm(T0, 1);
+        call_via_table(&mut b, T0, T1, &[f0, f1]);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.reg(RV), 9);
+    }
+
+    #[test]
+    fn mask_pow2_bounds_indices() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(T0, 13);
+        mask_pow2(&mut b, T0, 8);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(10).unwrap();
+        assert_eq!(i.reg(T0), 5);
+    }
+
+    #[test]
+    fn nested_pushes_are_lifo() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        init_stack(&mut b);
+        b.load_imm(S0, 1);
+        push_regs(&mut b, &[S0]);
+        b.load_imm(S0, 2);
+        push_regs(&mut b, &[S0]);
+        b.load_imm(S0, 0);
+        pop_regs(&mut b, &[S0]);
+        let after_first = b.new_label();
+        b.branch(Cond::Eq, S0, S0, after_first); // always taken, keeps flow obvious
+        b.bind(after_first);
+        assert!(b.here().0 > 0);
+        pop_regs(&mut b, &[S1]);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.reg(S0), 2, "inner push pops first");
+        assert_eq!(i.reg(S1), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! `compress` analog: an LZW-flavoured hash-probe kernel.
+//!
+//! SPEC92 `compress` spends its time in one small loop: hash the current
+//! symbol pair, probe a table, and take a *data-dependent* hit/miss branch.
+//! The paper reports a tiny task working set (39 distinct tasks) and a miss
+//! rate that stays high (~19–20%) at every history depth — history cannot
+//! predict data.
+//!
+//! This generator reproduces that signature: one kernel loop over a
+//! pseudo-random (but Markov-correlated, so hits do occur) input stream,
+//! a linear-probe collision loop, and a periodic table clear.
+
+use crate::codegen::*;
+use crate::{Workload, WorkloadParams};
+use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hash table size (power of two).
+const HSIZE: u32 = 1024;
+/// Symbol alphabet.
+const ALPHABET: u32 = 64;
+
+/// Builds the `compress` analog. See the module-level docs in the source file.
+pub fn compress_like(params: &WorkloadParams) -> Workload {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xC0_4D50);
+    let n_input = 30_000 * params.scale as usize;
+
+    let mut b = ProgramBuilder::new();
+
+    // --- data segment ---------------------------------------------------
+    // Markov-correlated symbol stream: repeated digraphs produce hash hits.
+    let mut prev = 0u32;
+    let input: Vec<u32> = (0..n_input)
+        .map(|_| {
+            let s = if rng.gen_bool(0.6) { prev } else { rng.gen_range(0..ALPHABET) };
+            prev = s;
+            s
+        })
+        .collect();
+    let input_base = b.alloc_data(&input);
+    let htab_base = b.alloc_zeroed(HSIZE as usize); // fingerprint keys
+    let vtab_base = b.alloc_zeroed(HSIZE as usize); // codes
+    let out_base = b.alloc_zeroed(256);
+
+    // --- hash(prev, c) -> RV --------------------------------------------
+    let f_hash = b.begin_function("hash");
+    b.op_imm(AluOp::Shl, T0, A0, 4);
+    b.op(AluOp::Xor, T0, T0, A1);
+    b.op_imm(AluOp::And, RV, T0, (HSIZE - 1) as i32);
+    b.ret();
+    b.end_function();
+
+    // --- output(code) ---------------------------------------------------
+    // Writes the emitted code into a small circular buffer.
+    let f_output = b.begin_function("output");
+    b.op_imm(AluOp::And, T0, A0, 255);
+    b.op_imm(AluOp::Add, T0, T0, out_base as i32);
+    b.store(A0, T0, 0);
+    b.ret();
+    b.end_function();
+
+    // --- clear_table() --------------------------------------------------
+    let f_clear = b.begin_function("clear_table");
+    b.load_imm(T0, 0); // h
+    b.load_imm(T1, HSIZE as i32);
+    b.load_imm(T2, 0);
+    let clr_top = b.here_label();
+    b.op_imm(AluOp::Add, T3, T0, htab_base as i32);
+    b.store(T2, T3, 0);
+    b.op_imm(AluOp::Add, T0, T0, 1);
+    b.branch(Cond::Lt, T0, T1, clr_top);
+    b.ret();
+    b.end_function();
+
+    // --- main -------------------------------------------------------------
+    // S0 = i, S1 = prev symbol, S2 = next free code, S3 = hits, S4 = misses.
+    let f_main = b.begin_function("main");
+    init_stack(&mut b);
+    b.load_imm(S0, 0);
+    b.load_imm(S1, 0);
+    b.load_imm(S2, 256);
+    b.load_imm(S3, 0);
+    b.load_imm(S4, 0);
+    b.load_imm(S5, n_input as i32);
+
+    let loop_top = b.here_label();
+    // c = input[i]
+    b.op_imm(AluOp::Add, T0, S0, input_base as i32);
+    b.load(T5, T0, 0); // T5 = c (T5 survives: hash only touches T0, RV)
+    // Data-dependent pre-probe work: odd symbols go through the output
+    // path first (a task exit whose direction is pure input data — the
+    // kind of branch that keeps compress's miss rate high at every
+    // history depth).
+    let even_sym = b.new_label();
+    // Condition mixes the symbol with the dictionary state (free-code
+    // counter), decorrelating it from plain symbol repetition.
+    b.op(AluOp::Add, T0, T5, S2);
+    b.op_imm(AluOp::And, T0, T0, 1);
+    b.branch(Cond::Eq, T0, ZERO, even_sym);
+    mov(&mut b, A0, T5);
+    b.call_label(f_output);
+    b.bind(even_sym);
+    // h = hash(prev, c)
+    mov(&mut b, A0, S1);
+    mov(&mut b, A1, T5);
+    b.call_label(f_hash);
+    mov(&mut b, T6, RV); // T6 = h
+    // fingerprint = (prev << 9) | (c << 1) | 1  (never zero)
+    b.op_imm(AluOp::Shl, T7, S1, 9);
+    b.op_imm(AluOp::Shl, T4, T5, 1);
+    b.op(AluOp::Or, T7, T7, T4);
+    b.op_imm(AluOp::Or, T7, T7, 1);
+
+    // probe loop
+    let probe = b.here_label();
+    let hit = b.new_label();
+    let empty = b.new_label();
+    let advance = b.new_label();
+    b.op_imm(AluOp::Add, T0, T6, htab_base as i32);
+    b.load(T1, T0, 0); // key
+    b.branch(Cond::Eq, T1, T7, hit);
+    b.load_imm(T2, 0);
+    b.branch(Cond::Eq, T1, T2, empty);
+    // collision: h = (h + 1) & (HSIZE-1); retry
+    b.op_imm(AluOp::Add, T6, T6, 1);
+    b.op_imm(AluOp::And, T6, T6, (HSIZE - 1) as i32);
+    b.jump(probe);
+
+    // hit: prev = vtab[h]; hits++
+    b.bind(hit);
+    b.op_imm(AluOp::Add, T0, T6, vtab_base as i32);
+    b.load(S1, T0, 0);
+    b.op_imm(AluOp::And, S1, S1, (ALPHABET - 1) as i32); // keep prev in range
+    b.op_imm(AluOp::Add, S3, S3, 1);
+    b.jump(advance);
+
+    // empty: insert; emit code for prev; prev = c; misses++
+    b.bind(empty);
+    b.op_imm(AluOp::Add, T0, T6, htab_base as i32);
+    b.store(T7, T0, 0);
+    b.op_imm(AluOp::Add, T0, T6, vtab_base as i32);
+    b.store(S2, T0, 0);
+    b.op_imm(AluOp::Add, S2, S2, 1);
+    mov(&mut b, A0, S1);
+    b.call_label(f_output);
+    mov(&mut b, S1, T5);
+    b.op_imm(AluOp::Add, S4, S4, 1);
+
+    // table-full check: clear when codes exhausted (periodic "block reset")
+    b.load_imm(T0, 256 + 900);
+    let no_clear = b.new_label();
+    b.branch(Cond::Lt, S2, T0, no_clear);
+    b.call_label(f_clear);
+    b.load_imm(S2, 256);
+    b.bind(no_clear);
+
+    // advance: i++; loop while i < n
+    b.bind(advance);
+    b.op_imm(AluOp::Add, S0, S0, 1);
+    b.branch(Cond::Lt, S0, S5, loop_top);
+    b.halt();
+    b.end_function();
+
+    let program = b.finish(f_main).expect("compress workload must build");
+    Workload { name: "compress", program, max_steps: n_input as u64 * 200 + 100_000 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::Interpreter;
+
+    #[test]
+    fn kernel_produces_hits_and_misses() {
+        let w = compress_like(&WorkloadParams::small(5));
+        let mut i = Interpreter::new(&w.program);
+        let out = i.run(w.max_steps).unwrap();
+        assert!(out.halted);
+        let hits = i.reg(S3);
+        let misses = i.reg(S4);
+        assert!(hits > 1000, "correlated input must produce hash hits: {hits}");
+        assert!(misses > 100, "fresh digraphs must produce misses: {misses}");
+        // Every input symbol was consumed.
+        assert_eq!(i.reg(S0) as usize, 30_000);
+    }
+
+    #[test]
+    fn small_static_footprint() {
+        // compress is the paper's smallest benchmark (103 static tasks);
+        // the analog's whole program is a few dozen instructions.
+        let w = compress_like(&WorkloadParams::small(5));
+        assert!(w.program.len() < 200, "compress kernel should be tiny: {}", w.program.len());
+        assert_eq!(w.program.functions().len(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! `espresso` analog: nested loops over bit-matrix "cube" data.
+//!
+//! SPEC92 `espresso` (two-level logic minimisation) iterates pairwise over
+//! cube covers testing intersections — long, regular loop nests over bit
+//! vectors with strongly biased data branches. The paper finds it the
+//! *easiest* benchmark to predict (miss rates of a few percent, and a PER
+//! scheme almost as good as PATH).
+//!
+//! The analog: two cube matrices, a triple loop (passes × cube pairs), an
+//! `intersect` function with a word loop, a popcount helper on the "hit"
+//! path, and a final reduction sweep.
+
+use crate::codegen::*;
+use crate::{Workload, WorkloadParams};
+use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cubes per cover.
+const M: u32 = 16;
+/// Words per cube.
+const W: u32 = 4;
+
+/// Builds the `espresso` analog. See the module-level docs in the source file.
+pub fn espresso_like(params: &WorkloadParams) -> Workload {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xE5_9E50);
+    let passes = 36 * params.scale;
+
+    let mut b = ProgramBuilder::new();
+
+    // --- data: two covers of M cubes, ~50% bit density -------------------
+    let cover: Vec<u32> = (0..M * W).map(|_| rng.gen::<u32>()).collect();
+    let other: Vec<u32> = (0..M * W).map(|_| rng.gen::<u32>()).collect();
+    let a_base = b.alloc_data(&cover);
+    let b_base = b.alloc_data(&other);
+    let count_base = b.alloc_zeroed(M as usize);
+
+    // --- intersect(i, j) -> RV = OR of pairwise ANDs ----------------------
+    let f_intersect = b.begin_function("intersect");
+    // T0 = &A[i*W], T1 = &B[j*W]
+    b.op_imm(AluOp::Mul, T0, A0, W as i32);
+    b.op_imm(AluOp::Add, T0, T0, a_base as i32);
+    b.op_imm(AluOp::Mul, T1, A1, W as i32);
+    b.op_imm(AluOp::Add, T1, T1, b_base as i32);
+    b.load_imm(T2, 0); // acc
+    b.load_imm(T3, 0); // w
+    b.load_imm(T4, W as i32);
+    let w_top = b.here_label();
+    b.load(T5, T0, 0);
+    b.load(T6, T1, 0);
+    b.op(AluOp::And, T5, T5, T6);
+    b.op(AluOp::Or, T2, T2, T5);
+    b.op_imm(AluOp::Add, T0, T0, 1);
+    b.op_imm(AluOp::Add, T1, T1, 1);
+    b.op_imm(AluOp::Add, T3, T3, 1);
+    b.branch(Cond::Lt, T3, T4, w_top);
+    mov(&mut b, RV, T2);
+    b.ret();
+    b.end_function();
+
+    // --- popcount(x) -> RV (byte-at-a-time loop) --------------------------
+    let f_popcount = b.begin_function("popcount");
+    b.load_imm(T0, 0); // count
+    b.load_imm(T1, 0); // bit index
+    b.load_imm(T2, 32);
+    let p_top = b.here_label();
+    b.op(AluOp::Shr, T3, A0, T1);
+    b.op_imm(AluOp::And, T3, T3, 1);
+    b.op(AluOp::Add, T0, T0, T3);
+    b.op_imm(AluOp::Add, T1, T1, 4); // sample every 4th bit: 8 iterations
+    b.branch(Cond::Lt, T1, T2, p_top);
+    mov(&mut b, RV, T0);
+    b.ret();
+    b.end_function();
+
+    // --- reduce() : sweep the per-cube counters ---------------------------
+    let f_reduce = b.begin_function("reduce");
+    b.load_imm(T0, 0);
+    b.load_imm(T1, M as i32);
+    b.load_imm(T7, 0); // sum
+    let r_top = b.here_label();
+    b.op_imm(AluOp::Add, T2, T0, count_base as i32);
+    b.load(T3, T2, 0);
+    b.op(AluOp::Add, T7, T7, T3);
+    // halve large counters (biased, mostly not-taken branch)
+    b.load_imm(T4, 1_000_000);
+    let no_halve = b.new_label();
+    b.branch(Cond::Lt, T3, T4, no_halve);
+    b.op_imm(AluOp::Shr, T3, T3, 1);
+    b.store(T3, T2, 0);
+    b.bind(no_halve);
+    b.op_imm(AluOp::Add, T0, T0, 1);
+    b.branch(Cond::Lt, T0, T1, r_top);
+    mov(&mut b, RV, T7);
+    b.ret();
+    b.end_function();
+
+    // --- main --------------------------------------------------------------
+    // S0 = pass, S1 = i, S2 = j, S3 = nonzero count, S4 = ones accumulator.
+    let f_main = b.begin_function("main");
+    init_stack(&mut b);
+    b.load_imm(S0, 0);
+    b.load_imm(S3, 0);
+    b.load_imm(S4, 0);
+
+    let pass_top = b.here_label();
+    b.load_imm(S1, 0);
+    let i_top = b.here_label();
+    b.load_imm(S2, 0);
+    let j_top = b.here_label();
+    // RV = intersect(i, j)
+    mov(&mut b, A0, S1);
+    mov(&mut b, A1, S2);
+    b.call_label(f_intersect);
+    let disjoint = b.new_label();
+    b.load_imm(T7, 0);
+    b.branch(Cond::Eq, RV, T7, disjoint);
+    // overlapping: count it; popcount the overlap; bump per-cube counter
+    b.op_imm(AluOp::Add, S3, S3, 1);
+    mov(&mut b, A0, RV);
+    b.call_label(f_popcount);
+    b.op(AluOp::Add, S4, S4, RV);
+    b.op_imm(AluOp::Add, T0, S1, count_base as i32);
+    b.load(T1, T0, 0);
+    b.op_imm(AluOp::Add, T1, T1, 1);
+    b.store(T1, T0, 0);
+    b.bind(disjoint);
+    // j++
+    b.op_imm(AluOp::Add, S2, S2, 1);
+    b.load_imm(T0, M as i32);
+    b.branch(Cond::Lt, S2, T0, j_top);
+    // i++
+    b.op_imm(AluOp::Add, S1, S1, 1);
+    b.load_imm(T0, M as i32);
+    b.branch(Cond::Lt, S1, T0, i_top);
+    // end of pass: reduce
+    b.call_label(f_reduce);
+    b.op_imm(AluOp::Add, S0, S0, 1);
+    b.load_imm(T0, passes as i32);
+    b.branch(Cond::Lt, S0, T0, pass_top);
+    b.halt();
+    b.end_function();
+
+    let program = b.finish(f_main).expect("espresso workload must build");
+    let steps = passes as u64 * (M as u64 * M as u64) * 120 + 100_000;
+    Workload { name: "espresso", program, max_steps: steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::Interpreter;
+
+    #[test]
+    fn intersections_are_mostly_nonzero() {
+        // Random 50%-density 128-bit cubes almost always intersect — the
+        // biased branch espresso is famous for.
+        let w = espresso_like(&WorkloadParams::small(9));
+        let mut i = Interpreter::new(&w.program);
+        let out = i.run(w.max_steps).unwrap();
+        assert!(out.halted);
+        let pairs = 36 * 16 * 16;
+        let nonzero = i.reg(S3);
+        assert!(
+            nonzero as f64 > pairs as f64 * 0.9,
+            "expected >90% overlapping pairs, got {nonzero}/{pairs}"
+        );
+        assert!(i.reg(S4) > 0, "popcount accumulated something");
+    }
+
+    #[test]
+    fn loop_structure_dominates() {
+        let w = espresso_like(&WorkloadParams::small(9));
+        let mut i = Interpreter::new(&w.program);
+        let out = i.run(w.max_steps).unwrap();
+        // The W-word inner loop plus popcount dominate the instruction
+        // count: at least 50 dynamic instructions per pair.
+        assert!(out.steps > 36 * 256 * 50);
+    }
+}

@@ -1,0 +1,500 @@
+//! `gcc` analog: a large randomly generated program with a layered call
+//! DAG, switch dispatch and data-dependent branching.
+//!
+//! SPEC92 `gcc` is the paper's hardest benchmark: 12,525 static tasks,
+//! 3,164 distinct dynamic tasks — a working set that overwhelms small
+//! predictors and separates real implementations from ideal ones
+//! (Figures 10–11).
+//!
+//! The analog generates ~140 functions whose bodies are random compositions
+//! of arithmetic, biased and data-dependent conditionals, bounded loops,
+//! 4-way switches (jump tables → `INDIRECT_BRANCH` exits) and calls along a
+//! layered DAG (bounded call depth, no recursion). A driver loop dispatches
+//! over a token stream through a function-pointer table
+//! (`INDIRECT_CALL` exits), like gcc's pass structure.
+
+use crate::codegen::*;
+use crate::{Workload, WorkloadParams};
+use multiscalar_isa::{AluOp, Cond, Label, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of generated functions.
+const N_FUNCS: usize = 200;
+/// Call-DAG layers: bounds dynamic call depth (≤ `LAYERS`).
+const LAYERS: usize = 6;
+/// Functions callable from the driver's dispatch table (must be ≤ the
+/// number of layer-0 functions and a power of two).
+const N_PASSES: usize = 16;
+/// Size of the condition-data array (power of two).
+const DATA_WORDS: u32 = 4096;
+
+#[derive(Clone)]
+struct Ctx<'a> {
+    data_base: u32,
+    gstate: u32,
+    /// Base of the shared per-pass predicate array (see `emit_cond_branch`).
+    pred_base: u32,
+    /// Callable (strictly higher-layer) functions, each with the predicate
+    /// slots its body is sensitive to.
+    callees: &'a [(Label, Vec<u32>)],
+    /// Shared helper functions `(entry, predicate slot)`: utility routines
+    /// called from everywhere whose first branch tests their dedicated
+    /// predicate slot. Call sites pin the slot to a site constant, so the
+    /// helper's behaviour is determined by *which caller* preceded it — the
+    /// signal that separates PATH from PER (paper §5.2).
+    helpers: &'a [(Label, u32)],
+    /// Round-robin constants assigned to helper call sites (by helper).
+    site_flip: &'a std::cell::RefCell<Vec<u32>>,
+    /// Current loop nesting (calls are only emitted at level 0).
+    loop_level: u32,
+}
+
+/// Builds the `gcc` analog. See the module-level docs in the source file.
+pub fn gcc_like(params: &WorkloadParams) -> Workload {
+    // Separate streams so the generated *structure* is independent of the
+    // scale (which only lengthens the input data).
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x6CC_6CC);
+    let mut data_rng = StdRng::seed_from_u64(params.seed ^ 0x0DA7_A6CC);
+    let tokens = 2500 * params.scale as usize;
+
+    let mut b = ProgramBuilder::new();
+
+    // --- data -------------------------------------------------------------
+    let data: Vec<u32> = (0..DATA_WORDS).map(|_| data_rng.gen()).collect();
+    let data_base = b.alloc_data(&data);
+    // Phase-structured token stream, like a compiler running passes over
+    // consecutive similar statements: a handful of short pass patterns,
+    // each repeated for a stretch, with upper token bits random (they feed
+    // the evolving global state).
+    let patterns: Vec<Vec<u32>> = (0..8)
+        .map(|_| {
+            let len = data_rng.gen_range(3..7);
+            (0..len).map(|_| data_rng.gen_range(0..N_PASSES as u32)).collect()
+        })
+        .collect();
+    let mut token_stream: Vec<u32> = Vec::with_capacity(tokens);
+    while token_stream.len() < tokens {
+        let pat = &patterns[data_rng.gen_range(0..patterns.len())];
+        let reps = data_rng.gen_range(4..16);
+        for _ in 0..reps {
+            for &pass in pat {
+                if token_stream.len() == tokens {
+                    break;
+                }
+                // A third of the work items deviate from the phase pattern,
+                // keeping the pass sequence only partially regular.
+                let pass = if data_rng.gen_bool(0.22) {
+                    data_rng.gen_range(0..N_PASSES as u32)
+                } else {
+                    pass
+                };
+                let hi: u32 = data_rng.gen();
+                token_stream.push((hi << 4) | pass);
+            }
+        }
+    }
+    let token_base = b.alloc_data(&token_stream);
+    let gstate = b.alloc_zeroed(1);
+    // Shared predicates: recomputed from each token at dispatch; conditions
+    // across functions test them, so outcomes correlate with the *path*
+    // taken through earlier tasks — the signal PATH prediction exploits.
+    let pred_base = b.alloc_zeroed(8);
+
+    // --- shared helper functions (deepest layer of all) --------------------
+    let mut helpers: Vec<(Label, u32)> = Vec::new();
+    for h in 0..16u32 {
+        let m = h % 8;
+        let entry = b.begin_function(&format!("helper{h}"));
+        // First construct: test the dedicated predicate slot. Both arms are
+        // made large enough that the task former cannot absorb them into
+        // the test task — the test becomes a *task exit*, which is what
+        // inter-task predictors actually predict.
+        b.load_imm(T4, (pred_base + m) as i32);
+        b.load(T4, T4, 0);
+        let other = b.new_label();
+        let done = b.new_label();
+        b.branch(Cond::Eq, T4, ZERO, other);
+        for i in 0..18 {
+            b.op_imm(AluOp::Add, T0, T0, (m + i + 1) as i32);
+        }
+        b.jump(done);
+        b.bind(other);
+        for i in 0..18 {
+            b.op_imm(AluOp::Xor, T1, T1, (2 * m + i + 1) as i32);
+        }
+        b.bind(done);
+        mov(&mut b, RV, T0);
+        b.ret();
+        b.end_function();
+        helpers.push((entry, m));
+    }
+    // Per-helper round-robin of call-site constants keeps the outcome mix
+    // balanced, maximising the entropy per-task exit histories cannot
+    // resolve.
+    let site_flip = std::cell::RefCell::new(vec![0u32; helpers.len()]);
+
+    // --- functions, emitted deepest layer first so callees exist ----------
+    // Function i sits in layer i * LAYERS / N_FUNCS; it may call only
+    // strictly higher layers, bounding call depth at LAYERS.
+    let layer_of = |i: usize| i * LAYERS / N_FUNCS;
+    let mut labels: Vec<Option<Label>> = vec![None; N_FUNCS];
+    // Predicate slots each function's body (plus a sample of its callees')
+    // tests — callers pin exactly these before calling, so the callee's
+    // branch outcomes are determined by which caller preceded it.
+    let mut sensitive: Vec<Vec<u32>> = vec![Vec::new(); N_FUNCS];
+    for i in (0..N_FUNCS).rev() {
+        let callees: Vec<(Label, Vec<u32>)> = ((i + 1)..N_FUNCS)
+            .filter(|&j| layer_of(j) > layer_of(i))
+            .filter_map(|j| labels[j].map(|l| (l, sensitive[j].clone())))
+            .collect();
+        let entry = b.begin_function(&format!("f{i:03}"));
+        labels[i] = Some(entry);
+        let ctx = Ctx {
+            data_base,
+            gstate,
+            pred_base,
+            callees: &callees,
+            helpers: &helpers,
+            site_flip: &site_flip,
+            loop_level: 0,
+        };
+        let mut tested = Vec::new();
+        emit_body(&mut b, &mut rng, &ctx, &mut tested);
+        tested.sort_unstable();
+        tested.dedup();
+        tested.truncate(4);
+        sensitive[i] = tested;
+        b.end_function();
+    }
+    let labels: Vec<Label> = labels.into_iter().map(|l| l.expect("emitted")).collect();
+
+    // --- main: token dispatch loop -----------------------------------------
+    let passes: Vec<Label> = labels[..N_PASSES].to_vec();
+    let f_main = b.begin_function("main");
+    init_stack(&mut b);
+    b.load_imm(S0, 0); // token index
+    b.load_imm(S1, tokens as i32);
+    let top = b.here_label();
+    b.op_imm(AluOp::Add, T0, S0, token_base as i32);
+    b.load(T0, T0, 0);
+    // evolve the global state with the token (drives data-dependent branches)
+    b.load_imm(T2, gstate as i32);
+    b.load(T3, T2, 0);
+    b.op(AluOp::Add, T3, T3, T0);
+    b.op_imm(AluOp::Add, T3, T3, 1);
+    b.store(T3, T2, 0);
+    // dispatch pass = token & (N_PASSES-1)
+    // (the shared predicates are *not* reset here: they carry whatever the
+    // previous pass's control flow left in them, so early tests in the next
+    // pass are determined by preceding task flow — the correlation PATH
+    // prediction exploits, paper §5.2)
+    b.op_imm(AluOp::And, T0, T0, (N_PASSES - 1) as i32);
+    call_via_table(&mut b, T0, T1, &passes);
+    b.op_imm(AluOp::Add, S0, S0, 1);
+    b.branch(Cond::Lt, S0, S1, top);
+    b.halt();
+    b.end_function();
+
+    let program = b.finish(f_main).expect("gcc workload must build");
+    Workload { name: "gcc", program, max_steps: tokens as u64 * 6000 + 500_000 }
+}
+
+/// Emits a function body: a random construct sequence ending in `ret`.
+/// Predicate slots tested anywhere in the body are appended to `tested`.
+fn emit_body(b: &mut ProgramBuilder, rng: &mut StdRng, ctx: &Ctx<'_>, tested: &mut Vec<u32>) {
+    // Bias the first construct toward a conditional so predicate tests sit
+    // close to the function entry — within a short path-history window of
+    // the call site that pinned them.
+    if rng.gen_bool(0.7) {
+        let else_l = b.new_label();
+        emit_cond_branch(b, rng, ctx, else_l, tested);
+        emit_arith(b, rng);
+        b.bind(else_l);
+    }
+    let n = rng.gen_range(3..7);
+    for _ in 0..n {
+        emit_construct(b, rng, ctx, 2, tested);
+    }
+    mov(b, RV, T0);
+    b.ret();
+}
+
+/// Emits one random construct. `depth` bounds construct nesting.
+fn emit_construct(
+    b: &mut ProgramBuilder,
+    rng: &mut StdRng,
+    ctx: &Ctx<'_>,
+    depth: u32,
+    tested: &mut Vec<u32>,
+) {
+    let in_loop = ctx.loop_level > 0;
+    match rng.gen_range(0..100) {
+        // Arithmetic run.
+        0..=29 => emit_arith(b, rng),
+        // Global load/store traffic.
+        30..=39 => {
+            let slot = rng.gen_range(0..DATA_WORDS) as i32;
+            b.load_imm(T5, ctx.data_base as i32 + slot);
+            if rng.gen_bool(0.5) {
+                b.load(T2, T5, 0);
+                b.op(AluOp::Xor, T0, T0, T2);
+            } else {
+                b.store(T0, T5, 0);
+            }
+        }
+        // Conditional (if / if-else). Arms get a padding run of arithmetic
+        // so they frequently exceed the task former's budget and the test
+        // becomes a task exit rather than intra-task control flow.
+        40..=64 if depth > 0 => {
+            let else_l = b.new_label();
+            let end_l = b.new_label();
+            emit_cond_branch(b, rng, ctx, else_l, tested);
+            let pad = rng.gen_range(4..14);
+            emit_arith_run(b, rng, pad);
+            emit_construct(b, rng, ctx, depth - 1, tested);
+            if rng.gen_bool(0.4) {
+                b.jump(end_l);
+                b.bind(else_l);
+                let pad = rng.gen_range(4..14);
+                emit_arith_run(b, rng, pad);
+                emit_construct(b, rng, ctx, depth - 1, tested);
+                b.bind(end_l);
+            } else {
+                b.bind(else_l);
+            }
+        }
+        // Bounded loop (no calls inside; counter in T6/T7 by level).
+        65..=76 if depth > 0 && ctx.loop_level < 2 => {
+            let counter = if ctx.loop_level == 0 { T6 } else { T7 };
+            let trips = rng.gen_range(2..5);
+            b.load_imm(counter, 0);
+            let top = b.here_label();
+            let inner = Ctx { loop_level: ctx.loop_level + 1, callees: &[], ..ctx.clone() };
+            emit_construct(b, rng, &inner, depth - 1, tested);
+            b.op_imm(AluOp::Add, counter, counter, 1);
+            b.op_imm(AluOp::Slt, T5, counter, trips);
+            let exit = b.new_label();
+            b.branch(Cond::Eq, T5, ZERO, exit);
+            b.jump(top);
+            b.bind(exit);
+        }
+        // 4-way switch (jump table). Most switch indices are formed from
+        // shared predicate bits — correlated with the preceding control
+        // flow, as real switches over IR node kinds are — with a random
+        // data-dependent minority.
+        77..=84 if depth > 0 => {
+            if rng.gen_bool(0.7) {
+                let ka = rng.gen_range(0..8u32);
+                let kb = rng.gen_range(0..8u32);
+                tested.push(ka);
+                tested.push(kb);
+                b.load_imm(T4, (ctx.pred_base + ka) as i32);
+                b.load(T4, T4, 0);
+                b.load_imm(T5, (ctx.pred_base + kb) as i32);
+                b.load(T5, T5, 0);
+                b.op_imm(AluOp::Shl, T4, T4, 1);
+                b.op(AluOp::Or, T4, T4, T5);
+            } else {
+                emit_data_value(b, rng, ctx, T4);
+            }
+            b.op_imm(AluOp::And, T4, T4, 3);
+            let cases: Vec<Label> = (0..4).map(|_| b.new_label()).collect();
+            let end = b.new_label();
+            switch_jump(b, T4, T5, &cases);
+            for &c in &cases {
+                b.bind(c);
+                emit_arith(b, rng);
+                b.jump(end);
+            }
+            b.bind(end);
+        }
+        // Call one or two functions (never inside loops): either a shared
+        // helper (pinning its dedicated predicate slot to a site constant)
+        // or a higher-layer function (pinning its sensitive slots). Either
+        // way the callee's branch outcomes become a function of which call
+        // site preceded it — information a path-based predictor sees
+        // (caller task addresses) but per-task exit histories do not.
+        _ if !in_loop && (!ctx.callees.is_empty() || !ctx.helpers.is_empty()) => {
+            for _ in 0..rng.gen_range(1..3) {
+                let use_helper = !ctx.helpers.is_empty()
+                    && (ctx.callees.is_empty() || rng.gen_bool(0.6));
+                if use_helper {
+                    let h = rng.gen_range(0..ctx.helpers.len());
+                    let (callee, slot) = ctx.helpers[h];
+                    let constant = ctx.site_flip.borrow_mut()[h];
+                    ctx.site_flip.borrow_mut()[h] ^= 1;
+                    b.load_imm(T5, constant as i32);
+                    b.load_imm(T4, (ctx.pred_base + slot) as i32);
+                    b.store(T5, T4, 0);
+                    mov(b, A0, T0);
+                    b.call_label(callee);
+                    b.op(AluOp::Xor, T0, T0, RV);
+                } else {
+                    let (callee, sens) = &ctx.callees[rng.gen_range(0..ctx.callees.len())];
+                    for &k in sens.iter() {
+                        if rng.gen_bool(0.9) {
+                            b.load_imm(T5, rng.gen_range(0..2));
+                            b.load_imm(T4, (ctx.pred_base + k) as i32);
+                            b.store(T5, T4, 0);
+                        }
+                    }
+                    mov(b, A0, T0);
+                    b.call_label(*callee);
+                    b.op(AluOp::Xor, T0, T0, RV);
+                }
+            }
+        }
+        // Fallback when the chosen construct is unavailable.
+        _ => emit_arith(b, rng),
+    }
+}
+
+/// Emits a run of `n` random ALU instructions over T0..T3.
+fn emit_arith_run(b: &mut ProgramBuilder, rng: &mut StdRng, n: usize) {
+    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Shl, AluOp::Shr];
+    for _ in 0..n {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let rd = Reg(10 + rng.gen_range(0..4));
+        let rs = Reg(10 + rng.gen_range(0..4));
+        let imm = rng.gen_range(0..64);
+        let imm = if matches!(op, AluOp::Shl | AluOp::Shr) { imm % 8 } else { imm };
+        b.op_imm(op, rd, rs, imm);
+    }
+}
+
+/// Emits 1–3 random ALU instructions over T0..T3.
+fn emit_arith(b: &mut ProgramBuilder, rng: &mut StdRng) {
+    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Shl, AluOp::Shr];
+    for _ in 0..rng.gen_range(1..4) {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let rd = Reg(10 + rng.gen_range(0..4));
+        let rs = Reg(10 + rng.gen_range(0..4));
+        if rng.gen_bool(0.5) {
+            let imm = rng.gen_range(0..64);
+            let imm = if matches!(op, AluOp::Shl | AluOp::Shr) { imm % 8 } else { imm };
+            b.op_imm(op, rd, rs, imm);
+        } else {
+            let rt = Reg(10 + rng.gen_range(0..4));
+            b.op(op, rd, rs, rt);
+        }
+    }
+}
+
+/// Loads a pseudo-random data word (a function of the evolving global
+/// state) into `dst`. Clobbers `dst` only.
+fn emit_data_value(b: &mut ProgramBuilder, rng: &mut StdRng, ctx: &Ctx<'_>, dst: Reg) {
+    b.load_imm(dst, ctx.gstate as i32);
+    b.load(dst, dst, 0);
+    b.op_imm(AluOp::Add, dst, dst, rng.gen_range(0..DATA_WORDS) as i32);
+    b.op_imm(AluOp::And, dst, dst, (DATA_WORDS - 1) as i32);
+    b.op_imm(AluOp::Add, dst, dst, ctx.data_base as i32);
+    b.load(dst, dst, 0);
+}
+
+/// Emits a conditional branch to `target` with a realistic outcome mix:
+/// ~40% tests of shared per-pass predicates (path-correlated), ~30%
+/// strongly biased, ~15% fixed per call-site, ~15% data-dependent coin
+/// flips. Clobbers T4/T5.
+fn emit_cond_branch(
+    b: &mut ProgramBuilder,
+    rng: &mut StdRng,
+    ctx: &Ctx<'_>,
+    target: Label,
+    tested: &mut Vec<u32>,
+) {
+    match rng.gen_range(0..100) {
+        0..=39 => {
+            // Shared predicate: many call sites across many functions test
+            // the same slot, so earlier control flow (visible to a
+            // path-based predictor as task addresses) determines later
+            // outcomes.
+            let k = rng.gen_range(0..8u32);
+            tested.push(k);
+            b.load_imm(T4, (ctx.pred_base + k) as i32);
+            b.load(T4, T4, 0);
+            let c = if rng.gen_bool(0.5) { Cond::Eq } else { Cond::Ne };
+            b.branch(c, T4, ZERO, target);
+        }
+        40..=69 => {
+            // Biased: low byte of a data word vs a skewed threshold.
+            emit_data_value(b, rng, ctx, T4);
+            b.op_imm(AluOp::And, T4, T4, 255);
+            let threshold = if rng.gen_bool(0.5) { 230 } else { 25 };
+            b.load_imm(T5, threshold);
+            b.branch(Cond::Ltu, T4, T5, target);
+        }
+        70..=84 => {
+            // Fixed: condition over constant data — always the same way.
+            let slot = rng.gen_range(0..DATA_WORDS) as i32;
+            b.load_imm(T4, ctx.data_base as i32 + slot);
+            b.load(T4, T4, 0);
+            b.op_imm(AluOp::And, T4, T4, 1 << rng.gen_range(0..8));
+            let c = if rng.gen_bool(0.5) { Cond::Eq } else { Cond::Ne };
+            b.branch(c, T4, ZERO, target);
+        }
+        _ => {
+            // Coin flip on evolving state.
+            emit_data_value(b, rng, ctx, T4);
+            b.op_imm(AluOp::And, T4, T4, 1 << rng.gen_range(0..4));
+            b.branch(Cond::Ne, T4, ZERO, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{ExitKind, Interpreter};
+    use multiscalar_taskform::TaskFormer;
+
+    #[test]
+    fn large_static_footprint() {
+        let w = gcc_like(&WorkloadParams::small(1));
+        // N_FUNCS generated functions + 16 shared helpers + main.
+        assert_eq!(w.program.functions().len(), N_FUNCS + 16 + 1);
+        assert!(
+            w.program.len() > 4000,
+            "gcc analog should be by far the largest program: {}",
+            w.program.len()
+        );
+        let tp = TaskFormer::default().form(&w.program).unwrap();
+        assert!(
+            tp.static_task_count() > 800,
+            "expected a gcc-sized task count, got {}",
+            tp.static_task_count()
+        );
+    }
+
+    #[test]
+    fn runs_to_completion_with_balanced_calls() {
+        let w = gcc_like(&WorkloadParams::small(1));
+        let mut i = Interpreter::new(&w.program);
+        let out = i.run(w.max_steps).unwrap();
+        assert!(out.halted, "driver loop must finish all tokens");
+        assert_eq!(i.call_depth(), 0);
+        assert!(out.steps > 200_000, "got only {} steps", out.steps);
+    }
+
+    #[test]
+    fn has_all_five_exit_kinds() {
+        let w = gcc_like(&WorkloadParams::small(1));
+        let tp = TaskFormer::default().form(&w.program).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for t in tp.tasks() {
+            for e in t.header().exits() {
+                seen.insert(e.kind);
+            }
+        }
+        for k in ExitKind::TABLE1 {
+            assert!(seen.contains(&k), "missing exit kind {k}");
+        }
+    }
+
+    #[test]
+    fn structure_depends_on_seed() {
+        let a = gcc_like(&WorkloadParams::small(10));
+        let b = gcc_like(&WorkloadParams::small(11));
+        assert_ne!(a.program.len(), b.program.len(), "random structure should differ");
+    }
+}

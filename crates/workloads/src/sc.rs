@@ -1,0 +1,235 @@
+//! `sc` analog: spreadsheet recalculation sweeps.
+//!
+//! SPEC92 `sc` is a curses spreadsheet; its `loada3` run repeatedly
+//! re-evaluates a grid of cells of several formula types. The paper places
+//! it between espresso and xlisp in difficulty (575 distinct tasks, ~4–5%
+//! best-case miss rate).
+//!
+//! The analog: a grid of typed cells (constant / row-sum / reference /
+//! clamp), a recalc loop dispatching on the cell type through a jump table
+//! (`INDIRECT_BRANCH` exits), small formula helper functions (`CALL` /
+//! `RETURN` exits) and a data-dependent dirty-propagation branch.
+
+use crate::codegen::*;
+use crate::{Workload, WorkloadParams};
+use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grid cells (power of two for cheap masking).
+const CELLS: u32 = 512;
+/// Cell types.
+const NTYPES: u32 = 4;
+
+/// Builds the `sc` analog. See the module-level docs in the source file.
+pub fn sc_like(params: &WorkloadParams) -> Workload {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5C_5C5C);
+    let sweeps = 26 * params.scale;
+
+    let mut b = ProgramBuilder::new();
+
+    // --- data: cell types, values, reference links -----------------------
+    // Type mix: half constants, the rest split between formula kinds.
+    let mut types: Vec<u32> = (0..CELLS)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=4 => 0, // constant
+            5..=6 => 1, // row-sum
+            7..=8 => 2, // reference
+            _ => 3,     // clamp
+        })
+        .collect();
+    // A hot region of reference cells whose targets are rescrambled every
+    // sweep (see below): their propagation branches stay unpredictable.
+    for t in types.iter_mut().skip(64).take(64) {
+        *t = 2;
+    }
+    let vals: Vec<u32> = (0..CELLS).map(|_| rng.gen_range(0..1000)).collect();
+    let refs: Vec<u32> = (0..CELLS).map(|_| rng.gen_range(0..CELLS)).collect();
+    let type_base = b.alloc_data(&types);
+    let val_base = b.alloc_data(&vals);
+    let ref_base = b.alloc_data(&refs);
+    let lcg_state = b.alloc_data(&[params.seed as u32 | 1]);
+
+    // --- sum_window(idx) -> RV: sum of up to 8 cells left of idx ----------
+    let f_sum = b.begin_function("sum_window");
+    b.load_imm(T0, 0); // acc
+    b.load_imm(T1, 0); // k
+    b.load_imm(T2, 8);
+    let s_top = b.here_label();
+    b.op(AluOp::Add, T3, A0, T1);
+    b.op_imm(AluOp::And, T3, T3, (CELLS - 1) as i32);
+    b.op_imm(AluOp::Add, T3, T3, val_base as i32);
+    b.load(T4, T3, 0);
+    b.op(AluOp::Add, T0, T0, T4);
+    b.op_imm(AluOp::Add, T1, T1, 1);
+    b.branch(Cond::Lt, T1, T2, s_top);
+    b.op_imm(AluOp::And, RV, T0, 0xFFFF);
+    b.ret();
+    b.end_function();
+
+    // --- touch(idx): record a propagated update --------------------------
+    let f_touch = b.begin_function("touch");
+    b.op_imm(AluOp::And, T0, A0, 63);
+    b.op_imm(AluOp::Add, T0, T0, ref_base as i32);
+    b.load(T1, T0, 0);
+    b.op_imm(AluOp::Xor, T1, T1, 1);
+    b.op_imm(AluOp::Xor, T1, T1, 1);
+    mov(&mut b, RV, T1);
+    b.ret();
+    b.end_function();
+
+    // --- clamp(v) -> RV: saturate into [0, 4095] ---------------------------
+    let f_clamp = b.begin_function("clamp");
+    b.load_imm(T0, 4095);
+    let small_enough = b.new_label();
+    b.branch(Cond::Ltu, A0, T0, small_enough);
+    mov(&mut b, A0, T0);
+    b.bind(small_enough);
+    mov(&mut b, RV, A0);
+    b.ret();
+    b.end_function();
+
+    // --- main ---------------------------------------------------------------
+    // S0 = sweep, S1 = cell idx, S2 = dirty count, S3 = checksum.
+    let f_main = b.begin_function("main");
+    init_stack(&mut b);
+    b.load_imm(S0, 0);
+    b.load_imm(S2, 0);
+    b.load_imm(S3, 0);
+
+    let sweep_top = b.here_label();
+    // Volatile cells: the sweep counter is written into the first few
+    // cells, so reference chains and row sums keep changing and the
+    // dirty-propagation branch stays data-dependent for the whole run
+    // (a spreadsheet whose inputs keep arriving).
+    for k in 0..4 {
+        b.op_imm(AluOp::Mul, T0, S0, 2 * k + 3);
+        b.load_imm(T1, val_base as i32 + k);
+        b.store(T0, T1, 0);
+    }
+    // Rescramble the hot reference cells with an in-program LCG: a
+    // spreadsheet whose formulas are being edited while it recalculates.
+    b.load_imm(T5, lcg_state as i32);
+    b.load(T2, T5, 0); // state
+    b.load_imm(S1, 64); // reuse S1 as the loop counter
+    let scr_top = b.here_label();
+    b.load_imm(T3, 1103515245u32 as i32);
+    b.op(AluOp::Mul, T2, T2, T3);
+    b.op_imm(AluOp::Add, T2, T2, 12345);
+    b.op_imm(AluOp::Shr, T4, T2, 16);
+    b.op_imm(AluOp::And, T4, T4, (CELLS - 1) as i32);
+    b.op_imm(AluOp::Add, T0, S1, ref_base as i32);
+    b.store(T4, T0, 0);
+    b.op_imm(AluOp::Add, S1, S1, 1);
+    b.load_imm(T0, 128);
+    b.branch(Cond::Lt, S1, T0, scr_top);
+    b.store(T2, T5, 0);
+    b.load_imm(S1, 0);
+    let cell_top = b.here_label();
+    // t = type[idx]; dispatch
+    b.op_imm(AluOp::Add, T0, S1, type_base as i32);
+    b.load(T0, T0, 0);
+    let cases: Vec<_> = (0..NTYPES).map(|_| b.new_label()).collect();
+    let next_cell = b.new_label();
+    switch_jump(&mut b, T0, T1, &cases);
+
+    // case 0: constant — accumulate into checksum.
+    b.bind(cases[0]);
+    b.op_imm(AluOp::Add, T2, S1, val_base as i32);
+    b.load(T3, T2, 0);
+    b.op(AluOp::Add, S3, S3, T3);
+    b.jump(next_cell);
+
+    // case 1: row-sum — call sum_window, store result.
+    b.bind(cases[1]);
+    mov(&mut b, A0, S1);
+    b.call_label(f_sum);
+    b.op_imm(AluOp::Add, T2, S1, val_base as i32);
+    b.store(RV, T2, 0);
+    b.jump(next_cell);
+
+    // case 2: reference — copy the referenced cell's value, bump dirty
+    // count when the value changed (data-dependent branch).
+    b.bind(cases[2]);
+    b.op_imm(AluOp::Add, T2, S1, ref_base as i32);
+    b.load(T3, T2, 0); // j = ref[idx]
+    b.op_imm(AluOp::Add, T3, T3, val_base as i32);
+    b.load(T4, T3, 0); // v = val[j]
+    b.op_imm(AluOp::Add, T2, S1, val_base as i32);
+    b.load(T5, T2, 0); // old
+    let unchanged = b.new_label();
+    // "Changed" is judged on the displayed digit (low bit of the delta):
+    // stable references compare equal as before, while the rescrambled hot
+    // region yields data-dependent outcomes.
+    b.op(AluOp::Xor, T6, T4, T5);
+    b.op_imm(AluOp::And, T6, T6, 1);
+    b.branch(Cond::Eq, T6, ZERO, unchanged);
+    b.op_imm(AluOp::Add, S2, S2, 1);
+    b.store(T4, T2, 0);
+    // Propagation notifies dependents through a call, which (like any call)
+    // terminates the task — so the dirty branch is a task exit the
+    // inter-task predictor must actually predict.
+    mov(&mut b, A0, S1);
+    b.call_label(f_touch);
+    b.bind(unchanged);
+    b.jump(next_cell);
+
+    // case 3: clamp — call clamp on the value plus a drift term.
+    b.bind(cases[3]);
+    b.op_imm(AluOp::Add, T2, S1, val_base as i32);
+    b.load(A0, T2, 0);
+    b.op_imm(AluOp::Add, A0, A0, 3);
+    b.call_label(f_clamp);
+    b.op_imm(AluOp::Add, T2, S1, val_base as i32);
+    b.store(RV, T2, 0);
+    b.jump(next_cell);
+
+    // next cell
+    b.bind(next_cell);
+    b.op_imm(AluOp::Add, S1, S1, 1);
+    b.load_imm(T0, CELLS as i32);
+    b.branch(Cond::Lt, S1, T0, cell_top);
+    // end of sweep: next sweep while S0 < sweeps
+    b.op_imm(AluOp::Add, S0, S0, 1);
+    b.load_imm(T0, sweeps as i32);
+    b.branch(Cond::Lt, S0, T0, sweep_top);
+    b.halt();
+    b.end_function();
+
+    let program = b.finish(f_main).expect("sc workload must build");
+    let steps = sweeps as u64 * CELLS as u64 * 90 + 100_000;
+    Workload { name: "sc", program, max_steps: steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{ExitKind, Interpreter};
+    use multiscalar_taskform::TaskFormer;
+
+    #[test]
+    fn recalc_reaches_fixpoint_behaviour() {
+        let w = sc_like(&WorkloadParams::small(4));
+        let mut i = Interpreter::new(&w.program);
+        let out = i.run(w.max_steps).unwrap();
+        assert!(out.halted);
+        assert!(i.reg(S3) > 0, "constants accumulated into the checksum");
+        // References settle after early sweeps, so dirty count is far below
+        // the theoretical max.
+        let dirty = i.reg(S2);
+        assert!(dirty > 0, "some propagation happened");
+        assert!(dirty < 26 * 512, "propagation must settle: {dirty}");
+    }
+
+    #[test]
+    fn dispatch_produces_indirect_branch_exits() {
+        let w = sc_like(&WorkloadParams::small(4));
+        let tp = TaskFormer::default().form(&w.program).unwrap();
+        let has_indirect = tp
+            .tasks()
+            .iter()
+            .flat_map(|t| t.header().exits())
+            .any(|e| e.kind == ExitKind::IndirectBranch);
+        assert!(has_indirect, "the type switch must appear as INDIRECT_BRANCH exits");
+    }
+}

@@ -1,0 +1,329 @@
+//! `xlisp` analog: a recursive tagged-tree interpreter.
+//!
+//! SPEC92 `xlisp` is a small Lisp interpreter; its dynamic profile is
+//! dominated by recursive `eval`, type dispatch and calls through function
+//! pointers. The paper reports 8% of xlisp's exits are indirect
+//! branches/calls and a large RETURN share — the second-hardest benchmark.
+//!
+//! The analog: a forest of random expression trees over tagged nodes
+//! (numbers, arithmetic, conditionals, counter cells, op-calls through a
+//! function-pointer table), evaluated by a recursive `eval` with a tag
+//! switch. Counter cells mutate between iterations so conditional paths
+//! vary over time.
+
+use crate::codegen::*;
+use crate::{Workload, WorkloadParams};
+use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// Node tags.
+const T_NUM: u32 = 0;
+const T_ADD: u32 = 1;
+const T_SUB: u32 = 2;
+const T_MUL: u32 = 3;
+const T_IF: u32 = 4;
+const T_OPCALL: u32 = 5;
+const T_COUNTER: u32 = 6;
+const T_MIN: u32 = 7;
+const NTAGS: u32 = 8;
+
+/// A generated expression node.
+#[derive(Clone, Copy, Default)]
+struct Node {
+    tag: u32,
+    left: u32,
+    right: u32,
+    val: u32,
+}
+
+/// Recursively generates an expression tree, returning the root index.
+fn gen_tree(rng: &mut StdRng, nodes: &mut Vec<Node>, depth: u32) -> u32 {
+    let idx = nodes.len() as u32;
+    nodes.push(Node::default());
+    let leafy = depth == 0 || rng.gen_bool(0.28);
+    let node = if leafy {
+        if rng.gen_bool(0.45) {
+            Node { tag: T_COUNTER, left: 0, right: 0, val: rng.gen_range(0..16) }
+        } else {
+            Node { tag: T_NUM, left: 0, right: 0, val: rng.gen_range(0..256) }
+        }
+    } else {
+        match rng.gen_range(0..10) {
+            0..=1 => {
+                let l = gen_tree(rng, nodes, depth - 1);
+                let r = gen_tree(rng, nodes, depth - 1);
+                Node { tag: T_ADD, left: l, right: r, val: 0 }
+            }
+            2 => {
+                let l = gen_tree(rng, nodes, depth - 1);
+                let r = gen_tree(rng, nodes, depth - 1);
+                Node { tag: T_SUB, left: l, right: r, val: 0 }
+            }
+            3 => {
+                let l = gen_tree(rng, nodes, depth - 1);
+                let r = gen_tree(rng, nodes, depth - 1);
+                Node { tag: T_MUL, left: l, right: r, val: 0 }
+            }
+            4..=5 => {
+                // Conditions usually inspect the mutable environment
+                // (counter cells), so the branch direction evolves at run
+                // time instead of being fixed by the tree shape.
+                let c = if rng.gen_bool(0.55) {
+                    let ci = nodes.len() as u32;
+                    nodes.push(Node {
+                        tag: T_COUNTER,
+                        left: 0,
+                        right: 0,
+                        val: rng.gen_range(0..16),
+                    });
+                    ci
+                } else {
+                    gen_tree(rng, nodes, depth - 1)
+                };
+                let t = gen_tree(rng, nodes, depth - 1);
+                let e = gen_tree(rng, nodes, depth - 1);
+                Node { tag: T_IF, left: c, right: t, val: e }
+            }
+            6..=7 => {
+                let l = gen_tree(rng, nodes, depth - 1);
+                Node { tag: T_OPCALL, left: l, right: 0, val: rng.gen_range(0..4) }
+            }
+            _ => {
+                let l = gen_tree(rng, nodes, depth - 1);
+                let r = gen_tree(rng, nodes, depth - 1);
+                Node { tag: T_MIN, left: l, right: r, val: 0 }
+            }
+        }
+    };
+    nodes[idx as usize] = node;
+    idx
+}
+
+/// Builds the `xlisp` analog. See the module-level docs in the source file.
+pub fn xlisp_like(params: &WorkloadParams) -> Workload {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x715_9000);
+    let iters = 10 * params.scale;
+    let n_roots = 40;
+
+    // --- generate the forest ---------------------------------------------
+    let mut nodes: Vec<Node> = Vec::new();
+    let roots: Vec<u32> = (0..n_roots).map(|_| gen_tree(&mut rng, &mut nodes, 8)).collect();
+    let n_nodes = nodes.len();
+
+    let mut b = ProgramBuilder::new();
+    let tag_base = b.alloc_data(&nodes.iter().map(|n| n.tag).collect::<Vec<_>>());
+    let left_base = b.alloc_data(&nodes.iter().map(|n| n.left).collect::<Vec<_>>());
+    let right_base = b.alloc_data(&nodes.iter().map(|n| n.right).collect::<Vec<_>>());
+    let val_base = b.alloc_data(&nodes.iter().map(|n| n.val).collect::<Vec<_>>());
+    let roots_base = b.alloc_data(&roots);
+    let counters_base = b.alloc_zeroed(16);
+
+    // --- op functions (targets of indirect calls) --------------------------
+    let op0 = b.begin_function("op_add17");
+    b.op_imm(AluOp::Add, RV, A0, 17);
+    b.ret();
+    b.end_function();
+
+    let op1 = b.begin_function("op_xor55");
+    b.op_imm(AluOp::Xor, RV, A0, 0x55);
+    b.ret();
+    b.end_function();
+
+    let op2 = b.begin_function("op_collatzish");
+    b.load_imm(T0, 0);
+    b.load_imm(T1, 4);
+    let o2_top = b.here_label();
+    b.op_imm(AluOp::Mul, A0, A0, 3);
+    b.op_imm(AluOp::Add, A0, A0, 1);
+    b.op_imm(AluOp::And, A0, A0, 0xFFFF);
+    b.op_imm(AluOp::Add, T0, T0, 1);
+    b.branch(Cond::Lt, T0, T1, o2_top);
+    mov(&mut b, RV, A0);
+    b.ret();
+    b.end_function();
+
+    let op3 = b.begin_function("op_halve7");
+    b.op_imm(AluOp::Shr, RV, A0, 1);
+    b.op_imm(AluOp::And, T0, A0, 1);
+    let even = b.new_label();
+    b.load_imm(T1, 0);
+    b.branch(Cond::Eq, T0, T1, even);
+    b.op_imm(AluOp::Add, RV, RV, 7);
+    b.bind(even);
+    b.ret();
+    b.end_function();
+    let ops = [op0, op1, op2, op3];
+
+    // --- eval(node) — the recursive interpreter core ------------------------
+    let f_eval_label; // forward declaration trick: begin_function returns it
+    {
+        f_eval_label = b.begin_function("eval");
+        push_regs(&mut b, &[S0, S1]);
+        mov(&mut b, S0, A0);
+        b.op_imm(AluOp::Add, T0, S0, tag_base as i32);
+        b.load(T0, T0, 0);
+        let cases: Vec<_> = (0..NTAGS).map(|_| b.new_label()).collect();
+        let epilogue = b.new_label();
+        switch_jump(&mut b, T0, T1, &cases);
+
+        // NUM: RV = val[node]
+        b.bind(cases[T_NUM as usize]);
+        b.op_imm(AluOp::Add, T0, S0, val_base as i32);
+        b.load(RV, T0, 0);
+        b.jump(epilogue);
+
+        // binary arithmetic: ADD, SUB, MUL
+        for (tag, op) in [(T_ADD, AluOp::Add), (T_SUB, AluOp::Sub), (T_MUL, AluOp::Mul)] {
+            b.bind(cases[tag as usize]);
+            b.op_imm(AluOp::Add, T0, S0, left_base as i32);
+            b.load(A0, T0, 0);
+            b.call_label(f_eval_label);
+            mov(&mut b, S1, RV);
+            b.op_imm(AluOp::Add, T0, S0, right_base as i32);
+            b.load(A0, T0, 0);
+            b.call_label(f_eval_label);
+            b.op(op, RV, S1, RV);
+            b.op_imm(AluOp::And, RV, RV, 0xFFFF);
+            b.jump(epilogue);
+        }
+
+        // IF: eval(cond); odd -> then (right), even -> else (val)
+        b.bind(cases[T_IF as usize]);
+        b.op_imm(AluOp::Add, T0, S0, left_base as i32);
+        b.load(A0, T0, 0);
+        b.call_label(f_eval_label);
+        b.op_imm(AluOp::And, T1, RV, 1);
+        let take_else = b.new_label();
+        b.load_imm(T2, 0);
+        b.branch(Cond::Eq, T1, T2, take_else);
+        b.op_imm(AluOp::Add, T0, S0, right_base as i32);
+        b.load(A0, T0, 0);
+        b.call_label(f_eval_label);
+        b.jump(epilogue);
+        b.bind(take_else);
+        b.op_imm(AluOp::Add, T0, S0, val_base as i32);
+        b.load(A0, T0, 0);
+        b.call_label(f_eval_label);
+        b.jump(epilogue);
+
+        // OPCALL: eval(left), then call op[val & 3] indirectly
+        b.bind(cases[T_OPCALL as usize]);
+        b.op_imm(AluOp::Add, T0, S0, left_base as i32);
+        b.load(A0, T0, 0);
+        b.call_label(f_eval_label);
+        mov(&mut b, A0, RV);
+        b.op_imm(AluOp::Add, T2, S0, val_base as i32);
+        b.load(T2, T2, 0);
+        b.op_imm(AluOp::And, T2, T2, 3);
+        call_via_table(&mut b, T2, T3, &ops);
+        b.jump(epilogue);
+
+        // COUNTER: RV = counters[val]++, a value that changes over time.
+        b.bind(cases[T_COUNTER as usize]);
+        b.op_imm(AluOp::Add, T0, S0, val_base as i32);
+        b.load(T0, T0, 0);
+        b.op_imm(AluOp::Add, T0, T0, counters_base as i32);
+        b.load(RV, T0, 0);
+        b.op_imm(AluOp::Add, T1, RV, 1);
+        b.store(T1, T0, 0);
+        b.jump(epilogue);
+
+        // MIN: min of both children.
+        b.bind(cases[T_MIN as usize]);
+        b.op_imm(AluOp::Add, T0, S0, left_base as i32);
+        b.load(A0, T0, 0);
+        b.call_label(f_eval_label);
+        mov(&mut b, S1, RV);
+        b.op_imm(AluOp::Add, T0, S0, right_base as i32);
+        b.load(A0, T0, 0);
+        b.call_label(f_eval_label);
+        let keep_right = b.new_label();
+        b.branch(Cond::Ltu, RV, S1, keep_right);
+        mov(&mut b, RV, S1);
+        b.bind(keep_right);
+        b.jump(epilogue);
+
+        b.bind(epilogue);
+        pop_regs(&mut b, &[S0, S1]);
+        b.ret();
+        b.end_function();
+    }
+
+    // --- main ---------------------------------------------------------------
+    // S2 = iteration, S3 = root index, S4 = accumulator.
+    let f_main = b.begin_function("main");
+    init_stack(&mut b);
+    b.load_imm(S2, 0);
+    b.load_imm(S4, 0);
+    let iter_top = b.here_label();
+    b.load_imm(S3, 0);
+    let root_top = b.here_label();
+    b.op_imm(AluOp::Add, T0, S3, roots_base as i32);
+    b.load(A0, T0, 0);
+    b.call_label(f_eval_label);
+    b.op(AluOp::Add, S4, S4, RV);
+    b.op_imm(AluOp::And, S4, S4, 0xFFFFF);
+    // Scramble one counter cell with the chaotic accumulator: conditional
+    // paths through the next trees depend on accumulated results, like a
+    // Lisp program whose environment evolves.
+    b.op_imm(AluOp::And, T0, S3, 15);
+    b.op_imm(AluOp::Add, T0, T0, counters_base as i32);
+    b.op_imm(AluOp::Shr, T1, S4, 3);
+    b.op_imm(AluOp::And, T1, T1, 255);
+    b.store(T1, T0, 0);
+    b.op_imm(AluOp::Add, S3, S3, 1);
+    b.load_imm(T0, n_roots);
+    b.branch(Cond::Lt, S3, T0, root_top);
+    b.op_imm(AluOp::Add, S2, S2, 1);
+    b.load_imm(T0, iters as i32);
+    b.branch(Cond::Lt, S2, T0, iter_top);
+    b.halt();
+    b.end_function();
+
+    let program = b.finish(f_main).expect("xlisp workload must build");
+    let steps = iters as u64 * n_nodes as u64 * 80 + 200_000;
+    Workload { name: "xlisp", program, max_steps: steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{ExitKind, Interpreter};
+    use multiscalar_taskform::TaskFormer;
+
+    #[test]
+    fn interpreter_forest_evaluates() {
+        let w = xlisp_like(&WorkloadParams::small(3));
+        let mut i = Interpreter::new(&w.program);
+        let out = i.run(w.max_steps).unwrap();
+        assert!(out.halted, "eval recursion must terminate");
+        assert_eq!(i.call_depth(), 0, "calls and returns balance");
+    }
+
+    #[test]
+    fn exit_mix_is_call_heavy_with_indirect_calls() {
+        let w = xlisp_like(&WorkloadParams::small(3));
+        let tp = TaskFormer::default().form(&w.program).unwrap();
+        let kinds: Vec<_> =
+            tp.tasks().iter().flat_map(|t| t.header().exits()).map(|e| e.kind).collect();
+        assert!(kinds.contains(&ExitKind::Call));
+        assert!(kinds.contains(&ExitKind::Return));
+        assert!(kinds.contains(&ExitKind::IndirectCall), "OPCALL dispatch");
+        assert!(kinds.contains(&ExitKind::IndirectBranch), "tag switch");
+    }
+
+    #[test]
+    fn counters_make_behaviour_time_varying() {
+        // Same seed: the first and second halves of the run differ in
+        // accumulated value because counter cells mutate.
+        let w = xlisp_like(&WorkloadParams::small(3));
+        let mut i = Interpreter::new(&w.program);
+        i.run(w.max_steps).unwrap();
+        // Counter cells were incremented at least once.
+        let data_len = w.program.initial_data().len();
+        let counters_lo = (data_len - 16) as u32;
+        let any_counter = (0..16).any(|k| i.mem(counters_lo + k).unwrap_or(0) > 0);
+        assert!(any_counter, "counter cells must have been bumped");
+    }
+}

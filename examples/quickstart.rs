@@ -1,0 +1,51 @@
+//! Quickstart: generate a workload, break it into Multiscalar tasks,
+//! trace it, and measure the paper's recommended task predictor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use multiscalar::core::automata::LastExitHysteresis;
+use multiscalar::core::dolc::Dolc;
+use multiscalar::core::history::PathPredictor;
+use multiscalar::core::predictor::TaskPredictor;
+use multiscalar::sim::{measure, trace};
+use multiscalar::taskform::TaskFormer;
+use multiscalar::workloads::{Spec92, WorkloadParams};
+
+type Leh2 = LastExitHysteresis<2>;
+
+fn main() {
+    let params = WorkloadParams::small(42);
+    println!("benchmark   dyn.tasks  distinct  exit-miss  next-task-miss");
+
+    for spec in Spec92::ALL {
+        // 1. Generate the program and form tasks (the compiler's job).
+        let w = spec.build(&params);
+        let tasks = TaskFormer::default().form(&w.program).expect("task formation");
+
+        // 2. Execute and collect the task-level trace (the functional
+        //    simulator's job).
+        let run = trace::collect_trace(&w.program, &tasks, w.max_steps).expect("trace");
+        let descs = measure::task_descs(&tasks);
+
+        // 3. The paper's full predictor: PATH/LEH-2bit exit prediction
+        //    (8 KB PHT), a return-address stack, and a correlated task
+        //    target buffer for indirect exits.
+        let mut pred = TaskPredictor::<PathPredictor<Leh2>>::path(
+            Dolc::parse("6-5-8-9 (3)").expect("valid DOLC"),
+            Dolc::parse("7-4-4-5 (3)").expect("valid DOLC"),
+            64,
+        );
+        let stats = measure::measure_full(&mut pred, &descs, &run.events);
+
+        println!(
+            "{:<10} {:>10} {:>9} {:>9.2}% {:>14.2}%",
+            spec.name(),
+            run.stats.dynamic_tasks,
+            run.stats.distinct_tasks,
+            stats.exits.miss_rate() * 100.0,
+            stats.next_task.miss_rate() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! **multiscalar** — a from-scratch Rust reproduction of Jacobson, Bennett,
+//! Sharma & Smith, *"Control Flow Speculation in Multiscalar Processors"*
+//! (HPCA-3, 1997).
+//!
+//! This meta crate re-exports the whole system under one roof:
+//!
+//! * [`isa`] — the RISC-style instruction set, program builder and
+//!   interpreter the workloads run on;
+//! * [`cfg`](mod@cfg) — control-flow graphs, dominators and natural loops;
+//! * [`taskform`] — the Multiscalar task former (compiler pass) producing
+//!   tasks with up to four exits and their headers;
+//! * [`workloads`] — SPEC92-integer-analog benchmark generators
+//!   (gcc, compress, espresso, sc, xlisp);
+//! * [`core`] — the paper's contribution: multi-way prediction automata,
+//!   GLOBAL/PER/PATH history schemes, DOLC index construction,
+//!   return-address stacks and (correlated) task target buffers;
+//! * [`sim`] — the functional simulator (task traces, miss-rate
+//!   measurement) and the ring timing simulator (IPC);
+//! * [`harness`] — one function per paper table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multiscalar::core::automata::LastExitHysteresis;
+//! use multiscalar::core::dolc::Dolc;
+//! use multiscalar::core::history::PathPredictor;
+//! use multiscalar::sim::{measure, trace};
+//! use multiscalar::taskform::TaskFormer;
+//! use multiscalar::workloads::{Spec92, WorkloadParams};
+//!
+//! // 1. Generate a workload and break it into Multiscalar tasks.
+//! let w = Spec92::Compress.build(&WorkloadParams::small(42));
+//! let tasks = TaskFormer::default().form(&w.program).unwrap();
+//!
+//! // 2. Execute it, collecting the task-level trace.
+//! let run = trace::collect_trace(&w.program, &tasks, w.max_steps).unwrap();
+//!
+//! // 3. Drive the paper's recommended predictor over the trace.
+//! let descs = measure::task_descs(&tasks);
+//! let mut pred: PathPredictor<LastExitHysteresis<2>> =
+//!     PathPredictor::new(Dolc::parse("6-5-8-9 (3)").unwrap());
+//! let stats = measure::measure_exits(&mut pred, &descs, &run.events);
+//! assert!(stats.miss_rate() < 0.5);
+//! ```
+
+pub use multiscalar_cfg as cfg;
+pub use multiscalar_core as core;
+pub use multiscalar_harness as harness;
+pub use multiscalar_isa as isa;
+pub use multiscalar_sim as sim;
+pub use multiscalar_taskform as taskform;
+pub use multiscalar_workloads as workloads;

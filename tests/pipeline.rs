@@ -1,0 +1,193 @@
+//! End-to-end pipeline integration tests over the five SPEC92 analogs:
+//! build → task-form → trace → predict → time, checking cross-crate
+//! invariants the unit tests cannot see.
+
+use multiscalar::core::automata::LastExitHysteresis;
+use multiscalar::core::dolc::Dolc;
+use multiscalar::core::history::PathPredictor;
+use multiscalar::core::predictor::TaskPredictor;
+use multiscalar::harness::prepare;
+use multiscalar::sim::measure::measure_full;
+use multiscalar::sim::timing::{simulate, NextTaskPredictor, TimingConfig};
+use multiscalar::taskform::TaskFormer;
+use multiscalar::workloads::{Spec92, WorkloadParams};
+
+type Leh2 = LastExitHysteresis<2>;
+
+fn params() -> WorkloadParams {
+    WorkloadParams { seed: 7, scale: 1 }
+}
+
+#[test]
+fn traces_visit_only_real_task_entries() {
+    for spec in Spec92::ALL {
+        let b = prepare(spec, &params());
+        for e in &b.trace.events {
+            let tid = b.tasks.task_entered_at(e.next);
+            assert!(tid.is_some(), "{spec}: event lands at non-entry {}", e.next);
+            let spec_exit = &b.tasks.task(e.task).header().exits()[e.exit.index()];
+            assert_eq!(spec_exit.kind, e.kind, "{spec}: kind mismatch");
+        }
+    }
+}
+
+#[test]
+fn exit_counts_and_kinds_are_internally_consistent() {
+    for spec in Spec92::ALL {
+        let b = prepare(spec, &params());
+        let s = &b.trace.stats;
+        assert_eq!(s.by_num_exits.iter().sum::<u64>(), s.dynamic_tasks, "{spec}");
+        assert_eq!(s.by_kind.iter().sum::<u64>(), s.dynamic_tasks, "{spec}");
+        assert!(s.distinct_tasks <= b.tasks.static_task_count(), "{spec}");
+        assert!(s.mean_task_size() >= 1.0, "{spec}");
+    }
+}
+
+#[test]
+fn exit_miss_rate_bounds_next_task_miss_rate() {
+    for spec in Spec92::ALL {
+        let b = prepare(spec, &params());
+        let mut pred = TaskPredictor::<PathPredictor<Leh2>>::path(
+            Dolc::new(6, 5, 8, 9, 3),
+            Dolc::new(6, 4, 6, 7, 3),
+            64,
+        );
+        let stats = measure_full(&mut pred, &b.descs, &b.trace.events);
+        assert!(
+            stats.next_task.misses >= stats.exits.misses,
+            "{spec}: a wrong exit implies a wrong next task"
+        );
+        assert!(stats.exits.miss_rate() < 0.35, "{spec}: sanity upper bound");
+    }
+}
+
+#[test]
+fn timing_and_functional_simulators_agree_on_task_counts() {
+    for spec in [Spec92::Compress, Spec92::Sc] {
+        let b = prepare(spec, &params());
+        let perfect = simulate(
+            &b.workload.program,
+            &b.tasks,
+            &b.descs,
+            None,
+            &TimingConfig::default(),
+            b.workload.max_steps,
+        )
+        .unwrap();
+        // The timing simulator counts every boundary; the trace omits only
+        // the final halting task.
+        assert_eq!(perfect.dynamic_tasks, b.trace.stats.dynamic_tasks, "{spec}");
+        assert_eq!(perfect.instructions, b.trace.stats.instructions, "{spec}");
+    }
+}
+
+#[test]
+fn better_prediction_never_lowers_ipc() {
+    let b = prepare(Spec92::Gcc, &params());
+    let config = TimingConfig::default();
+    let run = |pred: Option<&mut dyn NextTaskPredictor>| {
+        simulate(&b.workload.program, &b.tasks, &b.descs, pred, &config, b.workload.max_steps)
+            .unwrap()
+    };
+    let perfect = run(None);
+    let mut path = TaskPredictor::<PathPredictor<Leh2>>::path(
+        Dolc::new(7, 5, 7, 8, 3),
+        Dolc::new(7, 4, 4, 5, 3),
+        64,
+    );
+    let path_r = run(Some(&mut path));
+    let mut simple = TaskPredictor::<PathPredictor<Leh2>>::path(
+        Dolc::new(0, 0, 0, 15, 1),
+        Dolc::new(7, 4, 4, 5, 3),
+        64,
+    );
+    let simple_r = run(Some(&mut simple));
+
+    assert!(perfect.ipc() >= path_r.ipc());
+    assert!(
+        path_r.task_miss_rate() <= simple_r.task_miss_rate(),
+        "PATH ({:.4}) must not mispredict more than Simple ({:.4})",
+        path_r.task_miss_rate(),
+        simple_r.task_miss_rate()
+    );
+    assert!(
+        path_r.ipc() >= simple_r.ipc() * 0.999,
+        "better prediction must not lose IPC: PATH {:.3} vs Simple {:.3}",
+        path_r.ipc(),
+        simple_r.ipc()
+    );
+}
+
+#[test]
+fn task_former_configs_all_trace_correctly() {
+    use multiscalar::taskform::TaskFormConfig;
+    let w = Spec92::Xlisp.build(&params());
+    for (mi, mb) in [(8, 2), (16, 4), (32, 12), (64, 24)] {
+        let tp = TaskFormer::new(TaskFormConfig { max_instrs: mi, max_blocks: mb })
+            .form(&w.program)
+            .unwrap();
+        tp.validate(&w.program).unwrap();
+        let run =
+            multiscalar::sim::trace::collect_trace(&w.program, &tp, w.max_steps).unwrap();
+        assert!(run.stats.dynamic_tasks > 0, "config ({mi},{mb})");
+    }
+}
+
+#[test]
+fn workload_scaling_preserves_static_structure() {
+    // The same seed at different scales must produce the same *structure*
+    // (functions, tasks) for gcc, whose shape is drawn from a dedicated RNG
+    // stream; only the input data and the driver's trip count change.
+    let a = Spec92::Gcc.build(&WorkloadParams { seed: 3, scale: 1 });
+    let b = Spec92::Gcc.build(&WorkloadParams { seed: 3, scale: 2 });
+    assert_eq!(a.program.functions().len(), b.program.functions().len());
+    assert_eq!(a.program.len(), b.program.len());
+    let ta = TaskFormer::default().form(&a.program).unwrap();
+    let tb = TaskFormer::default().form(&b.program).unwrap();
+    assert_eq!(ta.static_task_count(), tb.static_task_count());
+}
+
+#[test]
+fn target_kind_breakdown_is_consistent() {
+    use multiscalar::isa::ExitKind;
+    let b = prepare(Spec92::Xlisp, &params());
+    let mut pred = TaskPredictor::<PathPredictor<Leh2>>::path(
+        Dolc::new(6, 5, 8, 9, 3),
+        Dolc::new(6, 4, 6, 7, 3),
+        64,
+    );
+    let stats = measure_full(&mut pred, &b.descs, &b.trace.events);
+    // Per-kind target predictions are only recorded on correct exits, so
+    // their sum is bounded by the correct-exit count.
+    let per_kind_total: u64 = ExitKind::TABLE1
+        .iter()
+        .map(|&k| stats.target_stats(k).predictions)
+        .sum();
+    let correct_exits = stats.exits.predictions - stats.exits.misses;
+    assert!(per_kind_total <= correct_exits);
+    // xlisp exercises every Table-1 kind.
+    for k in [ExitKind::Branch, ExitKind::Call, ExitKind::Return, ExitKind::IndirectCall] {
+        assert!(
+            stats.target_stats(k).predictions > 0,
+            "xlisp must produce {k} exits"
+        );
+    }
+    // Header-known targets never miss.
+    assert_eq!(stats.target_stats(ExitKind::Branch).misses, 0);
+    assert_eq!(stats.target_stats(ExitKind::Call).misses, 0);
+}
+
+#[test]
+fn masm_round_trip_preserves_traces() {
+    // Serialize a whole benchmark to assembly text, reparse, and confirm
+    // the task trace is bit-identical — the strongest round-trip check.
+    use multiscalar::isa::{parse_program, to_masm};
+    let w = Spec92::Sc.build(&params());
+    let text = to_masm(&w.program);
+    let p2 = parse_program(&text).expect("reparse");
+    let t1 = TaskFormer::default().form(&w.program).unwrap();
+    let t2 = TaskFormer::default().form(&p2).unwrap();
+    let r1 = multiscalar::sim::trace::collect_trace(&w.program, &t1, w.max_steps).unwrap();
+    let r2 = multiscalar::sim::trace::collect_trace(&p2, &t2, w.max_steps).unwrap();
+    assert_eq!(r1.events, r2.events);
+}
