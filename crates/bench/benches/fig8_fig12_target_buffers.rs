@@ -11,8 +11,10 @@ use multiscalar_workloads::Spec92;
 use std::hint::black_box;
 
 fn target_buffers(c: &mut Criterion) {
-    let benches: Vec<_> =
-        [Spec92::Gcc, Spec92::Xlisp].iter().map(|&s| bench_workload(s)).collect();
+    let benches: Vec<_> = [Spec92::Gcc, Spec92::Xlisp]
+        .iter()
+        .map(|&s| bench_workload(s))
+        .collect();
 
     println!("\nFigures 8 & 12 (regenerated): indirect-target miss rates");
     for b in &benches {
@@ -45,19 +47,31 @@ fn target_buffers(c: &mut Criterion) {
         group.bench_function(format!("{}_cttb_real_d7", b.name()), |bch| {
             bch.iter(|| {
                 let mut cttb = Cttb::new(cttb_ladder()[7]);
-                black_box(measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events))
+                black_box(measure_indirect_targets(
+                    &mut cttb,
+                    &b.descs,
+                    &b.trace.events,
+                ))
             })
         });
         group.bench_function(format!("{}_cttb_ideal_d7", b.name()), |bch| {
             bch.iter(|| {
                 let mut cttb = IdealCttb::new(7);
-                black_box(measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events))
+                black_box(measure_indirect_targets(
+                    &mut cttb,
+                    &b.descs,
+                    &b.trace.events,
+                ))
             })
         });
         group.bench_function(format!("{}_ttb", b.name()), |bch| {
             bch.iter(|| {
                 let mut ttb = Ttb::new(11);
-                black_box(measure_indirect_targets(&mut ttb, &b.descs, &b.trace.events))
+                black_box(measure_indirect_targets(
+                    &mut ttb,
+                    &b.descs,
+                    &b.trace.events,
+                ))
             })
         });
     }

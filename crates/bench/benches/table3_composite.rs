@@ -40,7 +40,11 @@ fn composite(c: &mut Criterion) {
 
     // Ablation: the single-exit optimisation's effect on PHT pressure.
     let gcc = &benches[0];
-    for mode in [SingleExitMode::Off, SingleExitMode::SkipPht, SingleExitMode::SkipAll] {
+    for mode in [
+        SingleExitMode::Off,
+        SingleExitMode::SkipPht,
+        SingleExitMode::SkipAll,
+    ] {
         let mut p: PathPredictor<Leh2> = PathPredictor::with_mode(exit_cfg(), mode);
         let s = measure_exits(&mut p, &gcc.descs, &gcc.trace.events);
         println!(
@@ -55,8 +59,7 @@ fn composite(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_predictor_gcc", |b| {
         b.iter(|| {
-            let mut p =
-                TaskPredictor::<PathPredictor<Leh2>>::path(exit_cfg(), cttb_cfg(), 64);
+            let mut p = TaskPredictor::<PathPredictor<Leh2>>::path(exit_cfg(), cttb_cfg(), 64);
             black_box(measure_full(&mut p, &gcc.descs, &gcc.trace.events))
         })
     });

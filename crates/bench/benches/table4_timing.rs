@@ -5,11 +5,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use multiscalar_bench::bench_workload;
 use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::PathPredictor;
 use multiscalar_core::predictor::TaskPredictor;
 use multiscalar_harness::dispatch::{dolc_15bit, real_predictor_16kb, Scheme};
 use multiscalar_harness::Bench;
-use multiscalar_core::dolc::Dolc;
 use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig, TimingResult};
 use multiscalar_workloads::Spec92;
 use std::hint::black_box;
@@ -17,8 +17,15 @@ use std::hint::black_box;
 type Leh2 = LastExitHysteresis<2>;
 
 fn run(b: &Bench, pred: Option<&mut dyn NextTaskPredictor>, config: &TimingConfig) -> TimingResult {
-    simulate(&b.workload.program, &b.tasks, &b.descs, pred, config, b.workload.max_steps)
-        .expect("timing simulation succeeds")
+    simulate(
+        &b.workload.program,
+        &b.tasks,
+        &b.descs,
+        pred,
+        config,
+        b.workload.max_steps,
+    )
+    .expect("timing simulation succeeds")
 }
 
 fn timing(c: &mut Criterion) {
@@ -50,9 +57,15 @@ fn timing(c: &mut Criterion) {
     // Ablation: ring width under perfect prediction.
     let gcc = &benches[0];
     for units in [2, 4, 8] {
-        let cfg = TimingConfig { n_units: units, ..config };
+        let cfg = TimingConfig {
+            n_units: units,
+            ..config
+        };
         let r = run(gcc, None, &cfg);
-        println!("  width ablation (gcc, perfect): {units} units -> IPC {:.2}", r.ipc());
+        println!(
+            "  width ablation (gcc, perfect): {units} units -> IPC {:.2}",
+            r.ipc()
+        );
     }
 
     let mut group = c.benchmark_group("table4_timing");

@@ -10,7 +10,10 @@ use multiscalar_workloads::{Spec92, WorkloadParams};
 /// minutes-scale while exercising the identical code paths as the
 /// full-scale harness).
 pub fn bench_params() -> WorkloadParams {
-    WorkloadParams { seed: 0xC0FFEE, scale: 1 }
+    WorkloadParams {
+        seed: 0xC0FFEE,
+        scale: 1,
+    }
 }
 
 /// Prepares one benchmark at bench scale.

@@ -25,7 +25,9 @@ pub fn build_cfg(program: &Program, func: FuncId) -> Cfg {
     leaders.insert(range.start);
     for pc in range.clone() {
         let inst = program.fetch(Addr(pc)).expect("address in function range");
-        let Some(cf) = inst.control_flow() else { continue };
+        let Some(cf) = inst.control_flow() else {
+            continue;
+        };
         // Instruction after any control instruction starts a block.
         if pc + 1 < range.end {
             leaders.insert(pc + 1);
@@ -145,7 +147,12 @@ pub fn build_cfg(program: &Program, func: FuncId) -> Cfg {
     }
 
     let entry = by_start[&range.start];
-    Cfg { func, blocks, entry, by_start }
+    Cfg {
+        func,
+        blocks,
+        entry,
+        by_start,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +188,11 @@ mod tests {
         let cfg = build_cfg(&p, p.entry_function());
         assert_eq!(cfg.blocks().len(), 2);
         let loop_block = cfg.entry();
-        assert!(cfg.block(loop_block).succs().iter().any(|e| e.to == loop_block));
+        assert!(cfg
+            .block(loop_block)
+            .succs()
+            .iter()
+            .any(|e| e.to == loop_block));
     }
 
     #[test]
@@ -207,7 +218,10 @@ mod tests {
                 covered[(a - f.range().start) as usize] += 1;
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "blocks must tile the function: {covered:?}");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "blocks must tile the function: {covered:?}"
+        );
     }
 
     #[test]
@@ -221,7 +235,10 @@ mod tests {
         let p = b.finish(main).unwrap();
         let cfg = build_cfg(&p, p.entry_function());
         let entry = cfg.block(cfg.entry());
-        assert_eq!(entry.terminator(), Terminator::IndirectJump { resolved: false });
+        assert_eq!(
+            entry.terminator(),
+            Terminator::IndirectJump { resolved: false }
+        );
         assert!(entry.succs().is_empty());
     }
 }

@@ -54,17 +54,18 @@ impl Dominators {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[cfg.entry().index()] = Some(cfg.entry());
 
-        let intersect = |idom: &[Option<BlockId>], pos: &[usize], mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while pos[a.index()] > pos[b.index()] {
-                    a = idom[a.index()].expect("processed block has idom");
+        let intersect =
+            |idom: &[Option<BlockId>], pos: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while pos[a.index()] > pos[b.index()] {
+                        a = idom[a.index()].expect("processed block has idom");
+                    }
+                    while pos[b.index()] > pos[a.index()] {
+                        b = idom[b.index()].expect("processed block has idom");
+                    }
                 }
-                while pos[b.index()] > pos[a.index()] {
-                    b = idom[b.index()].expect("processed block has idom");
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {
@@ -90,7 +91,10 @@ impl Dominators {
             }
         }
 
-        Dominators { idom, entry: cfg.entry() }
+        Dominators {
+            idom,
+            entry: cfg.entry(),
+        }
     }
 
     /// The immediate dominator of `b` (the entry's idom is itself).
@@ -184,7 +188,10 @@ mod tests {
             .expect("join block");
         for &p in cfg.block(join).preds() {
             if p != join && p != cfg.entry() {
-                assert!(!dom.dominates(p, join), "{p} should not dominate join {join}");
+                assert!(
+                    !dom.dominates(p, join),
+                    "{p} should not dominate join {join}"
+                );
             }
         }
         // But entry does, and join dominates itself.
@@ -219,8 +226,10 @@ mod tests {
         let cfg = Cfg::build(&p, p.entry_function());
         let dom = cfg.dominators();
         assert!(dom.is_reachable(cfg.entry()));
-        let unreachable: Vec<_> =
-            (0..cfg.blocks().len()).map(|i| BlockId(i as u32)).filter(|&b| !dom.is_reachable(b)).collect();
+        let unreachable: Vec<_> = (0..cfg.blocks().len())
+            .map(|i| BlockId(i as u32))
+            .filter(|&b| !dom.is_reachable(b))
+            .collect();
         assert!(!unreachable.is_empty());
         for u in unreachable {
             assert!(!dom.dominates(cfg.entry(), u));

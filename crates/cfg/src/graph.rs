@@ -202,7 +202,10 @@ impl Cfg {
             .blocks
             .partition_point(|b| b.range.start <= addr.0)
             .checked_sub(1)?;
-        self.blocks[idx].range.contains(&addr.0).then_some(BlockId(idx as u32))
+        self.blocks[idx]
+            .range
+            .contains(&addr.0)
+            .then_some(BlockId(idx as u32))
     }
 
     /// Block ids in reverse postorder from the entry. Unreachable blocks are
@@ -315,7 +318,11 @@ mod tests {
                 );
             }
             for &p in b.preds() {
-                assert!(cfg.block(p).succs().iter().any(|e| e.to == BlockId(i as u32)));
+                assert!(cfg
+                    .block(p)
+                    .succs()
+                    .iter()
+                    .any(|e| e.to == BlockId(i as u32)));
             }
         }
     }
@@ -329,7 +336,11 @@ mod tests {
         // In RPO, every edge that is not a back edge goes forward.
         let pos: HashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         let join = cfg.blocks().len() - 1;
-        assert_eq!(pos[&BlockId(join as u32)], cfg.blocks().len() - 1, "join block is last");
+        assert_eq!(
+            pos[&BlockId(join as u32)],
+            cfg.blocks().len() - 1,
+            "join block is last"
+        );
     }
 
     #[test]
@@ -382,9 +393,15 @@ mod tests {
         let p = b.finish(main).unwrap();
         let cfg = Cfg::build(&p, p.entry_function());
         let entry = cfg.block(cfg.entry());
-        assert_eq!(entry.terminator(), Terminator::IndirectJump { resolved: true });
+        assert_eq!(
+            entry.terminator(),
+            Terminator::IndirectJump { resolved: true }
+        );
         assert_eq!(entry.succs().len(), 2);
-        assert!(entry.succs().iter().all(|e| e.kind == EdgeKind::IndirectCase));
+        assert!(entry
+            .succs()
+            .iter()
+            .all(|e| e.kind == EdgeKind::IndirectCase));
         assert_eq!(cfg.reachable_count(), 3);
     }
 }

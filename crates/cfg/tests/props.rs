@@ -1,21 +1,26 @@
-//! Property-based tests: CFG construction and analyses over random
+//! Seeded-sweep tests: CFG construction and analyses over random
 //! structured programs.
 
 use multiscalar_cfg::{BlockId, Cfg};
 use multiscalar_isa::{Addr, FuncId};
+use multiscalar_workloads::rng::{Rng, SeedableRng, StdRng};
 use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn blocks_tile_every_function(
-        seed in 0u64..10_000,
-        functions in 1usize..6,
-        constructs in 1usize..7,
-    ) {
-        let p = random_program(seed, &SyntheticConfig { functions, constructs, nesting: 2 });
+#[test]
+fn blocks_tile_every_function() {
+    let mut draws = StdRng::seed_from_u64(0xCF61);
+    for _ in 0..64 {
+        let seed = draws.gen_range(0..10_000u64);
+        let functions = draws.gen_range(1..6usize);
+        let constructs = draws.gen_range(1..7usize);
+        let p = random_program(
+            seed,
+            &SyntheticConfig {
+                functions,
+                constructs,
+                nesting: 2,
+            },
+        );
         for (i, f) in p.functions().iter().enumerate() {
             let cfg = Cfg::build(&p, FuncId(i as u32));
             let mut covered = vec![0u32; f.len()];
@@ -24,35 +29,38 @@ proptest! {
                     covered[(a - f.range().start) as usize] += 1;
                 }
             }
-            prop_assert!(covered.iter().all(|&c| c == 1), "blocks must tile exactly once");
-            prop_assert_eq!(cfg.block(cfg.entry()).start(), f.entry());
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "blocks must tile exactly once"
+            );
+            assert_eq!(cfg.block(cfg.entry()).start(), f.entry());
         }
     }
+}
 
-    #[test]
-    fn preds_and_succs_are_inverse(
-        seed in 0u64..10_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn preds_and_succs_are_inverse() {
+    for seed in 0..64u64 {
+        let p = random_program(seed * 157, &SyntheticConfig::default());
         for (i, _) in p.functions().iter().enumerate() {
             let cfg = Cfg::build(&p, FuncId(i as u32));
             for (bi, blk) in cfg.blocks().iter().enumerate() {
                 let from = BlockId(bi as u32);
                 for e in blk.succs() {
-                    prop_assert!(cfg.block(e.to).preds().contains(&from));
+                    assert!(cfg.block(e.to).preds().contains(&from));
                 }
                 for &pr in blk.preds() {
-                    prop_assert!(cfg.block(pr).succs().iter().any(|e| e.to == from));
+                    assert!(cfg.block(pr).succs().iter().any(|e| e.to == from));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dominator_chains_terminate_at_entry(
-        seed in 0u64..10_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn dominator_chains_terminate_at_entry() {
+    for seed in 0..64u64 {
+        let p = random_program(seed * 131, &SyntheticConfig::default());
         for (i, _) in p.functions().iter().enumerate() {
             let cfg = Cfg::build(&p, FuncId(i as u32));
             let dom = cfg.dominators();
@@ -61,7 +69,7 @@ proptest! {
                 if !dom.is_reachable(b) {
                     continue;
                 }
-                prop_assert!(dom.dominates(cfg.entry(), b));
+                assert!(dom.dominates(cfg.entry(), b));
                 // Walk the idom chain to the entry with bounded fuel.
                 let mut cur = b;
                 for _ in 0..=cfg.blocks().len() {
@@ -70,28 +78,28 @@ proptest! {
                     }
                     cur = dom.idom(cur).expect("reachable block has an idom");
                 }
-                prop_assert_eq!(cur, cfg.entry());
+                assert_eq!(cur, cfg.entry());
             }
         }
     }
+}
 
-    #[test]
-    fn loops_are_dominated_by_their_headers(
-        seed in 0u64..10_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn loops_are_dominated_by_their_headers() {
+    for seed in 0..64u64 {
+        let p = random_program(seed * 149, &SyntheticConfig::default());
         for (i, _) in p.functions().iter().enumerate() {
             let cfg = Cfg::build(&p, FuncId(i as u32));
             let dom = cfg.dominators();
             for l in cfg.natural_loops() {
                 for &b in &l.body {
-                    prop_assert!(
+                    assert!(
                         dom.dominates(l.header, b),
                         "loop header must dominate the whole body"
                     );
                 }
                 for &latch in &l.latches {
-                    prop_assert!(
+                    assert!(
                         cfg.block(latch).succs().iter().any(|e| e.to == l.header),
                         "latch must branch back to the header"
                     );
@@ -99,20 +107,20 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn block_lookup_is_consistent(
-        seed in 0u64..5_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn block_lookup_is_consistent() {
+    for seed in 0..48u64 {
+        let p = random_program(seed * 101, &SyntheticConfig::default());
         for (i, f) in p.functions().iter().enumerate() {
             let cfg = Cfg::build(&p, FuncId(i as u32));
             for a in f.range() {
                 let containing = cfg.block_containing(Addr(a)).expect("tiled");
                 let blk = cfg.block(containing);
-                prop_assert!(blk.range().contains(&a));
+                assert!(blk.range().contains(&a));
                 if blk.start() == Addr(a) {
-                    prop_assert_eq!(cfg.block_at(Addr(a)), Some(containing));
+                    assert_eq!(cfg.block_at(Addr(a)), Some(containing));
                 }
             }
         }

@@ -65,7 +65,10 @@ pub struct VotingCounters<const BITS: u8, const MRU: bool> {
 
 impl<const BITS: u8, const MRU: bool> Default for VotingCounters<BITS, MRU> {
     fn default() -> Self {
-        VotingCounters { counters: [0; MAX_EXITS], mru: 0 }
+        VotingCounters {
+            counters: [0; MAX_EXITS],
+            mru: 0,
+        }
     }
 }
 
@@ -301,7 +304,7 @@ mod tests {
         vc.update(e(1)); // counters: [0,1,..] -> not tied yet
         vc.update(e(0)); // [1,0]
         vc.update(e(1)); // [0,1]
-        // After this sequence the last update was exit 1.
+                         // After this sequence the last update was exit 1.
         let p = vc.predict(&mut tie);
         // exit 1 has the (joint-)highest counter and is MRU.
         assert_eq!(p, e(1));
@@ -315,7 +318,10 @@ mod tests {
         for _ in 0..100 {
             seen[vc.predict(&mut tie).index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "random ties should cover all exits");
+        assert!(
+            seen.iter().all(|&s| s),
+            "random ties should cover all exits"
+        );
     }
 
     #[test]
@@ -371,8 +377,10 @@ mod tests {
         assert_eq!(LastExitHysteresis::<2>::STORAGE_BITS, 4);
         // LEH-2bit uses fewer bits than 3-bit VC — the paper's reason for
         // choosing it.
-        let (leh2, vc3) =
-            (LastExitHysteresis::<2>::STORAGE_BITS, VotingCounters::<3, false>::STORAGE_BITS);
+        let (leh2, vc3) = (
+            LastExitHysteresis::<2>::STORAGE_BITS,
+            VotingCounters::<3, false>::STORAGE_BITS,
+        );
         assert!(leh2 < vc3);
     }
 

@@ -37,7 +37,10 @@ pub struct PathRegister {
 impl PathRegister {
     /// Creates a register holding up to `depth` addresses.
     pub fn new(depth: usize) -> PathRegister {
-        PathRegister { addrs: VecDeque::with_capacity(depth + 1), capacity: depth }
+        PathRegister {
+            addrs: VecDeque::with_capacity(depth + 1),
+            capacity: depth,
+        }
     }
 
     /// Shifts in the newest task address, discarding the oldest when full.
@@ -77,16 +80,55 @@ impl PathRegister {
         self.capacity
     }
 
-    /// The exact path as a boxed slice (oldest→newest) — the key used by
-    /// ideal, alias-free predictors.
+    /// The exact path as a boxed slice (oldest→newest).
     pub fn snapshot(&self) -> Box<[u32]> {
         self.addrs.iter().copied().collect()
+    }
+
+    /// The exact path as a fixed-size `Copy` key (oldest→newest) — the key
+    /// used by ideal, alias-free predictors. Unlike [`snapshot`], building
+    /// one never touches the heap, so it can sit on the per-event hot path.
+    ///
+    /// [`snapshot`]: Self::snapshot
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register holds more than [`MAX_PATH_KEY_DEPTH`]
+    /// addresses.
+    pub fn key(&self) -> PathKey {
+        let n = self.addrs.len();
+        assert!(
+            n <= MAX_PATH_KEY_DEPTH,
+            "path too deep for a fixed key: {n}"
+        );
+        let mut addrs = [0u32; MAX_PATH_KEY_DEPTH];
+        for (slot, &a) in addrs.iter_mut().zip(self.addrs.iter()) {
+            *slot = a;
+        }
+        PathKey {
+            len: n as u8,
+            addrs,
+        }
     }
 
     /// Clears the register.
     pub fn clear(&mut self) {
         self.addrs.clear();
     }
+}
+
+/// Deepest path an allocation-free [`PathKey`] can hold. The paper's ideal
+/// sweeps stop at depth 8, so every ideal predictor fits.
+pub const MAX_PATH_KEY_DEPTH: usize = 8;
+
+/// A fixed-size, `Copy` image of a [`PathRegister`]'s exact contents
+/// (oldest→newest, `len` valid entries). Two keys compare equal exactly when
+/// the underlying paths are identical, so ideal predictors stay alias-free
+/// while their per-event key construction stays off the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathKey {
+    len: u8,
+    addrs: [u32; MAX_PATH_KEY_DEPTH],
 }
 
 /// A `D-O-L-C (F)` index configuration.
@@ -119,7 +161,13 @@ impl Dolc {
     pub fn new(depth: u8, older_bits: u8, last_bits: u8, current_bits: u8, folds: u8) -> Dolc {
         assert!(folds > 0, "folds must be at least 1");
         assert!(older_bits <= 32 && last_bits <= 32 && current_bits <= 32);
-        let d = Dolc { depth, older_bits, last_bits, current_bits, folds };
+        let d = Dolc {
+            depth,
+            older_bits,
+            last_bits,
+            current_bits,
+            folds,
+        };
         assert!(d.intermediate_bits() > 0, "index would be empty");
         assert!(d.index_bits() <= 28, "table would be unreasonably large");
         d

@@ -376,8 +376,11 @@ mod tests {
         let mut rng = XorShift64::new(1234);
         let mut misses = 0;
         for i in 0..(warmup + measure) {
-            let (pred_task, actual) =
-                if rng.next_below(2) == 0 { (&p1, e(0)) } else { (&p2, e(1)) };
+            let (pred_task, actual) = if rng.next_below(2) == 0 {
+                (&p1, e(0))
+            } else {
+                (&p2, e(1))
+            };
             // Predecessor step (it always takes its own exit 0).
             let _ = p.predict(pred_task);
             p.update(pred_task, e(0));
@@ -395,14 +398,20 @@ mod tests {
     fn path_predictor_exploits_predecessor_correlation() {
         let mut p: PathPredictor<Leh2> = PathPredictor::new(Dolc::new(2, 6, 8, 8, 2));
         let misses = correlated_misses(&mut p, 20, 100);
-        assert_eq!(misses, 0, "depth-2 path history must separate the two predecessors");
+        assert_eq!(
+            misses, 0,
+            "depth-2 path history must separate the two predecessors"
+        );
     }
 
     #[test]
     fn depth_zero_path_predictor_cannot_learn_correlation() {
         let mut p: PathPredictor<Leh2> = PathPredictor::new(Dolc::new(0, 0, 0, 12, 1));
         let misses = correlated_misses(&mut p, 20, 100);
-        assert!(misses >= 25, "a per-task automaton cannot see the predecessor: {misses}");
+        assert!(
+            misses >= 25,
+            "a per-task automaton cannot see the predecessor: {misses}"
+        );
     }
 
     #[test]
@@ -412,7 +421,10 @@ mod tests {
         // GLOBAL cannot tell them apart: the paper's key weakness vs PATH.
         let mut p: GlobalPredictor<Leh2> = GlobalPredictor::new(4, 12);
         let misses = correlated_misses(&mut p, 20, 100);
-        assert!(misses >= 25, "GLOBAL cannot distinguish same-exit predecessors: {misses}");
+        assert!(
+            misses >= 25,
+            "GLOBAL cannot distinguish same-exit predecessors: {misses}"
+        );
 
         // But with alternating *exits* it learns: the correlated task's own
         // previous exit alternates, which is visible in global history.
@@ -444,7 +456,10 @@ mod tests {
             }
             p.update(&t, actual);
         }
-        assert_eq!(misses, 0, "PER must learn a short cycle at one decision point");
+        assert_eq!(
+            misses, 0,
+            "PER must learn a short cycle at one decision point"
+        );
     }
 
     #[test]
@@ -463,7 +478,10 @@ mod tests {
             let _ = p2.predict(&t1);
             p2.update(&t1, e(0));
         }
-        assert!(p2.states_touched() > 0, "mode Off trains on single-exit tasks");
+        assert!(
+            p2.states_touched() > 0,
+            "mode Off trains on single-exit tasks"
+        );
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //! left edge — reproduced by this crate's tests.
 
 use crate::automata::Automaton;
-use crate::dolc::PathRegister;
+use crate::dolc::{PathKey, PathRegister, MAX_PATH_KEY_DEPTH};
+use crate::fxhash::FxHashMap;
 use crate::history::SingleExitMode;
 use crate::predictor::{ExitPredictor, TaskDesc};
 use crate::rng::XorShift64;
 use multiscalar_isa::ExitIndex;
-use std::collections::HashMap;
 
 const EXIT0: ExitIndex = match ExitIndex::new(0) {
     Some(e) => e,
@@ -27,7 +27,7 @@ const EXIT0: ExitIndex = match ExitIndex::new(0) {
 pub struct IdealGlobal<A: Automaton> {
     depth: u32,
     hist: u64,
-    map: HashMap<(u32, u64), A>,
+    map: FxHashMap<(u32, u64), A>,
     tie: XorShift64,
 }
 
@@ -39,7 +39,12 @@ impl<A: Automaton> IdealGlobal<A> {
     /// Panics if `depth > 32` (history is packed 2 bits per step).
     pub fn new(depth: u32) -> IdealGlobal<A> {
         assert!(depth <= 32);
-        IdealGlobal { depth, hist: 0, map: HashMap::new(), tie: XorShift64::default() }
+        IdealGlobal {
+            depth,
+            hist: 0,
+            map: FxHashMap::default(),
+            tie: XorShift64::default(),
+        }
     }
 
     /// Number of distinct (task, history) states seen.
@@ -48,7 +53,11 @@ impl<A: Automaton> IdealGlobal<A> {
     }
 
     fn key(&self, task: &TaskDesc) -> (u32, u64) {
-        let m = if self.depth == 0 { 0 } else { (1u64 << (2 * self.depth)) - 1 };
+        let m = if self.depth == 0 {
+            0
+        } else {
+            (1u64 << (2 * self.depth)) - 1
+        };
         (task.entry().0, self.hist & m)
     }
 }
@@ -78,8 +87,10 @@ impl<A: Automaton> ExitPredictor for IdealGlobal<A> {
 #[derive(Debug, Clone)]
 pub struct IdealPer<A: Automaton> {
     depth: u32,
-    hists: HashMap<u32, u64>,
-    map: HashMap<(u32, u64), A>,
+    // Dense direct-indexed history table (entry addresses are small program
+    // offsets); grown on demand so the per-event path never hashes.
+    hists: Vec<u64>,
+    map: FxHashMap<(u32, u64), A>,
     tie: XorShift64,
 }
 
@@ -94,8 +105,8 @@ impl<A: Automaton> IdealPer<A> {
         assert!(depth <= 32);
         IdealPer {
             depth,
-            hists: HashMap::new(),
-            map: HashMap::new(),
+            hists: Vec::new(),
+            map: FxHashMap::default(),
             tie: XorShift64::default(),
         }
     }
@@ -106,8 +117,16 @@ impl<A: Automaton> IdealPer<A> {
     }
 
     fn key(&self, task: &TaskDesc) -> (u32, u64) {
-        let m = if self.depth == 0 { 0 } else { (1u64 << (2 * self.depth)) - 1 };
-        let h = self.hists.get(&task.entry().0).copied().unwrap_or(0);
+        let m = if self.depth == 0 {
+            0
+        } else {
+            (1u64 << (2 * self.depth)) - 1
+        };
+        let h = self
+            .hists
+            .get(task.entry().0 as usize)
+            .copied()
+            .unwrap_or(0);
         (task.entry().0, h & m)
     }
 }
@@ -124,8 +143,11 @@ impl<A: Automaton> ExitPredictor for IdealPer<A> {
     fn update(&mut self, task: &TaskDesc, actual: ExitIndex) {
         let key = self.key(task);
         self.map.entry(key).or_default().update(actual);
-        let h = self.hists.entry(task.entry().0).or_insert(0);
-        *h = (*h << 2) | actual.as_u8() as u64;
+        let i = task.entry().0 as usize;
+        if i >= self.hists.len() {
+            self.hists.resize(i + 1, 0);
+        }
+        self.hists[i] = (self.hists[i] << 2) | actual.as_u8() as u64;
     }
 
     fn states_touched(&self) -> usize {
@@ -139,7 +161,7 @@ impl<A: Automaton> ExitPredictor for IdealPer<A> {
 #[derive(Debug, Clone)]
 pub struct IdealPath<A: Automaton> {
     path: PathRegister,
-    map: HashMap<(u32, Box<[u32]>), A>,
+    map: FxHashMap<(u32, PathKey), A>,
     tie: XorShift64,
     mode: SingleExitMode,
 }
@@ -152,10 +174,19 @@ impl<A: Automaton> IdealPath<A> {
     }
 
     /// Creates an ideal PATH predictor with an explicit single-exit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds [`MAX_PATH_KEY_DEPTH`] (the paper's sweeps
+    /// stop at 8).
     pub fn with_mode(depth: u32, mode: SingleExitMode) -> IdealPath<A> {
+        assert!(
+            depth as usize <= MAX_PATH_KEY_DEPTH,
+            "ideal PATH depth {depth} too deep"
+        );
         IdealPath {
             path: PathRegister::new(depth as usize),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             tie: XorShift64::default(),
             mode,
         }
@@ -177,7 +208,7 @@ impl<A: Automaton> ExitPredictor for IdealPath<A> {
         if self.skip(task) {
             return EXIT0;
         }
-        let key = (task.entry().0, self.path.snapshot());
+        let key = (task.entry().0, self.path.key());
         match self.map.get(&key) {
             Some(a) => a.predict(&mut self.tie),
             None => A::default().predict(&mut self.tie),
@@ -191,7 +222,7 @@ impl<A: Automaton> ExitPredictor for IdealPath<A> {
             }
             return;
         }
-        let key = (task.entry().0, self.path.snapshot());
+        let key = (task.entry().0, self.path.key());
         self.map.entry(key).or_default().update(actual);
         self.path.push(task.entry());
     }
@@ -236,8 +267,11 @@ mod tests {
         let mut rng = XorShift64::new(77);
         let mut misses = 0;
         for i in 0..140 {
-            let (pred_task, actual) =
-                if rng.next_below(2) == 0 { (&p1, e(0)) } else { (&p2, e(1)) };
+            let (pred_task, actual) = if rng.next_below(2) == 0 {
+                (&p1, e(0))
+            } else {
+                (&p2, e(1))
+            };
             let _ = p.predict(pred_task);
             p.update(pred_task, e(0));
             let got = p.predict(&t);
@@ -306,7 +340,11 @@ mod tests {
     fn unseen_state_predicts_default() {
         let mut p: IdealPath<Leh2> = IdealPath::new(4);
         let td = task(0xAA0, 2);
-        assert_eq!(p.predict(&td), e(0), "cold prediction is the automaton default");
+        assert_eq!(
+            p.predict(&td),
+            e(0),
+            "cold prediction is the automaton default"
+        );
     }
 
     #[test]

@@ -65,9 +65,10 @@
 pub mod automata;
 pub mod confidence;
 pub mod dolc;
-pub mod pollution;
+pub mod fxhash;
 pub mod history;
 pub mod ideal;
+pub mod pollution;
 pub mod predictor;
 pub mod rng;
 pub mod scalar;

@@ -134,7 +134,10 @@ pub struct PollutedExitAdapter<A: Automaton> {
 impl<A: Automaton> PollutedExitAdapter<A> {
     /// Wraps a polluted predictor.
     pub fn new(inner: PollutedPathPredictor<A>) -> Self {
-        PollutedExitAdapter { inner, last_prediction: None }
+        PollutedExitAdapter {
+            inner,
+            last_prediction: None,
+        }
     }
 
     /// Mispredictions that triggered a wrong-path excursion.
@@ -195,12 +198,9 @@ mod tests {
     /// Drives a pattern with occasional forced mispredictions and returns
     /// (misses, pollutions).
     fn run(depth: usize, repair: bool) -> (u64, u64) {
-        let mut p: PollutedExitAdapter<Leh2> =
-            PollutedExitAdapter::new(PollutedPathPredictor::new(
-                Dolc::new(4, 4, 6, 6, 2),
-                depth,
-                repair,
-            ));
+        let mut p: PollutedExitAdapter<Leh2> = PollutedExitAdapter::new(
+            PollutedPathPredictor::new(Dolc::new(4, 4, 6, 6, 2), depth, repair),
+        );
         let mut rng = XorShift64::new(3);
         let mut misses = 0;
         for i in 0..3000u32 {
@@ -243,20 +243,20 @@ mod tests {
         // A predecessor-correlated pattern where the path register matters:
         // pollution of the register must cost accuracy.
         let drive = |repair: bool| {
-            let mut p: PollutedExitAdapter<Leh2> =
-                PollutedExitAdapter::new(PollutedPathPredictor::new(
-                    Dolc::new(2, 6, 8, 8, 2),
-                    3,
-                    repair,
-                ));
+            let mut p: PollutedExitAdapter<Leh2> = PollutedExitAdapter::new(
+                PollutedPathPredictor::new(Dolc::new(2, 6, 8, 8, 2), 3, repair),
+            );
             let t = task(0x08, 2);
             let p1 = task(0x11, 2);
             let p2 = task(0x22, 2);
             let mut rng = XorShift64::new(7);
             let mut misses = 0u64;
             for i in 0..4000 {
-                let (pred_task, mut actual) =
-                    if rng.next_below(2) == 0 { (&p1, e(0)) } else { (&p2, e(1)) };
+                let (pred_task, mut actual) = if rng.next_below(2) == 0 {
+                    (&p1, e(0))
+                } else {
+                    (&p2, e(1))
+                };
                 // 10% noise keeps mispredictions (and hence wrong-path
                 // excursions) flowing even after the pattern is learned.
                 if rng.next_below(10) == 0 {

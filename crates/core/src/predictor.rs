@@ -215,7 +215,8 @@ impl<E: ExitPredictor> TaskPredictor<E> {
             _ => {}
         }
         if spec.kind.needs_target_buffer() {
-            self.cttb.update(&self.cttb_path, task.entry(), actual_target);
+            self.cttb
+                .update(&self.cttb_path, task.entry(), actual_target);
         }
         self.cttb_path.push(task.entry());
     }
@@ -237,7 +238,10 @@ pub struct CttbOnlyPredictor {
 impl CttbOnlyPredictor {
     /// Creates a predictor with the given index configuration.
     pub fn new(dolc: Dolc) -> CttbOnlyPredictor {
-        CttbOnlyPredictor { path: PathRegister::new(dolc.depth()), cttb: Cttb::new(dolc) }
+        CttbOnlyPredictor {
+            path: PathRegister::new(dolc.depth()),
+            cttb: Cttb::new(dolc),
+        }
     }
 
     /// Predicts the next task's entry address (`None` while cold).
@@ -269,7 +273,11 @@ mod tests {
     }
 
     fn branch_exit(target: u32) -> ExitInfo {
-        ExitInfo { kind: ExitKind::Branch, target: Some(Addr(target)), return_addr: None }
+        ExitInfo {
+            kind: ExitKind::Branch,
+            target: Some(Addr(target)),
+            return_addr: None,
+        }
     }
 
     fn predictor() -> TaskPredictor<PathPredictor<Leh2>> {
@@ -287,7 +295,11 @@ mod tests {
     #[test]
     fn exit_clamped_handles_aliased_predictions() {
         let t = TaskDesc::new(Addr(0), vec![branch_exit(5), branch_exit(9)]);
-        assert_eq!(t.exit_clamped(e(3)).target, Some(Addr(9)), "clamped to last exit");
+        assert_eq!(
+            t.exit_clamped(e(3)).target,
+            Some(Addr(9)),
+            "clamped to last exit"
+        );
         assert_eq!(t.exit_clamped(e(0)).target, Some(Addr(5)));
     }
 
@@ -296,7 +308,11 @@ mod tests {
         let mut p = predictor();
         let t = TaskDesc::new(
             Addr(100),
-            vec![ExitInfo { kind: ExitKind::Call, target: Some(Addr(7)), return_addr: Some(Addr(101)) }],
+            vec![ExitInfo {
+                kind: ExitKind::Call,
+                target: Some(Addr(7)),
+                return_addr: Some(Addr(101)),
+            }],
         );
         assert_eq!(p.predict(&t).target, Some(Addr(7)));
     }
@@ -307,14 +323,22 @@ mod tests {
         // Task A calls (pushing return address 55)...
         let call_task = TaskDesc::new(
             Addr(10),
-            vec![ExitInfo { kind: ExitKind::Call, target: Some(Addr(30)), return_addr: Some(Addr(55)) }],
+            vec![ExitInfo {
+                kind: ExitKind::Call,
+                target: Some(Addr(30)),
+                return_addr: Some(Addr(55)),
+            }],
         );
         p.predict(&call_task);
         p.update(&call_task, e(0), Addr(30));
         // ...the callee task returns: the RAS must supply 55.
         let ret_task = TaskDesc::new(
             Addr(30),
-            vec![ExitInfo { kind: ExitKind::Return, target: None, return_addr: None }],
+            vec![ExitInfo {
+                kind: ExitKind::Return,
+                target: None,
+                return_addr: None,
+            }],
         );
         let pred = p.predict(&ret_task);
         assert_eq!(pred.target, Some(Addr(55)));
@@ -327,7 +351,11 @@ mod tests {
         let mut p = predictor();
         let t = TaskDesc::new(
             Addr(20),
-            vec![ExitInfo { kind: ExitKind::IndirectBranch, target: None, return_addr: None }],
+            vec![ExitInfo {
+                kind: ExitKind::IndirectBranch,
+                target: None,
+                return_addr: None,
+            }],
         );
         // Cold miss first.
         assert_eq!(p.predict(&t).target, None);
@@ -358,7 +386,10 @@ mod tests {
             }
             p.update(&t, actual, if actual == e(0) { Addr(40) } else { Addr(80) });
         }
-        assert!(miss <= 60, "LEH should not do much worse than always-wrong-half: {miss}");
+        assert!(
+            miss <= 60,
+            "LEH should not do much worse than always-wrong-half: {miss}"
+        );
     }
 
     #[test]
@@ -377,12 +408,18 @@ mod tests {
                 p.update(cur, next);
             }
         }
-        assert_eq!(misses, 0, "a periodic sequence must be fully learned after warmup");
+        assert_eq!(
+            misses, 0,
+            "a periodic sequence must be fully learned after warmup"
+        );
     }
 
     #[test]
     fn cttb_only_reports_storage() {
         let p = CttbOnlyPredictor::new(Dolc::new(7, 5, 7, 7, 2));
-        assert_eq!(p.storage_bytes(), (1 << Dolc::new(7, 5, 7, 7, 2).index_bits()) * 4);
+        assert_eq!(
+            p.storage_bytes(),
+            (1 << Dolc::new(7, 5, 7, 7, 2).index_bits()) * 4
+        );
     }
 }

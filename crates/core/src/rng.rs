@@ -23,7 +23,13 @@ impl XorShift64 {
     /// Creates a generator from a seed (zero is remapped to a fixed
     /// non-zero constant, since xorshift cannot leave state 0).
     pub fn new(seed: u64) -> XorShift64 {
-        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next 64-bit value.
@@ -90,7 +96,10 @@ mod tests {
             assert!(v < 4);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Bimodal {
     /// Panics if `index_bits` is 0 or > 28.
     pub fn new(index_bits: u32) -> Bimodal {
         assert!((1..=28).contains(&index_bits));
-        Bimodal { table: vec![Counter2::default(); 1 << index_bits], mask: (1 << index_bits) - 1 }
+        Bimodal {
+            table: vec![Counter2::default(); 1 << index_bits],
+            mask: (1 << index_bits) - 1,
+        }
     }
 
     #[inline]
@@ -295,7 +298,10 @@ mod tests {
         b.update(Addr(1), true);
         b.update(Addr(1), true);
         assert!(b.predict(Addr(1)));
-        assert!(!b.predict(Addr(2)), "independent slot stays default not-taken");
+        assert!(
+            !b.predict(Addr(2)),
+            "independent slot stays default not-taken"
+        );
         assert_eq!(b.storage_bytes(), 64);
     }
 
@@ -340,7 +346,10 @@ mod tests {
                 gag.update(pc, taken);
             }
         }
-        assert!(cm <= bm.min(gm) + 20, "combiner {cm} vs bimodal {bm} / gshare {gm}");
+        assert!(
+            cm <= bm.min(gm) + 20,
+            "combiner {cm} vs bimodal {bm} / gshare {gm}"
+        );
     }
 
     #[test]
@@ -363,6 +372,9 @@ mod tests {
             gag.update(pc, taken);
         }
         assert_eq!(gm, 0, "history predictor nails strict alternation");
-        assert!(bm >= 100, "bimodal misses at least half of alternation: {bm}");
+        assert!(
+            bm >= 100,
+            "bimodal misses at least half of alternation: {bm}"
+        );
     }
 }

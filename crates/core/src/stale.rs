@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn staleness_costs_accuracy_but_converges() {
         let (fresh, stale) = race(8, 4000);
-        assert!(stale >= fresh, "stale training cannot beat immediate training");
+        assert!(
+            stale >= fresh,
+            "stale training cannot beat immediate training"
+        );
         // On a stationary pattern the stale predictor still learns.
         assert!(
             (stale as f64) < 4000.0 * 0.5,

@@ -8,9 +8,10 @@
 //! very poorly (59% misses on gcc) while a path-indexed [`Cttb`] —
 //! sharing the exit predictor's DOLC index construction — does far better.
 
-use crate::dolc::{Dolc, PathRegister};
+use crate::dolc::{Dolc, PathKey, PathRegister, MAX_PATH_KEY_DEPTH};
+use crate::fxhash::FxHashMap;
 use multiscalar_isa::Addr;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A bounded return-address stack (RAS).
 ///
@@ -38,7 +39,10 @@ pub struct ReturnAddressStack {
 impl ReturnAddressStack {
     /// Creates a stack holding up to `capacity` return addresses.
     pub fn new(capacity: usize) -> ReturnAddressStack {
-        ReturnAddressStack { stack: VecDeque::with_capacity(capacity.min(1024)), capacity }
+        ReturnAddressStack {
+            stack: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
     }
 
     /// Pushes a return address; discards the oldest entry when full.
@@ -98,7 +102,11 @@ impl TargetEntry {
         if self.valid && self.target == actual.0 {
             self.confidence = (self.confidence + 1).min(Self::MAX_CONF);
         } else if !self.valid || self.confidence == 0 {
-            *self = TargetEntry { target: actual.0, confidence: 0, valid: true };
+            *self = TargetEntry {
+                target: actual.0,
+                confidence: 0,
+                valid: true,
+            };
         } else {
             self.confidence -= 1;
         }
@@ -122,7 +130,10 @@ impl Ttb {
     /// Panics if `index_bits` is 0 or > 28.
     pub fn new(index_bits: u32) -> Ttb {
         assert!((1..=28).contains(&index_bits));
-        Ttb { entries: vec![TargetEntry::default(); 1 << index_bits], index_bits }
+        Ttb {
+            entries: vec![TargetEntry::default(); 1 << index_bits],
+            index_bits,
+        }
     }
 
     fn index(&self, task: Addr) -> usize {
@@ -161,7 +172,10 @@ pub struct Cttb {
 impl Cttb {
     /// Creates a CTTB with the given index configuration.
     pub fn new(dolc: Dolc) -> Cttb {
-        Cttb { dolc, entries: vec![TargetEntry::default(); dolc.table_entries()] }
+        Cttb {
+            dolc,
+            entries: vec![TargetEntry::default(); dolc.table_entries()],
+        }
     }
 
     /// The index configuration.
@@ -191,13 +205,25 @@ impl Cttb {
 #[derive(Debug, Clone, Default)]
 pub struct IdealCttb {
     depth: usize,
-    map: HashMap<(u32, Box<[u32]>), TargetEntry>,
+    map: FxHashMap<(u32, PathKey), TargetEntry>,
 }
 
 impl IdealCttb {
     /// Creates an ideal CTTB keyed on paths of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds [`MAX_PATH_KEY_DEPTH`] (the paper's sweeps
+    /// stop at 8).
     pub fn new(depth: usize) -> IdealCttb {
-        IdealCttb { depth, map: HashMap::new() }
+        assert!(
+            depth <= MAX_PATH_KEY_DEPTH,
+            "ideal CTTB depth {depth} too deep"
+        );
+        IdealCttb {
+            depth,
+            map: FxHashMap::default(),
+        }
     }
 
     /// The path depth this buffer keys on.
@@ -207,13 +233,15 @@ impl IdealCttb {
 
     /// Predicts the target reached from `current` along `path`.
     pub fn predict(&self, path: &PathRegister, current: Addr) -> Option<Addr> {
-        self.map.get(&(current.0, path.snapshot())).and_then(|e| e.predict())
+        self.map
+            .get(&(current.0, path.key()))
+            .and_then(|e| e.predict())
     }
 
     /// Trains with the actual target.
     pub fn update(&mut self, path: &PathRegister, current: Addr, actual: Addr) {
         self.map
-            .entry((current.0, path.snapshot()))
+            .entry((current.0, path.key()))
             .or_default()
             .train(actual);
     }
@@ -298,8 +326,11 @@ mod tests {
         let mut ttb_misses = 0;
         let mut cttb_misses = 0;
         for i in 0..100 {
-            let (path, target) =
-                if i % 2 == 0 { (&path_a, Addr(0xA0)) } else { (&path_b, Addr(0xB0)) };
+            let (path, target) = if i % 2 == 0 {
+                (&path_a, Addr(0xA0))
+            } else {
+                (&path_b, Addr(0xB0))
+            };
             if ttb.predict(task) != Some(target) {
                 ttb_misses += 1;
             }
@@ -310,7 +341,10 @@ mod tests {
             cttb.update(path, task, target);
         }
         assert_eq!(cttb_misses, 0, "CTTB separates the two paths");
-        assert!(ttb_misses >= 50, "TTB thrashes between targets: {ttb_misses}");
+        assert!(
+            ttb_misses >= 50,
+            "TTB thrashes between targets: {ttb_misses}"
+        );
     }
 
     #[test]

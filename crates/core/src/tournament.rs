@@ -158,7 +158,10 @@ mod tests {
             }
             h.update(&t, actual);
         }
-        assert!(misses <= 8, "hybrid must converge to the PER component: {misses}");
+        assert!(
+            misses <= 8,
+            "hybrid must converge to the PER component: {misses}"
+        );
     }
 
     #[test]
@@ -172,7 +175,11 @@ mod tests {
         let mut rng = XorShift64::new(5);
         let mut misses = 0;
         for i in 0..600 {
-            let (pred, actual) = if rng.next_below(2) == 0 { (&p1, e(0)) } else { (&p2, e(1)) };
+            let (pred, actual) = if rng.next_below(2) == 0 {
+                (&p1, e(0))
+            } else {
+                (&p2, e(1))
+            };
             let _ = h.predict(pred);
             h.update(pred, e(0));
             if h.predict(&t) != actual && i >= 200 {
@@ -180,7 +187,10 @@ mod tests {
             }
             h.update(&t, actual);
         }
-        assert!(misses <= 20, "hybrid must converge to the PATH component: {misses}");
+        assert!(
+            misses <= 20,
+            "hybrid must converge to the PATH component: {misses}"
+        );
     }
 
     #[test]
@@ -201,8 +211,11 @@ mod tests {
             }
             h.update(&a, actual_a);
 
-            let (pred, actual_b) =
-                if rng.next_below(2) == 0 { (&p1, e(0)) } else { (&p2, e(1)) };
+            let (pred, actual_b) = if rng.next_below(2) == 0 {
+                (&p1, e(0))
+            } else {
+                (&p2, e(1))
+            };
             let _ = h.predict(pred);
             h.update(pred, e(0));
             if h.predict(&b_task) != actual_b && i >= 400 {

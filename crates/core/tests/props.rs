@@ -1,17 +1,14 @@
-//! Property-based tests for the prediction structures: automata, DOLC
-//! index construction, path registers and target buffers.
+//! Seeded-sweep tests for the prediction structures: automata, DOLC index
+//! construction, path registers and target buffers.
 
-use multiscalar_core::automata::{
-    Automaton, LastExit, LastExitHysteresis, VotingCounters,
-};
+use multiscalar_core::automata::{Automaton, LastExit, LastExitHysteresis, VotingCounters};
 use multiscalar_core::dolc::{Dolc, PathRegister};
 use multiscalar_core::rng::XorShift64;
 use multiscalar_core::target::ReturnAddressStack;
 use multiscalar_isa::{Addr, ExitIndex, MAX_EXITS};
-use proptest::prelude::*;
 
-fn exit_strategy() -> impl Strategy<Value = ExitIndex> {
-    (0u8..MAX_EXITS as u8).prop_map(|i| ExitIndex::new(i).expect("in range"))
+fn random_exit(rng: &mut XorShift64) -> ExitIndex {
+    ExitIndex::new(rng.next_below(MAX_EXITS as u32) as u8).expect("in range")
 }
 
 /// Runs a sequence of updates and checks the basic automaton contract.
@@ -20,7 +17,7 @@ fn check_automaton<A: Automaton>(updates: &[ExitIndex]) {
     let mut tie = XorShift64::new(1);
     for &u in updates {
         let p = a.predict(&mut tie);
-        prop_assert_in_range(p);
+        assert!(p.index() < MAX_EXITS);
         a.update(u);
     }
     // Convergence: after enough repeats of one exit, it is predicted.
@@ -32,15 +29,12 @@ fn check_automaton<A: Automaton>(updates: &[ExitIndex]) {
     }
 }
 
-fn prop_assert_in_range(p: ExitIndex) {
-    assert!(p.index() < MAX_EXITS);
-}
-
-proptest! {
-    #[test]
-    fn automata_never_predict_out_of_range_and_converge(
-        updates in proptest::collection::vec(exit_strategy(), 1..60)
-    ) {
+#[test]
+fn automata_never_predict_out_of_range_and_converge() {
+    let mut rng = XorShift64::new(0xA07A);
+    for _ in 0..256 {
+        let len = 1 + rng.next_below(59) as usize;
+        let updates: Vec<ExitIndex> = (0..len).map(|_| random_exit(&mut rng)).collect();
         check_automaton::<VotingCounters<2, true>>(&updates);
         check_automaton::<VotingCounters<2, false>>(&updates);
         check_automaton::<VotingCounters<3, true>>(&updates);
@@ -49,39 +43,43 @@ proptest! {
         check_automaton::<LastExitHysteresis<1>>(&updates);
         check_automaton::<LastExitHysteresis<2>>(&updates);
     }
+}
 
-    #[test]
-    fn leh_needs_at_least_confidence_plus_one_misses_to_flip(
-        build in 2u8..10, wrong in exit_strategy()
-    ) {
-        // Saturate confidence on exit 0, then count misses until the
-        // prediction flips: must be exactly MAX+1 when saturated.
-        prop_assume!(wrong.index() != 0);
-        let mut a: LastExitHysteresis<2> = Default::default();
-        let mut tie = XorShift64::new(2);
-        let e0 = ExitIndex::new(0).unwrap();
-        for _ in 0..build {
-            a.update(e0);
+#[test]
+fn leh_needs_at_least_confidence_plus_one_misses_to_flip() {
+    // Saturate confidence on exit 0, then count misses until the prediction
+    // flips: must be exactly MAX+1 when saturated.
+    for build in 2u8..10 {
+        for wrong_idx in 1..MAX_EXITS as u8 {
+            let wrong = ExitIndex::new(wrong_idx).unwrap();
+            let mut a: LastExitHysteresis<2> = Default::default();
+            let mut tie = XorShift64::new(2);
+            let e0 = ExitIndex::new(0).unwrap();
+            for _ in 0..build {
+                a.update(e0);
+            }
+            let mut flips = 0;
+            while a.predict(&mut tie) == e0 {
+                a.update(wrong);
+                flips += 1;
+                assert!(flips <= 4, "2-bit hysteresis flips within 4 misses");
+            }
+            let expected = u32::from(build).min(3) + 1;
+            assert_eq!(flips, expected);
         }
-        let mut flips = 0;
-        while a.predict(&mut tie) == e0 {
-            a.update(wrong);
-            flips += 1;
-            prop_assert!(flips <= 4, "2-bit hysteresis flips within 4 misses");
-        }
-        let expected = u32::from(build).min(3) + 1;
-        prop_assert_eq!(flips, expected);
     }
+}
 
-    #[test]
-    fn dolc_index_always_in_table(
-        depth in 0u8..8,
-        older in 0u8..10,
-        last in 1u8..12,
-        current in 1u8..12,
-        folds in 1u8..4,
-        addrs in proptest::collection::vec(0u32..1_000_000, 1..40),
-    ) {
+#[test]
+fn dolc_index_always_in_table() {
+    let mut rng = XorShift64::new(0xD01C);
+    let mut cases = 0;
+    while cases < 256 {
+        let depth = rng.next_below(8) as u8;
+        let older = rng.next_below(10) as u8;
+        let last = 1 + rng.next_below(11) as u8;
+        let current = 1 + rng.next_below(11) as u8;
+        let folds = 1 + rng.next_below(3) as u8;
         // Only realizable configurations: the folded index must fit a table
         // (Dolc::new rejects absurd ones by design).
         let intermediate = if depth == 0 {
@@ -89,43 +87,54 @@ proptest! {
         } else {
             (depth as u32 - 1) * older as u32 + last as u32 + current as u32
         };
-        prop_assume!(intermediate.div_ceil(folds as u32) <= 28);
+        if intermediate.div_ceil(folds as u32) > 28 {
+            continue;
+        }
+        cases += 1;
         let d = Dolc::new(depth, older, last, current, folds);
         let mut path = PathRegister::new(d.depth());
-        for &a in &addrs {
+        let len = 1 + rng.next_below(39) as usize;
+        for _ in 0..len {
+            let a = rng.next_below(1_000_000);
             let idx = d.index(&path, Addr(a));
-            prop_assert!(idx < d.table_entries());
+            assert!(idx < d.table_entries());
             path.push(Addr(a));
         }
     }
+}
 
-    #[test]
-    fn dolc_index_is_deterministic(
-        addrs in proptest::collection::vec(0u32..100_000, 1..30),
-    ) {
-        let d = Dolc::new(5, 4, 6, 6, 2);
-        let run = |addrs: &[u32]| -> Vec<usize> {
-            let mut path = PathRegister::new(d.depth());
-            addrs
-                .iter()
-                .map(|&a| {
-                    let i = d.index(&path, Addr(a));
-                    path.push(Addr(a));
-                    i
-                })
-                .collect()
-        };
-        prop_assert_eq!(run(&addrs), run(&addrs));
+#[test]
+fn dolc_index_is_deterministic() {
+    let d = Dolc::new(5, 4, 6, 6, 2);
+    let run = |addrs: &[u32]| -> Vec<usize> {
+        let mut path = PathRegister::new(d.depth());
+        addrs
+            .iter()
+            .map(|&a| {
+                let i = d.index(&path, Addr(a));
+                path.push(Addr(a));
+                i
+            })
+            .collect()
+    };
+    let mut rng = XorShift64::new(0xDE7E);
+    for _ in 0..128 {
+        let len = 1 + rng.next_below(29) as usize;
+        let addrs: Vec<u32> = (0..len).map(|_| rng.next_below(100_000)).collect();
+        assert_eq!(run(&addrs), run(&addrs));
     }
+}
 
-    #[test]
-    fn path_register_matches_reference_model(
-        depth in 0usize..10,
-        pushes in proptest::collection::vec(0u32..5000, 0..50),
-    ) {
+#[test]
+fn path_register_matches_reference_model() {
+    let mut rng = XorShift64::new(0xBA7);
+    for _ in 0..256 {
+        let depth = rng.next_below(10) as usize;
+        let len = rng.next_below(50) as usize;
         let mut reg = PathRegister::new(depth);
         let mut model: Vec<u32> = Vec::new();
-        for &a in &pushes {
+        for _ in 0..len {
+            let a = rng.next_below(5000);
             reg.push(Addr(a));
             if depth > 0 {
                 model.push(a);
@@ -135,51 +144,54 @@ proptest! {
             }
         }
         let got: Vec<u32> = reg.addrs().map(|a| a.0).collect();
-        prop_assert_eq!(&got, &model);
+        assert_eq!(&got, &model);
         for (i, &m) in model.iter().rev().enumerate() {
-            prop_assert_eq!(reg.recent(i), Some(Addr(m)));
+            assert_eq!(reg.recent(i), Some(Addr(m)));
         }
-        prop_assert_eq!(&*reg.snapshot(), model.as_slice());
+        assert_eq!(&*reg.snapshot(), model.as_slice());
     }
+}
 
-    #[test]
-    fn ras_is_a_bounded_stack(
-        cap in 1usize..16,
-        ops in proptest::collection::vec(proptest::option::of(0u32..10_000), 0..80),
-    ) {
-        // Some(a) = push, None = pop. Model with a Vec truncated from the
-        // front on overflow.
+#[test]
+fn ras_is_a_bounded_stack() {
+    // Push with probability ~1/2, pop otherwise. Model with a Vec truncated
+    // from the front on overflow.
+    let mut rng = XorShift64::new(0x3A5);
+    for _ in 0..256 {
+        let cap = 1 + rng.next_below(15) as usize;
+        let ops = rng.next_below(80) as usize;
         let mut ras = ReturnAddressStack::new(cap);
         let mut model: Vec<u32> = Vec::new();
-        for op in ops {
-            match op {
-                Some(a) => {
-                    ras.push(Addr(a));
-                    model.push(a);
-                    if model.len() > cap {
-                        model.remove(0);
-                    }
+        for _ in 0..ops {
+            if rng.next_u64() & 1 == 0 {
+                let a = rng.next_below(10_000);
+                ras.push(Addr(a));
+                model.push(a);
+                if model.len() > cap {
+                    model.remove(0);
                 }
-                None => {
-                    let got = ras.pop();
-                    let want = model.pop();
-                    prop_assert_eq!(got, want.map(Addr));
-                }
+            } else {
+                let got = ras.pop();
+                let want = model.pop();
+                assert_eq!(got, want.map(Addr));
             }
-            prop_assert_eq!(ras.len(), model.len());
-            prop_assert_eq!(ras.peek(), model.last().copied().map(Addr));
+            assert_eq!(ras.len(), model.len());
+            assert_eq!(ras.peek(), model.last().copied().map(Addr));
         }
     }
+}
 
-    #[test]
-    fn dolc_fold_is_linear_in_xor(
-        a in 0u64..u64::MAX, b in 0u64..u64::MAX,
-    ) {
-        // fold(a ^ b) == fold(a) ^ fold(b): folding is XOR of fields.
-        let d = Dolc::new(6, 5, 8, 9, 3);
+#[test]
+fn dolc_fold_is_linear_in_xor() {
+    // fold(a ^ b) == fold(a) ^ fold(b): folding is XOR of fields.
+    let d = Dolc::new(6, 5, 8, 9, 3);
+    let mut rng = XorShift64::new(0xF01D);
+    for _ in 0..4096 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let fa = d.fold(a as u128);
         let fb = d.fold(b as u128);
         let fab = d.fold((a ^ b) as u128);
-        prop_assert_eq!(fab, fa ^ fb);
+        assert_eq!(fab, fa ^ fb);
     }
 }

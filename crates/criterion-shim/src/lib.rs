@@ -1,0 +1,117 @@
+//! Minimal stand-in for the `criterion` benchmarking API.
+//!
+//! The container this repo builds in has no network access to a cargo
+//! registry, so the real criterion cannot be fetched. This shim provides the
+//! exact subset of its API the bench targets use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!` — over `std::time::Instant`, and
+//! prints median/min/max per benchmark. It is a measurement convenience, not
+//! a statistics engine; swap the real criterion back in when a registry is
+//! reachable.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            rounds: self.sample_size,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        s.sort_unstable();
+        let (median, min, max) = if s.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            (s[s.len() / 2], s[0], s[s.len() - 1])
+        };
+        println!(
+            "  {}/{id:<28} median {median:>12.3?}  (min {min:?}, max {max:?}, n={})",
+            self.name,
+            s.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed as warm-up, then `rounds` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.rounds {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

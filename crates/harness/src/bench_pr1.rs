@@ -1,0 +1,268 @@
+//! `harness bench-pr1` — wall-clock comparison of the legacy experiment
+//! loop against the shared-trace, fused, pooled sweep engine.
+//!
+//! The **serial** arm reproduces what the pre-parallel harness did for
+//! `harness all`: every experiment re-prepares its benchmarks from scratch
+//! and sweeps one (scheme, depth) configuration per trace walk. The
+//! **engine** arm prepares each benchmark exactly once (shared immutable
+//! traces behind `Arc`), fuses every depth sweep into one walk, and fans
+//! the job grid over the pool. Both arms compute the same numbers; only
+//! wall-clock differs.
+
+use crate::dispatch::{
+    cttb_ladder, exit_ladder, measure_ideal, measure_ideal_path_automaton, Scheme,
+};
+use crate::experiments::{self, DEPTHS};
+use crate::pool::Pool;
+use crate::{prepare, prepare_all, prepare_all_with, Bench};
+use multiscalar_core::automata::{AutomatonKind, LastExitHysteresis};
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::ideal::IdealPath;
+use multiscalar_core::predictor::ExitPredictor;
+use multiscalar_core::target::{Cttb, IdealCttb};
+use multiscalar_sim::measure::{measure_exits, measure_indirect_targets};
+use multiscalar_sim::timing::TimingConfig;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+type Leh2 = LastExitHysteresis<2>;
+
+/// One timed experiment.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Experiment name as it appears in the JSON.
+    pub name: &'static str,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+}
+
+/// The full comparison: per-experiment timings for both arms plus totals.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Legacy-arm timings (each entry includes its own re-preparation).
+    pub serial: Vec<Timing>,
+    /// Engine-arm timings (`prepare` appears once, as its own entry).
+    pub parallel: Vec<Timing>,
+    /// Pool width used by the engine arm.
+    pub threads: usize,
+}
+
+impl BenchReport {
+    /// Sum of the legacy-arm timings.
+    pub fn serial_total(&self) -> f64 {
+        self.serial.iter().map(|t| t.ms).sum()
+    }
+
+    /// Sum of the engine-arm timings.
+    pub fn parallel_total(&self) -> f64 {
+        self.parallel.iter().map(|t| t.ms).sum()
+    }
+
+    /// `serial_total / parallel_total`.
+    pub fn speedup(&self) -> f64 {
+        self.serial_total() / self.parallel_total().max(1e-9)
+    }
+
+    /// Renders the report as JSON (hand-rolled; fixed key order).
+    pub fn to_json(&self, params: &WorkloadParams) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"seed\": {},", params.seed);
+        let _ = writeln!(s, "  \"scale\": {},", params.scale);
+        for (key, arm, total) in [
+            ("serial_ms", &self.serial, self.serial_total()),
+            ("parallel_ms", &self.parallel, self.parallel_total()),
+        ] {
+            let _ = writeln!(s, "  \"{key}\": {{");
+            for t in arm {
+                let _ = writeln!(s, "    \"{}\": {:.1},", t.name, t.ms);
+            }
+            let _ = writeln!(s, "    \"total\": {total:.1}");
+            let _ = writeln!(s, "  }},");
+        }
+        let _ = writeln!(s, "  \"speedup\": {:.2}", self.speedup());
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn timed<T>(name: &'static str, out: &mut Vec<Timing>, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let v = f();
+    out.push(Timing {
+        name,
+        ms: start.elapsed().as_secs_f64() * 1e3,
+    });
+    v
+}
+
+/// The indirect-heavy pair studied by Figures 8 and 12.
+const INDIRECT_PAIR: [Spec92; 2] = [Spec92::Gcc, Spec92::Xlisp];
+/// The pair plotted in Figure 11.
+const FIG11_PAIR: [Spec92; 2] = [Spec92::Gcc, Spec92::Espresso];
+
+fn subset(all: &[Bench], wanted: &[Spec92]) -> Vec<Bench> {
+    wanted
+        .iter()
+        .map(|&s| {
+            all.iter()
+                .find(|b| b.spec == s)
+                .expect("benchmark prepared")
+                .clone()
+        })
+        .collect()
+}
+
+// --- legacy (pre-fusion) sweeps: one predictor instance per trace walk ---
+
+fn legacy_fig6(gcc: &Bench) {
+    for &kind in &AutomatonKind::ALL {
+        for d in DEPTHS {
+            black_box(measure_ideal_path_automaton(kind, d, gcc).miss_rate());
+        }
+    }
+}
+
+fn legacy_fig7(benches: &[Bench]) {
+    for b in benches {
+        for scheme in Scheme::ALL {
+            for d in DEPTHS {
+                black_box(measure_ideal(scheme, d, b).miss_rate());
+            }
+        }
+    }
+}
+
+fn legacy_fig8(benches: &[Bench]) {
+    for b in benches {
+        for d in DEPTHS {
+            let mut cttb = IdealCttb::new(d as usize);
+            black_box(measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events).miss_rate());
+        }
+    }
+}
+
+fn legacy_fig10(benches: &[Bench]) {
+    for b in benches {
+        for d in exit_ladder() {
+            let mut real: PathPredictor<Leh2> = PathPredictor::new(d);
+            black_box(measure_exits(&mut real, &b.descs, &b.trace.events).miss_rate());
+            let mut ideal: IdealPath<Leh2> = IdealPath::new(d.depth() as u32);
+            black_box(measure_exits(&mut ideal, &b.descs, &b.trace.events).miss_rate());
+        }
+    }
+}
+
+fn legacy_fig11(benches: &[Bench]) {
+    for b in benches {
+        for d in exit_ladder() {
+            let mut ideal: IdealPath<Leh2> = IdealPath::new(d.depth() as u32);
+            measure_exits(&mut ideal, &b.descs, &b.trace.events);
+            black_box(ideal.states());
+            let mut real: PathPredictor<Leh2> = PathPredictor::new(d);
+            measure_exits(&mut real, &b.descs, &b.trace.events);
+            black_box(real.states_touched());
+        }
+    }
+}
+
+fn legacy_fig12(benches: &[Bench]) {
+    for b in benches {
+        for d in cttb_ladder() {
+            let mut real = Cttb::new(d);
+            black_box(measure_indirect_targets(&mut real, &b.descs, &b.trace.events).miss_rate());
+            let mut ideal = IdealCttb::new(d.depth());
+            black_box(measure_indirect_targets(&mut ideal, &b.descs, &b.trace.events).miss_rate());
+        }
+    }
+}
+
+/// Runs both arms and returns the timed comparison.
+///
+/// The serial arm re-prepares benchmarks inside every experiment — exactly
+/// the behaviour of the pre-parallel harness, where `harness all` called
+/// `prepare` 40+ times. Tables 3 and 4 were never fused (their grids have
+/// no depth dimension), so their serial arms are the pooled functions at
+/// width 1 on fresh benchmarks.
+pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchReport {
+    let serial_pool = Pool::new(1);
+    let timing_cfg = TimingConfig::default();
+    let mut serial = Vec::new();
+
+    timed("table2", &mut serial, || {
+        black_box(experiments::table2(&prepare_all(params)).len())
+    });
+    timed("fig3", &mut serial, || {
+        black_box(experiments::fig3(&prepare_all(params)).len())
+    });
+    timed("fig4", &mut serial, || {
+        black_box(experiments::fig4(&prepare_all(params)).len())
+    });
+    timed("fig6", &mut serial, || {
+        legacy_fig6(&prepare(Spec92::Gcc, params))
+    });
+    timed("fig7", &mut serial, || legacy_fig7(&prepare_all(params)));
+    timed("fig8", &mut serial, || {
+        legacy_fig8(&INDIRECT_PAIR.map(|s| prepare(s, params)));
+    });
+    timed("fig10", &mut serial, || legacy_fig10(&prepare_all(params)));
+    timed("fig11", &mut serial, || {
+        legacy_fig11(&FIG11_PAIR.map(|s| prepare(s, params)));
+    });
+    timed("fig12", &mut serial, || {
+        legacy_fig12(&INDIRECT_PAIR.map(|s| prepare(s, params)));
+    });
+    timed("table3", &mut serial, || {
+        black_box(experiments::table3(&prepare_all(params), &serial_pool).len());
+    });
+    timed("table4", &mut serial, || {
+        black_box(experiments::table4(&prepare_all(params), &timing_cfg, &serial_pool).len());
+    });
+
+    let mut parallel = Vec::new();
+    let benches = timed("prepare", &mut parallel, || prepare_all_with(params, pool));
+    let pair = subset(&benches, &INDIRECT_PAIR);
+    let gcc = &benches[0];
+
+    timed("table2", &mut parallel, || {
+        black_box(experiments::table2(&benches).len())
+    });
+    timed("fig3", &mut parallel, || {
+        black_box(experiments::fig3(&benches).len())
+    });
+    timed("fig4", &mut parallel, || {
+        black_box(experiments::fig4(&benches).len())
+    });
+    timed("fig6", &mut parallel, || {
+        black_box(experiments::fig6(gcc, pool).len())
+    });
+    timed("fig7", &mut parallel, || {
+        black_box(experiments::fig7(&benches, pool).len())
+    });
+    timed("fig8", &mut parallel, || {
+        black_box(experiments::fig8(&pair, pool).len())
+    });
+    // The engine computes Figures 10 and 11 in one pass (they share their
+    // predictor runs), so they appear as one entry here.
+    timed("fig10_fig11", &mut parallel, || {
+        let (r10, r11) = experiments::fig10_fig11(&benches, pool);
+        black_box(r10.len() + r11.len());
+    });
+    timed("fig12", &mut parallel, || {
+        black_box(experiments::fig12(&pair, pool).len())
+    });
+    timed("table3", &mut parallel, || {
+        black_box(experiments::table3(&benches, pool).len())
+    });
+    timed("table4", &mut parallel, || {
+        black_box(experiments::table4(&benches, &timing_cfg, pool).len());
+    });
+
+    BenchReport {
+        serial,
+        parallel,
+        threads: pool.threads(),
+    }
+}

@@ -32,8 +32,7 @@ pub fn table2(rows: &[Table2Row]) -> String {
 
 /// Figure 3 as CSV (fractions in `[0,1]`).
 pub fn fig3(rows: &[Fig3Row]) -> String {
-    let mut s =
-        String::from("benchmark,view,exits1,exits2,exits3,exits4\n");
+    let mut s = String::from("benchmark,view,exits1,exits2,exits3,exits4\n");
     for r in rows {
         for (view, f) in [("static", &r.static_frac), ("dynamic", &r.dynamic_frac)] {
             let _ = writeln!(s, "{},{view},{},{},{},{}", r.name, f[0], f[1], f[2], f[3]);
@@ -44,8 +43,7 @@ pub fn fig3(rows: &[Fig3Row]) -> String {
 
 /// Figure 4 as CSV.
 pub fn fig4(rows: &[Fig4Row]) -> String {
-    let mut s =
-        String::from("benchmark,view,branch,call,return,indirect_branch,indirect_call\n");
+    let mut s = String::from("benchmark,view,branch,call,return,indirect_branch,indirect_call\n");
     for r in rows {
         for (view, f) in [("static", &r.static_frac), ("dynamic", &r.dynamic_frac)] {
             let _ = writeln!(
@@ -127,7 +125,14 @@ pub fn fig10(rows: &[Fig10Row]) -> String {
     ladder(
         &rows
             .iter()
-            .map(|r| (r.name, r.configs.as_slice(), r.real.as_slice(), r.ideal.as_slice()))
+            .map(|r| {
+                (
+                    r.name,
+                    r.configs.as_slice(),
+                    r.real.as_slice(),
+                    r.ideal.as_slice(),
+                )
+            })
             .collect::<Vec<_>>(),
     )
 }
@@ -148,7 +153,14 @@ pub fn fig12(rows: &[Fig12Row]) -> String {
     ladder(
         &rows
             .iter()
-            .map(|r| (r.name, r.configs.as_slice(), r.real.as_slice(), r.ideal.as_slice()))
+            .map(|r| {
+                (
+                    r.name,
+                    r.configs.as_slice(),
+                    r.real.as_slice(),
+                    r.ideal.as_slice(),
+                )
+            })
             .collect::<Vec<_>>(),
     )
 }
@@ -248,12 +260,13 @@ mod tests {
         check(table2(&crate::experiments::table2(&benches)));
         check(fig3(&crate::experiments::fig3(&benches)));
         check(fig4(&crate::experiments::fig4(&benches)));
-        check(fig7(&crate::experiments::fig7(&benches)));
-        check(fig8(&crate::experiments::fig8(&benches)));
-        check(fig10(&crate::experiments::fig10(&benches)));
-        check(fig11(&crate::experiments::fig11(&benches)));
-        check(fig12(&crate::experiments::fig12(&benches)));
-        check(table3(&crate::experiments::table3(&benches)));
+        let pool = crate::pool::Pool::new(2);
+        check(fig7(&crate::experiments::fig7(&benches, &pool)));
+        check(fig8(&crate::experiments::fig8(&benches, &pool)));
+        check(fig10(&crate::experiments::fig10(&benches, &pool)));
+        check(fig11(&crate::experiments::fig11(&benches, &pool)));
+        check(fig12(&crate::experiments::fig12(&benches, &pool)));
+        check(table3(&crate::experiments::table3(&benches, &pool)));
         check(staleness(&crate::extensions::ext_staleness(&benches)));
         check(pollution(&crate::extensions::ext_pollution(&benches)));
     }
@@ -261,7 +274,10 @@ mod tests {
     #[test]
     fn csv_values_parse_back_as_numbers() {
         let b = prepare(Spec92::Sc, &WorkloadParams::small(1));
-        let csv = fig7(&crate::experiments::fig7(std::slice::from_ref(&b)));
+        let csv = fig7(&crate::experiments::fig7(
+            std::slice::from_ref(&b),
+            &crate::pool::Pool::new(1),
+        ));
         for line in csv.lines().skip(1) {
             for field in line.split(',').skip(2) {
                 let v: f64 = field.parse().expect("numeric field");

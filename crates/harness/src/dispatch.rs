@@ -2,14 +2,15 @@
 //! can select predictors the library implements with static generics.
 
 use crate::Bench;
-use multiscalar_core::automata::{
-    AutomatonKind, LastExit, LastExitHysteresis, VotingCounters,
-};
+use multiscalar_core::automata::{AutomatonKind, LastExit, LastExitHysteresis, VotingCounters};
 use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::{GlobalPredictor, PathPredictor, PerTaskPredictor};
 use multiscalar_core::ideal::{IdealGlobal, IdealPath, IdealPer};
 use multiscalar_core::predictor::ExitPredictor;
-use multiscalar_sim::measure::{measure_exits, MissStats};
+use multiscalar_core::target::{Cttb, IdealCttb};
+use multiscalar_sim::measure::{
+    measure_exits, measure_exits_fused, measure_indirect_targets_fused, MissStats,
+};
 
 /// The three history-generation schemes of paper §5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,11 +58,7 @@ pub fn measure_ideal(scheme: Scheme, depth: u32, bench: &Bench) -> MissStats {
 
 /// Measures an ideal PATH predictor with the given automaton kind
 /// (Figure 6's experiment).
-pub fn measure_ideal_path_automaton(
-    kind: AutomatonKind,
-    depth: u32,
-    bench: &Bench,
-) -> MissStats {
+pub fn measure_ideal_path_automaton(kind: AutomatonKind, depth: u32, bench: &Bench) -> MissStats {
     fn run<A: multiscalar_core::automata::Automaton>(depth: u32, bench: &Bench) -> MissStats {
         let mut p: IdealPath<A> = IdealPath::new(depth);
         measure_exits(&mut p, &bench.descs, &bench.trace.events)
@@ -77,15 +74,99 @@ pub fn measure_ideal_path_automaton(
     }
 }
 
+/// Fused form of [`measure_ideal`]: measures one ideal predictor per depth
+/// in a **single trace walk**. Results are bit-identical to calling
+/// `measure_ideal` once per depth (the predictor instances are independent).
+pub fn measure_ideal_sweep(scheme: Scheme, depths: &[u32], bench: &Bench) -> Vec<MissStats> {
+    match scheme {
+        Scheme::Global => {
+            let mut ps: Vec<IdealGlobal<LastExitHysteresis<2>>> =
+                depths.iter().map(|&d| IdealGlobal::new(d)).collect();
+            measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events)
+        }
+        Scheme::Per => {
+            let mut ps: Vec<IdealPer<LastExitHysteresis<2>>> =
+                depths.iter().map(|&d| IdealPer::new(d)).collect();
+            measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events)
+        }
+        Scheme::Path => {
+            let mut ps: Vec<IdealPath<LastExitHysteresis<2>>> =
+                depths.iter().map(|&d| IdealPath::new(d)).collect();
+            measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events)
+        }
+    }
+}
+
+/// Fused form of [`measure_ideal_path_automaton`]: the whole depth sweep of
+/// one automaton kind in a single trace walk.
+pub fn measure_ideal_path_automaton_sweep(
+    kind: AutomatonKind,
+    depths: &[u32],
+    bench: &Bench,
+) -> Vec<MissStats> {
+    fn run<A: multiscalar_core::automata::Automaton>(
+        depths: &[u32],
+        bench: &Bench,
+    ) -> Vec<MissStats> {
+        let mut ps: Vec<IdealPath<A>> = depths.iter().map(|&d| IdealPath::new(d)).collect();
+        measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events)
+    }
+    match kind {
+        AutomatonKind::Vc2Mru => run::<VotingCounters<2, true>>(depths, bench),
+        AutomatonKind::Vc2Random => run::<VotingCounters<2, false>>(depths, bench),
+        AutomatonKind::Leh1 => run::<LastExitHysteresis<1>>(depths, bench),
+        AutomatonKind::Vc3Mru => run::<VotingCounters<3, true>>(depths, bench),
+        AutomatonKind::Vc3Random => run::<VotingCounters<3, false>>(depths, bench),
+        AutomatonKind::Leh2 => run::<LastExitHysteresis<2>>(depths, bench),
+        AutomatonKind::LastExit => run::<LastExit>(depths, bench),
+    }
+}
+
+/// Fused real-PATH sweep over DOLC configurations (Figures 10 and 11's
+/// "real" curves): one trace walk, returning per-config miss stats and PHT
+/// states touched.
+pub fn path_real_sweep(configs: &[Dolc], bench: &Bench) -> Vec<(MissStats, usize)> {
+    let mut ps: Vec<PathPredictor<LastExitHysteresis<2>>> =
+        configs.iter().map(|&d| PathPredictor::new(d)).collect();
+    let stats = measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events);
+    stats
+        .into_iter()
+        .zip(ps.iter().map(|p| p.states_touched()))
+        .collect()
+}
+
+/// Fused ideal-PATH sweep over depths (Figures 10 and 11's "ideal" curves):
+/// one trace walk, returning per-depth miss stats and distinct states.
+pub fn path_ideal_sweep(depths: &[u32], bench: &Bench) -> Vec<(MissStats, usize)> {
+    let mut ps: Vec<IdealPath<LastExitHysteresis<2>>> =
+        depths.iter().map(|&d| IdealPath::new(d)).collect();
+    let stats = measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events);
+    stats
+        .into_iter()
+        .zip(ps.iter().map(|p| p.states()))
+        .collect()
+}
+
+/// Fused real-CTTB sweep over DOLC configurations (Figure 12): one walk of
+/// the indirect-exit stream drives every configuration.
+pub fn cttb_real_sweep(configs: &[Dolc], bench: &Bench) -> Vec<MissStats> {
+    let mut bufs: Vec<Cttb> = configs.iter().map(|&d| Cttb::new(d)).collect();
+    measure_indirect_targets_fused(&mut bufs, &bench.descs, &bench.trace.events)
+}
+
+/// Fused ideal-CTTB sweep over path depths (Figures 8 and 12).
+pub fn cttb_ideal_sweep(depths: &[usize], bench: &Bench) -> Vec<MissStats> {
+    let mut bufs: Vec<IdealCttb> = depths.iter().map(|&d| IdealCttb::new(d)).collect();
+    measure_indirect_targets_fused(&mut bufs, &bench.descs, &bench.trace.events)
+}
+
 /// Builds a boxed *real* exit predictor of the given scheme, LEH-2bit, with
 /// the paper's Table 4 sizing (16 KB PHT = 2^15 4-bit entries, depth 7).
 pub fn real_predictor_16kb(scheme: Scheme) -> Box<dyn ExitPredictor> {
     match scheme {
         Scheme::Global => Box::new(GlobalPredictor::<LastExitHysteresis<2>>::new(7, 15)),
         Scheme::Per => Box::new(PerTaskPredictor::<LastExitHysteresis<2>>::new(7, 8, 7)),
-        Scheme::Path => {
-            Box::new(PathPredictor::<LastExitHysteresis<2>>::new(dolc_15bit(7)))
-        }
+        Scheme::Path => Box::new(PathPredictor::<LastExitHysteresis<2>>::new(dolc_15bit(7))),
     }
 }
 
@@ -134,7 +215,11 @@ pub fn dolc_15bit(depth: u8) -> Dolc {
             // Generic construction: spread bits to reach 15 * min(F, ...).
             let f = 1 + (d as u32 + 1) / 3;
             let target = 15 * f;
-            let older = if d > 1 { ((target - 16) / (d as u32 - 1)).min(10) as u8 } else { 0 };
+            let older = if d > 1 {
+                ((target - 16) / (d as u32 - 1)).min(10) as u8
+            } else {
+                0
+            };
             let rest = target - (d as u32 - 1) * older as u32;
             let last = (rest / 2) as u8;
             let current = (rest - last as u32) as u8;

@@ -1,20 +1,27 @@
 //! One function per paper table/figure. Each returns plain data; rendering
 //! lives in [`crate::report`].
+//!
+//! Every sweep-shaped experiment takes a [`Pool`] and fans its (benchmark ×
+//! scheme × depth) grid out as independent jobs, with the per-depth
+//! dimension **fused**: one trace walk drives every depth's predictor
+//! instance (see `multiscalar_sim::measure::measure_exits_fused`). Results
+//! come back in submission order, so any pool width produces byte-identical
+//! output.
 
 use crate::dispatch::{
-    cttb_ladder, dolc_15bit, exit_ladder, measure_ideal, measure_ideal_path_automaton,
+    cttb_ideal_sweep, cttb_ladder, cttb_real_sweep, dolc_15bit, exit_ladder,
+    measure_ideal_path_automaton_sweep, measure_ideal_sweep, path_ideal_sweep, path_real_sweep,
     real_predictor_16kb, Scheme,
 };
+use crate::pool::{Job, Pool};
 use crate::Bench;
 use multiscalar_core::automata::{AutomatonKind, LastExitHysteresis};
 use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::PathPredictor;
-use multiscalar_core::ideal::IdealPath;
 use multiscalar_core::predictor::{CttbOnlyPredictor, ExitPredictor, TaskPredictor};
-use multiscalar_core::target::{Cttb, IdealCttb};
 use multiscalar_isa::ExitKind;
 use multiscalar_sim::measure::{
-    measure_cttb_only, measure_exits, measure_full, measure_indirect_targets, MissStats,
+    measure_cttb_only, measure_full, measure_indirect_targets, MissStats,
 };
 use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig, TimingResult};
 
@@ -82,13 +89,15 @@ pub fn fig3(benches: &[Bench]) -> Vec<Fig3Row> {
                 stat[(t.header().num_exits() - 1).min(3)] += 1;
             }
             let total: u64 = stat.iter().sum();
-            let static_frac =
-                std::array::from_fn(|i| stat[i] as f64 / total.max(1) as f64);
+            let static_frac = std::array::from_fn(|i| stat[i] as f64 / total.max(1) as f64);
             let dyn_total = b.trace.stats.dynamic_tasks.max(1) as f64;
-            let dynamic_frac = std::array::from_fn(|i| {
-                b.trace.stats.by_num_exits[i + 1] as f64 / dyn_total
-            });
-            Fig3Row { name: b.name(), static_frac, dynamic_frac }
+            let dynamic_frac =
+                std::array::from_fn(|i| b.trace.stats.by_num_exits[i + 1] as f64 / dyn_total);
+            Fig3Row {
+                name: b.name(),
+                static_frac,
+                dynamic_frac,
+            }
         })
         .collect()
 }
@@ -107,9 +116,7 @@ pub struct Fig4Row {
 
 /// Reproduces Figure 4: types of exit instructions.
 pub fn fig4(benches: &[Bench]) -> Vec<Fig4Row> {
-    let slot = |k: ExitKind| {
-        ExitKind::TABLE1.iter().position(|&x| x == k)
-    };
+    let slot = |k: ExitKind| ExitKind::TABLE1.iter().position(|&x| x == k);
     benches
         .iter()
         .map(|b| {
@@ -124,10 +131,13 @@ pub fn fig4(benches: &[Bench]) -> Vec<Fig4Row> {
             let stotal: u64 = stat.iter().sum();
             let static_frac = std::array::from_fn(|i| stat[i] as f64 / stotal.max(1) as f64);
             let dtotal: u64 = b.trace.stats.by_kind[..5].iter().sum();
-            let dynamic_frac = std::array::from_fn(|i| {
-                b.trace.stats.by_kind[i] as f64 / dtotal.max(1) as f64
-            });
-            Fig4Row { name: b.name(), static_frac, dynamic_frac }
+            let dynamic_frac =
+                std::array::from_fn(|i| b.trace.stats.by_kind[i] as f64 / dtotal.max(1) as f64);
+            Fig4Row {
+                name: b.name(),
+                static_frac,
+                dynamic_frac,
+            }
         })
         .collect()
 }
@@ -146,15 +156,23 @@ pub struct Fig6Curve {
 }
 
 /// Reproduces Figure 6: the seven prediction automata under an aggressive
-/// (ideal alias-free) path-based predictor, on the gcc analog.
-pub fn fig6(gcc: &Bench) -> Vec<Fig6Curve> {
-    AutomatonKind::ALL
+/// (ideal alias-free) path-based predictor, on the gcc analog. One job per
+/// automaton; each job walks the trace once for all depths.
+pub fn fig6(gcc: &Bench, pool: &Pool) -> Vec<Fig6Curve> {
+    let depths: Vec<u32> = DEPTHS.collect();
+    let jobs: Vec<Job<'_, Vec<MissStats>>> = AutomatonKind::ALL
         .iter()
-        .map(|&kind| Fig6Curve {
+        .map(|&kind| {
+            let ds = depths.clone();
+            Box::new(move || measure_ideal_path_automaton_sweep(kind, &ds, gcc)) as Job<'_, _>
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .zip(AutomatonKind::ALL)
+        .map(|(stats, kind)| Fig6Curve {
             kind,
-            miss: DEPTHS
-                .map(|d| measure_ideal_path_automaton(kind, d, gcc).miss_rate())
-                .collect(),
+            miss: stats.iter().map(|s| s.miss_rate()).collect(),
         })
         .collect()
 }
@@ -175,15 +193,26 @@ pub struct Fig7Row {
 }
 
 /// Reproduces Figure 7: ideal (alias-free) GLOBAL vs PER vs PATH across
-/// history depths, for every benchmark.
-pub fn fig7(benches: &[Bench]) -> Vec<Fig7Row> {
+/// history depths, for every benchmark. One job per (benchmark, scheme);
+/// each job walks the trace once for the whole depth sweep.
+pub fn fig7(benches: &[Bench], pool: &Pool) -> Vec<Fig7Row> {
+    let depths: Vec<u32> = DEPTHS.collect();
+    let mut jobs: Vec<Job<'_, Vec<MissStats>>> = Vec::new();
+    for b in benches {
+        for scheme in Scheme::ALL {
+            let ds = depths.clone();
+            jobs.push(Box::new(move || measure_ideal_sweep(scheme, &ds, b)));
+        }
+    }
+    let mut results = pool.run(jobs).into_iter();
     let mut rows = Vec::new();
     for b in benches {
         for scheme in Scheme::ALL {
+            let stats = results.next().expect("one result per job");
             rows.push(Fig7Row {
                 name: b.name(),
                 scheme,
-                miss: DEPTHS.map(|d| measure_ideal(scheme, d, b).miss_rate()).collect(),
+                miss: stats.iter().map(|s| s.miss_rate()).collect(),
             });
         }
     }
@@ -208,27 +237,29 @@ pub struct Fig8Row {
 }
 
 /// Reproduces Figure 8: ideal (alias-free) CTTB accuracy vs path depth on
-/// the indirect-heavy benchmarks.
-pub fn fig8(benches: &[Bench]) -> Vec<Fig8Row> {
-    benches
+/// the indirect-heavy benchmarks. One fused job per benchmark.
+pub fn fig8(benches: &[Bench], pool: &Pool) -> Vec<Fig8Row> {
+    let depths: Vec<usize> = DEPTHS.map(|d| d as usize).collect();
+    let jobs: Vec<Job<'_, Vec<MissStats>>> = benches
         .iter()
         .map(|b| {
-            let mut events = 0;
-            let miss = DEPTHS
-                .map(|d| {
-                    let mut cttb = IdealCttb::new(d as usize);
-                    let s = measure_indirect_targets(&mut cttb, &b.descs, &b.trace.events);
-                    events = s.predictions;
-                    s.miss_rate()
-                })
-                .collect();
-            Fig8Row { name: b.name(), miss, events }
+            let ds = depths.clone();
+            Box::new(move || cttb_ideal_sweep(&ds, b)) as Job<'_, _>
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .zip(benches)
+        .map(|(stats, b)| Fig8Row {
+            name: b.name(),
+            events: stats.first().map_or(0, |s| s.predictions),
+            miss: stats.iter().map(|s| s.miss_rate()).collect(),
         })
         .collect()
 }
 
 // ---------------------------------------------------------------------------
-// Figure 10
+// Figures 10 & 11
 // ---------------------------------------------------------------------------
 
 /// Real-vs-ideal exit prediction for one benchmark (Figure 10).
@@ -244,36 +275,6 @@ pub struct Fig10Row {
     pub ideal: Vec<f64>,
 }
 
-/// Reproduces Figure 10: real DOLC implementations against the ideal
-/// path-based predictor, 8 KB tables.
-pub fn fig10(benches: &[Bench]) -> Vec<Fig10Row> {
-    benches
-        .iter()
-        .map(|b| {
-            let configs = exit_ladder();
-            let real = configs
-                .iter()
-                .map(|&d| {
-                    let mut p: PathPredictor<Leh2> = PathPredictor::new(d);
-                    measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
-                })
-                .collect();
-            let ideal = configs
-                .iter()
-                .map(|d| {
-                    let mut p: IdealPath<Leh2> = IdealPath::new(d.depth() as u32);
-                    measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
-                })
-                .collect();
-            Fig10Row { name: b.name(), configs, real, ideal }
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Figure 11
-// ---------------------------------------------------------------------------
-
 /// PHT states touched, ideal vs real (Figure 11).
 #[derive(Debug, Clone)]
 pub struct Fig11Row {
@@ -285,24 +286,49 @@ pub struct Fig11Row {
     pub real_states: Vec<usize>,
 }
 
+/// Figures 10 and 11 measure the exact same predictor runs (miss rates for
+/// one, states touched for the other), so they are produced together: one
+/// real and one ideal fused-ladder job per benchmark.
+pub fn fig10_fig11(benches: &[Bench], pool: &Pool) -> (Vec<Fig10Row>, Vec<Fig11Row>) {
+    let configs = exit_ladder();
+    let depths: Vec<u32> = configs.iter().map(|d| d.depth() as u32).collect();
+    let mut jobs: Vec<Job<'_, Vec<(MissStats, usize)>>> = Vec::new();
+    for b in benches {
+        let cfgs = configs.clone();
+        jobs.push(Box::new(move || path_real_sweep(&cfgs, b)));
+        let ds = depths.clone();
+        jobs.push(Box::new(move || path_ideal_sweep(&ds, b)));
+    }
+    let results = pool.run(jobs);
+    let mut rows10 = Vec::with_capacity(benches.len());
+    let mut rows11 = Vec::with_capacity(benches.len());
+    for (i, b) in benches.iter().enumerate() {
+        let real = &results[2 * i];
+        let ideal = &results[2 * i + 1];
+        rows10.push(Fig10Row {
+            name: b.name(),
+            configs: configs.clone(),
+            real: real.iter().map(|(s, _)| s.miss_rate()).collect(),
+            ideal: ideal.iter().map(|(s, _)| s.miss_rate()).collect(),
+        });
+        rows11.push(Fig11Row {
+            name: b.name(),
+            ideal_states: ideal.iter().map(|&(_, n)| n).collect(),
+            real_states: real.iter().map(|&(_, n)| n).collect(),
+        });
+    }
+    (rows10, rows11)
+}
+
+/// Reproduces Figure 10: real DOLC implementations against the ideal
+/// path-based predictor, 8 KB tables.
+pub fn fig10(benches: &[Bench], pool: &Pool) -> Vec<Fig10Row> {
+    fig10_fig11(benches, pool).0
+}
+
 /// Reproduces Figure 11: states touched in the PHT across history depths.
-pub fn fig11(benches: &[Bench]) -> Vec<Fig11Row> {
-    benches
-        .iter()
-        .map(|b| {
-            let mut ideal_states = Vec::new();
-            let mut real_states = Vec::new();
-            for d in exit_ladder() {
-                let mut ideal: IdealPath<Leh2> = IdealPath::new(d.depth() as u32);
-                measure_exits(&mut ideal, &b.descs, &b.trace.events);
-                ideal_states.push(ideal.states());
-                let mut real: PathPredictor<Leh2> = PathPredictor::new(d);
-                measure_exits(&mut real, &b.descs, &b.trace.events);
-                real_states.push(real.states_touched());
-            }
-            Fig11Row { name: b.name(), ideal_states, real_states }
-        })
-        .collect()
+pub fn fig11(benches: &[Bench], pool: &Pool) -> Vec<Fig11Row> {
+    fig10_fig11(benches, pool).1
 }
 
 // ---------------------------------------------------------------------------
@@ -323,27 +349,27 @@ pub struct Fig12Row {
 }
 
 /// Reproduces Figure 12: real CTTB implementations (8 KB) against the
-/// ideal, for indirect branches and calls.
-pub fn fig12(benches: &[Bench]) -> Vec<Fig12Row> {
+/// ideal, for indirect branches and calls. One real and one ideal
+/// fused-ladder job per benchmark.
+pub fn fig12(benches: &[Bench], pool: &Pool) -> Vec<Fig12Row> {
+    let configs = cttb_ladder();
+    let depths: Vec<usize> = configs.iter().map(|d| d.depth()).collect();
+    let mut jobs: Vec<Job<'_, Vec<MissStats>>> = Vec::new();
+    for b in benches {
+        let cfgs = configs.clone();
+        jobs.push(Box::new(move || cttb_real_sweep(&cfgs, b)));
+        let ds = depths.clone();
+        jobs.push(Box::new(move || cttb_ideal_sweep(&ds, b)));
+    }
+    let results = pool.run(jobs);
     benches
         .iter()
-        .map(|b| {
-            let configs = cttb_ladder();
-            let real = configs
-                .iter()
-                .map(|&d| {
-                    let mut c = Cttb::new(d);
-                    measure_indirect_targets(&mut c, &b.descs, &b.trace.events).miss_rate()
-                })
-                .collect();
-            let ideal = configs
-                .iter()
-                .map(|d| {
-                    let mut c = IdealCttb::new(d.depth());
-                    measure_indirect_targets(&mut c, &b.descs, &b.trace.events).miss_rate()
-                })
-                .collect();
-            Fig12Row { name: b.name(), configs, real, ideal }
+        .enumerate()
+        .map(|(i, b)| Fig12Row {
+            name: b.name(),
+            configs: configs.clone(),
+            real: results[2 * i].iter().map(|s| s.miss_rate()).collect(),
+            ideal: results[2 * i + 1].iter().map(|s| s.miss_rate()).collect(),
         })
         .collect()
 }
@@ -365,28 +391,35 @@ pub struct Table3Row {
 }
 
 /// Reproduces Table 3: CTTB-only vs exit predictor with RAS & CTTB,
-/// predicting the actual address of the next task.
-pub fn table3(benches: &[Bench]) -> Vec<Table3Row> {
-    benches
-        .iter()
-        .map(|b| {
-            // CTTB-only: 14-bit index, depth 7 → 2^14 entries * 4 B = 64 KB.
+/// predicting the actual address of the next task. Two jobs per benchmark.
+pub fn table3(benches: &[Bench], pool: &Pool) -> Vec<Table3Row> {
+    let mut jobs: Vec<Job<'_, f64>> = Vec::new();
+    for b in benches {
+        // CTTB-only: 14-bit index, depth 7 → 2^14 entries * 4 B = 64 KB.
+        jobs.push(Box::new(move || {
             let mut only = CttbOnlyPredictor::new(Dolc::new(7, 4, 9, 9, 3));
-            let only_stats = measure_cttb_only(&mut only, &b.descs, &b.trace.events);
-
-            // Full predictor: 14-bit exit PHT + RAS(64) + 11-bit CTTB.
+            measure_cttb_only(&mut only, &b.descs, &b.trace.events).miss_rate()
+        }));
+        // Full predictor: 14-bit exit PHT + RAS(64) + 11-bit CTTB.
+        jobs.push(Box::new(move || {
             let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(
                 Dolc::new(7, 4, 9, 9, 3),
                 Dolc::new(7, 4, 4, 5, 3),
                 64,
             );
-            let full_stats = measure_full(&mut full, &b.descs, &b.trace.events);
-
-            Table3Row {
-                name: b.name(),
-                cttb_only: only_stats.miss_rate(),
-                exit_with_ras_cttb: full_stats.next_task.miss_rate(),
-            }
+            measure_full(&mut full, &b.descs, &b.trace.events)
+                .next_task
+                .miss_rate()
+        }));
+    }
+    let results = pool.run(jobs);
+    benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Table3Row {
+            name: b.name(),
+            cttb_only: results[2 * i],
+            exit_with_ras_cttb: results[2 * i + 1],
         })
         .collect()
 }
@@ -415,10 +448,16 @@ pub struct Table4Row {
 /// Reproduces Table 4: IPC from the timing simulator with Simple / GLOBAL /
 /// PER / PATH / Perfect inter-task prediction. All real predictors use a
 /// 16 KB PHT, depth 7 (depth 0 for Simple), a CTTB for indirects and a RAS
-/// for returns, matching the paper's setup.
-pub fn table4(benches: &[Bench], config: &TimingConfig) -> Vec<Table4Row> {
+/// for returns, matching the paper's setup. Five jobs per benchmark (one
+/// per predictor column).
+pub fn table4(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<Table4Row> {
     let cttb_cfg = Dolc::new(7, 4, 4, 5, 3);
-    let run_with = |b: &Bench, exit_pred: Box<dyn ExitPredictor>| -> TimingResult {
+    fn run_with(
+        b: &Bench,
+        exit_pred: Box<dyn ExitPredictor>,
+        cttb_cfg: Dolc,
+        config: &TimingConfig,
+    ) -> TimingResult {
         let mut pred = TaskPredictor::new(exit_pred, cttb_cfg, 64);
         simulate(
             &b.workload.program,
@@ -429,14 +468,25 @@ pub fn table4(benches: &[Bench], config: &TimingConfig) -> Vec<Table4Row> {
             b.workload.max_steps,
         )
         .expect("timing simulation must succeed")
-    };
+    }
 
-    benches
-        .iter()
-        .map(|b| {
-            let simple: Box<dyn ExitPredictor> =
-                Box::new(PathPredictor::<Leh2>::new(dolc_15bit(0)));
-            let perfect = simulate(
+    let mut jobs: Vec<Job<'_, TimingResult>> = Vec::new();
+    for b in benches {
+        jobs.push(Box::new(move || {
+            run_with(
+                b,
+                Box::new(PathPredictor::<Leh2>::new(dolc_15bit(0))),
+                cttb_cfg,
+                config,
+            )
+        }));
+        for scheme in Scheme::ALL {
+            jobs.push(Box::new(move || {
+                run_with(b, real_predictor_16kb(scheme), cttb_cfg, config)
+            }));
+        }
+        jobs.push(Box::new(move || {
+            simulate(
                 &b.workload.program,
                 &b.tasks,
                 &b.descs,
@@ -444,15 +494,19 @@ pub fn table4(benches: &[Bench], config: &TimingConfig) -> Vec<Table4Row> {
                 config,
                 b.workload.max_steps,
             )
-            .expect("perfect timing simulation must succeed");
-            Table4Row {
-                name: b.name(),
-                simple: run_with(b, simple),
-                global: run_with(b, real_predictor_16kb(Scheme::Global)),
-                per: run_with(b, real_predictor_16kb(Scheme::Per)),
-                path: run_with(b, real_predictor_16kb(Scheme::Path)),
-                perfect,
-            }
+            .expect("perfect timing simulation must succeed")
+        }));
+    }
+    let mut results = pool.run(jobs).into_iter();
+    benches
+        .iter()
+        .map(|b| Table4Row {
+            name: b.name(),
+            simple: results.next().expect("simple result"),
+            global: results.next().expect("global result"),
+            per: results.next().expect("per result"),
+            path: results.next().expect("path result"),
+            perfect: results.next().expect("perfect result"),
         })
         .collect()
 }

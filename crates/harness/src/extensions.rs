@@ -52,7 +52,10 @@ pub fn ext_staleness(benches: &[Bench]) -> Vec<StalenessRow> {
                     measure_exits(&mut p, &b.descs, &b.trace.events).miss_rate()
                 })
                 .collect();
-            StalenessRow { name: b.name(), miss }
+            StalenessRow {
+                name: b.name(),
+                miss,
+            }
         })
         .collect()
 }
@@ -84,9 +87,13 @@ pub fn ext_hybrid(benches: &[Bench]) -> Vec<HybridRow> {
                 PerTaskPredictor::<Leh2>::new(7, 8, 6),
                 10,
             );
-            let hybrid_rate =
-                measure_exits(&mut hybrid, &b.descs, &b.trace.events).miss_rate();
-            HybridRow { name: b.name(), path: path_rate, per: per_rate, hybrid: hybrid_rate }
+            let hybrid_rate = measure_exits(&mut hybrid, &b.descs, &b.trace.events).miss_rate();
+            HybridRow {
+                name: b.name(),
+                path: path_rate,
+                per: per_rate,
+                hybrid: hybrid_rate,
+            }
         })
         .collect()
 }
@@ -94,9 +101,27 @@ pub fn ext_hybrid(benches: &[Bench]) -> Vec<HybridRow> {
 /// Task-former budgets compared by [`ext_taskform`]: small, default, large
 /// tasks.
 pub const TASKFORM_CONFIGS: [(&str, TaskFormConfig); 3] = [
-    ("small (8/2)", TaskFormConfig { max_instrs: 8, max_blocks: 2 }),
-    ("default (32/12)", TaskFormConfig { max_instrs: 32, max_blocks: 12 }),
-    ("large (64/24)", TaskFormConfig { max_instrs: 64, max_blocks: 24 }),
+    (
+        "small (8/2)",
+        TaskFormConfig {
+            max_instrs: 8,
+            max_blocks: 2,
+        },
+    ),
+    (
+        "default (32/12)",
+        TaskFormConfig {
+            max_instrs: 32,
+            max_blocks: 12,
+        },
+    ),
+    (
+        "large (64/24)",
+        TaskFormConfig {
+            max_instrs: 64,
+            max_blocks: 24,
+        },
+    ),
 ];
 
 /// One row of the cross-compilation study: miss rates of the three ideal
@@ -122,8 +147,7 @@ pub fn ext_taskform(params: &WorkloadParams) -> Vec<TaskformRow> {
         let w = spec.build(params);
         for (label, config) in TASKFORM_CONFIGS {
             let tasks = TaskFormer::new(config).form(&w.program).expect("formation");
-            let trace =
-                collect_trace(&w.program, &tasks, w.max_steps).expect("trace succeeds");
+            let trace = collect_trace(&w.program, &tasks, w.max_steps).expect("trace succeeds");
             let descs = task_descs(&tasks);
             let bench = Bench {
                 spec,
@@ -175,14 +199,26 @@ pub fn ext_memory(benches: &[Bench]) -> Vec<MemoryRow> {
         .iter()
         .map(|b| {
             let run = |config: &TimingConfig| {
-                simulate(&b.workload.program, &b.tasks, &b.descs, None, config, b.workload.max_steps)
-                    .expect("timing succeeds")
+                simulate(
+                    &b.workload.program,
+                    &b.tasks,
+                    &b.descs,
+                    None,
+                    config,
+                    b.workload.max_steps,
+                )
+                .expect("timing succeeds")
             };
             let default = TimingConfig::default();
             let eager = run(&default);
-            let release =
-                run(&TimingConfig { forwarding: ForwardingModel::ReleaseAtEnd, ..default });
-            let ideal_mem = run(&TimingConfig { arb: None, ..default });
+            let release = run(&TimingConfig {
+                forwarding: ForwardingModel::ReleaseAtEnd,
+                ..default
+            });
+            let ideal_mem = run(&TimingConfig {
+                arb: None,
+                ..default
+            });
             let tiny = run(&TimingConfig {
                 arb: Some(multiscalar_sim::arb::ArbConfig {
                     banks: 1,
@@ -260,9 +296,19 @@ pub fn ext_intra(benches: &[Bench]) -> Vec<IntraRow> {
         .iter()
         .map(|b| {
             let run = |kind: IntraPredictorKind| {
-                let config = TimingConfig { intra_predictor: kind, ..TimingConfig::default() };
-                simulate(&b.workload.program, &b.tasks, &b.descs, None, &config, b.workload.max_steps)
-                    .expect("timing succeeds")
+                let config = TimingConfig {
+                    intra_predictor: kind,
+                    ..TimingConfig::default()
+                };
+                simulate(
+                    &b.workload.program,
+                    &b.tasks,
+                    &b.descs,
+                    None,
+                    &config,
+                    b.workload.max_steps,
+                )
+                .expect("timing succeeds")
             };
             let bi = run(IntraPredictorKind::Bimodal);
             let gs = run(IntraPredictorKind::Gshare);
@@ -270,7 +316,11 @@ pub fn ext_intra(benches: &[Bench]) -> Vec<IntraRow> {
             IntraRow {
                 name: b.name(),
                 ipc: [bi.ipc(), gs.ipc(), mc.ipc()],
-                mispredicts: [bi.intra_mispredicts, gs.intra_mispredicts, mc.intra_mispredicts],
+                mispredicts: [
+                    bi.intra_mispredicts,
+                    gs.intra_mispredicts,
+                    mc.intra_mispredicts,
+                ],
             }
         })
         .collect()
@@ -320,7 +370,10 @@ pub fn ext_confidence(benches: &[Bench]) -> Vec<ConfidenceRow> {
             };
             let default = TimingConfig::default();
             let always = run(&default);
-            let gated = run(&TimingConfig { confidence_gate: Some(8), ..default });
+            let gated = run(&TimingConfig {
+                confidence_gate: Some(8),
+                ..default
+            });
             ConfidenceRow {
                 name: b.name(),
                 always_ipc: always.ipc(),

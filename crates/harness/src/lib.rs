@@ -29,12 +29,14 @@
 //! println!("{} dynamic tasks", rows[0].dynamic_tasks);
 //! ```
 
+pub mod bench_pr1;
 pub mod csv;
 pub mod dispatch;
-pub mod verify;
 pub mod experiments;
 pub mod extensions;
+pub mod pool;
 pub mod report;
+pub mod verify;
 
 use multiscalar_core::predictor::TaskDesc;
 use multiscalar_sim::{measure, trace, TraceRun};
@@ -78,10 +80,29 @@ pub fn prepare(spec: Spec92, params: &WorkloadParams) -> Bench {
     let descs = measure::task_descs(&tasks);
     let trace = trace::collect_trace(&workload.program, &tasks, workload.max_steps)
         .unwrap_or_else(|e| panic!("{spec}: trace failed: {e}"));
-    Bench { spec, workload, tasks, descs, trace }
+    Bench {
+        spec,
+        workload,
+        tasks,
+        descs,
+        trace,
+    }
 }
 
 /// Prepares all five benchmarks.
 pub fn prepare_all(params: &WorkloadParams) -> Vec<Bench> {
     Spec92::ALL.iter().map(|&s| prepare(s, params)).collect()
+}
+
+/// Prepares all five benchmarks, one pool job per benchmark. The result is
+/// identical to [`prepare_all`] (preparation is deterministic per
+/// benchmark); only wall-clock differs.
+pub fn prepare_all_with(params: &WorkloadParams, pool: &pool::Pool) -> Vec<Bench> {
+    let params = *params;
+    pool.run(
+        Spec92::ALL
+            .iter()
+            .map(|&s| move || prepare(s, &params))
+            .collect(),
+    )
 }

@@ -1,13 +1,18 @@
 //! `harness` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! harness <experiment> [--seed N] [--scale N] [--bench NAME]
+//! harness <experiment> [--seed N] [--scale N] [--bench NAME] [--threads N]
 //!
 //! experiments: table2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig12
 //!              table3 table4 all
 //! ```
+//!
+//! Benchmarks are prepared **once** per invocation (traces are shared,
+//! immutable, behind `Arc`) and every sweep fans out over a `--threads`-wide
+//! job pool. Output is byte-identical for every thread count.
 
-use multiscalar_harness::{experiments, extensions, prepare, prepare_all, report, Bench};
+use multiscalar_harness::pool::Pool;
+use multiscalar_harness::{bench_pr1, experiments, extensions, prepare_all_with, report, Bench};
 use multiscalar_sim::timing::TimingConfig;
 use multiscalar_workloads::{Spec92, WorkloadParams};
 use std::process::ExitCode;
@@ -17,6 +22,7 @@ struct Args {
     params: WorkloadParams,
     bench: Option<Spec92>,
     csv_dir: Option<std::path::PathBuf>,
+    pool: Pool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,72 +31,144 @@ fn parse_args() -> Result<Args, String> {
     let mut params = WorkloadParams::standard(0xC0FFEE);
     let mut bench = None;
     let mut csv_dir = None;
+    let mut pool = Pool::auto();
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--seed" => params.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
-            "--scale" => {
-                params.scale = value()?.parse().map_err(|e| format!("bad scale: {e}"))?
-            }
+            "--scale" => params.scale = value()?.parse().map_err(|e| format!("bad scale: {e}"))?,
             "--bench" => {
                 let name = value()?;
-                bench = Some(
-                    Spec92::from_name(&name).ok_or(format!("unknown benchmark `{name}`"))?,
-                );
+                bench =
+                    Some(Spec92::from_name(&name).ok_or(format!("unknown benchmark `{name}`"))?);
             }
             "--csv" => csv_dir = Some(std::path::PathBuf::from(value()?)),
+            "--threads" => {
+                pool = Pool::new(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
-    Ok(Args { experiment, params, bench, csv_dir })
+    Ok(Args {
+        experiment,
+        params,
+        bench,
+        csv_dir,
+        pool,
+    })
 }
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
-     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify> [--seed N] [--scale N] [--bench NAME] [--csv DIR]"
+     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify|bench-pr1> \
+     [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N]"
         .to_string()
 }
 
-fn benches_for(args: &Args) -> Vec<Bench> {
-    match args.bench {
-        Some(s) => vec![prepare(s, &args.params)],
-        None => prepare_all(&args.params),
-    }
+/// Benchmarks prepared once and reused by every experiment of the
+/// invocation. `--bench` narrows preparation to one benchmark.
+struct Prepared {
+    benches: Vec<Bench>,
+    narrowed: bool,
 }
 
-fn benches_subset(args: &Args, wanted: &[Spec92]) -> Vec<Bench> {
-    match args.bench {
-        Some(s) => vec![prepare(s, &args.params)],
-        None => wanted.iter().map(|&s| prepare(s, &args.params)).collect(),
+impl Prepared {
+    fn new(args: &Args) -> Prepared {
+        match args.bench {
+            Some(s) => Prepared {
+                benches: vec![multiscalar_harness::prepare(s, &args.params)],
+                narrowed: true,
+            },
+            None => Prepared {
+                benches: prepare_all_with(&args.params, &args.pool),
+                narrowed: false,
+            },
+        }
+    }
+
+    /// All prepared benchmarks.
+    fn all(&self) -> &[Bench] {
+        &self.benches
+    }
+
+    /// The subset a figure studies (cloning is cheap: traces are `Arc`-shared).
+    fn subset(&self, wanted: &[Spec92]) -> Vec<Bench> {
+        if self.narrowed {
+            return self.benches.clone();
+        }
+        wanted
+            .iter()
+            .map(|&s| {
+                self.benches
+                    .iter()
+                    .find(|b| b.spec == s)
+                    .expect("prepared")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// The benchmark Figure 6 studies (gcc unless `--bench` narrows).
+    fn gcc(&self) -> &Bench {
+        self.benches
+            .iter()
+            .find(|b| b.spec == Spec92::Gcc)
+            .unwrap_or(&self.benches[0])
     }
 }
 
 /// Writes every experiment's CSV into `dir`.
-fn write_all_csv(args: &Args, dir: &std::path::Path) -> std::io::Result<()> {
+fn write_all_csv(args: &Args, prep: &Prepared, dir: &std::path::Path) -> std::io::Result<()> {
     use multiscalar_harness::csv;
     std::fs::create_dir_all(dir)?;
-    let benches = benches_for(args);
-    let two = benches_subset(args, &[Spec92::Gcc, Spec92::Xlisp]);
-    let eleven = benches_subset(args, &[Spec92::Gcc, Spec92::Espresso]);
-    let gcc = prepare(args.bench.unwrap_or(Spec92::Gcc), &args.params);
+    let pool = &args.pool;
+    let benches = prep.all();
+    let two = prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+    let eleven = prep.subset(&[Spec92::Gcc, Spec92::Espresso]);
+
+    // Figures 10 and 11 share their predictor runs: compute both in one
+    // pass over the full set, then narrow Figure 11 to the pair it plots.
+    let (rows10, rows11) = experiments::fig10_fig11(benches, pool);
+    let pair_names: Vec<&str> = eleven.iter().map(|b| b.name()).collect();
+    let rows11: Vec<_> = rows11
+        .into_iter()
+        .filter(|r| pair_names.contains(&r.name))
+        .collect();
 
     let files: Vec<(&str, String)> = vec![
-        ("table2.csv", csv::table2(&experiments::table2(&benches))),
-        ("fig3.csv", csv::fig3(&experiments::fig3(&benches))),
-        ("fig4.csv", csv::fig4(&experiments::fig4(&benches))),
-        ("fig6.csv", csv::fig6(&experiments::fig6(&gcc))),
-        ("fig7.csv", csv::fig7(&experiments::fig7(&benches))),
-        ("fig8.csv", csv::fig8(&experiments::fig8(&two))),
-        ("fig10.csv", csv::fig10(&experiments::fig10(&benches))),
-        ("fig11.csv", csv::fig11(&experiments::fig11(&eleven))),
-        ("fig12.csv", csv::fig12(&experiments::fig12(&two))),
-        ("table3.csv", csv::table3(&experiments::table3(&benches))),
+        ("table2.csv", csv::table2(&experiments::table2(benches))),
+        ("fig3.csv", csv::fig3(&experiments::fig3(benches))),
+        ("fig4.csv", csv::fig4(&experiments::fig4(benches))),
+        ("fig6.csv", csv::fig6(&experiments::fig6(prep.gcc(), pool))),
+        ("fig7.csv", csv::fig7(&experiments::fig7(benches, pool))),
+        ("fig8.csv", csv::fig8(&experiments::fig8(&two, pool))),
+        ("fig10.csv", csv::fig10(&rows10)),
+        ("fig11.csv", csv::fig11(&rows11)),
+        ("fig12.csv", csv::fig12(&experiments::fig12(&two, pool))),
+        (
+            "table3.csv",
+            csv::table3(&experiments::table3(benches, pool)),
+        ),
         (
             "table4.csv",
-            csv::table4(&experiments::table4(&benches, &TimingConfig::default())),
+            csv::table4(&experiments::table4(
+                benches,
+                &TimingConfig::default(),
+                pool,
+            )),
         ),
-        ("ext_staleness.csv", csv::staleness(&extensions::ext_staleness(&benches))),
-        ("ext_pollution.csv", csv::pollution(&extensions::ext_pollution(&benches))),
+        (
+            "ext_staleness.csv",
+            csv::staleness(&extensions::ext_staleness(benches)),
+        ),
+        (
+            "ext_pollution.csv",
+            csv::pollution(&extensions::ext_pollution(benches)),
+        ),
     ];
     for (name, contents) in files {
         std::fs::write(dir.join(name), contents)?;
@@ -107,66 +185,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let run_one = |name: &str| -> Option<String> {
-        Some(match name {
-            "table2" => report::render_table2(&experiments::table2(&benches_for(&args))),
-            "fig3" => report::render_fig3(&experiments::fig3(&benches_for(&args))),
-            "fig4" => report::render_fig4(&experiments::fig4(&benches_for(&args))),
-            "fig6" => {
-                let gcc = prepare(args.bench.unwrap_or(Spec92::Gcc), &args.params);
-                report::render_fig6(&experiments::fig6(&gcc))
-            }
-            "fig7" => report::render_fig7(&experiments::fig7(&benches_for(&args))),
-            "fig8" => {
-                // The paper studies the two indirect-heavy benchmarks.
-                let b = benches_subset(&args, &[Spec92::Gcc, Spec92::Xlisp]);
-                report::render_fig8(&experiments::fig8(&b))
-            }
-            "fig10" => report::render_fig10(&experiments::fig10(&benches_for(&args))),
-            "fig11" => {
-                let b = benches_subset(&args, &[Spec92::Gcc, Spec92::Espresso]);
-                report::render_fig11(&experiments::fig11(&b))
-            }
-            "fig12" => {
-                let b = benches_subset(&args, &[Spec92::Gcc, Spec92::Xlisp]);
-                report::render_fig12(&experiments::fig12(&b))
-            }
-            "table3" => report::render_table3(&experiments::table3(&benches_for(&args))),
-            "ext-staleness" => {
-                report::render_staleness(&extensions::ext_staleness(&benches_for(&args)))
-            }
-            "ext-hybrid" => report::render_hybrid(&extensions::ext_hybrid(&benches_for(&args))),
-            "ext-taskform" => {
-                report::render_taskform(&extensions::ext_taskform(&args.params))
-            }
-            "ext-memory" => report::render_memory(&extensions::ext_memory(&benches_for(&args))),
-            "ext-confidence" => {
-                report::render_confidence(&extensions::ext_confidence(&benches_for(&args)))
-            }
-            "ext-intra" => report::render_intra(&extensions::ext_intra(&benches_for(&args))),
-            "ext-pollution" => {
-                report::render_pollution(&extensions::ext_pollution(&benches_for(&args)))
-            }
-
-            "table4" => report::render_table4(&experiments::table4(
-                &benches_for(&args),
-                &TimingConfig::default(),
-            )),
-            _ => return None,
-        })
-    };
-
-    if args.experiment == "all" {
-        for name in [
-            "table2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12",
-            "table3", "table4",
-        ] {
-            println!("{}", run_one(name).expect("known experiment"));
-        }
-        return ExitCode::SUCCESS;
-    }
+    // Subcommands that manage their own preparation.
     if args.experiment == "verify" {
-        let claims = multiscalar_harness::verify::verify(&args.params);
+        let claims = multiscalar_harness::verify::verify(&args.params, &args.pool);
         println!("{}", multiscalar_harness::verify::render(&claims));
         return if multiscalar_harness::verify::all_hold(&claims) {
             ExitCode::SUCCESS
@@ -174,12 +195,88 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         };
     }
+    if args.experiment == "bench-pr1" {
+        let report = bench_pr1::run(&args.params, &args.pool);
+        let json = report.to_json(&args.params);
+        print!("{json}");
+        let path = std::path::Path::new("BENCH_PR1.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let prep = Prepared::new(&args);
+    let pool = &args.pool;
+
+    let run_one = |name: &str| -> Option<String> {
+        Some(match name {
+            "table2" => report::render_table2(&experiments::table2(prep.all())),
+            "fig3" => report::render_fig3(&experiments::fig3(prep.all())),
+            "fig4" => report::render_fig4(&experiments::fig4(prep.all())),
+            "fig6" => report::render_fig6(&experiments::fig6(prep.gcc(), pool)),
+            "fig7" => report::render_fig7(&experiments::fig7(prep.all(), pool)),
+            "fig8" => {
+                // The paper studies the two indirect-heavy benchmarks.
+                let b = prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+                report::render_fig8(&experiments::fig8(&b, pool))
+            }
+            "fig10" => report::render_fig10(&experiments::fig10(prep.all(), pool)),
+            "fig11" => {
+                let b = prep.subset(&[Spec92::Gcc, Spec92::Espresso]);
+                report::render_fig11(&experiments::fig11(&b, pool))
+            }
+            "fig12" => {
+                let b = prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+                report::render_fig12(&experiments::fig12(&b, pool))
+            }
+            "table3" => report::render_table3(&experiments::table3(prep.all(), pool)),
+            "ext-staleness" => report::render_staleness(&extensions::ext_staleness(prep.all())),
+            "ext-hybrid" => report::render_hybrid(&extensions::ext_hybrid(prep.all())),
+            "ext-taskform" => report::render_taskform(&extensions::ext_taskform(&args.params)),
+            "ext-memory" => report::render_memory(&extensions::ext_memory(prep.all())),
+            "ext-confidence" => report::render_confidence(&extensions::ext_confidence(prep.all())),
+            "ext-intra" => report::render_intra(&extensions::ext_intra(prep.all())),
+            "ext-pollution" => report::render_pollution(&extensions::ext_pollution(prep.all())),
+
+            "table4" => report::render_table4(&experiments::table4(
+                prep.all(),
+                &TimingConfig::default(),
+                pool,
+            )),
+            _ => return None,
+        })
+    };
+
+    if args.experiment == "all" {
+        for name in ["table2", "fig3", "fig4", "fig6", "fig7", "fig8"] {
+            println!("{}", run_one(name).expect("known experiment"));
+        }
+        // Figures 10 and 11 share their predictor runs: one pass for both.
+        let (rows10, rows11) = experiments::fig10_fig11(prep.all(), pool);
+        println!("{}", report::render_fig10(&rows10));
+        let rows11: Vec<_> = if prep.narrowed {
+            rows11
+        } else {
+            rows11
+                .into_iter()
+                .filter(|r| r.name == "gcc" || r.name == "espresso")
+                .collect()
+        };
+        println!("{}", report::render_fig11(&rows11));
+        for name in ["fig12", "table3", "table4"] {
+            println!("{}", run_one(name).expect("known experiment"));
+        }
+        return ExitCode::SUCCESS;
+    }
     if args.experiment == "csv" {
         let dir = args
             .csv_dir
             .clone()
             .unwrap_or_else(|| std::path::PathBuf::from("results"));
-        if let Err(e) = write_all_csv(&args, &dir) {
+        if let Err(e) = write_all_csv(&args, &prep, &dir) {
             eprintln!("csv export failed: {e}");
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,140 @@
+//! A small work-stealing job pool over `std::thread::scope` — no external
+//! dependencies, deterministic result order.
+//!
+//! Experiments fan the (benchmark × scheme × depth) grid out as independent
+//! jobs; workers pull jobs from a shared atomic counter (classic
+//! self-scheduling, the simplest form of work stealing) and write each
+//! result into its job's dedicated slot. Results therefore come back in
+//! **submission order regardless of thread count or completion order**,
+//! which is what makes `--threads N` byte-identical to `--threads 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A boxed job, for heterogeneous job lists handed to [`Pool::run`].
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// A fixed-width worker pool. `Pool::new(1)` (or width 0) runs every job
+/// inline on the caller's thread with zero overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs jobs on `threads` workers. Widths 0 and 1
+    /// both mean "inline, no spawning".
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool as wide as the machine's available parallelism.
+    pub fn auto() -> Pool {
+        Pool::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Worker count this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns their results **in job order**.
+    ///
+    /// Jobs must be independent: each runs exactly once, on an unspecified
+    /// worker, in an unspecified relative order. A panicking job aborts the
+    /// whole run (the panic is propagated).
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.threads <= 1 || jobs.len() <= 1 {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+
+        let n = jobs.len();
+        // Each job moves into a Mutex slot so any worker can claim it by
+        // index; each result lands in the slot of the same index.
+        let job_slots: Vec<Mutex<Option<F>>> =
+            jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let workers = self.threads.min(n);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = job_slots[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("job claimed once");
+                    let out = job();
+                    *result_slots[i].lock().unwrap() = Some(out);
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+
+        result_slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every job ran"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let jobs: Vec<_> = (0..37)
+                .map(|i| {
+                    move || {
+                        // Stagger completion so out-of-order finishes would
+                        // be caught by the order check below.
+                        if i % 3 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        i * 10
+                    }
+                })
+                .collect();
+            let out = pool.run(jobs);
+            assert_eq!(out, (0..37).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn inline_pool_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = Pool::new(1).run(vec![move || std::thread::current().id() == caller]);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn empty_and_single_job_lists_work() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.run(Vec::<fn() -> u32>::new()), Vec::<u32>::new());
+        assert_eq!(pool.run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn auto_pool_has_at_least_one_thread() {
+        assert!(Pool::auto().threads() >= 1);
+    }
+}

@@ -58,7 +58,10 @@ pub fn render_fig3(rows: &[Fig3Row]) -> String {
 /// Renders Figure 4 (exit kinds, static & dynamic).
 pub fn render_fig4(rows: &[Fig4Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 4: Types of Exit Instructions (fraction of exits)");
+    let _ = writeln!(
+        s,
+        "Figure 4: Types of Exit Instructions (fraction of exits)"
+    );
     let _ = writeln!(
         s,
         "{:<10} {:<8} {:>8} {:>8} {:>8} {:>10} {:>10}",
@@ -79,14 +82,21 @@ pub fn render_fig4(rows: &[Fig4Row]) -> String {
             );
         }
     }
-    let _ = writeln!(s, "(kind order: {:?})", ExitKind::TABLE1.map(|k| k.to_string()));
+    let _ = writeln!(
+        s,
+        "(kind order: {:?})",
+        ExitKind::TABLE1.map(|k| k.to_string())
+    );
     s
 }
 
 /// Renders Figure 6 (automata comparison on gcc).
 pub fn render_fig6(curves: &[Fig6Curve]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 6: Prediction Automata (ideal PATH indexing, gcc), miss rate");
+    let _ = writeln!(
+        s,
+        "Figure 6: Prediction Automata (ideal PATH indexing, gcc), miss rate"
+    );
     let _ = write!(s, "{:<18}", "Automaton");
     for d in DEPTHS {
         let _ = write!(s, " {:>7}", format!("d={d}"));
@@ -105,7 +115,10 @@ pub fn render_fig6(curves: &[Fig6Curve]) -> String {
 /// Renders Figure 7 (ideal history schemes).
 pub fn render_fig7(rows: &[Fig7Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 7: Ideal (alias-free) Prediction, miss rate vs history depth");
+    let _ = writeln!(
+        s,
+        "Figure 7: Ideal (alias-free) Prediction, miss rate vs history depth"
+    );
     let _ = write!(s, "{:<10} {:<8}", "Benchmark", "Scheme");
     for d in DEPTHS {
         let _ = write!(s, " {:>7}", format!("d={d}"));
@@ -124,7 +137,10 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
 /// Renders Figure 8 (ideal CTTB).
 pub fn render_fig8(rows: &[Fig8Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 8: Ideal (alias-free) CTTB, indirect-target miss rate");
+    let _ = writeln!(
+        s,
+        "Figure 8: Ideal (alias-free) CTTB, indirect-target miss rate"
+    );
     let _ = write!(s, "{:<10} {:>10}", "Benchmark", "indirects");
     for d in DEPTHS {
         let _ = write!(s, " {:>7}", format!("d={d}"));
@@ -143,7 +159,10 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
 /// Renders Figure 10 (real vs ideal exit prediction).
 pub fn render_fig10(rows: &[Fig10Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 10: Real (8 KB PHT) vs Ideal Exit Prediction, miss rate");
+    let _ = writeln!(
+        s,
+        "Figure 10: Real (8 KB PHT) vs Ideal Exit Prediction, miss rate"
+    );
     for r in rows {
         let _ = writeln!(s, "{}:", r.name);
         let _ = writeln!(s, "  {:<16} {:>8} {:>8}", "DOLC (F)", "real", "ideal");
@@ -177,7 +196,10 @@ pub fn render_fig11(rows: &[Fig11Row]) -> String {
 /// Renders Figure 12 (real vs ideal CTTB).
 pub fn render_fig12(rows: &[Fig12Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 12: Real (8 KB) vs Ideal CTTB, indirect-target miss rate");
+    let _ = writeln!(
+        s,
+        "Figure 12: Real (8 KB) vs Ideal CTTB, indirect-target miss rate"
+    );
     for r in rows {
         let _ = writeln!(s, "{}:", r.name);
         let _ = writeln!(s, "  {:<16} {:>8} {:>8}", "DOLC (F)", "real", "ideal");
@@ -281,14 +303,17 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
 // ---------------------------------------------------------------------------
 
 use crate::extensions::{
-    ConfidenceRow, HybridRow, IntraRow, MemoryRow, PollutionRow, StalenessRow,
-    TaskformRow, POLLUTION_DEPTHS, STALENESS_DELAYS,
+    ConfidenceRow, HybridRow, IntraRow, MemoryRow, PollutionRow, StalenessRow, TaskformRow,
+    POLLUTION_DEPTHS, STALENESS_DELAYS,
 };
 
 /// Renders the update-staleness study.
 pub fn render_staleness(rows: &[StalenessRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Extension: PHT training delay (the paper's §3.1 idealisation)");
+    let _ = writeln!(
+        s,
+        "Extension: PHT training delay (the paper's §3.1 idealisation)"
+    );
     let _ = write!(s, "{:<10}", "Benchmark");
     for d in STALENESS_DELAYS {
         let _ = write!(s, " {:>9}", format!("delay={d}"));
@@ -308,7 +333,11 @@ pub fn render_staleness(rows: &[StalenessRow]) -> String {
 pub fn render_hybrid(rows: &[HybridRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Extension: PATH/PER tournament, exit miss rates");
-    let _ = writeln!(s, "{:<10} {:>9} {:>9} {:>9}", "Benchmark", "PATH", "PER", "hybrid");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>9} {:>9} {:>9}",
+        "Benchmark", "PATH", "PER", "hybrid"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -352,11 +381,20 @@ pub fn render_taskform(rows: &[TaskformRow]) -> String {
 /// Renders the memory-substrate study.
 pub fn render_memory(rows: &[MemoryRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Extension: memory substrate (ARB + register forwarding), perfect prediction");
+    let _ = writeln!(
+        s,
+        "Extension: memory substrate (ARB + register forwarding), perfect prediction"
+    );
     let _ = writeln!(
         s,
         "{:<10} {:>10} {:>12} {:>11} {:>11} {:>11} {:>12}",
-        "Benchmark", "eager IPC", "release IPC", "idealM IPC", "tinyARB IPC", "violations", "tiny-stalls"
+        "Benchmark",
+        "eager IPC",
+        "release IPC",
+        "idealM IPC",
+        "tinyARB IPC",
+        "violations",
+        "tiny-stalls"
     );
     for r in rows {
         let _ = writeln!(
@@ -377,7 +415,10 @@ pub fn render_memory(rows: &[MemoryRow]) -> String {
 /// Renders the confidence-gating study.
 pub fn render_confidence(rows: &[ConfidenceRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Extension: confidence-gated speculation (CIR threshold 8, PATH predictor)");
+    let _ = writeln!(
+        s,
+        "Extension: confidence-gated speculation (CIR threshold 8, PATH predictor)"
+    );
     let _ = writeln!(
         s,
         "{:<10} {:>11} {:>10} {:>11} {:>10}",
@@ -400,7 +441,10 @@ pub fn render_confidence(rows: &[ConfidenceRow]) -> String {
 /// Renders the intra-task predictor ablation.
 pub fn render_intra(rows: &[IntraRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Extension: intra-task branch predictor ablation (perfect task prediction)");
+    let _ = writeln!(
+        s,
+        "Extension: intra-task branch predictor ablation (perfect task prediction)"
+    );
     let _ = writeln!(
         s,
         "{:<10} {:>12} {:>12} {:>13} {:>14}",

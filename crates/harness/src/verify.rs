@@ -7,7 +7,8 @@
 
 use crate::dispatch::{measure_ideal, measure_ideal_path_automaton, Scheme};
 use crate::experiments;
-use crate::prepare_all;
+use crate::pool::Pool;
+use crate::prepare_all_with;
 use multiscalar_core::automata::AutomatonKind;
 use multiscalar_core::dolc::Dolc;
 use multiscalar_core::target::{Cttb, Ttb};
@@ -29,9 +30,10 @@ pub struct Claim {
     pub evidence: String,
 }
 
-/// Runs the scorecard.
-pub fn verify(params: &WorkloadParams) -> Vec<Claim> {
-    let benches = prepare_all(params);
+/// Runs the scorecard. Any pool width produces the same claims (every
+/// measurement is deterministic and results are collected in job order).
+pub fn verify(params: &WorkloadParams, pool: &Pool) -> Vec<Claim> {
+    let benches = prepare_all_with(params, pool);
     let gcc = &benches[0];
     let sc = &benches[3];
     let mut claims = Vec::new();
@@ -105,8 +107,10 @@ pub fn verify(params: &WorkloadParams) -> Vec<Claim> {
 
     // §6.4.2 / Table 3: headerless prediction is possible but not competitive.
     {
-        let rows = experiments::table3(&benches);
-        let holds = rows.iter().all(|r| r.exit_with_ras_cttb <= r.cttb_only + 1e-9);
+        let rows = experiments::table3(&benches, pool);
+        let holds = rows
+            .iter()
+            .all(|r| r.exit_with_ras_cttb <= r.cttb_only + 1e-9);
         let worst = rows
             .iter()
             .map(|r| (r.name, r.cttb_only / r.exit_with_ras_cttb.max(1e-9)))
@@ -124,7 +128,7 @@ pub fn verify(params: &WorkloadParams) -> Vec<Claim> {
 
     // §7 / Table 4: better prediction increases IPC.
     {
-        let rows = experiments::table4(&benches, &TimingConfig::default());
+        let rows = experiments::table4(&benches, &TimingConfig::default(), pool);
         let holds = rows.iter().all(|r| {
             r.path.ipc() + 1e-9 >= r.simple.ipc()
                 && r.path.ipc() + 1e-9 >= r.global.ipc().min(r.per.ipc())
@@ -133,7 +137,8 @@ pub fn verify(params: &WorkloadParams) -> Vec<Claim> {
         let gcc_row = &rows[0];
         claims.push(Claim {
             source: "§7 / Table 4",
-            statement: "PATH performs at least as well as other predictors; better prediction raises IPC",
+            statement:
+                "PATH performs at least as well as other predictors; better prediction raises IPC",
             holds,
             evidence: format!(
                 "gcc IPC: simple {:.2} / PATH {:.2} / perfect {:.2}",

@@ -45,7 +45,9 @@ impl fmt::Display for BuildError {
             BuildError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
             BuildError::DuplicateFunction(n) => write!(f, "duplicate function name `{n}`"),
             BuildError::NestedFunction => f.write_str("begin_function inside an open function"),
-            BuildError::CodeOutsideFunction => f.write_str("instruction emitted outside a function"),
+            BuildError::CodeOutsideFunction => {
+                f.write_str("instruction emitted outside a function")
+            }
             BuildError::UnclosedFunction => f.write_str("finish called with an open function"),
             BuildError::FallsOffEnd(n) => write!(f, "function `{n}` can fall off its end"),
             BuildError::EmptyFunction(n) => write!(f, "function `{n}` is empty"),
@@ -184,7 +186,11 @@ impl ProgramBuilder {
         self.emit(i);
         match self.labels[label.0 as usize] {
             Some(addr) => self.patch_code(at, addr),
-            None => self.fixups.entry(label.0).or_default().push(Fixup::Code(at)),
+            None => self
+                .fixups
+                .entry(label.0)
+                .or_default()
+                .push(Fixup::Code(at)),
         }
     }
 
@@ -227,14 +233,24 @@ impl ProgramBuilder {
     /// Emits a conditional branch to `target`.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
         self.emit_with_label_target(
-            Instruction::Branch { cond, rs1, rs2, target: Addr(u32::MAX) },
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: Addr(u32::MAX),
+            },
             target,
         );
     }
 
     /// Emits an unconditional jump to `target`.
     pub fn jump(&mut self, target: Label) {
-        self.emit_with_label_target(Instruction::Jump { target: Addr(u32::MAX) }, target);
+        self.emit_with_label_target(
+            Instruction::Jump {
+                target: Addr(u32::MAX),
+            },
+            target,
+        );
     }
 
     /// Emits an indirect jump through `rs` (an `INDIRECT_BRANCH`).
@@ -262,7 +278,12 @@ impl ProgramBuilder {
 
     /// Emits a direct call to the function whose entry is `target`.
     pub fn call_label(&mut self, target: Label) {
-        self.emit_with_label_target(Instruction::Call { target: Addr(u32::MAX) }, target);
+        self.emit_with_label_target(
+            Instruction::Call {
+                target: Addr(u32::MAX),
+            },
+            target,
+        );
     }
 
     /// Emits an indirect call through `rs` (an `INDIRECT_CALL`).
@@ -463,7 +484,10 @@ mod tests {
         b.begin_function("f");
         b.halt();
         b.end_function();
-        assert!(matches!(b.finish(f1), Err(BuildError::DuplicateFunction(_))));
+        assert!(matches!(
+            b.finish(f1),
+            Err(BuildError::DuplicateFunction(_))
+        ));
     }
 
     #[test]
@@ -482,7 +506,10 @@ mod tests {
         let not_entry = b.here_label();
         b.halt();
         b.end_function();
-        assert!(matches!(b.finish(not_entry), Err(BuildError::EntryNotFunction)));
+        assert!(matches!(
+            b.finish(not_entry),
+            Err(BuildError::EntryNotFunction)
+        ));
     }
 
     #[test]

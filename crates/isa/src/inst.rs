@@ -205,9 +205,19 @@ impl fmt::Display for Cond {
 #[allow(missing_docs)] // operand fields are self-describing (rd/rs1/rs2/imm/...)
 pub enum Instruction {
     /// `rd = op(rs1, rs2)`.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `rd = op(rs1, imm)`; the immediate is sign-extended to 32 bits.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// `rd = imm`.
     LoadImm { rd: Reg, imm: i32 },
     /// `rd = mem[rs1 + offset]` (word addressed).
@@ -216,7 +226,12 @@ pub enum Instruction {
     Store { src: Reg, base: Reg, offset: i32 },
     /// Conditional PC-relative branch: if `cond(rs1, rs2)` jump to `target`,
     /// else fall through.
-    Branch { cond: Cond, rs1: Reg, rs2: Reg, target: Addr },
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Addr,
+    },
     /// Unconditional direct jump.
     Jump { target: Addr },
     /// Unconditional indirect jump through a register (`INDIRECT_BRANCH`).
@@ -284,9 +299,7 @@ impl Instruction {
             Instruction::Load { base, .. } => (Some(base), None),
             Instruction::Store { src, base, .. } => (Some(src), Some(base)),
             Instruction::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
-            Instruction::JumpIndirect { rs } | Instruction::CallIndirect { rs } => {
-                (Some(rs), None)
-            }
+            Instruction::JumpIndirect { rs } | Instruction::CallIndirect { rs } => (Some(rs), None),
             _ => (None, None),
         };
         a.into_iter().chain(b)
@@ -312,7 +325,12 @@ impl fmt::Display for Instruction {
             Instruction::LoadImm { rd, imm } => write!(f, "li {rd}, {imm}"),
             Instruction::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
             Instruction::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{cond} {rs1}, {rs2}, {target}")
             }
             Instruction::Jump { target } => write!(f, "j {target}"),
@@ -518,7 +536,12 @@ mod tests {
 
     #[test]
     fn control_flow_classification() {
-        let i = Instruction::Branch { cond: Cond::Eq, rs1: Reg(0), rs2: Reg(1), target: Addr(3) };
+        let i = Instruction::Branch {
+            cond: Cond::Eq,
+            rs1: Reg(0),
+            rs2: Reg(1),
+            target: Addr(3),
+        };
         assert_eq!(i.control_flow(), Some(ControlFlow::CondBranch(Addr(3))));
         assert!(!i.is_unconditional_transfer());
 
@@ -538,15 +561,28 @@ mod tests {
 
     #[test]
     fn sources_and_dest() {
-        let i = Instruction::Op { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) };
+        let i = Instruction::Op {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(3),
+        };
         assert_eq!(i.sources().collect::<Vec<_>>(), vec![Reg(2), Reg(3)]);
         assert_eq!(i.dest(), Some(Reg(1)));
 
-        let s = Instruction::Store { src: Reg(4), base: Reg(5), offset: 0 };
+        let s = Instruction::Store {
+            src: Reg(4),
+            base: Reg(5),
+            offset: 0,
+        };
         assert_eq!(s.sources().collect::<Vec<_>>(), vec![Reg(4), Reg(5)]);
         assert_eq!(s.dest(), None);
 
-        let l = Instruction::Load { rd: Reg(6), base: Reg(7), offset: 1 };
+        let l = Instruction::Load {
+            rd: Reg(6),
+            base: Reg(7),
+            offset: 1,
+        };
         assert_eq!(l.sources().collect::<Vec<_>>(), vec![Reg(7)]);
         assert_eq!(l.dest(), Some(Reg(6)));
     }
@@ -573,12 +609,35 @@ mod tests {
     #[test]
     fn display_formats_are_nonempty() {
         let instrs = [
-            Instruction::Op { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) },
-            Instruction::OpImm { op: AluOp::Xor, rd: Reg(1), rs1: Reg(2), imm: -4 },
+            Instruction::Op {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3),
+            },
+            Instruction::OpImm {
+                op: AluOp::Xor,
+                rd: Reg(1),
+                rs1: Reg(2),
+                imm: -4,
+            },
             Instruction::LoadImm { rd: Reg(0), imm: 9 },
-            Instruction::Load { rd: Reg(0), base: Reg(1), offset: 2 },
-            Instruction::Store { src: Reg(0), base: Reg(1), offset: 2 },
-            Instruction::Branch { cond: Cond::Ne, rs1: Reg(0), rs2: Reg(1), target: Addr(9) },
+            Instruction::Load {
+                rd: Reg(0),
+                base: Reg(1),
+                offset: 2,
+            },
+            Instruction::Store {
+                src: Reg(0),
+                base: Reg(1),
+                offset: 2,
+            },
+            Instruction::Branch {
+                cond: Cond::Ne,
+                rs1: Reg(0),
+                rs2: Reg(1),
+                target: Addr(9),
+            },
             Instruction::Jump { target: Addr(1) },
             Instruction::JumpIndirect { rs: Reg(2) },
             Instruction::Call { target: Addr(5) },

@@ -177,6 +177,12 @@ impl<'p> Interpreter<'p> {
         self.program
     }
 
+    /// Number of data-memory words. Every address a load or store can touch
+    /// without faulting is below this bound.
+    pub fn mem_words(&self) -> usize {
+        self.mem.len()
+    }
+
     /// Current program counter.
     pub fn pc(&self) -> Addr {
         self.pc
@@ -259,20 +265,37 @@ impl<'p> Interpreter<'p> {
                 self.mem[ea] = self.regs[src.index()];
                 mem_addr = Some(ea as u32);
             }
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(self.regs[rs1.index()], self.regs[rs2.index()]);
                 if taken {
                     next = target;
                 }
-                transfer = Some(Transfer { pc, to: next, kind: TransferKind::Branch { taken } });
+                transfer = Some(Transfer {
+                    pc,
+                    to: next,
+                    kind: TransferKind::Branch { taken },
+                });
             }
             Instruction::Jump { target } => {
                 next = target;
-                transfer = Some(Transfer { pc, to: next, kind: TransferKind::Jump });
+                transfer = Some(Transfer {
+                    pc,
+                    to: next,
+                    kind: TransferKind::Jump,
+                });
             }
             Instruction::JumpIndirect { rs } => {
                 next = self.check_target(pc, self.regs[rs.index()])?;
-                transfer = Some(Transfer { pc, to: next, kind: TransferKind::IndirectJump });
+                transfer = Some(Transfer {
+                    pc,
+                    to: next,
+                    kind: TransferKind::IndirectJump,
+                });
             }
             Instruction::Call { target } => {
                 if self.call_stack.len() >= MAX_CALL_DEPTH {
@@ -280,7 +303,11 @@ impl<'p> Interpreter<'p> {
                 }
                 self.call_stack.push(pc.next());
                 next = target;
-                transfer = Some(Transfer { pc, to: next, kind: TransferKind::Call });
+                transfer = Some(Transfer {
+                    pc,
+                    to: next,
+                    kind: TransferKind::Call,
+                });
             }
             Instruction::CallIndirect { rs } => {
                 if self.call_stack.len() >= MAX_CALL_DEPTH {
@@ -289,23 +316,41 @@ impl<'p> Interpreter<'p> {
                 let t = self.check_target(pc, self.regs[rs.index()])?;
                 self.call_stack.push(pc.next());
                 next = t;
-                transfer = Some(Transfer { pc, to: next, kind: TransferKind::IndirectCall });
+                transfer = Some(Transfer {
+                    pc,
+                    to: next,
+                    kind: TransferKind::IndirectCall,
+                });
             }
             Instruction::Return => {
                 let t = self.call_stack.pop().ok_or(ExecError::StackUnderflow(pc))?;
                 next = t;
-                transfer = Some(Transfer { pc, to: next, kind: TransferKind::Return });
+                transfer = Some(Transfer {
+                    pc,
+                    to: next,
+                    kind: TransferKind::Return,
+                });
             }
             Instruction::Halt => {
                 self.halted = true;
                 next = pc;
-                transfer = Some(Transfer { pc, to: pc, kind: TransferKind::Halt });
+                transfer = Some(Transfer {
+                    pc,
+                    to: pc,
+                    kind: TransferKind::Halt,
+                });
             }
             Instruction::Nop => {}
         }
 
         self.pc = next;
-        Ok(StepInfo { pc, inst, next, transfer, mem_addr })
+        Ok(StepInfo {
+            pc,
+            inst,
+            next,
+            transfer,
+            mem_addr,
+        })
     }
 
     /// Runs until halt or `max_steps` instructions, whichever comes first.
@@ -319,7 +364,10 @@ impl<'p> Interpreter<'p> {
             self.step()?;
             steps += 1;
         }
-        Ok(RunOutcome { steps, halted: self.halted })
+        Ok(RunOutcome {
+            steps,
+            halted: self.halted,
+        })
     }
 }
 
@@ -428,7 +476,11 @@ mod tests {
         let s1 = i.step().unwrap();
         assert_eq!(
             s1.transfer,
-            Some(Transfer { pc: Addr(0), to: Addr(1), kind: TransferKind::Branch { taken: false } })
+            Some(Transfer {
+                pc: Addr(0),
+                to: Addr(1),
+                kind: TransferKind::Branch { taken: false }
+            })
         );
         let s2 = i.step().unwrap();
         assert_eq!(s2.transfer.unwrap().kind, TransferKind::Halt);

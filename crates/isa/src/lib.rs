@@ -49,7 +49,9 @@ pub mod parse;
 pub mod program;
 
 pub use builder::{BuildError, Label, ProgramBuilder};
-pub use inst::{AluOp, Cond, ControlFlow, ExitIndex, ExitKind, Instruction, Reg, MAX_EXITS, NUM_REGS};
+pub use inst::{
+    AluOp, Cond, ControlFlow, ExitIndex, ExitKind, Instruction, Reg, MAX_EXITS, NUM_REGS,
+};
 pub use interp::{ExecError, Interpreter, RunOutcome, Transfer, TransferKind};
 pub use parse::{parse_program, to_masm, ParseError};
 pub use program::{Addr, FuncId, Function, Program};

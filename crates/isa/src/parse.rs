@@ -81,7 +81,10 @@ struct Parser {
 
 impl Parser {
     fn err(line: usize, message: impl Into<String>) -> ParseError {
-        ParseError::Syntax { line, message: message.into() }
+        ParseError::Syntax {
+            line,
+            message: message.into(),
+        }
     }
 
     /// A label for `name`: local first, then function, then a fresh pending
@@ -206,7 +209,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             p.b.alloc_zeroed(n as usize);
             continue;
         }
-        if let Some(rest) = code.strip_prefix("func!").or_else(|| code.strip_prefix("func")) {
+        if let Some(rest) = code
+            .strip_prefix("func!")
+            .or_else(|| code.strip_prefix("func"))
+        {
             let mark_entry = code.starts_with("func!");
             let name = rest.trim();
             if name.is_empty() {
@@ -265,7 +271,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             if rest.len() == n {
                 Ok(())
             } else {
-                Err(Parser::err(line, format!("`{mnemonic}` expects {n} operands")))
+                Err(Parser::err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands"),
+                ))
             }
         };
 
@@ -363,7 +372,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     }
 
     if p.in_func {
-        return Err(Parser::err(text.lines().count(), "unterminated function (missing `end`)"));
+        return Err(Parser::err(
+            text.lines().count(),
+            "unterminated function (missing `end`)",
+        ));
     }
     let entry = p
         .entry
@@ -373,11 +385,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
 }
 
 /// Parses a `[a, b, c]` target-label list.
-fn parse_target_list(
-    toks: &[&str],
-    line: usize,
-    p: &mut Parser,
-) -> Result<Vec<Label>, ParseError> {
+fn parse_target_list(toks: &[&str], line: usize, p: &mut Parser) -> Result<Vec<Label>, ParseError> {
     let joined = toks.join(" ");
     let inner = joined
         .strip_prefix('[')
@@ -397,7 +405,6 @@ fn parse_target_list(
         })
         .collect()
 }
-
 
 /// Renders a [`Program`] in the assembler dialect accepted by
 /// [`parse_program`], with auto-generated labels — the inverse of parsing,
@@ -451,7 +458,11 @@ pub fn to_masm(program: &Program) -> String {
 
     let entry = program.entry_function();
     for (fi, f) in program.functions().iter().enumerate() {
-        let marker = if crate::FuncId(fi as u32) == entry { "func!" } else { "func" };
+        let marker = if crate::FuncId(fi as u32) == entry {
+            "func!"
+        } else {
+            "func"
+        };
         let _ = writeln!(s, "{marker} {}", f.name());
         for pc in f.range() {
             if let Some(name) = label_names.get(&pc) {
@@ -469,7 +480,12 @@ pub fn to_masm(program: &Program) -> String {
                 Instruction::Store { src, base, offset } => {
                     format!("st {src}, {offset}({base})")
                 }
-                Instruction::Branch { cond, rs1, rs2, target } => {
+                Instruction::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     format!("b{cond} {rs1}, {rs2}, {}", label_names[&target.0])
                 }
                 Instruction::Jump { target } => format!("j {}", label_names[&target.0]),
@@ -682,7 +698,11 @@ mod tests {
         let p1 = parse_program(text).unwrap();
         let masm = to_masm(&p1);
         let p2 = parse_program(&masm).unwrap();
-        assert_eq!(p1.code(), p2.code(), "round trip must preserve code:\n{masm}");
+        assert_eq!(
+            p1.code(),
+            p2.code(),
+            "round trip must preserve code:\n{masm}"
+        );
         assert_eq!(p1.initial_data(), p2.initial_data());
         assert_eq!(p1.entry_point(), p2.entry_point());
     }

@@ -176,7 +176,9 @@ impl Program {
             .functions
             .partition_point(|f| f.range().start <= addr.0)
             .checked_sub(1)?;
-        self.functions[idx].contains(addr).then_some(FuncId(idx as u32))
+        self.functions[idx]
+            .contains(addr)
+            .then_some(FuncId(idx as u32))
     }
 
     /// The program entry function.

@@ -35,7 +35,11 @@ pub struct ArbConfig {
 
 impl Default for ArbConfig {
     fn default() -> Self {
-        ArbConfig { banks: 8, entries_per_bank: 32, stages: 4 }
+        ArbConfig {
+            banks: 8,
+            entries_per_bank: 32,
+            stages: 4,
+        }
     }
 }
 
@@ -134,8 +138,10 @@ impl Arb {
     fn entry_slot(&mut self, addr: u32) -> Option<(usize, usize)> {
         let b = (addr as usize) % self.config.banks;
         // Existing entry?
-        if let Some(i) =
-            self.banks[b].entries.iter().position(|e| e.valid && e.addr == addr)
+        if let Some(i) = self.banks[b]
+            .entries
+            .iter()
+            .position(|e| e.valid && e.addr == addr)
         {
             return Some((b, i));
         }
@@ -176,8 +182,7 @@ impl Arb {
         match self.entry_slot(addr) {
             Some((b, i)) => {
                 let e = &mut self.banks[b].entries[i];
-                let squash: Vec<u64> =
-                    e.loads.iter().copied().filter(|&l| l > seq).collect();
+                let squash: Vec<u64> = e.loads.iter().copied().filter(|&l| l > seq).collect();
                 if e.stores.last() != Some(&seq) {
                     e.stores.push(seq);
                 }
@@ -256,7 +261,11 @@ mod tests {
     use super::*;
 
     fn arb() -> Arb {
-        Arb::new(ArbConfig { banks: 2, entries_per_bank: 4, stages: 4 })
+        Arb::new(ArbConfig {
+            banks: 2,
+            entries_per_bank: 4,
+            stages: 4,
+        })
     }
 
     #[test]
@@ -280,7 +289,11 @@ mod tests {
         a.begin_task(1);
         a.begin_task(2);
         assert_eq!(a.store(100, 1), ArbEvent::Ok);
-        assert_eq!(a.load(100, 2), ArbEvent::Ok, "forwarding case, no violation");
+        assert_eq!(
+            a.load(100, 2),
+            ArbEvent::Ok,
+            "forwarding case, no violation"
+        );
     }
 
     #[test]
@@ -288,7 +301,11 @@ mod tests {
         let mut a = arb();
         a.begin_task(5);
         assert_eq!(a.load(64, 5), ArbEvent::Ok);
-        assert_eq!(a.store(64, 5), ArbEvent::Ok, "intra-task order is the PU's job");
+        assert_eq!(
+            a.store(64, 5),
+            ArbEvent::Ok,
+            "intra-task order is the PU's job"
+        );
     }
 
     #[test]

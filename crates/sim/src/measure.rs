@@ -6,7 +6,7 @@
 //! wrong-path pollution occurs because the functional trace never goes down
 //! a wrong path.
 
-use crate::trace::{kind_slot, TaskEvent};
+use crate::trace::{kind_slot, SharedTrace};
 use multiscalar_core::dolc::PathRegister;
 use multiscalar_core::predictor::{
     CttbOnlyPredictor, ExitInfo, ExitPredictor, TaskDesc, TaskPredictor,
@@ -26,7 +26,11 @@ pub fn task_descs(tasks: &TaskProgram) -> Vec<TaskDesc> {
                 .header()
                 .exits()
                 .iter()
-                .map(|e| ExitInfo { kind: e.kind, target: e.target, return_addr: e.return_addr })
+                .map(|e| ExitInfo {
+                    kind: e.kind,
+                    target: e.target,
+                    return_addr: e.return_addr,
+                })
                 .collect();
             TaskDesc::new(t.entry(), exits)
         })
@@ -89,14 +93,38 @@ impl FullStats {
 pub fn measure_exits<P: ExitPredictor>(
     predictor: &mut P,
     descs: &[TaskDesc],
-    events: &[TaskEvent],
+    events: &SharedTrace,
 ) -> MissStats {
     let mut stats = MissStats::default();
-    for e in events {
+    for e in events.iter() {
         let desc = &descs[e.task.index()];
         let predicted = predictor.predict(desc);
         stats.record(predicted != e.exit);
         predictor.update(desc, e.exit);
+    }
+    stats
+}
+
+/// Measures many independent exit predictors in a single trace walk.
+///
+/// Equivalent to calling [`measure_exits`] once per predictor, but the
+/// multi-million-event trace is streamed exactly once: each event is decoded
+/// once and fed to every predictor. Predictors never observe each other, so
+/// the per-predictor results are bit-identical to the one-at-a-time loop —
+/// this is what lets a whole depth sweep (`0..=8`) ride one walk.
+pub fn measure_exits_fused<P: ExitPredictor>(
+    predictors: &mut [P],
+    descs: &[TaskDesc],
+    events: &SharedTrace,
+) -> Vec<MissStats> {
+    let mut stats = vec![MissStats::default(); predictors.len()];
+    for e in events.iter() {
+        let desc = &descs[e.task.index()];
+        for (p, s) in predictors.iter_mut().zip(stats.iter_mut()) {
+            let predicted = p.predict(desc);
+            s.record(predicted != e.exit);
+            p.update(desc, e.exit);
+        }
     }
     stats
 }
@@ -106,15 +134,17 @@ pub fn measure_exits<P: ExitPredictor>(
 pub fn measure_full<E: ExitPredictor>(
     predictor: &mut TaskPredictor<E>,
     descs: &[TaskDesc],
-    events: &[TaskEvent],
+    events: &SharedTrace,
 ) -> FullStats {
     let mut stats = FullStats::default();
-    for e in events {
+    for e in events.iter() {
         let desc = &descs[e.task.index()];
         let pred = predictor.predict(desc);
         let exit_miss = pred.exit != e.exit;
         stats.exits.record(exit_miss);
-        stats.next_task.record(pred.target != Some(e.next) || exit_miss);
+        stats
+            .next_task
+            .record(pred.target != Some(e.next) || exit_miss);
         // Target accuracy conditioned on the actual kind: what would the
         // right source have produced? Only meaningfully attributable when
         // the exit itself was predicted correctly.
@@ -130,10 +160,10 @@ pub fn measure_full<E: ExitPredictor>(
 pub fn measure_cttb_only(
     predictor: &mut CttbOnlyPredictor,
     descs: &[TaskDesc],
-    events: &[TaskEvent],
+    events: &SharedTrace,
 ) -> MissStats {
     let mut stats = MissStats::default();
-    for e in events {
+    for e in events.iter() {
         let cur = descs[e.task.index()].entry();
         let predicted = predictor.predict(cur);
         stats.record(predicted != Some(e.next));
@@ -195,11 +225,11 @@ impl TargetBuffer for IdealCttb {
 pub fn measure_indirect_targets<B: TargetBuffer>(
     buffer: &mut B,
     descs: &[TaskDesc],
-    events: &[TaskEvent],
+    events: &SharedTrace,
 ) -> MissStats {
     let mut stats = MissStats::default();
     let mut path = PathRegister::new(buffer.path_depth());
-    for e in events {
+    for e in events.iter() {
         let cur = descs[e.task.index()].entry();
         if e.kind.needs_target_buffer() {
             let predicted = buffer.predict(&path, cur);
@@ -207,6 +237,40 @@ pub fn measure_indirect_targets<B: TargetBuffer>(
             buffer.update(&path, cur, e.next);
         }
         path.push(cur);
+    }
+    stats
+}
+
+/// Measures many independent target buffers in a single trace walk
+/// (the fused form of [`measure_indirect_targets`]).
+///
+/// Each buffer keeps its own [`PathRegister`] at its own depth, so results
+/// are bit-identical to measuring the buffers one at a time.
+pub fn measure_indirect_targets_fused<B: TargetBuffer>(
+    buffers: &mut [B],
+    descs: &[TaskDesc],
+    events: &SharedTrace,
+) -> Vec<MissStats> {
+    let mut stats = vec![MissStats::default(); buffers.len()];
+    let mut paths: Vec<PathRegister> = buffers
+        .iter()
+        .map(|b| PathRegister::new(b.path_depth()))
+        .collect();
+    for e in events.iter() {
+        let cur = descs[e.task.index()].entry();
+        let needs_target = e.kind.needs_target_buffer();
+        for ((b, s), path) in buffers
+            .iter_mut()
+            .zip(stats.iter_mut())
+            .zip(paths.iter_mut())
+        {
+            if needs_target {
+                let predicted = b.predict(path, cur);
+                s.record(predicted != Some(e.next));
+                b.update(path, cur, e.next);
+            }
+            path.push(cur);
+        }
     }
     stats
 }
@@ -224,7 +288,11 @@ mod tests {
     type Leh2 = LastExitHysteresis<2>;
 
     /// A loop program whose loop task alternates exits in a fixed pattern.
-    fn looped_program() -> (multiscalar_isa::Program, TaskProgram, Vec<TaskEvent>) {
+    fn looped_program() -> (
+        multiscalar_isa::Program,
+        TaskProgram,
+        std::sync::Arc<SharedTrace>,
+    ) {
         let mut b = ProgramBuilder::new();
         let main = b.begin_function("main");
         b.load_imm(Reg(1), 0);
@@ -266,7 +334,7 @@ mod tests {
         let (_p, tp, events) = looped_program();
         let descs = task_descs(&tp);
         let mut stats = MissStats::default();
-        for e in &events {
+        for e in events.iter() {
             let mut o = Oracle(Some(e.exit));
             let got = o.predict(&descs[e.task.index()]);
             stats.record(got != e.exit);
@@ -324,8 +392,14 @@ mod tests {
 
     #[test]
     fn miss_stats_merge_and_rate() {
-        let mut a = MissStats { predictions: 10, misses: 2 };
-        let b = MissStats { predictions: 30, misses: 3 };
+        let mut a = MissStats {
+            predictions: 10,
+            misses: 2,
+        };
+        let b = MissStats {
+            predictions: 30,
+            misses: 3,
+        };
         a.merge(b);
         assert_eq!(a.predictions, 40);
         assert_eq!(a.misses, 5);

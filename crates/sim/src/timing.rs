@@ -23,9 +23,8 @@
 //! Perfect) and the relative gaps.
 
 use crate::arb::{Arb, ArbConfig, ArbEvent};
-use multiscalar_core::predictor::{ExitPredictor, TaskDesc, TaskPredictor};
-use std::collections::HashMap;
 use multiscalar_core::confidence::ConfidenceEstimator;
+use multiscalar_core::predictor::{ExitPredictor, TaskDesc, TaskPredictor};
 use multiscalar_core::scalar::{Bimodal, McFarling, TwoLevelGag};
 use multiscalar_isa::{Addr, ExitIndex, Instruction, Interpreter, Program, NUM_REGS};
 use multiscalar_taskform::TaskProgram;
@@ -57,9 +56,7 @@ impl IntraState {
     fn new(kind: IntraPredictorKind, bits: u32) -> IntraState {
         match kind {
             IntraPredictorKind::Bimodal => IntraState::Bimodal(Bimodal::new(bits)),
-            IntraPredictorKind::Gshare => {
-                IntraState::Gshare(TwoLevelGag::new(bits, bits.min(12)))
-            }
+            IntraPredictorKind::Gshare => IntraState::Gshare(TwoLevelGag::new(bits, bits.min(12))),
             IntraPredictorKind::McFarling => IntraState::McFarling(McFarling::new(bits)),
         }
     }
@@ -242,7 +239,9 @@ pub fn simulate(
         arb_full_stalls: 0,
         gated_boundaries: 0,
     };
-    let mut confidence = config.confidence_gate.map(|t| ConfidenceEstimator::new(12, t));
+    let mut confidence = config
+        .confidence_gate
+        .map(|t| ConfidenceEstimator::new(12, t));
 
     // Memory disambiguation: the ARB tracks in-flight references per ring
     // stage; time-based detection catches loads that would have issued
@@ -251,7 +250,12 @@ pub fn simulate(
         c.stages = c.stages.max(config.n_units);
         Arb::new(c)
     });
-    let mut last_store: HashMap<u32, (u64, u64)> = HashMap::new(); // addr -> (issue, task)
+    // addr -> (issue, task). Direct-indexed by word address: the key space
+    // is bounded by the interpreter's memory, and this is consulted on every
+    // memory instruction. NO_TASK marks never-stored slots (it can never
+    // satisfy `store_task < task_index`).
+    const NO_TASK: u64 = u64::MAX;
+    let mut last_store: Vec<(u64, u64)> = vec![(0, NO_TASK); interp.mem_words()];
 
     // Global register scoreboard: cycle each register's value is ready
     // (exact production time). Under release-at-end forwarding, younger
@@ -324,17 +328,16 @@ pub fn simulate(
             if is_load {
                 // Would this load have issued before an older in-flight
                 // store to the same address produced its value?
-                if let Some(&(store_time, store_task)) = last_store.get(&ea) {
-                    if store_task < task_index && store_time > issue_time {
-                        // Violation: the load's task re-executes from here.
-                        result.arb_violations += 1;
-                        t_issue = store_time + config.violation_penalty;
-                        slots = 0;
-                        complete = complete.max(t_issue);
-                    }
+                let (store_time, store_task) = last_store[ea as usize];
+                if store_task < task_index && store_time > issue_time {
+                    // Violation: the load's task re-executes from here.
+                    result.arb_violations += 1;
+                    t_issue = store_time + config.violation_penalty;
+                    slots = 0;
+                    complete = complete.max(t_issue);
                 }
             } else {
-                last_store.insert(ea, (issue_time, task_index));
+                last_store[ea as usize] = (issue_time, task_index);
             }
             if let Some(arb) = arb.as_mut() {
                 let ev = if is_load {
@@ -479,11 +482,11 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multiscalar_isa::Program;
     use crate::measure::task_descs;
     use multiscalar_core::automata::LastExitHysteresis;
     use multiscalar_core::dolc::Dolc;
     use multiscalar_core::history::PathPredictor;
+    use multiscalar_isa::Program;
     use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
     use multiscalar_taskform::TaskFormer;
 
@@ -504,10 +507,7 @@ mod tests {
         b.finish(main).unwrap()
     }
 
-    fn run(
-        p: &multiscalar_isa::Program,
-        pred: Option<&mut dyn NextTaskPredictor>,
-    ) -> TimingResult {
+    fn run(p: &multiscalar_isa::Program, pred: Option<&mut dyn NextTaskPredictor>) -> TimingResult {
         let tp = TaskFormer::default().form(p).unwrap();
         let descs = task_descs(&tp);
         simulate(p, &tp, &descs, pred, &TimingConfig::default(), 10_000_000).unwrap()
@@ -517,17 +517,24 @@ mod tests {
     fn perfect_prediction_beats_or_ties_real_prediction() {
         let p = loop_program(2000);
         let perfect = run(&p, None);
-        let mut real = TaskPredictor::<PathLeh2>::path(
-            Dolc::new(4, 4, 6, 6, 2),
-            Dolc::new(4, 3, 4, 4, 2),
-            16,
-        );
+        let mut real =
+            TaskPredictor::<PathLeh2>::path(Dolc::new(4, 4, 6, 6, 2), Dolc::new(4, 3, 4, 4, 2), 16);
         let realr = run(&p, Some(&mut real));
-        assert_eq!(perfect.instructions, realr.instructions, "same committed work");
-        assert!(perfect.cycles <= realr.cycles, "perfect can never be slower");
+        assert_eq!(
+            perfect.instructions, realr.instructions,
+            "same committed work"
+        );
+        assert!(
+            perfect.cycles <= realr.cycles,
+            "perfect can never be slower"
+        );
         assert_eq!(perfect.task_mispredicts, 0);
         assert!(perfect.ipc() >= realr.ipc());
-        assert!(perfect.ipc() > 0.5, "a tight loop should overlap well: {}", perfect.ipc());
+        assert!(
+            perfect.ipc() > 0.5,
+            "a tight loop should overlap well: {}",
+            perfect.ipc()
+        );
     }
 
     #[test]
@@ -546,11 +553,8 @@ mod tests {
         // Compare a deliberately tiny (bad) predictor against a good one on
         // a program with a learnable pattern.
         let p = loop_program(3000);
-        let mut good = TaskPredictor::<PathLeh2>::path(
-            Dolc::new(4, 4, 6, 6, 2),
-            Dolc::new(4, 3, 4, 4, 2),
-            16,
-        );
+        let mut good =
+            TaskPredictor::<PathLeh2>::path(Dolc::new(4, 4, 6, 6, 2), Dolc::new(4, 3, 4, 4, 2), 16);
         let good_r = run(&p, Some(&mut good));
         // The loop task always re-enters itself, so even the good predictor
         // only misses at the very end; verify costs are visible by checking
@@ -559,7 +563,10 @@ mod tests {
         if good_r.task_mispredicts > 0 {
             assert!(good_r.cycles > perfect.cycles);
         }
-        assert!(good_r.task_miss_rate() < 0.05, "loop exits are trivially learnable");
+        assert!(
+            good_r.task_miss_rate() < 0.05,
+            "loop exits are trivially learnable"
+        );
     }
 
     #[test]
@@ -575,7 +582,11 @@ mod tests {
         b.end_function();
         let p = b.finish(main).unwrap();
         let r = run(&p, None);
-        assert!(r.ipc() <= 1.1, "serial chain must be ~1 IPC, got {}", r.ipc());
+        assert!(
+            r.ipc() <= 1.1,
+            "serial chain must be ~1 IPC, got {}",
+            r.ipc()
+        );
 
         // Independent streams can exceed 1 IPC on a 2-wide unit.
         let mut b = ProgramBuilder::new();
@@ -588,7 +599,11 @@ mod tests {
         b.end_function();
         let p2 = b.finish(main).unwrap();
         let r2 = run(&p2, None);
-        assert!(r2.ipc() > 1.2, "independent streams should dual-issue: {}", r2.ipc());
+        assert!(
+            r2.ipc() > 1.2,
+            "independent streams should dual-issue: {}",
+            r2.ipc()
+        );
     }
 
     /// A producer loop that stores, then a consumer loop that loads the
@@ -616,9 +631,12 @@ mod tests {
         let p = store_load_program();
         let tp = TaskFormer::default().form(&p).unwrap();
         let descs = task_descs(&tp);
-        let with_arb = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000)
-            .unwrap();
-        let ideal_mem = TimingConfig { arb: None, ..TimingConfig::default() };
+        let with_arb =
+            simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000).unwrap();
+        let ideal_mem = TimingConfig {
+            arb: None,
+            ..TimingConfig::default()
+        };
         let without = simulate(&p, &tp, &descs, None, &ideal_mem, 1_000_000).unwrap();
         assert_eq!(with_arb.instructions, without.instructions);
         // The ARB can only add stalls, never remove them.
@@ -632,13 +650,19 @@ mod tests {
         let tp = TaskFormer::default().form(&p).unwrap();
         let descs = task_descs(&tp);
         let tiny = TimingConfig {
-            arb: Some(crate::arb::ArbConfig { banks: 1, entries_per_bank: 1, stages: 4 }),
+            arb: Some(crate::arb::ArbConfig {
+                banks: 1,
+                entries_per_bank: 1,
+                stages: 4,
+            }),
             ..TimingConfig::default()
         };
         let r = simulate(&p, &tp, &descs, None, &tiny, 1_000_000).unwrap();
-        assert!(r.arb_full_stalls > 0, "a one-entry ARB must overflow on 8 addresses");
-        let roomy = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000)
-            .unwrap();
+        assert!(
+            r.arb_full_stalls > 0,
+            "a one-entry ARB must overflow on 8 addresses"
+        );
+        let roomy = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000).unwrap();
         assert!(roomy.arb_full_stalls < r.arb_full_stalls);
         assert!(r.cycles >= roomy.cycles, "overflow stalls cost cycles");
     }
@@ -648,8 +672,7 @@ mod tests {
         let p = loop_program(1000);
         let tp = TaskFormer::default().form(&p).unwrap();
         let descs = task_descs(&tp);
-        let eager = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000)
-            .unwrap();
+        let eager = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000).unwrap();
         let conservative = TimingConfig {
             forwarding: ForwardingModel::ReleaseAtEnd,
             ..TimingConfig::default()
@@ -663,7 +686,10 @@ mod tests {
             eager.cycles
         );
         // For a dependence-carrying loop the difference must be visible.
-        assert!(released.cycles > eager.cycles, "the loop-carried counter must stall");
+        assert!(
+            released.cycles > eager.cycles,
+            "the loop-carried counter must stall"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use multiscalar_isa::{Addr, ExecError, ExitIndex, ExitKind, Interpreter, Program};
 use multiscalar_taskform::{TaskId, TaskProgram};
-use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// One dynamic task instance: which static task ran, which exit it took,
 /// and where control went.
@@ -50,7 +50,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Exec(e) => write!(f, "execution fault: {e}"),
             TraceError::UnmatchedExit { task, from, to } => {
-                write!(f, "{task} crossed {from}->{to} without a matching header exit")
+                write!(
+                    f,
+                    "{task} crossed {from}->{to} without a matching header exit"
+                )
             }
             TraceError::StepLimit => f.write_str("step budget exhausted before halt"),
         }
@@ -124,13 +127,88 @@ pub(crate) fn kind_slot(kind: ExitKind) -> usize {
     }
 }
 
+/// A compact struct-of-arrays task trace, shared read-only between
+/// experiments (and threads) behind an [`Arc`].
+///
+/// Each benchmark is traced **once**; every predictor sweep then walks this
+/// immutable structure. Splitting the event fields into parallel arrays
+/// keeps each one densely packed (no per-event padding), which matters when
+/// nine fused predictor instances stream the same multi-million-event trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharedTrace {
+    tasks: Vec<TaskId>,
+    exits: Vec<ExitIndex>,
+    kinds: Vec<ExitKind>,
+    nexts: Vec<Addr>,
+    instrs: Vec<u32>,
+}
+
+impl SharedTrace {
+    /// Number of recorded dynamic task events.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Reassembles event `i` from the parallel arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn get(&self, i: usize) -> TaskEvent {
+        TaskEvent {
+            task: self.tasks[i],
+            exit: self.exits[i],
+            kind: self.kinds[i],
+            next: self.nexts[i],
+            instrs: self.instrs[i],
+        }
+    }
+
+    /// Iterates the events in execution order, by value (events are `Copy`).
+    pub fn iter(&self) -> impl Iterator<Item = TaskEvent> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    fn push(&mut self, e: TaskEvent) {
+        self.tasks.push(e.task);
+        self.exits.push(e.exit);
+        self.kinds.push(e.kind);
+        self.nexts.push(e.next);
+        self.instrs.push(e.instrs);
+    }
+}
+
+impl<'a> IntoIterator for &'a SharedTrace {
+    type Item = TaskEvent;
+    type IntoIter = Box<dyn Iterator<Item = TaskEvent> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<TaskEvent> for SharedTrace {
+    fn from_iter<I: IntoIterator<Item = TaskEvent>>(iter: I) -> Self {
+        let mut t = SharedTrace::default();
+        for e in iter {
+            t.push(e);
+        }
+        t
+    }
+}
+
 /// A completed trace: the events plus summary statistics.
 #[derive(Debug, Clone)]
 pub struct TraceRun {
-    /// One event per dynamic task, in execution order. The final task (the
-    /// one ending in `Halt`) is not recorded — it has no successor to
-    /// predict.
-    pub events: Vec<TaskEvent>,
+    /// One event per dynamic task, in execution order, shared immutably
+    /// between all experiments that walk it. The final task (the one ending
+    /// in `Halt`) is not recorded — it has no successor to predict.
+    pub events: Arc<SharedTrace>,
     /// Aggregate statistics over `events`.
     pub stats: TraceStats,
 }
@@ -150,7 +228,10 @@ pub fn stream_trace<F: FnMut(TaskEvent)>(
 ) -> Result<TraceStats, TraceError> {
     let mut interp = Interpreter::new(program);
     let mut stats = TraceStats::default();
-    let mut distinct: HashSet<TaskId> = HashSet::new();
+    // Dense seen-bitmap instead of a HashSet: task ids are bounded by the
+    // static task count, and this loop runs once per dynamic task.
+    let mut seen = vec![false; tasks.static_task_count()];
+    let mut distinct: usize = 0;
 
     let mut cur_task = tasks
         .task_entered_at(program.entry_point())
@@ -184,12 +265,21 @@ pub fn stream_trace<F: FnMut(TaskEvent)>(
             Some(exit) => {
                 let header = tasks.task(cur_task).header();
                 let kind = header.exits()[exit.index()].kind;
-                sink(TaskEvent { task: cur_task, exit, kind, next: next_pc, instrs: cur_instrs });
+                sink(TaskEvent {
+                    task: cur_task,
+                    exit,
+                    kind,
+                    next: next_pc,
+                    instrs: cur_instrs,
+                });
                 stats.dynamic_tasks += 1;
                 stats.instructions += cur_instrs as u64;
                 stats.by_num_exits[header.num_exits().min(4)] += 1;
                 stats.by_kind[kind_slot(kind)] += 1;
-                distinct.insert(cur_task);
+                if !seen[cur_task.index()] {
+                    seen[cur_task.index()] = true;
+                    distinct += 1;
+                }
 
                 cur_task = match tasks.task_entered_at(next_pc) {
                     Some(t) => t,
@@ -216,7 +306,7 @@ pub fn stream_trace<F: FnMut(TaskEvent)>(
         }
     }
 
-    stats.distinct_tasks = distinct.len();
+    stats.distinct_tasks = distinct;
     Ok(stats)
 }
 
@@ -230,9 +320,12 @@ pub fn collect_trace(
     tasks: &TaskProgram,
     max_steps: u64,
 ) -> Result<TraceRun, TraceError> {
-    let mut events = Vec::new();
+    let mut events = SharedTrace::default();
     let stats = stream_trace(program, tasks, max_steps, |e| events.push(e))?;
-    Ok(TraceRun { events, stats })
+    Ok(TraceRun {
+        events: Arc::new(events),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -286,13 +379,21 @@ mod tests {
         let p = b.finish(main).unwrap();
         let (_tp, run) = trace_of(&p, 10_000);
 
-        let calls = run.events.iter().filter(|e| e.kind == ExitKind::Call).count();
-        let rets = run.events.iter().filter(|e| e.kind == ExitKind::Return).count();
+        let calls = run
+            .events
+            .iter()
+            .filter(|e| e.kind == ExitKind::Call)
+            .count();
+        let rets = run
+            .events
+            .iter()
+            .filter(|e| e.kind == ExitKind::Return)
+            .count();
         assert_eq!(calls, 2);
         assert_eq!(rets, 2);
         // Each event's `next` is the entry of the task recorded by the
         // following event's execution.
-        for e in &run.events {
+        for e in run.events.iter() {
             assert!(p.fetch(e.next).is_some());
         }
     }
@@ -327,7 +428,10 @@ mod tests {
         b.end_function();
         let p = b.finish(main).unwrap();
         let tp = TaskFormer::default().form(&p).unwrap();
-        assert_eq!(collect_trace(&p, &tp, 100).unwrap_err(), TraceError::StepLimit);
+        assert_eq!(
+            collect_trace(&p, &tp, 100).unwrap_err(),
+            TraceError::StepLimit
+        );
     }
 
     #[test]

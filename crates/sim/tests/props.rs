@@ -1,4 +1,4 @@
-//! Property-based tests: the functional simulator over random structured
+//! Seeded-sweep tests: the functional simulator over random structured
 //! programs — trace well-formedness, determinism, and predictor-harness
 //! invariants.
 
@@ -7,57 +7,68 @@ use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::PathPredictor;
 use multiscalar_core::predictor::TaskPredictor;
 use multiscalar_sim::measure::{measure_full, task_descs};
-use multiscalar_sim::trace::collect_trace;
 use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig};
+use multiscalar_sim::trace::collect_trace;
 use multiscalar_taskform::TaskFormer;
+use multiscalar_workloads::rng::{Rng, SeedableRng, StdRng};
 use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
-use proptest::prelude::*;
 
 type Leh2 = LastExitHysteresis<2>;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn traces_are_well_formed(
-        seed in 0u64..10_000,
-        functions in 1usize..6,
-        constructs in 1usize..6,
-    ) {
-        let p = random_program(seed, &SyntheticConfig { functions, constructs, nesting: 2 });
+#[test]
+fn traces_are_well_formed() {
+    let mut draws = StdRng::seed_from_u64(0x51B1);
+    for _ in 0..48 {
+        let seed = draws.gen_range(0..10_000u64);
+        let functions = draws.gen_range(1..6usize);
+        let constructs = draws.gen_range(1..6usize);
+        let p = random_program(
+            seed,
+            &SyntheticConfig {
+                functions,
+                constructs,
+                nesting: 2,
+            },
+        );
         let tp = TaskFormer::default().form(&p).unwrap();
         let run = collect_trace(&p, &tp, 5_000_000).expect("trace succeeds");
 
-        prop_assert_eq!(run.events.len() as u64, run.stats.dynamic_tasks);
-        for e in &run.events {
+        assert_eq!(run.events.len() as u64, run.stats.dynamic_tasks);
+        for e in run.events.iter() {
             let task = tp.task(e.task);
             // The exit index refers to a real header exit of that task.
-            let spec = task.header().exits().get(e.exit.index()).expect("exit exists");
-            prop_assert_eq!(spec.kind, e.kind);
+            let spec = task
+                .header()
+                .exits()
+                .get(e.exit.index())
+                .expect("exit exists");
+            assert_eq!(spec.kind, e.kind);
             // Control landed on a task entry.
-            prop_assert!(tp.task_entered_at(e.next).is_some());
+            assert!(tp.task_entered_at(e.next).is_some());
             // Known-target exits must match the recorded destination.
             if let Some(t) = spec.target {
-                prop_assert_eq!(t, e.next);
+                assert_eq!(t, e.next);
             }
-            prop_assert!(e.instrs >= 1);
+            assert!(e.instrs >= 1);
         }
     }
+}
 
-    #[test]
-    fn traces_are_deterministic(seed in 0u64..5_000) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn traces_are_deterministic() {
+    for seed in 0..24u64 {
+        let p = random_program(seed * 97, &SyntheticConfig::default());
         let tp = TaskFormer::default().form(&p).unwrap();
         let a = collect_trace(&p, &tp, 5_000_000).unwrap();
         let b = collect_trace(&p, &tp, 5_000_000).unwrap();
-        prop_assert_eq!(a.events, b.events);
+        assert_eq!(a.events, b.events);
     }
+}
 
-    #[test]
-    fn full_predictor_never_panics_and_counts_every_event(
-        seed in 0u64..5_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn full_predictor_never_panics_and_counts_every_event() {
+    for seed in 0..24u64 {
+        let p = random_program(seed * 89, &SyntheticConfig::default());
         let tp = TaskFormer::default().form(&p).unwrap();
         let run = collect_trace(&p, &tp, 5_000_000).unwrap();
         let descs = task_descs(&tp);
@@ -67,18 +78,18 @@ proptest! {
             16,
         );
         let stats = measure_full(&mut pred, &descs, &run.events);
-        prop_assert_eq!(stats.exits.predictions, run.events.len() as u64);
-        prop_assert!(stats.exits.misses <= stats.exits.predictions);
+        assert_eq!(stats.exits.predictions, run.events.len() as u64);
+        assert!(stats.exits.misses <= stats.exits.predictions);
         // An exit miss implies a next-task miss, so next-task misses are
         // at least as common.
-        prop_assert!(stats.next_task.misses >= stats.exits.misses);
+        assert!(stats.next_task.misses >= stats.exits.misses);
     }
+}
 
-    #[test]
-    fn perfect_timing_dominates_real_timing(
-        seed in 0u64..2_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn perfect_timing_dominates_real_timing() {
+    for seed in 0..16u64 {
+        let p = random_program(seed * 83, &SyntheticConfig::default());
         let tp = TaskFormer::default().form(&p).unwrap();
         let descs = task_descs(&tp);
         let config = TimingConfig::default();
@@ -97,24 +108,27 @@ proptest! {
             5_000_000,
         )
         .unwrap();
-        prop_assert_eq!(perfect.instructions, real.instructions);
-        prop_assert!(perfect.cycles <= real.cycles, "perfect prediction can never be slower");
-        prop_assert_eq!(perfect.task_mispredicts, 0);
+        assert_eq!(perfect.instructions, real.instructions);
+        assert!(
+            perfect.cycles <= real.cycles,
+            "perfect prediction can never be slower"
+        );
+        assert_eq!(perfect.task_mispredicts, 0);
         // IPC is bounded by the machine's peak.
         let peak = (config.n_units as f64) * (config.issue_width as f64);
-        prop_assert!(perfect.ipc() <= peak + 1e-9);
+        assert!(perfect.ipc() <= peak + 1e-9);
     }
+}
 
-    #[test]
-    fn trace_instruction_totals_match_interpreter(
-        seed in 0u64..2_000,
-    ) {
-        let p = random_program(seed, &SyntheticConfig::default());
+#[test]
+fn trace_instruction_totals_match_interpreter() {
+    for seed in 0..16u64 {
+        let p = random_program(seed * 79, &SyntheticConfig::default());
         let tp = TaskFormer::default().form(&p).unwrap();
         let run = collect_trace(&p, &tp, 5_000_000).unwrap();
         let mut interp = multiscalar_isa::Interpreter::new(&p);
         let out = interp.run(5_000_000).unwrap();
-        prop_assert!(out.halted);
-        prop_assert_eq!(run.stats.instructions, out.steps);
+        assert!(out.halted);
+        assert_eq!(run.stats.instructions, out.steps);
     }
 }

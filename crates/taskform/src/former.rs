@@ -21,7 +21,10 @@ pub struct TaskFormConfig {
 
 impl Default for TaskFormConfig {
     fn default() -> Self {
-        TaskFormConfig { max_instrs: 32, max_blocks: 12 }
+        TaskFormConfig {
+            max_instrs: 32,
+            max_blocks: 12,
+        }
     }
 }
 
@@ -85,7 +88,10 @@ impl TaskFormer {
             .into_iter()
             .map(|t| t.expect("every instruction assigned to a task"))
             .collect();
-        Ok(TaskProgram { tasks, task_by_addr })
+        Ok(TaskProgram {
+            tasks,
+            task_by_addr,
+        })
     }
 
     fn form_function(
@@ -157,9 +163,7 @@ impl TaskFormer {
                 assigned[b.index()] = true;
                 for a in blk.range() {
                     task_by_addr[a as usize] = Some(id);
-                    if let Some(rd) =
-                        program.fetch(Addr(a)).expect("in range").dest()
-                    {
+                    if let Some(rd) = program.fetch(Addr(a)).expect("in range").dest() {
                         create_mask |= 1 << rd.index();
                     }
                 }
@@ -193,27 +197,29 @@ impl TaskFormer {
 
         let mut frontier: BTreeSet<BlockId> = BTreeSet::new();
         let mut rejected: HashSet<BlockId> = HashSet::new();
-        let push_succs = |region: &BTreeSet<BlockId>,
-                          frontier: &mut BTreeSet<BlockId>,
-                          b: BlockId| {
-            for e in cfg.block(b).succs() {
-                let internal_kind = matches!(
-                    e.kind,
-                    EdgeKind::FallThrough | EdgeKind::Taken | EdgeKind::Jump
-                );
-                if internal_kind && !region.contains(&e.to) {
-                    frontier.insert(e.to);
+        let push_succs =
+            |region: &BTreeSet<BlockId>, frontier: &mut BTreeSet<BlockId>, b: BlockId| {
+                for e in cfg.block(b).succs() {
+                    let internal_kind = matches!(
+                        e.kind,
+                        EdgeKind::FallThrough | EdgeKind::Taken | EdgeKind::Jump
+                    );
+                    if internal_kind && !region.contains(&e.to) {
+                        frontier.insert(e.to);
+                    }
                 }
-            }
-        };
+            };
         push_succs(&region, &mut frontier, seed);
 
         loop {
             let mut progressed = false;
             let candidates: Vec<BlockId> = frontier.iter().copied().collect();
             for c in candidates {
-                if region.contains(&c) || assigned[c.index()] || mandatory.contains(&c)
-                    || rejected.contains(&c) || c == seed
+                if region.contains(&c)
+                    || assigned[c.index()]
+                    || mandatory.contains(&c)
+                    || rejected.contains(&c)
+                    || c == seed
                 {
                     frontier.remove(&c);
                     continue;
@@ -225,9 +231,7 @@ impl TaskFormer {
                 }
                 // Budget checks.
                 let c_len = cfg.block(c).len();
-                if region.len() + 1 > self.max_blocks()
-                    || instrs + c_len > self.config.max_instrs
-                {
+                if region.len() + 1 > self.max_blocks() || instrs + c_len > self.config.max_instrs {
                     rejected.insert(c);
                     frontier.remove(&c);
                     continue;
@@ -435,7 +439,10 @@ mod tests {
         let (_, cf) = p.function_by_name("callee").unwrap();
         assert_eq!(call_exit.target, Some(cf.entry()));
         let ra = call_exit.return_addr.unwrap();
-        assert!(tp.task_entered_at(ra).is_some(), "return point must start a task");
+        assert!(
+            tp.task_entered_at(ra).is_some(),
+            "return point must start a task"
+        );
         // The callee entry is also a task entry.
         assert!(tp.task_entered_at(cf.entry()).is_some());
     }
@@ -560,9 +567,12 @@ mod tests {
         b.halt();
         b.end_function();
         let p = b.finish(main).unwrap();
-        let tight = TaskFormer::new(TaskFormConfig { max_instrs: 6, max_blocks: 4 })
-            .form(&p)
-            .unwrap();
+        let tight = TaskFormer::new(TaskFormConfig {
+            max_instrs: 6,
+            max_blocks: 4,
+        })
+        .form(&p)
+        .unwrap();
         tight.validate(&p).unwrap();
         let loose = TaskFormer::default().form(&p).unwrap();
         assert!(tight.static_task_count() > loose.static_task_count());

@@ -176,7 +176,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "max is 4")]
     fn more_than_four_exits_panics() {
-        TaskHeader::new((0..5).map(|i| spec(i, ExitKind::Branch, Some(100 + i))).collect());
+        TaskHeader::new(
+            (0..5)
+                .map(|i| spec(i, ExitKind::Branch, Some(100 + i)))
+                .collect(),
+        );
     }
 
     #[test]

@@ -132,10 +132,7 @@ impl TaskFlowGraph {
                     }
                     TfgArc::Unknown(kind) => {
                         let sink = format!("u_{kind}").to_lowercase();
-                        let _ = writeln!(
-                            s,
-                            "  t{i} -> {sink} [label=\"e{k}\", style=dashed];"
-                        );
+                        let _ = writeln!(s, "  t{i} -> {sink} [label=\"e{k}\", style=dashed];");
                     }
                 }
             }
@@ -197,14 +194,22 @@ mod tests {
         let ret_task = tp
             .tasks()
             .iter()
-            .find(|t| t.header().exits().iter().any(|e| e.kind == ExitKind::Return))
+            .find(|t| {
+                t.header()
+                    .exits()
+                    .iter()
+                    .any(|e| e.kind == ExitKind::Return)
+            })
             .expect("callee has a return");
         assert!(tfg
             .arcs(ret_task.id())
             .iter()
             .any(|a| matches!(a, TfgArc::Unknown(ExitKind::Return))));
         let frac = tfg.known_arc_fraction();
-        assert!(frac > 0.0 && frac < 1.0, "mix of known and unknown arcs: {frac}");
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "mix of known and unknown arcs: {frac}"
+        );
     }
 
     #[test]
@@ -212,7 +217,10 @@ mod tests {
         let (p, tp) = figure1_like();
         let (_, mf) = p.function_by_name("main").unwrap();
         let entry = tp.task_entered_at(mf.entry()).unwrap();
-        assert!(tfg_reach(&tp, entry) >= 2, "the loop tasks are statically reachable");
+        assert!(
+            tfg_reach(&tp, entry) >= 2,
+            "the loop tasks are statically reachable"
+        );
 
         fn tfg_reach(tp: &TaskProgram, e: TaskId) -> usize {
             TaskFlowGraph::build(tp).reachable_from(e)

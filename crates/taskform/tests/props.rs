@@ -1,56 +1,67 @@
-//! Property-based tests: task formation over randomly generated structured
+//! Seeded-sweep tests: task formation over randomly generated structured
 //! programs must always produce a valid partition.
 
 use multiscalar_isa::MAX_EXITS;
 use multiscalar_taskform::{TaskFormConfig, TaskFormer};
+use multiscalar_workloads::rng::{Rng, SeedableRng, StdRng};
 use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_programs_form_valid_tasks(
-        seed in 0u64..10_000,
-        functions in 1usize..8,
-        constructs in 1usize..7,
-        nesting in 1u32..3,
-    ) {
-        let p = random_program(seed, &SyntheticConfig { functions, constructs, nesting });
+#[test]
+fn random_programs_form_valid_tasks() {
+    let mut draws = StdRng::seed_from_u64(0x7A5C);
+    for _ in 0..64 {
+        let seed = draws.gen_range(0..10_000u64);
+        let functions = draws.gen_range(1..8usize);
+        let constructs = draws.gen_range(1..7usize);
+        let nesting = draws.gen_range(1..3u32);
+        let p = random_program(
+            seed,
+            &SyntheticConfig {
+                functions,
+                constructs,
+                nesting,
+            },
+        );
         let tp = TaskFormer::default().form(&p).expect("formation succeeds");
         tp.validate(&p).expect("partition is valid");
 
         for t in tp.tasks() {
-            prop_assert!(t.header().num_exits() >= 1);
-            prop_assert!(t.header().num_exits() <= MAX_EXITS);
-            prop_assert!(t.num_instrs() >= 1);
+            assert!(t.header().num_exits() >= 1);
+            assert!(t.header().num_exits() <= MAX_EXITS);
+            assert!(t.num_instrs() >= 1);
             // The entry is among the task's blocks.
-            prop_assert!(t.block_starts().contains(&t.entry()));
+            assert!(t.block_starts().contains(&t.entry()));
         }
     }
+}
 
-    #[test]
-    fn budgets_are_monotone(
-        seed in 0u64..2_000,
-    ) {
+#[test]
+fn budgets_are_monotone() {
+    for seed in 0..32u64 {
         // A tighter budget can only produce at least as many tasks.
-        let p = random_program(seed, &SyntheticConfig::default());
-        let loose = TaskFormer::new(TaskFormConfig { max_instrs: 64, max_blocks: 16 })
-            .form(&p)
-            .unwrap();
-        let tight = TaskFormer::new(TaskFormConfig { max_instrs: 8, max_blocks: 2 })
-            .form(&p)
-            .unwrap();
-        prop_assert!(tight.static_task_count() >= loose.static_task_count());
+        let p = random_program(seed * 61, &SyntheticConfig::default());
+        let loose = TaskFormer::new(TaskFormConfig {
+            max_instrs: 64,
+            max_blocks: 16,
+        })
+        .form(&p)
+        .unwrap();
+        let tight = TaskFormer::new(TaskFormConfig {
+            max_instrs: 8,
+            max_blocks: 2,
+        })
+        .form(&p)
+        .unwrap();
+        assert!(tight.static_task_count() >= loose.static_task_count());
     }
+}
 
-    #[test]
-    fn exit_resolution_is_unambiguous(
-        seed in 0u64..2_000,
-    ) {
+#[test]
+fn exit_resolution_is_unambiguous() {
+    for seed in 0..32u64 {
         // Every exit spec of every task must be found by find_exit when
         // queried with its own (source, target) pair.
-        let p = random_program(seed, &SyntheticConfig::default());
+        let p = random_program(seed * 73, &SyntheticConfig::default());
         let tp = TaskFormer::default().form(&p).unwrap();
         for t in tp.tasks() {
             for (i, e) in t.header().exits().iter().enumerate() {
@@ -59,14 +70,14 @@ proptest! {
                     // With duplicate sources the lower-index exact match wins;
                     // the found exit must at least share source and target.
                     let f = &t.header().exits()[found.index()];
-                    prop_assert_eq!(f.source, e.source);
-                    prop_assert_eq!(f.target, Some(target));
+                    assert_eq!(f.source, e.source);
+                    assert_eq!(f.target, Some(target));
                 } else {
                     let found = t
                         .header()
                         .find_exit(e.source, multiscalar_isa::Addr(u32::MAX))
                         .expect("wildcard resolvable");
-                    prop_assert_eq!(found.index(), i);
+                    assert_eq!(found.index(), i);
                 }
             }
         }

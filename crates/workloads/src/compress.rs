@@ -11,10 +11,9 @@
 //! a linear-probe collision loop, and a periodic table clear.
 
 use crate::codegen::*;
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::{Workload, WorkloadParams};
 use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Hash table size (power of two).
 const HSIZE: u32 = 1024;
@@ -33,7 +32,11 @@ pub fn compress_like(params: &WorkloadParams) -> Workload {
     let mut prev = 0u32;
     let input: Vec<u32> = (0..n_input)
         .map(|_| {
-            let s = if rng.gen_bool(0.6) { prev } else { rng.gen_range(0..ALPHABET) };
+            let s = if rng.gen_bool(0.6) {
+                prev
+            } else {
+                rng.gen_range(0..ALPHABET)
+            };
             prev = s;
             s
         })
@@ -88,10 +91,10 @@ pub fn compress_like(params: &WorkloadParams) -> Workload {
     // c = input[i]
     b.op_imm(AluOp::Add, T0, S0, input_base as i32);
     b.load(T5, T0, 0); // T5 = c (T5 survives: hash only touches T0, RV)
-    // Data-dependent pre-probe work: odd symbols go through the output
-    // path first (a task exit whose direction is pure input data — the
-    // kind of branch that keeps compress's miss rate high at every
-    // history depth).
+                       // Data-dependent pre-probe work: odd symbols go through the output
+                       // path first (a task exit whose direction is pure input data — the
+                       // kind of branch that keeps compress's miss rate high at every
+                       // history depth).
     let even_sym = b.new_label();
     // Condition mixes the symbol with the dictionary state (free-code
     // counter), decorrelating it from plain symbol repetition.
@@ -106,7 +109,7 @@ pub fn compress_like(params: &WorkloadParams) -> Workload {
     mov(&mut b, A1, T5);
     b.call_label(f_hash);
     mov(&mut b, T6, RV); // T6 = h
-    // fingerprint = (prev << 9) | (c << 1) | 1  (never zero)
+                         // fingerprint = (prev << 9) | (c << 1) | 1  (never zero)
     b.op_imm(AluOp::Shl, T7, S1, 9);
     b.op_imm(AluOp::Shl, T4, T5, 1);
     b.op(AluOp::Or, T7, T7, T4);
@@ -163,7 +166,11 @@ pub fn compress_like(params: &WorkloadParams) -> Workload {
     b.end_function();
 
     let program = b.finish(f_main).expect("compress workload must build");
-    Workload { name: "compress", program, max_steps: n_input as u64 * 200 + 100_000 }
+    Workload {
+        name: "compress",
+        program,
+        max_steps: n_input as u64 * 200 + 100_000,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +186,10 @@ mod tests {
         assert!(out.halted);
         let hits = i.reg(S3);
         let misses = i.reg(S4);
-        assert!(hits > 1000, "correlated input must produce hash hits: {hits}");
+        assert!(
+            hits > 1000,
+            "correlated input must produce hash hits: {hits}"
+        );
         assert!(misses > 100, "fresh digraphs must produce misses: {misses}");
         // Every input symbol was consumed.
         assert_eq!(i.reg(S0) as usize, 30_000);
@@ -190,7 +200,11 @@ mod tests {
         // compress is the paper's smallest benchmark (103 static tasks);
         // the analog's whole program is a few dozen instructions.
         let w = compress_like(&WorkloadParams::small(5));
-        assert!(w.program.len() < 200, "compress kernel should be tiny: {}", w.program.len());
+        assert!(
+            w.program.len() < 200,
+            "compress kernel should be tiny: {}",
+            w.program.len()
+        );
         assert_eq!(w.program.functions().len(), 4);
     }
 }

@@ -11,10 +11,9 @@
 //! path, and a final reduction sweep.
 
 use crate::codegen::*;
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::{Workload, WorkloadParams};
 use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Cubes per cover.
 const M: u32 = 16;
@@ -143,7 +142,11 @@ pub fn espresso_like(params: &WorkloadParams) -> Workload {
 
     let program = b.finish(f_main).expect("espresso workload must build");
     let steps = passes as u64 * (M as u64 * M as u64) * 120 + 100_000;
-    Workload { name: "espresso", program, max_steps: steps }
+    Workload {
+        name: "espresso",
+        program,
+        max_steps: steps,
+    }
 }
 
 #[cfg(test)]

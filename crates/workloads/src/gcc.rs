@@ -14,10 +14,9 @@
 //! (`INDIRECT_CALL` exits), like gcc's pass structure.
 
 use crate::codegen::*;
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::{Workload, WorkloadParams};
 use multiscalar_isa::{AluOp, Cond, Label, ProgramBuilder, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of generated functions.
 const N_FUNCS: usize = 200;
@@ -70,7 +69,9 @@ pub fn gcc_like(params: &WorkloadParams) -> Workload {
     let patterns: Vec<Vec<u32>> = (0..8)
         .map(|_| {
             let len = data_rng.gen_range(3..7);
-            (0..len).map(|_| data_rng.gen_range(0..N_PASSES as u32)).collect()
+            (0..len)
+                .map(|_| data_rng.gen_range(0..N_PASSES as u32))
+                .collect()
         })
         .collect();
     let mut token_stream: Vec<u32> = Vec::with_capacity(tokens);
@@ -197,7 +198,11 @@ pub fn gcc_like(params: &WorkloadParams) -> Workload {
     b.end_function();
 
     let program = b.finish(f_main).expect("gcc workload must build");
-    Workload { name: "gcc", program, max_steps: tokens as u64 * 6000 + 500_000 }
+    Workload {
+        name: "gcc",
+        program,
+        max_steps: tokens as u64 * 6000 + 500_000,
+    }
 }
 
 /// Emits a function body: a random construct sequence ending in `ret`.
@@ -270,7 +275,11 @@ fn emit_construct(
             let trips = rng.gen_range(2..5);
             b.load_imm(counter, 0);
             let top = b.here_label();
-            let inner = Ctx { loop_level: ctx.loop_level + 1, callees: &[], ..ctx.clone() };
+            let inner = Ctx {
+                loop_level: ctx.loop_level + 1,
+                callees: &[],
+                ..ctx.clone()
+            };
             emit_construct(b, rng, &inner, depth - 1, tested);
             b.op_imm(AluOp::Add, counter, counter, 1);
             b.op_imm(AluOp::Slt, T5, counter, trips);
@@ -317,8 +326,8 @@ fn emit_construct(
         // (caller task addresses) but per-task exit histories do not.
         _ if !in_loop && (!ctx.callees.is_empty() || !ctx.helpers.is_empty()) => {
             for _ in 0..rng.gen_range(1..3) {
-                let use_helper = !ctx.helpers.is_empty()
-                    && (ctx.callees.is_empty() || rng.gen_bool(0.6));
+                let use_helper =
+                    !ctx.helpers.is_empty() && (ctx.callees.is_empty() || rng.gen_bool(0.6));
                 if use_helper {
                     let h = rng.gen_range(0..ctx.helpers.len());
                     let (callee, slot) = ctx.helpers[h];
@@ -352,27 +361,51 @@ fn emit_construct(
 
 /// Emits a run of `n` random ALU instructions over T0..T3.
 fn emit_arith_run(b: &mut ProgramBuilder, rng: &mut StdRng, n: usize) {
-    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Shl, AluOp::Shr];
+    let ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
     for _ in 0..n {
         let op = ops[rng.gen_range(0..ops.len())];
         let rd = Reg(10 + rng.gen_range(0..4));
         let rs = Reg(10 + rng.gen_range(0..4));
         let imm = rng.gen_range(0..64);
-        let imm = if matches!(op, AluOp::Shl | AluOp::Shr) { imm % 8 } else { imm };
+        let imm = if matches!(op, AluOp::Shl | AluOp::Shr) {
+            imm % 8
+        } else {
+            imm
+        };
         b.op_imm(op, rd, rs, imm);
     }
 }
 
 /// Emits 1–3 random ALU instructions over T0..T3.
 fn emit_arith(b: &mut ProgramBuilder, rng: &mut StdRng) {
-    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Shl, AluOp::Shr];
+    let ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
     for _ in 0..rng.gen_range(1..4) {
         let op = ops[rng.gen_range(0..ops.len())];
         let rd = Reg(10 + rng.gen_range(0..4));
         let rs = Reg(10 + rng.gen_range(0..4));
         if rng.gen_bool(0.5) {
             let imm = rng.gen_range(0..64);
-            let imm = if matches!(op, AluOp::Shl | AluOp::Shr) { imm % 8 } else { imm };
+            let imm = if matches!(op, AluOp::Shl | AluOp::Shr) {
+                imm % 8
+            } else {
+                imm
+            };
             b.op_imm(op, rd, rs, imm);
         } else {
             let rt = Reg(10 + rng.gen_range(0..4));
@@ -413,7 +446,11 @@ fn emit_cond_branch(
             tested.push(k);
             b.load_imm(T4, (ctx.pred_base + k) as i32);
             b.load(T4, T4, 0);
-            let c = if rng.gen_bool(0.5) { Cond::Eq } else { Cond::Ne };
+            let c = if rng.gen_bool(0.5) {
+                Cond::Eq
+            } else {
+                Cond::Ne
+            };
             b.branch(c, T4, ZERO, target);
         }
         40..=69 => {
@@ -430,7 +467,11 @@ fn emit_cond_branch(
             b.load_imm(T4, ctx.data_base as i32 + slot);
             b.load(T4, T4, 0);
             b.op_imm(AluOp::And, T4, T4, 1 << rng.gen_range(0..8));
-            let c = if rng.gen_bool(0.5) { Cond::Eq } else { Cond::Ne };
+            let c = if rng.gen_bool(0.5) {
+                Cond::Eq
+            } else {
+                Cond::Ne
+            };
             b.branch(c, T4, ZERO, target);
         }
         _ => {
@@ -495,6 +536,10 @@ mod tests {
     fn structure_depends_on_seed() {
         let a = gcc_like(&WorkloadParams::small(10));
         let b = gcc_like(&WorkloadParams::small(11));
-        assert_ne!(a.program.len(), b.program.len(), "random structure should differ");
+        assert_ne!(
+            a.program.len(),
+            b.program.len(),
+            "random structure should differ"
+        );
     }
 }

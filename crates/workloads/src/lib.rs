@@ -40,6 +40,7 @@ pub mod codegen;
 mod compress;
 mod espresso;
 mod gcc;
+pub mod rng;
 mod sc;
 pub mod synthetic;
 mod xlisp;
@@ -111,8 +112,13 @@ pub enum Spec92 {
 
 impl Spec92 {
     /// All five benchmarks in the paper's table order.
-    pub const ALL: [Spec92; 5] =
-        [Spec92::Gcc, Spec92::Compress, Spec92::Espresso, Spec92::Sc, Spec92::Xlisp];
+    pub const ALL: [Spec92; 5] = [
+        Spec92::Gcc,
+        Spec92::Compress,
+        Spec92::Espresso,
+        Spec92::Sc,
+        Spec92::Xlisp,
+    ];
 
     /// The benchmark's name as printed in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -163,8 +169,16 @@ mod tests {
             let out = i
                 .run(w.max_steps)
                 .unwrap_or_else(|e| panic!("{b} failed to execute: {e}"));
-            assert!(out.halted, "{b} must halt within its step budget ({} steps)", out.steps);
-            assert!(out.steps > 10_000, "{b} too small to be interesting: {} steps", out.steps);
+            assert!(
+                out.halted,
+                "{b} must halt within its step budget ({} steps)",
+                out.steps
+            );
+            assert!(
+                out.steps > 10_000,
+                "{b} too small to be interesting: {} steps",
+                out.steps
+            );
             let tp = TaskFormer::default().form(&w.program).unwrap();
             tp.validate(&w.program).unwrap();
         }
@@ -195,7 +209,10 @@ mod tests {
         let mut il = Interpreter::new(&large.program);
         let ss = is.run(small.max_steps).unwrap();
         let sl = il.run(large.max_steps).unwrap();
-        assert!(sl.steps > ss.steps, "scale=2 must execute more instructions");
+        assert!(
+            sl.steps > ss.steps,
+            "scale=2 must execute more instructions"
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Self-contained deterministic RNG with a `rand`-shaped API surface.
+//!
+//! The workload generators were written against `rand::rngs::StdRng`; this
+//! module provides the same call shapes (`seed_from_u64`, `gen_range`,
+//! `gen_bool`, `gen`) over a xorshift64* core so the crate builds with no
+//! external dependencies. Streams are stable across platforms and releases:
+//! workload bytes are part of the experiment contract.
+
+use std::ops::Range;
+
+/// Deterministic 64-bit generator (xorshift64*), API-compatible with the
+/// subset of `rand::rngs::StdRng` the generators use.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Construction from a `u64` seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 step decorrelates small/sequential seeds before they
+        // enter the xorshift state (which must be non-zero).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        StdRng {
+            state: if z == 0 { 0x5EED_5EED_5EED_5EED } else { z },
+        }
+    }
+}
+
+/// Integer types `gen_range` can sample. The i128 round-trip covers every
+/// integer width the generators use, including negative `i32` ranges.
+pub trait UniformInt: Copy {
+    /// Widens to `i128` (lossless for every implementor).
+    fn to_i128(self) -> i128;
+    /// Narrows back; the value is always produced inside the range bounds.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// Types `gen` can produce from one raw 64-bit draw.
+pub trait Standard {
+    /// Derives a uniform value from one raw 64-bit draw.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+/// The sampling surface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// One raw 64-bit draw; everything else derives from this.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open). Panics on an empty range.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        let lo = range.start.to_i128();
+        let hi = range.end.to_i128();
+        assert!(lo < hi, "gen_range called with empty range");
+        let span = (hi - lo) as u128;
+        T::from_i128(lo + (u128::from(self.next_u64()) % span) as i128)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 uniform mantissa bits, the same resolution rand uses.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniform value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-8..8);
+            assert!((-8..8).contains(&v));
+            let u = rng.gen_range(0..8u32);
+            assert!(u < 8);
+            let w = rng.gen_range(3..7usize);
+            assert!((3..7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

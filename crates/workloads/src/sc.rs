@@ -11,10 +11,9 @@
 //! `RETURN` exits) and a data-dependent dirty-propagation branch.
 
 use crate::codegen::*;
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::{Workload, WorkloadParams};
 use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Grid cells (power of two for cheap masking).
 const CELLS: u32 = 512;
@@ -198,7 +197,11 @@ pub fn sc_like(params: &WorkloadParams) -> Workload {
 
     let program = b.finish(f_main).expect("sc workload must build");
     let steps = sweeps as u64 * CELLS as u64 * 90 + 100_000;
-    Workload { name: "sc", program, max_steps: steps }
+    Workload {
+        name: "sc",
+        program,
+        max_steps: steps,
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +233,9 @@ mod tests {
             .iter()
             .flat_map(|t| t.header().exits())
             .any(|e| e.kind == ExitKind::IndirectBranch);
-        assert!(has_indirect, "the type switch must appear as INDIRECT_BRANCH exits");
+        assert!(
+            has_indirect,
+            "the type switch must appear as INDIRECT_BRANCH exits"
+        );
     }
 }

@@ -8,9 +8,8 @@
 //! it.
 
 use crate::codegen::*;
+use crate::rng::{Rng, SeedableRng, StdRng};
 use multiscalar_isa::{AluOp, Cond, Label, Program, ProgramBuilder, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Size/shape knobs for [`random_program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +24,11 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig { functions: 6, constructs: 5, nesting: 2 }
+        SyntheticConfig {
+            functions: 6,
+            constructs: 5,
+            nesting: 2,
+        }
     }
 }
 
@@ -48,8 +51,9 @@ pub fn random_program(seed: u64, config: &SyntheticConfig) -> Program {
     // Leaf-first so callees exist; function i may call j > i.
     let mut labels: Vec<Option<Label>> = vec![None; config.functions];
     for i in (0..config.functions).rev() {
-        let callees: Vec<Label> =
-            ((i + 1)..config.functions).filter_map(|j| labels[j]).collect();
+        let callees: Vec<Label> = ((i + 1)..config.functions)
+            .filter_map(|j| labels[j])
+            .collect();
         let entry = b.begin_function(&format!("f{i}"));
         labels[i] = Some(entry);
         for _ in 0..config.constructs {
@@ -175,7 +179,9 @@ mod tests {
         for seed in 0..20 {
             let p = random_program(seed, &SyntheticConfig::default());
             let mut i = Interpreter::new(&p);
-            let out = i.run(1_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let out = i
+                .run(1_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(out.halted, "seed {seed} must halt");
         }
     }
@@ -189,7 +195,11 @@ mod tests {
 
     #[test]
     fn respects_function_count() {
-        let cfg = SyntheticConfig { functions: 3, constructs: 2, nesting: 1 };
+        let cfg = SyntheticConfig {
+            functions: 3,
+            constructs: 2,
+            nesting: 1,
+        };
         let p = random_program(1, &cfg);
         assert_eq!(p.functions().len(), 4); // 3 + main
     }

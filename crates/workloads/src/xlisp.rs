@@ -12,10 +12,9 @@
 //! vary over time.
 
 use crate::codegen::*;
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::{Workload, WorkloadParams};
 use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 // Node tags.
 const T_NUM: u32 = 0;
@@ -44,26 +43,51 @@ fn gen_tree(rng: &mut StdRng, nodes: &mut Vec<Node>, depth: u32) -> u32 {
     let leafy = depth == 0 || rng.gen_bool(0.28);
     let node = if leafy {
         if rng.gen_bool(0.45) {
-            Node { tag: T_COUNTER, left: 0, right: 0, val: rng.gen_range(0..16) }
+            Node {
+                tag: T_COUNTER,
+                left: 0,
+                right: 0,
+                val: rng.gen_range(0..16),
+            }
         } else {
-            Node { tag: T_NUM, left: 0, right: 0, val: rng.gen_range(0..256) }
+            Node {
+                tag: T_NUM,
+                left: 0,
+                right: 0,
+                val: rng.gen_range(0..256),
+            }
         }
     } else {
         match rng.gen_range(0..10) {
             0..=1 => {
                 let l = gen_tree(rng, nodes, depth - 1);
                 let r = gen_tree(rng, nodes, depth - 1);
-                Node { tag: T_ADD, left: l, right: r, val: 0 }
+                Node {
+                    tag: T_ADD,
+                    left: l,
+                    right: r,
+                    val: 0,
+                }
             }
             2 => {
                 let l = gen_tree(rng, nodes, depth - 1);
                 let r = gen_tree(rng, nodes, depth - 1);
-                Node { tag: T_SUB, left: l, right: r, val: 0 }
+                Node {
+                    tag: T_SUB,
+                    left: l,
+                    right: r,
+                    val: 0,
+                }
             }
             3 => {
                 let l = gen_tree(rng, nodes, depth - 1);
                 let r = gen_tree(rng, nodes, depth - 1);
-                Node { tag: T_MUL, left: l, right: r, val: 0 }
+                Node {
+                    tag: T_MUL,
+                    left: l,
+                    right: r,
+                    val: 0,
+                }
             }
             4..=5 => {
                 // Conditions usually inspect the mutable environment
@@ -83,16 +107,31 @@ fn gen_tree(rng: &mut StdRng, nodes: &mut Vec<Node>, depth: u32) -> u32 {
                 };
                 let t = gen_tree(rng, nodes, depth - 1);
                 let e = gen_tree(rng, nodes, depth - 1);
-                Node { tag: T_IF, left: c, right: t, val: e }
+                Node {
+                    tag: T_IF,
+                    left: c,
+                    right: t,
+                    val: e,
+                }
             }
             6..=7 => {
                 let l = gen_tree(rng, nodes, depth - 1);
-                Node { tag: T_OPCALL, left: l, right: 0, val: rng.gen_range(0..4) }
+                Node {
+                    tag: T_OPCALL,
+                    left: l,
+                    right: 0,
+                    val: rng.gen_range(0..4),
+                }
             }
             _ => {
                 let l = gen_tree(rng, nodes, depth - 1);
                 let r = gen_tree(rng, nodes, depth - 1);
-                Node { tag: T_MIN, left: l, right: r, val: 0 }
+                Node {
+                    tag: T_MIN,
+                    left: l,
+                    right: r,
+                    val: 0,
+                }
             }
         }
     };
@@ -108,7 +147,9 @@ pub fn xlisp_like(params: &WorkloadParams) -> Workload {
 
     // --- generate the forest ---------------------------------------------
     let mut nodes: Vec<Node> = Vec::new();
-    let roots: Vec<u32> = (0..n_roots).map(|_| gen_tree(&mut rng, &mut nodes, 8)).collect();
+    let roots: Vec<u32> = (0..n_roots)
+        .map(|_| gen_tree(&mut rng, &mut nodes, 8))
+        .collect();
     let n_nodes = nodes.len();
 
     let mut b = ProgramBuilder::new();
@@ -174,7 +215,11 @@ pub fn xlisp_like(params: &WorkloadParams) -> Workload {
         b.jump(epilogue);
 
         // binary arithmetic: ADD, SUB, MUL
-        for (tag, op) in [(T_ADD, AluOp::Add), (T_SUB, AluOp::Sub), (T_MUL, AluOp::Mul)] {
+        for (tag, op) in [
+            (T_ADD, AluOp::Add),
+            (T_SUB, AluOp::Sub),
+            (T_MUL, AluOp::Mul),
+        ] {
             b.bind(cases[tag as usize]);
             b.op_imm(AluOp::Add, T0, S0, left_base as i32);
             b.load(A0, T0, 0);
@@ -283,7 +328,11 @@ pub fn xlisp_like(params: &WorkloadParams) -> Workload {
 
     let program = b.finish(f_main).expect("xlisp workload must build");
     let steps = iters as u64 * n_nodes as u64 * 80 + 200_000;
-    Workload { name: "xlisp", program, max_steps: steps }
+    Workload {
+        name: "xlisp",
+        program,
+        max_steps: steps,
+    }
 }
 
 #[cfg(test)]
@@ -305,8 +354,12 @@ mod tests {
     fn exit_mix_is_call_heavy_with_indirect_calls() {
         let w = xlisp_like(&WorkloadParams::small(3));
         let tp = TaskFormer::default().form(&w.program).unwrap();
-        let kinds: Vec<_> =
-            tp.tasks().iter().flat_map(|t| t.header().exits()).map(|e| e.kind).collect();
+        let kinds: Vec<_> = tp
+            .tasks()
+            .iter()
+            .flat_map(|t| t.header().exits())
+            .map(|e| e.kind)
+            .collect();
         assert!(kinds.contains(&ExitKind::Call));
         assert!(kinds.contains(&ExitKind::Return));
         assert!(kinds.contains(&ExitKind::IndirectCall), "OPCALL dispatch");

@@ -1,43 +1,50 @@
-//! Property test: every randomly generated structured program survives the
-//! assembler round trip (`to_masm` -> `parse_program`) with identical code,
-//! data and metadata.
+//! Seeded-sweep test: every randomly generated structured program survives
+//! the assembler round trip (`to_masm` -> `parse_program`) with identical
+//! code, data and metadata.
 
 use multiscalar_isa::{parse_program, to_masm};
+use multiscalar_workloads::rng::{Rng, SeedableRng, StdRng};
 use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_round_trip_through_masm(
-        seed in 0u64..10_000,
-        functions in 1usize..6,
-        constructs in 1usize..6,
-    ) {
-        let p1 = random_program(seed, &SyntheticConfig { functions, constructs, nesting: 2 });
+#[test]
+fn random_programs_round_trip_through_masm() {
+    let mut draws = StdRng::seed_from_u64(0x4D41_534D);
+    for case in 0..48u64 {
+        let seed = draws.gen_range(0..10_000u64);
+        let functions = draws.gen_range(1..6usize);
+        let constructs = draws.gen_range(1..6usize);
+        let p1 = random_program(
+            seed,
+            &SyntheticConfig {
+                functions,
+                constructs,
+                nesting: 2,
+            },
+        );
         let text = to_masm(&p1);
         let p2 = parse_program(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(p1.code(), p2.code());
-        prop_assert_eq!(p1.entry_point(), p2.entry_point());
-        prop_assert_eq!(p1.functions().len(), p2.functions().len());
-        prop_assert_eq!(p1.initial_data(), p2.initial_data());
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(p1.code(), p2.code());
+        assert_eq!(p1.entry_point(), p2.entry_point());
+        assert_eq!(p1.functions().len(), p2.functions().len());
+        assert_eq!(p1.initial_data(), p2.initial_data());
         // Indirect metadata preserved at every indirect site.
         for pc in 0..p1.len() as u32 {
             let a = multiscalar_isa::Addr(pc);
-            prop_assert_eq!(p1.indirect_targets(a), p2.indirect_targets(a));
+            assert_eq!(p1.indirect_targets(a), p2.indirect_targets(a));
         }
     }
+}
 
-    #[test]
-    fn spec92_analogs_round_trip(seed in 0u64..50) {
-        // The real benchmark generators too — including jump tables,
-        // dispatch function-pointer tables and non-trivial data segments.
+#[test]
+fn spec92_analogs_round_trip() {
+    // The real benchmark generators too — including jump tables, dispatch
+    // function-pointer tables and non-trivial data segments.
+    for seed in 0..8u64 {
         let w = multiscalar_workloads::Spec92::Xlisp
             .build(&multiscalar_workloads::WorkloadParams { seed, scale: 1 });
         let text = to_masm(&w.program);
         let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}"));
-        prop_assert_eq!(w.program.code(), p2.code());
+        assert_eq!(w.program.code(), p2.code());
     }
 }

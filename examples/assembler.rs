@@ -60,7 +60,9 @@ fn main() {
     assert_eq!(interp.reg(Reg(12)), 34);
 
     // Task-form it and annotate the round-tripped assembly.
-    let tasks = TaskFormer::default().form(&program).expect("task formation");
+    let tasks = TaskFormer::default()
+        .form(&program)
+        .expect("task formation");
     println!("\n{} Multiscalar tasks:", tasks.static_task_count());
     for t in tasks.tasks() {
         println!(

@@ -68,10 +68,20 @@ fn main() {
     println!("--- disassembly ---\n{}", program.disassemble());
 
     // --- form tasks and show the headers --------------------------------
-    let tasks = TaskFormer::default().form(&program).expect("task formation");
-    println!("--- task flow graph: {} tasks ---", tasks.static_task_count());
+    let tasks = TaskFormer::default()
+        .form(&program)
+        .expect("task formation");
+    println!(
+        "--- task flow graph: {} tasks ---",
+        tasks.static_task_count()
+    );
     for t in tasks.tasks() {
-        println!("{} entry {} ({} instrs):", t.id(), t.entry(), t.num_instrs());
+        println!(
+            "{} entry {} ({} instrs):",
+            t.id(),
+            t.entry(),
+            t.num_instrs()
+        );
         for (k, e) in t.header().exits().iter().enumerate() {
             println!("    exit{k}: {e}");
         }
@@ -80,8 +90,7 @@ fn main() {
     // --- IPC under the ring timing simulator ----------------------------
     let descs = task_descs(&tasks);
     let config = TimingConfig::default();
-    let perfect =
-        simulate(&program, &tasks, &descs, None, &config, 10_000_000).expect("timing");
+    let perfect = simulate(&program, &tasks, &descs, None, &config, 10_000_000).expect("timing");
     let mut real = TaskPredictor::<PathPredictor<LastExitHysteresis<2>>>::path(
         Dolc::parse("4-5-6-7 (2)").expect("valid"),
         Dolc::parse("4-4-5-5 (2)").expect("valid"),
@@ -97,7 +106,10 @@ fn main() {
     )
     .expect("timing");
 
-    println!("\n--- timing ({} units x {}-way) ---", config.n_units, config.issue_width);
+    println!(
+        "\n--- timing ({} units x {}-way) ---",
+        config.n_units, config.issue_width
+    );
     println!(
         "perfect prediction: IPC {:.2} over {} tasks",
         perfect.ipc(),

@@ -29,7 +29,11 @@ fn main() {
     println!("history schemes (ideal, LEH-2bit automaton, depth {depth}):");
     for scheme in Scheme::ALL {
         let stats = measure_ideal(scheme, depth, &bench);
-        println!("  {:<8} {:>7.2}% miss", scheme.name(), stats.miss_rate() * 100.0);
+        println!(
+            "  {:<8} {:>7.2}% miss",
+            scheme.name(),
+            stats.miss_rate() * 100.0
+        );
     }
 
     println!("\nprediction automata (ideal PATH indexing, depth {depth}):");

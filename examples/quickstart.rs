@@ -22,7 +22,9 @@ fn main() {
     for spec in Spec92::ALL {
         // 1. Generate the program and form tasks (the compiler's job).
         let w = spec.build(&params);
-        let tasks = TaskFormer::default().form(&w.program).expect("task formation");
+        let tasks = TaskFormer::default()
+            .form(&w.program)
+            .expect("task formation");
 
         // 2. Execute and collect the task-level trace (the functional
         //    simulator's job).

