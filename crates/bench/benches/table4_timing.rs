@@ -1,22 +1,26 @@
 //! Table 4 bench: the ring timing simulator under Simple / PATH / Perfect
 //! inter-task prediction, plus a machine-width ablation (2 vs 4 vs 8
 //! processing units).
+//!
+//! All ablation columns ride one [`record_replay`] recording per benchmark
+//! (the recording is config-independent); criterion then compares a
+//! replay-driven run against the legacy interpreter-driven `simulate` on
+//! the same workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use multiscalar_bench::bench_workload;
-use multiscalar_core::automata::LastExitHysteresis;
-use multiscalar_core::dolc::Dolc;
-use multiscalar_core::history::PathPredictor;
-use multiscalar_core::predictor::TaskPredictor;
-use multiscalar_harness::dispatch::{dolc_15bit, real_predictor_16kb, Scheme};
+use multiscalar_harness::dispatch::Table4Column;
 use multiscalar_harness::Bench;
+use multiscalar_sim::replay::{record_replay, simulate_replay, InstrReplay};
 use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig, TimingResult};
 use multiscalar_workloads::Spec92;
 use std::hint::black_box;
 
-type Leh2 = LastExitHysteresis<2>;
-
-fn run(b: &Bench, pred: Option<&mut dyn NextTaskPredictor>, config: &TimingConfig) -> TimingResult {
+fn run_legacy(
+    b: &Bench,
+    pred: Option<&mut dyn NextTaskPredictor>,
+    config: &TimingConfig,
+) -> TimingResult {
     simulate(
         &b.workload.program,
         &b.tasks,
@@ -28,40 +32,57 @@ fn run(b: &Bench, pred: Option<&mut dyn NextTaskPredictor>, config: &TimingConfi
     .expect("timing simulation succeeds")
 }
 
+fn run_replay(
+    replay: &InstrReplay,
+    b: &Bench,
+    column: Table4Column,
+    config: &TimingConfig,
+) -> TimingResult {
+    let mut pred = column.predictor();
+    simulate_replay(
+        replay,
+        &b.descs,
+        pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+        config,
+    )
+}
+
 fn timing(c: &mut Criterion) {
     let config = TimingConfig::default();
-    let cttb_cfg = Dolc::new(7, 4, 4, 5, 3);
 
     println!("\nTable 4 (regenerated at bench scale): IPC");
     let benches: Vec<_> = Spec92::ALL.iter().map(|&s| bench_workload(s)).collect();
-    for b in &benches {
-        let mut simple = TaskPredictor::new(
-            Box::new(PathPredictor::<Leh2>::new(dolc_15bit(0)))
-                as Box<dyn multiscalar_core::predictor::ExitPredictor>,
-            cttb_cfg,
-            64,
-        );
-        let simple_r = run(b, Some(&mut simple), &config);
-        let mut path = TaskPredictor::new(real_predictor_16kb(Scheme::Path), cttb_cfg, 64);
-        let path_r = run(b, Some(&mut path), &config);
-        let perfect = run(b, None, &config);
+    // One recording per benchmark drives every predictor column and every
+    // machine-config ablation below.
+    let replays: Vec<InstrReplay> = benches
+        .iter()
+        .map(|b| {
+            record_replay(&b.workload.program, &b.tasks, b.workload.max_steps)
+                .expect("recording succeeds")
+        })
+        .collect();
+    for (b, replay) in benches.iter().zip(&replays) {
+        let simple = run_replay(replay, b, Table4Column::Simple, &config);
+        let path = run_replay(replay, b, Table4Column::Path, &config);
+        let perfect = run_replay(replay, b, Table4Column::Perfect, &config);
         println!(
             "  {:<10} simple {:>5.2}  path {:>5.2}  perfect {:>5.2}",
             b.name(),
-            simple_r.ipc(),
-            path_r.ipc(),
+            simple.ipc(),
+            path.ipc(),
             perfect.ipc()
         );
     }
 
-    // Ablation: ring width under perfect prediction.
+    // Ablation: ring width under perfect prediction, on the shared recording.
     let gcc = &benches[0];
+    let gcc_replay = &replays[0];
     for units in [2, 4, 8] {
         let cfg = TimingConfig {
             n_units: units,
             ..config
         };
-        let r = run(gcc, None, &cfg);
+        let r = run_replay(gcc_replay, gcc, Table4Column::Perfect, &cfg);
         println!(
             "  width ablation (gcc, perfect): {units} units -> IPC {:.2}",
             r.ipc()
@@ -70,14 +91,14 @@ fn timing(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table4_timing");
     group.sample_size(10);
-    group.bench_function("perfect_gcc", |b| {
-        b.iter(|| black_box(run(gcc, None, &config)))
+    group.bench_function("legacy_perfect_gcc", |b| {
+        b.iter(|| black_box(run_legacy(gcc, None, &config)))
     });
-    group.bench_function("path_gcc", |b| {
-        b.iter(|| {
-            let mut p = TaskPredictor::new(real_predictor_16kb(Scheme::Path), cttb_cfg, 64);
-            black_box(run(gcc, Some(&mut p), &config))
-        })
+    group.bench_function("replay_perfect_gcc", |b| {
+        b.iter(|| black_box(run_replay(gcc_replay, gcc, Table4Column::Perfect, &config)))
+    });
+    group.bench_function("replay_path_gcc", |b| {
+        b.iter(|| black_box(run_replay(gcc_replay, gcc, Table4Column::Path, &config)))
     });
     group.finish();
 }

@@ -183,9 +183,10 @@ fn legacy_fig12(benches: &[Bench]) {
 ///
 /// The serial arm re-prepares benchmarks inside every experiment — exactly
 /// the behaviour of the pre-parallel harness, where `harness all` called
-/// `prepare` 40+ times. Tables 3 and 4 were never fused (their grids have
-/// no depth dimension), so their serial arms are the pooled functions at
-/// width 1 on fresh benchmarks.
+/// `prepare` 40+ times. Tables 3 and 4 have no depth dimension to fuse,
+/// so their serial arms are the pooled functions at width 1 on fresh
+/// benchmarks (the record-once replay engine that batches Table 4's
+/// columns is measured separately by `harness bench-pr2`).
 pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchReport {
     let serial_pool = Pool::new(1);
     let timing_cfg = TimingConfig::default();

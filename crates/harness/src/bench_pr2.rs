@@ -1,0 +1,160 @@
+//! `harness bench-pr2` — wall-clock comparison of the legacy Table 3+4
+//! pipeline against the record-once replay engine.
+//!
+//! The **legacy** arm is the pre-replay harness: Table 3 walks the trace
+//! twice per benchmark (one walk for the full predictor, one for the
+//! CTTB-only baseline) and Table 4 re-interprets the whole program inside
+//! `simulate()` once per predictor column — five interpreter passes per
+//! benchmark. The **replay** arm fuses Table 3's two walks into one
+//! (`measure_table3`) and records each benchmark's instruction replay once,
+//! after which all five Table 4 columns drive the timing model from the
+//! shared recording with zero re-interpretation (`simulate_replay`). Both
+//! arms produce bit-identical numbers; only wall-clock differs.
+//!
+//! Benchmarks are prepared once, outside both arms: preparation cost is
+//! identical either way and is not what this comparison measures.
+
+use crate::experiments;
+use crate::pool::{Job, Pool};
+use crate::{prepare_all_with, Bench};
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::predictor::{CttbOnlyPredictor, TaskPredictor};
+use multiscalar_sim::measure::{measure_cttb_only, measure_full};
+use multiscalar_sim::timing::TimingConfig;
+use multiscalar_workloads::WorkloadParams;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+type Leh2 = LastExitHysteresis<2>;
+
+/// One timed stage.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Stage name as it appears in the JSON.
+    pub name: &'static str,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+}
+
+/// The full comparison: per-stage timings for both arms plus totals.
+#[derive(Debug, Clone)]
+pub struct BenchPr2Report {
+    /// Legacy-arm timings (two-walk Table 3, re-interpreting Table 4).
+    pub legacy: Vec<Timing>,
+    /// Replay-arm timings (fused Table 3, record-once Table 4 — the
+    /// recording cost is included in its `table4` entry).
+    pub replay: Vec<Timing>,
+    /// Pool width used by both arms.
+    pub threads: usize,
+}
+
+impl BenchPr2Report {
+    /// Sum of the legacy-arm timings.
+    pub fn legacy_total(&self) -> f64 {
+        self.legacy.iter().map(|t| t.ms).sum()
+    }
+
+    /// Sum of the replay-arm timings.
+    pub fn replay_total(&self) -> f64 {
+        self.replay.iter().map(|t| t.ms).sum()
+    }
+
+    /// `legacy_total / replay_total`.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_total() / self.replay_total().max(1e-9)
+    }
+
+    /// Renders the report as JSON (hand-rolled; fixed key order).
+    pub fn to_json(&self, params: &WorkloadParams) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"seed\": {},", params.seed);
+        let _ = writeln!(s, "  \"scale\": {},", params.scale);
+        for (key, arm, total) in [
+            ("legacy_ms", &self.legacy, self.legacy_total()),
+            ("replay_ms", &self.replay, self.replay_total()),
+        ] {
+            let _ = writeln!(s, "  \"{key}\": {{");
+            for t in arm {
+                let _ = writeln!(s, "    \"{}\": {:.1},", t.name, t.ms);
+            }
+            let _ = writeln!(s, "    \"total\": {total:.1}");
+            let _ = writeln!(s, "  }},");
+        }
+        let _ = writeln!(s, "  \"speedup\": {:.2}", self.speedup());
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Repetitions per timed stage; the minimum is reported. Best-of-N is the
+/// standard defence against scheduler and frequency noise — both arms get
+/// the same treatment, so neither is favoured.
+const REPS: usize = 5;
+
+fn timed(name: &'static str, out: &mut Vec<Timing>, mut f: impl FnMut()) {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    out.push(Timing { name, ms: best });
+}
+
+/// The pre-replay Table 3: two separate trace walks per benchmark, pooled
+/// exactly as the old `experiments::table3` was.
+fn legacy_table3(benches: &[Bench], pool: &Pool) -> Vec<(f64, f64)> {
+    let mut jobs: Vec<Job<'_, f64>> = Vec::new();
+    for b in benches {
+        jobs.push(Box::new(move || {
+            let mut only = CttbOnlyPredictor::new(Dolc::new(7, 4, 9, 9, 3));
+            measure_cttb_only(&mut only, &b.descs, &b.trace.events).miss_rate()
+        }));
+        jobs.push(Box::new(move || {
+            let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(
+                Dolc::new(7, 4, 9, 9, 3),
+                Dolc::new(7, 4, 4, 5, 3),
+                64,
+            );
+            measure_full(&mut full, &b.descs, &b.trace.events)
+                .next_task
+                .miss_rate()
+        }));
+    }
+    let results = pool.run(jobs);
+    results.chunks(2).map(|c| (c[0], c[1])).collect()
+}
+
+/// Runs both arms and returns the timed comparison.
+pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchPr2Report {
+    let timing_cfg = TimingConfig::default();
+    let benches = prepare_all_with(params, pool);
+
+    let mut legacy = Vec::new();
+    timed("table3", &mut legacy, || {
+        black_box(legacy_table3(&benches, pool).len());
+    });
+    timed("table4", &mut legacy, || {
+        black_box(experiments::table4(&benches, &timing_cfg, pool).len());
+    });
+
+    let mut replay = Vec::new();
+    timed("table3", &mut replay, || {
+        black_box(experiments::table3(&benches, pool).len());
+    });
+    // Recording cost is part of the replay arm: one interpreter pass per
+    // benchmark, then five replay-driven timing runs each.
+    timed("table4", &mut replay, || {
+        black_box(experiments::table4_replay(&benches, &timing_cfg, pool).len());
+    });
+
+    BenchPr2Report {
+        legacy,
+        replay,
+        threads: pool.threads(),
+    }
+}

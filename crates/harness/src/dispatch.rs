@@ -6,11 +6,12 @@ use multiscalar_core::automata::{AutomatonKind, LastExit, LastExitHysteresis, Vo
 use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::{GlobalPredictor, PathPredictor, PerTaskPredictor};
 use multiscalar_core::ideal::{IdealGlobal, IdealPath, IdealPer};
-use multiscalar_core::predictor::ExitPredictor;
+use multiscalar_core::predictor::{ExitPredictor, TaskPredictor};
 use multiscalar_core::target::{Cttb, IdealCttb};
 use multiscalar_sim::measure::{
     measure_exits, measure_exits_fused, measure_indirect_targets_fused, MissStats,
 };
+use multiscalar_sim::timing::NextTaskPredictor;
 
 /// The three history-generation schemes of paper §5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,6 +168,59 @@ pub fn real_predictor_16kb(scheme: Scheme) -> Box<dyn ExitPredictor> {
         Scheme::Global => Box::new(GlobalPredictor::<LastExitHysteresis<2>>::new(7, 15)),
         Scheme::Per => Box::new(PerTaskPredictor::<LastExitHysteresis<2>>::new(7, 8, 7)),
         Scheme::Path => Box::new(PathPredictor::<LastExitHysteresis<2>>::new(dolc_15bit(7))),
+    }
+}
+
+/// The five predictor columns of Table 4, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table4Column {
+    /// Task-address-indexed PATH at depth 0 (no history).
+    Simple,
+    /// GLOBAL scheme, 16 KB, depth 7.
+    Global,
+    /// PER scheme, 16 KB, depth 7.
+    Per,
+    /// PATH scheme, 16 KB, depth 7.
+    Path,
+    /// Perfect inter-task prediction (no predictor at all).
+    Perfect,
+}
+
+impl Table4Column {
+    /// All five columns in the paper's order.
+    pub const ALL: [Table4Column; 5] = [
+        Table4Column::Simple,
+        Table4Column::Global,
+        Table4Column::Per,
+        Table4Column::Path,
+        Table4Column::Perfect,
+    ];
+
+    /// Column name as printed in Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            Table4Column::Simple => "Simple",
+            Table4Column::Global => "GLOBAL",
+            Table4Column::Per => "PER",
+            Table4Column::Path => "PATH",
+            Table4Column::Perfect => "Perfect",
+        }
+    }
+
+    /// Builds this column's next-task predictor with the paper's Table 4
+    /// sizing (16 KB PHT, 8 KB CTTB, 64-deep RAS); `None` for Perfect.
+    pub fn predictor(self) -> Option<Box<dyn NextTaskPredictor>> {
+        let cttb_cfg = Dolc::new(7, 4, 4, 5, 3);
+        let exit_pred: Box<dyn ExitPredictor> = match self {
+            Table4Column::Simple => {
+                Box::new(PathPredictor::<LastExitHysteresis<2>>::new(dolc_15bit(0)))
+            }
+            Table4Column::Global => real_predictor_16kb(Scheme::Global),
+            Table4Column::Per => real_predictor_16kb(Scheme::Per),
+            Table4Column::Path => real_predictor_16kb(Scheme::Path),
+            Table4Column::Perfect => return None,
+        };
+        Some(Box::new(TaskPredictor::new(exit_pred, cttb_cfg, 64)))
     }
 }
 

@@ -8,21 +8,22 @@
 //! come back in submission order, so any pool width produces byte-identical
 //! output.
 
+use std::sync::Arc;
+
 use crate::dispatch::{
-    cttb_ideal_sweep, cttb_ladder, cttb_real_sweep, dolc_15bit, exit_ladder,
+    cttb_ideal_sweep, cttb_ladder, cttb_real_sweep, exit_ladder,
     measure_ideal_path_automaton_sweep, measure_ideal_sweep, path_ideal_sweep, path_real_sweep,
-    real_predictor_16kb, Scheme,
+    Scheme, Table4Column,
 };
 use crate::pool::{Job, Pool};
 use crate::Bench;
 use multiscalar_core::automata::{AutomatonKind, LastExitHysteresis};
 use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::PathPredictor;
-use multiscalar_core::predictor::{CttbOnlyPredictor, ExitPredictor, TaskPredictor};
+use multiscalar_core::predictor::{CttbOnlyPredictor, TaskPredictor};
 use multiscalar_isa::ExitKind;
-use multiscalar_sim::measure::{
-    measure_cttb_only, measure_full, measure_indirect_targets, MissStats,
-};
+use multiscalar_sim::measure::{measure_full, measure_indirect_targets, measure_table3, MissStats};
+use multiscalar_sim::replay::{record_replay, simulate_replay, InstrReplay};
 use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig, TimingResult};
 
 type Leh2 = LastExitHysteresis<2>;
@@ -130,7 +131,7 @@ pub fn fig4(benches: &[Bench]) -> Vec<Fig4Row> {
             }
             let stotal: u64 = stat.iter().sum();
             let static_frac = std::array::from_fn(|i| stat[i] as f64 / stotal.max(1) as f64);
-            let dtotal: u64 = b.trace.stats.by_kind[..5].iter().sum();
+            let dtotal: u64 = b.trace.stats.by_kind.iter().sum();
             let dynamic_frac =
                 std::array::from_fn(|i| b.trace.stats.by_kind[i] as f64 / dtotal.max(1) as f64);
             Fig4Row {
@@ -391,35 +392,36 @@ pub struct Table3Row {
 }
 
 /// Reproduces Table 3: CTTB-only vs exit predictor with RAS & CTTB,
-/// predicting the actual address of the next task. Two jobs per benchmark.
+/// predicting the actual address of the next task. One *fused* job per
+/// benchmark: both predictors ride a single trace walk
+/// (`measure_table3`), with results bit-identical to separate walks.
 pub fn table3(benches: &[Bench], pool: &Pool) -> Vec<Table3Row> {
-    let mut jobs: Vec<Job<'_, f64>> = Vec::new();
-    for b in benches {
-        // CTTB-only: 14-bit index, depth 7 → 2^14 entries * 4 B = 64 KB.
-        jobs.push(Box::new(move || {
-            let mut only = CttbOnlyPredictor::new(Dolc::new(7, 4, 9, 9, 3));
-            measure_cttb_only(&mut only, &b.descs, &b.trace.events).miss_rate()
-        }));
-        // Full predictor: 14-bit exit PHT + RAS(64) + 11-bit CTTB.
-        jobs.push(Box::new(move || {
-            let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(
-                Dolc::new(7, 4, 9, 9, 3),
-                Dolc::new(7, 4, 4, 5, 3),
-                64,
-            );
-            measure_full(&mut full, &b.descs, &b.trace.events)
-                .next_task
-                .miss_rate()
-        }));
-    }
+    let jobs: Vec<Job<'_, (f64, f64)>> = benches
+        .iter()
+        .map(|b| {
+            Box::new(move || {
+                // CTTB-only: 14-bit index, depth 7 → 2^14 entries * 4 B = 64 KB.
+                let mut only = CttbOnlyPredictor::new(Dolc::new(7, 4, 9, 9, 3));
+                // Full predictor: 14-bit exit PHT + RAS(64) + 11-bit CTTB.
+                let mut full = TaskPredictor::<PathPredictor<Leh2>>::path(
+                    Dolc::new(7, 4, 9, 9, 3),
+                    Dolc::new(7, 4, 4, 5, 3),
+                    64,
+                );
+                let (full_stats, only_stats) =
+                    measure_table3(&mut full, &mut only, &b.descs, &b.trace.events);
+                (only_stats.miss_rate(), full_stats.next_task.miss_rate())
+            }) as Job<'_, _>
+        })
+        .collect();
     let results = pool.run(jobs);
     benches
         .iter()
-        .enumerate()
-        .map(|(i, b)| Table3Row {
+        .zip(results)
+        .map(|(b, (cttb_only, exit_with_ras_cttb))| Table3Row {
             name: b.name(),
-            cttb_only: results[2 * i],
-            exit_with_ras_cttb: results[2 * i + 1],
+            cttb_only,
+            exit_with_ras_cttb,
         })
         .collect()
 }
@@ -445,57 +447,85 @@ pub struct Table4Row {
     pub perfect: TimingResult,
 }
 
-/// Reproduces Table 4: IPC from the timing simulator with Simple / GLOBAL /
-/// PER / PATH / Perfect inter-task prediction. All real predictors use a
-/// 16 KB PHT, depth 7 (depth 0 for Simple), a CTTB for indirects and a RAS
-/// for returns, matching the paper's setup. Five jobs per benchmark (one
-/// per predictor column).
+/// Reproduces Table 4 with the **legacy** engine: IPC from the timing
+/// simulator with Simple / GLOBAL / PER / PATH / Perfect inter-task
+/// prediction, re-interpreting the program for every column. All real
+/// predictors use a 16 KB PHT, depth 7 (depth 0 for Simple), a CTTB for
+/// indirects and a RAS for returns, matching the paper's setup. Five jobs
+/// per benchmark (one per predictor column). Kept as the reference
+/// implementation for the replay engine's equivalence checks; prefer
+/// [`table4_replay`].
 pub fn table4(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<Table4Row> {
-    let cttb_cfg = Dolc::new(7, 4, 4, 5, 3);
-    fn run_with(
-        b: &Bench,
-        exit_pred: Box<dyn ExitPredictor>,
-        cttb_cfg: Dolc,
-        config: &TimingConfig,
-    ) -> TimingResult {
-        let mut pred = TaskPredictor::new(exit_pred, cttb_cfg, 64);
-        simulate(
-            &b.workload.program,
-            &b.tasks,
-            &b.descs,
-            Some(&mut pred as &mut dyn NextTaskPredictor),
-            config,
-            b.workload.max_steps,
-        )
-        .expect("timing simulation must succeed")
-    }
-
     let mut jobs: Vec<Job<'_, TimingResult>> = Vec::new();
     for b in benches {
-        jobs.push(Box::new(move || {
-            run_with(
-                b,
-                Box::new(PathPredictor::<Leh2>::new(dolc_15bit(0))),
-                cttb_cfg,
-                config,
-            )
-        }));
-        for scheme in Scheme::ALL {
+        for column in Table4Column::ALL {
             jobs.push(Box::new(move || {
-                run_with(b, real_predictor_16kb(scheme), cttb_cfg, config)
+                let mut pred = column.predictor();
+                simulate(
+                    &b.workload.program,
+                    &b.tasks,
+                    &b.descs,
+                    pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+                    config,
+                    b.workload.max_steps,
+                )
+                .expect("timing simulation must succeed")
             }));
         }
-        jobs.push(Box::new(move || {
-            simulate(
-                &b.workload.program,
-                &b.tasks,
-                &b.descs,
-                None,
-                config,
-                b.workload.max_steps,
-            )
-            .expect("perfect timing simulation must succeed")
-        }));
+    }
+    let mut results = pool.run(jobs).into_iter();
+    benches
+        .iter()
+        .map(|b| Table4Row {
+            name: b.name(),
+            simple: results.next().expect("simple result"),
+            global: results.next().expect("global result"),
+            per: results.next().expect("per result"),
+            path: results.next().expect("path result"),
+            perfect: results.next().expect("perfect result"),
+        })
+        .collect()
+}
+
+/// Records each benchmark's instruction replay once (one job per
+/// benchmark), for sharing across timing runs.
+pub fn record_replays(benches: &[Bench], pool: &Pool) -> Vec<Arc<InstrReplay>> {
+    let jobs: Vec<Job<'_, Arc<InstrReplay>>> = benches
+        .iter()
+        .map(|b| {
+            Box::new(move || {
+                record_replay(&b.workload.program, &b.tasks, b.workload.max_steps)
+                    .expect("recording must succeed")
+                    .into_shared()
+            }) as Job<'_, _>
+        })
+        .collect();
+    pool.run(jobs)
+}
+
+/// Reproduces Table 4 with the **replay** engine: one interpreter pass per
+/// benchmark records an [`InstrReplay`]; all five predictor columns then
+/// drive the timing model from that shared recording with zero
+/// re-interpretation. Five jobs per benchmark — sequential solo walks beat
+/// a fused multi-state walk here because each column's working set (ARB,
+/// scoreboard, predictor tables) stays cache-resident. Results are
+/// bit-identical to [`table4`] (enforced by tests and CI).
+pub fn table4_replay(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<Table4Row> {
+    let replays = record_replays(benches, pool);
+    let mut jobs: Vec<Job<'_, TimingResult>> = Vec::new();
+    for (b, replay) in benches.iter().zip(&replays) {
+        for column in Table4Column::ALL {
+            let replay = Arc::clone(replay);
+            jobs.push(Box::new(move || {
+                let mut pred = column.predictor();
+                simulate_replay(
+                    &replay,
+                    &b.descs,
+                    pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+                    config,
+                )
+            }));
+        }
     }
     let mut results = pool.run(jobs).into_iter();
     benches

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod bench_pr1;
+pub mod bench_pr2;
 pub mod csv;
 pub mod dispatch;
 pub mod experiments;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! harness <experiment> [--seed N] [--scale N] [--bench NAME] [--threads N]
+//!                      [--engine legacy|replay]
 //!
 //! experiments: table2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig12
 //!              table3 table4 all
@@ -9,13 +10,27 @@
 //!
 //! Benchmarks are prepared **once** per invocation (traces are shared,
 //! immutable, behind `Arc`) and every sweep fans out over a `--threads`-wide
-//! job pool. Output is byte-identical for every thread count.
+//! job pool. Output is byte-identical for every thread count. Table 4 runs
+//! on the record-once replay engine by default; `--engine legacy`
+//! re-interprets per column (bit-identical, for cross-checking).
 
 use multiscalar_harness::pool::Pool;
-use multiscalar_harness::{bench_pr1, experiments, extensions, prepare_all_with, report, Bench};
+use multiscalar_harness::{
+    bench_pr1, bench_pr2, experiments, extensions, prepare_all_with, report, Bench,
+};
 use multiscalar_sim::timing::TimingConfig;
 use multiscalar_workloads::{Spec92, WorkloadParams};
 use std::process::ExitCode;
+
+/// Which Table 4 engine drives the timing simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Re-interpret the program for every predictor column.
+    Legacy,
+    /// Record one instruction replay per benchmark, share it across
+    /// columns (bit-identical results; the default).
+    Replay,
+}
 
 struct Args {
     experiment: String,
@@ -23,6 +38,7 @@ struct Args {
     bench: Option<Spec92>,
     csv_dir: Option<std::path::PathBuf>,
     pool: Pool,
+    engine: Engine,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut bench = None;
     let mut csv_dir = None;
     let mut pool = Pool::auto();
+    let mut engine = Engine::Replay;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -43,6 +60,13 @@ fn parse_args() -> Result<Args, String> {
                     Some(Spec92::from_name(&name).ok_or(format!("unknown benchmark `{name}`"))?);
             }
             "--csv" => csv_dir = Some(std::path::PathBuf::from(value()?)),
+            "--engine" => {
+                engine = match value()?.as_str() {
+                    "legacy" => Engine::Legacy,
+                    "replay" => Engine::Replay,
+                    other => return Err(format!("unknown engine `{other}` (legacy|replay)")),
+                }
+            }
             "--threads" => {
                 pool = Pool::new(
                     value()?
@@ -59,13 +83,14 @@ fn parse_args() -> Result<Args, String> {
         bench,
         csv_dir,
         pool,
+        engine,
     })
 }
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
-     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify|bench-pr1> \
-     [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N]"
+     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify|bench-pr1|bench-pr2> \
+     [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay]"
         .to_string()
 }
 
@@ -121,6 +146,16 @@ impl Prepared {
     }
 }
 
+/// Runs Table 4 with the engine selected by `--engine` (replay unless
+/// overridden; both produce bit-identical rows).
+fn run_table4(args: &Args, benches: &[Bench], pool: &Pool) -> Vec<experiments::Table4Row> {
+    let config = TimingConfig::default();
+    match args.engine {
+        Engine::Legacy => experiments::table4(benches, &config, pool),
+        Engine::Replay => experiments::table4_replay(benches, &config, pool),
+    }
+}
+
 /// Writes every experiment's CSV into `dir`.
 fn write_all_csv(args: &Args, prep: &Prepared, dir: &std::path::Path) -> std::io::Result<()> {
     use multiscalar_harness::csv;
@@ -153,14 +188,7 @@ fn write_all_csv(args: &Args, prep: &Prepared, dir: &std::path::Path) -> std::io
             "table3.csv",
             csv::table3(&experiments::table3(benches, pool)),
         ),
-        (
-            "table4.csv",
-            csv::table4(&experiments::table4(
-                benches,
-                &TimingConfig::default(),
-                pool,
-            )),
-        ),
+        ("table4.csv", csv::table4(&run_table4(args, benches, pool))),
         (
             "ext_staleness.csv",
             csv::staleness(&extensions::ext_staleness(benches)),
@@ -207,6 +235,18 @@ fn main() -> ExitCode {
         println!("wrote {}", path.display());
         return ExitCode::SUCCESS;
     }
+    if args.experiment == "bench-pr2" {
+        let report = bench_pr2::run(&args.params, &args.pool);
+        let json = report.to_json(&args.params);
+        print!("{json}");
+        let path = std::path::Path::new("BENCH_PR2.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
 
     let prep = Prepared::new(&args);
     let pool = &args.pool;
@@ -241,11 +281,7 @@ fn main() -> ExitCode {
             "ext-intra" => report::render_intra(&extensions::ext_intra(prep.all())),
             "ext-pollution" => report::render_pollution(&extensions::ext_pollution(prep.all())),
 
-            "table4" => report::render_table4(&experiments::table4(
-                prep.all(),
-                &TimingConfig::default(),
-                pool,
-            )),
+            "table4" => report::render_table4(&run_table4(&args, prep.all(), pool)),
             _ => return None,
         })
     };

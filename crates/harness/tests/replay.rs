@@ -1,0 +1,148 @@
+//! Replay-vs-interpreter equivalence: `simulate_replay()` must return a
+//! bit-identical `TimingResult` to `simulate()` for every Table 4 predictor
+//! column on every in-tree workload, and across the timing-model ablation
+//! configs — the contract that lets one recording stand in for five
+//! interpreter passes.
+
+use multiscalar_harness::dispatch::Table4Column;
+use multiscalar_harness::prepare;
+use multiscalar_sim::replay::{record_replay, simulate_replay};
+use multiscalar_sim::timing::{
+    simulate, ForwardingModel, IntraPredictorKind, NextTaskPredictor, TimingConfig, TimingResult,
+};
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+fn params() -> WorkloadParams {
+    WorkloadParams {
+        seed: 0xC0FFEE,
+        scale: 1,
+    }
+}
+
+fn legacy(
+    b: &multiscalar_harness::Bench,
+    column: Table4Column,
+    config: &TimingConfig,
+) -> TimingResult {
+    let mut pred = column.predictor();
+    simulate(
+        &b.workload.program,
+        &b.tasks,
+        &b.descs,
+        pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+        config,
+        b.workload.max_steps,
+    )
+    .expect("legacy simulation succeeds")
+}
+
+fn replayed(
+    replay: &multiscalar_sim::replay::InstrReplay,
+    b: &multiscalar_harness::Bench,
+    column: Table4Column,
+    config: &TimingConfig,
+) -> TimingResult {
+    let mut pred = column.predictor();
+    simulate_replay(
+        replay,
+        &b.descs,
+        pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+        config,
+    )
+}
+
+#[test]
+fn replay_matches_interpreter_for_all_columns_on_all_workloads() {
+    let config = TimingConfig::default();
+    for spec in Spec92::ALL {
+        let b = prepare(spec, &params());
+        let replay = record_replay(&b.workload.program, &b.tasks, b.workload.max_steps)
+            .expect("recording succeeds");
+        for column in Table4Column::ALL {
+            let slow = legacy(&b, column, &config);
+            let fast = replayed(&replay, &b, column, &config);
+            assert_eq!(
+                slow,
+                fast,
+                "{spec}/{}: replay must be bit-identical",
+                column.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_matches_interpreter_across_ablation_configs() {
+    use multiscalar_sim::arb::ArbConfig;
+
+    let b = prepare(Spec92::Compress, &params());
+    let replay = record_replay(&b.workload.program, &b.tasks, b.workload.max_steps)
+        .expect("recording succeeds");
+
+    let configs = [
+        TimingConfig {
+            forwarding: ForwardingModel::ReleaseAtEnd,
+            ..TimingConfig::default()
+        },
+        TimingConfig {
+            intra_predictor: IntraPredictorKind::Gshare,
+            ..TimingConfig::default()
+        },
+        TimingConfig {
+            intra_predictor: IntraPredictorKind::McFarling,
+            ..TimingConfig::default()
+        },
+        TimingConfig {
+            arb: None,
+            ..TimingConfig::default()
+        },
+        TimingConfig {
+            arb: Some(ArbConfig {
+                banks: 1,
+                entries_per_bank: 4,
+                stages: 4,
+            }),
+            ..TimingConfig::default()
+        },
+        TimingConfig {
+            n_units: 8,
+            issue_width: 4,
+            confidence_gate: Some(2),
+            ..TimingConfig::default()
+        },
+    ];
+    for config in &configs {
+        for column in [Table4Column::Path, Table4Column::Perfect] {
+            let slow = legacy(&b, column, config);
+            let fast = replayed(&replay, &b, column, config);
+            assert_eq!(
+                slow,
+                fast,
+                "{:?}/{}: replay must be bit-identical",
+                config,
+                column.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn table4_replay_rows_match_legacy_rows() {
+    use multiscalar_harness::experiments::{table4, table4_replay};
+    use multiscalar_harness::pool::Pool;
+
+    let pool = Pool::new(2);
+    let benches = vec![prepare(Spec92::Compress, &params())];
+    let config = TimingConfig::default();
+    let legacy_rows = table4(&benches, &config, &pool);
+    let replay_rows = table4_replay(&benches, &config, &pool);
+    assert_eq!(legacy_rows.len(), replay_rows.len());
+    for (l, r) in legacy_rows.iter().zip(&replay_rows) {
+        assert_eq!(l.name, r.name);
+        assert_eq!(l.simple, r.simple);
+        assert_eq!(l.global, r.global);
+        assert_eq!(l.per, r.per);
+        assert_eq!(l.path, r.path);
+        assert_eq!(l.perfect, r.perfect);
+    }
+}

@@ -59,7 +59,6 @@ pub enum ArbEvent {
 #[derive(Debug, Clone, Default)]
 struct Entry {
     addr: u32,
-    valid: bool,
     /// Task sequence numbers that loaded this address, ascending.
     loads: Vec<u64>,
     /// Task sequence numbers that stored to this address, ascending.
@@ -69,6 +68,10 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 struct Bank {
     entries: Vec<Entry>,
+    /// Bit `i` set = `entries[i]` holds a live address. Banks are mostly
+    /// empty (the head stage's marks are erased at every task retirement),
+    /// so lookups walk set bits instead of scanning every entry.
+    valid: u64,
 }
 
 /// The ARB: banks of address entries plus the active stage window.
@@ -78,6 +81,14 @@ pub struct Arb {
     banks: Vec<Bank>,
     /// Active (uncommitted) task sequence numbers, oldest first.
     window: VecDeque<u64>,
+    /// Per active stage (parallel to `window`): the `(bank, entry)` slots
+    /// whose marks the stage set, so commit only visits those instead of
+    /// sweeping every entry. Slots may be stale after a squash — the sweep
+    /// treats them as no-ops.
+    touched: VecDeque<Vec<(u32, u32)>>,
+    /// `banks - 1` when `banks` is a power of two: bank selection is then a
+    /// mask instead of a divide (it runs on every memory reference).
+    bank_mask: Option<u32>,
     /// Total references rejected because a bank was full.
     full_events: u64,
     /// Total violations detected.
@@ -89,17 +100,25 @@ impl Arb {
     ///
     /// # Panics
     ///
-    /// Panics if any geometry parameter is zero.
+    /// Panics if any geometry parameter is zero, or if `entries_per_bank`
+    /// exceeds 64 (the occupancy-bitmask width).
     pub fn new(config: ArbConfig) -> Arb {
         assert!(config.banks > 0 && config.entries_per_bank > 0 && config.stages > 0);
+        assert!(config.entries_per_bank <= 64, "bank occupancy mask is u64");
         Arb {
             banks: (0..config.banks)
                 .map(|_| Bank {
                     entries: vec![Entry::default(); config.entries_per_bank],
+                    valid: 0,
                 })
                 .collect(),
+            bank_mask: config
+                .banks
+                .is_power_of_two()
+                .then(|| config.banks as u32 - 1),
             config,
             window: VecDeque::new(),
+            touched: VecDeque::new(),
             full_events: 0,
             violations: 0,
         }
@@ -123,6 +142,7 @@ impl Arb {
             assert!(seq > back, "task sequence numbers must increase");
         }
         self.window.push_back(seq);
+        self.touched.push_back(Vec::new());
     }
 
     /// Number of active stages.
@@ -136,25 +156,45 @@ impl Arb {
     }
 
     fn entry_slot(&mut self, addr: u32) -> Option<(usize, usize)> {
-        let b = (addr as usize) % self.config.banks;
-        // Existing entry?
-        if let Some(i) = self.banks[b]
-            .entries
-            .iter()
-            .position(|e| e.valid && e.addr == addr)
-        {
-            return Some((b, i));
+        let b = match self.bank_mask {
+            Some(m) => (addr & m) as usize,
+            None => (addr as usize) % self.config.banks,
+        };
+        let bank = &mut self.banks[b];
+        // Walk only the occupied slots for a match.
+        let mut live = bank.valid;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            if bank.entries[i].addr == addr {
+                return Some((b, i));
+            }
         }
-        // Free entry?
-        if let Some(i) = self.banks[b].entries.iter().position(|e| !e.valid) {
-            let e = &mut self.banks[b].entries[i];
-            e.addr = addr;
-            e.valid = true;
-            e.loads.clear();
-            e.stores.clear();
-            return Some((b, i));
+        // Lowest free slot, if any.
+        let i = (!bank.valid).trailing_zeros() as usize;
+        if i >= self.config.entries_per_bank {
+            return None;
         }
-        None
+        bank.valid |= 1 << i;
+        let e = &mut bank.entries[i];
+        e.addr = addr;
+        e.loads.clear();
+        e.stores.clear();
+        Some((b, i))
+    }
+
+    /// Records that the stage for `seq` set a mark in slot `(b, i)`, so the
+    /// commit sweep can find it without scanning every entry.
+    fn touch(&mut self, seq: u64, b: usize, i: usize) {
+        // Marks almost always come from the youngest stage.
+        if self.window.back() == Some(&seq) {
+            self.touched
+                .back_mut()
+                .expect("parallel to window")
+                .push((b as u32, i as u32));
+        } else if let Some(pos) = self.window.iter().rposition(|&s| s == seq) {
+            self.touched[pos].push((b as u32, i as u32));
+        }
     }
 
     /// Records a load of `addr` by the stage for task `seq`.
@@ -165,6 +205,7 @@ impl Arb {
                 let e = &mut self.banks[b].entries[i];
                 if e.loads.last() != Some(&seq) {
                     e.loads.push(seq);
+                    self.touch(seq, b, i);
                 }
                 ArbEvent::Ok
             }
@@ -185,6 +226,7 @@ impl Arb {
                 let squash: Vec<u64> = e.loads.iter().copied().filter(|&l| l > seq).collect();
                 if e.stores.last() != Some(&seq) {
                     e.stores.push(seq);
+                    self.touch(seq, b, i);
                 }
                 if squash.is_empty() {
                     ArbEvent::Ok
@@ -204,16 +246,20 @@ impl Arb {
     /// entries. Returns the committed task's sequence number.
     pub fn commit_head(&mut self) -> Option<u64> {
         let seq = self.window.pop_front()?;
-        for bank in &mut self.banks {
-            for e in &mut bank.entries {
-                if !e.valid {
-                    continue;
-                }
-                e.loads.retain(|&l| l != seq);
-                e.stores.retain(|&s| s != seq);
-                if e.loads.is_empty() && e.stores.is_empty() {
-                    e.valid = false;
-                }
+        // Only the slots this stage marked can hold its marks; stale slots
+        // (marks already erased by a squash, or re-allocated entries) fall
+        // through the retains as no-ops.
+        let touched = self.touched.pop_front().expect("parallel to window");
+        for (b, i) in touched {
+            let bank = &mut self.banks[b as usize];
+            if bank.valid & (1 << i) == 0 {
+                continue;
+            }
+            let e = &mut bank.entries[i as usize];
+            e.loads.retain(|&l| l != seq);
+            e.stores.retain(|&s| s != seq);
+            if e.loads.is_empty() && e.stores.is_empty() {
+                bank.valid &= !(1 << i);
             }
         }
         Some(seq)
@@ -222,16 +268,20 @@ impl Arb {
     /// Squashes every stage with sequence number `>= from`: their marks are
     /// erased (the tasks will re-execute).
     pub fn squash_from(&mut self, from: u64) {
-        self.window.retain(|&s| s < from);
+        while self.window.back().is_some_and(|&s| s >= from) {
+            self.window.pop_back();
+            self.touched.pop_back();
+        }
         for bank in &mut self.banks {
-            for e in &mut bank.entries {
-                if !e.valid {
-                    continue;
-                }
+            let mut live = bank.valid;
+            while live != 0 {
+                let i = live.trailing_zeros() as usize;
+                live &= live - 1;
+                let e = &mut bank.entries[i];
                 e.loads.retain(|&l| l < from);
                 e.stores.retain(|&s| s < from);
                 if e.loads.is_empty() && e.stores.is_empty() {
-                    e.valid = false;
+                    bank.valid &= !(1 << i);
                 }
             }
         }
@@ -241,7 +291,7 @@ impl Arb {
     pub fn occupancy(&self) -> usize {
         self.banks
             .iter()
-            .map(|b| b.entries.iter().filter(|e| e.valid).count())
+            .map(|b| b.valid.count_ones() as usize)
             .sum()
     }
 

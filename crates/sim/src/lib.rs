@@ -12,7 +12,11 @@
 //! * a **timing simulator** ([`timing`]) modelling the ring of processing
 //!   units (4 × 2-way by default), in-order issue with register-dataflow
 //!   stalls, intra-task bimodal prediction and full squash on inter-task
-//!   mispredictions — the source of Table 4's IPC numbers.
+//!   mispredictions — the source of Table 4's IPC numbers. The [`replay`]
+//!   module records one interpreter pass per benchmark into an immutable
+//!   [`replay::InstrReplay`] so every predictor column replays the same
+//!   execution with zero re-interpretation ([`replay::simulate_replay`] is
+//!   bit-identical to [`timing::simulate`]).
 //!
 //! # Example: measuring a predictor on a workload
 //!
@@ -37,8 +41,10 @@
 
 pub mod arb;
 pub mod measure;
+pub mod replay;
 pub mod timing;
 pub mod trace;
 
 pub use measure::{task_descs, MissStats};
+pub use replay::{record_replay, simulate_replay, simulate_replay_fused, InstrReplay};
 pub use trace::{TaskEvent, TraceRun, TraceStats};

@@ -77,15 +77,19 @@ pub struct FullStats {
     pub exits: MissStats,
     /// Next-task-address accuracy (exit *and* target both right).
     pub next_task: MissStats,
-    /// Target accuracy per exit kind (Table 1 order + Halt), measured over
-    /// events whose *actual* exit had that kind.
-    pub target_by_kind: [MissStats; 6],
+    /// Target accuracy per exit kind (Table 1 order), measured over events
+    /// whose *actual* exit had that kind. No `Halt` slot: the halting task
+    /// never appears in a trace.
+    pub target_by_kind: [MissStats; 5],
 }
 
 impl FullStats {
-    /// Target accuracy for one exit kind.
+    /// Target accuracy for one exit kind (empty stats for `Halt`, which is
+    /// never predicted).
     pub fn target_stats(&self, kind: ExitKind) -> MissStats {
-        self.target_by_kind[kind_slot(kind)]
+        kind_slot(kind)
+            .map(|i| self.target_by_kind[i])
+            .unwrap_or_default()
     }
 }
 
@@ -149,7 +153,8 @@ pub fn measure_full<E: ExitPredictor>(
         // right source have produced? Only meaningfully attributable when
         // the exit itself was predicted correctly.
         if !exit_miss {
-            stats.target_by_kind[kind_slot(e.kind)].record(pred.target != Some(e.next));
+            let slot = kind_slot(e.kind).expect("halting task is never recorded");
+            stats.target_by_kind[slot].record(pred.target != Some(e.next));
         }
         predictor.update(desc, e.exit, e.next);
     }
@@ -170,6 +175,43 @@ pub fn measure_cttb_only(
         predictor.update(cur, e.next);
     }
     stats
+}
+
+/// Measures Table 3's two predictors — the full composite and the
+/// headerless CTTB-only baseline — in a single trace walk.
+///
+/// Equivalent to [`measure_full`] followed by [`measure_cttb_only`], but
+/// each event is decoded once and fed to both predictors (they never
+/// observe each other), halving the trace traffic. Results are
+/// bit-identical to the one-at-a-time loops.
+pub fn measure_table3<E: ExitPredictor>(
+    full: &mut TaskPredictor<E>,
+    only: &mut CttbOnlyPredictor,
+    descs: &[TaskDesc],
+    events: &SharedTrace,
+) -> (FullStats, MissStats) {
+    let mut full_stats = FullStats::default();
+    let mut only_stats = MissStats::default();
+    for e in events.iter() {
+        let desc = &descs[e.task.index()];
+        let pred = full.predict(desc);
+        let exit_miss = pred.exit != e.exit;
+        full_stats.exits.record(exit_miss);
+        full_stats
+            .next_task
+            .record(pred.target != Some(e.next) || exit_miss);
+        if !exit_miss {
+            let slot = kind_slot(e.kind).expect("halting task is never recorded");
+            full_stats.target_by_kind[slot].record(pred.target != Some(e.next));
+        }
+        full.update(desc, e.exit, e.next);
+
+        let cur = desc.entry();
+        let predicted = only.predict(cur);
+        only_stats.record(predicted != Some(e.next));
+        only.update(cur, e.next);
+    }
+    (full_stats, only_stats)
 }
 
 /// A target buffer as seen by the measurement loop — implemented by the
@@ -388,6 +430,46 @@ mod tests {
             "CTTB-only should learn a deterministic task sequence: {:.1}%",
             stats.miss_rate() * 100.0
         );
+    }
+
+    #[test]
+    fn fused_table3_walk_matches_separate_walks() {
+        let (_p, tp, events) = looped_program();
+        let descs = task_descs(&tp);
+        let mk_full = || {
+            TaskPredictor::<PathPredictor<Leh2>>::path(
+                Dolc::new(4, 4, 6, 6, 2),
+                Dolc::new(4, 3, 4, 4, 2),
+                16,
+            )
+        };
+        let mk_only = || CttbOnlyPredictor::new(Dolc::new(5, 4, 7, 7, 2));
+
+        let full_sep = measure_full(&mut mk_full(), &descs, &events);
+        let only_sep = measure_cttb_only(&mut mk_only(), &descs, &events);
+        let (full_fused, only_fused) =
+            measure_table3(&mut mk_full(), &mut mk_only(), &descs, &events);
+
+        assert_eq!(full_fused.exits, full_sep.exits);
+        assert_eq!(full_fused.next_task, full_sep.next_task);
+        assert_eq!(full_fused.target_by_kind, full_sep.target_by_kind);
+        assert_eq!(only_fused, only_sep);
+    }
+
+    #[test]
+    fn halt_kind_has_no_slot_and_empty_stats() {
+        let (_p, tp, events) = looped_program();
+        let descs = task_descs(&tp);
+        let mut pred = TaskPredictor::<PathPredictor<Leh2>>::path(
+            Dolc::new(4, 4, 6, 6, 2),
+            Dolc::new(4, 3, 4, 4, 2),
+            16,
+        );
+        let stats = measure_full(&mut pred, &descs, &events);
+        assert_eq!(stats.target_stats(ExitKind::Halt), MissStats::default());
+        for e in events.iter() {
+            assert_ne!(e.kind, ExitKind::Halt, "traces never record halts");
+        }
     }
 
     #[test]

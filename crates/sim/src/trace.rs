@@ -81,9 +81,10 @@ pub struct TraceStats {
     /// Dynamic task count by number of header exits (index 0 unused;
     /// `by_num_exits[k]` = tasks with `k` exits). Figure 3, "dynamic" bars.
     pub by_num_exits: [u64; 5],
-    /// Dynamic exit count by kind, Table 1 order + Halt. Figure 4,
-    /// "dynamic" bars.
-    pub by_kind: [u64; 6],
+    /// Dynamic exit count by kind, Table 1 order. Figure 4, "dynamic"
+    /// bars. There is no `Halt` slot: the final (halting) task is never
+    /// recorded, so a halt exit cannot appear in a trace.
+    pub by_kind: [u64; 5],
 }
 
 impl TraceStats {
@@ -105,26 +106,22 @@ impl TraceStats {
         }
     }
 
-    /// Fraction of dynamic exits with the given kind.
+    /// Fraction of dynamic exits with the given kind. `Halt` exits are
+    /// never recorded, so their fraction is 0.
     pub fn frac_kind(&self, kind: ExitKind) -> f64 {
-        let i = kind_slot(kind);
-        if self.dynamic_tasks == 0 {
-            0.0
-        } else {
-            self.by_kind[i] as f64 / self.dynamic_tasks as f64
+        match kind_slot(kind) {
+            Some(i) if self.dynamic_tasks != 0 => {
+                self.by_kind[i] as f64 / self.dynamic_tasks as f64
+            }
+            _ => 0.0,
         }
     }
 }
 
-pub(crate) fn kind_slot(kind: ExitKind) -> usize {
-    match kind {
-        ExitKind::Branch => 0,
-        ExitKind::Call => 1,
-        ExitKind::Return => 2,
-        ExitKind::IndirectBranch => 3,
-        ExitKind::IndirectCall => 4,
-        ExitKind::Halt => 5,
-    }
+/// Table 1 slot of an exit kind; `None` for `Halt`, which traces never
+/// record (the halting task has no successor to predict).
+pub(crate) fn kind_slot(kind: ExitKind) -> Option<usize> {
+    ExitKind::TABLE1.iter().position(|&k| k == kind)
 }
 
 /// A compact struct-of-arrays task trace, shared read-only between
@@ -275,7 +272,7 @@ pub fn stream_trace<F: FnMut(TaskEvent)>(
                 stats.dynamic_tasks += 1;
                 stats.instructions += cur_instrs as u64;
                 stats.by_num_exits[header.num_exits().min(4)] += 1;
-                stats.by_kind[kind_slot(kind)] += 1;
+                stats.by_kind[kind_slot(kind).expect("halting task is never recorded")] += 1;
                 if !seen[cur_task.index()] {
                     seen[cur_task.index()] = true;
                     distinct += 1;

@@ -103,7 +103,7 @@ fn memory_substrate_orderings() {
         );
         assert!(
             r.tiny_full_stalls > 0,
-            "{}: a 4-entry ARB must overflow",
+            "{}: a 1-entry ARB must overflow",
             r.name
         );
     }
