@@ -1,0 +1,228 @@
+//! The diagnostic type shared by every analyzer pass, plus the two
+//! renderers: a human-readable rustc-style one and a machine-readable
+//! JSON-lines one for CI.
+
+use multiscalar_isa::{Addr, Program};
+use multiscalar_taskform::TaskId;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Errors are correctness violations (speculation hardware would misbehave
+/// or the program is malformed); warnings are soundness-preserving but
+/// undesirable (lost performance, dead metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not a correctness violation (perf lints, dead exits).
+    Warning,
+    /// A violated invariant the simulator relies on.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which analyzer pass produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pass {
+    /// Instruction-level IR validation ([`crate::ir`]).
+    Ir,
+    /// Task/TFG structural checking ([`crate::tfg_check`]).
+    Tfg,
+    /// Create-mask dataflow analysis ([`crate::mask`]).
+    Mask,
+}
+
+impl Pass {
+    /// Short lowercase name used in both renderers (`error[tfg]: ...`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Ir => "ir",
+            Pass::Tfg => "tfg",
+            Pass::Mask => "create-mask",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The pass that found it.
+    pub pass: Pass,
+    /// The task the finding concerns, when task-scoped.
+    pub task: Option<TaskId>,
+    /// Human-readable description.
+    pub message: String,
+    /// The instruction address the finding anchors to, when address-scoped.
+    pub span: Option<Addr>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(pass: Pass, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            pass,
+            task: None,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(pass: Pass, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            pass,
+            task: None,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches the task the finding concerns.
+    pub fn in_task(mut self, task: TaskId) -> Diagnostic {
+        self.task = Some(task);
+        self
+    }
+
+    /// Attaches the instruction address the finding anchors to.
+    pub fn at(mut self, addr: Addr) -> Diagnostic {
+        self.span = Some(addr);
+        self
+    }
+
+    /// Renders one diagnostic rustc-style:
+    ///
+    /// ```text
+    /// error[tfg]: exit target pc 17 does not start a task
+    ///   --> main+5 (pc 17) in task#3
+    /// ```
+    ///
+    /// The `-->` line is omitted when the diagnostic has no span or task.
+    pub fn render(&self, program: &Program) -> String {
+        let mut s = format!("{}[{}]: {}", self.severity, self.pass, self.message);
+        let mut loc = String::new();
+        if let Some(addr) = self.span {
+            match program.function_at(addr).map(|fid| program.function(fid)) {
+                Some(f) => loc = format!("{}+{} (pc {})", f.name(), addr.0 - f.entry().0, addr.0),
+                None => loc = format!("pc {}", addr.0),
+            }
+        }
+        if let Some(t) = self.task {
+            if !loc.is_empty() {
+                loc.push_str(" in ");
+            }
+            loc.push_str(&t.to_string());
+        }
+        if !loc.is_empty() {
+            s.push_str("\n  --> ");
+            s.push_str(&loc);
+        }
+        s
+    }
+
+    /// Renders one diagnostic as a single JSON object (no trailing newline).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{");
+        push_json_str(&mut s, "severity", &self.severity.to_string());
+        s.push(',');
+        push_json_str(&mut s, "pass", self.pass.name());
+        s.push(',');
+        match self.task {
+            Some(t) => s.push_str(&format!("\"task\":{}", t.0)),
+            None => s.push_str("\"task\":null"),
+        }
+        s.push(',');
+        match self.span {
+            Some(a) => s.push_str(&format!("\"pc\":{}", a.0)),
+            None => s.push_str("\"pc\":null"),
+        }
+        s.push(',');
+        push_json_str(&mut s, "message", &self.message);
+        s.push('}');
+        s
+    }
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `true` if any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Renders a whole batch rustc-style, one blank line between findings,
+/// ending with a `N errors, M warnings` summary line.
+pub fn render_all(diags: &[Diagnostic], program: &Program) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render(program));
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!("{errors} errors, {warnings} warnings\n"));
+    out
+}
+
+/// Renders a whole batch as JSON lines (one object per line).
+pub fn render_all_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic::error(Pass::Ir, "a \"quoted\"\nmulti\\line");
+        let j = d.render_json();
+        assert!(j.contains("a \\\"quoted\\\"\\nmulti\\\\line"));
+        assert!(j.contains("\"task\":null"));
+    }
+
+    #[test]
+    fn severity_ordering_puts_errors_above_warnings() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+}

@@ -1,0 +1,221 @@
+//! Instruction-level IR validation.
+//!
+//! [`ProgramBuilder`](multiscalar_isa::ProgramBuilder) rejects some
+//! malformed programs at `finish()` (invalid registers, functions that fall
+//! off their end), but deliberately not everything: it happily binds a
+//! branch to a label in *another* function, or a call to a label that is
+//! not a function entry. The task former and the simulators assume neither
+//! ever happens. This pass re-checks everything from the `Program` alone,
+//! so it also covers programs assembled outside the builder.
+
+use crate::diag::{Diagnostic, Pass};
+use multiscalar_isa::{Addr, Instruction, Program};
+
+/// Validates every instruction of `program`. Returns one diagnostic per
+/// violation; an empty vector means the IR is well-formed.
+pub fn check_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    for (idx, inst) in program.code().iter().enumerate() {
+        let pc = Addr(idx as u32);
+        check_registers(pc, inst, &mut diags);
+        check_targets(program, pc, inst, &mut diags);
+        check_indirect_metadata(program, pc, inst, &mut diags);
+        if program.function_at(pc).is_none() {
+            diags.push(Diagnostic::error(Pass::Ir, "instruction belongs to no function").at(pc));
+        }
+    }
+
+    for f in program.functions() {
+        if f.is_empty() {
+            diags.push(Diagnostic::error(
+                Pass::Ir,
+                format!("function `{}` is empty", f.name()),
+            ));
+            continue;
+        }
+        let last = Addr(f.range().end - 1);
+        match program.fetch(last) {
+            Some(i) if i.is_unconditional_transfer() => {}
+            _ => diags.push(
+                Diagnostic::error(
+                    Pass::Ir,
+                    format!("function `{}` can fall off its end", f.name()),
+                )
+                .at(last),
+            ),
+        }
+    }
+
+    diags
+}
+
+fn check_registers(pc: Addr, inst: &Instruction, diags: &mut Vec<Diagnostic>) {
+    for r in inst.sources() {
+        if !r.is_valid() {
+            diags.push(
+                Diagnostic::error(Pass::Ir, format!("source register {r} out of range")).at(pc),
+            );
+        }
+    }
+    if let Some(r) = inst.dest() {
+        if !r.is_valid() {
+            diags.push(
+                Diagnostic::error(Pass::Ir, format!("destination register {r} out of range"))
+                    .at(pc),
+            );
+        }
+    }
+}
+
+fn check_targets(program: &Program, pc: Addr, inst: &Instruction, diags: &mut Vec<Diagnostic>) {
+    match *inst {
+        Instruction::Branch { target, .. } | Instruction::Jump { target } => {
+            if program.fetch(target).is_none() {
+                diags.push(
+                    Diagnostic::error(
+                        Pass::Ir,
+                        format!("transfer target pc {} is out of range", target.0),
+                    )
+                    .at(pc),
+                );
+            } else if program.function_at(target) != program.function_at(pc) {
+                diags.push(
+                    Diagnostic::error(
+                        Pass::Ir,
+                        format!("branch target pc {} lies in a different function", target.0),
+                    )
+                    .at(pc),
+                );
+            }
+        }
+        Instruction::Call { target } => check_callee(program, pc, target, diags),
+        _ => {}
+    }
+}
+
+fn check_callee(program: &Program, pc: Addr, target: Addr, diags: &mut Vec<Diagnostic>) {
+    let is_entry = program
+        .function_at(target)
+        .map(|fid| program.function(fid).entry() == target)
+        .unwrap_or(false);
+    if !is_entry {
+        diags.push(
+            Diagnostic::error(
+                Pass::Ir,
+                format!("call target pc {} is not a function entry", target.0),
+            )
+            .at(pc),
+        );
+    }
+}
+
+fn check_indirect_metadata(
+    program: &Program,
+    pc: Addr,
+    inst: &Instruction,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(targets) = program.indirect_targets(pc) else {
+        return;
+    };
+    match *inst {
+        Instruction::JumpIndirect { .. } => {
+            for &t in targets {
+                if program.fetch(t).is_none() {
+                    diags.push(
+                        Diagnostic::error(
+                            Pass::Ir,
+                            format!("declared indirect target pc {} is out of range", t.0),
+                        )
+                        .at(pc),
+                    );
+                } else if program.function_at(t) != program.function_at(pc) {
+                    diags.push(
+                        Diagnostic::error(
+                            Pass::Ir,
+                            format!(
+                                "declared indirect target pc {} lies in a different function",
+                                t.0
+                            ),
+                        )
+                        .at(pc),
+                    );
+                }
+            }
+        }
+        Instruction::CallIndirect { .. } => {
+            for &t in targets {
+                check_callee(program, pc, t, diags);
+            }
+        }
+        _ => diags.push(
+            Diagnostic::error(
+                Pass::Ir,
+                "indirect-target metadata attached to a non-indirect instruction",
+            )
+            .at(pc),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        assert!(check_program(&p).is_empty());
+    }
+
+    #[test]
+    fn cross_function_branch_is_flagged() {
+        // The builder accepts this: a branch bound to a label in another
+        // function. The validator must not.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let elsewhere = b.new_label();
+        b.branch(Cond::Eq, Reg(1), Reg(2), elsewhere);
+        b.halt();
+        b.end_function();
+        b.begin_function("other");
+        b.nop();
+        b.bind(elsewhere);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let diags = check_program(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("different function")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn call_to_mid_function_label_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let mid = b.new_label();
+        b.call_label(mid);
+        b.bind(mid);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let diags = check_program(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("not a function entry")),
+            "{diags:?}"
+        );
+    }
+}

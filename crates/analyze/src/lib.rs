@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+
+//! Static analysis over Multiscalar programs and task flow graphs.
+//!
+//! The speculation machinery of the paper trusts the compiler completely:
+//! task headers with at most four exits, exit targets that land on task
+//! entries, create masks that cover every register a task may write. This
+//! crate is the correctness gate that earns that trust. Three passes run
+//! over a [`Program`] and its task partition:
+//!
+//! * [`ir`] — instruction-level validation (register ranges, transfer
+//!   targets in range and intra-function, calls landing on function
+//!   entries);
+//! * [`tfg_check`] — task/TFG structural checking (exit counts, exit
+//!   targets resolving to task entries, exit specifiers matching their
+//!   instructions, unreachable tasks, dead exits);
+//! * [`mask`] — create-mask dataflow (a fixed-point may-write set per
+//!   task, proving the mask sound and flagging over-wide bits as perf
+//!   lints).
+//!
+//! All findings share one [`Diagnostic`] type with a rustc-style text
+//! renderer and a JSON-lines renderer for CI. The harness exposes the
+//! pipeline as `harness lint [--deny warnings] [--json]`.
+//!
+//! # Example
+//!
+//! ```
+//! use multiscalar_isa::{ProgramBuilder, Reg};
+//! use multiscalar_taskform::{TaskFlowGraph, TaskFormer};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = b.begin_function("main");
+//! b.load_imm(Reg(1), 7);
+//! b.halt();
+//! b.end_function();
+//! let p = b.finish(main).unwrap();
+//! let tasks = TaskFormer::default().form(&p).unwrap();
+//! let tfg = TaskFlowGraph::build(&tasks);
+//!
+//! let diags = multiscalar_analyze::analyze(&p, &tasks, &tfg);
+//! assert!(diags.is_empty(), "{diags:?}");
+//! ```
+
+pub mod diag;
+pub mod ir;
+pub mod mask;
+mod reach;
+pub mod tfg_check;
+
+pub use diag::{has_errors, render_all, render_all_json, Diagnostic, Pass, Severity};
+
+use multiscalar_isa::Program;
+use multiscalar_taskform::{TaskFlowGraph, TaskProgram};
+
+/// Runs every pass over a program and its task partition, returning all
+/// findings in deterministic order (by address, then task, then severity).
+pub fn analyze(program: &Program, tasks: &TaskProgram, tfg: &TaskFlowGraph) -> Vec<Diagnostic> {
+    let mut diags = ir::check_program(program);
+    diags.extend(tfg_check::check(program, tasks, tfg));
+    diags.extend(mask::check(program, tasks));
+    sort(&mut diags);
+    diags
+}
+
+/// Runs only the instruction-level pass — usable before task formation.
+pub fn analyze_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = ir::check_program(program);
+    sort(&mut diags);
+    diags
+}
+
+fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.span, a.task, std::cmp::Reverse(a.severity), &a.message).cmp(&(
+            b.span,
+            b.task,
+            std::cmp::Reverse(b.severity),
+            &b.message,
+        ))
+    });
+}

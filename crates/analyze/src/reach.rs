@@ -1,0 +1,49 @@
+//! Intra-task reachability, shared by the dead-exit detector
+//! ([`crate::tfg_check`]) and the create-mask dataflow ([`crate::mask`]).
+
+use multiscalar_cfg::{BlockId, Cfg, EdgeKind};
+use multiscalar_isa::Program;
+use multiscalar_taskform::{Task, TaskProgram};
+use std::collections::{HashMap, HashSet};
+
+/// Builds the CFG of every function once; passes index it by raw `FuncId`.
+pub(crate) fn build_cfgs(program: &Program) -> HashMap<u32, Cfg> {
+    (0..program.functions().len() as u32)
+        .map(|f| (f, Cfg::build(program, multiscalar_isa::FuncId(f))))
+        .collect()
+}
+
+/// The blocks of `task` reachable from its entry following intra-task
+/// control flow — the fixed point of "entry block ∪ successors within the
+/// task". Only fall-through, taken-branch and jump edges are intra-task;
+/// call-return and indirect-case targets are always task entries of their
+/// own.
+///
+/// Returns `None` when the task's entry does not start a basic block (a
+/// malformed partition, diagnosed separately by the TFG checker).
+pub(crate) fn reachable_blocks(
+    cfg: &Cfg,
+    tasks: &TaskProgram,
+    task: &Task,
+) -> Option<HashSet<BlockId>> {
+    let entry = cfg.block_at(task.entry())?;
+    let tid = task.id();
+    let mut seen: HashSet<BlockId> = HashSet::new();
+    let mut stack = vec![entry];
+    seen.insert(entry);
+    while let Some(b) = stack.pop() {
+        for e in cfg.block(b).succs() {
+            if !matches!(
+                e.kind,
+                EdgeKind::FallThrough | EdgeKind::Taken | EdgeKind::Jump
+            ) {
+                continue;
+            }
+            let start = cfg.block(e.to).start();
+            if tasks.task_at(start) == Some(tid) && seen.insert(e.to) {
+                stack.push(e.to);
+            }
+        }
+    }
+    Some(seen)
+}

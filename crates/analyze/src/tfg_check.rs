@@ -1,0 +1,383 @@
+//! Structural checking of a task partition and its task flow graph.
+//!
+//! Errors found here mean the global sequencer would mispredict or the
+//! register forwarding hardware would deadlock: exits that resolve to no
+//! task entry, headers whose exit specifier disagrees with the underlying
+//! instruction, tasks with no exits at all. Warnings cover speculation
+//! metadata that cannot hurt correctness but wastes header space or
+//! predictor reach (dead exits, unreachable tasks).
+
+use crate::diag::{Diagnostic, Pass};
+use crate::reach;
+use multiscalar_isa::{Addr, Cond, ExitKind, Instruction, Program, MAX_EXITS};
+use multiscalar_taskform::{ExitSpec, Task, TaskFlowGraph, TaskId, TaskProgram, TfgArc};
+use std::collections::HashSet;
+
+/// Runs every structural check. See the module docs for the error/warning
+/// split.
+pub fn check(program: &Program, tasks: &TaskProgram, tfg: &TaskFlowGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    check_coverage(program, tasks, &mut diags);
+    for t in tasks.tasks() {
+        check_task(program, tasks, t, &mut diags);
+    }
+    check_arcs(tasks, tfg, &mut diags);
+    check_reachability(program, tasks, &mut diags);
+    check_dead_exits(program, tasks, &mut diags);
+
+    diags
+}
+
+/// Every instruction must belong to a task, and the map must not extend
+/// past the program.
+fn check_coverage(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diagnostic>) {
+    for pc in 0..program.len() as u32 {
+        if tasks.task_at(Addr(pc)).is_none() {
+            diags.push(Diagnostic::error(Pass::Tfg, "instruction belongs to no task").at(Addr(pc)));
+        }
+    }
+    if tasks.task_at(Addr(program.len() as u32)).is_some() {
+        diags.push(Diagnostic::error(
+            Pass::Tfg,
+            "task map extends past the end of the program",
+        ));
+    }
+}
+
+fn check_task(program: &Program, tasks: &TaskProgram, t: &Task, diags: &mut Vec<Diagnostic>) {
+    let id = t.id();
+
+    // Entry ownership; a failure here means two tasks claim overlapping
+    // instructions (only one can own the address).
+    match tasks.task_at(t.entry()) {
+        Some(owner) if owner == id => {}
+        Some(owner) => diags.push(
+            Diagnostic::error(
+                Pass::Tfg,
+                format!("duplicate task entry: address also owned by {owner}"),
+            )
+            .in_task(id)
+            .at(t.entry()),
+        ),
+        None => diags.push(
+            Diagnostic::error(Pass::Tfg, "task entry lies outside the program")
+                .in_task(id)
+                .at(t.entry()),
+        ),
+    }
+    for &b in t.block_starts() {
+        if tasks.task_at(b) != Some(id) {
+            diags.push(
+                Diagnostic::error(Pass::Tfg, "task block not owned by the task")
+                    .in_task(id)
+                    .at(b),
+            );
+        }
+    }
+
+    // Exit count. A task with no exits can never hand control to a
+    // successor: the sequencer would stall forever at its head.
+    let n = t.header().num_exits();
+    if n == 0 {
+        diags.push(
+            Diagnostic::error(Pass::Tfg, "task has no exits")
+                .in_task(id)
+                .at(t.entry()),
+        );
+    } else if n > MAX_EXITS {
+        diags.push(
+            Diagnostic::error(
+                Pass::Tfg,
+                format!("task has {n} exits, the header encodes at most {MAX_EXITS}"),
+            )
+            .in_task(id)
+            .at(t.entry()),
+        );
+    }
+
+    for e in t.header().exits() {
+        check_exit(program, tasks, t, e, diags);
+    }
+}
+
+fn check_exit(
+    program: &Program,
+    tasks: &TaskProgram,
+    t: &Task,
+    e: &ExitSpec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let id = t.id();
+    if tasks.task_at(e.source) != Some(id) {
+        diags.push(
+            Diagnostic::error(Pass::Tfg, "exit source lies outside the task")
+                .in_task(id)
+                .at(e.source),
+        );
+        return;
+    }
+
+    // Exit targets and call return points are what the sequencer predicts
+    // among — each must itself start a task.
+    for (what, addr) in [
+        ("exit target", e.target),
+        ("call return point", e.return_addr),
+    ] {
+        if let Some(a) = addr {
+            if tasks.task_entered_at(a).is_none() {
+                diags.push(
+                    Diagnostic::error(
+                        Pass::Tfg,
+                        format!("{what} pc {} does not start a task", a.0),
+                    )
+                    .in_task(id)
+                    .at(e.source),
+                );
+            }
+        }
+    }
+
+    check_exit_kind(program, t, e, diags);
+}
+
+/// The exit specifier must describe the instruction that realises it —
+/// the hardware decodes the specifier *instead of* the instruction.
+fn check_exit_kind(program: &Program, t: &Task, e: &ExitSpec, diags: &mut Vec<Diagnostic>) {
+    let id = t.id();
+    let Some(inst) = program.fetch(e.source) else {
+        diags.push(
+            Diagnostic::error(Pass::Tfg, "exit source lies outside the program")
+                .in_task(id)
+                .at(e.source),
+        );
+        return;
+    };
+    let mut bad = |why: &str| {
+        diags.push(
+            Diagnostic::error(
+                Pass::Tfg,
+                format!("{} exit specifier does not match `{inst}`: {why}", e.kind),
+            )
+            .in_task(id)
+            .at(e.source),
+        );
+    };
+    match e.kind {
+        ExitKind::Branch => {
+            // Taken branch, jump, or implicit fall-through past the last
+            // instruction of a block — anything that stays on the direct
+            // control-flow path.
+            let ok_target = match inst {
+                Instruction::Branch { target, .. } => {
+                    e.target == Some(target) || e.target == Some(e.source.next())
+                }
+                Instruction::Jump { target } => e.target == Some(target),
+                i if !i.is_unconditional_transfer() => e.target == Some(e.source.next()),
+                _ => {
+                    bad("instruction always transfers control some other way");
+                    return;
+                }
+            };
+            if !ok_target {
+                bad("exit target is neither the transfer target nor the fall-through");
+            }
+        }
+        ExitKind::Call => match inst {
+            Instruction::Call { target }
+                if e.target == Some(target) && e.return_addr == Some(e.source.next()) => {}
+            Instruction::Call { .. } => bad("target or return address is wrong"),
+            _ => bad("instruction is not a call"),
+        },
+        ExitKind::IndirectCall => match inst {
+            Instruction::CallIndirect { .. } if e.return_addr == Some(e.source.next()) => {}
+            Instruction::CallIndirect { .. } => bad("return address is wrong"),
+            _ => bad("instruction is not an indirect call"),
+        },
+        ExitKind::IndirectBranch => {
+            if !matches!(inst, Instruction::JumpIndirect { .. }) {
+                bad("instruction is not an indirect jump");
+            }
+        }
+        ExitKind::Return => {
+            if !matches!(inst, Instruction::Return) {
+                bad("instruction is not a return");
+            }
+        }
+        ExitKind::Halt => {
+            if !matches!(inst, Instruction::Halt) {
+                bad("instruction is not a halt");
+            }
+        }
+    }
+}
+
+/// The TFG must mirror the headers it was built from.
+fn check_arcs(tasks: &TaskProgram, tfg: &TaskFlowGraph, diags: &mut Vec<Diagnostic>) {
+    if tfg.len() != tasks.static_task_count() {
+        diags.push(Diagnostic::error(
+            Pass::Tfg,
+            format!(
+                "TFG has {} nodes for {} tasks",
+                tfg.len(),
+                tasks.static_task_count()
+            ),
+        ));
+        return;
+    }
+    for t in tasks.tasks() {
+        let arcs = tfg.arcs(t.id());
+        if arcs.len() != t.header().num_exits() {
+            diags.push(
+                Diagnostic::error(
+                    Pass::Tfg,
+                    format!(
+                        "TFG records {} arcs for {} header exits",
+                        arcs.len(),
+                        t.header().num_exits()
+                    ),
+                )
+                .in_task(t.id()),
+            );
+            continue;
+        }
+        for (e, a) in t.header().exits().iter().zip(arcs) {
+            let expect = e
+                .target
+                .and_then(|addr| tasks.task_entered_at(addr))
+                .map_or(TfgArc::Unknown(e.kind), TfgArc::To);
+            if *a != expect {
+                diags.push(
+                    Diagnostic::error(
+                        Pass::Tfg,
+                        format!("TFG arc {a:?} disagrees with header exit ({expect:?})"),
+                    )
+                    .in_task(t.id())
+                    .at(e.source),
+                );
+            }
+        }
+    }
+}
+
+/// Flags tasks no execution starting at the program entry can ever enter.
+/// Reachability follows statically-known exit targets, call return points,
+/// and declared indirect-target metadata.
+fn check_reachability(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diagnostic>) {
+    if tasks.tasks().is_empty() {
+        return;
+    }
+    let Some(entry_task) = tasks.task_entered_at(program.entry_point()) else {
+        diags.push(
+            Diagnostic::error(Pass::Tfg, "program entry point does not start a task")
+                .at(program.entry_point()),
+        );
+        return;
+    };
+
+    let mut seen: HashSet<TaskId> = HashSet::new();
+    let mut stack = vec![entry_task];
+    seen.insert(entry_task);
+    while let Some(id) = stack.pop() {
+        let t = tasks.task(id);
+        let visit = |addr: Addr, seen: &mut HashSet<TaskId>, stack: &mut Vec<TaskId>| {
+            if let Some(s) = tasks.task_entered_at(addr) {
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        };
+        for e in t.header().exits() {
+            if let Some(a) = e.target {
+                visit(a, &mut seen, &mut stack);
+            }
+            if let Some(a) = e.return_addr {
+                visit(a, &mut seen, &mut stack);
+            }
+            if let Some(indirect) = program.indirect_targets(e.source) {
+                for &a in indirect {
+                    visit(a, &mut seen, &mut stack);
+                }
+            }
+        }
+    }
+
+    for t in tasks.tasks() {
+        if !seen.contains(&t.id()) {
+            diags.push(
+                Diagnostic::warning(Pass::Tfg, "task is unreachable from the program entry")
+                    .in_task(t.id())
+                    .at(t.entry()),
+            );
+        }
+    }
+}
+
+/// Flags exits that can never be taken: exits whose source block is not
+/// reachable within the task, and branch exits on the statically dead side
+/// of a register-compared-with-itself conditional.
+fn check_dead_exits(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diagnostic>) {
+    let cfgs = reach::build_cfgs(program);
+    for t in tasks.tasks() {
+        let Some(cfg) = cfgs.get(&t.func().0) else {
+            continue;
+        };
+        let Some(live) = reach::reachable_blocks(cfg, tasks, t) else {
+            diags.push(
+                Diagnostic::error(Pass::Tfg, "task entry does not start a basic block")
+                    .in_task(t.id())
+                    .at(t.entry()),
+            );
+            continue;
+        };
+        for e in t.header().exits() {
+            if tasks.task_at(e.source) != Some(t.id()) {
+                continue; // already an error
+            }
+            match cfg.block_containing(e.source) {
+                Some(b) if live.contains(&b) => check_infeasible_branch(program, t, e, diags),
+                Some(_) => diags.push(
+                    Diagnostic::warning(
+                        Pass::Tfg,
+                        "dead exit: source block is unreachable within the task",
+                    )
+                    .in_task(t.id())
+                    .at(e.source),
+                ),
+                None => {}
+            }
+        }
+    }
+}
+
+fn check_infeasible_branch(program: &Program, t: &Task, e: &ExitSpec, diags: &mut Vec<Diagnostic>) {
+    let Some(Instruction::Branch {
+        cond,
+        rs1,
+        rs2,
+        target,
+    }) = program.fetch(e.source)
+    else {
+        return;
+    };
+    if rs1 != rs2 || target == e.source.next() {
+        return; // feasible, or taken and fall-through coincide
+    }
+    // Comparing a register with itself decides the branch statically.
+    let always_taken = matches!(cond, Cond::Eq | Cond::Ge | Cond::Geu);
+    let dead_side = if always_taken {
+        e.source.next() // never falls through
+    } else {
+        target // never taken
+    };
+    if e.target == Some(dead_side) {
+        diags.push(
+            Diagnostic::warning(
+                Pass::Tfg,
+                format!("dead exit: `b{cond} {rs1}, {rs1}` always goes the other way",),
+            )
+            .in_task(t.id())
+            .at(e.source),
+        );
+    }
+}

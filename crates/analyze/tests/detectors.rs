@@ -1,0 +1,306 @@
+//! Each analyzer detector must fire on a crafted bad input — and stay
+//! silent on known-good programs, including every built-in workload and a
+//! seeded sweep of synthetic programs.
+
+use multiscalar_analyze::{analyze, has_errors, Pass, Severity};
+use multiscalar_isa::{Addr, AluOp, Cond, FuncId, Program, ProgramBuilder, Reg};
+use multiscalar_taskform::{
+    ExitSpec, Task, TaskFlowGraph, TaskFormConfig, TaskFormer, TaskHeader, TaskId, TaskProgram,
+};
+use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+fn form(p: &Program) -> TaskProgram {
+    TaskFormer::default().form(p).unwrap()
+}
+
+fn run(p: &Program, tp: &TaskProgram) -> Vec<multiscalar_analyze::Diagnostic> {
+    analyze(p, tp, &TaskFlowGraph::build(tp))
+}
+
+/// A small program exercising calls, loops and branches that must produce
+/// zero diagnostics end to end.
+fn known_good() -> Program {
+    let mut b = ProgramBuilder::new();
+    let callee = b.begin_function("callee");
+    b.op_imm(AluOp::Add, Reg(5), Reg(5), 1);
+    b.ret();
+    b.end_function();
+    let main = b.begin_function("main");
+    let top = b.here_label();
+    b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+    b.call_label(callee);
+    b.branch(Cond::Lt, Reg(1), Reg(2), top);
+    b.halt();
+    b.end_function();
+    b.finish(main).unwrap()
+}
+
+#[test]
+fn known_good_program_produces_zero_diagnostics() {
+    let p = known_good();
+    let tp = form(&p);
+    let diags = run(&p, &tp);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn ir_validator_fires_on_cross_function_branch() {
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    let elsewhere = b.new_label();
+    b.branch(Cond::Eq, Reg(1), Reg(2), elsewhere);
+    b.halt();
+    b.end_function();
+    b.begin_function("other");
+    b.nop();
+    b.bind(elsewhere);
+    b.halt();
+    b.end_function();
+    let p = b.finish(main).unwrap();
+    let diags = multiscalar_analyze::analyze_program(&p);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].pass, Pass::Ir);
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].message.contains("different function"));
+}
+
+#[test]
+fn dead_exit_fires_on_infeasible_branch_side() {
+    // `beq r0, r0` always loops back to the task entry; with one block per
+    // task the fall-through side is a separate exit that can never be
+    // taken.
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    let top = b.here_label();
+    b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(Cond::Eq, Reg(0), Reg(0), top);
+    b.halt();
+    b.end_function();
+    let p = b.finish(main).unwrap();
+    let tp = TaskFormer::new(TaskFormConfig {
+        max_instrs: 2,
+        max_blocks: 1,
+    })
+    .form(&p)
+    .unwrap();
+    let diags = run(&p, &tp);
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message.starts_with("dead exit"))
+        .collect();
+    assert_eq!(dead.len(), 1, "{diags:?}");
+    assert_eq!(dead[0].severity, Severity::Warning);
+    assert_eq!(dead[0].span, Some(Addr(1)));
+    // The halt task is now unreachable too — but no errors anywhere.
+    assert!(!has_errors(&diags), "{diags:?}");
+}
+
+#[test]
+fn dead_exit_fires_on_unreachable_source_block() {
+    // Raw fixture: a task claiming a block its entry can never reach.
+    //
+    //   pc0  li r1, 1      \  task 0 (reachable block)
+    //   pc1  j pc3         /
+    //   pc2  halt          -- task 0 (orphan block: jump skips it)
+    //   pc3  halt          -- task 1
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    let end = b.new_label();
+    b.load_imm(Reg(1), 1);
+    b.jump(end);
+    b.halt();
+    b.bind(end);
+    b.halt();
+    b.end_function();
+    let p = b.finish(main).unwrap();
+
+    let t0 = Task::from_raw_parts(
+        TaskId(0),
+        FuncId(0),
+        Addr(0),
+        TaskHeader::with_create_mask(
+            vec![
+                ExitSpec {
+                    source: Addr(1),
+                    kind: multiscalar_isa::ExitKind::Branch,
+                    target: Some(Addr(3)),
+                    return_addr: None,
+                },
+                ExitSpec {
+                    source: Addr(2),
+                    kind: multiscalar_isa::ExitKind::Halt,
+                    target: None,
+                    return_addr: None,
+                },
+            ],
+            1 << 1,
+        ),
+        vec![Addr(0), Addr(2)],
+        3,
+    );
+    let t1 = Task::from_raw_parts(
+        TaskId(1),
+        FuncId(0),
+        Addr(3),
+        TaskHeader::new(vec![ExitSpec {
+            source: Addr(3),
+            kind: multiscalar_isa::ExitKind::Halt,
+            target: None,
+            return_addr: None,
+        }]),
+        vec![Addr(3)],
+        1,
+    );
+    let tp = TaskProgram::from_raw_parts(
+        vec![t0, t1],
+        vec![TaskId(0), TaskId(0), TaskId(0), TaskId(1)],
+    );
+    let diags = run(&p, &tp);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert_eq!(diags[0].span, Some(Addr(2)));
+    assert!(diags[0].message.contains("source block is unreachable"));
+}
+
+#[test]
+fn unreachable_task_fires_on_uncalled_function() {
+    let mut b = ProgramBuilder::new();
+    b.begin_function("orphan");
+    b.op_imm(AluOp::Add, Reg(3), Reg(3), 1);
+    b.ret();
+    b.end_function();
+    let main = b.begin_function("main");
+    b.load_imm(Reg(1), 1);
+    b.halt();
+    b.end_function();
+    let p = b.finish(main).unwrap();
+    let tp = form(&p);
+    let diags = run(&p, &tp);
+    let unreachable: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message.contains("unreachable from the program entry"))
+        .collect();
+    assert_eq!(unreachable.len(), 1, "{diags:?}");
+    assert_eq!(unreachable[0].severity, Severity::Warning);
+    assert_eq!(
+        unreachable[0].task,
+        tp.task_entered_at(Addr(0))
+            .map(|_| tp.task_at(Addr(0)).unwrap())
+    );
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn zero_exit_task_is_an_error() {
+    let p = known_good();
+    let mut tp = form(&p);
+    let victim = tp.task_at(p.entry_point()).unwrap();
+    tp.tasks_mut()[victim.index()].set_header(TaskHeader::new(vec![]));
+    let diags = run(&p, &tp);
+    let zero: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message == "task has no exits")
+        .collect();
+    assert_eq!(zero.len(), 1, "{diags:?}");
+    assert_eq!(zero[0].severity, Severity::Error);
+    assert_eq!(zero[0].task, Some(victim));
+}
+
+#[test]
+fn unsound_create_mask_is_an_error() {
+    let p = known_good();
+    let mut tp = form(&p);
+    // Clear one genuinely-written bit out of some task's mask.
+    let (victim, header) = tp
+        .tasks()
+        .iter()
+        .find_map(|t| {
+            let m = t.header().create_mask();
+            (m != 0).then(|| {
+                let low = m & m.wrapping_neg();
+                (
+                    t.id(),
+                    TaskHeader::with_create_mask(t.header().exits().to_vec(), m & !low),
+                )
+            })
+        })
+        .expect("some task writes a register");
+    tp.tasks_mut()[victim.index()].set_header(header);
+    let diags = run(&p, &tp);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(diags[0].pass, Pass::Mask);
+    assert_eq!(diags[0].task, Some(victim));
+    assert!(diags[0].message.contains("unsound create mask"));
+}
+
+#[test]
+fn over_wide_create_mask_is_a_warning() {
+    let p = known_good();
+    let mut tp = form(&p);
+    let victim = tp.task_at(p.entry_point()).unwrap();
+    let t = &tp.tasks()[victim.index()];
+    // r29 is written nowhere in the program.
+    let header = TaskHeader::with_create_mask(
+        t.header().exits().to_vec(),
+        t.header().create_mask() | (1 << 29),
+    );
+    tp.tasks_mut()[victim.index()].set_header(header);
+    let diags = run(&p, &tp);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert_eq!(diags[0].pass, Pass::Mask);
+    assert!(diags[0].message.contains("over-wide create mask"));
+    assert!(diags[0].message.contains("r29"));
+}
+
+#[test]
+fn duplicate_task_entry_is_an_error() {
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    b.load_imm(Reg(1), 1);
+    b.halt();
+    b.end_function();
+    let p = b.finish(main).unwrap();
+    let header = || {
+        TaskHeader::with_create_mask(
+            vec![ExitSpec {
+                source: Addr(1),
+                kind: multiscalar_isa::ExitKind::Halt,
+                target: None,
+                return_addr: None,
+            }],
+            1 << 1,
+        )
+    };
+    let mk = |id| Task::from_raw_parts(TaskId(id), FuncId(0), Addr(0), header(), vec![Addr(0)], 2);
+    let tp = TaskProgram::from_raw_parts(vec![mk(0), mk(1)], vec![TaskId(0), TaskId(0)]);
+    let diags = run(&p, &tp);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("duplicate task entry")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn all_builtin_workloads_lint_clean() {
+    for spec in Spec92::ALL {
+        let w = spec.build(&WorkloadParams::small(42));
+        let tp = form(&w.program);
+        let diags = run(&w.program, &tp);
+        assert!(diags.is_empty(), "{}: {diags:#?}", w.name);
+    }
+}
+
+#[test]
+fn synthetic_sweep_lints_clean() {
+    for seed in 0..24u64 {
+        let p = random_program(seed, &SyntheticConfig::default());
+        let tp = form(&p);
+        let diags = run(&p, &tp);
+        assert!(diags.is_empty(), "seed {seed}: {diags:#?}");
+    }
+}

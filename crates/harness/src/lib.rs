@@ -35,6 +35,7 @@ pub mod csv;
 pub mod dispatch;
 pub mod experiments;
 pub mod extensions;
+pub mod lint;
 pub mod pool;
 pub mod report;
 pub mod verify;

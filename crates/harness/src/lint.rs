@@ -1,0 +1,157 @@
+//! `harness lint` — runs every `multiscalar-analyze` pass over the built-in
+//! workloads plus a sweep of synthetic programs; the CI correctness gate
+//! for the task-formation pipeline.
+
+use multiscalar_analyze::{analyze, Diagnostic, Severity};
+use multiscalar_taskform::{TaskFlowGraph, TaskFormer};
+use multiscalar_workloads::synthetic::{random_program, SyntheticConfig};
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+/// How many synthetic seeds the lint sweeps in addition to the five
+/// built-in workloads.
+pub const SYNTHETIC_SEEDS: u64 = 8;
+
+/// Lint results for one target program.
+#[derive(Debug, Clone)]
+pub struct LintTarget {
+    /// Target name (`gcc`, ..., `synthetic/3`).
+    pub name: String,
+    /// The linted program (kept for rendering spans).
+    pub program: multiscalar_isa::Program,
+    /// All diagnostics, in deterministic order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintTarget {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+}
+
+/// Lints one already-built program.
+pub fn lint_program(name: &str, program: multiscalar_isa::Program) -> LintTarget {
+    let diagnostics = match TaskFormer::default().form(&program) {
+        Ok(tasks) => {
+            let tfg = TaskFlowGraph::build(&tasks);
+            analyze(&program, &tasks, &tfg)
+        }
+        // Task formation refusing a program is itself a finding; the IR
+        // pass still runs so the underlying cause is visible too.
+        Err(e) => {
+            let mut diags = multiscalar_analyze::analyze_program(&program);
+            diags.push(Diagnostic::error(
+                multiscalar_analyze::Pass::Tfg,
+                format!("task formation failed: {e}"),
+            ));
+            diags
+        }
+    };
+    LintTarget {
+        name: name.to_string(),
+        program,
+        diagnostics,
+    }
+}
+
+/// Lints the five built-in workloads and [`SYNTHETIC_SEEDS`] synthetic
+/// programs derived from `params.seed`.
+pub fn lint_all(params: &WorkloadParams) -> Vec<LintTarget> {
+    let mut targets = Vec::new();
+    for &spec in Spec92::ALL.iter() {
+        let w = spec.build(params);
+        targets.push(lint_program(w.name, w.program));
+    }
+    for i in 0..SYNTHETIC_SEEDS {
+        let seed = params.seed.wrapping_add(i);
+        let p = random_program(seed, &SyntheticConfig::default());
+        targets.push(lint_program(&format!("synthetic/{seed}"), p));
+    }
+    targets
+}
+
+/// Renders a lint run as human-readable text (one block per target with
+/// findings, then a summary line).
+pub fn render(targets: &[LintTarget]) -> String {
+    let mut out = String::new();
+    for t in targets {
+        if t.diagnostics.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("# {}\n", t.name));
+        out.push_str(&multiscalar_analyze::render_all(&t.diagnostics, &t.program));
+        out.push('\n');
+    }
+    let errors: usize = targets.iter().map(|t| t.errors()).sum();
+    let warnings: usize = targets.iter().map(|t| t.warnings()).sum();
+    out.push_str(&format!(
+        "linted {} targets: {errors} errors, {warnings} warnings\n",
+        targets.len()
+    ));
+    out
+}
+
+/// Renders a lint run as JSON lines; each line carries its target name.
+pub fn render_json(targets: &[LintTarget]) -> String {
+    let mut out = String::new();
+    for t in targets {
+        for d in &t.diagnostics {
+            out.push_str(&format!(
+                "{{\"target\":\"{}\",\"diagnostic\":{}}}\n",
+                t.name,
+                d.render_json()
+            ));
+        }
+    }
+    out
+}
+
+/// `true` if the run should fail CI: any error, or any warning when
+/// `deny_warnings` is set.
+pub fn failed(targets: &[LintTarget], deny_warnings: bool) -> bool {
+    targets
+        .iter()
+        .any(|t| t.errors() > 0 || (deny_warnings && t.warnings() > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_workloads_and_synthetics_lint_clean() {
+        let targets = lint_all(&WorkloadParams::small(7));
+        assert!(!failed(&targets, true), "{}", render(&targets));
+    }
+
+    #[test]
+    fn lint_reports_a_broken_program() {
+        use multiscalar_isa::{Cond, ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let elsewhere = b.new_label();
+        b.branch(Cond::Eq, Reg(1), Reg(2), elsewhere);
+        b.halt();
+        b.end_function();
+        b.begin_function("other");
+        b.nop();
+        b.bind(elsewhere);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let t = lint_program("broken", p);
+        assert!(t.errors() > 0);
+        let text = render(std::slice::from_ref(&t));
+        assert!(text.contains("error[ir]"), "{text}");
+        let json = render_json(std::slice::from_ref(&t));
+        assert!(json.contains("\"target\":\"broken\""), "{json}");
+    }
+}

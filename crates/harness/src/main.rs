@@ -39,6 +39,8 @@ struct Args {
     csv_dir: Option<std::path::PathBuf>,
     pool: Pool,
     engine: Engine,
+    deny_warnings: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut pool = Pool::auto();
     let mut engine = Engine::Replay;
+    let mut deny_warnings = false;
+    let mut json = false;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -74,6 +78,14 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad thread count: {e}"))?,
                 )
             }
+            "--deny" => {
+                let what = value()?;
+                if what != "warnings" {
+                    return Err(format!("unknown deny class `{what}` (only `warnings`)"));
+                }
+                deny_warnings = true;
+            }
+            "--json" => json = true,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -84,13 +96,16 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         pool,
         engine,
+        deny_warnings,
+        json,
     })
 }
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
-     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify|bench-pr1|bench-pr2> \
-     [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay]"
+     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify|lint|bench-pr1|bench-pr2> \
+     [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
+     [--deny warnings] [--json]"
         .to_string()
 }
 
@@ -221,6 +236,19 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
+        };
+    }
+    if args.experiment == "lint" {
+        let targets = multiscalar_harness::lint::lint_all(&args.params);
+        if args.json {
+            print!("{}", multiscalar_harness::lint::render_json(&targets));
+        } else {
+            print!("{}", multiscalar_harness::lint::render(&targets));
+        }
+        return if multiscalar_harness::lint::failed(&targets, args.deny_warnings) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
         };
     }
     if args.experiment == "bench-pr1" {

@@ -93,6 +93,12 @@ pub struct Arb {
     full_events: u64,
     /// Total violations detected.
     violations: u64,
+    /// Sanitizer state: sequence number of the last committed stage, used
+    /// to assert that commit order is strictly FIFO across the whole run
+    /// (squashes may drop stages, but a committed sequence number can never
+    /// repeat or decrease).
+    #[cfg(feature = "sanitize")]
+    last_committed: Option<u64>,
 }
 
 impl Arb {
@@ -121,6 +127,8 @@ impl Arb {
             touched: VecDeque::new(),
             full_events: 0,
             violations: 0,
+            #[cfg(feature = "sanitize")]
+            last_committed: None,
         }
     }
 
@@ -244,8 +252,23 @@ impl Arb {
 
     /// Commits the head (oldest) stage: erases its marks and frees empty
     /// entries. Returns the committed task's sequence number.
+    ///
+    /// # Panics
+    ///
+    /// With the `sanitize` feature, panics if commit order is not strictly
+    /// FIFO (a committed sequence number repeats or decreases).
     pub fn commit_head(&mut self) -> Option<u64> {
         let seq = self.window.pop_front()?;
+        #[cfg(feature = "sanitize")]
+        {
+            if let Some(prev) = self.last_committed {
+                assert!(
+                    seq > prev,
+                    "sanitize: ARB commit order violated: stage {seq} after {prev}"
+                );
+            }
+            self.last_committed = Some(seq);
+        }
         // Only the slots this stage marked can hold its marks; stale slots
         // (marks already erased by a squash, or re-allocated entries) fall
         // through the retains as no-ops.

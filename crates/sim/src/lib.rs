@@ -18,6 +18,11 @@
 //!   execution with zero re-interpretation ([`replay::simulate_replay`] is
 //!   bit-identical to [`timing::simulate`]).
 //!
+//! Building with `--features sanitize` arms runtime assertions over the
+//! timing model's invariants (FIFO ARB commit order, monotone ring clocks)
+//! and exposes the `sanitize` module's lockstep replay/interpreter
+//! agreement checker; see DESIGN.md.
+//!
 //! # Example: measuring a predictor on a workload
 //!
 //! ```no_run
@@ -42,6 +47,8 @@
 pub mod arb;
 pub mod measure;
 pub mod replay;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod timing;
 pub mod trace;
 

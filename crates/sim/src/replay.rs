@@ -226,7 +226,7 @@ pub fn record_replay(
 /// A cursor walking an [`InstrReplay`] as a [`StepSource`]. Infallible by
 /// construction: recording already resolved every error. Holds shrinking
 /// slices rather than indices so the hot path carries no bounds checks.
-struct ReplayCursor<'a> {
+pub(crate) struct ReplayCursor<'a> {
     /// Remaining op words; the last element is the halting instruction.
     ops: &'a [u32],
     /// Remaining load/store word addresses.
@@ -243,7 +243,7 @@ struct ReplayCursor<'a> {
 }
 
 impl<'a> ReplayCursor<'a> {
-    fn new(r: &'a InstrReplay) -> ReplayCursor<'a> {
+    pub(crate) fn new(r: &'a InstrReplay) -> ReplayCursor<'a> {
         ReplayCursor {
             ops: &r.ops,
             mem_addrs: &r.mem_addrs,

@@ -271,7 +271,7 @@ impl OpClass {
 
 /// A pre-resolved task-boundary crossing attached to the instruction that
 /// caused it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct BoundaryStep {
     /// Static id of the retiring task (index into the `descs` slice).
     pub task: u32,
@@ -282,7 +282,7 @@ pub(crate) struct BoundaryStep {
 }
 
 /// One instruction's timing-relevant facts, as fed to [`simulate_core`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct CoreStep {
     /// First/second source register ([`NO_REG`] when absent).
     pub src1: u8,
@@ -314,7 +314,7 @@ pub(crate) trait StepSource {
 
 /// The interpreter-backed [`StepSource`]: executes the program and resolves
 /// task boundaries on the fly, exactly as trace generation does.
-struct InterpSource<'a> {
+pub(crate) struct InterpSource<'a> {
     interp: Interpreter<'a>,
     tasks: &'a TaskProgram,
     cur_task: TaskId,
@@ -323,7 +323,11 @@ struct InterpSource<'a> {
 }
 
 impl<'a> InterpSource<'a> {
-    fn new(program: &'a Program, tasks: &'a TaskProgram, max_steps: u64) -> InterpSource<'a> {
+    pub(crate) fn new(
+        program: &'a Program,
+        tasks: &'a TaskProgram,
+        max_steps: u64,
+    ) -> InterpSource<'a> {
         let cur_task = tasks
             .task_entered_at(program.entry_point())
             .expect("entry starts a task");
@@ -667,6 +671,23 @@ impl<'p> CoreState<'p> {
                     self.written_this_task = 0;
                 }
                 let commit = self.complete.max(self.prev_commit);
+                // Sanitizer: commit is strictly FIFO, so the commit clock
+                // and every unit's free time can only move forward.
+                #[cfg(feature = "sanitize")]
+                {
+                    assert!(
+                        commit >= self.prev_commit,
+                        "sanitize: commit time went backwards ({commit} < {})",
+                        self.prev_commit
+                    );
+                    assert!(
+                        commit + 1 >= self.unit_free[self.cur_unit],
+                        "sanitize: unit {} free time went backwards ({} -> {})",
+                        self.cur_unit,
+                        self.unit_free[self.cur_unit],
+                        commit + 1
+                    );
+                }
                 self.unit_free[self.cur_unit] = commit + 1;
 
                 // Advance the ARB stage window with the ring: commit is

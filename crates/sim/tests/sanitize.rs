@@ -1,0 +1,55 @@
+//! Integration tests for the `sanitize` runtime sanitizer
+//! (`cargo test --features sanitize -p multiscalar-sim`).
+
+#![cfg(feature = "sanitize")]
+
+use multiscalar_sim::arb::{Arb, ArbConfig};
+use multiscalar_sim::sanitize::check_replay_agreement;
+use multiscalar_sim::timing::{simulate, TimingConfig};
+use multiscalar_sim::{record_replay, simulate_replay, task_descs};
+use multiscalar_taskform::TaskFormer;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+/// The two step feeds agree in lockstep on every built-in workload — the
+/// strongest form of the "replay is bit-identical" claim, checked step by
+/// step rather than only on the final result.
+#[test]
+fn replay_agrees_with_interpreter_on_all_workloads() {
+    for &spec in Spec92::ALL.iter() {
+        let w = spec.build(&WorkloadParams::small(3));
+        let tasks = TaskFormer::default().form(&w.program).unwrap();
+        let steps = check_replay_agreement(&w.program, &tasks, w.max_steps)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert!(steps > 0, "{spec}: empty execution");
+    }
+}
+
+/// A full sanitized timing run: every armed assertion (ARB FIFO commit,
+/// monotone ring clocks) must hold over a real workload, and the replay
+/// engine must still match the interpreter bit for bit.
+#[test]
+fn sanitized_timing_run_holds_all_invariants() {
+    let w = Spec92::Compress.build(&WorkloadParams::small(5));
+    let tasks = TaskFormer::default().form(&w.program).unwrap();
+    let descs = task_descs(&tasks);
+    let config = TimingConfig::default();
+    let legacy = simulate(&w.program, &tasks, &descs, None, &config, w.max_steps).unwrap();
+    let replay = record_replay(&w.program, &tasks, w.max_steps).unwrap();
+    let fast = simulate_replay(&replay, &descs, None, &config);
+    assert_eq!(legacy, fast);
+    assert!(legacy.instructions > 0);
+}
+
+/// The ARB commit-order assertion actually fires: after committing stage 5,
+/// committing a lower-numbered stage is a sanitizer panic.
+#[test]
+fn arb_commit_order_assertion_fires() {
+    let mut a = Arb::new(ArbConfig::default());
+    a.begin_task(5);
+    assert_eq!(a.commit_head(), Some(5));
+    // The window is empty, so `begin_task` accepts any sequence number —
+    // only the sanitizer knows stage 3 would commit out of FIFO order.
+    a.begin_task(3);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.commit_head()));
+    assert!(r.is_err(), "committing 3 after 5 must trip the sanitizer");
+}

@@ -65,6 +65,40 @@ impl Task {
     pub fn num_instrs(&self) -> usize {
         self.num_instrs
     }
+
+    /// Assembles a task from raw parts, bypassing the task former.
+    ///
+    /// No validation is performed — the parts may describe a partition that
+    /// violates every task-formation invariant. That is the point: analyzer
+    /// tests use this to build adversarial fixtures (unsound create masks,
+    /// exits pointing nowhere) that the former itself would never produce.
+    /// Production code should always go through `TaskFormer`.
+    pub fn from_raw_parts(
+        id: TaskId,
+        func: FuncId,
+        entry: Addr,
+        header: TaskHeader,
+        block_starts: Vec<Addr>,
+        num_instrs: usize,
+    ) -> Task {
+        Task {
+            id,
+            func,
+            entry,
+            header,
+            block_starts,
+            num_instrs,
+        }
+    }
+
+    /// Replaces the task's header, keeping everything else.
+    ///
+    /// Like [`Task::from_raw_parts`], this exists so analyzer tests can
+    /// tamper with a well-formed partition (e.g. corrupt one create mask)
+    /// without reconstructing the whole `TaskProgram` by hand.
+    pub fn set_header(&mut self, header: TaskHeader) {
+        self.header = header;
+    }
 }
 
 /// The result of task formation: every instruction of the program assigned
@@ -77,6 +111,24 @@ pub struct TaskProgram {
 }
 
 impl TaskProgram {
+    /// Assembles a task program from raw parts, bypassing the task former.
+    ///
+    /// `task_by_addr[pc]` names the task owning instruction address `pc`.
+    /// No validation is performed (see [`Task::from_raw_parts`]); feed the
+    /// result to `multiscalar-analyze` to find out everything wrong with it.
+    pub fn from_raw_parts(tasks: Vec<Task>, task_by_addr: Vec<TaskId>) -> TaskProgram {
+        TaskProgram {
+            tasks,
+            task_by_addr,
+        }
+    }
+
+    /// Mutable access to the tasks, for tests that corrupt a well-formed
+    /// partition in place.
+    pub fn tasks_mut(&mut self) -> &mut [Task] {
+        &mut self.tasks
+    }
+
     /// All tasks, indexed by [`TaskId`].
     pub fn tasks(&self) -> &[Task] {
         &self.tasks

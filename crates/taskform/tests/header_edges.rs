@@ -1,0 +1,76 @@
+//! Edge cases of the task-header exit count.
+//!
+//! [`TaskHeader`] enforces the hardware ceiling (more than
+//! [`MAX_EXITS`] exits panics — the former must never produce such a
+//! header), but it deliberately accepts the *other* edge, a header with
+//! zero exits, because the type alone cannot know whether the task ends
+//! the program. Distinguishing the two is the analyzer's job: a zero-exit
+//! task is an explicit `multiscalar-analyze` diagnostic, not silent
+//! acceptance.
+
+use multiscalar_isa::{AluOp, Cond, ExitKind, ProgramBuilder, Reg, MAX_EXITS};
+use multiscalar_taskform::{ExitSpec, TaskFlowGraph, TaskFormer, TaskHeader};
+
+fn looped_program() -> multiscalar_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    b.load_imm(Reg(1), 0);
+    let top = b.here_label();
+    b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+    b.op_imm(AluOp::Xor, Reg(2), Reg(1), 3);
+    b.branch(Cond::Lt, Reg(1), Reg(2), top);
+    b.halt();
+    b.end_function();
+    b.finish(main).unwrap()
+}
+
+#[test]
+fn zero_exit_header_is_accepted_by_the_type() {
+    let h = TaskHeader::new(vec![]);
+    assert_eq!(h.num_exits(), 0);
+    assert!(!h.single_exit());
+    assert_eq!(h.exits(), &[]);
+}
+
+#[test]
+fn zero_exit_task_is_an_analyzer_error() {
+    let program = looped_program();
+    let mut tasks = TaskFormer::default().form(&program).unwrap();
+    tasks.tasks_mut()[0].set_header(TaskHeader::new(vec![]));
+    let tfg = TaskFlowGraph::build(&tasks);
+    let diags = multiscalar_analyze::analyze(&program, &tasks, &tfg);
+    assert!(
+        diags.iter().any(|d| {
+            d.severity == multiscalar_analyze::Severity::Error && d.message.contains("no exits")
+        }),
+        "a zero-exit task must be an explicit diagnostic: {diags:?}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "max is 4")]
+fn header_with_more_than_max_exits_panics() {
+    let exits: Vec<ExitSpec> = (0..=MAX_EXITS as u32)
+        .map(|i| ExitSpec {
+            source: multiscalar_isa::Addr(i),
+            kind: ExitKind::Branch,
+            target: Some(multiscalar_isa::Addr(100 + i)),
+            return_addr: None,
+        })
+        .collect();
+    TaskHeader::new(exits);
+}
+
+#[test]
+fn former_output_always_sits_between_the_edges() {
+    let program = looped_program();
+    let tasks = TaskFormer::default().form(&program).unwrap();
+    for t in tasks.tasks() {
+        let n = t.header().num_exits();
+        assert!(
+            (1..=MAX_EXITS).contains(&n),
+            "task {:?} has {n} exits",
+            t.id()
+        );
+    }
+}

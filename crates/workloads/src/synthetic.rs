@@ -66,6 +66,13 @@ pub fn random_program(seed: u64, config: &SyntheticConfig) -> Program {
 
     let main = b.begin_function("main");
     init_stack(&mut b);
+    // Call every function once: the driver loop only enters f0, and whether
+    // f0's random body reaches the rest of the call DAG is seed luck. The
+    // warm-up keeps every task reachable from the entry, which the analyzer
+    // checks for all generated programs.
+    for &l in labels.iter().flatten().skip(1) {
+        b.call_label(l);
+    }
     // A short driver loop over the first function.
     b.load_imm(S0, 0);
     let top = b.here_label();

@@ -18,6 +18,8 @@
 //!   return-address stacks and (correlated) task target buffers;
 //! * [`sim`] — the functional simulator (task traces, miss-rate
 //!   measurement) and the ring timing simulator (IPC);
+//! * [`analyze`] — static analysis passes (IR validation, TFG checking,
+//!   create-mask dataflow) behind `harness lint`;
 //! * [`harness`] — one function per paper table/figure.
 //!
 //! # Quickstart
@@ -45,6 +47,7 @@
 //! assert!(stats.miss_rate() < 0.5);
 //! ```
 
+pub use multiscalar_analyze as analyze;
 pub use multiscalar_cfg as cfg;
 pub use multiscalar_core as core;
 pub use multiscalar_harness as harness;
