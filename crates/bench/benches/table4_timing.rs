@@ -78,10 +78,7 @@ fn timing(c: &mut Criterion) {
     let gcc = &benches[0];
     let gcc_replay = &replays[0];
     for units in [2, 4, 8] {
-        let cfg = TimingConfig {
-            n_units: units,
-            ..config
-        };
+        let cfg = config.n_units(units);
         let r = run_replay(gcc_replay, gcc, Table4Column::Perfect, &cfg);
         println!(
             "  width ablation (gcc, perfect): {units} units -> IPC {:.2}",

@@ -12,7 +12,7 @@
 use crate::dispatch::{
     cttb_ladder, exit_ladder, measure_ideal, measure_ideal_path_automaton, Scheme,
 };
-use crate::experiments::{self, DEPTHS};
+use crate::experiments::{self, Engine, DEPTHS};
 use crate::pool::Pool;
 use crate::{prepare, prepare_all, prepare_all_with, Bench};
 use multiscalar_core::automata::{AutomatonKind, LastExitHysteresis};
@@ -219,7 +219,15 @@ pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchReport {
         black_box(experiments::table3(&prepare_all(params), &serial_pool).len());
     });
     timed("table4", &mut serial, || {
-        black_box(experiments::table4(&prepare_all(params), &timing_cfg, &serial_pool).len());
+        black_box(
+            experiments::table4(
+                &prepare_all(params),
+                &timing_cfg,
+                &serial_pool,
+                Engine::Legacy,
+            )
+            .len(),
+        );
     });
 
     let mut parallel = Vec::new();
@@ -258,7 +266,7 @@ pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchReport {
         black_box(experiments::table3(&benches, pool).len())
     });
     timed("table4", &mut parallel, || {
-        black_box(experiments::table4(&benches, &timing_cfg, pool).len());
+        black_box(experiments::table4(&benches, &timing_cfg, pool, Engine::Legacy).len());
     });
 
     BenchReport {

@@ -14,7 +14,7 @@
 //! Benchmarks are prepared once, outside both arms: preparation cost is
 //! identical either way and is not what this comparison measures.
 
-use crate::experiments;
+use crate::experiments::{self, Engine};
 use crate::pool::{Job, Pool};
 use crate::{prepare_all_with, Bench};
 use multiscalar_core::automata::LastExitHysteresis;
@@ -139,7 +139,7 @@ pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchPr2Report {
         black_box(legacy_table3(&benches, pool).len());
     });
     timed("table4", &mut legacy, || {
-        black_box(experiments::table4(&benches, &timing_cfg, pool).len());
+        black_box(experiments::table4(&benches, &timing_cfg, pool, Engine::Legacy).len());
     });
 
     let mut replay = Vec::new();
@@ -149,7 +149,7 @@ pub fn run(params: &WorkloadParams, pool: &Pool) -> BenchPr2Report {
     // Recording cost is part of the replay arm: one interpreter pass per
     // benchmark, then five replay-driven timing runs each.
     timed("table4", &mut replay, || {
-        black_box(experiments::table4_replay(&benches, &timing_cfg, pool).len());
+        black_box(experiments::table4(&benches, &timing_cfg, pool, Engine::Replay).len());
     });
 
     BenchPr2Report {

@@ -447,44 +447,28 @@ pub struct Table4Row {
     pub perfect: TimingResult,
 }
 
-/// Reproduces Table 4 with the **legacy** engine: IPC from the timing
-/// simulator with Simple / GLOBAL / PER / PATH / Perfect inter-task
-/// prediction, re-interpreting the program for every column. All real
-/// predictors use a 16 KB PHT, depth 7 (depth 0 for Simple), a CTTB for
-/// indirects and a RAS for returns, matching the paper's setup. Five jobs
-/// per benchmark (one per predictor column). Kept as the reference
-/// implementation for the replay engine's equivalence checks; prefer
-/// [`table4_replay`].
-pub fn table4(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<Table4Row> {
-    let mut jobs: Vec<Job<'_, TimingResult>> = Vec::new();
-    for b in benches {
-        for column in Table4Column::ALL {
-            jobs.push(Box::new(move || {
-                let mut pred = column.predictor();
-                simulate(
-                    &b.workload.program,
-                    &b.tasks,
-                    &b.descs,
-                    pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
-                    config,
-                    b.workload.max_steps,
-                )
-                .expect("timing simulation must succeed")
-            }));
+/// Which engine drives Table 4's timing runs. Both produce bit-identical
+/// rows (enforced by tests and CI); the legacy engine exists only as the
+/// reference for equivalence checks and the `bench-pr2` comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Re-interpret the program for every predictor column.
+    Legacy,
+    /// Record one instruction replay per benchmark and share it across
+    /// columns with zero re-interpretation (the default).
+    #[default]
+    Replay,
+}
+
+impl Engine {
+    /// Parses a `--engine` flag value.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "legacy" => Some(Engine::Legacy),
+            "replay" => Some(Engine::Replay),
+            _ => None,
         }
     }
-    let mut results = pool.run(jobs).into_iter();
-    benches
-        .iter()
-        .map(|b| Table4Row {
-            name: b.name(),
-            simple: results.next().expect("simple result"),
-            global: results.next().expect("global result"),
-            per: results.next().expect("per result"),
-            path: results.next().expect("path result"),
-            perfect: results.next().expect("perfect result"),
-        })
-        .collect()
 }
 
 /// Records each benchmark's instruction replay once (one job per
@@ -503,27 +487,48 @@ pub fn record_replays(benches: &[Bench], pool: &Pool) -> Vec<Arc<InstrReplay>> {
     pool.run(jobs)
 }
 
-/// Reproduces Table 4 with the **replay** engine: one interpreter pass per
-/// benchmark records an [`InstrReplay`]; all five predictor columns then
-/// drive the timing model from that shared recording with zero
-/// re-interpretation. Five jobs per benchmark — sequential solo walks beat
-/// a fused multi-state walk here because each column's working set (ARB,
-/// scoreboard, predictor tables) stays cache-resident. Results are
-/// bit-identical to [`table4`] (enforced by tests and CI).
-pub fn table4_replay(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<Table4Row> {
-    let replays = record_replays(benches, pool);
+/// Reproduces Table 4: IPC from the timing simulator with Simple / GLOBAL /
+/// PER / PATH / Perfect inter-task prediction. All real predictors use a
+/// 16 KB PHT, depth 7 (depth 0 for Simple), a CTTB for indirects and a RAS
+/// for returns, matching the paper's setup. Five jobs per benchmark (one
+/// per predictor column).
+///
+/// With [`Engine::Replay`] one interpreter pass per benchmark records an
+/// [`InstrReplay`] and all five columns drive the timing model from that
+/// shared recording — sequential solo walks beat a fused multi-state walk
+/// here because each column's working set (ARB, scoreboard, predictor
+/// tables) stays cache-resident. [`Engine::Legacy`] re-interprets per
+/// column and is kept only as the reference for equivalence checks and
+/// `bench-pr2`.
+pub fn table4(
+    benches: &[Bench],
+    config: &TimingConfig,
+    pool: &Pool,
+    engine: Engine,
+) -> Vec<Table4Row> {
+    let replays = match engine {
+        Engine::Legacy => None,
+        Engine::Replay => Some(record_replays(benches, pool)),
+    };
     let mut jobs: Vec<Job<'_, TimingResult>> = Vec::new();
-    for (b, replay) in benches.iter().zip(&replays) {
+    for (i, b) in benches.iter().enumerate() {
         for column in Table4Column::ALL {
-            let replay = Arc::clone(replay);
+            let replay = replays.as_ref().map(|r| Arc::clone(&r[i]));
             jobs.push(Box::new(move || {
                 let mut pred = column.predictor();
-                simulate_replay(
-                    &replay,
-                    &b.descs,
-                    pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
-                    config,
-                )
+                let pred = pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor);
+                match &replay {
+                    Some(r) => simulate_replay(r, &b.descs, pred, config),
+                    None => simulate(
+                        &b.workload.program,
+                        &b.tasks,
+                        &b.descs,
+                        pred,
+                        config,
+                        b.workload.max_steps,
+                    )
+                    .expect("timing simulation must succeed"),
+                }
             }));
         }
     }

@@ -209,27 +209,18 @@ pub fn ext_memory(benches: &[Bench]) -> Vec<MemoryRow> {
                 )
                 .expect("timing succeeds")
             };
-            let default = TimingConfig::default();
+            let default = TimingConfig::paper();
             let eager = run(&default);
-            let release = run(&TimingConfig {
-                forwarding: ForwardingModel::ReleaseAtEnd,
-                ..default
-            });
-            let ideal_mem = run(&TimingConfig {
-                arb: None,
-                ..default
-            });
+            let release = run(&default.forwarding(ForwardingModel::ReleaseAtEnd));
+            let ideal_mem = run(&default.arb(None));
             // Per-retirement head commit drains the ARB fast enough that a
             // 4-entry bank no longer overflows everywhere; a single entry
             // still demonstrates overflow stalls on every benchmark.
-            let tiny = run(&TimingConfig {
-                arb: Some(multiscalar_sim::arb::ArbConfig {
-                    banks: 1,
-                    entries_per_bank: 1,
-                    stages: 4,
-                }),
-                ..default
-            });
+            let tiny = run(&default.arb(Some(multiscalar_sim::arb::ArbConfig {
+                banks: 1,
+                entries_per_bank: 1,
+                stages: 4,
+            })));
             MemoryRow {
                 name: b.name(),
                 eager_ipc: eager.ipc(),
@@ -299,10 +290,7 @@ pub fn ext_intra(benches: &[Bench]) -> Vec<IntraRow> {
         .iter()
         .map(|b| {
             let run = |kind: IntraPredictorKind| {
-                let config = TimingConfig {
-                    intra_predictor: kind,
-                    ..TimingConfig::default()
-                };
+                let config = TimingConfig::paper().intra_predictor(kind);
                 simulate(
                     &b.workload.program,
                     &b.tasks,
@@ -371,12 +359,9 @@ pub fn ext_confidence(benches: &[Bench]) -> Vec<ConfidenceRow> {
                 )
                 .expect("timing succeeds")
             };
-            let default = TimingConfig::default();
+            let default = TimingConfig::paper();
             let always = run(&default);
-            let gated = run(&TimingConfig {
-                confidence_gate: Some(8),
-                ..default
-            });
+            let gated = run(&default.confidence_gate(Some(8)));
             ConfidenceRow {
                 name: b.name(),
                 always_ipc: always.ipc(),

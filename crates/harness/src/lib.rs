@@ -37,6 +37,8 @@ pub mod experiments;
 pub mod extensions;
 pub mod lint;
 pub mod pool;
+pub mod profile;
+pub mod registry;
 pub mod report;
 pub mod verify;
 

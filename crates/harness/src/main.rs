@@ -2,35 +2,28 @@
 //!
 //! ```text
 //! harness <experiment> [--seed N] [--scale N] [--bench NAME] [--threads N]
-//!                      [--engine legacy|replay]
+//!                      [--engine legacy|replay] [--json]
 //!
 //! experiments: table2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig12
-//!              table3 table4 all
+//!              table3 table4 profile all
 //! ```
 //!
-//! Benchmarks are prepared **once** per invocation (traces are shared,
-//! immutable, behind `Arc`) and every sweep fans out over a `--threads`-wide
-//! job pool. Output is byte-identical for every thread count. Table 4 runs
-//! on the record-once replay engine by default; `--engine legacy`
-//! re-interprets per column (bit-identical, for cross-checking).
+//! Every experiment lives in the typed [`registry`]: one entry per
+//! table/figure declaring its renderer, CSV writer, JSON serialiser and
+//! artifacts, so `all` / `ext` / `csv` iterate the registry instead of a
+//! hand-written name list. Benchmarks are prepared **once** per invocation
+//! (traces are shared, immutable, behind `Arc`) and every sweep fans out
+//! over a `--threads`-wide job pool. Output is byte-identical for every
+//! thread count. Table 4 runs on the record-once replay engine by default;
+//! `--engine legacy` re-interprets per column (bit-identical, for
+//! cross-checking).
 
+use multiscalar_harness::experiments::Engine;
 use multiscalar_harness::pool::Pool;
-use multiscalar_harness::{
-    bench_pr1, bench_pr2, experiments, extensions, prepare_all_with, report, Bench,
-};
-use multiscalar_sim::timing::TimingConfig;
+use multiscalar_harness::registry::{self, ExpCtx, Group, Prepared};
+use multiscalar_harness::{bench_pr1, bench_pr2};
 use multiscalar_workloads::{Spec92, WorkloadParams};
 use std::process::ExitCode;
-
-/// Which Table 4 engine drives the timing simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Engine {
-    /// Re-interpret the program for every predictor column.
-    Legacy,
-    /// Record one instruction replay per benchmark, share it across
-    /// columns (bit-identical results; the default).
-    Replay,
-}
 
 struct Args {
     experiment: String,
@@ -50,7 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut bench = None;
     let mut csv_dir = None;
     let mut pool = Pool::auto();
-    let mut engine = Engine::Replay;
+    let mut engine = Engine::default();
     let mut deny_warnings = false;
     let mut json = false;
     while let Some(flag) = args.next() {
@@ -65,11 +58,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => csv_dir = Some(std::path::PathBuf::from(value()?)),
             "--engine" => {
-                engine = match value()?.as_str() {
-                    "legacy" => Engine::Legacy,
-                    "replay" => Engine::Replay,
-                    other => return Err(format!("unknown engine `{other}` (legacy|replay)")),
-                }
+                let name = value()?;
+                engine = Engine::from_name(&name)
+                    .ok_or(format!("unknown engine `{name}` (legacy|replay)"))?;
             }
             "--threads" => {
                 pool = Pool::new(
@@ -103,118 +94,20 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
-     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|csv|verify|lint|bench-pr1|bench-pr2> \
+     ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|\
+     profile|csv|verify|lint|bench-pr1|bench-pr2> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
      [--deny warnings] [--json]"
         .to_string()
 }
 
-/// Benchmarks prepared once and reused by every experiment of the
-/// invocation. `--bench` narrows preparation to one benchmark.
-struct Prepared {
-    benches: Vec<Bench>,
-    narrowed: bool,
-}
-
-impl Prepared {
-    fn new(args: &Args) -> Prepared {
-        match args.bench {
-            Some(s) => Prepared {
-                benches: vec![multiscalar_harness::prepare(s, &args.params)],
-                narrowed: true,
-            },
-            None => Prepared {
-                benches: prepare_all_with(&args.params, &args.pool),
-                narrowed: false,
-            },
-        }
-    }
-
-    /// All prepared benchmarks.
-    fn all(&self) -> &[Bench] {
-        &self.benches
-    }
-
-    /// The subset a figure studies (cloning is cheap: traces are `Arc`-shared).
-    fn subset(&self, wanted: &[Spec92]) -> Vec<Bench> {
-        if self.narrowed {
-            return self.benches.clone();
-        }
-        wanted
-            .iter()
-            .map(|&s| {
-                self.benches
-                    .iter()
-                    .find(|b| b.spec == s)
-                    .expect("prepared")
-                    .clone()
-            })
-            .collect()
-    }
-
-    /// The benchmark Figure 6 studies (gcc unless `--bench` narrows).
-    fn gcc(&self) -> &Bench {
-        self.benches
-            .iter()
-            .find(|b| b.spec == Spec92::Gcc)
-            .unwrap_or(&self.benches[0])
-    }
-}
-
-/// Runs Table 4 with the engine selected by `--engine` (replay unless
-/// overridden; both produce bit-identical rows).
-fn run_table4(args: &Args, benches: &[Bench], pool: &Pool) -> Vec<experiments::Table4Row> {
-    let config = TimingConfig::default();
-    match args.engine {
-        Engine::Legacy => experiments::table4(benches, &config, pool),
-        Engine::Replay => experiments::table4_replay(benches, &config, pool),
-    }
-}
-
-/// Writes every experiment's CSV into `dir`.
-fn write_all_csv(args: &Args, prep: &Prepared, dir: &std::path::Path) -> std::io::Result<()> {
-    use multiscalar_harness::csv;
+/// Writes every registered experiment's CSV into `dir`, in registry order.
+fn write_all_csv(ctx: &ExpCtx, dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let pool = &args.pool;
-    let benches = prep.all();
-    let two = prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-    let eleven = prep.subset(&[Spec92::Gcc, Spec92::Espresso]);
-
-    // Figures 10 and 11 share their predictor runs: compute both in one
-    // pass over the full set, then narrow Figure 11 to the pair it plots.
-    let (rows10, rows11) = experiments::fig10_fig11(benches, pool);
-    let pair_names: Vec<&str> = eleven.iter().map(|b| b.name()).collect();
-    let rows11: Vec<_> = rows11
-        .into_iter()
-        .filter(|r| pair_names.contains(&r.name))
-        .collect();
-
-    let files: Vec<(&str, String)> = vec![
-        ("table2.csv", csv::table2(&experiments::table2(benches))),
-        ("fig3.csv", csv::fig3(&experiments::fig3(benches))),
-        ("fig4.csv", csv::fig4(&experiments::fig4(benches))),
-        ("fig6.csv", csv::fig6(&experiments::fig6(prep.gcc(), pool))),
-        ("fig7.csv", csv::fig7(&experiments::fig7(benches, pool))),
-        ("fig8.csv", csv::fig8(&experiments::fig8(&two, pool))),
-        ("fig10.csv", csv::fig10(&rows10)),
-        ("fig11.csv", csv::fig11(&rows11)),
-        ("fig12.csv", csv::fig12(&experiments::fig12(&two, pool))),
-        (
-            "table3.csv",
-            csv::table3(&experiments::table3(benches, pool)),
-        ),
-        ("table4.csv", csv::table4(&run_table4(args, benches, pool))),
-        (
-            "ext_staleness.csv",
-            csv::staleness(&extensions::ext_staleness(benches)),
-        ),
-        (
-            "ext_pollution.csv",
-            csv::pollution(&extensions::ext_pollution(benches)),
-        ),
-    ];
-    for (name, contents) in files {
-        std::fs::write(dir.join(name), contents)?;
+    for exp in registry::REGISTRY {
+        if let Some((name, write)) = exp.csv {
+            std::fs::write(dir.join(name), write(ctx))?;
+        }
     }
     Ok(())
 }
@@ -276,62 +169,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let prep = Prepared::new(&args);
-    let pool = &args.pool;
-
-    let run_one = |name: &str| -> Option<String> {
-        Some(match name {
-            "table2" => report::render_table2(&experiments::table2(prep.all())),
-            "fig3" => report::render_fig3(&experiments::fig3(prep.all())),
-            "fig4" => report::render_fig4(&experiments::fig4(prep.all())),
-            "fig6" => report::render_fig6(&experiments::fig6(prep.gcc(), pool)),
-            "fig7" => report::render_fig7(&experiments::fig7(prep.all(), pool)),
-            "fig8" => {
-                // The paper studies the two indirect-heavy benchmarks.
-                let b = prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-                report::render_fig8(&experiments::fig8(&b, pool))
-            }
-            "fig10" => report::render_fig10(&experiments::fig10(prep.all(), pool)),
-            "fig11" => {
-                let b = prep.subset(&[Spec92::Gcc, Spec92::Espresso]);
-                report::render_fig11(&experiments::fig11(&b, pool))
-            }
-            "fig12" => {
-                let b = prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-                report::render_fig12(&experiments::fig12(&b, pool))
-            }
-            "table3" => report::render_table3(&experiments::table3(prep.all(), pool)),
-            "ext-staleness" => report::render_staleness(&extensions::ext_staleness(prep.all())),
-            "ext-hybrid" => report::render_hybrid(&extensions::ext_hybrid(prep.all())),
-            "ext-taskform" => report::render_taskform(&extensions::ext_taskform(&args.params)),
-            "ext-memory" => report::render_memory(&extensions::ext_memory(prep.all())),
-            "ext-confidence" => report::render_confidence(&extensions::ext_confidence(prep.all())),
-            "ext-intra" => report::render_intra(&extensions::ext_intra(prep.all())),
-            "ext-pollution" => report::render_pollution(&extensions::ext_pollution(prep.all())),
-
-            "table4" => report::render_table4(&run_table4(&args, prep.all(), pool)),
-            _ => return None,
-        })
-    };
+    let prep = Prepared::new(args.bench, &args.params, &args.pool);
+    let ctx = ExpCtx::new(&prep, &args.pool, args.engine, args.params);
 
     if args.experiment == "all" {
-        for name in ["table2", "fig3", "fig4", "fig6", "fig7", "fig8"] {
-            println!("{}", run_one(name).expect("known experiment"));
+        for exp in registry::by_group(Group::Paper) {
+            println!("{}", (exp.render)(&ctx));
         }
-        // Figures 10 and 11 share their predictor runs: one pass for both.
-        let (rows10, rows11) = experiments::fig10_fig11(prep.all(), pool);
-        println!("{}", report::render_fig10(&rows10));
-        let rows11: Vec<_> = if prep.narrowed {
-            rows11
-        } else {
-            rows11
-                .into_iter()
-                .filter(|r| r.name == "gcc" || r.name == "espresso")
-                .collect()
-        };
-        println!("{}", report::render_fig11(&rows11));
-        for name in ["fig12", "table3", "table4"] {
-            println!("{}", run_one(name).expect("known experiment"));
+        return ExitCode::SUCCESS;
+    }
+    if args.experiment == "ext" {
+        for exp in registry::by_group(Group::Ext) {
+            println!("{}", (exp.render)(&ctx));
         }
         return ExitCode::SUCCESS;
     }
@@ -340,31 +189,28 @@ fn main() -> ExitCode {
             .csv_dir
             .clone()
             .unwrap_or_else(|| std::path::PathBuf::from("results"));
-        if let Err(e) = write_all_csv(&args, &prep, &dir) {
+        if let Err(e) = write_all_csv(&ctx, &dir) {
             eprintln!("csv export failed: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote CSV results to {}", dir.display());
         return ExitCode::SUCCESS;
     }
-    if args.experiment == "ext" {
-        for name in [
-            "ext-staleness",
-            "ext-hybrid",
-            "ext-taskform",
-            "ext-memory",
-            "ext-confidence",
-            "ext-intra",
-            "ext-pollution",
-        ] {
-            println!("{}", run_one(name).expect("known experiment"));
-        }
-        return ExitCode::SUCCESS;
-    }
 
-    match run_one(&args.experiment) {
-        Some(out) => {
-            println!("{out}");
+    match registry::find(&args.experiment) {
+        Some(exp) => {
+            match (args.json, exp.json) {
+                (true, Some(json)) => print!("{}", json(&ctx)),
+                _ => println!("{}", (exp.render)(&ctx)),
+            }
+            if let Some((name, write)) = exp.artifact {
+                let path = std::path::Path::new(name);
+                if let Err(e) = std::fs::write(path, write(&ctx)) {
+                    eprintln!("could not write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
             ExitCode::SUCCESS
         }
         None => {

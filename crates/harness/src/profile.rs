@@ -1,0 +1,195 @@
+//! `harness profile` — cycle attribution over Table 4's benchmark ×
+//! predictor grid.
+//!
+//! Each cell re-runs a Table 4 timing simulation with a
+//! [`CycleBreakdown`] sink attached, attributing every cycle to one
+//! [`Cause`] (the attribution sums to `TimingResult::cycles` exactly; the
+//! sink asserts it). Runs ride the record-once replay engine — the
+//! attribution is engine-independent, which `tests/profile.rs` checks
+//! against the legacy interpreter. [`events_jsonl`] exposes the task-level
+//! JSON-lines event log of a single run for the same grid.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::dispatch::Table4Column;
+use crate::experiments::record_replays;
+use crate::pool::{Job, Pool};
+use crate::Bench;
+use multiscalar_sim::metrics::{Cause, CycleBreakdown, TaskEventSink};
+use multiscalar_sim::replay::simulate_replay_with_sink;
+use multiscalar_sim::timing::{NextTaskPredictor, TimingConfig, TimingResult};
+
+/// Schema version stamped into `profile.json`; bump on breaking changes.
+pub const PROFILE_SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark × predictor-column cell of the profile grid.
+#[derive(Debug, Clone)]
+pub struct ProfileCell {
+    /// The predictor column.
+    pub column: Table4Column,
+    /// The run's timing result (bit-identical to Table 4's).
+    pub result: TimingResult,
+    /// Where every one of `result.cycles` went.
+    pub breakdown: CycleBreakdown,
+}
+
+/// Attribution of one benchmark across all predictor columns.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// One cell per [`Table4Column::ALL`] entry, in that order.
+    pub cells: Vec<ProfileCell>,
+}
+
+/// Profiles every benchmark × predictor column: Table 4's runs with a
+/// [`CycleBreakdown`] sink attached, on the replay engine. One job per
+/// cell; results come back in submission order, so output is byte-identical
+/// for every pool width.
+pub fn profile(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<ProfileRow> {
+    let replays = record_replays(benches, pool);
+    let mut jobs: Vec<Job<'_, ProfileCell>> = Vec::new();
+    for (b, replay) in benches.iter().zip(&replays) {
+        for column in Table4Column::ALL {
+            let replay = Arc::clone(replay);
+            jobs.push(Box::new(move || {
+                let mut pred = column.predictor();
+                let mut breakdown = CycleBreakdown::new();
+                let result = simulate_replay_with_sink(
+                    &replay,
+                    &b.descs,
+                    pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+                    config,
+                    &mut breakdown,
+                );
+                ProfileCell {
+                    column,
+                    result,
+                    breakdown,
+                }
+            }));
+        }
+    }
+    let mut results = pool.run(jobs).into_iter();
+    benches
+        .iter()
+        .map(|b| ProfileRow {
+            name: b.name(),
+            cells: Table4Column::ALL
+                .iter()
+                .map(|_| results.next().expect("one cell per column"))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The task-level event log (JSON lines) of one benchmark's run under one
+/// predictor column: `predict` / `resolve` / `squash` / `commit` /
+/// `dispatch` per boundary, with machine clocks and exit numbers.
+pub fn events_jsonl(bench: &Bench, column: Table4Column, config: &TimingConfig) -> String {
+    let replay = multiscalar_sim::record_replay(
+        &bench.workload.program,
+        &bench.tasks,
+        bench.workload.max_steps,
+    )
+    .expect("recording must succeed");
+    let mut pred = column.predictor();
+    let mut sink = TaskEventSink::new();
+    simulate_replay_with_sink(
+        &replay,
+        &bench.descs,
+        pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+        config,
+        &mut sink,
+    );
+    sink.into_jsonl()
+}
+
+/// Renders the profile as per-benchmark tables: one line per predictor
+/// column, total cycles and IPC, then each cause's share of total cycles.
+pub fn render(rows: &[ProfileRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Cycle attribution (percent of total cycles; replay engine)\n");
+    for row in rows {
+        let _ = write!(out, "\n{:<10} {:>12} {:>6}", row.name, "cycles", "IPC");
+        for cause in Cause::ALL {
+            let _ = write!(out, " {:>8}", cause.label());
+        }
+        out.push('\n');
+        for cell in &row.cells {
+            let _ = write!(
+                out,
+                "  {:<8} {:>12} {:>6.2}",
+                cell.column.name(),
+                cell.result.cycles,
+                cell.result.ipc()
+            );
+            let total = cell.result.cycles.max(1) as f64;
+            for cause in Cause::ALL {
+                let pct = 100.0 * cell.breakdown.get(cause) as f64 / total;
+                let _ = write!(out, " {:>7.1}%", pct);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialises the profile as versioned JSON (`profile.json`): absolute
+/// per-cause cycle counts, so consumers can recompute any ratio. All
+/// values are numbers or fixed keywords — no escaping needed.
+pub fn to_json(rows: &[ProfileRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {PROFILE_SCHEMA_VERSION},");
+    out.push_str("  \"engine\": \"replay\",\n");
+    out.push_str("  \"causes\": [");
+    for (i, cause) in Cause::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", cause.key());
+    }
+    out.push_str("],\n");
+    out.push_str("  \"benchmarks\": [\n");
+    for (bi, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
+        let _ = writeln!(out, "      \"columns\": [");
+        for (ci, cell) in row.cells.iter().enumerate() {
+            let r = &cell.result;
+            let _ = write!(
+                out,
+                "        {{\"predictor\": \"{}\", \"cycles\": {}, \"instructions\": {}, \
+                 \"ipc\": {:.6}, \"task_mispredicts\": {}, \"breakdown\": {{",
+                cell.column.name(),
+                r.cycles,
+                r.instructions,
+                r.ipc(),
+                r.task_mispredicts
+            );
+            for (i, cause) in Cause::ALL.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", cause.key(), cell.breakdown.get(*cause));
+            }
+            out.push_str("}}");
+            out.push_str(if ci + 1 < row.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if bi + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

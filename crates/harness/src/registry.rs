@@ -1,0 +1,376 @@
+//! The typed experiment registry behind the `harness` CLI.
+//!
+//! Every experiment registers its name, group, renderer and (optionally)
+//! CSV writer, JSON serialiser and output artifact **once**, in
+//! [`REGISTRY`]; the CLI dispatches by [`find`] instead of a hand-written
+//! string match, and the `all` / `ext` / `csv` subcommands iterate the
+//! registry instead of duplicating name lists.
+//!
+//! Experiments run against an [`ExpCtx`], which owns the prepared
+//! benchmarks plus per-invocation caches: experiments that share work
+//! (Figures 10/11 share one predictor pass; `table4`'s rows feed both its
+//! table and its CSV) compute it once per invocation regardless of how
+//! many registry entries consume it.
+
+use std::cell::OnceCell;
+
+use crate::experiments::{self, Engine, Fig10Row, Fig11Row, Table4Row};
+use crate::pool::Pool;
+use crate::profile::{self, ProfileRow};
+use crate::{csv, extensions, prepare, prepare_all_with, report, Bench};
+use multiscalar_sim::timing::TimingConfig;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+/// Benchmarks prepared once per invocation and reused by every experiment
+/// (traces are shared, immutable, behind `Arc`). `--bench` narrows
+/// preparation to one benchmark.
+pub struct Prepared {
+    benches: Vec<Bench>,
+    narrowed: bool,
+}
+
+impl Prepared {
+    /// Prepares the benchmark set: all five, or just `bench` when given.
+    pub fn new(bench: Option<Spec92>, params: &WorkloadParams, pool: &Pool) -> Prepared {
+        match bench {
+            Some(s) => Prepared {
+                benches: vec![prepare(s, params)],
+                narrowed: true,
+            },
+            None => Prepared {
+                benches: prepare_all_with(params, pool),
+                narrowed: false,
+            },
+        }
+    }
+
+    /// All prepared benchmarks.
+    pub fn all(&self) -> &[Bench] {
+        &self.benches
+    }
+
+    /// Whether `--bench` narrowed preparation to a single benchmark.
+    pub fn narrowed(&self) -> bool {
+        self.narrowed
+    }
+
+    /// The subset a figure studies (cloning is cheap: traces are
+    /// `Arc`-shared). Under `--bench`, the single prepared benchmark.
+    pub fn subset(&self, wanted: &[Spec92]) -> Vec<Bench> {
+        if self.narrowed {
+            return self.benches.clone();
+        }
+        wanted
+            .iter()
+            .map(|&s| {
+                self.benches
+                    .iter()
+                    .find(|b| b.spec == s)
+                    .expect("prepared")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// The benchmark Figure 6 studies (gcc unless `--bench` narrows).
+    pub fn gcc(&self) -> &Bench {
+        self.benches
+            .iter()
+            .find(|b| b.spec == Spec92::Gcc)
+            .unwrap_or(&self.benches[0])
+    }
+}
+
+/// Everything one CLI invocation's experiments run against: the prepared
+/// benchmarks, the job pool, the Table 4 engine selection, and lazily
+/// computed shared results.
+pub struct ExpCtx<'a> {
+    /// The prepared benchmark set.
+    pub prep: &'a Prepared,
+    /// The `--threads`-wide job pool.
+    pub pool: &'a Pool,
+    /// Which engine drives Table 4 (`--engine`; replay by default).
+    pub engine: Engine,
+    /// Workload parameters (for experiments that re-generate workloads).
+    pub params: WorkloadParams,
+    /// Timing-model parameters (the paper's).
+    pub config: TimingConfig,
+    fig10_fig11: OnceCell<(Vec<Fig10Row>, Vec<Fig11Row>)>,
+    table4: OnceCell<Vec<Table4Row>>,
+    profile: OnceCell<Vec<ProfileRow>>,
+}
+
+impl<'a> ExpCtx<'a> {
+    /// A fresh context with empty caches.
+    pub fn new(prep: &'a Prepared, pool: &'a Pool, engine: Engine, params: WorkloadParams) -> Self {
+        ExpCtx {
+            prep,
+            pool,
+            engine,
+            params,
+            config: TimingConfig::paper(),
+            fig10_fig11: OnceCell::new(),
+            table4: OnceCell::new(),
+            profile: OnceCell::new(),
+        }
+    }
+
+    /// Figures 10 and 11 share their predictor runs; computed once and
+    /// served to both entries (and both CSVs).
+    pub fn fig10_fig11(&self) -> &(Vec<Fig10Row>, Vec<Fig11Row>) {
+        self.fig10_fig11
+            .get_or_init(|| experiments::fig10_fig11(self.prep.all(), self.pool))
+    }
+
+    /// Figure 11's plotted rows: the full shared pass narrowed to the pair
+    /// the paper plots (gcc, espresso) unless `--bench` already narrowed.
+    pub fn fig11_rows(&self) -> Vec<Fig11Row> {
+        let rows = self.fig10_fig11().1.clone();
+        if self.prep.narrowed() {
+            return rows;
+        }
+        rows.into_iter()
+            .filter(|r| r.name == "gcc" || r.name == "espresso")
+            .collect()
+    }
+
+    /// Table 4's rows under the selected engine; computed once and served
+    /// to the table renderer and the CSV writer alike.
+    pub fn table4(&self) -> &[Table4Row] {
+        self.table4.get_or_init(|| {
+            experiments::table4(self.prep.all(), &self.config, self.pool, self.engine)
+        })
+    }
+
+    /// The cycle-attribution profile grid; computed once per invocation.
+    pub fn profile(&self) -> &[ProfileRow] {
+        self.profile
+            .get_or_init(|| profile::profile(self.prep.all(), &self.config, self.pool))
+    }
+}
+
+/// Which subcommand groups an experiment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// A paper table/figure: runs under `all`, exports under `csv`.
+    Paper,
+    /// A beyond-the-paper extension: runs under `ext`.
+    Ext,
+    /// A standalone tool (e.g. `profile`): runs only by name.
+    Tool,
+}
+
+/// A renderer: experiment context in, output text out.
+pub type RenderFn = fn(&ExpCtx) -> String;
+
+/// A named output file (CSV export or run artifact): file name + writer.
+pub type FileOutput = (&'static str, RenderFn);
+
+/// One registered experiment: its CLI name plus everything the harness can
+/// do with it, declared once.
+pub struct Experiment {
+    /// CLI subcommand name.
+    pub name: &'static str,
+    /// Grouping for the `all` / `ext` / `csv` subcommands.
+    pub group: Group,
+    /// Renders the human-readable table.
+    pub render: RenderFn,
+    /// CSV export: file name and writer, when the experiment exports one.
+    pub csv: Option<FileOutput>,
+    /// JSON serialisation (`--json`), when supported.
+    pub json: Option<RenderFn>,
+    /// An artifact file written whenever the experiment runs by name.
+    pub artifact: Option<FileOutput>,
+}
+
+/// Every experiment the harness knows, in `all`-output order (paper
+/// artifacts first, then extensions, then tools).
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "table2",
+        group: Group::Paper,
+        render: |c| report::render_table2(&experiments::table2(c.prep.all())),
+        csv: Some(("table2.csv", |c| {
+            csv::table2(&experiments::table2(c.prep.all()))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig3",
+        group: Group::Paper,
+        render: |c| report::render_fig3(&experiments::fig3(c.prep.all())),
+        csv: Some(("fig3.csv", |c| csv::fig3(&experiments::fig3(c.prep.all())))),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig4",
+        group: Group::Paper,
+        render: |c| report::render_fig4(&experiments::fig4(c.prep.all())),
+        csv: Some(("fig4.csv", |c| csv::fig4(&experiments::fig4(c.prep.all())))),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig6",
+        group: Group::Paper,
+        render: |c| report::render_fig6(&experiments::fig6(c.prep.gcc(), c.pool)),
+        csv: Some(("fig6.csv", |c| {
+            csv::fig6(&experiments::fig6(c.prep.gcc(), c.pool))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig7",
+        group: Group::Paper,
+        render: |c| report::render_fig7(&experiments::fig7(c.prep.all(), c.pool)),
+        csv: Some(("fig7.csv", |c| {
+            csv::fig7(&experiments::fig7(c.prep.all(), c.pool))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig8",
+        group: Group::Paper,
+        // The paper studies the two indirect-heavy benchmarks.
+        render: |c| {
+            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+            report::render_fig8(&experiments::fig8(&b, c.pool))
+        },
+        csv: Some(("fig8.csv", |c| {
+            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+            csv::fig8(&experiments::fig8(&b, c.pool))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig10",
+        group: Group::Paper,
+        render: |c| report::render_fig10(&c.fig10_fig11().0),
+        csv: Some(("fig10.csv", |c| csv::fig10(&c.fig10_fig11().0))),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig11",
+        group: Group::Paper,
+        render: |c| report::render_fig11(&c.fig11_rows()),
+        csv: Some(("fig11.csv", |c| csv::fig11(&c.fig11_rows()))),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "fig12",
+        group: Group::Paper,
+        render: |c| {
+            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+            report::render_fig12(&experiments::fig12(&b, c.pool))
+        },
+        csv: Some(("fig12.csv", |c| {
+            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+            csv::fig12(&experiments::fig12(&b, c.pool))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "table3",
+        group: Group::Paper,
+        render: |c| report::render_table3(&experiments::table3(c.prep.all(), c.pool)),
+        csv: Some(("table3.csv", |c| {
+            csv::table3(&experiments::table3(c.prep.all(), c.pool))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "table4",
+        group: Group::Paper,
+        render: |c| report::render_table4(c.table4()),
+        csv: Some(("table4.csv", |c| csv::table4(c.table4()))),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-staleness",
+        group: Group::Ext,
+        render: |c| report::render_staleness(&extensions::ext_staleness(c.prep.all())),
+        csv: Some(("ext_staleness.csv", |c| {
+            csv::staleness(&extensions::ext_staleness(c.prep.all()))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-hybrid",
+        group: Group::Ext,
+        render: |c| report::render_hybrid(&extensions::ext_hybrid(c.prep.all())),
+        csv: None,
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-taskform",
+        group: Group::Ext,
+        render: |c| report::render_taskform(&extensions::ext_taskform(&c.params)),
+        csv: None,
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-memory",
+        group: Group::Ext,
+        render: |c| report::render_memory(&extensions::ext_memory(c.prep.all())),
+        csv: None,
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-confidence",
+        group: Group::Ext,
+        render: |c| report::render_confidence(&extensions::ext_confidence(c.prep.all())),
+        csv: None,
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-intra",
+        group: Group::Ext,
+        render: |c| report::render_intra(&extensions::ext_intra(c.prep.all())),
+        csv: None,
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "ext-pollution",
+        group: Group::Ext,
+        render: |c| report::render_pollution(&extensions::ext_pollution(c.prep.all())),
+        csv: Some(("ext_pollution.csv", |c| {
+            csv::pollution(&extensions::ext_pollution(c.prep.all()))
+        })),
+        json: None,
+        artifact: None,
+    },
+    Experiment {
+        name: "profile",
+        group: Group::Tool,
+        render: |c| profile::render(c.profile()),
+        csv: None,
+        json: Some(|c| profile::to_json(c.profile())),
+        artifact: Some(("profile.json", |c| profile::to_json(c.profile()))),
+    },
+];
+
+/// Looks an experiment up by CLI name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// The registered experiments of one group, in registry order.
+pub fn by_group(group: Group) -> impl Iterator<Item = &'static Experiment> {
+    REGISTRY.iter().filter(move |e| e.group == group)
+}

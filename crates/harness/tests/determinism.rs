@@ -3,7 +3,7 @@
 //! shared immutable trace, so parallelism can never change output.
 
 use multiscalar_harness::pool::Pool;
-use multiscalar_harness::{csv, experiments, prepare_all_with};
+use multiscalar_harness::{csv, experiments, prepare_all_with, profile};
 use multiscalar_sim::timing::TimingConfig;
 use multiscalar_workloads::WorkloadParams;
 
@@ -21,6 +21,14 @@ fn all_csv(pool: &Pool) -> String {
     out.push_str(&csv::fig12(&experiments::fig12(&benches, pool)));
     out.push_str(&csv::table3(&experiments::table3(&benches, pool)));
     out.push_str(&csv::table4(&experiments::table4(
+        &benches,
+        &TimingConfig::default(),
+        pool,
+        experiments::Engine::Replay,
+    )));
+    // The cycle-attribution profile rides the same pool; its JSON (cycle
+    // counts per cause included) must be byte-identical too.
+    out.push_str(&profile::to_json(&profile::profile(
         &benches,
         &TimingConfig::default(),
         pool,

@@ -1,0 +1,158 @@
+//! Cycle-attribution invariants: every cycle of every run is attributed to
+//! exactly one cause (the breakdown sums to `TimingResult::cycles`), the
+//! attribution is engine-independent (legacy interpreter vs record-once
+//! replay produce byte-identical breakdowns), attaching a sink never
+//! perturbs timing, and `profile --json` keeps its published schema.
+
+use multiscalar_harness::dispatch::Table4Column;
+use multiscalar_harness::pool::Pool;
+use multiscalar_harness::{prepare, profile};
+use multiscalar_sim::metrics::{Cause, CycleBreakdown};
+use multiscalar_sim::replay::{record_replay, simulate_replay, simulate_replay_with_sink};
+use multiscalar_sim::timing::{simulate_with_sink, NextTaskPredictor, TimingConfig};
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+fn params() -> WorkloadParams {
+    WorkloadParams::small(0xC0FFEE)
+}
+
+/// Every workload × predictor column, on both engines: the breakdown sums
+/// exactly to the run's cycle count, both engines report byte-identical
+/// breakdowns, and a live sink leaves the `TimingResult` untouched.
+#[test]
+fn attribution_sums_exactly_and_is_engine_independent() {
+    let config = TimingConfig::paper();
+    for spec in Spec92::ALL {
+        let b = prepare(spec, &params());
+        let replay = record_replay(&b.workload.program, &b.tasks, b.workload.max_steps)
+            .expect("recording succeeds");
+        for column in Table4Column::ALL {
+            let mut legacy_bd = CycleBreakdown::new();
+            let mut pred = column.predictor();
+            let legacy = simulate_with_sink(
+                &b.workload.program,
+                &b.tasks,
+                &b.descs,
+                pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+                &config,
+                b.workload.max_steps,
+                &mut legacy_bd,
+            )
+            .expect("legacy simulation succeeds");
+
+            let mut replay_bd = CycleBreakdown::new();
+            let mut pred = column.predictor();
+            let fast = simulate_replay_with_sink(
+                &replay,
+                &b.descs,
+                pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+                &config,
+                &mut replay_bd,
+            );
+
+            let label = format!("{spec}/{}", column.name());
+            assert_eq!(legacy, fast, "{label}: engines must agree on timing");
+            assert_eq!(
+                legacy_bd, replay_bd,
+                "{label}: engines must agree on attribution"
+            );
+            assert_eq!(
+                legacy_bd.total(),
+                legacy.cycles,
+                "{label}: every cycle must be attributed exactly once"
+            );
+            assert!(
+                legacy_bd.get(Cause::UsefulIssue) > 0,
+                "{label}: some cycles must be useful issue"
+            );
+
+            // A live sink must be a pure observer: the no-sink path returns
+            // the same result bit for bit.
+            let mut pred = column.predictor();
+            let unobserved = simulate_replay(
+                &replay,
+                &b.descs,
+                pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+                &config,
+            );
+            assert_eq!(unobserved, fast, "{label}: sink must not perturb timing");
+        }
+    }
+}
+
+/// Masks every run of digits (including decimal points between digits)
+/// with `#`, leaving structure, keys and fixed keywords intact.
+fn mask_numbers(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_digit() {
+            while let Some(&n) = chars.peek() {
+                if n.is_ascii_digit()
+                    || (n == '.' && {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        ahead.peek().is_some_and(char::is_ascii_digit)
+                    })
+                {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push('#');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// `profile --json` keeps its golden schema: same structure, keys, cause
+/// vocabulary and column order, with only the numbers free to change.
+#[test]
+fn profile_json_matches_golden_schema() {
+    let pool = Pool::new(2);
+    let benches = vec![prepare(Spec92::Compress, &params())];
+    let rows = profile::profile(&benches, &TimingConfig::paper(), &pool);
+    let json = profile::to_json(&rows);
+    assert_eq!(
+        mask_numbers(&json),
+        include_str!("golden/profile_schema.txt"),
+        "profile.json schema drifted; update tests/golden/profile_schema.txt \
+         and bump PROFILE_SCHEMA_VERSION if the change is breaking"
+    );
+
+    // Cross-check the serialised breakdowns against the structured rows.
+    for row in &rows {
+        for cell in &row.cells {
+            assert_eq!(cell.breakdown.total(), cell.result.cycles);
+        }
+    }
+}
+
+/// The task-level event log is well-formed JSON lines covering the whole
+/// run: one resolve per dynamic task, a squash line per non-gated
+/// mispredict, and a final halt record.
+#[test]
+fn event_log_covers_the_run() {
+    let b = prepare(Spec92::Compress, &params());
+    let config = TimingConfig::paper();
+    let log = profile::events_jsonl(&b, Table4Column::Path, &config);
+    let resolves = log.lines().filter(|l| l.contains("\"resolve\"")).count();
+    let squashes = log.lines().filter(|l| l.contains("\"squash\"")).count();
+    assert!(resolves > 0, "log must contain task resolutions");
+    assert!(squashes > 0, "a real predictor must squash somewhere");
+    assert!(squashes <= resolves, "at most one squash per boundary");
+    let halt = log.lines().last().expect("log is non-empty");
+    assert!(
+        halt.contains("\"halt\""),
+        "log must end with the halt record"
+    );
+    for line in log.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed event line: {line}"
+        );
+    }
+}

@@ -80,36 +80,19 @@ fn replay_matches_interpreter_across_ablation_configs() {
         .expect("recording succeeds");
 
     let configs = [
-        TimingConfig {
-            forwarding: ForwardingModel::ReleaseAtEnd,
-            ..TimingConfig::default()
-        },
-        TimingConfig {
-            intra_predictor: IntraPredictorKind::Gshare,
-            ..TimingConfig::default()
-        },
-        TimingConfig {
-            intra_predictor: IntraPredictorKind::McFarling,
-            ..TimingConfig::default()
-        },
-        TimingConfig {
-            arb: None,
-            ..TimingConfig::default()
-        },
-        TimingConfig {
-            arb: Some(ArbConfig {
-                banks: 1,
-                entries_per_bank: 4,
-                stages: 4,
-            }),
-            ..TimingConfig::default()
-        },
-        TimingConfig {
-            n_units: 8,
-            issue_width: 4,
-            confidence_gate: Some(2),
-            ..TimingConfig::default()
-        },
+        TimingConfig::paper().forwarding(ForwardingModel::ReleaseAtEnd),
+        TimingConfig::paper().intra_predictor(IntraPredictorKind::Gshare),
+        TimingConfig::paper().intra_predictor(IntraPredictorKind::McFarling),
+        TimingConfig::paper().arb(None),
+        TimingConfig::paper().arb(Some(ArbConfig {
+            banks: 1,
+            entries_per_bank: 4,
+            stages: 4,
+        })),
+        TimingConfig::paper()
+            .n_units(8)
+            .issue_width(4)
+            .confidence_gate(Some(2)),
     ];
     for config in &configs {
         for column in [Table4Column::Path, Table4Column::Perfect] {
@@ -128,14 +111,14 @@ fn replay_matches_interpreter_across_ablation_configs() {
 
 #[test]
 fn table4_replay_rows_match_legacy_rows() {
-    use multiscalar_harness::experiments::{table4, table4_replay};
+    use multiscalar_harness::experiments::{table4, Engine};
     use multiscalar_harness::pool::Pool;
 
     let pool = Pool::new(2);
     let benches = vec![prepare(Spec92::Compress, &params())];
     let config = TimingConfig::default();
-    let legacy_rows = table4(&benches, &config, &pool);
-    let replay_rows = table4_replay(&benches, &config, &pool);
+    let legacy_rows = table4(&benches, &config, &pool, Engine::Legacy);
+    let replay_rows = table4(&benches, &config, &pool, Engine::Replay);
     assert_eq!(legacy_rows.len(), replay_rows.len());
     for (l, r) in legacy_rows.iter().zip(&replay_rows) {
         assert_eq!(l.name, r.name);

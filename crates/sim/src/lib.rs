@@ -46,6 +46,7 @@
 
 pub mod arb;
 pub mod measure;
+pub mod metrics;
 pub mod replay;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
@@ -53,5 +54,12 @@ pub mod timing;
 pub mod trace;
 
 pub use measure::{task_descs, MissStats};
-pub use replay::{record_replay, simulate_replay, simulate_replay_fused, InstrReplay};
+pub use metrics::{
+    BoundaryEvent, Cause, CycleBreakdown, FrontierCause, MetricsSink, NoopSink, StallCause,
+    TaskEventSink,
+};
+pub use replay::{
+    record_replay, simulate_replay, simulate_replay_fused, simulate_replay_fused_with_sinks,
+    simulate_replay_with_sink, InstrReplay,
+};
 pub use trace::{TaskEvent, TraceRun, TraceStats};

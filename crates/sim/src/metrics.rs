@@ -1,0 +1,384 @@
+//! Cycle-attribution and event-tracing sinks for the timing core.
+//!
+//! [`crate::timing::simulate_core`] is generic over a [`MetricsSink`]. The
+//! default [`NoopSink`] monomorphises every hook to nothing, so the plain
+//! entry points ([`crate::timing::simulate`],
+//! [`crate::replay::simulate_replay`]) pay **zero** cost and stay
+//! bit-identical to the uninstrumented core. Passing a real sink
+//! ([`CycleBreakdown`], [`TaskEventSink`]) through the `*_with_sink`
+//! variants turns the same run into an attributed one.
+//!
+//! # The attribution model
+//!
+//! The core is event-driven, not cycle-stepped: it maintains a monotone
+//! *completion frontier* (`CoreState::complete`) whose final value is
+//! exactly [`TimingResult::cycles`]. Every advance of that frontier happens
+//! at one of four sites, each of which reports a [`FrontierCause`]:
+//!
+//! * **startup** — the first task's dispatch and pipeline fill;
+//! * **instruction completion** — an instruction's `issue + latency`
+//!   pushing past the frontier;
+//! * **ARB violation recovery** — a memory-order squash re-executing the
+//!   offending load's task tail;
+//! * **task boundary** — the next task's issue clock landing beyond the
+//!   frontier (squash + refill after a task misprediction, a
+//!   confidence-gated stall, or plain sequencer/dispatch serialisation).
+//!
+//! Within a task, pushes of the *issue cursor* (a dataflow wait, an ARB
+//! bank-overflow penalty, an intra-task branch redirect) are reported as
+//! [`StallCause`] *debt*. [`CycleBreakdown`] realises debt against the next
+//! instruction-completion frontier advance: a stall that the ring hid under
+//! task overlap never reaches the frontier and correctly costs nothing,
+//! while a stall on the critical path is charged cycle for cycle. What
+//! remains of an advance after paying debt is useful issue (including
+//! memory latency of loads that were not stalled).
+//!
+//! Because every attributed cycle corresponds to one frontier advance and
+//! the frontier ends at `TimingResult::cycles`, the per-cause counts sum to
+//! the total **exactly**; [`CycleBreakdown::finish`] asserts it on every
+//! run, for both the interpreter and the replay engine.
+
+use crate::timing::TimingResult;
+use std::fmt::Write as _;
+
+/// Why the in-task issue cursor was pushed forward (stall *debt* — charged
+/// against the frontier only if the stall reaches it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// A source register was not ready: true dataflow dependence (possibly
+    /// an inter-task forwarding delay around the ring).
+    Dataflow = 0,
+    /// An ARB bank had no free entry; the reference stalled until the
+    /// configured overflow penalty elapsed.
+    ArbFull = 1,
+    /// An intra-task conditional branch mispredicted; the unit redirected
+    /// after `intra_penalty` cycles.
+    IntraMispredict = 2,
+}
+
+/// Why the completion frontier advanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierCause {
+    /// Initial dispatch of the first task (pipeline fill).
+    Startup,
+    /// An instruction's completion (`issue + latency`) pushed the frontier.
+    Issue,
+    /// Recovery from an ARB memory-order violation (squash of the load's
+    /// task tail and re-execution).
+    Violation,
+    /// Squash + refill after a task misprediction: the correct next task
+    /// dispatched only after the mispredicting task completed and the
+    /// machine recovered.
+    Squash,
+    /// The sequencer withheld speculation on a low-confidence prediction;
+    /// the next task waited for the boundary to resolve.
+    Gated,
+    /// Correct-path dispatch serialisation: the next task's issue clock
+    /// (dispatch throughput, ring-unit availability) outran the frontier.
+    Dispatch,
+}
+
+/// One resolved task boundary, as the timing core saw it. Only constructed
+/// when the sink's [`MetricsSink::ENABLED`] is true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryEvent {
+    /// Zero-based dynamic boundary number.
+    pub index: u64,
+    /// Static id of the retiring task.
+    pub task: u32,
+    /// Header exit number the task took.
+    pub exit: u8,
+    /// Entry address of the task executed next.
+    pub next: u32,
+    /// The predicted next-task address (`Some(next)` for perfect
+    /// prediction, `None` when the predictor had no target).
+    pub predicted: Option<u32>,
+    /// Whether the prediction missed.
+    pub miss: bool,
+    /// Whether confidence gating withheld speculation at this boundary.
+    pub gated: bool,
+    /// Clock at which the retiring task completed.
+    pub complete: u64,
+    /// Clock at which the retiring task committed (strictly FIFO).
+    pub commit: u64,
+    /// Clock at which the next task was dispatched.
+    pub dispatch: u64,
+}
+
+/// Observer of one timing run. All hooks have no-op defaults; implementors
+/// override what they need. `ENABLED = false` lets the core skip even the
+/// construction of event payloads, which is what makes [`NoopSink`] free.
+pub trait MetricsSink {
+    /// Whether the core should emit events to this sink at all.
+    const ENABLED: bool;
+
+    /// The in-task issue cursor was pushed forward by `cycles` (stall debt).
+    #[inline(always)]
+    fn issue_stall(&mut self, cause: StallCause, cycles: u64) {
+        let _ = (cause, cycles);
+    }
+
+    /// The completion frontier advanced from `from` to `to` (`to >= from`;
+    /// boundary sites report `to == from` advances too, so sinks can track
+    /// cursor resets).
+    #[inline(always)]
+    fn frontier(&mut self, from: u64, to: u64, cause: FrontierCause) {
+        let _ = (from, to, cause);
+    }
+
+    /// A task boundary resolved.
+    #[inline(always)]
+    fn boundary(&mut self, ev: &BoundaryEvent) {
+        let _ = ev;
+    }
+
+    /// The run ended with this result.
+    #[inline(always)]
+    fn finish(&mut self, result: &TimingResult) {
+        let _ = result;
+    }
+}
+
+/// The default sink: every hook compiles away. [`crate::timing::simulate`]
+/// and [`crate::replay::simulate_replay`] use it, so the uninstrumented
+/// entry points are bit-identical and speed-neutral by monomorphisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {
+    const ENABLED: bool = false;
+}
+
+/// The attribution categories of a [`CycleBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// Issuing instructions and waiting out their latencies.
+    UsefulIssue = 0,
+    /// True register-dataflow stalls (including inter-task forwarding).
+    DataflowStall = 1,
+    /// ARB bank-conflict/overflow stalls.
+    ArbFullStall = 2,
+    /// Intra-task conditional-branch misprediction redirects.
+    IntraMispredict = 3,
+    /// Squash + refill after a task misprediction.
+    SquashRefill = 4,
+    /// ARB memory-order squashes.
+    ViolationSquash = 5,
+    /// Dispatch/sequencer serialisation (incl. startup pipeline fill).
+    SequencerIdle = 6,
+    /// Confidence-gated stalls (speculation withheld).
+    GatedStall = 7,
+}
+
+impl Cause {
+    /// Number of categories.
+    pub const COUNT: usize = 8;
+
+    /// All categories, in reporting order.
+    pub const ALL: [Cause; Cause::COUNT] = [
+        Cause::UsefulIssue,
+        Cause::DataflowStall,
+        Cause::ArbFullStall,
+        Cause::IntraMispredict,
+        Cause::SquashRefill,
+        Cause::ViolationSquash,
+        Cause::SequencerIdle,
+        Cause::GatedStall,
+    ];
+
+    /// Stable machine-readable key (used by `profile.json`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Cause::UsefulIssue => "useful_issue",
+            Cause::DataflowStall => "dataflow_stall",
+            Cause::ArbFullStall => "arb_full_stall",
+            Cause::IntraMispredict => "intra_mispredict",
+            Cause::SquashRefill => "squash_refill",
+            Cause::ViolationSquash => "violation_squash",
+            Cause::SequencerIdle => "sequencer_idle",
+            Cause::GatedStall => "gated_stall",
+        }
+    }
+
+    /// Short human-readable label (used by the profile table).
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::UsefulIssue => "useful",
+            Cause::DataflowStall => "dataflow",
+            Cause::ArbFullStall => "arbfull",
+            Cause::IntraMispredict => "intrabr",
+            Cause::SquashRefill => "squash",
+            Cause::ViolationSquash => "violate",
+            Cause::SequencerIdle => "seqidle",
+            Cause::GatedStall => "gated",
+        }
+    }
+}
+
+/// Attributes every cycle of a run to one [`Cause`]. The counts sum to
+/// [`TimingResult::cycles`] exactly; [`MetricsSink::finish`] asserts it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    cycles: [u64; Cause::COUNT],
+    /// Outstanding issue-cursor pushes, per [`StallCause`], not yet
+    /// realised against the frontier. Cleared whenever the cursor resets
+    /// (boundary, violation recovery): a stall the ring overlapped away
+    /// never becomes cycles.
+    debt: [u64; 3],
+}
+
+impl CycleBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> CycleBreakdown {
+        CycleBreakdown::default()
+    }
+
+    /// Cycles attributed to `cause`.
+    pub fn get(&self, cause: Cause) -> u64 {
+        self.cycles[cause as usize]
+    }
+
+    /// Sum over all categories — equals the run's total cycles once the
+    /// run finished.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Pays an instruction-completion frontier advance out of outstanding
+    /// stall debt (dataflow first, then ARB overflow, then intra-branch);
+    /// the remainder is useful issue.
+    fn pay(&mut self, mut delta: u64) {
+        const ORDER: [(StallCause, Cause); 3] = [
+            (StallCause::Dataflow, Cause::DataflowStall),
+            (StallCause::ArbFull, Cause::ArbFullStall),
+            (StallCause::IntraMispredict, Cause::IntraMispredict),
+        ];
+        for (stall, cause) in ORDER {
+            let paid = delta.min(self.debt[stall as usize]);
+            self.debt[stall as usize] -= paid;
+            self.cycles[cause as usize] += paid;
+            delta -= paid;
+        }
+        self.cycles[Cause::UsefulIssue as usize] += delta;
+    }
+}
+
+impl MetricsSink for CycleBreakdown {
+    const ENABLED: bool = true;
+
+    fn issue_stall(&mut self, cause: StallCause, cycles: u64) {
+        self.debt[cause as usize] += cycles;
+    }
+
+    fn frontier(&mut self, from: u64, to: u64, cause: FrontierCause) {
+        debug_assert!(to >= from, "frontier must be monotone");
+        let delta = to - from;
+        match cause {
+            FrontierCause::Issue => {
+                self.pay(delta);
+                return; // the cursor did not reset: debt stays armed
+            }
+            FrontierCause::Startup | FrontierCause::Dispatch => {
+                self.cycles[Cause::SequencerIdle as usize] += delta;
+            }
+            FrontierCause::Squash => self.cycles[Cause::SquashRefill as usize] += delta,
+            FrontierCause::Gated => self.cycles[Cause::GatedStall as usize] += delta,
+            FrontierCause::Violation => self.cycles[Cause::ViolationSquash as usize] += delta,
+        }
+        // Boundary and violation sites reset the issue cursor; whatever
+        // debt its pushes left behind was hidden under overlap.
+        self.debt = [0; 3];
+    }
+
+    fn finish(&mut self, result: &TimingResult) {
+        assert_eq!(
+            self.total(),
+            result.cycles,
+            "cycle attribution must sum to the run's total cycles \
+             (breakdown: {:?})",
+            self.cycles
+        );
+    }
+}
+
+/// Records task-level events as JSON lines: `predict`, `resolve`, `squash`
+/// (on a mispredicted, non-gated boundary), `commit` and `dispatch` per
+/// boundary, with machine clocks and exit numbers, plus a final `halt`
+/// line. Fields are numbers and fixed keywords only, so no JSON escaping
+/// is needed.
+#[derive(Debug, Clone, Default)]
+pub struct TaskEventSink {
+    out: String,
+}
+
+impl TaskEventSink {
+    /// An empty sink.
+    pub fn new() -> TaskEventSink {
+        TaskEventSink::default()
+    }
+
+    /// The JSON-lines log recorded so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the sink, returning the JSON-lines log.
+    pub fn into_jsonl(self) -> String {
+        self.out
+    }
+}
+
+impl MetricsSink for TaskEventSink {
+    const ENABLED: bool = true;
+
+    fn boundary(&mut self, ev: &BoundaryEvent) {
+        let b = ev.index;
+        let t = ev.task;
+        match ev.predicted {
+            Some(p) => {
+                let _ = writeln!(
+                    self.out,
+                    "{{\"ev\":\"predict\",\"boundary\":{b},\"task\":{t},\"predicted\":{p}}}"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    self.out,
+                    "{{\"ev\":\"predict\",\"boundary\":{b},\"task\":{t},\"predicted\":null}}"
+                );
+            }
+        }
+        let _ = writeln!(
+            self.out,
+            "{{\"ev\":\"resolve\",\"boundary\":{b},\"task\":{t},\"exit\":{},\"next\":{},\
+             \"miss\":{},\"clock\":{}}}",
+            ev.exit, ev.next, ev.miss, ev.complete
+        );
+        if ev.miss && !ev.gated {
+            let _ = writeln!(
+                self.out,
+                "{{\"ev\":\"squash\",\"boundary\":{b},\"task\":{t},\"clock\":{}}}",
+                ev.complete
+            );
+        }
+        let _ = writeln!(
+            self.out,
+            "{{\"ev\":\"commit\",\"boundary\":{b},\"task\":{t},\"clock\":{}}}",
+            ev.commit
+        );
+        let _ = writeln!(
+            self.out,
+            "{{\"ev\":\"dispatch\",\"boundary\":{b},\"next\":{},\"gated\":{},\"clock\":{}}}",
+            ev.next, ev.gated, ev.dispatch
+        );
+    }
+
+    fn finish(&mut self, result: &TimingResult) {
+        let _ = writeln!(
+            self.out,
+            "{{\"ev\":\"halt\",\"cycles\":{},\"instructions\":{},\"tasks\":{},\
+             \"task_mispredicts\":{}}}",
+            result.cycles, result.instructions, result.dynamic_tasks, result.task_mispredicts
+        );
+    }
+}

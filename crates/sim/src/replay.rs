@@ -37,6 +37,7 @@ use multiscalar_core::predictor::TaskDesc;
 use multiscalar_isa::{Addr, ExitIndex, Instruction, Interpreter, Program};
 use multiscalar_taskform::TaskProgram;
 
+use crate::metrics::{MetricsSink, NoopSink};
 use crate::timing::{
     simulate_core, BoundaryStep, CoreState, CoreStep, NextTaskPredictor, OpClass, StepSource,
     TimingConfig, TimingResult, NO_REG,
@@ -323,9 +324,31 @@ pub fn simulate_replay(
     predictor: Option<&mut dyn NextTaskPredictor>,
     config: &TimingConfig,
 ) -> TimingResult {
+    simulate_replay_with_sink(replay, descs, predictor, config, &mut NoopSink)
+}
+
+/// [`simulate_replay`] with a live [`MetricsSink`] observing the run. The
+/// replay cursor feeds the same instrumented core as
+/// [`crate::timing::simulate_with_sink`], so breakdowns and event logs are
+/// engine-independent: both engines report identical sink streams for the
+/// same execution.
+pub fn simulate_replay_with_sink<M: MetricsSink>(
+    replay: &InstrReplay,
+    descs: &[TaskDesc],
+    predictor: Option<&mut dyn NextTaskPredictor>,
+    config: &TimingConfig,
+    sink: &mut M,
+) -> TimingResult {
     let mut cursor = ReplayCursor::new(replay);
-    simulate_core(&mut cursor, descs, predictor, config, replay.mem_words)
-        .expect("replay cursor never errors")
+    simulate_core(
+        &mut cursor,
+        descs,
+        predictor,
+        config,
+        replay.mem_words,
+        sink,
+    )
+    .expect("replay cursor never errors")
 }
 
 /// Runs several independent timing configurations over one recording in a
@@ -340,6 +363,30 @@ pub fn simulate_replay_fused(
     predictors: &mut [Option<Box<dyn NextTaskPredictor>>],
     config: &TimingConfig,
 ) -> Vec<TimingResult> {
+    let mut sinks = vec![NoopSink; predictors.len()];
+    simulate_replay_fused_with_sinks(replay, descs, predictors, config, &mut sinks)
+}
+
+/// [`simulate_replay_fused`] with one live [`MetricsSink`] per fused run:
+/// `sinks[i]` observes the run driven by `predictors[i]`. Each sink sees
+/// exactly the event stream a solo [`simulate_replay_with_sink`] call with
+/// the same predictor would produce.
+///
+/// # Panics
+///
+/// If `sinks` and `predictors` differ in length.
+pub fn simulate_replay_fused_with_sinks<M: MetricsSink>(
+    replay: &InstrReplay,
+    descs: &[TaskDesc],
+    predictors: &mut [Option<Box<dyn NextTaskPredictor>>],
+    config: &TimingConfig,
+    sinks: &mut [M],
+) -> Vec<TimingResult> {
+    assert_eq!(
+        predictors.len(),
+        sinks.len(),
+        "one sink per fused predictor slot"
+    );
     let mut states: Vec<CoreState<'_>> = predictors
         .iter_mut()
         .map(|p| {
@@ -350,17 +397,28 @@ pub fn simulate_replay_fused(
             )
         })
         .collect();
+    for (state, sink) in states.iter().zip(sinks.iter_mut()) {
+        state.bootstrap(sink);
+    }
     let mut cursor = ReplayCursor::new(replay);
     loop {
         let step = cursor.next_step().expect("replay cursor never errors");
-        for state in &mut states {
-            state.on_step(&step, descs, config);
+        for (state, sink) in states.iter_mut().zip(sinks.iter_mut()) {
+            state.on_step(&step, descs, config, sink);
         }
         if step.halt {
             break;
         }
     }
-    states.into_iter().map(CoreState::finish).collect()
+    states
+        .into_iter()
+        .zip(sinks.iter_mut())
+        .map(|(state, sink)| {
+            let result = state.finish();
+            sink.finish(&result);
+            result
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -469,32 +527,18 @@ mod tests {
         let replay = record_replay(&p, &tp, 1_000_000).unwrap();
 
         let configs = [
-            TimingConfig {
-                forwarding: ForwardingModel::ReleaseAtEnd,
-                ..TimingConfig::default()
-            },
-            TimingConfig {
-                intra_predictor: IntraPredictorKind::Gshare,
-                ..TimingConfig::default()
-            },
-            TimingConfig {
-                arb: None,
-                ..TimingConfig::default()
-            },
-            TimingConfig {
-                arb: Some(ArbConfig {
-                    banks: 1,
-                    entries_per_bank: 1,
-                    stages: 4,
-                }),
-                ..TimingConfig::default()
-            },
-            TimingConfig {
-                n_units: 8,
-                issue_width: 4,
-                confidence_gate: Some(2),
-                ..TimingConfig::default()
-            },
+            TimingConfig::paper().forwarding(ForwardingModel::ReleaseAtEnd),
+            TimingConfig::paper().intra_predictor(IntraPredictorKind::Gshare),
+            TimingConfig::paper().arb(None),
+            TimingConfig::paper().arb(Some(ArbConfig {
+                banks: 1,
+                entries_per_bank: 1,
+                stages: 4,
+            })),
+            TimingConfig::paper()
+                .n_units(8)
+                .issue_width(4)
+                .confidence_gate(Some(2)),
         ];
         for config in &configs {
             let legacy = simulate(&p, &tp, &descs, None, config, 1_000_000).unwrap();

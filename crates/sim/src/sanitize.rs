@@ -11,6 +11,11 @@
 //! and, crucially, the **same task-boundary events** (retiring task, header
 //! exit, next-task entry).
 //!
+//! [`check_fused_agreement`] closes the remaining gap: it runs the fused
+//! multi-column sweep ([`crate::replay::simulate_replay_fused`]) and the
+//! equivalent solo runs in one process and asserts bit-identical
+//! [`crate::timing::TimingResult`]s *and* cycle attributions per column.
+//!
 //! Enabling the feature also arms assertions inside the model itself:
 //!
 //! * [`crate::arb::Arb::commit_head`] asserts commit order is strictly
@@ -20,9 +25,15 @@
 //!
 //! All of it compiles away when the feature is off.
 
-use crate::replay::{record_replay, ReplayCursor};
-use crate::timing::{CoreStep, InterpSource, OpClass, StepSource};
+use crate::metrics::CycleBreakdown;
+use crate::replay::{
+    record_replay, simulate_replay_fused_with_sinks, simulate_replay_with_sink, ReplayCursor,
+};
+use crate::timing::{
+    CoreStep, InterpSource, NextTaskPredictor, OpClass, StepSource, TimingConfig, TimingResult,
+};
 use crate::trace::TraceError;
+use multiscalar_core::predictor::TaskDesc;
 use multiscalar_isa::Program;
 use multiscalar_taskform::TaskProgram;
 
@@ -89,6 +100,81 @@ pub fn check_replay_agreement(
         "sanitize: replay length disagrees with the interpreter"
     );
     Ok(steps)
+}
+
+/// Cross-checks the fused sweep engine against solo runs **in one
+/// process**: records `program` once, runs each predictor slot solo and
+/// all slots fused over the same recording, and asserts per slot that the
+/// [`TimingResult`]s are bit-identical *and* that the [`CycleBreakdown`]s
+/// agree cause by cause (each breakdown also self-asserts that it sums to
+/// the run's cycle count). Returns the per-slot results.
+///
+/// `make_predictor` is called twice per slot — once for the solo pass,
+/// once for the fused pass — and must return an identically fresh
+/// predictor both times (`None` = perfect prediction).
+///
+/// # Errors
+///
+/// Propagates recording failures (execution faults, step-budget
+/// exhaustion).
+///
+/// # Panics
+///
+/// Panics on the first slot where fused and solo disagree — that is the
+/// sanitizer finding a bug in the fused lockstep walk.
+pub fn check_fused_agreement<F>(
+    program: &Program,
+    tasks: &TaskProgram,
+    descs: &[TaskDesc],
+    config: &TimingConfig,
+    max_steps: u64,
+    n_slots: usize,
+    mut make_predictor: F,
+) -> Result<Vec<TimingResult>, TraceError>
+where
+    F: FnMut(usize) -> Option<Box<dyn NextTaskPredictor>>,
+{
+    let replay = record_replay(program, tasks, max_steps)?;
+
+    let mut solo = Vec::with_capacity(n_slots);
+    for i in 0..n_slots {
+        let mut pred = make_predictor(i);
+        let mut breakdown = CycleBreakdown::new();
+        let result = simulate_replay_with_sink(
+            &replay,
+            descs,
+            pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
+            config,
+            &mut breakdown,
+        );
+        solo.push((result, breakdown));
+    }
+
+    let mut predictors: Vec<_> = (0..n_slots).map(&mut make_predictor).collect();
+    let mut fused_breakdowns = vec![CycleBreakdown::new(); n_slots];
+    let fused = simulate_replay_fused_with_sinks(
+        &replay,
+        descs,
+        &mut predictors,
+        config,
+        &mut fused_breakdowns,
+    );
+
+    for (i, ((solo_result, solo_breakdown), (fused_result, fused_breakdown))) in solo
+        .iter()
+        .zip(fused.iter().zip(&fused_breakdowns))
+        .enumerate()
+    {
+        assert_eq!(
+            solo_result, fused_result,
+            "sanitize: fused slot {i} result diverges from its solo run"
+        );
+        assert_eq!(
+            solo_breakdown, fused_breakdown,
+            "sanitize: fused slot {i} cycle breakdown diverges from its solo run"
+        );
+    }
+    Ok(fused)
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! return **bit-identical** [`TimingResult`]s by construction.
 
 use crate::arb::{Arb, ArbConfig, ArbEvent};
+use crate::metrics::{BoundaryEvent, FrontierCause, MetricsSink, NoopSink, StallCause};
 use multiscalar_core::confidence::ConfidenceEstimator;
 use multiscalar_core::predictor::{ExitPredictor, TaskDesc, TaskPredictor};
 use multiscalar_core::scalar::{Bimodal, McFarling, TwoLevelGag};
@@ -155,6 +156,101 @@ impl Default for TimingConfig {
             arb_full_penalty: 2,
             confidence_gate: None,
         }
+    }
+}
+
+impl TimingConfig {
+    /// The paper's machine parameters (§4): a 4-unit ring of 2-way units,
+    /// 12-cycle squash recovery, a 12-bit shared bimodal intra predictor,
+    /// and the default ARB. Identical to [`Default`], spelled as the root
+    /// of a builder chain:
+    ///
+    /// ```
+    /// use multiscalar_sim::timing::TimingConfig;
+    /// let c = TimingConfig::paper().squash_penalty(20).n_units(8);
+    /// assert_eq!(c.squash_penalty, 20);
+    /// assert_eq!(c.n_units, 8);
+    /// ```
+    pub fn paper() -> TimingConfig {
+        TimingConfig::default()
+    }
+
+    /// Sets the number of processing units in the ring.
+    pub fn n_units(mut self, v: usize) -> TimingConfig {
+        self.n_units = v;
+        self
+    }
+
+    /// Sets the per-unit issue width.
+    pub fn issue_width(mut self, v: u32) -> TimingConfig {
+        self.issue_width = v;
+        self
+    }
+
+    /// Sets the load-to-use latency.
+    pub fn load_latency(mut self, v: u64) -> TimingConfig {
+        self.load_latency = v;
+        self
+    }
+
+    /// Sets the sequencer's per-dispatch cost.
+    pub fn dispatch_cost(mut self, v: u64) -> TimingConfig {
+        self.dispatch_cost = v;
+        self
+    }
+
+    /// Sets the task-misprediction squash + refill penalty.
+    pub fn squash_penalty(mut self, v: u64) -> TimingConfig {
+        self.squash_penalty = v;
+        self
+    }
+
+    /// Sets the intra-task branch misprediction penalty.
+    pub fn intra_penalty(mut self, v: u64) -> TimingConfig {
+        self.intra_penalty = v;
+        self
+    }
+
+    /// Sets the shared intra predictor's index bits.
+    pub fn bimodal_bits(mut self, v: u32) -> TimingConfig {
+        self.bimodal_bits = v;
+        self
+    }
+
+    /// Selects the intra-task branch predictor.
+    pub fn intra_predictor(mut self, v: IntraPredictorKind) -> TimingConfig {
+        self.intra_predictor = v;
+        self
+    }
+
+    /// Selects the inter-task register forwarding model.
+    pub fn forwarding(mut self, v: ForwardingModel) -> TimingConfig {
+        self.forwarding = v;
+        self
+    }
+
+    /// Sets the ARB geometry (`None` = ideal, conflict-free memory).
+    pub fn arb(mut self, v: Option<ArbConfig>) -> TimingConfig {
+        self.arb = v;
+        self
+    }
+
+    /// Sets the ARB memory-order violation penalty.
+    pub fn violation_penalty(mut self, v: u64) -> TimingConfig {
+        self.violation_penalty = v;
+        self
+    }
+
+    /// Sets the ARB bank-overflow stall penalty.
+    pub fn arb_full_penalty(mut self, v: u64) -> TimingConfig {
+        self.arb_full_penalty = v;
+        self
+    }
+
+    /// Sets confidence gating (`Some(correct-streak threshold)`).
+    pub fn confidence_gate(mut self, v: Option<u8>) -> TimingConfig {
+        self.confidence_gate = v;
+        self
     }
 }
 
@@ -545,9 +641,25 @@ impl<'p> CoreState<'p> {
         }
     }
 
+    /// Reports the initial pipeline-fill frontier (dispatch of the first
+    /// task) to `sink`. Callers invoke it once, before the first step.
+    pub(crate) fn bootstrap<M: MetricsSink>(&self, sink: &mut M) {
+        if M::ENABLED {
+            sink.frontier(0, self.complete, FrontierCause::Startup);
+        }
+    }
+
     /// Accounts one instruction. The caller stops feeding steps after the
-    /// one with `halt` set.
-    pub(crate) fn on_step(&mut self, step: &CoreStep, descs: &[TaskDesc], config: &TimingConfig) {
+    /// one with `halt` set. Generic over the [`MetricsSink`] so the
+    /// [`NoopSink`] instantiation compiles to exactly the uninstrumented
+    /// loop (every hook is guarded by the const `M::ENABLED`).
+    pub(crate) fn on_step<M: MetricsSink>(
+        &mut self,
+        step: &CoreStep,
+        descs: &[TaskDesc],
+        config: &TimingConfig,
+        sink: &mut M,
+    ) {
         self.result.instructions += 1;
 
         // --- issue timing for this instruction --------------------------
@@ -571,6 +683,9 @@ impl<'p> CoreState<'p> {
             ready = ready.max(t);
         }
         if ready > self.t_issue {
+            if M::ENABLED {
+                sink.issue_stall(StallCause::Dataflow, ready - self.t_issue);
+            }
             self.t_issue = ready;
             self.slots = 0;
         }
@@ -601,7 +716,11 @@ impl<'p> CoreState<'p> {
                         self.result.arb_violations += 1;
                         self.t_issue = store_time + config.violation_penalty;
                         self.slots = 0;
-                        self.complete = self.complete.max(self.t_issue);
+                        let to = self.complete.max(self.t_issue);
+                        if M::ENABLED {
+                            sink.frontier(self.complete, to, FrontierCause::Violation);
+                        }
+                        self.complete = to;
                     }
                 }
             } else {
@@ -621,6 +740,9 @@ impl<'p> CoreState<'p> {
                 if ev == ArbEvent::Full {
                     // No free entry: stall until the head commits.
                     self.result.arb_full_stalls += 1;
+                    if M::ENABLED {
+                        sink.issue_stall(StallCause::ArbFull, config.arb_full_penalty);
+                    }
                     self.t_issue += config.arb_full_penalty;
                     self.slots = 0;
                 }
@@ -630,7 +752,13 @@ impl<'p> CoreState<'p> {
             self.avail[step.dest as usize] = issue_time + latency;
             self.written_this_task |= 1 << step.dest;
         }
-        self.complete = self.complete.max(issue_time + latency);
+        let done = issue_time + latency;
+        if done > self.complete {
+            if M::ENABLED {
+                sink.frontier(self.complete, done, FrontierCause::Issue);
+            }
+            self.complete = done;
+        }
 
         if step.halt {
             return;
@@ -643,9 +771,11 @@ impl<'p> CoreState<'p> {
                 let next_pc = bound.next;
                 let desc = &descs[bound.task as usize];
                 let mut gated = false;
+                let mut predicted_pc = Some(next_pc); // perfect predicts `next`
                 let miss = match self.predictor.as_deref_mut() {
                     Some(p) => {
                         let predicted = p.predict_next(desc);
+                        predicted_pc = predicted;
                         p.resolve(desc, bound.exit, next_pc);
                         let miss = predicted != Some(next_pc);
                         if let Some(c) = self.confidence.as_mut() {
@@ -729,7 +859,30 @@ impl<'p> CoreState<'p> {
                 // independent of the retiring task's issue cursor.
                 self.t_issue = (self.dispatch + 1).max(self.unit_free[next_unit]);
                 self.slots = 0;
-                self.complete = self.complete.max(self.t_issue);
+                let to = self.complete.max(self.t_issue);
+                if M::ENABLED {
+                    let cause = if miss && !gated {
+                        FrontierCause::Squash
+                    } else if gated {
+                        FrontierCause::Gated
+                    } else {
+                        FrontierCause::Dispatch
+                    };
+                    sink.frontier(self.complete, to, cause);
+                    sink.boundary(&BoundaryEvent {
+                        index: self.result.dynamic_tasks - 1,
+                        task: bound.task,
+                        exit: bound.exit.as_u8(),
+                        next: next_pc.0,
+                        predicted: predicted_pc.map(|a| a.0),
+                        miss,
+                        gated,
+                        complete: self.complete,
+                        commit,
+                        dispatch: self.dispatch,
+                    });
+                }
+                self.complete = to;
             }
             None => {
                 // Still inside the task: internal conditional branches go
@@ -738,7 +891,14 @@ impl<'p> CoreState<'p> {
                     let predicted = self.intra.predict(step.branch_pc);
                     if predicted != step.taken {
                         self.result.intra_mispredicts += 1;
-                        self.t_issue = issue_time + 1 + config.intra_penalty;
+                        let redirect = issue_time + 1 + config.intra_penalty;
+                        if M::ENABLED {
+                            sink.issue_stall(
+                                StallCause::IntraMispredict,
+                                redirect.saturating_sub(self.t_issue),
+                            );
+                        }
+                        self.t_issue = redirect;
                         self.slots = 0;
                     }
                     self.intra.update(step.branch_pc, step.taken);
@@ -759,22 +919,26 @@ impl<'p> CoreState<'p> {
 /// the interpreter and the replay cursor; both instantiations execute the
 /// same cycle arithmetic on the same step stream, which is what makes
 /// [`simulate`] and [`crate::replay::simulate_replay`] bit-identical.
-pub(crate) fn simulate_core<S: StepSource>(
+pub(crate) fn simulate_core<S: StepSource, M: MetricsSink>(
     source: &mut S,
     descs: &[TaskDesc],
     predictor: Option<&mut dyn NextTaskPredictor>,
     config: &TimingConfig,
     mem_words: usize,
+    sink: &mut M,
 ) -> Result<TimingResult, TraceError> {
     let mut state = CoreState::new(predictor, config, mem_words);
+    state.bootstrap(sink);
     loop {
         let step = source.next_step()?;
-        state.on_step(&step, descs, config);
+        state.on_step(&step, descs, config, sink);
         if step.halt {
             break;
         }
     }
-    Ok(state.finish())
+    let result = state.finish();
+    sink.finish(&result);
+    Ok(result)
 }
 
 /// Runs the timing model over a full program execution.
@@ -794,9 +958,38 @@ pub fn simulate(
     config: &TimingConfig,
     max_steps: u64,
 ) -> Result<TimingResult, TraceError> {
+    simulate_with_sink(
+        program,
+        tasks,
+        descs,
+        predictor,
+        config,
+        max_steps,
+        &mut NoopSink,
+    )
+}
+
+/// [`simulate`] with a live [`MetricsSink`] observing the run. The
+/// `NoopSink` instantiation *is* [`simulate`]; a [`crate::CycleBreakdown`]
+/// attributes every cycle, a [`crate::TaskEventSink`] records task-level
+/// events. The sink never alters cycle arithmetic, so the returned
+/// [`TimingResult`] is bit-identical across sinks.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`].
+pub fn simulate_with_sink<M: MetricsSink>(
+    program: &Program,
+    tasks: &TaskProgram,
+    descs: &[TaskDesc],
+    predictor: Option<&mut dyn NextTaskPredictor>,
+    config: &TimingConfig,
+    max_steps: u64,
+    sink: &mut M,
+) -> Result<TimingResult, TraceError> {
     let mut source = InterpSource::new(program, tasks, max_steps);
     let mem_words = source.interp.mem_words();
-    simulate_core(&mut source, descs, predictor, config, mem_words)
+    simulate_core(&mut source, descs, predictor, config, mem_words, sink)
 }
 
 #[cfg(test)]
@@ -1016,10 +1209,7 @@ mod tests {
         let descs = task_descs(&tp);
         let with_arb =
             simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000).unwrap();
-        let ideal_mem = TimingConfig {
-            arb: None,
-            ..TimingConfig::default()
-        };
+        let ideal_mem = TimingConfig::paper().arb(None);
         let without = simulate(&p, &tp, &descs, None, &ideal_mem, 1_000_000).unwrap();
         assert_eq!(with_arb.instructions, without.instructions);
         // The ARB can only add stalls, never remove them.
@@ -1032,14 +1222,11 @@ mod tests {
         let p = two_address_program();
         let tp = TaskFormer::default().form(&p).unwrap();
         let descs = task_descs(&tp);
-        let tiny = TimingConfig {
-            arb: Some(crate::arb::ArbConfig {
-                banks: 1,
-                entries_per_bank: 1,
-                stages: 4,
-            }),
-            ..TimingConfig::default()
-        };
+        let tiny = TimingConfig::paper().arb(Some(crate::arb::ArbConfig {
+            banks: 1,
+            entries_per_bank: 1,
+            stages: 4,
+        }));
         let r = simulate(&p, &tp, &descs, None, &tiny, 1_000_000).unwrap();
         assert!(
             r.arb_full_stalls > 0,
@@ -1061,10 +1248,7 @@ mod tests {
         let tp = TaskFormer::default().form(&p).unwrap();
         let descs = task_descs(&tp);
         let eager = simulate(&p, &tp, &descs, None, &TimingConfig::default(), 1_000_000).unwrap();
-        let conservative = TimingConfig {
-            forwarding: ForwardingModel::ReleaseAtEnd,
-            ..TimingConfig::default()
-        };
+        let conservative = TimingConfig::paper().forwarding(ForwardingModel::ReleaseAtEnd);
         let released = simulate(&p, &tp, &descs, None, &conservative, 1_000_000).unwrap();
         assert_eq!(eager.instructions, released.instructions);
         assert!(
@@ -1078,6 +1262,54 @@ mod tests {
             released.cycles > eager.cycles,
             "the loop-carried counter must stall"
         );
+    }
+
+    #[test]
+    fn cycle_breakdown_sums_to_total_and_leaves_result_unchanged() {
+        use crate::metrics::{Cause, CycleBreakdown, TaskEventSink};
+        let p = store_load_program();
+        let tp = TaskFormer::default().form(&p).unwrap();
+        let descs = task_descs(&tp);
+        let config = TimingConfig::paper();
+        let plain = simulate(&p, &tp, &descs, None, &config, 1_000_000).unwrap();
+
+        let mut bd = CycleBreakdown::new();
+        let attributed =
+            simulate_with_sink(&p, &tp, &descs, None, &config, 1_000_000, &mut bd).unwrap();
+        assert_eq!(plain, attributed, "sinks never alter cycle arithmetic");
+        assert_eq!(bd.total(), plain.cycles, "attribution is exact");
+        assert!(bd.get(Cause::UsefulIssue) > 0);
+
+        // A real (mispredicting) predictor must surface squash cycles.
+        let mut pred =
+            TaskPredictor::<PathLeh2>::path(Dolc::new(4, 4, 6, 6, 2), Dolc::new(4, 3, 4, 4, 2), 16);
+        let mut bd2 = CycleBreakdown::new();
+        let r2 = simulate_with_sink(
+            &p,
+            &tp,
+            &descs,
+            Some(&mut pred),
+            &config,
+            1_000_000,
+            &mut bd2,
+        )
+        .unwrap();
+        assert_eq!(bd2.total(), r2.cycles);
+        if r2.task_mispredicts > 0 {
+            assert!(bd2.get(Cause::SquashRefill) > 0, "misses must cost cycles");
+        }
+
+        // The event sink logs one block per boundary plus a halt line.
+        let mut ev = TaskEventSink::new();
+        let r3 = simulate_with_sink(&p, &tp, &descs, None, &config, 1_000_000, &mut ev).unwrap();
+        assert_eq!(plain, r3);
+        let log = ev.into_jsonl();
+        assert_eq!(
+            log.matches("\"ev\":\"resolve\"").count() as u64,
+            plain.dynamic_tasks
+        );
+        assert!(log.trim_end().ends_with('}'), "well-formed last line");
+        assert!(log.contains("\"ev\":\"halt\""));
     }
 
     #[test]

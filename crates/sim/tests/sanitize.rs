@@ -3,9 +3,13 @@
 
 #![cfg(feature = "sanitize")]
 
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::predictor::TaskPredictor;
 use multiscalar_sim::arb::{Arb, ArbConfig};
-use multiscalar_sim::sanitize::check_replay_agreement;
-use multiscalar_sim::timing::{simulate, TimingConfig};
+use multiscalar_sim::sanitize::{check_fused_agreement, check_replay_agreement};
+use multiscalar_sim::timing::{simulate, NextTaskPredictor, TimingConfig};
 use multiscalar_sim::{record_replay, simulate_replay, task_descs};
 use multiscalar_taskform::TaskFormer;
 use multiscalar_workloads::{Spec92, WorkloadParams};
@@ -38,6 +42,41 @@ fn sanitized_timing_run_holds_all_invariants() {
     let fast = simulate_replay(&replay, &descs, None, &config);
     assert_eq!(legacy, fast);
     assert!(legacy.instructions > 0);
+}
+
+/// The fused sweep engine agrees with solo runs in one process: same
+/// recording, each predictor slot run solo and fused, results and cycle
+/// breakdowns bit-identical per slot (the breakdown sink additionally
+/// asserts its attribution sums to the run's cycle count).
+#[test]
+fn fused_sweep_agrees_with_solo_runs_and_breakdowns() {
+    let w = Spec92::Compress.build(&WorkloadParams::small(7));
+    let tasks = TaskFormer::default().form(&w.program).unwrap();
+    let descs = task_descs(&tasks);
+    let config = TimingConfig::paper();
+    let make = |slot: usize| -> Option<Box<dyn NextTaskPredictor>> {
+        match slot {
+            // Slot 0 is perfect prediction; the rest are identical real
+            // PATH predictors (so their results must also match each other).
+            0 => None,
+            _ => Some(Box::new(TaskPredictor::<
+                PathPredictor<LastExitHysteresis<2>>,
+            >::path(
+                Dolc::new(4, 4, 6, 6, 2),
+                Dolc::new(4, 3, 4, 4, 2),
+                16,
+            ))),
+        }
+    };
+    let results =
+        check_fused_agreement(&w.program, &tasks, &descs, &config, w.max_steps, 3, make).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results.iter().all(|r| r.instructions > 0));
+    assert_eq!(results[1], results[2], "identical slots must agree");
+    assert!(
+        results[0].cycles <= results[1].cycles,
+        "perfect prediction can never be slower than a real predictor"
+    );
 }
 
 /// The ARB commit-order assertion actually fires: after committing stage 5,
