@@ -1,0 +1,147 @@
+//! `harness bench-pr5` — cold vs warm artifact-cache comparison.
+//!
+//! Both arms run the same pipeline — prepare all five benchmarks, then
+//! render Table 4 on the replay engine — against a temporary cache
+//! directory. The **cold** arm clears the directory before every
+//! repetition, so each one pays the full interpreter recording pass per
+//! benchmark; the **warm** arm reuses the populated directory, so
+//! preparation deserialises the recordings and runs **zero** interpreter
+//! passes (asserted via the cache hit/miss counters, not inferred from
+//! timing). The rendered output must be byte-identical between arms —
+//! the cache is an accelerator, never a result.
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::experiments::{self, Engine};
+use crate::pool::Pool;
+use crate::{prepare_set_cached, report};
+use multiscalar_sim::timing::TimingConfig;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The timed comparison: wall-clock per arm (total, and preparation alone
+/// — the part the cache accelerates) plus the warm arm's counter proof
+/// that no interpreter pass ran.
+#[derive(Debug, Clone)]
+pub struct BenchPr5Report {
+    /// Best-of-reps milliseconds for prepare + Table 4, cache cleared
+    /// before every repetition.
+    pub cold_ms: f64,
+    /// Best-of-reps milliseconds for the same work against the populated
+    /// cache.
+    pub warm_ms: f64,
+    /// Best-of-reps preparation milliseconds with a cleared cache (five
+    /// interpreter recording passes).
+    pub cold_prepare_ms: f64,
+    /// Best-of-reps preparation milliseconds against the populated cache
+    /// (five deserialisations, zero interpreter passes).
+    pub warm_prepare_ms: f64,
+    /// The warm arm's cache counters from its final repetition
+    /// (`hits == 5`, `misses == 0` — checked before this report exists).
+    pub warm_stats: CacheStats,
+    /// Pool width used by both arms.
+    pub threads: usize,
+}
+
+impl BenchPr5Report {
+    /// `cold_ms / warm_ms`.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(1e-9)
+    }
+
+    /// `cold_prepare_ms / warm_prepare_ms` — the preparation-only speedup.
+    pub fn prepare_speedup(&self) -> f64 {
+        self.cold_prepare_ms / self.warm_prepare_ms.max(1e-9)
+    }
+
+    /// Renders the report as JSON (hand-rolled; fixed key order).
+    pub fn to_json(&self, params: &WorkloadParams) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"seed\": {},", params.seed);
+        let _ = writeln!(s, "  \"scale\": {},", params.scale);
+        let _ = writeln!(s, "  \"cold_ms\": {:.1},", self.cold_ms);
+        let _ = writeln!(s, "  \"warm_ms\": {:.1},", self.warm_ms);
+        let _ = writeln!(s, "  \"cold_prepare_ms\": {:.1},", self.cold_prepare_ms);
+        let _ = writeln!(s, "  \"warm_prepare_ms\": {:.1},", self.warm_prepare_ms);
+        let _ = writeln!(s, "  \"warm_hits\": {},", self.warm_stats.hits);
+        let _ = writeln!(s, "  \"warm_misses\": {},", self.warm_stats.misses);
+        let _ = writeln!(s, "  \"speedup\": {:.2},", self.speedup());
+        let _ = writeln!(s, "  \"prepare_speedup\": {:.2}", self.prepare_speedup());
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Repetitions per arm; the minimum is reported (same defence against
+/// scheduler noise as `bench-pr1`/`bench-pr2`, applied to both arms).
+const REPS: usize = 5;
+
+/// One full pipeline pass — prepare all five benchmarks through `store`,
+/// render Table 4 from the prepared replays — returning the rendered bytes
+/// and the milliseconds preparation alone took.
+fn pipeline(store: &ArtifactCache, params: &WorkloadParams, pool: &Pool) -> (String, f64) {
+    let start = Instant::now();
+    let benches = prepare_set_cached(Spec92::ALL.as_slice(), params, pool, Some(store));
+    let prepare_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rows = experiments::table4(&benches, &TimingConfig::paper(), pool, Engine::Replay);
+    (report::render_table4(&rows), prepare_ms)
+}
+
+/// Runs both arms against a temporary cache directory and returns the
+/// comparison; `Err` if the warm arm hit the interpreter (counter proof
+/// failed) or the arms' rendered outputs diverged.
+pub fn run(params: &WorkloadParams, pool: &Pool) -> Result<BenchPr5Report, String> {
+    let dir = std::env::temp_dir().join(format!("multiscalar-bench-pr5-{}", std::process::id()));
+
+    let mut cold_ms = f64::INFINITY;
+    let mut cold_prepare_ms = f64::INFINITY;
+    let mut cold_out = String::new();
+    for _ in 0..REPS {
+        let store = ArtifactCache::new(&dir);
+        store.clear().map_err(|e| format!("cache clear: {e}"))?;
+        let start = Instant::now();
+        let (out, prep) = pipeline(&store, params, pool);
+        cold_ms = cold_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        cold_prepare_ms = cold_prepare_ms.min(prep);
+        cold_out = out;
+        let s = store.stats();
+        if s.hits != 0 || s.misses != Spec92::ALL.len() as u64 {
+            return Err(format!("cold arm expected 0 hits / 5 misses, got {s:?}"));
+        }
+    }
+
+    // The final cold repetition left the directory populated.
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_prepare_ms = f64::INFINITY;
+    let mut warm_stats = CacheStats::default();
+    for _ in 0..REPS {
+        let store = ArtifactCache::new(&dir);
+        let start = Instant::now();
+        let (warm_out, prep) = pipeline(&store, params, pool);
+        warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        warm_prepare_ms = warm_prepare_ms.min(prep);
+        warm_stats = store.stats();
+        if warm_stats.hits != Spec92::ALL.len() as u64 || warm_stats.misses != 0 {
+            return Err(format!(
+                "warm arm ran an interpreter pass: expected 5 hits / 0 misses, got {warm_stats:?}"
+            ));
+        }
+        if warm_out != cold_out {
+            return Err("warm output diverged from cold output".to_string());
+        }
+    }
+
+    let cleanup = ArtifactCache::new(&dir);
+    let _ = cleanup.clear();
+    let _ = std::fs::remove_dir(&dir);
+
+    Ok(BenchPr5Report {
+        cold_ms,
+        warm_ms,
+        cold_prepare_ms,
+        warm_prepare_ms,
+        warm_stats,
+        threads: pool.threads(),
+    })
+}

@@ -1,0 +1,247 @@
+//! The on-disk content-addressed artifact cache.
+//!
+//! Recording a benchmark's [`InstrReplay`] is the only interpreter pass
+//! preparation needs (the functional trace derives from the recording, see
+//! [`multiscalar_sim::derive_trace`]) — and it is also the expensive part.
+//! This store persists recordings across processes, keyed by the *content*
+//! of everything that determines them:
+//!
+//! ```text
+//! key = fingerprint( CACHE_SCHEMA,
+//!                    generator config  (name, seed, scale, version),
+//!                    program structure (code, functions, data, targets),
+//!                    task partition    (tasks, headers, address map),
+//!                    step budget )
+//! ```
+//!
+//! Change any input — a generator tweak, a task-former change, a codec or
+//! timing-semantics bump — and the key moves, so stale artifacts are never
+//! *served*; they are simply unreachable garbage (`harness cache clear`
+//! removes them wholesale).
+//!
+//! # Concurrency and integrity
+//!
+//! Writes go to a process-unique temp file in the cache directory and are
+//! published with an atomic rename, so concurrent harness invocations (or
+//! the `--threads` pool's parallel preparation jobs) never observe a
+//! half-written entry — the worst race is two processes recording the same
+//! key and one rename winning, which is harmless because both artifacts are
+//! byte-identical by determinism.
+//!
+//! Reads validate magic, schema version, embedded fingerprint and trailing
+//! checksum (see [`multiscalar_sim::codec`]). **Any** failure — truncation,
+//! bit rot, a stale schema, a misfiled entry — degrades gracefully: a
+//! warning on stderr, the entry evicted, and the caller re-records as if
+//! the cache were cold. A corrupt cache can cost time, never correctness.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use multiscalar_isa::{Fingerprint, FingerprintHasher, Program};
+use multiscalar_sim::codec::{decode_replay, encode_replay, CACHE_SCHEMA};
+use multiscalar_sim::replay::InstrReplay;
+use multiscalar_taskform::TaskProgram;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+use std::hash::Hash as _;
+
+/// File extension of replay artifacts in the cache directory.
+pub const REPLAY_EXT: &str = "replay";
+
+/// The default cache directory (relative to the working directory) the CLI
+/// uses when `--cache-dir` is not given.
+pub const DEFAULT_DIR: &str = ".multiscalar-cache";
+
+/// The cache key of one benchmark's replay artifact: every input that
+/// determines the recorded bytes, folded into one content address.
+pub fn replay_key(
+    spec: Spec92,
+    params: &WorkloadParams,
+    program: &Program,
+    tasks: &TaskProgram,
+    max_steps: u64,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    CACHE_SCHEMA.hash(&mut h);
+    spec.config_fingerprint(params).hash(&mut h);
+    program.fingerprint().hash(&mut h);
+    tasks.fingerprint().hash(&mut h);
+    max_steps.hash(&mut h);
+    h.finish128()
+}
+
+/// The cache key `spec` would be prepared under, computed **without**
+/// recording anything: building the workload and forming tasks is cheap
+/// (no interpreter pass), and those are all the key depends on. `harness
+/// cache stats` uses this to report warm/cold per experiment.
+pub fn key_for(spec: Spec92, params: &WorkloadParams) -> Fingerprint {
+    let w = spec.build(params);
+    let tasks = multiscalar_taskform::TaskFormer::default()
+        .form(&w.program)
+        .unwrap_or_else(|e| panic!("{spec}: task formation failed: {e}"));
+    replay_key(spec, params, &w.program, &tasks, w.max_steps)
+}
+
+/// Monotonic hit/miss/store/eviction counters, shared across the pool's
+/// preparation jobs (all atomic; relaxed ordering is enough for counters).
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Artifacts written.
+    pub stores: u64,
+    /// Invalid entries removed (each eviction also counts as a miss).
+    pub evictions: u64,
+}
+
+/// The content-addressed artifact store: a directory of
+/// `<key-hex>.replay` files plus in-process counters. Share one instance
+/// (behind `&` — all methods take `&self`) across the preparation pool.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    counters: Counters,
+}
+
+impl ArtifactCache {
+    /// A store rooted at `dir`. The directory is created lazily on first
+    /// write; a missing directory just means every lookup misses.
+    pub fn new(dir: impl Into<PathBuf>) -> ArtifactCache {
+        ArtifactCache {
+            dir: dir.into(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where the artifact for `key` lives.
+    pub fn entry_path(&self, key: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{key}.{REPLAY_EXT}"))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads and validates the replay recorded under `key`. `None` on any
+    /// miss *or* failure; invalid entries are evicted (with a warning on
+    /// stderr — stdout stays byte-identical between cold and warm runs) so
+    /// the caller silently re-records.
+    pub fn load_replay(&self, key: Fingerprint) -> Option<InstrReplay> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_replay(&bytes, key) {
+            Ok(replay) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(replay)
+            }
+            Err(e) => {
+                eprintln!(
+                    "cache: evicting invalid entry {} ({e}); re-recording",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a recording under `key`: encode, write to a process-unique
+    /// temp file, atomic rename. Store failures only warn — the cache is an
+    /// accelerator, never a correctness dependency.
+    pub fn store_replay(&self, key: Fingerprint, replay: &InstrReplay) {
+        // Unique per process *and* per call, so parallel writers (pool
+        // jobs, concurrent harness invocations) never share a temp file.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            ".{key}.{}.{}.tmp",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let publish = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            std::fs::write(&tmp, encode_replay(replay, key))?;
+            std::fs::rename(&tmp, &path)
+        };
+        match publish() {
+            Ok(()) => {
+                self.counters.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                eprintln!("cache: could not store {} ({e})", path.display());
+            }
+        }
+    }
+
+    /// The `(file name, size in bytes)` of every replay artifact on disk,
+    /// sorted by name (deterministic output for `harness cache stats`).
+    pub fn disk_entries(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(REPLAY_EXT) {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            out.push((name, size));
+        }
+        out.sort();
+        out
+    }
+
+    /// Removes every replay artifact (and stray temp file) from the cache
+    /// directory; returns how many files were removed.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        let dir = match std::fs::read_dir(&self.dir) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            let name = entry.file_name();
+            let stray_tmp = name.to_string_lossy().ends_with(".tmp");
+            if ext == Some(REPLAY_EXT) || stray_tmp {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}

@@ -471,8 +471,10 @@ impl Engine {
     }
 }
 
-/// Records each benchmark's instruction replay once (one job per
-/// benchmark), for sharing across timing runs.
+/// Re-records each benchmark's instruction replay from scratch (one job
+/// per benchmark), *ignoring* the recording already sitting in
+/// [`Bench::replay`]. Normal consumers should use that field; this exists
+/// so `bench-pr2` can charge the replay arm its recording cost explicitly.
 pub fn record_replays(benches: &[Bench], pool: &Pool) -> Vec<Arc<InstrReplay>> {
     let jobs: Vec<Job<'_, Arc<InstrReplay>>> = benches
         .iter()
@@ -493,27 +495,26 @@ pub fn record_replays(benches: &[Bench], pool: &Pool) -> Vec<Arc<InstrReplay>> {
 /// for returns, matching the paper's setup. Five jobs per benchmark (one
 /// per predictor column).
 ///
-/// With [`Engine::Replay`] one interpreter pass per benchmark records an
-/// [`InstrReplay`] and all five columns drive the timing model from that
-/// shared recording — sequential solo walks beat a fused multi-state walk
-/// here because each column's working set (ARB, scoreboard, predictor
-/// tables) stays cache-resident. [`Engine::Legacy`] re-interprets per
-/// column and is kept only as the reference for equivalence checks and
-/// `bench-pr2`.
+/// With [`Engine::Replay`] all five columns drive the timing model from
+/// the benchmark's recorded [`InstrReplay`] ([`Bench::replay`] — served
+/// from the artifact cache when warm) with zero re-interpretation —
+/// sequential solo walks beat a fused multi-state walk here because each
+/// column's working set (ARB, scoreboard, predictor tables) stays
+/// cache-resident. [`Engine::Legacy`] re-interprets per column and is kept
+/// only as the reference for equivalence checks and `bench-pr2`.
 pub fn table4(
     benches: &[Bench],
     config: &TimingConfig,
     pool: &Pool,
     engine: Engine,
 ) -> Vec<Table4Row> {
-    let replays = match engine {
-        Engine::Legacy => None,
-        Engine::Replay => Some(record_replays(benches, pool)),
-    };
     let mut jobs: Vec<Job<'_, TimingResult>> = Vec::new();
-    for (i, b) in benches.iter().enumerate() {
+    for b in benches.iter() {
         for column in Table4Column::ALL {
-            let replay = replays.as_ref().map(|r| Arc::clone(&r[i]));
+            let replay = match engine {
+                Engine::Legacy => None,
+                Engine::Replay => Some(Arc::clone(&b.replay)),
+            };
             jobs.push(Box::new(move || {
                 let mut pred = column.predictor();
                 let pred = pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor);

@@ -19,8 +19,8 @@ use multiscalar_core::pollution::{PollutedExitAdapter, PollutedPathPredictor};
 use multiscalar_core::stale::StalePathPredictor;
 use multiscalar_core::tournament::TournamentPredictor;
 use multiscalar_sim::measure::{measure_exits, task_descs};
+use multiscalar_sim::replay::{derive_trace, record_replay};
 use multiscalar_sim::timing::{simulate, ForwardingModel, TimingConfig};
-use multiscalar_sim::trace::collect_trace;
 use multiscalar_taskform::{TaskFormConfig, TaskFormer};
 use multiscalar_workloads::{Spec92, WorkloadParams};
 
@@ -147,13 +147,18 @@ pub fn ext_taskform(params: &WorkloadParams) -> Vec<TaskformRow> {
         let w = spec.build(params);
         for (label, config) in TASKFORM_CONFIGS {
             let tasks = TaskFormer::new(config).form(&w.program).expect("formation");
-            let trace = collect_trace(&w.program, &tasks, w.max_steps).expect("trace succeeds");
+            let replay =
+                record_replay(&w.program, &tasks, w.max_steps).expect("recording succeeds");
+            let trace = derive_trace(&replay, &tasks);
             let descs = task_descs(&tasks);
+            let key = crate::cache::replay_key(spec, params, &w.program, &tasks, w.max_steps);
             let bench = Bench {
                 spec,
                 workload: w.clone(),
                 tasks,
                 descs,
+                replay: replay.into_shared(),
+                key,
                 trace,
             };
             let miss = [

@@ -31,6 +31,8 @@
 
 pub mod bench_pr1;
 pub mod bench_pr2;
+pub mod bench_pr5;
+pub mod cache;
 pub mod csv;
 pub mod dispatch;
 pub mod experiments;
@@ -42,13 +44,18 @@ pub mod registry;
 pub mod report;
 pub mod verify;
 
+use std::sync::Arc;
+
 use multiscalar_core::predictor::TaskDesc;
-use multiscalar_sim::{measure, trace, TraceRun};
+use multiscalar_isa::Fingerprint;
+use multiscalar_sim::replay::{derive_trace, record_replay, InstrReplay};
+use multiscalar_sim::{measure, TraceRun};
 use multiscalar_taskform::{TaskFormer, TaskProgram};
 use multiscalar_workloads::{Spec92, Workload, WorkloadParams};
 
 /// A fully prepared benchmark: program, task partition, predictor-facing
-/// task descriptions and the complete functional trace.
+/// task descriptions, the recorded instruction replay and the functional
+/// trace derived from it.
 #[derive(Debug, Clone)]
 pub struct Bench {
     /// Which SPEC92 analog this is.
@@ -59,7 +66,16 @@ pub struct Bench {
     pub tasks: TaskProgram,
     /// Per-task predictor-facing descriptions (indexed by task id).
     pub descs: Vec<TaskDesc>,
-    /// The functional trace.
+    /// The recorded instruction replay — the one execution artifact every
+    /// timing run rides ([`experiments::table4`], `profile`). Served from
+    /// the artifact cache when warm; recorded (one interpreter pass) when
+    /// cold.
+    pub replay: Arc<InstrReplay>,
+    /// The content address `replay` is cached under (see
+    /// [`cache::replay_key`]).
+    pub key: Fingerprint,
+    /// The functional trace, derived from `replay` — identical to what
+    /// `trace::collect_trace` produces, without its interpreter pass.
     pub trace: TraceRun,
 }
 
@@ -70,27 +86,51 @@ impl Bench {
     }
 }
 
-/// Builds, task-forms and traces one benchmark.
+/// Builds, task-forms and records one benchmark, optionally through the
+/// on-disk artifact cache: a valid cached recording skips the interpreter
+/// pass entirely; otherwise the recording runs and (when a cache is given)
+/// is persisted for the next invocation. The functional trace derives from
+/// the recording either way, so results are byte-identical with a cold
+/// cache, a warm cache, or no cache at all.
 ///
 /// # Panics
 ///
 /// Panics if the workload fails to build, form or execute — these are
 /// generator invariants, not user errors.
-pub fn prepare(spec: Spec92, params: &WorkloadParams) -> Bench {
+pub fn prepare_cached(
+    spec: Spec92,
+    params: &WorkloadParams,
+    cache: Option<&cache::ArtifactCache>,
+) -> Bench {
     let workload = spec.build(params);
     let tasks = TaskFormer::default()
         .form(&workload.program)
         .unwrap_or_else(|e| panic!("{spec}: task formation failed: {e}"));
     let descs = measure::task_descs(&tasks);
-    let trace = trace::collect_trace(&workload.program, &tasks, workload.max_steps)
-        .unwrap_or_else(|e| panic!("{spec}: trace failed: {e}"));
+    let key = cache::replay_key(spec, params, &workload.program, &tasks, workload.max_steps);
+    let replay = cache.and_then(|c| c.load_replay(key)).unwrap_or_else(|| {
+        let r = record_replay(&workload.program, &tasks, workload.max_steps)
+            .unwrap_or_else(|e| panic!("{spec}: recording failed: {e}"));
+        if let Some(c) = cache {
+            c.store_replay(key, &r);
+        }
+        r
+    });
+    let trace = derive_trace(&replay, &tasks);
     Bench {
         spec,
         workload,
         tasks,
         descs,
+        replay: replay.into_shared(),
+        key,
         trace,
     }
+}
+
+/// [`prepare_cached`] without a cache (always records).
+pub fn prepare(spec: Spec92, params: &WorkloadParams) -> Bench {
+    prepare_cached(spec, params, None)
 }
 
 /// Prepares all five benchmarks.
@@ -102,11 +142,23 @@ pub fn prepare_all(params: &WorkloadParams) -> Vec<Bench> {
 /// identical to [`prepare_all`] (preparation is deterministic per
 /// benchmark); only wall-clock differs.
 pub fn prepare_all_with(params: &WorkloadParams, pool: &pool::Pool) -> Vec<Bench> {
+    prepare_set_cached(Spec92::ALL.as_slice(), params, pool, None)
+}
+
+/// Prepares an arbitrary benchmark set through one shared cache, one pool
+/// job per benchmark. The cache's counters are shared across jobs (atomic),
+/// and distinct benchmarks write distinct keys, so any pool width is safe.
+pub fn prepare_set_cached(
+    specs: &[Spec92],
+    params: &WorkloadParams,
+    pool: &pool::Pool,
+    cache: Option<&cache::ArtifactCache>,
+) -> Vec<Bench> {
     let params = *params;
     pool.run(
-        Spec92::ALL
+        specs
             .iter()
-            .map(|&s| move || prepare(s, &params))
+            .map(|&s| move || prepare_cached(s, &params, cache))
             .collect(),
     )
 }

@@ -2,50 +2,65 @@
 //!
 //! ```text
 //! harness <experiment> [--seed N] [--scale N] [--bench NAME] [--threads N]
-//!                      [--engine legacy|replay] [--json]
+//!                      [--engine legacy|replay] [--json] [--occupancy]
+//!                      [--cache-dir DIR] [--no-cache]
 //!
 //! experiments: table2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig12
 //!              table3 table4 profile all
 //! ```
 //!
 //! Every experiment lives in the typed [`registry`]: one entry per
-//! table/figure declaring its renderer, CSV writer, JSON serialiser and
-//! artifacts, so `all` / `ext` / `csv` iterate the registry instead of a
-//! hand-written name list. Benchmarks are prepared **once** per invocation
-//! (traces are shared, immutable, behind `Arc`) and every sweep fans out
-//! over a `--threads`-wide job pool. Output is byte-identical for every
-//! thread count. Table 4 runs on the record-once replay engine by default;
+//! table/figure declaring its renderer, CSV writer, JSON serialiser,
+//! artifacts **and input set**, so `all` / `ext` / `csv` iterate the
+//! registry instead of a hand-written name list and running one experiment
+//! prepares only the benchmarks it declares. Benchmarks are prepared
+//! **once** per invocation (traces are shared, immutable, behind `Arc`)
+//! through the on-disk artifact cache (`.multiscalar-cache` by default;
+//! `--no-cache` disables, `harness cache stats|clear` inspects), and every
+//! sweep fans out over a `--threads`-wide job pool. Output is
+//! byte-identical for every thread count and for cold, warm or disabled
+//! caches. Table 4 runs on the record-once replay engine by default;
 //! `--engine legacy` re-interprets per column (bit-identical, for
 //! cross-checking).
 
+use multiscalar_harness::cache::{self, ArtifactCache};
 use multiscalar_harness::experiments::Engine;
 use multiscalar_harness::pool::Pool;
-use multiscalar_harness::registry::{self, ExpCtx, Group, Prepared};
-use multiscalar_harness::{bench_pr1, bench_pr2};
+use multiscalar_harness::registry::{self, BenchSet, ExpCtx, Group, Prepared};
+use multiscalar_harness::{bench_pr1, bench_pr2, bench_pr5};
+use multiscalar_isa::Fingerprint;
 use multiscalar_workloads::{Spec92, WorkloadParams};
 use std::process::ExitCode;
 
 struct Args {
     experiment: String,
+    cache_action: Option<String>,
     params: WorkloadParams,
     bench: Option<Spec92>,
     csv_dir: Option<std::path::PathBuf>,
+    cache_dir: Option<std::path::PathBuf>,
+    no_cache: bool,
     pool: Pool,
     engine: Engine,
     deny_warnings: bool,
     json: bool,
+    occupancy: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or_else(usage)?;
+    let mut cache_action = None;
     let mut params = WorkloadParams::standard(0xC0FFEE);
     let mut bench = None;
     let mut csv_dir = None;
+    let mut cache_dir = None;
+    let mut no_cache = false;
     let mut pool = Pool::auto();
     let mut engine = Engine::default();
     let mut deny_warnings = false;
     let mut json = false;
+    let mut occupancy = false;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -57,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
                     Some(Spec92::from_name(&name).ok_or(format!("unknown benchmark `{name}`"))?);
             }
             "--csv" => csv_dir = Some(std::path::PathBuf::from(value()?)),
+            "--cache-dir" => cache_dir = Some(std::path::PathBuf::from(value()?)),
+            "--no-cache" => no_cache = true,
+            "--occupancy" => occupancy = true,
             "--engine" => {
                 let name = value()?;
                 engine = Engine::from_name(&name)
@@ -77,28 +95,110 @@ fn parse_args() -> Result<Args, String> {
                 deny_warnings = true;
             }
             "--json" => json = true,
+            action
+                if !action.starts_with('-') && experiment == "cache" && cache_action.is_none() =>
+            {
+                cache_action = Some(action.to_string())
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     Ok(Args {
         experiment,
+        cache_action,
         params,
         bench,
         csv_dir,
+        cache_dir,
+        no_cache,
         pool,
         engine,
         deny_warnings,
         json,
+        occupancy,
     })
 }
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
      ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|\
-     profile|csv|verify|lint|bench-pr1|bench-pr2> \
+     profile|csv|verify|lint|cache stats|cache clear|bench-pr1|bench-pr2|bench-pr5> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
-     [--deny warnings] [--json]"
+     [--deny warnings] [--json] [--occupancy] [--cache-dir DIR] [--no-cache]"
         .to_string()
+}
+
+/// The store the invocation uses: `--cache-dir` or the default directory,
+/// unless `--no-cache` turned caching off.
+fn open_cache(args: &Args) -> Option<ArtifactCache> {
+    if args.no_cache {
+        return None;
+    }
+    let dir = args
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from(cache::DEFAULT_DIR));
+    Some(ArtifactCache::new(dir))
+}
+
+/// One stderr line summarising the invocation's cache traffic — stderr so
+/// stdout stays byte-identical between cold, warm and disabled caches.
+fn report_cache(store: Option<&ArtifactCache>) {
+    if let Some(c) = store {
+        let s = c.stats();
+        eprintln!(
+            "cache: {} hits, {} misses, {} stores, {} evictions ({})",
+            s.hits,
+            s.misses,
+            s.stores,
+            s.evictions,
+            c.dir().display()
+        );
+    }
+}
+
+/// `harness cache stats`: what is on disk, plus — via the registry's
+/// declared input sets — which benchmarks and experiments the cache
+/// already covers at these workload parameters.
+fn cache_stats_report(store: &ArtifactCache, params: &WorkloadParams) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let entries = store.disk_entries();
+    let total: u64 = entries.iter().map(|(_, size)| size).sum();
+    let _ = writeln!(out, "cache directory: {}", store.dir().display());
+    let _ = writeln!(out, "entries: {} ({} bytes)", entries.len(), total);
+    for (name, size) in &entries {
+        let _ = writeln!(out, "  {name}  {size}");
+    }
+    let keys: Vec<(Spec92, Fingerprint)> = Spec92::ALL
+        .iter()
+        .map(|&s| (s, cache::key_for(s, params)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "benchmark artifacts (seed {}, scale {}):",
+        params.seed, params.scale
+    );
+    for &(spec, key) in &keys {
+        let state = if store.entry_path(key).exists() {
+            "cached"
+        } else {
+            "cold"
+        };
+        let _ = writeln!(out, "  {:<10} {key}  {state}", spec.name());
+    }
+    let _ = writeln!(out, "experiment inputs:");
+    for exp in registry::REGISTRY {
+        let fp = registry::input_fingerprint(exp, &keys);
+        let warm = exp.benches.specs().iter().all(|spec| {
+            keys.iter()
+                .find(|(s, _)| s == spec)
+                .is_some_and(|&(_, key)| store.entry_path(key).exists())
+        });
+        let state = if warm { "warm" } else { "cold" };
+        let _ = writeln!(out, "  {:<16} {fp}  {state}", exp.name);
+    }
+    out
 }
 
 /// Writes every registered experiment's CSV into `dir`, in registry order.
@@ -168,9 +268,67 @@ fn main() -> ExitCode {
         println!("wrote {}", path.display());
         return ExitCode::SUCCESS;
     }
+    if args.experiment == "bench-pr5" {
+        let report = match bench_pr5::run(&args.params, &args.pool) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-pr5 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let json = report.to_json(&args.params);
+        print!("{json}");
+        let path = std::path::Path::new("BENCH_PR5.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.experiment == "cache" {
+        let store = ArtifactCache::new(
+            args.cache_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from(cache::DEFAULT_DIR)),
+        );
+        return match args.cache_action.as_deref() {
+            Some("stats") => {
+                print!("{}", cache_stats_report(&store, &args.params));
+                ExitCode::SUCCESS
+            }
+            Some("clear") => match store.clear() {
+                Ok(n) => {
+                    println!("removed {n} artifacts from {}", store.dir().display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cache clear failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => {
+                eprintln!(
+                    "usage: harness cache <stats|clear> [--cache-dir DIR] [--seed N] [--scale N]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
 
-    let prep = Prepared::new(args.bench, &args.params, &args.pool);
-    let ctx = ExpCtx::new(&prep, &args.pool, args.engine, args.params);
+    // Running one experiment by name prepares only its declared benchmark
+    // set; `all` / `ext` / `csv` (and unknown names, which fail after
+    // preparation is skipped by the registry lookup below) use all five.
+    let set = registry::find(&args.experiment)
+        .map(|e| e.benches)
+        .unwrap_or(BenchSet::All);
+    let store = open_cache(&args);
+    let prep = Prepared::new(args.bench, set, &args.params, &args.pool, store.as_ref());
+    // Preparation is the only cache consumer, so the traffic summary is
+    // final here (stderr — stdout stays byte-identical cold vs warm).
+    report_cache(store.as_ref());
+    let mut ctx = ExpCtx::new(&prep, &args.pool, args.engine, args.params);
+    ctx.occupancy = args.occupancy;
 
     if args.experiment == "all" {
         for exp in registry::by_group(Group::Paper) {

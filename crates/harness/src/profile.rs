@@ -4,19 +4,21 @@
 //! Each cell re-runs a Table 4 timing simulation with a
 //! [`CycleBreakdown`] sink attached, attributing every cycle to one
 //! [`Cause`] (the attribution sums to `TimingResult::cycles` exactly; the
-//! sink asserts it). Runs ride the record-once replay engine — the
-//! attribution is engine-independent, which `tests/profile.rs` checks
-//! against the legacy interpreter. [`events_jsonl`] exposes the task-level
-//! JSON-lines event log of a single run for the same grid.
+//! sink asserts it). Runs ride the recorded replay in [`Bench::replay`]
+//! (served from the artifact cache when warm) — the attribution is
+//! engine-independent, which `tests/profile.rs` checks against the legacy
+//! interpreter. With `--occupancy` a [`UnitOccupancy`] sink rides the same
+//! pass and three per-unit utilisation columns join the output (the
+//! default output stays byte-identical). [`events_jsonl`] exposes the
+//! task-level JSON-lines event log of a single run for the same grid.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use crate::dispatch::Table4Column;
-use crate::experiments::record_replays;
 use crate::pool::{Job, Pool};
 use crate::Bench;
-use multiscalar_sim::metrics::{Cause, CycleBreakdown, TaskEventSink};
+use multiscalar_sim::metrics::{Cause, CycleBreakdown, TaskEventSink, UnitOccupancy};
 use multiscalar_sim::replay::simulate_replay_with_sink;
 use multiscalar_sim::timing::{NextTaskPredictor, TimingConfig, TimingResult};
 
@@ -32,6 +34,9 @@ pub struct ProfileCell {
     pub result: TimingResult,
     /// Where every one of `result.cycles` went.
     pub breakdown: CycleBreakdown,
+    /// Per-ring-unit busy/stalled/idle split — only collected under
+    /// `--occupancy` so the default output stays byte-identical.
+    pub occupancy: Option<UnitOccupancy>,
 }
 
 /// Attribution of one benchmark across all predictor columns.
@@ -44,29 +49,44 @@ pub struct ProfileRow {
 }
 
 /// Profiles every benchmark × predictor column: Table 4's runs with a
-/// [`CycleBreakdown`] sink attached, on the replay engine. One job per
-/// cell; results come back in submission order, so output is byte-identical
-/// for every pool width.
-pub fn profile(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<ProfileRow> {
-    let replays = record_replays(benches, pool);
+/// [`CycleBreakdown`] sink attached, driven from each benchmark's recorded
+/// replay with zero re-interpretation. When `occupancy` is set a
+/// [`UnitOccupancy`] sink shares the same pass (tuple sinks fan out). One
+/// job per cell; results come back in submission order, so output is
+/// byte-identical for every pool width.
+pub fn profile(
+    benches: &[Bench],
+    config: &TimingConfig,
+    pool: &Pool,
+    occupancy: bool,
+) -> Vec<ProfileRow> {
     let mut jobs: Vec<Job<'_, ProfileCell>> = Vec::new();
-    for (b, replay) in benches.iter().zip(&replays) {
+    for b in benches {
         for column in Table4Column::ALL {
-            let replay = Arc::clone(replay);
+            let replay = Arc::clone(&b.replay);
             jobs.push(Box::new(move || {
                 let mut pred = column.predictor();
-                let mut breakdown = CycleBreakdown::new();
-                let result = simulate_replay_with_sink(
-                    &replay,
-                    &b.descs,
-                    pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
-                    config,
-                    &mut breakdown,
-                );
-                ProfileCell {
-                    column,
-                    result,
-                    breakdown,
+                let pred = pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor);
+                if occupancy {
+                    let mut sinks = (CycleBreakdown::new(), UnitOccupancy::new(config.n_units));
+                    let result =
+                        simulate_replay_with_sink(&replay, &b.descs, pred, config, &mut sinks);
+                    ProfileCell {
+                        column,
+                        result,
+                        breakdown: sinks.0,
+                        occupancy: Some(sinks.1),
+                    }
+                } else {
+                    let mut breakdown = CycleBreakdown::new();
+                    let result =
+                        simulate_replay_with_sink(&replay, &b.descs, pred, config, &mut breakdown);
+                    ProfileCell {
+                        column,
+                        result,
+                        breakdown,
+                        occupancy: None,
+                    }
                 }
             }));
         }
@@ -88,16 +108,10 @@ pub fn profile(benches: &[Bench], config: &TimingConfig, pool: &Pool) -> Vec<Pro
 /// predictor column: `predict` / `resolve` / `squash` / `commit` /
 /// `dispatch` per boundary, with machine clocks and exit numbers.
 pub fn events_jsonl(bench: &Bench, column: Table4Column, config: &TimingConfig) -> String {
-    let replay = multiscalar_sim::record_replay(
-        &bench.workload.program,
-        &bench.tasks,
-        bench.workload.max_steps,
-    )
-    .expect("recording must succeed");
     let mut pred = column.predictor();
     let mut sink = TaskEventSink::new();
     simulate_replay_with_sink(
-        &replay,
+        &bench.replay,
         &bench.descs,
         pred.as_mut().map(|p| p as &mut dyn NextTaskPredictor),
         config,
@@ -108,13 +122,22 @@ pub fn events_jsonl(bench: &Bench, column: Table4Column, config: &TimingConfig) 
 
 /// Renders the profile as per-benchmark tables: one line per predictor
 /// column, total cycles and IPC, then each cause's share of total cycles.
+/// Rows profiled with `--occupancy` gain three trailing columns (busy /
+/// stalled / idle share of unit-cycles); without the flag the output is
+/// byte-identical to what it always was.
 pub fn render(rows: &[ProfileRow]) -> String {
     let mut out = String::new();
+    let occupancy = rows
+        .iter()
+        .any(|r| r.cells.iter().any(|c| c.occupancy.is_some()));
     out.push_str("Cycle attribution (percent of total cycles; replay engine)\n");
     for row in rows {
         let _ = write!(out, "\n{:<10} {:>12} {:>6}", row.name, "cycles", "IPC");
         for cause in Cause::ALL {
             let _ = write!(out, " {:>8}", cause.label());
+        }
+        if occupancy {
+            let _ = write!(out, " {:>8} {:>8} {:>8}", "u.busy", "u.stall", "u.idle");
         }
         out.push('\n');
         for cell in &row.cells {
@@ -129,6 +152,15 @@ pub fn render(rows: &[ProfileRow]) -> String {
             for cause in Cause::ALL {
                 let pct = 100.0 * cell.breakdown.get(cause) as f64 / total;
                 let _ = write!(out, " {:>7.1}%", pct);
+            }
+            if let Some(occ) = &cell.occupancy {
+                let _ = write!(
+                    out,
+                    " {:>7.1}% {:>7.1}% {:>7.1}%",
+                    100.0 * occ.busy_frac(),
+                    100.0 * occ.stalled_frac(),
+                    100.0 * occ.idle_frac()
+                );
             }
             out.push('\n');
         }
@@ -175,7 +207,21 @@ pub fn to_json(rows: &[ProfileRow]) -> String {
                 }
                 let _ = write!(out, "\"{}\": {}", cause.key(), cell.breakdown.get(*cause));
             }
-            out.push_str("}}");
+            out.push('}');
+            if let Some(occ) = &cell.occupancy {
+                // Debug-formatting a `&[u64]` yields `[a, b, c]` — valid
+                // JSON for an array of numbers.
+                let _ = write!(
+                    out,
+                    ", \"occupancy\": {{\"units\": {}, \"busy\": {:?}, \"stalled\": {:?}, \
+                     \"idle\": {:?}}}",
+                    occ.n_units(),
+                    occ.busy(),
+                    occ.stalled(),
+                    occ.idle()
+                );
+            }
+            out.push('}');
             out.push_str(if ci + 1 < row.cells.len() {
                 ",\n"
             } else {

@@ -11,34 +11,107 @@
 //! (Figures 10/11 share one predictor pass; `table4`'s rows feed both its
 //! table and its CSV) compute it once per invocation regardless of how
 //! many registry entries consume it.
+//!
+//! Every entry also **declares its inputs**: which benchmark set it reads
+//! ([`BenchSet`]) and which derived artifacts it consumes ([`Needs`]).
+//! Running one experiment by name prepares only its declared set, and
+//! `harness cache stats` folds the declared inputs into a per-experiment
+//! [`input_fingerprint`] to report which experiments the on-disk artifact
+//! cache already covers.
 
 use std::cell::OnceCell;
 
+use crate::cache::ArtifactCache;
 use crate::experiments::{self, Engine, Fig10Row, Fig11Row, Table4Row};
 use crate::pool::Pool;
 use crate::profile::{self, ProfileRow};
-use crate::{csv, extensions, prepare, prepare_all_with, report, Bench};
+use crate::{csv, extensions, prepare_set_cached, report, Bench};
+use multiscalar_isa::{fingerprint::FingerprintHasher, Fingerprint};
 use multiscalar_sim::timing::TimingConfig;
 use multiscalar_workloads::{Spec92, WorkloadParams};
+use std::hash::Hash as _;
+
+/// The benchmark set an experiment declares as its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchSet {
+    /// All five SPEC92 analogs.
+    All,
+    /// gcc only (Figure 6's automata study).
+    Gcc,
+    /// The two indirect-heavy benchmarks (Figures 8 and 12).
+    GccXlisp,
+    /// No prepared benchmarks (`ext-taskform` re-generates its own).
+    None,
+}
+
+impl BenchSet {
+    /// The concrete benchmarks in this set, in preparation order.
+    pub fn specs(self) -> &'static [Spec92] {
+        match self {
+            BenchSet::All => Spec92::ALL.as_slice(),
+            BenchSet::Gcc => &[Spec92::Gcc],
+            BenchSet::GccXlisp => &[Spec92::Gcc, Spec92::Xlisp],
+            BenchSet::None => &[],
+        }
+    }
+}
+
+/// Which derived artifacts an experiment consumes per prepared benchmark.
+/// Both derive from the one cached recording (the functional trace is
+/// reconstructed from the replay), so either flag makes the experiment a
+/// cache consumer; the split documents *how* each entry uses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Needs {
+    /// Walks the functional task-level trace.
+    pub trace: bool,
+    /// Drives the timing simulator straight from the recording.
+    pub replay: bool,
+}
+
+impl Needs {
+    /// Trace-walking experiments (all measurement figures/tables).
+    pub const TRACE: Needs = Needs {
+        trace: true,
+        replay: false,
+    };
+    /// Timing runs riding the recording (Table 4, `profile`).
+    pub const REPLAY: Needs = Needs {
+        trace: false,
+        replay: true,
+    };
+    /// Experiments that only re-generate workloads (`ext-taskform`).
+    pub const NONE: Needs = Needs {
+        trace: false,
+        replay: false,
+    };
+}
 
 /// Benchmarks prepared once per invocation and reused by every experiment
 /// (traces are shared, immutable, behind `Arc`). `--bench` narrows
-/// preparation to one benchmark.
+/// preparation to one benchmark; running a single experiment narrows it to
+/// the experiment's declared [`BenchSet`].
 pub struct Prepared {
     benches: Vec<Bench>,
     narrowed: bool,
 }
 
 impl Prepared {
-    /// Prepares the benchmark set: all five, or just `bench` when given.
-    pub fn new(bench: Option<Spec92>, params: &WorkloadParams, pool: &Pool) -> Prepared {
+    /// Prepares the benchmark set — `bench` when given, the declared `set`
+    /// otherwise — through the artifact cache when one is supplied.
+    pub fn new(
+        bench: Option<Spec92>,
+        set: BenchSet,
+        params: &WorkloadParams,
+        pool: &Pool,
+        cache: Option<&ArtifactCache>,
+    ) -> Prepared {
         match bench {
             Some(s) => Prepared {
-                benches: vec![prepare(s, params)],
+                benches: prepare_set_cached(std::slice::from_ref(&s), params, pool, cache),
                 narrowed: true,
             },
             None => Prepared {
-                benches: prepare_all_with(params, pool),
+                benches: prepare_set_cached(set.specs(), params, pool, cache),
                 narrowed: false,
             },
         }
@@ -95,6 +168,8 @@ pub struct ExpCtx<'a> {
     pub params: WorkloadParams,
     /// Timing-model parameters (the paper's).
     pub config: TimingConfig,
+    /// Collect per-ring-unit occupancy in `profile` (`--occupancy`).
+    pub occupancy: bool,
     fig10_fig11: OnceCell<(Vec<Fig10Row>, Vec<Fig11Row>)>,
     table4: OnceCell<Vec<Table4Row>>,
     profile: OnceCell<Vec<ProfileRow>>,
@@ -109,6 +184,7 @@ impl<'a> ExpCtx<'a> {
             engine,
             params,
             config: TimingConfig::paper(),
+            occupancy: false,
             fig10_fig11: OnceCell::new(),
             table4: OnceCell::new(),
             profile: OnceCell::new(),
@@ -144,8 +220,9 @@ impl<'a> ExpCtx<'a> {
 
     /// The cycle-attribution profile grid; computed once per invocation.
     pub fn profile(&self) -> &[ProfileRow] {
-        self.profile
-            .get_or_init(|| profile::profile(self.prep.all(), &self.config, self.pool))
+        self.profile.get_or_init(|| {
+            profile::profile(self.prep.all(), &self.config, self.pool, self.occupancy)
+        })
     }
 }
 
@@ -173,6 +250,12 @@ pub struct Experiment {
     pub name: &'static str,
     /// Grouping for the `all` / `ext` / `csv` subcommands.
     pub group: Group,
+    /// The benchmark set this experiment reads — prepared (and only it)
+    /// when the experiment runs by name; folded into
+    /// [`input_fingerprint`] for `cache stats`.
+    pub benches: BenchSet,
+    /// Which derived artifacts it consumes per benchmark.
+    pub needs: Needs,
     /// Renders the human-readable table.
     pub render: RenderFn,
     /// CSV export: file name and writer, when the experiment exports one.
@@ -189,6 +272,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "table2",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_table2(&experiments::table2(c.prep.all())),
         csv: Some(("table2.csv", |c| {
             csv::table2(&experiments::table2(c.prep.all()))
@@ -199,6 +284,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig3",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_fig3(&experiments::fig3(c.prep.all())),
         csv: Some(("fig3.csv", |c| csv::fig3(&experiments::fig3(c.prep.all())))),
         json: None,
@@ -207,6 +294,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig4",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_fig4(&experiments::fig4(c.prep.all())),
         csv: Some(("fig4.csv", |c| csv::fig4(&experiments::fig4(c.prep.all())))),
         json: None,
@@ -215,6 +304,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig6",
         group: Group::Paper,
+        benches: BenchSet::Gcc,
+        needs: Needs::TRACE,
         render: |c| report::render_fig6(&experiments::fig6(c.prep.gcc(), c.pool)),
         csv: Some(("fig6.csv", |c| {
             csv::fig6(&experiments::fig6(c.prep.gcc(), c.pool))
@@ -225,6 +316,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig7",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_fig7(&experiments::fig7(c.prep.all(), c.pool)),
         csv: Some(("fig7.csv", |c| {
             csv::fig7(&experiments::fig7(c.prep.all(), c.pool))
@@ -235,6 +328,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig8",
         group: Group::Paper,
+        benches: BenchSet::GccXlisp,
+        needs: Needs::TRACE,
         // The paper studies the two indirect-heavy benchmarks.
         render: |c| {
             let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
@@ -250,6 +345,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig10",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_fig10(&c.fig10_fig11().0),
         csv: Some(("fig10.csv", |c| csv::fig10(&c.fig10_fig11().0))),
         json: None,
@@ -258,6 +355,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig11",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_fig11(&c.fig11_rows()),
         csv: Some(("fig11.csv", |c| csv::fig11(&c.fig11_rows()))),
         json: None,
@@ -266,6 +365,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "fig12",
         group: Group::Paper,
+        benches: BenchSet::GccXlisp,
+        needs: Needs::TRACE,
         render: |c| {
             let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
             report::render_fig12(&experiments::fig12(&b, c.pool))
@@ -280,6 +381,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "table3",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_table3(&experiments::table3(c.prep.all(), c.pool)),
         csv: Some(("table3.csv", |c| {
             csv::table3(&experiments::table3(c.prep.all(), c.pool))
@@ -290,6 +393,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "table4",
         group: Group::Paper,
+        benches: BenchSet::All,
+        needs: Needs::REPLAY,
         render: |c| report::render_table4(c.table4()),
         csv: Some(("table4.csv", |c| csv::table4(c.table4()))),
         json: None,
@@ -298,6 +403,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-staleness",
         group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_staleness(&extensions::ext_staleness(c.prep.all())),
         csv: Some(("ext_staleness.csv", |c| {
             csv::staleness(&extensions::ext_staleness(c.prep.all()))
@@ -308,6 +415,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-hybrid",
         group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_hybrid(&extensions::ext_hybrid(c.prep.all())),
         csv: None,
         json: None,
@@ -316,6 +425,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-taskform",
         group: Group::Ext,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
         render: |c| report::render_taskform(&extensions::ext_taskform(&c.params)),
         csv: None,
         json: None,
@@ -324,6 +435,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-memory",
         group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_memory(&extensions::ext_memory(c.prep.all())),
         csv: None,
         json: None,
@@ -332,6 +445,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-confidence",
         group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_confidence(&extensions::ext_confidence(c.prep.all())),
         csv: None,
         json: None,
@@ -340,6 +455,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-intra",
         group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_intra(&extensions::ext_intra(c.prep.all())),
         csv: None,
         json: None,
@@ -348,6 +465,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "ext-pollution",
         group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs::TRACE,
         render: |c| report::render_pollution(&extensions::ext_pollution(c.prep.all())),
         csv: Some(("ext_pollution.csv", |c| {
             csv::pollution(&extensions::ext_pollution(c.prep.all()))
@@ -358,6 +477,8 @@ pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "profile",
         group: Group::Tool,
+        benches: BenchSet::All,
+        needs: Needs::REPLAY,
         render: |c| profile::render(c.profile()),
         csv: None,
         json: Some(|c| profile::to_json(c.profile())),
@@ -373,4 +494,22 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The registered experiments of one group, in registry order.
 pub fn by_group(group: Group) -> impl Iterator<Item = &'static Experiment> {
     REGISTRY.iter().filter(move |e| e.group == group)
+}
+
+/// The content address of everything `exp` reads: its name folded with the
+/// cache key of each benchmark in its declared set. `keys` maps every
+/// spec to its replay-artifact key (see [`crate::cache::key_for`]) so
+/// callers compute the five keys once and fold them per experiment.
+pub fn input_fingerprint(exp: &Experiment, keys: &[(Spec92, Fingerprint)]) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    exp.name.hash(&mut h);
+    for &spec in exp.benches.specs() {
+        let key = keys
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, k)| *k)
+            .expect("key for every spec");
+        key.hash(&mut h);
+    }
+    h.finish128()
 }

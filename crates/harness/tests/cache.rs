@@ -1,0 +1,171 @@
+//! The artifact cache's correctness contract: cold, warm, corrupted and
+//! concurrently-shared caches all produce byte-identical results — the
+//! cache may only ever change wall-clock.
+
+use std::path::PathBuf;
+
+use multiscalar_harness::cache::ArtifactCache;
+use multiscalar_harness::experiments::{self, Engine};
+use multiscalar_harness::pool::Pool;
+use multiscalar_harness::{prepare_set_cached, report, Bench};
+use multiscalar_sim::timing::TimingConfig;
+use multiscalar_workloads::{Spec92, WorkloadParams};
+
+/// A per-test scratch cache directory (tests in one binary may run in
+/// parallel, so each test tags its own).
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "multiscalar-cache-test-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+fn cleanup(dir: &PathBuf) {
+    let _ = ArtifactCache::new(dir).clear();
+    let _ = std::fs::remove_dir(dir);
+}
+
+fn render_table4(benches: &[Bench], pool: &Pool) -> String {
+    report::render_table4(&experiments::table4(
+        benches,
+        &TimingConfig::paper(),
+        pool,
+        Engine::Replay,
+    ))
+}
+
+/// Every observable of a prepared benchmark matches between two
+/// preparations — recordings, keys, traces and the rendered Table 4.
+fn assert_equivalent(a: &[Bench], b: &[Bench], pool: &Pool, what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.key, y.key, "{what}: cache key ({})", x.name());
+        assert_eq!(*x.replay, *y.replay, "{what}: recording ({})", x.name());
+        assert_eq!(
+            x.trace.events,
+            y.trace.events,
+            "{what}: trace ({})",
+            x.name()
+        );
+        assert_eq!(x.trace.stats, y.trace.stats, "{what}: stats ({})", x.name());
+    }
+    assert_eq!(
+        render_table4(a, pool),
+        render_table4(b, pool),
+        "{what}: rendered Table 4"
+    );
+}
+
+/// Cold fill then warm read: the warm run serves every benchmark from disk
+/// (counter-proven: zero misses, so zero interpreter passes) and all
+/// results are byte-identical to the cold run's.
+#[test]
+fn warm_cache_reproduces_cold_results_without_recording() {
+    let dir = scratch_dir("coldwarm");
+    let pool = Pool::new(1);
+    let params = WorkloadParams::small(3);
+
+    let cold_store = ArtifactCache::new(&dir);
+    cold_store.clear().unwrap();
+    let cold = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&cold_store));
+    let s = cold_store.stats();
+    assert_eq!((s.hits, s.misses, s.stores, s.evictions), (0, 5, 5, 0));
+
+    let warm_store = ArtifactCache::new(&dir);
+    let warm = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&warm_store));
+    let s = warm_store.stats();
+    assert_eq!((s.hits, s.misses, s.stores, s.evictions), (5, 0, 0, 0));
+
+    // And against a cache-free preparation — the cache changes nothing.
+    let uncached = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, None);
+    assert_equivalent(&cold, &warm, &pool, "cold vs warm");
+    assert_equivalent(&cold, &uncached, &pool, "cold vs uncached");
+    cleanup(&dir);
+}
+
+/// A corrupted entry is evicted with a warning and silently re-recorded:
+/// same results, one eviction, and the repaired entry serves the next run.
+#[test]
+fn corrupt_entry_is_evicted_and_rerecorded() {
+    let dir = scratch_dir("corrupt");
+    let pool = Pool::new(1);
+    let params = WorkloadParams::small(3);
+
+    let store = ArtifactCache::new(&dir);
+    store.clear().unwrap();
+    let baseline = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&store));
+
+    // Overwrite one artifact with garbage and truncate another.
+    std::fs::write(store.entry_path(baseline[0].key), b"garbage").unwrap();
+    let victim = store.entry_path(baseline[1].key);
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    let repaired_store = ArtifactCache::new(&dir);
+    let repaired = prepare_set_cached(
+        Spec92::ALL.as_slice(),
+        &params,
+        &pool,
+        Some(&repaired_store),
+    );
+    let s = repaired_store.stats();
+    assert_eq!((s.hits, s.misses, s.stores, s.evictions), (3, 2, 2, 2));
+    assert_equivalent(&baseline, &repaired, &pool, "corrupt-repair");
+
+    // The re-recorded entries are valid again.
+    let verify_store = ArtifactCache::new(&dir);
+    let verified = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&verify_store));
+    let s = verify_store.stats();
+    assert_eq!((s.hits, s.misses), (5, 0));
+    assert_equivalent(&baseline, &verified, &pool, "post-repair");
+    cleanup(&dir);
+}
+
+/// A stale-schema artifact (written under a future `CACHE_SCHEMA`) is
+/// rejected and replaced, not served.
+#[test]
+fn stale_schema_entry_is_evicted() {
+    let dir = scratch_dir("schema");
+    let pool = Pool::new(1);
+    let params = WorkloadParams::small(3);
+
+    let store = ArtifactCache::new(&dir);
+    store.clear().unwrap();
+    let baseline = prepare_set_cached(&[Spec92::Compress], &params, &pool, Some(&store));
+
+    // Bump the schema field in the header (offset 4..8, little-endian).
+    let path = store.entry_path(baseline[0].key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ArtifactCache::new(&dir);
+    let again = prepare_set_cached(&[Spec92::Compress], &params, &pool, Some(&store));
+    let s = store.stats();
+    assert_eq!((s.hits, s.misses, s.stores, s.evictions), (0, 1, 1, 1));
+    assert_equivalent(&baseline, &again, &pool, "schema-evict");
+    cleanup(&dir);
+}
+
+/// One warm cache shared by pools of every width yields byte-identical
+/// preparations — the counters are atomic and entries are immutable, so
+/// parallel readers cannot interfere.
+#[test]
+fn shared_warm_cache_is_deterministic_across_pool_widths() {
+    let dir = scratch_dir("threads");
+    let params = WorkloadParams::small(3);
+
+    let fill = ArtifactCache::new(&dir);
+    fill.clear().unwrap();
+    let serial = prepare_set_cached(Spec92::ALL.as_slice(), &params, &Pool::new(1), Some(&fill));
+
+    for threads in [2, 8] {
+        let pool = Pool::new(threads);
+        let store = ArtifactCache::new(&dir);
+        let parallel = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&store));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses), (5, 0), "warm at {threads} threads");
+        assert_equivalent(&serial, &parallel, &pool, "pool width");
+    }
+    cleanup(&dir);
+}

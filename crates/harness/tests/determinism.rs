@@ -32,6 +32,7 @@ fn all_csv(pool: &Pool) -> String {
         &benches,
         &TimingConfig::default(),
         pool,
+        false,
     )));
     out
 }

@@ -114,7 +114,7 @@ fn mask_numbers(s: &str) -> String {
 fn profile_json_matches_golden_schema() {
     let pool = Pool::new(2);
     let benches = vec![prepare(Spec92::Compress, &params())];
-    let rows = profile::profile(&benches, &TimingConfig::paper(), &pool);
+    let rows = profile::profile(&benches, &TimingConfig::paper(), &pool, false);
     let json = profile::to_json(&rows);
     assert_eq!(
         mask_numbers(&json),
@@ -129,6 +129,46 @@ fn profile_json_matches_golden_schema() {
             assert_eq!(cell.breakdown.total(), cell.result.cycles);
         }
     }
+}
+
+/// `--occupancy` rides the same pass without perturbing it: every cell's
+/// timing and breakdown match the occupancy-free run bit for bit, each
+/// unit's busy + stalled + idle equals the run's cycles, and the extra
+/// columns appear in the render only when requested.
+#[test]
+fn occupancy_is_a_pure_observer_and_sums_per_unit() {
+    let pool = Pool::new(2);
+    let config = TimingConfig::paper();
+    let benches = vec![prepare(Spec92::Compress, &params())];
+    let plain = profile::profile(&benches, &config, &pool, false);
+    let with_occ = profile::profile(&benches, &config, &pool, true);
+
+    for (p_row, o_row) in plain.iter().zip(&with_occ) {
+        for (p, o) in p_row.cells.iter().zip(&o_row.cells) {
+            assert_eq!(p.result, o.result, "occupancy must not perturb timing");
+            assert_eq!(p.breakdown, o.breakdown, "nor the attribution");
+            assert!(p.occupancy.is_none());
+            let occ = o.occupancy.as_ref().expect("occupancy collected");
+            assert_eq!(occ.n_units(), config.n_units);
+            for u in 0..occ.n_units() {
+                assert_eq!(
+                    occ.busy()[u] + occ.stalled()[u] + occ.idle()[u],
+                    o.result.cycles,
+                    "unit {u} must account for every cycle"
+                );
+            }
+            assert!(occ.busy_frac() > 0.0, "some unit-cycles must be busy");
+        }
+    }
+
+    let plain_render = profile::render(&plain);
+    let occ_render = profile::render(&with_occ);
+    assert!(!plain_render.contains("u.busy"));
+    assert!(occ_render.contains("u.busy") && occ_render.contains("u.idle"));
+    assert!(
+        occ_render.starts_with(&plain_render[..plain_render.find('\n').unwrap()]),
+        "shared header line"
+    );
 }
 
 /// The task-level event log is well-formed JSON lines covering the whole

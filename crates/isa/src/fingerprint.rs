@@ -1,0 +1,247 @@
+//! Stable structural fingerprints for cache keys.
+//!
+//! The harness's on-disk artifact cache (PR 5) keys every artifact by the
+//! *content* of its inputs: the generated [`Program`], the task partition,
+//! and the generator configuration. [`Fingerprint`] is the 128-bit digest
+//! those keys are built from, and [`FingerprintHasher`] is the hasher that
+//! produces it.
+//!
+//! # Stability
+//!
+//! Cache keys must be identical across runs, threads and processes, so the
+//! hasher is fully deterministic: no random per-process state (unlike
+//! `std`'s SipHash), no pointer-derived input. It is the same
+//! multiply-rotate FxHash construction `multiscalar-core` uses for its
+//! deterministic predictor maps, run as **two independent lanes** with
+//! different seeds and combined into 128 bits — collisions would silently
+//! alias two different programs to one cached artifact, so 64 bits is not
+//! enough margin for a correctness-bearing key.
+//!
+//! FxHash is *not* cryptographic; the cache defends integrity (truncation,
+//! bit rot) with a checksum, not against adversarial collisions. That is
+//! the right trade for a local artifact cache fed by our own generators.
+//!
+//! This module is self-contained (two-lane hashing re-implemented here
+//! rather than imported) because `multiscalar-core` depends on this crate,
+//! not the other way around.
+
+use std::hash::{Hash, Hasher};
+
+use crate::program::Program;
+
+/// Seed of the low lane — the multiplier from rustc's FxHash.
+const SEED_LO: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Seed of the high lane — a distinct odd constant (golden-ratio based,
+/// from splitmix64) so the lanes decorrelate.
+const SEED_HI: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
+
+/// A deterministic 128-bit structural digest, used as a content address.
+///
+/// Same value across runs, threads and processes for the same input.
+/// Render with `{}` for the 32-character hex form used in cache file names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// The digest as 16 little-endian bytes (low word first), for embedding
+    /// in binary headers.
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.lo.to_le_bytes());
+        out[8..].copy_from_slice(&self.hi.to_le_bytes());
+        out
+    }
+
+    /// Rebuilds a digest from [`Fingerprint::to_le_bytes`] form.
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Fingerprint {
+        let lo = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+        Fingerprint { hi, lo }
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// A deterministic two-lane FxHash [`Hasher`] producing a [`Fingerprint`].
+///
+/// Both lanes consume the same word stream; they differ only in seed and
+/// rotation, so a single pass yields 128 decorrelated bits. `finish()`
+/// returns the low lane (for contexts that only need a `u64`);
+/// [`FingerprintHasher::finish128`] returns the full digest.
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        FingerprintHasher::new()
+    }
+}
+
+impl FingerprintHasher {
+    /// A fresh hasher. Always starts from the same state — determinism is
+    /// the point.
+    pub fn new() -> FingerprintHasher {
+        FingerprintHasher { lo: 0, hi: !0 }
+    }
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.lo = (self.lo.rotate_left(5) ^ word).wrapping_mul(SEED_LO);
+        self.hi = (self.hi.rotate_left(7) ^ word).wrapping_mul(SEED_HI);
+    }
+
+    /// The full 128-bit digest of everything written so far.
+    pub fn finish128(&self) -> Fingerprint {
+        // One finalising round per lane so short inputs still diffuse into
+        // the high bits.
+        let mut f = self.clone();
+        f.mix(0x5f);
+        Fingerprint { hi: f.hi, lo: f.lo }
+    }
+}
+
+impl Hasher for FingerprintHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.finish128().lo
+    }
+}
+
+/// Fingerprints any `Hash` value through a fresh [`FingerprintHasher`].
+pub fn fingerprint_of<T: Hash + ?Sized>(value: &T) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    value.hash(&mut h);
+    h.finish128()
+}
+
+impl Program {
+    /// A stable structural digest of the whole program: code, function
+    /// table, entry point, initial data, and declared indirect-jump
+    /// targets. Two programs fingerprint equal iff they are `==` — this is
+    /// what content-addresses cached execution artifacts.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        self.code.hash(&mut h);
+        self.functions.len().hash(&mut h);
+        for f in &self.functions {
+            f.name().hash(&mut h);
+            f.range().start.hash(&mut h);
+            f.range().end.hash(&mut h);
+        }
+        self.entry.0.hash(&mut h);
+        self.data.hash(&mut h);
+        // HashMap iteration order is nondeterministic; hash in sorted key
+        // order so the digest is stable.
+        let mut pcs: Vec<u32> = self.indirect_targets.keys().copied().collect();
+        pcs.sort_unstable();
+        pcs.len().hash(&mut h);
+        for pc in pcs {
+            pc.hash(&mut h);
+            self.indirect_targets[&pc].hash(&mut h);
+        }
+        h.finish128()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{AluOp, Reg};
+
+    fn program(imm: i32) -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), imm);
+        b.op_imm(AluOp::Add, Reg(2), Reg(1), 1);
+        b.halt();
+        b.end_function();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn equal_programs_fingerprint_equal() {
+        assert_eq!(program(7).fingerprint(), program(7).fingerprint());
+    }
+
+    #[test]
+    fn different_programs_fingerprint_differently() {
+        assert_ne!(program(7).fingerprint(), program(8).fingerprint());
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        let fp = program(3).fingerprint();
+        assert_eq!(Fingerprint::from_le_bytes(fp.to_le_bytes()), fp);
+        assert_eq!(format!("{fp}").len(), 32);
+    }
+
+    #[test]
+    fn hasher_separates_concatenation() {
+        // "ab" + "c" must differ from "a" + "bc": the tail word carries its
+        // length, and multi-write streams mix per chunk.
+        let mut h1 = FingerprintHasher::new();
+        h1.write(b"ab");
+        h1.write(b"c");
+        let mut h2 = FingerprintHasher::new();
+        h2.write(b"a");
+        h2.write(b"bc");
+        assert_ne!(h1.finish128(), h2.finish128());
+    }
+
+    #[test]
+    fn fingerprint_of_matches_manual_hashing() {
+        let a = fingerprint_of(&(1u32, 2u64, "x"));
+        let b = fingerprint_of(&(1u32, 2u64, "x"));
+        let c = fingerprint_of(&(1u32, 2u64, "y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

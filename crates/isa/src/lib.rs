@@ -43,12 +43,14 @@
 //! ```
 
 pub mod builder;
+pub mod fingerprint;
 pub mod inst;
 pub mod interp;
 pub mod parse;
 pub mod program;
 
 pub use builder::{BuildError, Label, ProgramBuilder};
+pub use fingerprint::{fingerprint_of, Fingerprint, FingerprintHasher};
 pub use inst::{
     AluOp, Cond, ControlFlow, ExitIndex, ExitKind, Instruction, Reg, MAX_EXITS, NUM_REGS,
 };

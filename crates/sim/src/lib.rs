@@ -45,6 +45,7 @@
 //! ```
 
 pub mod arb;
+pub mod codec;
 pub mod measure;
 pub mod metrics;
 pub mod replay;
@@ -53,13 +54,14 @@ pub mod sanitize;
 pub mod timing;
 pub mod trace;
 
+pub use codec::{decode_replay, encode_replay, CodecError, CACHE_SCHEMA};
 pub use measure::{task_descs, MissStats};
 pub use metrics::{
     BoundaryEvent, Cause, CycleBreakdown, FrontierCause, MetricsSink, NoopSink, StallCause,
-    TaskEventSink,
+    TaskEventSink, UnitOccupancy,
 };
 pub use replay::{
-    record_replay, simulate_replay, simulate_replay_fused, simulate_replay_fused_with_sinks,
-    simulate_replay_with_sink, InstrReplay,
+    derive_trace, record_replay, simulate_replay, simulate_replay_fused,
+    simulate_replay_fused_with_sinks, simulate_replay_with_sink, InstrReplay,
 };
 pub use trace::{TaskEvent, TraceRun, TraceStats};

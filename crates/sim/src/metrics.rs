@@ -301,6 +301,201 @@ impl MetricsSink for CycleBreakdown {
     }
 }
 
+/// Two sinks observing the same run: every hook fans out to both halves.
+/// Enabled iff either half is, so pairing a live sink with [`NoopSink`]
+/// costs nothing extra. This is how `harness profile --occupancy` attaches
+/// a [`UnitOccupancy`] alongside the [`CycleBreakdown`] in one pass.
+impl<A: MetricsSink, B: MetricsSink> MetricsSink for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline(always)]
+    fn issue_stall(&mut self, cause: StallCause, cycles: u64) {
+        self.0.issue_stall(cause, cycles);
+        self.1.issue_stall(cause, cycles);
+    }
+
+    #[inline(always)]
+    fn frontier(&mut self, from: u64, to: u64, cause: FrontierCause) {
+        self.0.frontier(from, to, cause);
+        self.1.frontier(from, to, cause);
+    }
+
+    #[inline(always)]
+    fn boundary(&mut self, ev: &BoundaryEvent) {
+        self.0.boundary(ev);
+        self.1.boundary(ev);
+    }
+
+    #[inline(always)]
+    fn finish(&mut self, result: &TimingResult) {
+        self.0.finish(result);
+        self.1.finish(result);
+    }
+}
+
+/// Per-ring-unit occupancy: how each unit's cycles split into **busy**
+/// (task execution on its critical path), **stalled** (in-task issue-cursor
+/// pushes — dataflow waits, ARB overflow penalties, intra-branch redirects
+/// — up to the task's residency) and **idle** (no task resident).
+///
+/// Tasks visit units round-robin; a unit is *occupied* by a task from the
+/// task's start on that unit until the task commits and frees the unit
+/// (`commit + 1`, matching the core's `unit_free` bookkeeping), and the
+/// final in-flight task occupies its unit to the end of the run.
+/// Successive residencies on one unit never overlap, so per unit
+/// `busy + stalled + idle == cycles` exactly — [`MetricsSink::finish`]
+/// asserts the grand total equals `cycles × n_units` on every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitOccupancy {
+    busy: Vec<u64>,
+    stalled: Vec<u64>,
+    idle: Vec<u64>,
+    /// End of the last finished residency per unit (`commit + 1`).
+    last_end: Vec<u64>,
+    /// Unit the currently resident task runs on.
+    cur_unit: usize,
+    /// Start of the current residency on `cur_unit`.
+    cur_start: u64,
+    /// Issue-stall cycles accumulated by the resident task.
+    stall_acc: u64,
+    /// Total cycles, recorded at finish.
+    cycles: u64,
+    finished: bool,
+}
+
+impl UnitOccupancy {
+    /// A fresh sink for a ring of `n_units` units (pass the run's
+    /// `TimingConfig::n_units`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_units` is zero.
+    pub fn new(n_units: usize) -> UnitOccupancy {
+        assert!(n_units > 0, "a ring needs at least one unit");
+        UnitOccupancy {
+            busy: vec![0; n_units],
+            stalled: vec![0; n_units],
+            idle: vec![0; n_units],
+            last_end: vec![0; n_units],
+            cur_unit: 0,
+            cur_start: 0,
+            stall_acc: 0,
+            cycles: 0,
+            finished: false,
+        }
+    }
+
+    /// Number of ring units tracked.
+    pub fn n_units(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Busy cycles per unit (index = ring unit).
+    pub fn busy(&self) -> &[u64] {
+        &self.busy
+    }
+
+    /// Stalled cycles per unit.
+    pub fn stalled(&self) -> &[u64] {
+        &self.stalled
+    }
+
+    /// Idle cycles per unit (only meaningful after the run finished).
+    pub fn idle(&self) -> &[u64] {
+        &self.idle
+    }
+
+    /// Fraction of all unit-cycles that were busy (`0.0` on an empty run).
+    pub fn busy_frac(&self) -> f64 {
+        self.frac(&self.busy)
+    }
+
+    /// Fraction of all unit-cycles spent stalled.
+    pub fn stalled_frac(&self) -> f64 {
+        self.frac(&self.stalled)
+    }
+
+    /// Fraction of all unit-cycles spent idle.
+    pub fn idle_frac(&self) -> f64 {
+        self.frac(&self.idle)
+    }
+
+    fn frac(&self, what: &[u64]) -> f64 {
+        let denom = self.cycles * self.n_units() as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            what.iter().sum::<u64>() as f64 / denom as f64
+        }
+    }
+
+    /// Closes the residency ending at `end` on the current unit, splitting
+    /// it into stalled (up to the accumulated stall debt — stalls the ring
+    /// overlapped away cannot exceed the residency) and busy.
+    fn close_residency(&mut self, end: u64) {
+        let u = self.cur_unit;
+        let occupied = end.saturating_sub(self.cur_start);
+        let stalled = self.stall_acc.min(occupied);
+        self.stalled[u] += stalled;
+        self.busy[u] += occupied - stalled;
+        self.last_end[u] = self.last_end[u].max(end);
+        self.stall_acc = 0;
+    }
+}
+
+impl MetricsSink for UnitOccupancy {
+    const ENABLED: bool = true;
+
+    fn issue_stall(&mut self, _cause: StallCause, cycles: u64) {
+        self.stall_acc += cycles;
+    }
+
+    fn boundary(&mut self, ev: &BoundaryEvent) {
+        // The retiring task holds its unit until the commit point frees it.
+        let end = (ev.commit + 1).max(self.cur_start);
+        self.close_residency(end);
+        // The next task starts on the next ring unit once it is dispatched
+        // and that unit is free.
+        let next = (self.cur_unit + 1) % self.n_units();
+        self.cur_unit = next;
+        self.cur_start = ev.dispatch.max(self.last_end[next]);
+    }
+
+    fn finish(&mut self, result: &TimingResult) {
+        self.cycles = result.cycles;
+        // The final in-flight task (which never retires through a boundary)
+        // occupies its unit to the end of the run.
+        self.cur_start = self.cur_start.min(self.cycles);
+        self.close_residency(self.cycles);
+        // Residencies end at `commit + 1`, and the last commit may equal
+        // the final cycle count — clamp the (at most one cycle of)
+        // overshoot per unit, then everything uncovered is idle.
+        for u in 0..self.n_units() {
+            let over = self.last_end[u].saturating_sub(self.cycles);
+            let from_busy = over.min(self.busy[u]);
+            self.busy[u] -= from_busy;
+            self.stalled[u] -= (over - from_busy).min(self.stalled[u]);
+            self.idle[u] = self
+                .cycles
+                .checked_sub(self.busy[u] + self.stalled[u])
+                .expect("unit occupancy cannot exceed total cycles");
+        }
+        let total: u64 = (0..self.n_units())
+            .map(|u| self.busy[u] + self.stalled[u] + self.idle[u])
+            .sum();
+        assert_eq!(
+            total,
+            self.cycles * self.n_units() as u64,
+            "per-unit occupancy must sum to cycles x n_units \
+             (busy {:?}, stalled {:?}, idle {:?})",
+            self.busy,
+            self.stalled,
+            self.idle
+        );
+        self.finished = true;
+    }
+}
+
 /// Records task-level events as JSON lines: `predict`, `resolve`, `squash`
 /// (on a mispredicted, non-gated boundary), `commit` and `dispatch` per
 /// boundary, with machine clocks and exit numbers, plus a final `halt`

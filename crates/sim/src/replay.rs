@@ -35,14 +35,14 @@ use std::sync::Arc;
 
 use multiscalar_core::predictor::TaskDesc;
 use multiscalar_isa::{Addr, ExitIndex, Instruction, Interpreter, Program};
-use multiscalar_taskform::TaskProgram;
+use multiscalar_taskform::{TaskId, TaskProgram};
 
 use crate::metrics::{MetricsSink, NoopSink};
 use crate::timing::{
     simulate_core, BoundaryStep, CoreState, CoreStep, NextTaskPredictor, OpClass, StepSource,
     TimingConfig, TimingResult, NO_REG,
 };
-use crate::trace::TraceError;
+use crate::trace::{kind_slot, SharedTrace, TaskEvent, TraceError, TraceRun, TraceStats};
 
 const CLASS_SHIFT: u32 = 24;
 const TAKEN_BIT: u32 = 1 << 26;
@@ -63,21 +63,21 @@ fn pack_op(src1: u8, src2: u8, dest: u8, class: OpClass, taken: bool) -> u32 {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstrReplay {
     /// One packed op word per committed instruction, in program order.
-    ops: Vec<u32>,
+    pub(crate) ops: Vec<u32>,
     /// Word address of each load/store, in program order.
-    mem_addrs: Vec<u32>,
+    pub(crate) mem_addrs: Vec<u32>,
     /// Address of each *intra-task* conditional branch, in program order.
-    branch_pcs: Vec<u32>,
+    pub(crate) branch_pcs: Vec<u32>,
     /// Op index whose instruction crossed a task boundary (ascending).
-    bound_at: Vec<u64>,
+    pub(crate) bound_at: Vec<u64>,
     /// Static id of the task retiring at each boundary.
-    bound_task: Vec<u32>,
+    pub(crate) bound_task: Vec<u32>,
     /// Header exit taken at each boundary.
-    bound_exit: Vec<u8>,
+    pub(crate) bound_exit: Vec<u8>,
     /// Entry address of the task entered at each boundary.
-    bound_next: Vec<u32>,
+    pub(crate) bound_next: Vec<u32>,
     /// Interpreter memory size, for the disambiguation tables.
-    mem_words: usize,
+    pub(crate) mem_words: usize,
 }
 
 impl InstrReplay {
@@ -222,6 +222,61 @@ pub fn record_replay(
     // Deliberately no shrink_to_fit: shrinking reallocates and copies the
     // whole recording, and the unused capacity tail is never faulted in.
     Ok(r)
+}
+
+/// Reconstructs the functional [`TraceRun`] from a recording.
+///
+/// The replay's sparse boundary arrays carry exactly what
+/// [`crate::trace::collect_trace`] emits — retiring task, exit index, next
+/// entry address — and the per-task instruction counts fall out of the
+/// `bound_at` deltas (each `bound_at[i]` is the op index of the crossing
+/// instruction, which belongs to the retiring task). The stats recompute
+/// from header lookups. The result is identical to `collect_trace` on the
+/// same execution (asserted across all five workloads in the codec tests),
+/// so **one** recorded artifact serves both the functional-trace consumers
+/// and the timing runs — preparation needs a single interpreter pass cold
+/// and zero warm.
+///
+/// # Panics
+///
+/// Panics if the recording is inconsistent with `tasks` (a recording is
+/// only meaningful under the partition it was recorded with; the cache
+/// guarantees this by keying on both fingerprints, and the codec validates
+/// exit indices on decode).
+pub fn derive_trace(replay: &InstrReplay, tasks: &TaskProgram) -> TraceRun {
+    let mut events = SharedTrace::default();
+    let mut stats = TraceStats::default();
+    let mut seen = vec![false; tasks.static_task_count()];
+    let mut distinct = 0usize;
+    let mut prev_at = 0u64;
+    for (i, &at) in replay.bound_at.iter().enumerate() {
+        let task = TaskId(replay.bound_task[i]);
+        let exit = ExitIndex::new(replay.bound_exit[i]).expect("recorded exit is valid");
+        let header = tasks.task(task).header();
+        let kind = header.exits()[exit.index()].kind;
+        let instrs = if i == 0 { at + 1 } else { at - prev_at };
+        prev_at = at;
+        events.push(TaskEvent {
+            task,
+            exit,
+            kind,
+            next: Addr(replay.bound_next[i]),
+            instrs: instrs as u32,
+        });
+        stats.dynamic_tasks += 1;
+        stats.by_num_exits[header.num_exits().min(4)] += 1;
+        stats.by_kind[kind_slot(kind).expect("halting task is never recorded")] += 1;
+        if !seen[task.index()] {
+            seen[task.index()] = true;
+            distinct += 1;
+        }
+    }
+    stats.instructions = replay.ops.len() as u64;
+    stats.distinct_tasks = distinct;
+    TraceRun {
+        events: Arc::new(events),
+        stats,
+    }
 }
 
 /// A cursor walking an [`InstrReplay`] as a [`StepSource`]. Infallible by

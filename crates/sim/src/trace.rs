@@ -70,7 +70,7 @@ impl From<ExecError> for TraceError {
 
 /// Summary statistics of a trace (the raw material of the paper's Table 2
 /// and Figures 3–4).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceStats {
     /// Dynamic task count (Table 2, "Dynamic Tasks").
     pub dynamic_tasks: u64,
@@ -171,7 +171,7 @@ impl SharedTrace {
         (0..self.len()).map(move |i| self.get(i))
     }
 
-    fn push(&mut self, e: TaskEvent) {
+    pub(crate) fn push(&mut self, e: TaskEvent) {
         self.tasks.push(e.task);
         self.exits.push(e.exit);
         self.kinds.push(e.kind);

@@ -1,8 +1,9 @@
 //! Tasks and the whole-program task map ([`TaskProgram`]).
 
 use crate::header::TaskHeader;
-use multiscalar_isa::{Addr, ExitIndex, FuncId, Program};
+use multiscalar_isa::{Addr, ExitIndex, Fingerprint, FingerprintHasher, FuncId, Program};
 use std::fmt;
+use std::hash::Hash as _;
 
 /// Identifier of a task within a [`TaskProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -165,6 +166,27 @@ impl TaskProgram {
     /// the simulator.
     pub fn resolve_exit(&self, task: TaskId, source_pc: Addr, to: Addr) -> Option<ExitIndex> {
         self.tasks[task.index()].header.find_exit(source_pc, to)
+    }
+
+    /// A stable structural digest of the whole partition: every task's
+    /// identity, region and header, plus the address→task map. Together
+    /// with [`Program::fingerprint`] this content-addresses any artifact
+    /// derived from executing the program under this partition (the
+    /// harness's on-disk replay cache keys on both).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        self.tasks.len().hash(&mut h);
+        for t in &self.tasks {
+            t.id.0.hash(&mut h);
+            t.func.0.hash(&mut h);
+            t.entry.hash(&mut h);
+            t.header.create_mask().hash(&mut h);
+            t.header.exits().hash(&mut h);
+            t.block_starts.hash(&mut h);
+            t.num_instrs.hash(&mut h);
+        }
+        self.task_by_addr.hash(&mut h);
+        h.finish128()
     }
 
     /// Sanity-checks the partition against the program: every address is

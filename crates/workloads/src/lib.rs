@@ -51,7 +51,13 @@ pub use gcc::gcc_like;
 pub use sc::sc_like;
 pub use xlisp::xlisp_like;
 
-use multiscalar_isa::Program;
+use multiscalar_isa::{fingerprint_of, Fingerprint, Program};
+
+/// Version of the workload generators, folded into every cache key built
+/// from a generator configuration. Bump whenever any generator's output
+/// changes for the same [`WorkloadParams`] — on-disk artifacts recorded
+/// from the old programs are then stale and must not be served.
+pub const GENERATOR_VERSION: u32 = 1;
 
 /// Parameters common to all generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +140,15 @@ impl Spec92 {
     /// Looks a benchmark up by name (as printed by [`Spec92::name`]).
     pub fn from_name(name: &str) -> Option<Spec92> {
         Spec92::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// A stable digest of the generator configuration that produces this
+    /// workload: benchmark name, seed, scale, and [`GENERATOR_VERSION`].
+    /// Cheap (no generation happens); the harness folds it into cache keys
+    /// so changing any generator input — or the generators themselves —
+    /// invalidates cached artifacts.
+    pub fn config_fingerprint(self, params: &WorkloadParams) -> Fingerprint {
+        fingerprint_of(&(GENERATOR_VERSION, self.name(), params.seed, params.scale))
     }
 
     /// Generates the workload.
