@@ -271,6 +271,30 @@ impl Dolc {
         self.fold(inter)
     }
 
+    /// Exactly [`Dolc::index`], reading the path from a most-recent-first
+    /// window slice instead of a [`PathRegister`]: `window[0]` is the last
+    /// task's address, `window[1]` the one before it, and positions at or
+    /// past `len` read as absent (0) — the same warm-up behaviour as a
+    /// register that has seen the same push stream. A single shared window
+    /// (sized to the deepest configuration) can therefore serve many
+    /// configurations at once, which is what the lane-packed batched sweep
+    /// engine does.
+    pub fn index_window(&self, window: &[u32], len: usize, current: Addr) -> usize {
+        let at = |i: usize| if i < len { window[i] } else { 0 };
+        let mut inter: u128 = (current.0 & mask32(self.current_bits as u32)) as u128;
+        let mut shift = self.current_bits as u32;
+        if self.depth > 0 {
+            inter |= ((at(0) & mask32(self.last_bits as u32)) as u128) << shift;
+            shift += self.last_bits as u32;
+            for i in 1..self.depth as usize {
+                inter |= ((at(i) & mask32(self.older_bits as u32)) as u128) << shift;
+                shift += self.older_bits as u32;
+            }
+        }
+        debug_assert_eq!(shift, self.intermediate_bits());
+        self.fold(inter)
+    }
+
     /// Folds an intermediate value into the final index by XORing `F`
     /// equal-width sub-fields.
     pub fn fold(&self, intermediate: u128) -> usize {
@@ -394,6 +418,47 @@ mod tests {
         for bit in 0..d.intermediate_bits() as u128 {
             let flipped = d.fold(1u128 << bit);
             assert_ne!(flipped, base, "bit {bit} lost by folding");
+        }
+    }
+
+    #[test]
+    fn index_window_matches_index_through_warmup() {
+        // A shared most-recent-first window must reproduce index() exactly,
+        // including the cold-start phase where the register is shorter than
+        // its depth — and even when the window is deeper than the config.
+        let configs = [
+            Dolc::new(0, 0, 0, 14, 1),
+            Dolc::new(1, 0, 7, 7, 1),
+            Dolc::new(3, 6, 8, 8, 2),
+            Dolc::new(6, 5, 8, 9, 3),
+        ];
+        let max_depth = configs.iter().map(|d| d.depth()).max().unwrap();
+        let mut window = vec![0u32; max_depth];
+        let mut len = 0usize;
+        let mut regs: Vec<PathRegister> = configs
+            .iter()
+            .map(|d| PathRegister::new(d.depth()))
+            .collect();
+        for a in 0..64u32 {
+            let cur = Addr(a.wrapping_mul(2654435761));
+            for (d, reg) in configs.iter().zip(&regs) {
+                assert_eq!(
+                    d.index_window(&window, len, cur),
+                    d.index(reg, cur),
+                    "{d} step {a}"
+                );
+            }
+            let pushed = Addr(a.wrapping_mul(40503) ^ 0x40);
+            for i in (1..max_depth).rev() {
+                window[i] = window[i - 1];
+            }
+            if max_depth > 0 {
+                window[0] = pushed.0;
+            }
+            len = (len + 1).min(max_depth);
+            for reg in &mut regs {
+                reg.push(pushed);
+            }
         }
     }
 

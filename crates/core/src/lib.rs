@@ -68,6 +68,7 @@ pub mod dolc;
 pub mod fxhash;
 pub mod history;
 pub mod ideal;
+pub mod lane;
 pub mod pollution;
 pub mod predictor;
 pub mod rng;

@@ -1,0 +1,195 @@
+//! `harness bench-pr6` — scalar vs lane-packed fused sweep comparison.
+//!
+//! Both arms run the fused Figure 10 + Figure 11 real-PATH pass — the
+//! eight-config DOLC exit ladder over all five paper workloads, 40
+//! predictor columns total — on already-prepared benchmarks, so the
+//! measurement isolates the sweep engine itself. The **scalar** arm uses
+//! the pre-lane-packing engine ([`dispatch::path_real_sweep_scalar`]): one
+//! `PathPredictor` instance per configuration, trained pointer-chase by
+//! pointer-chase. The **packed** arm uses [`dispatch::path_real_sweep`],
+//! which folds all eight configurations into one SoA
+//! [`multiscalar_core::lane::BatchedExitPredictor`] — one trace walk, all
+//! lanes updated per `u64` word. The packed arm must produce bit-identical
+//! `(MissStats, states_touched)` results *and* prove it took the packed
+//! path via the [`multiscalar_sim::measure::lane_packed_sweeps`] counter
+//! (one sweep per workload per repetition) — structure, not timing.
+
+use crate::pool::Pool;
+use crate::{dispatch, prepare_all_with, Bench};
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_sim::measure::{lane_packed_sweeps, MissStats};
+use multiscalar_workloads::WorkloadParams;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The timed comparison: wall-clock per arm over the 40-column fused
+/// fig10+fig11 pass, plus the packed arm's counter proof that the
+/// lane-packed engine (not the scalar fallback) did the work.
+#[derive(Debug, Clone)]
+pub struct BenchPr6Report {
+    /// Best-of-reps milliseconds for the scalar engine (one
+    /// `PathPredictor` per column, single trace walk per workload).
+    pub scalar_ms: f64,
+    /// Best-of-reps milliseconds for the lane-packed engine (all columns
+    /// in one `u64` word per PHT entry, single trace walk per workload).
+    pub packed_ms: f64,
+    /// Predictor columns swept per repetition (ladder configs × workloads).
+    pub columns: usize,
+    /// Column-events per repetition: Σ over workloads of
+    /// `trace events × ladder configs` — the unit both throughput rates
+    /// count.
+    pub column_events: u64,
+    /// `lane_packed_sweeps()` delta observed in the final packed
+    /// repetition (= number of workloads — checked before this report
+    /// exists).
+    pub packed_sweeps: u64,
+    /// Pool width used for preparation (both sweep arms are single-walk
+    /// and run on the calling thread).
+    pub threads: usize,
+}
+
+impl BenchPr6Report {
+    /// `scalar_ms / packed_ms`.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ms / self.packed_ms.max(1e-9)
+    }
+
+    /// Scalar-arm throughput in column-events per second.
+    pub fn scalar_rate(&self) -> f64 {
+        self.column_events as f64 / (self.scalar_ms.max(1e-9) / 1e3)
+    }
+
+    /// Packed-arm throughput in column-events per second.
+    pub fn packed_rate(&self) -> f64 {
+        self.column_events as f64 / (self.packed_ms.max(1e-9) / 1e3)
+    }
+
+    /// Renders the report as JSON (hand-rolled; fixed key order).
+    pub fn to_json(&self, params: &WorkloadParams) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"seed\": {},", params.seed);
+        let _ = writeln!(s, "  \"scale\": {},", params.scale);
+        let _ = writeln!(s, "  \"columns\": {},", self.columns);
+        let _ = writeln!(s, "  \"column_events\": {},", self.column_events);
+        let _ = writeln!(s, "  \"scalar_ms\": {:.1},", self.scalar_ms);
+        let _ = writeln!(s, "  \"packed_ms\": {:.1},", self.packed_ms);
+        let _ = writeln!(
+            s,
+            "  \"scalar_col_events_per_s\": {:.0},",
+            self.scalar_rate()
+        );
+        let _ = writeln!(
+            s,
+            "  \"packed_col_events_per_s\": {:.0},",
+            self.packed_rate()
+        );
+        let _ = writeln!(s, "  \"packed_sweeps\": {},", self.packed_sweeps);
+        let _ = writeln!(s, "  \"speedup\": {:.2}", self.speedup());
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Repetitions per arm; the minimum is reported (same defence against
+/// scheduler noise as the earlier `bench-pr*` commands).
+const REPS: usize = 5;
+
+/// One arm's pass: the fused real-PATH ladder sweep over every workload,
+/// returning the per-workload result vectors (for the bit-identity check).
+fn sweep_all(
+    benches: &[Bench],
+    ladder: &[multiscalar_core::dolc::Dolc],
+    packed: bool,
+) -> Vec<Vec<(MissStats, usize)>> {
+    benches
+        .iter()
+        .map(|b| {
+            if packed {
+                dispatch::path_real_sweep(ladder, b)
+            } else {
+                dispatch::path_real_sweep_scalar::<LastExitHysteresis<2>>(ladder, b)
+            }
+        })
+        .collect()
+}
+
+/// Runs both arms over freshly prepared benchmarks and returns the
+/// comparison; `Err` if the arms' results diverge anywhere or the counter
+/// proof fails (packed arm fell back to scalar, or scalar arm took the
+/// packed path).
+pub fn run(params: &WorkloadParams, pool: &Pool) -> Result<BenchPr6Report, String> {
+    let benches = prepare_all_with(params, pool);
+    let ladder = dispatch::exit_ladder();
+    let columns = ladder.len() * benches.len();
+    let column_events: u64 = benches
+        .iter()
+        .map(|b| b.trace.events.len() as u64 * ladder.len() as u64)
+        .sum();
+
+    let mut scalar_ms = f64::INFINITY;
+    let mut scalar_results = Vec::new();
+    for _ in 0..REPS {
+        let before = lane_packed_sweeps();
+        let start = Instant::now();
+        scalar_results = sweep_all(&benches, &ladder, false);
+        scalar_ms = scalar_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        if lane_packed_sweeps() != before {
+            return Err("scalar arm took the lane-packed path".to_string());
+        }
+    }
+
+    let mut packed_ms = f64::INFINITY;
+    let mut packed_sweeps = 0;
+    for _ in 0..REPS {
+        let before = lane_packed_sweeps();
+        let start = Instant::now();
+        let packed_results = sweep_all(&benches, &ladder, true);
+        packed_ms = packed_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        packed_sweeps = lane_packed_sweeps() - before;
+        if packed_sweeps != benches.len() as u64 {
+            return Err(format!(
+                "packed arm expected {} lane-packed sweeps, counted {packed_sweeps}",
+                benches.len()
+            ));
+        }
+        if packed_results != scalar_results {
+            return Err("packed results diverged from scalar results".to_string());
+        }
+    }
+
+    Ok(BenchPr6Report {
+        scalar_ms,
+        packed_ms,
+        columns,
+        column_events,
+        packed_sweeps,
+        threads: pool.threads(),
+    })
+}
+
+/// CI smoke mode: one repetition of each arm, asserting the structural
+/// invariants only — the packed engine ran (counter delta, not timing) and
+/// its results are bit-identical to the scalar engine's. Returns a summary
+/// line; never writes a file.
+pub fn smoke(params: &WorkloadParams, pool: &Pool) -> Result<String, String> {
+    let benches = prepare_all_with(params, pool);
+    let ladder = dispatch::exit_ladder();
+    let scalar = sweep_all(&benches, &ladder, false);
+    let before = lane_packed_sweeps();
+    let packed = sweep_all(&benches, &ladder, true);
+    let sweeps = lane_packed_sweeps() - before;
+    if sweeps != benches.len() as u64 {
+        return Err(format!(
+            "expected {} lane-packed sweeps, counted {sweeps}",
+            benches.len()
+        ));
+    }
+    if packed != scalar {
+        return Err("packed results diverged from scalar results".to_string());
+    }
+    Ok(format!(
+        "bench-pr6 smoke: lane-packed engine ran {sweeps} sweeps, {} columns bit-identical to scalar",
+        ladder.len() * benches.len()
+    ))
+}

@@ -17,7 +17,8 @@
 //! Change any input — a generator tweak, a task-former change, a codec or
 //! timing-semantics bump — and the key moves, so stale artifacts are never
 //! *served*; they are simply unreachable garbage (`harness cache clear`
-//! removes them wholesale).
+//! removes them wholesale, and `harness cache gc --cache-max-bytes N`
+//! evicts least-recently-used entries past a size cap).
 //!
 //! # Concurrency and integrity
 //!
@@ -104,6 +105,20 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// What [`ArtifactCache::gc`] did: entries removed vs. retained, in files
+/// and bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// LRU entries evicted to get under the cap.
+    pub removed: usize,
+    /// Bytes those evictions freed.
+    pub removed_bytes: u64,
+    /// Entries still on disk.
+    pub kept: usize,
+    /// Bytes still on disk.
+    pub kept_bytes: u64,
+}
+
 /// The content-addressed artifact store: a directory of
 /// `<key-hex>.replay` files plus in-process counters. Share one instance
 /// (behind `&` — all methods take `&self`) across the preparation pool.
@@ -158,6 +173,12 @@ impl ArtifactCache {
         };
         match decode_replay(&bytes, key) {
             Ok(replay) => {
+                // LRU recency signal for `gc`: a served entry is touched so
+                // its mtime orders it after never-hit entries. Best-effort —
+                // a read-only cache still serves hits, it just ages.
+                if let Ok(f) = std::fs::File::options().append(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 Some(replay)
             }
@@ -221,6 +242,56 @@ impl ArtifactCache {
         }
         out.sort();
         out
+    }
+
+    /// Evicts least-recently-used replay artifacts until the ones that
+    /// remain total at most `max_bytes` (`harness cache gc
+    /// --cache-max-bytes N`).
+    ///
+    /// Recency is the filesystem mtime: [`Self::store_replay`] sets it on
+    /// publish and [`Self::load_replay`] bumps it on every hit, so eviction
+    /// order is true LRU. Ties (same-second filesystems) break by file name
+    /// for determinism. Each removal counts in
+    /// [`CacheStats::evictions`].
+    pub fn gc(&self, max_bytes: u64) -> std::io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let dir = match std::fs::read_dir(&self.dir) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        let mut entries: Vec<(std::time::SystemTime, String, u64, PathBuf)> = Vec::new();
+        let mut total = 0u64;
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(REPLAY_EXT) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            total += meta.len();
+            entries.push((
+                mtime,
+                entry.file_name().to_string_lossy().into_owned(),
+                meta.len(),
+                path,
+            ));
+        }
+        entries.sort();
+        let mut oldest = entries.iter();
+        while total > max_bytes {
+            let Some((_, _, size, path)) = oldest.next() else {
+                break;
+            };
+            std::fs::remove_file(path)?;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            report.removed += 1;
+            report.removed_bytes += size;
+            total -= size;
+        }
+        report.kept = entries.len() - report.removed;
+        report.kept_bytes = total;
+        Ok(report)
     }
 
     /// Removes every replay artifact (and stray temp file) from the cache

@@ -2,14 +2,18 @@
 //! can select predictors the library implements with static generics.
 
 use crate::Bench;
-use multiscalar_core::automata::{AutomatonKind, LastExit, LastExitHysteresis, VotingCounters};
+use multiscalar_core::automata::{
+    Automaton, AutomatonKind, LastExit, LastExitHysteresis, VotingCounters,
+};
 use multiscalar_core::dolc::Dolc;
 use multiscalar_core::history::{GlobalPredictor, PathPredictor, PerTaskPredictor};
 use multiscalar_core::ideal::{IdealGlobal, IdealPath, IdealPer};
+use multiscalar_core::lane::{BatchedExitPredictor, LaneAutomaton};
 use multiscalar_core::predictor::{ExitPredictor, TaskPredictor};
 use multiscalar_core::target::{Cttb, IdealCttb};
 use multiscalar_sim::measure::{
-    measure_exits, measure_exits_fused, measure_indirect_targets_fused, MissStats,
+    measure_exits, measure_exits_batched, measure_exits_fused, measure_indirect_targets_fused,
+    MissStats,
 };
 use multiscalar_sim::timing::NextTaskPredictor;
 
@@ -126,14 +130,65 @@ pub fn measure_ideal_path_automaton_sweep(
 /// Fused real-PATH sweep over DOLC configurations (Figures 10 and 11's
 /// "real" curves): one trace walk, returning per-config miss stats and PHT
 /// states touched.
+///
+/// Dispatches to the lane-packed batched engine
+/// ([`measure_exits_batched`]) whenever the sweep fits its lanes — the
+/// ladder always does — falling back to [`path_real_sweep_scalar`]
+/// otherwise. Both paths are bit-identical (`fused_path_ladders_match...`
+/// in `tests/fused.rs` gates this against one-config-at-a-time runs).
 pub fn path_real_sweep(configs: &[Dolc], bench: &Bench) -> Vec<(MissStats, usize)> {
-    let mut ps: Vec<PathPredictor<LastExitHysteresis<2>>> =
-        configs.iter().map(|&d| PathPredictor::new(d)).collect();
+    match BatchedExitPredictor::<LastExitHysteresis<2>>::new(configs) {
+        Some(mut batch) => measure_exits_batched(&mut batch, &bench.descs, &bench.trace.events),
+        None => path_real_sweep_scalar::<LastExitHysteresis<2>>(configs, bench),
+    }
+}
+
+/// The scalar fused real-PATH sweep: one predictor instance per
+/// configuration, trained predictor-by-predictor in a single trace walk.
+/// This is the pre-lane-packing engine, kept as the fallback for batch
+/// shapes the packed engine rejects and as the `bench-pr6` baseline arm.
+pub fn path_real_sweep_scalar<A: Automaton>(
+    configs: &[Dolc],
+    bench: &Bench,
+) -> Vec<(MissStats, usize)> {
+    let mut ps: Vec<PathPredictor<A>> = configs.iter().map(|&d| PathPredictor::new(d)).collect();
     let stats = measure_exits_fused(&mut ps, &bench.descs, &bench.trace.events);
     stats
         .into_iter()
         .zip(ps.iter().map(|p| p.states_touched()))
         .collect()
+}
+
+/// [`path_real_sweep`] generalised over automaton kinds: lane-packed for
+/// the packable families, scalar for the two `VC RANDOM` kinds — their
+/// tie-break consumes the per-predictor XorShift stream, which the packed
+/// table cannot reproduce exactly, so they take the (bit-identical-by-
+/// construction) scalar walk instead. `tests/fused.rs` proves both the
+/// fast path and the fallback via the `lane_packed_sweeps` counter.
+pub fn path_real_sweep_automaton(
+    kind: AutomatonKind,
+    configs: &[Dolc],
+    bench: &Bench,
+) -> Vec<(MissStats, usize)> {
+    fn packed<A: LaneAutomaton>(configs: &[Dolc], bench: &Bench) -> Vec<(MissStats, usize)> {
+        match BatchedExitPredictor::<A>::new(configs) {
+            Some(mut batch) => measure_exits_batched(&mut batch, &bench.descs, &bench.trace.events),
+            None => path_real_sweep_scalar::<A>(configs, bench),
+        }
+    }
+    match kind {
+        AutomatonKind::Vc2Mru => packed::<VotingCounters<2, true>>(configs, bench),
+        AutomatonKind::Vc2Random => {
+            path_real_sweep_scalar::<VotingCounters<2, false>>(configs, bench)
+        }
+        AutomatonKind::Leh1 => packed::<LastExitHysteresis<1>>(configs, bench),
+        AutomatonKind::Vc3Mru => packed::<VotingCounters<3, true>>(configs, bench),
+        AutomatonKind::Vc3Random => {
+            path_real_sweep_scalar::<VotingCounters<3, false>>(configs, bench)
+        }
+        AutomatonKind::Leh2 => packed::<LastExitHysteresis<2>>(configs, bench),
+        AutomatonKind::LastExit => packed::<LastExit>(configs, bench),
+    }
 }
 
 /// Fused ideal-PATH sweep over depths (Figures 10 and 11's "ideal" curves):

@@ -32,6 +32,7 @@
 pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr5;
+pub mod bench_pr6;
 pub mod cache;
 pub mod csv;
 pub mod dispatch;

@@ -16,7 +16,7 @@
 //! prepares only the benchmarks it declares. Benchmarks are prepared
 //! **once** per invocation (traces are shared, immutable, behind `Arc`)
 //! through the on-disk artifact cache (`.multiscalar-cache` by default;
-//! `--no-cache` disables, `harness cache stats|clear` inspects), and every
+//! `--no-cache` disables, `harness cache stats|clear|gc` manages), and every
 //! sweep fans out over a `--threads`-wide job pool. Output is
 //! byte-identical for every thread count and for cold, warm or disabled
 //! caches. Table 4 runs on the record-once replay engine by default;
@@ -27,7 +27,7 @@ use multiscalar_harness::cache::{self, ArtifactCache};
 use multiscalar_harness::experiments::Engine;
 use multiscalar_harness::pool::Pool;
 use multiscalar_harness::registry::{self, BenchSet, ExpCtx, Group, Prepared};
-use multiscalar_harness::{bench_pr1, bench_pr2, bench_pr5};
+use multiscalar_harness::{bench_pr1, bench_pr2, bench_pr5, bench_pr6};
 use multiscalar_isa::Fingerprint;
 use multiscalar_workloads::{Spec92, WorkloadParams};
 use std::process::ExitCode;
@@ -45,6 +45,8 @@ struct Args {
     deny_warnings: bool,
     json: bool,
     occupancy: bool,
+    smoke: bool,
+    cache_max_bytes: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +63,8 @@ fn parse_args() -> Result<Args, String> {
     let mut deny_warnings = false;
     let mut json = false;
     let mut occupancy = false;
+    let mut smoke = false;
+    let mut cache_max_bytes = None;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -95,6 +99,14 @@ fn parse_args() -> Result<Args, String> {
                 deny_warnings = true;
             }
             "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--cache-max-bytes" => {
+                cache_max_bytes = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad cache size cap: {e}"))?,
+                )
+            }
             action
                 if !action.starts_with('-') && experiment == "cache" && cache_action.is_none() =>
             {
@@ -116,15 +128,19 @@ fn parse_args() -> Result<Args, String> {
         deny_warnings,
         json,
         occupancy,
+        smoke,
+        cache_max_bytes,
     })
 }
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
      ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|\
-     profile|csv|verify|lint|cache stats|cache clear|bench-pr1|bench-pr2|bench-pr5> \
+     profile|csv|verify|lint|cache stats|cache clear|cache gc|bench-pr1|bench-pr2|bench-pr5|\
+     bench-pr6> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
-     [--deny warnings] [--json] [--occupancy] [--cache-dir DIR] [--no-cache]"
+     [--deny warnings] [--json] [--occupancy] [--smoke] [--cache-dir DIR] [--no-cache] \
+     [--cache-max-bytes N]"
         .to_string()
 }
 
@@ -286,6 +302,36 @@ fn main() -> ExitCode {
         println!("wrote {}", path.display());
         return ExitCode::SUCCESS;
     }
+    if args.experiment == "bench-pr6" {
+        if args.smoke {
+            return match bench_pr6::smoke(&args.params, &args.pool) {
+                Ok(msg) => {
+                    println!("{msg}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bench-pr6 smoke failed: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        let report = match bench_pr6::run(&args.params, &args.pool) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-pr6 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let json = report.to_json(&args.params);
+        print!("{json}");
+        let path = std::path::Path::new("BENCH_PR6.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
     if args.experiment == "cache" {
         let store = ArtifactCache::new(
             args.cache_dir
@@ -307,9 +353,33 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             },
+            Some("gc") => {
+                let Some(max_bytes) = args.cache_max_bytes else {
+                    eprintln!("cache gc needs --cache-max-bytes N");
+                    return ExitCode::FAILURE;
+                };
+                match store.gc(max_bytes) {
+                    Ok(r) => {
+                        println!(
+                            "evicted {} artifacts ({} bytes), kept {} ({} bytes) in {}",
+                            r.removed,
+                            r.removed_bytes,
+                            r.kept,
+                            r.kept_bytes,
+                            store.dir().display()
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("cache gc failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
             _ => {
                 eprintln!(
-                    "usage: harness cache <stats|clear> [--cache-dir DIR] [--seed N] [--scale N]"
+                    "usage: harness cache <stats|clear|gc> [--cache-dir DIR] [--seed N] \
+                     [--scale N] [--cache-max-bytes N]"
                 );
                 ExitCode::FAILURE
             }

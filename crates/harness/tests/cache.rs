@@ -147,6 +147,72 @@ fn stale_schema_entry_is_evicted() {
     cleanup(&dir);
 }
 
+/// `gc` evicts least-recently-used entries past the byte cap: a hit bumps
+/// an entry's recency so it survives, the oldest cold entries go first
+/// (counter-verified), and the evicted benchmarks are simply re-recorded —
+/// byte-identically — on the next preparation.
+#[test]
+fn gc_evicts_lru_entries_past_the_byte_cap() {
+    use std::time::{Duration, SystemTime};
+    let dir = scratch_dir("gc");
+    let pool = Pool::new(1);
+    let params = WorkloadParams::small(3);
+
+    let store = ArtifactCache::new(&dir);
+    store.clear().unwrap();
+    let baseline = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&store));
+
+    // Pin distinct mtimes (same-second filesystems would otherwise tie):
+    // entry 0 oldest ... entry 4 newest.
+    let now = SystemTime::now();
+    let mut sizes = Vec::new();
+    for (i, b) in baseline.iter().enumerate() {
+        let path = store.entry_path(b.key);
+        sizes.push(std::fs::metadata(&path).unwrap().len());
+        let f = std::fs::File::options().append(true).open(&path).unwrap();
+        f.set_modified(now - Duration::from_secs((10 - i as u64) * 1000))
+            .unwrap();
+    }
+
+    // A hit bumps entry 0 to most-recent, so LRU order is now 1, 2, 3, 4, 0.
+    assert!(store.load_replay(baseline[0].key).is_some());
+
+    // Cap so that exactly the two oldest cold entries (1 and 2) must go.
+    let total: u64 = sizes.iter().sum();
+    let report = store.gc(total - sizes[1] - sizes[2]).unwrap();
+    assert_eq!(report.removed, 2, "exactly the two LRU entries are evicted");
+    assert_eq!(report.removed_bytes, sizes[1] + sizes[2]);
+    assert_eq!(report.kept, 3);
+    assert_eq!(report.kept_bytes, total - sizes[1] - sizes[2]);
+    assert_eq!(
+        store.stats().evictions,
+        2,
+        "each removal counts as an eviction"
+    );
+    for (i, b) in baseline.iter().enumerate() {
+        assert_eq!(
+            store.entry_path(b.key).exists(),
+            i != 1 && i != 2,
+            "entry {i}: the hit entry and the two newest survive"
+        );
+    }
+
+    // The evicted benchmarks re-record; everything stays byte-identical.
+    let after = ArtifactCache::new(&dir);
+    let repaired = prepare_set_cached(Spec92::ALL.as_slice(), &params, &pool, Some(&after));
+    let s = after.stats();
+    assert_eq!((s.hits, s.misses, s.stores), (3, 2, 2));
+    assert_equivalent(&baseline, &repaired, &pool, "post-gc");
+
+    // A cap the cache already fits under removes nothing; a missing
+    // directory reports an empty cache rather than an error.
+    let report = after.gc(u64::MAX).unwrap();
+    assert_eq!((report.removed, report.kept), (0, 5));
+    let ghost = ArtifactCache::new(scratch_dir("gc-missing"));
+    assert_eq!(ghost.gc(0).unwrap(), Default::default());
+    cleanup(&dir);
+}
+
 /// One warm cache shared by pools of every width yields byte-identical
 /// preparations — the counters are atomic and entries are immutable, so
 /// parallel readers cannot interfere.

@@ -8,12 +8,25 @@
 
 use crate::trace::{kind_slot, SharedTrace};
 use multiscalar_core::dolc::PathRegister;
+use multiscalar_core::lane::{BatchedExitPredictor, LaneAutomaton};
 use multiscalar_core::predictor::{
     CttbOnlyPredictor, ExitInfo, ExitPredictor, TaskDesc, TaskPredictor,
 };
 use multiscalar_core::target::{Cttb, IdealCttb, Ttb};
 use multiscalar_isa::{Addr, ExitKind};
 use multiscalar_taskform::TaskProgram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of lane-packed batched sweeps (see
+/// [`measure_exits_batched`]). CI's `bench-pr6 --smoke` asserts the fast
+/// path was actually exercised by reading this counter — a structural
+/// proof, not a timing one.
+static LANE_PACKED_SWEEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of lane-packed batched sweeps this process has run (monotonic).
+pub fn lane_packed_sweeps() -> u64 {
+    LANE_PACKED_SWEEPS.load(Ordering::Relaxed)
+}
 
 /// Converts the task former's headers into predictor-facing [`TaskDesc`]s,
 /// indexed by [`multiscalar_taskform::TaskId`].
@@ -116,6 +129,11 @@ pub fn measure_exits<P: ExitPredictor>(
 /// once and fed to every predictor. Predictors never observe each other, so
 /// the per-predictor results are bit-identical to the one-at-a-time loop —
 /// this is what lets a whole depth sweep (`0..=8`) ride one walk.
+///
+/// When every predictor in the sweep is a PATH predictor over the **same**
+/// lane-packable automaton family (the fig10/fig11 grid shape), use
+/// [`measure_exits_batched`] instead: same results, one SWAR word per
+/// event instead of a predictor-by-predictor loop.
 pub fn measure_exits_fused<P: ExitPredictor>(
     predictors: &mut [P],
     descs: &[TaskDesc],
@@ -131,6 +149,38 @@ pub fn measure_exits_fused<P: ExitPredictor>(
         }
     }
     stats
+}
+
+/// Measures a whole homogeneous PATH sweep in one lane-packed trace walk —
+/// the SWAR fast path of [`measure_exits_fused`].
+///
+/// One [`BatchedExitPredictor`] lane stands in for each scalar
+/// `PathPredictor` of the sweep; per event the batch gathers one `u64`,
+/// predicts and trains every lane with branchless lane arithmetic, and
+/// reports a per-lane miss mask. Results — miss stats *and* states-touched
+/// counts — are bit-identical to the scalar fused walk (`multiscalar-core`'s
+/// `lane` module tests enforce the per-lane equivalence; the harness's
+/// fused tests enforce it end to end against `measure_exits`).
+pub fn measure_exits_batched<A: LaneAutomaton>(
+    batch: &mut BatchedExitPredictor<A>,
+    descs: &[TaskDesc],
+    events: &SharedTrace,
+) -> Vec<(MissStats, usize)> {
+    LANE_PACKED_SWEEPS.fetch_add(1, Ordering::Relaxed);
+    let n = batch.lanes();
+    let mut stats = vec![MissStats::default(); n];
+    for e in events.iter() {
+        let mut miss = batch.step(&descs[e.task.index()], e.exit);
+        for s in stats.iter_mut() {
+            s.record(miss & 1 == 1);
+            miss >>= 1;
+        }
+    }
+    stats
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| (s, batch.states_touched(k)))
+        .collect()
 }
 
 /// Measures the full composite predictor: exit + RAS + header + CTTB
@@ -430,6 +480,31 @@ mod tests {
             "CTTB-only should learn a deterministic task sequence: {:.1}%",
             stats.miss_rate() * 100.0
         );
+    }
+
+    #[test]
+    fn batched_walk_matches_scalar_fused_walk_and_counts_itself() {
+        let (_p, tp, events) = looped_program();
+        let descs = task_descs(&tp);
+        let configs = [
+            Dolc::new(0, 0, 0, 8, 1),
+            Dolc::new(2, 4, 5, 5, 1),
+            Dolc::new(4, 4, 6, 6, 2),
+            Dolc::new(6, 5, 8, 9, 3),
+        ];
+        let mut scalars: Vec<PathPredictor<Leh2>> =
+            configs.iter().map(|&d| PathPredictor::new(d)).collect();
+        let fused = measure_exits_fused(&mut scalars, &descs, &events);
+
+        let before = lane_packed_sweeps();
+        let mut batch = multiscalar_core::lane::BatchedExitPredictor::<Leh2>::new(&configs)
+            .expect("4 LEH lanes fit");
+        let batched = measure_exits_batched(&mut batch, &descs, &events);
+        assert_eq!(lane_packed_sweeps(), before + 1);
+
+        for (k, p) in scalars.iter().enumerate() {
+            assert_eq!(batched[k], (fused[k], p.states_touched()), "lane {k}");
+        }
     }
 
     #[test]

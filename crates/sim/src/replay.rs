@@ -5,8 +5,11 @@
 //! source/dest register ids, memory word addresses, intra-task branch
 //! outcomes, and pre-resolved task-boundary events — into a struct-of-
 //! arrays [`InstrReplay`]. The structure is immutable and is shared behind
-//! `Arc` exactly like `SharedTrace`, so Table 4's five predictor columns
-//! (and the `table4_timing` bench ablations) all ride one recording:
+//! `Arc` exactly like `SharedTrace`, so **every** consumer of a benchmark's
+//! execution rides one recording: Table 4's five predictor columns, the
+//! `table4_timing` bench ablations, the registry's fig10/fig11 grids
+//! (whose functional traces derive from the same artifact via
+//! [`derive_trace`]), and the sanitizer's fused/solo cross-checks.
 //! [`simulate_replay`] drives [`crate::timing::simulate_core`] from the
 //! recording with zero re-interpretation and returns a `TimingResult`
 //! bit-identical to [`crate::timing::simulate`]'s.
@@ -279,9 +282,27 @@ pub fn derive_trace(replay: &InstrReplay, tasks: &TaskProgram) -> TraceRun {
     }
 }
 
+/// How far ahead (in elements) the cursor pulls upcoming replay columns
+/// toward the cache. One op word is 4 bytes, so 64 elements is four cache
+/// lines of lookahead — far enough to cover the fused engines' per-step
+/// work, near enough not to thrash.
+const PREFETCH_AHEAD: usize = 64;
+
+/// Forces the load of the element `PREFETCH_AHEAD` slots ahead, warming the
+/// cache line it lives on. A plain read through [`std::hint::black_box`]
+/// (not an intrinsic): safe, portable, and free of side effects beyond the
+/// memory touch.
+#[inline(always)]
+fn prefetch<T: Copy>(s: &[T]) {
+    if let Some(&v) = s.get(PREFETCH_AHEAD) {
+        std::hint::black_box(v);
+    }
+}
+
 /// A cursor walking an [`InstrReplay`] as a [`StepSource`]. Infallible by
 /// construction: recording already resolved every error. Holds shrinking
-/// slices rather than indices so the hot path carries no bounds checks.
+/// slices rather than indices so the hot path carries no bounds checks,
+/// and prefetches upcoming columns of the recording as it advances.
 pub(crate) struct ReplayCursor<'a> {
     /// Remaining op words; the last element is the halting instruction.
     ops: &'a [u32],
@@ -315,10 +336,12 @@ impl<'a> ReplayCursor<'a> {
 
 impl StepSource for ReplayCursor<'_> {
     fn next_step(&mut self) -> Result<CoreStep, TraceError> {
+        prefetch(self.ops);
         let (&op, rest) = self.ops.split_first().expect("cursor stops at halt");
         let class = OpClass::from_u8(((op >> CLASS_SHIFT) & 0x3) as u8);
 
         let mem_addr = if matches!(class, OpClass::Load | OpClass::Store) {
+            prefetch(self.mem_addrs);
             let (&a, rest) = self.mem_addrs.split_first().expect("recorded address");
             self.mem_addrs = rest;
             a
@@ -407,11 +430,13 @@ pub fn simulate_replay_with_sink<M: MetricsSink>(
 }
 
 /// Runs several independent timing configurations over one recording in a
-/// **single** walk — e.g. Table 4's five predictor columns. Each slot of
-/// `predictors` is one run (use `None` for perfect prediction); the step
-/// stream is decoded once and fed to every run's [`CoreState`] in turn, so
-/// each result is bit-identical to a solo [`simulate_replay`] call with the
-/// same predictor.
+/// **single** walk. Table 4's five predictor columns are the original
+/// consumer; any set of slots over the same recording fits — the registry's
+/// grids and the sanitizer's cross-checks ride the same engine. Each slot
+/// of `predictors` is one run (use `None` for perfect prediction); the step
+/// stream is decoded once per block and fed to every run's [`CoreState`],
+/// so each result is bit-identical to a solo [`simulate_replay`] call with
+/// the same predictor.
 pub fn simulate_replay_fused(
     replay: &InstrReplay,
     descs: &[TaskDesc],
@@ -422,10 +447,24 @@ pub fn simulate_replay_fused(
     simulate_replay_fused_with_sinks(replay, descs, predictors, config, &mut sinks)
 }
 
+/// Steps decoded per batch of the fused walk. Large enough that each
+/// slot's hot state (scoreboard, store queue, ARB) stays cache-resident
+/// across its inner run; small enough that the shared decoded block and
+/// every slot's working set coexist in L1/L2.
+const FUSE_BLOCK: usize = 128;
+
 /// [`simulate_replay_fused`] with one live [`MetricsSink`] per fused run:
 /// `sinks[i]` observes the run driven by `predictors[i]`. Each sink sees
 /// exactly the event stream a solo [`simulate_replay_with_sink`] call with
 /// the same predictor would produce.
+///
+/// The walk is **block-batched**: the cursor decodes [`FUSE_BLOCK`] steps
+/// into a reusable buffer, then each slot consumes the whole block before
+/// the next slot starts. Slots never observe each other and each still
+/// sees the full step stream in order, so batching is invisible to the
+/// results — it only converts the inner loop from slot-interleaved (which
+/// drags every slot's hot state through the cache at every step) to
+/// slot-major bursts.
 ///
 /// # Panics
 ///
@@ -456,13 +495,19 @@ pub fn simulate_replay_fused_with_sinks<M: MetricsSink>(
         state.bootstrap(sink);
     }
     let mut cursor = ReplayCursor::new(replay);
-    loop {
-        let step = cursor.next_step().expect("replay cursor never errors");
-        for (state, sink) in states.iter_mut().zip(sinks.iter_mut()) {
-            state.on_step(&step, descs, config, sink);
+    let mut block: Vec<CoreStep> = Vec::with_capacity(FUSE_BLOCK);
+    let mut halted = false;
+    while !halted {
+        block.clear();
+        while block.len() < FUSE_BLOCK && !halted {
+            let step = cursor.next_step().expect("replay cursor never errors");
+            halted = step.halt;
+            block.push(step);
         }
-        if step.halt {
-            break;
+        for (state, sink) in states.iter_mut().zip(sinks.iter_mut()) {
+            for step in &block {
+                state.on_step(step, descs, config, sink);
+            }
         }
     }
     states
@@ -569,6 +614,32 @@ mod tests {
         let solo_d2 = simulate_replay(&replay, &descs, Some(&mut *mk(2)), &config);
         let solo_d4 = simulate_replay(&replay, &descs, Some(&mut *mk(4)), &config);
         assert_eq!(fused, vec![solo_perfect, solo_d2, solo_d4]);
+    }
+
+    #[test]
+    fn fused_block_batching_is_invisible_across_program_lengths() {
+        // Recording lengths on both sides of (and straddling) FUSE_BLOCK
+        // multiples: partial final blocks, single-block runs, halts landing
+        // anywhere in a block — all must stay bit-identical to solo runs.
+        let config = TimingConfig::default();
+        let mk = || {
+            Box::new(TaskPredictor::<PathLeh2>::path(
+                Dolc::new(4, 4, 6, 6, 2),
+                Dolc::new(4, 3, 4, 4, 2),
+                16,
+            )) as Box<dyn NextTaskPredictor>
+        };
+        for iters in [1, 3, 17, 64, 200] {
+            let p = mixed_program(iters);
+            let tp = TaskFormer::default().form(&p).unwrap();
+            let descs = task_descs(&tp);
+            let replay = record_replay(&p, &tp, 1_000_000).unwrap();
+            let mut preds = vec![None, Some(mk())];
+            let fused = simulate_replay_fused(&replay, &descs, &mut preds, &config);
+            let solo_perfect = simulate_replay(&replay, &descs, None, &config);
+            let solo_real = simulate_replay(&replay, &descs, Some(&mut *mk()), &config);
+            assert_eq!(fused, vec![solo_perfect, solo_real], "iters {iters}");
+        }
     }
 
     #[test]

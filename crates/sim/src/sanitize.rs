@@ -180,8 +180,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measure::task_descs;
+    use multiscalar_core::automata::{Automaton, LastExit, LastExitHysteresis, VotingCounters};
+    use multiscalar_core::dolc::Dolc;
+    use multiscalar_core::history::PathPredictor;
+    use multiscalar_core::predictor::TaskPredictor;
     use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
     use multiscalar_taskform::TaskFormer;
+    use multiscalar_workloads::{Spec92, WorkloadParams};
 
     #[test]
     fn lockstep_feeds_agree_on_a_mixed_program() {
@@ -205,5 +211,43 @@ mod tests {
         let tasks = TaskFormer::default().form(&p).unwrap();
         let steps = check_replay_agreement(&p, &tasks, 1_000_000).unwrap();
         assert!(steps > 300, "the loop body runs 300 times: {steps}");
+    }
+
+    /// Fused/solo agreement for every lane-packed automaton family on a
+    /// real paper workload — the block-batched fused walk must stay
+    /// bit-identical (results *and* cycle breakdowns) no matter which
+    /// family drives the inter-task predictor.
+    #[test]
+    fn fused_agreement_holds_for_every_lane_packed_family() {
+        fn check_family<A: Automaton + 'static>() {
+            let w = Spec92::Compress.build(&WorkloadParams::small(7));
+            let tasks = TaskFormer::default().form(&w.program).unwrap();
+            let descs = task_descs(&tasks);
+            let results = check_fused_agreement(
+                &w.program,
+                &tasks,
+                &descs,
+                &TimingConfig::default(),
+                w.max_steps,
+                2,
+                |slot| {
+                    (slot > 0).then(|| {
+                        Box::new(TaskPredictor::<PathPredictor<A>>::path(
+                            Dolc::new(4, 4, 6, 6, 2),
+                            Dolc::new(4, 3, 4, 4, 2),
+                            16,
+                        )) as Box<dyn NextTaskPredictor>
+                    })
+                },
+            )
+            .unwrap();
+            assert_eq!(results.len(), 2, "{}", A::NAME);
+            assert!(results[0].dynamic_tasks > 0, "{}", A::NAME);
+        }
+        check_family::<LastExit>();
+        check_family::<LastExitHysteresis<1>>();
+        check_family::<LastExitHysteresis<2>>();
+        check_family::<VotingCounters<2, true>>();
+        check_family::<VotingCounters<3, true>>();
     }
 }
