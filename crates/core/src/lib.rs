@@ -76,6 +76,7 @@ pub mod scalar;
 pub mod stale;
 pub mod target;
 pub mod tournament;
+pub mod zoo;
 
 pub use automata::{Automaton, AutomatonKind};
 pub use dolc::Dolc;

@@ -90,6 +90,7 @@ struct Counters {
     misses: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
+    touch_failures: AtomicU64,
 }
 
 /// A point-in-time snapshot of a cache's counters.
@@ -103,6 +104,11 @@ pub struct CacheStats {
     pub stores: u64,
     /// Invalid entries removed (each eviction also counts as a miss).
     pub evictions: u64,
+    /// Served hits whose LRU recency touch failed (e.g. a read-only cache
+    /// directory). The hit still serves; `gc`'s eviction order just goes
+    /// stale for that entry, which is why the failure is surfaced instead
+    /// of swallowed.
+    pub touch_failures: u64,
 }
 
 /// What [`ArtifactCache::gc`] did: entries removed vs. retained, in files
@@ -155,6 +161,7 @@ impl ArtifactCache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            touch_failures: self.counters.touch_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -175,9 +182,15 @@ impl ArtifactCache {
             Ok(replay) => {
                 // LRU recency signal for `gc`: a served entry is touched so
                 // its mtime orders it after never-hit entries. Best-effort —
-                // a read-only cache still serves hits, it just ages.
-                if let Ok(f) = std::fs::File::options().append(true).open(&path) {
-                    let _ = f.set_modified(std::time::SystemTime::now());
+                // a read-only cache still serves hits, it just ages — but the
+                // failure is counted so `cache stats` / the traffic summary
+                // can report that gc's LRU order is going stale.
+                let touched = std::fs::File::options()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(std::time::SystemTime::now()));
+                if touched.is_err() {
+                    self.counters.touch_failures.fetch_add(1, Ordering::Relaxed);
                 }
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 Some(replay)
@@ -242,6 +255,38 @@ impl ArtifactCache {
         }
         out.sort();
         out
+    }
+
+    /// Probes whether every on-disk entry's recency (mtime) can be bumped —
+    /// the signal [`Self::gc`] orders LRU eviction by. Each entry is
+    /// re-stamped with its *current* mtime, so the probe never perturbs
+    /// eviction order. Returns `(failures, entries probed)`; a nonzero
+    /// failure count means hits are being served without aging the entry
+    /// (`harness cache stats` reports it).
+    pub fn probe_touch(&self) -> (usize, usize) {
+        let mut failures = 0;
+        let mut probed = 0;
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(REPLAY_EXT) {
+                continue;
+            }
+            probed += 1;
+            let restamp = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .and_then(|mtime| {
+                    std::fs::File::options()
+                        .append(true)
+                        .open(&path)
+                        .and_then(|f| f.set_modified(mtime))
+                });
+            failures += restamp.is_err() as usize;
+        }
+        (failures, probed)
     }
 
     /// Evicts least-recently-used replay artifacts until the ones that

@@ -385,3 +385,154 @@ pub fn hybrid_sanity(spec: Spec92, params: &WorkloadParams) -> (f64, f64, f64) {
     let row = &ext_hybrid(std::slice::from_ref(&b))[0];
     (row.path, row.per, row.hybrid)
 }
+
+/// Pinned fuzz-corpus seeds the zoo ranking aggregates into one row
+/// alongside the five paper benchmarks — predictor families are ranked on
+/// adversarially random control flow too, not just the SPEC92 analogs.
+pub const ZOO_CORPUS_SEEDS: std::ops::Range<u64> = 0..32;
+
+/// Predictor families ranked by [`ext_zoo`], in column order: the paper's
+/// PATH baseline, the PATH/PER tournament, and the two beyond-the-paper
+/// families from `multiscalar_core::zoo`.
+pub const ZOO_FAMILIES: [&str; 4] = ["PATH", "TOURN", "GSHARE", "GATED"];
+
+/// One family's scores on one input.
+#[derive(Debug, Clone, Copy)]
+pub struct ZooCell {
+    /// Exit miss rate over the task trace.
+    pub miss: f64,
+    /// Fraction of timing cycles lost to mispredict squash/refill
+    /// ([`multiscalar_sim::metrics::Cause::SquashRefill`]) with this
+    /// family driving the sequencer.
+    pub squash: f64,
+}
+
+/// One row of the zoo ranking: an input (benchmark or the fuzz corpus)
+/// scored by every family in [`ZOO_FAMILIES`].
+#[derive(Debug, Clone)]
+pub struct ZooRow {
+    /// Benchmark name, or `"fuzz-corpus"`.
+    pub name: String,
+    /// Dynamic tasks in the input's trace.
+    pub dynamic_tasks: u64,
+    /// Per-family scores, in [`ZOO_FAMILIES`] order.
+    pub cells: Vec<ZooCell>,
+}
+
+/// Builds one zoo family's exit predictor at roughly the paper's 8 KB PHT
+/// point (16K two-bit-hysteresis entries / 14-bit index), so the ranking
+/// compares prediction quality, not table size.
+fn zoo_exit(family: usize) -> Box<dyn multiscalar_core::predictor::ExitPredictor> {
+    use multiscalar_core::zoo::{GatedHybridPredictor, GshareExitPredictor};
+    match family {
+        0 => Box::new(PathPredictor::<Leh2>::new(Dolc::new(6, 5, 8, 9, 3))),
+        1 => Box::new(TournamentPredictor::new(
+            PathPredictor::<Leh2>::new(Dolc::new(6, 5, 8, 9, 3)),
+            PerTaskPredictor::<Leh2>::new(7, 8, 6),
+            10,
+        )),
+        2 => Box::new(GshareExitPredictor::<Leh2>::new(7, 14)),
+        _ => Box::new(GatedHybridPredictor::<Leh2>::new(
+            10,
+            Dolc::new(6, 5, 8, 9, 3),
+            10,
+            3,
+        )),
+    }
+}
+
+/// Scores every family on one prepared input: miss rate over the trace,
+/// squash-cycle fraction from a timing run on the recording (Table 4's
+/// CTTB/RAS sizing, so only the exit predictor varies between columns).
+fn zoo_score(bench: &Bench) -> Vec<ZooCell> {
+    use multiscalar_core::predictor::TaskPredictor;
+    use multiscalar_sim::metrics::{Cause, CycleBreakdown};
+    use multiscalar_sim::replay::simulate_replay_with_sink;
+    use multiscalar_sim::timing::NextTaskPredictor;
+    (0..ZOO_FAMILIES.len())
+        .map(|family| {
+            let mut exit = zoo_exit(family);
+            let miss = measure_exits(&mut exit, &bench.descs, &bench.trace.events).miss_rate();
+            let mut tp = TaskPredictor::new(zoo_exit(family), Dolc::new(7, 4, 4, 5, 3), 64);
+            let mut bd = CycleBreakdown::new();
+            let result = simulate_replay_with_sink(
+                &bench.replay,
+                &bench.descs,
+                Some(&mut tp as &mut dyn NextTaskPredictor),
+                &TimingConfig::paper(),
+                &mut bd,
+            );
+            ZooCell {
+                miss,
+                squash: bd.get(Cause::SquashRefill) as f64 / result.cycles.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Ranks the predictor zoo on the five paper benchmarks plus the pinned
+/// fuzz corpus ([`ZOO_CORPUS_SEEDS`]): for each input and family, exit
+/// miss rate and the squash-cycle fraction of a full timing run. The
+/// corpus row aggregates misses and cycles across all corpus programs
+/// (predictions and cycles summed before the division, so longer programs
+/// weigh more, exactly as in a merged trace).
+pub fn ext_zoo(benches: &[Bench]) -> Vec<ZooRow> {
+    use multiscalar_core::predictor::TaskPredictor;
+    use multiscalar_sim::metrics::{Cause, CycleBreakdown};
+    use multiscalar_sim::replay::simulate_replay_with_sink;
+    use multiscalar_sim::timing::NextTaskPredictor;
+    use multiscalar_workloads::fuzz::{fuzz_program, FuzzShape, MAX_STEPS};
+
+    let mut rows: Vec<ZooRow> = benches
+        .iter()
+        .map(|b| ZooRow {
+            name: b.name().to_string(),
+            dynamic_tasks: b.trace.stats.dynamic_tasks,
+            cells: zoo_score(b),
+        })
+        .collect();
+
+    // The fuzz corpus: one aggregate row over every pinned seed.
+    let mut dynamic_tasks = 0u64;
+    let mut agg = vec![(0u64, 0u64, 0u64, 0u64); ZOO_FAMILIES.len()]; // (misses, predictions, squash, cycles)
+    for seed in ZOO_CORPUS_SEEDS {
+        let program = fuzz_program(seed, &FuzzShape::from_seed(seed));
+        let tasks = TaskFormer::default()
+            .form(&program)
+            .expect("fuzz programs always form");
+        let replay =
+            record_replay(&program, &tasks, MAX_STEPS).expect("fuzz programs always record");
+        let trace = derive_trace(&replay, &tasks);
+        let descs = task_descs(&tasks);
+        dynamic_tasks += trace.stats.dynamic_tasks;
+        for (family, slot) in agg.iter_mut().enumerate() {
+            let mut exit = zoo_exit(family);
+            let stats = measure_exits(&mut exit, &descs, &trace.events);
+            let mut tp = TaskPredictor::new(zoo_exit(family), Dolc::new(7, 4, 4, 5, 3), 64);
+            let mut bd = CycleBreakdown::new();
+            let result = simulate_replay_with_sink(
+                &replay,
+                &descs,
+                Some(&mut tp as &mut dyn NextTaskPredictor),
+                &TimingConfig::paper(),
+                &mut bd,
+            );
+            slot.0 += stats.misses;
+            slot.1 += stats.predictions;
+            slot.2 += bd.get(Cause::SquashRefill);
+            slot.3 += result.cycles;
+        }
+    }
+    rows.push(ZooRow {
+        name: "fuzz-corpus".to_string(),
+        dynamic_tasks,
+        cells: agg
+            .into_iter()
+            .map(|(misses, predictions, squash, cycles)| ZooCell {
+                miss: misses as f64 / predictions.max(1) as f64,
+                squash: squash as f64 / cycles.max(1) as f64,
+            })
+            .collect(),
+    });
+    rows
+}

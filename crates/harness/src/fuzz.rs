@@ -1,0 +1,647 @@
+//! `harness fuzz` — the differential fuzzer over every engine.
+//!
+//! Each seed becomes a [`FuzzCase`]: a shape drawn by
+//! [`FuzzShape::from_seed`] plus the seeded random program it generates
+//! (`workloads::fuzz`). [`run_case`] drives the case through the full
+//! oracle stack:
+//!
+//! 1. **lint** — every `multiscalar-analyze` pass must come back clean
+//!    (errors are generator bugs, exactly like PR 3's lint sweep);
+//! 2. **task formation** — the case's former budget (one of
+//!    [`crate::extensions::TASKFORM_CONFIGS`]) must partition and validate;
+//! 3. **interpreter vs replay** — the sanitize lockstep walk
+//!    ([`check_replay_agreement`]) must agree step for step;
+//! 4. **timing engines** — the interpreter-fed and replay-fed timing runs
+//!    must produce bit-identical [`TimingResult`]s *and*
+//!    [`CycleBreakdown`]s, each breakdown summing exactly to `cycles`;
+//! 5. **fused vs solo** — [`check_fused_agreement`] over four predictor
+//!    slots (perfect, PATH, and the two zoo families) must agree per slot;
+//! 6. **lane-packed vs scalar** — the SWAR batched sweep over the Figure 10
+//!    ladder must match the scalar fused walk, miss stats and
+//!    states-touched both.
+//!
+//! Any violation becomes a [`Finding`]; [`shrink`] walks the shape lattice
+//! toward [`FuzzShape::minimal`], keeping each smaller shape that still
+//! reproduces the same failure kind, and the result is dumped as a
+//! `key=value` reproducer artifact replayable with `harness fuzz --repro`.
+//! All oracles run under `catch_unwind`, so one finding never aborts a
+//! sweep (the job pool propagates real panics — see `pool.rs`).
+
+use crate::extensions::TASKFORM_CONFIGS;
+use crate::lint::lint_program;
+use crate::pool::Pool;
+use multiscalar_core::automata::LastExitHysteresis;
+use multiscalar_core::dolc::Dolc;
+use multiscalar_core::history::PathPredictor;
+use multiscalar_core::lane::BatchedExitPredictor;
+use multiscalar_core::predictor::ExitPredictor;
+use multiscalar_core::predictor::TaskPredictor;
+use multiscalar_core::zoo::{GatedHybridPredictor, GshareExitPredictor};
+use multiscalar_isa::Program;
+use multiscalar_sim::measure::{measure_exits_batched, measure_exits_fused, task_descs};
+use multiscalar_sim::metrics::CycleBreakdown;
+use multiscalar_sim::replay::{derive_trace, record_replay, simulate_replay_with_sink};
+use multiscalar_sim::sanitize::{check_fused_agreement, check_replay_agreement};
+use multiscalar_sim::timing::{simulate_with_sink, NextTaskPredictor, TimingConfig};
+use multiscalar_taskform::TaskFormer;
+use multiscalar_workloads::fuzz::{fuzz_program, FuzzShape, MAX_STEPS};
+use std::panic::AssertUnwindSafe;
+
+type Leh2 = LastExitHysteresis<2>;
+
+/// The pinned seed range `harness fuzz --smoke` sweeps in CI: small enough
+/// to finish well under a minute, fixed so the job is deterministic.
+pub const SMOKE_SEEDS: std::ops::Range<u64> = 0..64;
+
+/// One fuzz case: the seed and the shape it fuzzes at. The shape is
+/// carried explicitly (not re-derived) so shrinking can vary it while the
+/// seed — and hence the generator's body stream — stays fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Program-body seed.
+    pub seed: u64,
+    /// Size/shape coordinates.
+    pub shape: FuzzShape,
+}
+
+impl FuzzCase {
+    /// The case a bare seed runs: seed plus its derived shape.
+    pub fn from_seed(seed: u64) -> FuzzCase {
+        FuzzCase {
+            seed,
+            shape: FuzzShape::from_seed(seed),
+        }
+    }
+
+    /// The program this case runs.
+    pub fn program(&self) -> Program {
+        fuzz_program(self.seed, &self.shape)
+    }
+}
+
+/// One oracle violation, tied to the case that produced it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The (possibly shrunk) case that reproduces the failure.
+    pub case: FuzzCase,
+    /// Stable failure-kind tag (shrinking only accepts same-kind repros).
+    pub kind: &'static str,
+    /// Human-readable detail (flattened to one line in artifacts).
+    pub detail: String,
+    /// Whether [`shrink`] ran to a fixpoint on this finding.
+    pub shrunk: bool,
+}
+
+/// Renders a panic payload for a finding detail.
+fn payload_str(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs `f`, converting a panic (a sanitize assertion firing) into `Err`.
+fn catching<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(f)).map_err(payload_str)
+}
+
+/// The four predictor slots the fused/solo oracle cross-checks: perfect,
+/// the paper's PATH, and both zoo families — so every new predictor family
+/// is held to the same bit-identity bar as the paper's.
+fn fused_slots(slot: usize) -> Option<Box<dyn NextTaskPredictor>> {
+    let cttb = Dolc::new(4, 3, 4, 4, 2);
+    match slot {
+        0 => None,
+        1 => Some(Box::new(TaskPredictor::<PathPredictor<Leh2>>::path(
+            Dolc::new(4, 4, 6, 6, 2),
+            cttb,
+            16,
+        ))),
+        2 => Some(Box::new(TaskPredictor::new(
+            GshareExitPredictor::<Leh2>::new(6, 12),
+            cttb,
+            16,
+        ))),
+        _ => Some(Box::new(TaskPredictor::new(
+            GatedHybridPredictor::<Leh2>::new(8, Dolc::new(4, 4, 6, 6, 2), 8, 4),
+            cttb,
+            16,
+        ))),
+    }
+}
+
+/// Runs an arbitrary program through the whole differential oracle stack
+/// under the given former budget (an index into
+/// [`crate::extensions::TASKFORM_CONFIGS`]). Returns the first violation as
+/// `(kind, detail)`, or `None` when every oracle passes. This is
+/// [`run_case`] minus the generation step, shared with the adversarial
+/// fixtures in `tests/fuzz.rs`.
+pub fn differential(program: &Program, former: usize) -> Option<(&'static str, String)> {
+    // Oracle 1: lint (task formation under the default budget + analyze).
+    let lint = lint_program("fuzz", program.clone());
+    if lint.errors() > 0 {
+        let first = lint
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == multiscalar_analyze::Severity::Error)
+            .map(|d| d.message.clone())
+            .unwrap_or_default();
+        return Some(("lint", format!("{} errors; first: {first}", lint.errors())));
+    }
+
+    // Oracle 2: formation + validation under the case's budget.
+    let (label, config) = TASKFORM_CONFIGS[former % TASKFORM_CONFIGS.len()];
+    let tasks = match TaskFormer::new(config).form(program) {
+        Ok(t) => t,
+        Err(e) => return Some(("formation", format!("budget {label}: {e}"))),
+    };
+    if let Err(e) = tasks.validate(program) {
+        return Some(("formation", format!("budget {label}: validate: {e}")));
+    }
+
+    // Oracle 3: interpreter vs replay step feeds, in lockstep.
+    match catching(|| check_replay_agreement(program, &tasks, MAX_STEPS)) {
+        Ok(Ok(_steps)) => {}
+        Ok(Err(e)) => return Some(("trace-error", e.to_string())),
+        Err(panic) => return Some(("replay-divergence", panic)),
+    }
+
+    // Oracle 4: the two timing engines agree, and cycles attribute exactly.
+    let descs = task_descs(&tasks);
+    let timing = TimingConfig::paper();
+    let replay = match record_replay(program, &tasks, MAX_STEPS) {
+        Ok(r) => r,
+        Err(e) => return Some(("trace-error", e.to_string())),
+    };
+    let engine_check = catching(|| {
+        let make = || {
+            TaskPredictor::<PathPredictor<Leh2>>::path(
+                Dolc::new(4, 4, 6, 6, 2),
+                Dolc::new(4, 3, 4, 4, 2),
+                16,
+            )
+        };
+        let mut interp_bd = CycleBreakdown::new();
+        let mut p = make();
+        let interp = simulate_with_sink(
+            program,
+            &tasks,
+            &descs,
+            Some(&mut p),
+            &timing,
+            MAX_STEPS,
+            &mut interp_bd,
+        )?;
+        let mut replay_bd = CycleBreakdown::new();
+        let mut p = make();
+        let replayed =
+            simulate_replay_with_sink(&replay, &descs, Some(&mut p), &timing, &mut replay_bd);
+        if interp != replayed {
+            return Ok(Some(format!(
+                "interpreter vs replay TimingResult: {interp:?} vs {replayed:?}"
+            )));
+        }
+        if interp_bd != replay_bd {
+            return Ok(Some(format!(
+                "interpreter vs replay CycleBreakdown: {interp_bd:?} vs {replay_bd:?}"
+            )));
+        }
+        if interp_bd.total() != interp.cycles {
+            return Ok(Some(format!(
+                "breakdown sums to {} but the run took {} cycles",
+                interp_bd.total(),
+                interp.cycles
+            )));
+        }
+        Ok::<Option<String>, multiscalar_sim::trace::TraceError>(None)
+    });
+    match engine_check {
+        Ok(Ok(None)) => {}
+        Ok(Ok(Some(detail))) => return Some(("engine-divergence", detail)),
+        Ok(Err(e)) => return Some(("trace-error", e.to_string())),
+        Err(panic) => return Some(("engine-divergence", panic)),
+    }
+
+    // Oracle 5: fused sweep vs solo runs, four predictor slots.
+    match catching(|| {
+        check_fused_agreement(program, &tasks, &descs, &timing, MAX_STEPS, 4, fused_slots)
+    }) {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => return Some(("trace-error", e.to_string())),
+        Err(panic) => return Some(("fused-divergence", panic)),
+    }
+
+    // Oracle 6: lane-packed batched sweep vs the scalar fused walk.
+    let trace = derive_trace(&replay, &tasks);
+    let configs = crate::dispatch::exit_ladder();
+    let packed_check = catching(|| {
+        let mut batch =
+            BatchedExitPredictor::<Leh2>::new(&configs).expect("the Figure 10 ladder always packs");
+        let packed = measure_exits_batched(&mut batch, &descs, &trace.events);
+        let mut scalars: Vec<PathPredictor<Leh2>> =
+            configs.iter().map(|&d| PathPredictor::new(d)).collect();
+        let stats = measure_exits_fused(&mut scalars, &descs, &trace.events);
+        let scalar: Vec<_> = stats
+            .into_iter()
+            .zip(scalars.iter().map(|p| p.states_touched()))
+            .collect();
+        (packed == scalar)
+            .then_some(())
+            .ok_or_else(|| format!("lane-packed {packed:?}\n  vs scalar {scalar:?}"))
+    });
+    match packed_check {
+        Ok(Ok(())) => None,
+        Ok(Err(detail)) => Some(("lane-packed-divergence", detail)),
+        Err(panic) => Some(("lane-packed-divergence", panic)),
+    }
+}
+
+/// Runs one fuzz case through every oracle. `None` means the case passed.
+pub fn run_case(case: &FuzzCase) -> Option<Finding> {
+    let program = case.program();
+    differential(&program, case.shape.former).map(|(kind, detail)| Finding {
+        case: *case,
+        kind,
+        detail,
+        shrunk: false,
+    })
+}
+
+/// Shrinks a finding to a fixpoint: repeatedly re-runs the oracle stack on
+/// one-step-smaller shapes ([`FuzzShape::shrink_candidates`]), adopting the
+/// first candidate that reproduces the **same failure kind** (a different
+/// kind is a different bug — it will surface under its own seed). The
+/// candidate order descends strictly toward [`FuzzShape::minimal`], so this
+/// terminates.
+pub fn shrink(finding: Finding, check: impl Fn(&FuzzCase) -> Option<Finding>) -> Finding {
+    let mut best = finding;
+    loop {
+        let repro = best
+            .case
+            .shape
+            .shrink_candidates()
+            .into_iter()
+            .find_map(|shape| {
+                let cand = FuzzCase {
+                    seed: best.case.seed,
+                    shape,
+                };
+                check(&cand).filter(|f| f.kind == best.kind)
+            });
+        match repro {
+            Some(f) => best = f,
+            None => break,
+        }
+    }
+    best.shrunk = true;
+    best
+}
+
+/// Everything one sweep produced.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Seeds swept (end exclusive).
+    pub seeds: std::ops::Range<u64>,
+    /// Shrunk findings, in seed order.
+    pub findings: Vec<Finding>,
+}
+
+/// Sweeps `seeds`, one pool job per case, then shrinks every finding
+/// serially (findings are the rare path). Results are deterministic in the
+/// seed range regardless of pool width: jobs are independent and come back
+/// in submission order.
+pub fn fuzz_sweep(seeds: std::ops::Range<u64>, pool: &Pool) -> FuzzReport {
+    let jobs: Vec<_> = seeds
+        .clone()
+        .map(|seed| move || run_case(&FuzzCase::from_seed(seed)))
+        .collect();
+    let findings = pool
+        .run(jobs)
+        .into_iter()
+        .flatten()
+        .map(|f| shrink(f, run_case))
+        .collect();
+    FuzzReport { seeds, findings }
+}
+
+/// Serialises a finding as a replayable `key=value` artifact
+/// (`harness fuzz --repro FILE` re-runs it).
+pub fn render_finding(f: &Finding) -> String {
+    let detail_one_line = f.detail.replace('\n', "; ");
+    format!(
+        "seed={}\n{}kind={}\ndetail={}\n",
+        f.case.seed,
+        f.case.shape.render(),
+        f.kind,
+        detail_one_line
+    )
+}
+
+/// Parses a reproducer artifact back into the case to re-run. Ignores
+/// unknown keys (`kind=`/`detail=` are informational).
+pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
+    let mut case = FuzzCase::from_seed(0);
+    let mut saw_seed = false;
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let parse = |v: &str| -> Result<u64, String> {
+            v.trim()
+                .parse()
+                .map_err(|e| format!("bad value for {key}: {e}"))
+        };
+        match key.trim() {
+            "seed" => {
+                case.seed = parse(value)?;
+                saw_seed = true;
+            }
+            "functions" => case.shape.functions = parse(value)? as usize,
+            "constructs" => case.shape.constructs = parse(value)? as usize,
+            "nesting" => case.shape.nesting = parse(value)? as u32,
+            "former" => case.shape.former = parse(value)? as usize,
+            _ => {}
+        }
+    }
+    if !saw_seed {
+        return Err("reproducer has no seed= line".to_string());
+    }
+    Ok(case)
+}
+
+/// Renders the sweep outcome (stdout; deterministic in the seed range).
+pub fn render_report(report: &FuzzReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "fuzz: seeds {}..{}, {} cases, {} findings",
+        report.seeds.start,
+        report.seeds.end,
+        report.seeds.end - report.seeds.start,
+        report.findings.len()
+    );
+    for f in &report.findings {
+        let _ = writeln!(
+            s,
+            "  seed {} [{}] shape f{} c{} n{} b{}: {}",
+            f.case.seed,
+            f.kind,
+            f.case.shape.functions,
+            f.case.shape.constructs,
+            f.case.shape.nesting,
+            f.case.shape.former,
+            f.detail.replace('\n', "; ")
+        );
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial fixtures: the taskform corners random generation rarely hits.
+// ---------------------------------------------------------------------------
+
+/// A loop whose body is a two-level branch tree on the iteration counter's
+/// low bits. The three tree blocks form one region with exactly
+/// [`multiscalar_isa::MAX_EXITS`] (four) exits — each leaf block below the
+/// tree ends in a branch with two *fresh* targets, so absorbing any leaf
+/// would push the region to five exits and the former must stop at four.
+/// All eight iterations together take every one of the four exits.
+fn four_exit_program() -> Program {
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    // Preheader: i = 0, trips = 8, zero = 0.
+    b.load_imm(Reg(1), 0);
+    b.load_imm(Reg(3), 8);
+    b.load_imm(Reg(7), 0);
+    let (odd, f, d, join) = (b.new_label(), b.new_label(), b.new_label(), b.new_label());
+    // Tree root A (loop header): test i&1.
+    let top = b.here_label();
+    b.op_imm(AluOp::And, Reg(5), Reg(1), 1);
+    b.branch(Cond::Ne, Reg(5), Reg(7), odd);
+    // Even side C: test i&2 → leaf F or (fallthrough) leaf G.
+    b.op_imm(AluOp::And, Reg(6), Reg(1), 2);
+    b.branch(Cond::Ne, Reg(6), Reg(7), f);
+    // Each leaf: bump an accumulator, then branch on an always-false
+    // condition so the leaf contributes two fresh targets (the statically
+    // reachable but never-taken side, and a fallthrough) — this is what
+    // pins the tree region at exactly four exits.
+    let leaf = |b: &mut ProgramBuilder, bump: i32| {
+        let never = b.new_label();
+        b.op_imm(AluOp::Add, Reg(4), Reg(4), bump);
+        b.branch(Cond::Ne, Reg(5), Reg(5), never);
+        b.jump(join);
+        b.bind(never);
+        b.jump(join);
+    };
+    leaf(&mut b, 1); // leaf G (even, i&2 == 0)
+    b.bind(f);
+    leaf(&mut b, 2); // leaf F (even, i&2 != 0)
+                     // Odd side B: test i&2 → leaf D or (fallthrough) leaf E.
+    b.bind(odd);
+    b.op_imm(AluOp::And, Reg(6), Reg(1), 2);
+    b.branch(Cond::Ne, Reg(6), Reg(7), d);
+    leaf(&mut b, 3); // leaf E
+    b.bind(d);
+    leaf(&mut b, 4); // leaf D
+    b.bind(join);
+    b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(Cond::Lt, Reg(1), Reg(3), top);
+    b.halt();
+    b.end_function();
+    b.finish(main).expect("four-exit program builds")
+}
+
+/// A loop with a branch comparing a register against itself with `Ne` —
+/// the taken side exists statically (it is a real exit in the task header)
+/// but can never be taken dynamically.
+fn infeasible_branch_program() -> Program {
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    b.load_imm(Reg(1), 0);
+    b.load_imm(Reg(4), 5);
+    let dead = b.new_label();
+    let top = b.here_label();
+    b.branch(Cond::Ne, Reg(1), Reg(1), dead); // never taken
+    b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+    b.branch(Cond::Lt, Reg(1), Reg(4), top);
+    b.halt();
+    b.bind(dead);
+    b.halt();
+    b.end_function();
+    b.finish(main).expect("infeasible-branch program builds")
+}
+
+/// Number of checks [`adversarial_checks`] runs (for reporting).
+pub const ADVERSARIAL_CHECKS: usize = 4;
+
+/// Serial adversarial phase: hand-built taskform edge cases plus the lane
+/// dispatch fallback check. Returns one message per failed check (empty =
+/// all pass). Must run serially with respect to anything touching
+/// [`multiscalar_sim::measure::lane_packed_sweeps`] — the dispatch check
+/// asserts deltas on that process-global counter.
+pub fn adversarial_checks() -> Vec<String> {
+    use multiscalar_core::automata::AutomatonKind;
+    use multiscalar_sim::measure::lane_packed_sweeps;
+    use multiscalar_taskform::{TaskFlowGraph, TaskHeader};
+    use multiscalar_workloads::{Spec92, WorkloadParams};
+
+    let mut failures = Vec::new();
+    let mut check = |name: &str, result: Result<(), String>| {
+        if let Err(e) = result {
+            failures.push(format!("adversarial `{name}`: {e}"));
+        }
+    };
+
+    // A zero-exit task (possible only through a buggy former; synthesised
+    // here by emptying a formed header) must be *diagnosed* by the analyze
+    // gate — the same gate `differential` runs first — not crash later
+    // stages.
+    check(
+        "zero-exit-diagnosed",
+        (|| {
+            let p = infeasible_branch_program();
+            let mut tasks = TaskFormer::default()
+                .form(&p)
+                .map_err(|e| format!("formation failed: {e}"))?;
+            let victim = tasks
+                .task_at(p.entry_point())
+                .ok_or_else(|| "no task at entry".to_string())?;
+            tasks.tasks_mut()[victim.index()].set_header(TaskHeader::new(vec![]));
+            let diags = multiscalar_analyze::analyze(&p, &tasks, &TaskFlowGraph::build(&tasks));
+            if diags.iter().any(|d| {
+                d.severity == multiscalar_analyze::Severity::Error
+                    && d.message == "task has no exits"
+            }) {
+                Ok(())
+            } else {
+                Err(format!("zero-exit task not diagnosed: {diags:?}"))
+            }
+        })(),
+    );
+
+    // The full four-exit header must survive every engine bit-identically
+    // (default former budget; the branch-tree region pins itself at four
+    // exits — see `four_exit_program`).
+    check(
+        "four-exit-max",
+        (|| {
+            let p = four_exit_program();
+            let tasks = TaskFormer::new(TASKFORM_CONFIGS[1].1)
+                .form(&p)
+                .map_err(|e| format!("formation failed: {e}"))?;
+            if !tasks.tasks().iter().any(|t| t.header().num_exits() == 4) {
+                Err("no task reached 4 exits".to_string())
+            } else {
+                match differential(&p, 1) {
+                    None => Ok(()),
+                    Some((kind, detail)) => Err(format!("[{kind}] {detail}")),
+                }
+            }
+        })(),
+    );
+
+    // An exit that is statically present but dynamically infeasible must
+    // pass every oracle (predictor tables carry a never-observed exit).
+    check("infeasible-branch-side", {
+        match differential(&infeasible_branch_program(), 1) {
+            None => Ok(()),
+            Some((kind, detail)) => Err(format!("[{kind}] {detail}")),
+        }
+    });
+
+    // Dispatch fallback: the two `VC RANDOM` families must take the
+    // scalar-only path under batched dispatch (their tie-break XorShift
+    // stream is unreproducible in packed tables), while a packable family
+    // rides the lane-packed sweep — and the packed results must equal the
+    // scalar walk.
+    check("vc-random-scalar-fallback", {
+        let bench = crate::prepare(Spec92::Compress, &WorkloadParams::small(1));
+        let configs = crate::dispatch::exit_ladder();
+        let before = lane_packed_sweeps();
+        let _ =
+            crate::dispatch::path_real_sweep_automaton(AutomatonKind::Vc2Random, &configs, &bench);
+        let _ =
+            crate::dispatch::path_real_sweep_automaton(AutomatonKind::Vc3Random, &configs, &bench);
+        let mid = lane_packed_sweeps();
+        let packed =
+            crate::dispatch::path_real_sweep_automaton(AutomatonKind::Leh2, &configs, &bench);
+        let after = lane_packed_sweeps();
+        if mid != before {
+            Err(format!(
+                "VC RANDOM took the packed path ({} sweeps)",
+                mid - before
+            ))
+        } else if after != mid + 1 {
+            Err("packable family missed the packed path".to_string())
+        } else if packed != crate::dispatch::path_real_sweep_scalar::<Leh2>(&configs, &bench) {
+            Err("packed sweep diverges from the scalar walk".to_string())
+        } else {
+            Ok(())
+        }
+    });
+
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_few_seeds_pass_every_oracle() {
+        for seed in [0, 1, 17] {
+            let case = FuzzCase::from_seed(seed);
+            assert!(run_case(&case).is_none(), "seed {seed} must be clean");
+        }
+    }
+
+    #[test]
+    fn shrink_descends_to_a_minimal_same_kind_reproducer() {
+        // A synthetic failure predicate: "fails" whenever constructs >= 2
+        // and nesting >= 1. The minimal reproducer under shrink_candidates'
+        // descent is exactly (constructs=2, nesting=1) with other
+        // dimensions floored.
+        let fails = |case: &FuzzCase| {
+            (case.shape.constructs >= 2 && case.shape.nesting >= 1).then(|| Finding {
+                case: *case,
+                kind: "synthetic",
+                detail: String::new(),
+                shrunk: false,
+            })
+        };
+        let start = FuzzCase {
+            seed: 99,
+            shape: FuzzShape {
+                functions: 6,
+                constructs: 6,
+                nesting: 3,
+                former: 2,
+            },
+        };
+        let shrunk = shrink(fails(&start).unwrap(), fails);
+        assert!(shrunk.shrunk);
+        assert_eq!(shrunk.case.seed, 99);
+        assert_eq!(shrunk.case.shape.functions, 1);
+        assert_eq!(shrunk.case.shape.constructs, 2);
+        assert_eq!(shrunk.case.shape.nesting, 1);
+        assert_eq!(shrunk.case.shape.former, 1);
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let f = Finding {
+            case: FuzzCase::from_seed(42),
+            kind: "lint",
+            detail: "two\nlines".to_string(),
+            shrunk: true,
+        };
+        let text = render_finding(&f);
+        assert!(text.contains("detail=two; lines"), "{text}");
+        let parsed = parse_case(&text).unwrap();
+        assert_eq!(parsed, f.case);
+        assert!(parse_case("kind=lint\n").is_err(), "seed is mandatory");
+    }
+}

@@ -38,6 +38,7 @@ pub mod csv;
 pub mod dispatch;
 pub mod experiments;
 pub mod extensions;
+pub mod fuzz;
 pub mod lint;
 pub mod pool;
 pub mod profile;

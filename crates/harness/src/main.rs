@@ -47,6 +47,8 @@ struct Args {
     occupancy: bool,
     smoke: bool,
     cache_max_bytes: Option<u64>,
+    seeds: Option<std::ops::Range<u64>>,
+    repro: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
     let mut occupancy = false;
     let mut smoke = false;
     let mut cache_max_bytes = None;
+    let mut seeds = None;
+    let mut repro = None;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -100,6 +104,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => json = true,
             "--smoke" => smoke = true,
+            "--seeds" => {
+                let spec = value()?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or(format!("bad seed range `{spec}` (want A..B)"))?;
+                let start: u64 = a
+                    .parse()
+                    .map_err(|e| format!("bad seed range start: {e}"))?;
+                let end: u64 = b.parse().map_err(|e| format!("bad seed range end: {e}"))?;
+                if start >= end {
+                    return Err(format!("empty seed range `{spec}`"));
+                }
+                seeds = Some(start..end);
+            }
+            "--repro" => repro = Some(std::path::PathBuf::from(value()?)),
             "--cache-max-bytes" => {
                 cache_max_bytes = Some(
                     value()?
@@ -130,17 +149,19 @@ fn parse_args() -> Result<Args, String> {
         occupancy,
         smoke,
         cache_max_bytes,
+        seeds,
+        repro,
     })
 }
 
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
      ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|\
-     profile|csv|verify|lint|cache stats|cache clear|cache gc|bench-pr1|bench-pr2|bench-pr5|\
+     profile|csv|verify|lint|fuzz|cache stats|cache clear|cache gc|bench-pr1|bench-pr2|bench-pr5|\
      bench-pr6> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
      [--deny warnings] [--json] [--occupancy] [--smoke] [--cache-dir DIR] [--no-cache] \
-     [--cache-max-bytes N]"
+     [--cache-max-bytes N] [--seeds A..B] [--repro FILE]"
         .to_string()
 }
 
@@ -162,8 +183,15 @@ fn open_cache(args: &Args) -> Option<ArtifactCache> {
 fn report_cache(store: Option<&ArtifactCache>) {
     if let Some(c) = store {
         let s = c.stats();
+        // Touch failures appear only when they happened, so the summary
+        // line stays byte-identical on healthy caches.
+        let touch = if s.touch_failures > 0 {
+            format!(", {} touch failures", s.touch_failures)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "cache: {} hits, {} misses, {} stores, {} evictions ({})",
+            "cache: {} hits, {} misses, {} stores, {} evictions{touch} ({})",
             s.hits,
             s.misses,
             s.stores,
@@ -185,6 +213,19 @@ fn cache_stats_report(store: &ArtifactCache, params: &WorkloadParams) -> String 
     let _ = writeln!(out, "entries: {} ({} bytes)", entries.len(), total);
     for (name, size) in &entries {
         let _ = writeln!(out, "  {name}  {size}");
+    }
+    // `gc` evicts in LRU (mtime) order and hits bump the served entry's
+    // mtime best-effort; report here when that recency signal is broken
+    // (read-only cache dir) instead of letting it fail silently.
+    let (touch_failures, probed) = store.probe_touch();
+    if touch_failures > 0 {
+        let _ = writeln!(
+            out,
+            "recency touch: FAILING for {touch_failures} of {probed} entries \
+             (hits will not age entries; gc LRU order goes stale)"
+        );
+    } else {
+        let _ = writeln!(out, "recency touch: ok ({probed} entries writable)");
     }
     let keys: Vec<(Spec92, Fingerprint)> = Spec92::ALL
         .iter()
@@ -258,6 +299,83 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         } else {
             ExitCode::SUCCESS
+        };
+    }
+    if args.experiment == "fuzz" {
+        use multiscalar_harness::fuzz;
+        // Replaying one dumped reproducer: parse, re-run, report.
+        if let Some(path) = &args.repro {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("could not read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let case = match fuzz::parse_case(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bad reproducer {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            return match fuzz::run_case(&case) {
+                None => {
+                    println!("repro seed {}: all oracles pass", case.seed);
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    println!(
+                        "repro seed {}: [{}] {}",
+                        f.case.seed,
+                        f.kind,
+                        f.detail.replace('\n', "; ")
+                    );
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        let seeds = match (&args.seeds, args.smoke) {
+            (Some(r), _) => r.clone(),
+            (None, true) => fuzz::SMOKE_SEEDS,
+            (None, false) => {
+                eprintln!("fuzz needs --seeds A..B (or --smoke for the pinned CI range)");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Adversarial fixtures first, serially — the dispatch-fallback
+        // check asserts deltas on the process-global lane-packed counter,
+        // so nothing else may sweep concurrently.
+        let adversarial = fuzz::adversarial_checks();
+        for msg in &adversarial {
+            eprintln!("{msg}");
+        }
+        println!(
+            "adversarial: {} checks, {} failures",
+            fuzz::ADVERSARIAL_CHECKS,
+            adversarial.len()
+        );
+        let report = fuzz::fuzz_sweep(seeds, &args.pool);
+        print!("{}", fuzz::render_report(&report));
+        if !report.findings.is_empty() {
+            let dir = std::path::Path::new("fuzz-findings");
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("could not create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for f in &report.findings {
+                let path = dir.join(format!("seed-{}-{}.txt", f.case.seed, f.kind));
+                if let Err(e) = std::fs::write(&path, fuzz::render_finding(f)) {
+                    eprintln!("could not write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        return if adversarial.is_empty() && report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
         };
     }
     if args.experiment == "bench-pr1" {

@@ -8,7 +8,8 @@
 //! **submission order regardless of thread count or completion order**,
 //! which is what makes `--threads N` byte-identical to `--threads 1`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A boxed job, for heterogeneous job lists handed to [`Pool::run`].
@@ -44,7 +45,11 @@ impl Pool {
     ///
     /// Jobs must be independent: each runs exactly once, on an unspecified
     /// worker, in an unspecified relative order. A panicking job aborts the
-    /// whole run (the panic is propagated).
+    /// whole run: the panic is caught on the worker, remaining jobs are
+    /// abandoned, and the **original payload** is re-raised on the caller's
+    /// thread (the lowest-index payload when several jobs panicked, so the
+    /// surfaced failure is deterministic). In particular a job panic never
+    /// surfaces as a secondary `PoisonError` from a sibling's result slot.
     pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -61,12 +66,20 @@ impl Pool {
             jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
         let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        // First panic payload by job index. Workers stop claiming new jobs
+        // once any job panicked; the lowest recorded index wins so re-runs
+        // surface the same failure regardless of scheduling.
+        type Payload = Box<dyn std::any::Any + Send>;
+        let first_panic: Mutex<Option<(usize, Payload)>> = Mutex::new(None);
+        let panicked = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             let workers = self.threads.min(n);
-            let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
-                handles.push(scope.spawn(|| loop {
+                scope.spawn(|| loop {
+                    if panicked.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -76,16 +89,25 @@ impl Pool {
                         .unwrap()
                         .take()
                         .expect("job claimed once");
-                    let out = job();
-                    *result_slots[i].lock().unwrap() = Some(out);
-                }));
+                    match std::panic::catch_unwind(AssertUnwindSafe(job)) {
+                        Ok(out) => *result_slots[i].lock().unwrap() = Some(out),
+                        Err(payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            let mut slot = first_panic.lock().unwrap();
+                            if slot.as_ref().is_none_or(|(idx, _)| i < *idx) {
+                                *slot = Some((i, payload));
+                            }
+                        }
+                    }
+                });
             }
-            for h in handles {
-                if let Err(e) = h.join() {
-                    std::panic::resume_unwind(e);
-                }
-            }
+            // `scope` joins every worker here; no worker unwinds (panics are
+            // caught above), so the join itself cannot fail.
         });
+
+        if let Some((_, payload)) = first_panic.into_inner().unwrap() {
+            std::panic::resume_unwind(payload);
+        }
 
         result_slots
             .into_iter()
@@ -136,5 +158,44 @@ mod tests {
     #[test]
     fn auto_pool_has_at_least_one_thread() {
         assert!(Pool::auto().threads() >= 1);
+    }
+
+    /// Regression: a panicking job must surface its *own* payload on the
+    /// caller's thread — not a `PoisonError` from a sibling's `.unwrap()`
+    /// on a poisoned slot mutex.
+    #[test]
+    fn job_panic_propagates_with_its_original_payload() {
+        let pool = Pool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job 3 exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)))
+            .expect_err("the panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .expect("payload must still be the original panic message");
+        assert_eq!(msg, "job 3 exploded");
+    }
+
+    /// The inline (single-thread) path propagates panics natively too.
+    #[test]
+    fn inline_job_panic_keeps_its_payload() {
+        let pool = Pool::new(1);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| panic!("inline boom")) as Box<dyn FnOnce() + Send>
+            ])
+        }))
+        .expect_err("the panic must propagate");
+        assert_eq!(err.downcast_ref::<&str>().copied(), Some("inline boom"));
     }
 }

@@ -475,6 +475,19 @@ pub const REGISTRY: &[Experiment] = &[
         artifact: None,
     },
     Experiment {
+        name: "ext-zoo",
+        group: Group::Ext,
+        benches: BenchSet::All,
+        needs: Needs {
+            trace: true,
+            replay: true,
+        },
+        render: |c| report::render_zoo(&extensions::ext_zoo(c.prep.all())),
+        csv: None,
+        json: None,
+        artifact: None,
+    },
+    Experiment {
         name: "profile",
         group: Group::Tool,
         benches: BenchSet::All,

@@ -303,8 +303,8 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
 // ---------------------------------------------------------------------------
 
 use crate::extensions::{
-    ConfidenceRow, HybridRow, IntraRow, MemoryRow, PollutionRow, StalenessRow, TaskformRow,
-    POLLUTION_DEPTHS, STALENESS_DELAYS,
+    ConfidenceRow, HybridRow, IntraRow, MemoryRow, PollutionRow, StalenessRow, TaskformRow, ZooRow,
+    POLLUTION_DEPTHS, STALENESS_DELAYS, ZOO_FAMILIES,
 };
 
 /// Renders the update-staleness study.
@@ -478,6 +478,28 @@ pub fn render_pollution(rows: &[PollutionRow]) -> String {
             let _ = write!(s, " {:>10}", pct(*m));
         }
         let _ = writeln!(s, " {:>11}", pct(r.repaired));
+    }
+    s
+}
+
+/// Renders the predictor-zoo ranking (paper benchmarks + fuzz corpus).
+pub fn render_zoo(rows: &[ZooRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Extension: predictor zoo ranking (exit miss rate / squash-cycle fraction)"
+    );
+    let _ = write!(s, "{:<12} {:>10}", "Input", "dyn tasks");
+    for f in ZOO_FAMILIES {
+        let _ = write!(s, " {:>15}", f);
+    }
+    let _ = writeln!(s);
+    for r in rows {
+        let _ = write!(s, "{:<12} {:>10}", r.name, r.dynamic_tasks);
+        for c in &r.cells {
+            let _ = write!(s, " {:>15}", format!("{} /{}", pct(c.miss), pct(c.squash)));
+        }
+        let _ = writeln!(s);
     }
     s
 }

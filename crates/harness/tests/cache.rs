@@ -213,6 +213,78 @@ fn gc_evicts_lru_entries_past_the_byte_cap() {
     cleanup(&dir);
 }
 
+/// Regression: when entries share an mtime (1-second filesystem
+/// granularity makes this the common case for one `harness all` run), gc's
+/// eviction order must not depend on directory-iteration order — ties
+/// break deterministically by fingerprint file name.
+#[test]
+fn gc_breaks_mtime_ties_deterministically_by_fingerprint() {
+    use std::time::{Duration, SystemTime};
+    let run_once = |tag: &str| -> Vec<String> {
+        let dir = scratch_dir(tag);
+        let store = ArtifactCache::new(&dir);
+        store.clear().unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Four same-size pseudo-entries, written in an order unrelated to
+        // their names, all pinned to one mtime.
+        let names = ["dddd0000", "aaaa0000", "cccc0000", "bbbb0000"];
+        let stamp = SystemTime::now() - Duration::from_secs(1000);
+        for name in names {
+            let path = dir.join(format!("{name}.replay"));
+            std::fs::write(&path, [0u8; 64]).unwrap();
+            std::fs::File::options()
+                .append(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(stamp)
+                .unwrap();
+        }
+        // Keep two: with every mtime equal, only the name order decides.
+        let report = store.gc(128).unwrap();
+        assert_eq!((report.removed, report.kept), (2, 2), "{tag}");
+        let mut kept: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        kept.sort();
+        cleanup(&dir);
+        let _ = std::fs::remove_dir_all(scratch_dir(tag));
+        kept
+    };
+    let first = run_once("gc-tie-a");
+    let second = run_once("gc-tie-b");
+    assert_eq!(first, second, "tie-break must not depend on the run");
+    assert_eq!(
+        first,
+        vec!["cccc0000.replay".to_string(), "dddd0000.replay".to_string()],
+        "the lexicographically smallest fingerprints evict first"
+    );
+}
+
+/// The LRU recency touch on a hit is best-effort, but no longer silent:
+/// healthy caches count zero failures, and `probe_touch` re-stamps every
+/// entry with its current mtime (so probing never perturbs LRU order).
+#[test]
+fn touch_failures_are_counted_and_probe_preserves_mtime() {
+    let dir = scratch_dir("touch");
+    let store = ArtifactCache::new(&dir);
+    store.clear().unwrap();
+    let params = WorkloadParams::small(11);
+    let benches = prepare_set_cached(&[Spec92::Compress], &params, &Pool::new(1), Some(&store));
+    assert!(store.load_replay(benches[0].key).is_some());
+    let s = store.stats();
+    assert_eq!(s.hits, 1);
+    assert_eq!(s.touch_failures, 0, "a writable cache never fails to touch");
+
+    let path = store.entry_path(benches[0].key);
+    let before = std::fs::metadata(&path).unwrap().modified().unwrap();
+    assert_eq!(store.probe_touch(), (0, 1));
+    let after = std::fs::metadata(&path).unwrap().modified().unwrap();
+    assert_eq!(before, after, "probing must not bump recency");
+    cleanup(&dir);
+}
+
 /// One warm cache shared by pools of every width yields byte-identical
 /// preparations — the counters are atomic and entries are immutable, so
 /// parallel readers cannot interfere.

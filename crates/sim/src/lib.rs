@@ -49,7 +49,6 @@ pub mod codec;
 pub mod measure;
 pub mod metrics;
 pub mod replay;
-#[cfg(feature = "sanitize")]
 pub mod sanitize;
 pub mod timing;
 pub mod trace;

@@ -1,4 +1,7 @@
-//! Runtime sanitizer for the timing simulator (`--features sanitize`).
+//! Runtime sanitizer for the timing simulator. The lockstep checkers here
+//! compile unconditionally (the differential fuzzer drives them in every
+//! build); `--features sanitize` additionally arms the assertions *inside*
+//! the model listed below.
 //!
 //! The timing model has two step feeds — the interpreter
 //! ([`crate::timing::simulate`]) and the recorded replay
@@ -23,7 +26,7 @@
 //! * the boundary-retirement code in `timing.rs` asserts the commit clock
 //!   and every ring unit's free time only move forward.
 //!
-//! All of it compiles away when the feature is off.
+//! Those in-model assertions compile away when the feature is off.
 
 use crate::metrics::CycleBreakdown;
 use crate::replay::{

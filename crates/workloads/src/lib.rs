@@ -39,6 +39,7 @@
 pub mod codegen;
 mod compress;
 mod espresso;
+pub mod fuzz;
 mod gcc;
 pub mod rng;
 mod sc;
