@@ -1,0 +1,373 @@
+//! Generic worklist dataflow engine over [`multiscalar_cfg::Cfg`] graphs.
+//!
+//! An [`Analysis`] supplies the lattice (bottom, join, optional widening)
+//! and the block transfer function; [`solve`] runs the classic worklist
+//! fixpoint in either [`Direction`]. Forward analyses may additionally
+//! refine the fact flowing along a specific out-edge ([`Analysis::refine`]
+//! — how the bounds pass learns from branch conditions).
+//!
+//! Interprocedural analyses (bounds, liveness) are built as a *summary
+//! layer* on top: each function is solved intraprocedurally with callee
+//! effects applied at `Call` terminators, and the per-function summaries
+//! are themselves iterated to a fixpoint (see [`crate::bounds`] and
+//! [`crate::liveness`]). [`call_order`] provides the callee-first seed
+//! order that makes that outer fixpoint converge in one or two rounds on
+//! call DAGs.
+
+use multiscalar_cfg::{Cfg, Edge, Terminator};
+use multiscalar_isa::{Addr, FuncId, Instruction, Program};
+use std::collections::VecDeque;
+
+pub use multiscalar_cfg::BlockId;
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry along edges (reaching-style).
+    Forward,
+    /// Facts flow from function-leaving blocks against edges
+    /// (liveness-style).
+    Backward,
+}
+
+/// One dataflow problem: a lattice plus transfer functions.
+pub trait Analysis {
+    /// The lattice element attached to each block boundary.
+    type Fact: Clone + PartialEq;
+
+    /// Which way this analysis runs.
+    fn direction(&self) -> Direction;
+
+    /// The lattice bottom (initial fact everywhere).
+    fn bottom(&self) -> Self::Fact;
+
+    /// The boundary fact: at the entry block (forward) or at every block
+    /// whose terminator leaves the function for good — `Return`/`Halt` —
+    /// (backward). Defaults to bottom.
+    fn boundary(&self, _term: Terminator) -> Self::Fact {
+        self.bottom()
+    }
+
+    /// Joins `from` into `into`, returning `true` if `into` changed.
+    /// `joins` counts prior *changing* joins at this block boundary, so an
+    /// infinite-ascent lattice can switch to widening past a threshold.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact, joins: u32) -> bool;
+
+    /// Transfers a fact across a whole block (entry→exit for forward,
+    /// exit→entry for backward).
+    fn transfer(&self, cfg: &Cfg, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+
+    /// Forward only: refines the exit fact flowing along one specific
+    /// out-edge (e.g. applying a branch condition). Identity by default.
+    fn refine(&self, _cfg: &Cfg, _from: BlockId, _edge: Edge, fact: Self::Fact) -> Self::Fact {
+        fact
+    }
+}
+
+/// The fixpoint: one fact per block boundary on each side.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at each block's entry (forward: before the transfer; backward:
+    /// the transfer's result, e.g. live-in).
+    pub entry: Vec<F>,
+    /// Fact at each block's exit (forward: the transfer's result;
+    /// backward: before the transfer, e.g. live-out).
+    pub exit: Vec<F>,
+}
+
+/// Runs the worklist fixpoint of `analysis` over `cfg`.
+///
+/// Blocks are processed in reverse postorder (forward) or its reverse
+/// (backward), which makes acyclic regions converge in one sweep;
+/// loops iterate until the lattice stabilises (the analysis's `join` is
+/// responsible for bounding ascent, via finite height or widening).
+pub fn solve<A: Analysis>(analysis: &A, cfg: &Cfg) -> Solution<A::Fact> {
+    let n = cfg.blocks().len();
+    let mut entry: Vec<A::Fact> = vec![analysis.bottom(); n];
+    let mut exit: Vec<A::Fact> = vec![analysis.bottom(); n];
+    let mut joins = vec![0u32; n];
+
+    // Priority = position in the chosen block order; the worklist is a
+    // deque popped front, seeded in order, so the common case is a clean
+    // sweep with localized re-processing.
+    let mut order = cfg.reverse_postorder();
+    if analysis.direction() == Direction::Backward {
+        order.reverse();
+    }
+    let mut queue: VecDeque<BlockId> = order.iter().copied().collect();
+    let mut queued = vec![true; n];
+
+    if analysis.direction() == Direction::Forward {
+        entry[cfg.entry().index()] = analysis.boundary(cfg.block(cfg.entry()).terminator());
+    } else {
+        for (i, b) in cfg.blocks().iter().enumerate() {
+            if matches!(b.terminator(), Terminator::Return | Terminator::Halt) {
+                exit[i] = analysis.boundary(b.terminator());
+            }
+        }
+    }
+
+    while let Some(b) = queue.pop_front() {
+        queued[b.index()] = false;
+        match analysis.direction() {
+            Direction::Forward => {
+                let out = analysis.transfer(cfg, b, &entry[b.index()]);
+                exit[b.index()] = out.clone();
+                for &e in cfg.block(b).succs() {
+                    let f = analysis.refine(cfg, b, e, out.clone());
+                    let t = e.to.index();
+                    if analysis.join(&mut entry[t], &f, joins[t]) {
+                        joins[t] += 1;
+                        if !queued[t] {
+                            queued[t] = true;
+                            queue.push_back(e.to);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                let inp = analysis.transfer(cfg, b, &exit[b.index()]);
+                if entry[b.index()] == inp {
+                    continue;
+                }
+                entry[b.index()] = inp;
+                for &p in cfg.block(b).preds() {
+                    // Rebuild the predecessor's exit fact as the join over
+                    // its successors' entries (plus its boundary, kept by
+                    // joining into the existing fact).
+                    let t = p.index();
+                    let changed = {
+                        let src = entry[b.index()].clone();
+                        analysis.join(&mut exit[t], &src, joins[t])
+                    };
+                    if changed {
+                        joins[t] += 1;
+                        if !queued[t] {
+                            queued[t] = true;
+                            queue.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Descending (narrowing) sweeps, forward only: widening may overshoot
+    // a bound that edge refinement knows exactly (a loop counter widened
+    // to a threshold above its branch limit). Starting from a
+    // post-fixpoint, recomputing each entry from scratch as the join of
+    // its refined predecessor exits stays above the least fixpoint by
+    // monotonicity, so every sweep is individually sound and we can stop
+    // after a fixed number.
+    if analysis.direction() == Direction::Forward {
+        for _ in 0..2 {
+            let mut changed = false;
+            for &b in &order {
+                let mut inp = if b == cfg.entry() {
+                    analysis.boundary(cfg.block(cfg.entry()).terminator())
+                } else {
+                    analysis.bottom()
+                };
+                for &p in cfg.block(b).preds() {
+                    for &e in cfg.block(p).succs() {
+                        if e.to == b {
+                            let f = analysis.refine(cfg, p, e, exit[p.index()].clone());
+                            analysis.join(&mut inp, &f, 0);
+                        }
+                    }
+                }
+                let out = analysis.transfer(cfg, b, &inp);
+                if entry[b.index()] != inp || exit[b.index()] != out {
+                    changed = true;
+                    entry[b.index()] = inp;
+                    exit[b.index()] = out;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    Solution { entry, exit }
+}
+
+/// Every function id that appears as a direct call target anywhere in
+/// `f`'s body, in deterministic (address) order with duplicates removed.
+pub fn direct_callees(program: &Program, f: FuncId) -> Vec<FuncId> {
+    let mut out = Vec::new();
+    for a in program.function(f).range() {
+        let target = match program.fetch(Addr(a)) {
+            Some(Instruction::Call { target }) => Some(target),
+            // Indirect calls enumerate their declared targets; the IR pass
+            // guarantees each is a function entry.
+            Some(Instruction::CallIndirect { .. }) => {
+                if let Some(ts) = program.indirect_targets(Addr(a)) {
+                    for &t in ts {
+                        if let Some(fid) = program.function_at(t) {
+                            if !out.contains(&fid) {
+                                out.push(fid);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(t) = target {
+            if let Some(fid) = program.function_at(t) {
+                if !out.contains(&fid) {
+                    out.push(fid);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Functions in callee-first (reverse topological) order, with call cycles
+/// broken arbitrarily — the interprocedural fixpoint still iterates to
+/// convergence, this order just makes the common acyclic case converge in
+/// one round.
+pub fn call_order(program: &Program) -> Vec<FuncId> {
+    let funcs: Vec<FuncId> = (0..program.functions().len() as u32).map(FuncId).collect();
+    let mut state = vec![0u8; funcs.len()]; // 0 unvisited, 1 on stack, 2 done
+    let mut order = Vec::with_capacity(funcs.len());
+    // Iterative postorder DFS over the call graph.
+    for &root in &funcs {
+        if state[root.0 as usize] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(FuncId, Vec<FuncId>, usize)> =
+            vec![(root, direct_callees(program, root), 0)];
+        state[root.0 as usize] = 1;
+        while let Some(&mut (f, ref callees, ref mut i)) = stack.last_mut() {
+            if *i < callees.len() {
+                let c = callees[*i];
+                *i += 1;
+                if state[c.0 as usize] == 0 {
+                    state[c.0 as usize] = 1;
+                    stack.push((c, direct_callees(program, c), 0));
+                }
+            } else {
+                state[f.0 as usize] = 2;
+                order.push(f);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{Cond, ProgramBuilder, Reg};
+
+    /// A tiny forward constant-ish analysis: tracks whether each block is
+    /// reachable (bool lattice, join = or). Checks the engine visits
+    /// exactly the reachable region.
+    struct Reachable;
+    impl Analysis for Reachable {
+        type Fact = bool;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn bottom(&self) -> bool {
+            false
+        }
+        fn boundary(&self, _t: Terminator) -> bool {
+            true
+        }
+        fn join(&self, into: &mut bool, from: &bool, _joins: u32) -> bool {
+            let new = *into || *from;
+            let changed = new != *into;
+            *into = new;
+            changed
+        }
+        fn transfer(&self, _cfg: &Cfg, _b: BlockId, fact: &bool) -> bool {
+            *fact
+        }
+    }
+
+    /// Backward "distance to exit is finite" analysis (bool, join = or).
+    struct ReachesExit;
+    impl Analysis for ReachesExit {
+        type Fact = bool;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn bottom(&self) -> bool {
+            false
+        }
+        fn boundary(&self, _t: Terminator) -> bool {
+            true
+        }
+        fn join(&self, into: &mut bool, from: &bool, _joins: u32) -> bool {
+            let new = *into || *from;
+            let changed = new != *into;
+            *into = new;
+            changed
+        }
+        fn transfer(&self, _cfg: &Cfg, _b: BlockId, fact: &bool) -> bool {
+            *fact
+        }
+    }
+
+    fn looped_program() -> multiscalar_isa::Program {
+        // main: r1 = 0; loop: r1 += 1; if r1 < 10 goto loop; halt
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let top = b.new_label();
+        b.load_imm(Reg(1), 0);
+        b.bind(top);
+        b.op_imm(multiscalar_isa::AluOp::Add, Reg(1), Reg(1), 1);
+        b.load_imm(Reg(2), 10);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn forward_fixpoint_reaches_every_block_of_a_loop() {
+        let p = looped_program();
+        let cfg = Cfg::build(&p, p.entry_function());
+        let sol = solve(&Reachable, &cfg);
+        assert!(sol.entry.iter().all(|&r| r), "{:?}", sol.entry);
+    }
+
+    #[test]
+    fn backward_fixpoint_propagates_from_halt() {
+        let p = looped_program();
+        let cfg = Cfg::build(&p, p.entry_function());
+        let sol = solve(&ReachesExit, &cfg);
+        assert!(sol.entry.iter().all(|&r| r), "{:?}", sol.entry);
+    }
+
+    #[test]
+    fn call_order_is_callee_first() {
+        let mut b = ProgramBuilder::new();
+        let leaf = b.begin_function("leaf");
+        b.ret();
+        b.end_function();
+        let mid = b.begin_function("mid");
+        b.call_label(leaf);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.call_label(mid);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let order = call_order(&p);
+        let pos = |name: &str| {
+            let (fid, _) = p.function_by_name(name).unwrap();
+            order.iter().position(|&f| f == fid).unwrap()
+        };
+        assert!(pos("leaf") < pos("mid"));
+        assert!(pos("mid") < pos("main"));
+        assert_eq!(order.len(), 3);
+    }
+}

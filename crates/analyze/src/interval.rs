@@ -1,0 +1,322 @@
+//! Unsigned 32-bit interval arithmetic for the value-range analysis.
+//!
+//! An [`Interval`] abstracts a set of `u32` values as `[lo, hi]` held in
+//! `i64` (so no computation here ever wraps). Every operation is *sound
+//! over-approximation*: the concrete result of the matching [`AluOp`] on
+//! any pair of contained values is contained in the abstract result. When
+//! a wrapping outcome cannot be excluded the operation answers
+//! [`Interval::full`] rather than guessing — the bounds pass only ever
+//! claims what it can prove.
+
+use multiscalar_isa::AluOp;
+
+/// Inclusive range of unsigned 32-bit values, `0 <= lo <= hi <= u32::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest contained value.
+    pub lo: i64,
+    /// Largest contained value.
+    pub hi: i64,
+}
+
+const MAX: i64 = u32::MAX as i64;
+
+/// Widening thresholds: interval bounds snap outward onto these instead of
+/// climbing one fuzz-loop iteration at a time. The values are the bounds
+/// the memory pass actually compares against (zero, a handful of small
+/// power-of-two table sizes, the interpreter memory size, `i32::MAX` for
+/// signedness proofs, and the type bound).
+const THRESHOLDS: [i64; 8] = [
+    0,
+    63,
+    255,
+    65_535,
+    1 << 20,
+    (1 << 20) + 8,
+    i32::MAX as i64,
+    MAX,
+];
+
+impl Interval {
+    /// The interval containing exactly `v`.
+    pub fn exact(v: u32) -> Interval {
+        Interval {
+            lo: v as i64,
+            hi: v as i64,
+        }
+    }
+
+    /// `[lo, hi]`, clamped into the `u32` range. Panics if empty.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval {
+            lo: lo.clamp(0, MAX),
+            hi: hi.clamp(0, MAX),
+        }
+    }
+
+    /// Every `u32` value.
+    pub fn full() -> Interval {
+        Interval { lo: 0, hi: MAX }
+    }
+
+    /// `true` if this is [`Interval::full`].
+    pub fn is_full(&self) -> bool {
+        self.lo == 0 && self.hi == MAX
+    }
+
+    /// `true` if the interval contains exactly one value.
+    pub fn as_singleton(&self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo as u32)
+    }
+
+    /// `true` if `v` is contained.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound (convex hull).
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound, `None` when disjoint.
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Widens `self` (the accumulated fact) against `next` (the incoming
+    /// fact): any bound that moved jumps to the nearest enclosing
+    /// threshold. Guarantees termination of the fixpoint in a handful of
+    /// joins per bound.
+    pub fn widen(self, next: Interval) -> Interval {
+        let mut lo = self.lo.min(next.lo);
+        let mut hi = self.hi.max(next.hi);
+        if next.lo < self.lo {
+            lo = THRESHOLDS
+                .iter()
+                .rev()
+                .copied()
+                .find(|&t| t <= lo)
+                .unwrap_or(0);
+        }
+        if next.hi > self.hi {
+            hi = THRESHOLDS.iter().copied().find(|&t| t >= hi).unwrap_or(MAX);
+        }
+        Interval { lo, hi }
+    }
+
+    /// Abstract transfer of `op` over two intervals.
+    pub fn apply(op: AluOp, a: Interval, b: Interval) -> Interval {
+        match op {
+            AluOp::Add => {
+                let (lo, hi) = (a.lo + b.lo, a.hi + b.hi);
+                if hi <= MAX {
+                    Interval { lo, hi }
+                } else {
+                    Interval::full()
+                }
+            }
+            AluOp::Sub => {
+                let (lo, hi) = (a.lo - b.hi, a.hi - b.lo);
+                if lo >= 0 {
+                    Interval { lo, hi }
+                } else {
+                    Interval::full()
+                }
+            }
+            AluOp::Mul => match (a.hi as i128).checked_mul(b.hi as i128) {
+                Some(hi) if hi <= MAX as i128 => Interval {
+                    lo: a.lo * b.lo,
+                    hi: hi as i64,
+                },
+                _ => Interval::full(),
+            },
+            // AND can only clear bits: the result is at most either
+            // operand's maximum. Exact when one side is a singleton mask
+            // that already covers the other side.
+            AluOp::And => {
+                let hi = a.hi.min(b.hi);
+                match (a.as_singleton(), b.as_singleton()) {
+                    (Some(x), Some(y)) => Interval::exact(x & y),
+                    _ => Interval { lo: 0, hi },
+                }
+            }
+            // OR and XOR can only toggle bits at or below the highest set
+            // bit of either operand: bound by the all-ones mask covering
+            // both maxima.
+            AluOp::Or | AluOp::Xor => {
+                if let (Some(x), Some(y)) = (a.as_singleton(), b.as_singleton()) {
+                    return Interval::exact(if op == AluOp::Or { x | y } else { x ^ y });
+                }
+                let hi = ones_mask(a.hi | b.hi);
+                // OR can't go below either operand's minimum.
+                let lo = if op == AluOp::Or { a.lo.max(b.lo) } else { 0 };
+                Interval { lo, hi }
+            }
+            AluOp::Shl => {
+                // The shift amount is taken mod 32; only a provably small
+                // amount range keeps the result exact.
+                if b.hi > 31 {
+                    return Interval::full();
+                }
+                let hi = a.hi << b.hi;
+                if hi <= MAX {
+                    Interval {
+                        lo: a.lo << b.lo,
+                        hi,
+                    }
+                } else {
+                    Interval::full()
+                }
+            }
+            AluOp::Shr => {
+                if b.hi > 31 {
+                    return Interval::full();
+                }
+                Interval {
+                    lo: a.lo >> b.hi,
+                    hi: a.hi >> b.lo,
+                }
+            }
+            AluOp::Slt => {
+                // Signed compare; only decidable when both sides stay in
+                // the non-negative i32 range (true of every index-typed
+                // value the pass cares about).
+                if a.hi <= i32::MAX as i64 && b.hi <= i32::MAX as i64 {
+                    if a.hi < b.lo {
+                        Interval::exact(1)
+                    } else if a.lo >= b.hi {
+                        Interval::exact(0)
+                    } else {
+                        Interval { lo: 0, hi: 1 }
+                    }
+                } else {
+                    Interval { lo: 0, hi: 1 }
+                }
+            }
+            AluOp::Sltu => {
+                if a.hi < b.lo {
+                    Interval::exact(1)
+                } else if a.lo >= b.hi {
+                    Interval::exact(0)
+                } else {
+                    Interval { lo: 0, hi: 1 }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_full() {
+            f.write_str("[0, 2^32)")
+        } else if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Smallest all-ones mask `>= v` (e.g. `ones_mask(5) == 7`).
+fn ones_mask(v: i64) -> i64 {
+    let mut m = 0;
+    while m < v {
+        m = (m << 1) | 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive soundness probe: concrete results of sampled operand
+    /// pairs must land inside the abstract result.
+    #[test]
+    fn transfer_is_sound_on_sampled_operands() {
+        let intervals = [
+            Interval::exact(0),
+            Interval::exact(1),
+            Interval::exact(31),
+            Interval::exact(u32::MAX),
+            Interval::new(0, 63),
+            Interval::new(5, 9),
+            Interval::new(1000, 1 << 20),
+            Interval::full(),
+        ];
+        let ops = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Slt,
+            AluOp::Sltu,
+        ];
+        let samples = |iv: Interval| {
+            let mid = (iv.lo + iv.hi) / 2;
+            [iv.lo, mid, iv.hi].map(|v| v as u32)
+        };
+        for &op in &ops {
+            for &a in &intervals {
+                for &b in &intervals {
+                    let r = Interval::apply(op, a, b);
+                    for x in samples(a) {
+                        for y in samples(b) {
+                            let c = op.apply(x, y) as i64;
+                            assert!(
+                                r.contains(c),
+                                "{op:?}({x}, {y}) = {c} outside {r} (a={a}, b={b})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widening_terminates_and_over_approximates() {
+        let mut acc = Interval::exact(0);
+        let mut widenings = 0;
+        for i in 1..1_000_000u32 {
+            let next = acc.join(Interval::exact(i));
+            if next != acc {
+                acc = acc.widen(next);
+                widenings += 1;
+            }
+            if acc.hi >= i as i64 && acc.hi == MAX {
+                break;
+            }
+        }
+        assert!(widenings <= THRESHOLDS.len() + 1, "{widenings} widenings");
+        assert!(acc.contains(999));
+    }
+
+    #[test]
+    fn and_with_mask_bounds_the_result() {
+        let any = Interval::full();
+        let mask = Interval::exact(63);
+        let r = Interval::apply(AluOp::And, any, mask);
+        assert_eq!(r, Interval::new(0, 63));
+    }
+
+    #[test]
+    fn meet_refines_and_detects_disjoint() {
+        let a = Interval::new(0, 100);
+        let b = Interval::new(50, 200);
+        assert_eq!(a.meet(b), Some(Interval::new(50, 100)));
+        assert_eq!(a.meet(Interval::new(101, 200)), None);
+    }
+}

@@ -8,7 +8,7 @@
 //! ever happens. This pass re-checks everything from the `Program` alone,
 //! so it also covers programs assembled outside the builder.
 
-use crate::diag::{Diagnostic, Pass};
+use crate::diag::{codes, Diagnostic};
 use multiscalar_isa::{Addr, Instruction, Program};
 
 /// Validates every instruction of `program`. Returns one diagnostic per
@@ -22,14 +22,20 @@ pub fn check_program(program: &Program) -> Vec<Diagnostic> {
         check_targets(program, pc, inst, &mut diags);
         check_indirect_metadata(program, pc, inst, &mut diags);
         if program.function_at(pc).is_none() {
-            diags.push(Diagnostic::error(Pass::Ir, "instruction belongs to no function").at(pc));
+            diags.push(
+                Diagnostic::new(
+                    &codes::ORPHAN_INSTRUCTION,
+                    "instruction belongs to no function",
+                )
+                .at(pc),
+            );
         }
     }
 
     for f in program.functions() {
         if f.is_empty() {
-            diags.push(Diagnostic::error(
-                Pass::Ir,
+            diags.push(Diagnostic::new(
+                &codes::EMPTY_FUNCTION,
                 format!("function `{}` is empty", f.name()),
             ));
             continue;
@@ -38,8 +44,8 @@ pub fn check_program(program: &Program) -> Vec<Diagnostic> {
         match program.fetch(last) {
             Some(i) if i.is_unconditional_transfer() => {}
             _ => diags.push(
-                Diagnostic::error(
-                    Pass::Ir,
+                Diagnostic::new(
+                    &codes::FALL_OFF_END,
                     format!("function `{}` can fall off its end", f.name()),
                 )
                 .at(last),
@@ -54,15 +60,22 @@ fn check_registers(pc: Addr, inst: &Instruction, diags: &mut Vec<Diagnostic>) {
     for r in inst.sources() {
         if !r.is_valid() {
             diags.push(
-                Diagnostic::error(Pass::Ir, format!("source register {r} out of range")).at(pc),
+                Diagnostic::new(
+                    &codes::REGISTER_RANGE,
+                    format!("source register {r} out of range"),
+                )
+                .at(pc),
             );
         }
     }
     if let Some(r) = inst.dest() {
         if !r.is_valid() {
             diags.push(
-                Diagnostic::error(Pass::Ir, format!("destination register {r} out of range"))
-                    .at(pc),
+                Diagnostic::new(
+                    &codes::REGISTER_RANGE,
+                    format!("destination register {r} out of range"),
+                )
+                .at(pc),
             );
         }
     }
@@ -73,16 +86,16 @@ fn check_targets(program: &Program, pc: Addr, inst: &Instruction, diags: &mut Ve
         Instruction::Branch { target, .. } | Instruction::Jump { target } => {
             if program.fetch(target).is_none() {
                 diags.push(
-                    Diagnostic::error(
-                        Pass::Ir,
+                    Diagnostic::new(
+                        &codes::TRANSFER_RANGE,
                         format!("transfer target pc {} is out of range", target.0),
                     )
                     .at(pc),
                 );
             } else if program.function_at(target) != program.function_at(pc) {
                 diags.push(
-                    Diagnostic::error(
-                        Pass::Ir,
+                    Diagnostic::new(
+                        &codes::CROSS_FUNCTION_BRANCH,
                         format!("branch target pc {} lies in a different function", target.0),
                     )
                     .at(pc),
@@ -101,8 +114,8 @@ fn check_callee(program: &Program, pc: Addr, target: Addr, diags: &mut Vec<Diagn
         .unwrap_or(false);
     if !is_entry {
         diags.push(
-            Diagnostic::error(
-                Pass::Ir,
+            Diagnostic::new(
+                &codes::CALL_NOT_ENTRY,
                 format!("call target pc {} is not a function entry", target.0),
             )
             .at(pc),
@@ -124,16 +137,16 @@ fn check_indirect_metadata(
             for &t in targets {
                 if program.fetch(t).is_none() {
                     diags.push(
-                        Diagnostic::error(
-                            Pass::Ir,
+                        Diagnostic::new(
+                            &codes::BAD_INDIRECT_TARGET,
                             format!("declared indirect target pc {} is out of range", t.0),
                         )
                         .at(pc),
                     );
                 } else if program.function_at(t) != program.function_at(pc) {
                     diags.push(
-                        Diagnostic::error(
-                            Pass::Ir,
+                        Diagnostic::new(
+                            &codes::BAD_INDIRECT_TARGET,
                             format!(
                                 "declared indirect target pc {} lies in a different function",
                                 t.0
@@ -150,8 +163,8 @@ fn check_indirect_metadata(
             }
         }
         _ => diags.push(
-            Diagnostic::error(
-                Pass::Ir,
+            Diagnostic::new(
+                &codes::STRAY_INDIRECT_METADATA,
                 "indirect-target metadata attached to a non-indirect instruction",
             )
             .at(pc),

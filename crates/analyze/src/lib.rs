@@ -16,7 +16,16 @@
 //!   instructions, unreachable tasks, dead exits);
 //! * [`mask`] — create-mask dataflow (a fixed-point may-write set per
 //!   task, proving the mask sound and flagging over-wide bits as perf
-//!   lints).
+//!   lints);
+//! * [`bounds`] — interprocedural interval analysis classifying every
+//!   load/store as provably in bounds, provably faulting, unproven, or
+//!   stack-assumed;
+//! * [`liveness`] — interprocedural register liveness with use/kill
+//!   summaries (dead-write and maybe-uninit-read lints);
+//! * [`spec`] — speculation quality: per-task static exit classification
+//!   plus trip-bound-aware squash-proneness scoring, rendered by
+//!   `harness lint --speculation` and cross-checked by the fuzz
+//!   soundness oracle.
 //!
 //! All findings share one [`Diagnostic`] type with a rustc-style text
 //! renderer and a JSON-lines renderer for CI. The harness exposes the
@@ -25,12 +34,14 @@
 //! # Example
 //!
 //! ```
-//! use multiscalar_isa::{ProgramBuilder, Reg};
+//! use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg};
 //! use multiscalar_taskform::{TaskFlowGraph, TaskFormer};
 //!
 //! let mut b = ProgramBuilder::new();
 //! let main = b.begin_function("main");
-//! b.load_imm(Reg(1), 7);
+//! let top = b.here_label();
+//! b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+//! b.branch(Cond::Lt, Reg(1), Reg(2), top);
 //! b.halt();
 //! b.end_function();
 //! let p = b.finish(main).unwrap();
@@ -41,10 +52,16 @@
 //! assert!(diags.is_empty(), "{diags:?}");
 //! ```
 
+pub mod bounds;
+pub mod dataflow;
 pub mod diag;
+pub mod interval;
 pub mod ir;
+pub mod liveness;
 pub mod mask;
 mod reach;
+pub mod soundness;
+pub mod spec;
 pub mod tfg_check;
 
 pub use diag::{has_errors, render_all, render_all_json, Diagnostic, Pass, Severity};
@@ -58,6 +75,12 @@ pub fn analyze(program: &Program, tasks: &TaskProgram, tfg: &TaskFlowGraph) -> V
     let mut diags = ir::check_program(program);
     diags.extend(tfg_check::check(program, tasks, tfg));
     diags.extend(mask::check(program, tasks));
+    // The dataflow passes assume a structurally valid program; skip them
+    // when the structural passes already found errors.
+    if !has_errors(&diags) {
+        diags.extend(bounds::check(program).diags);
+        diags.extend(liveness::check(program).diags);
+    }
     sort(&mut diags);
     diags
 }

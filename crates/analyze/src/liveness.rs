@@ -1,0 +1,589 @@
+//! Interprocedural register liveness: dead-write and maybe-uninit-read
+//! lints.
+//!
+//! Liveness runs backward on the [`crate::dataflow`] engine with one
+//! summary per function: `uses` (registers the function may read before
+//! redefining, transitively through its callees) and `must_def`
+//! (registers it definitely writes on every path to a return). A call
+//! site then transfers as `live = callee.uses | (live & !callee.must_def)`
+//! — the classic use/kill pair.
+//!
+//! What is live at a function's *return* depends on its callers, so the
+//! driver iterates: each round solves every function under the current
+//! return-liveness and joins the observed live-after-call sets back into
+//! the callees. The bitmask lattice is finite, so the loop converges.
+//!
+//! Two lints come out:
+//!
+//! * [`DEAD_WRITE`](crate::diag::codes) (`N060`) — a register write no
+//!   path reads before its next definition. Each carries a machine
+//!   [`DeadWrite`] claim the fuzz soundness oracle replays against
+//!   concrete executions.
+//! * `UNINIT_READ` (`N061`) — a read in the entry function that
+//!   must-initialisation cannot prove dominated by a write. Registers
+//!   never written anywhere in the program are exempt (the conventional
+//!   zero-register idiom), as are reads by an instruction that rewrites
+//!   the same register (accumulating from the architectural zero).
+
+use crate::dataflow::{self, Analysis, BlockId, Direction};
+use crate::diag::{codes, Diagnostic};
+use multiscalar_cfg::{Cfg, Terminator};
+use multiscalar_isa::{Addr, FuncId, Instruction, Program, Reg};
+
+/// A machine-checkable dead-write claim: after the write at `pc`, no
+/// instruction reads `reg` before `reg` is written again (or execution
+/// ends). The fuzz soundness oracle falsifies the analysis by exhibiting
+/// a concrete run that reads the written value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadWrite {
+    /// Address of the writing instruction.
+    pub pc: Addr,
+    /// The register whose written value is claimed dead.
+    pub reg: Reg,
+}
+
+/// Everything the liveness pass produces.
+#[derive(Debug, Clone)]
+pub struct LivenessReport {
+    /// Human-facing diagnostics (all note severity).
+    pub diags: Vec<Diagnostic>,
+    /// Dead-write claims for the soundness oracle.
+    pub claims: Vec<DeadWrite>,
+}
+
+/// Per-function use/kill summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FnLive {
+    /// Registers that may be read before being written, transitively.
+    uses: u32,
+    /// Registers definitely written on every path entry → return.
+    must_def: u32,
+}
+
+fn bit(r: Reg) -> u32 {
+    1u32 << r.index()
+}
+
+/// use/kill of a call through the summaries: `uses` unions over possible
+/// callees, `must_def` intersects. `None` (undeclared indirect targets)
+/// means any function: everything may be read, nothing surely written.
+fn call_effect(callees: Option<&[FuncId]>, sums: &[FnLive]) -> FnLive {
+    let Some(callees) = callees else {
+        return FnLive {
+            uses: u32::MAX,
+            must_def: 0,
+        };
+    };
+    let mut eff = FnLive {
+        uses: 0,
+        must_def: u32::MAX,
+    };
+    for &f in callees {
+        eff.uses |= sums[f.index()].uses;
+        eff.must_def &= sums[f.index()].must_def;
+    }
+    if callees.is_empty() {
+        eff.must_def = 0;
+    }
+    eff
+}
+
+/// Resolved direct/declared-indirect callees of a call instruction;
+/// `None` when the targets are unknown.
+fn callees_of(program: &Program, pc: Addr, inst: &Instruction) -> Option<Vec<FuncId>> {
+    match inst {
+        Instruction::Call { target } => Some(program.function_at(*target).into_iter().collect()),
+        Instruction::CallIndirect { .. } => program
+            .indirect_targets(pc)
+            .map(|ts| ts.iter().filter_map(|&t| program.function_at(t)).collect()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backward liveness over one function
+// ---------------------------------------------------------------------
+
+struct Live<'a> {
+    program: &'a Program,
+    sums: &'a [FnLive],
+    /// Registers live at this function's returns.
+    ret_live: u32,
+}
+
+impl Live<'_> {
+    /// Applies one instruction backward to a live set.
+    fn step(&self, pc: Addr, inst: &Instruction, live: u32) -> u32 {
+        let mut live = live;
+        if matches!(
+            inst,
+            Instruction::Call { .. } | Instruction::CallIndirect { .. }
+        ) {
+            let callees = callees_of(self.program, pc, inst);
+            let eff = call_effect(callees.as_deref(), self.sums);
+            live = eff.uses | (live & !eff.must_def);
+        } else if let Some(rd) = inst.dest() {
+            live &= !bit(rd);
+        }
+        for r in inst.sources() {
+            live |= bit(r);
+        }
+        live
+    }
+}
+
+impl Analysis for Live<'_> {
+    type Fact = u32;
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn bottom(&self) -> u32 {
+        0
+    }
+    fn boundary(&self, term: Terminator) -> u32 {
+        match term {
+            Terminator::Return => self.ret_live,
+            _ => 0, // Halt: nothing is live at program end
+        }
+    }
+    fn join(&self, into: &mut u32, from: &u32, _joins: u32) -> bool {
+        let new = *into | *from;
+        let changed = new != *into;
+        *into = new;
+        changed
+    }
+    fn transfer(&self, cfg: &Cfg, block: BlockId, fact: &u32) -> u32 {
+        let mut live = *fact;
+        for pc in cfg.block(block).range().rev() {
+            if let Some(inst) = self.program.fetch(Addr(pc)) {
+                live = self.step(Addr(pc), &inst, live);
+            }
+        }
+        live
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forward must-initialisation (per function)
+// ---------------------------------------------------------------------
+
+/// `None` = unreachable; `Some(mask)` = registers written on every path
+/// from the entry to this point (calls contribute their `must_def`).
+struct MustInit<'a> {
+    program: &'a Program,
+    sums: &'a [FnLive],
+}
+
+impl MustInit<'_> {
+    fn step(&self, pc: Addr, inst: &Instruction, mask: u32) -> u32 {
+        if matches!(
+            inst,
+            Instruction::Call { .. } | Instruction::CallIndirect { .. }
+        ) {
+            let callees = callees_of(self.program, pc, inst);
+            match callees.as_deref() {
+                // Unknown targets: avoid false uninit reports downstream.
+                None => u32::MAX,
+                Some(cs) => mask | call_effect(Some(cs), self.sums).must_def,
+            }
+        } else if let Some(rd) = inst.dest() {
+            mask | bit(rd)
+        } else {
+            mask
+        }
+    }
+}
+
+impl Analysis for MustInit<'_> {
+    type Fact = Option<u32>;
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn bottom(&self) -> Option<u32> {
+        None
+    }
+    fn boundary(&self, _t: Terminator) -> Option<u32> {
+        Some(0)
+    }
+    fn join(&self, into: &mut Option<u32>, from: &Option<u32>, _joins: u32) -> bool {
+        let new = match (*into, *from) {
+            (None, x) => x,
+            (x, None) => x,
+            (Some(a), Some(b)) => Some(a & b),
+        };
+        let changed = new != *into;
+        *into = new;
+        changed
+    }
+    fn transfer(&self, cfg: &Cfg, block: BlockId, fact: &Option<u32>) -> Option<u32> {
+        let mut mask = (*fact)?;
+        for pc in cfg.block(block).range() {
+            if let Some(inst) = self.program.fetch(Addr(pc)) {
+                mask = self.step(Addr(pc), &inst, mask);
+            }
+        }
+        Some(mask)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Rounds of the summary / return-liveness fixpoint. The lattice is
+/// finite (bitmasks), so this is a safety net, not a precision knob; on
+/// overflow everything degrades to fully-live (no claims).
+const MAX_ROUNDS: usize = 64;
+
+/// Recomputes one function's summary from the current summary table.
+fn summarize(program: &Program, cfg: &Cfg, sums: &[FnLive]) -> FnLive {
+    // `uses`: live-in at the entry under empty return-liveness.
+    let live = Live {
+        program,
+        sums,
+        ret_live: 0,
+    };
+    let sol = dataflow::solve(&live, cfg);
+    let uses = sol.entry[cfg.entry().index()];
+
+    // `must_def`: intersection of the must-written sets at every return.
+    let mi = MustInit { program, sums };
+    let sol = dataflow::solve(&mi, cfg);
+    let mut must = u32::MAX; // no returns (halts): vacuously everything
+    for (i, b) in cfg.blocks().iter().enumerate() {
+        if b.terminator() == Terminator::Return {
+            must &= sol.exit[i].unwrap_or(u32::MAX);
+        }
+    }
+    FnLive {
+        uses,
+        must_def: must,
+    }
+}
+
+/// Runs the interprocedural liveness analysis over the whole program.
+pub fn check(program: &Program) -> LivenessReport {
+    let nfuncs = program.functions().len();
+    if nfuncs == 0 || program.is_empty() {
+        return LivenessReport {
+            diags: Vec::new(),
+            claims: Vec::new(),
+        };
+    }
+    let cfgs: Vec<Cfg> = (0..nfuncs)
+        .map(|i| Cfg::build(program, FuncId(i as u32)))
+        .collect();
+    let order = dataflow::call_order(program);
+
+    // Phase 1: use/kill summaries to a fixpoint (callee-first order makes
+    // the acyclic case converge in one round; recursion iterates).
+    let mut sums = vec![
+        FnLive {
+            uses: 0,
+            must_def: u32::MAX,
+        };
+        nfuncs
+    ];
+    for round in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for &f in &order {
+            let s = summarize(program, &cfgs[f.index()], &sums);
+            if s != sums[f.index()] {
+                sums[f.index()] = s;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == MAX_ROUNDS - 1 {
+            sums = vec![
+                FnLive {
+                    uses: u32::MAX,
+                    must_def: 0,
+                };
+                nfuncs
+            ];
+        }
+    }
+
+    // Phase 2: return-liveness — what callers read after each call site.
+    let mut ret_live = vec![0u32; nfuncs];
+    for round in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for i in 0..nfuncs {
+            let live = Live {
+                program,
+                sums: &sums,
+                ret_live: ret_live[i],
+            };
+            let sol = dataflow::solve(&live, &cfgs[i]);
+            for (bi, block) in cfgs[i].blocks().iter().enumerate() {
+                // Walk backward; `live` holds liveness *after* each inst.
+                let mut live_after = sol.exit[bi];
+                for pc in block.range().rev() {
+                    let Some(inst) = program.fetch(Addr(pc)) else {
+                        continue;
+                    };
+                    if matches!(
+                        inst,
+                        Instruction::Call { .. } | Instruction::CallIndirect { .. }
+                    ) {
+                        match callees_of(program, Addr(pc), &inst) {
+                            Some(cs) => {
+                                for c in cs {
+                                    let new = ret_live[c.index()] | live_after;
+                                    if new != ret_live[c.index()] {
+                                        ret_live[c.index()] = new;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            None => {
+                                // Unknown targets: any function may be the
+                                // callee, and anything may be read after.
+                                for r in ret_live.iter_mut() {
+                                    if *r != u32::MAX {
+                                        *r = u32::MAX;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    live_after = Live {
+                        program,
+                        sums: &sums,
+                        ret_live: ret_live[i],
+                    }
+                    .step(Addr(pc), &inst, live_after);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == MAX_ROUNDS - 1 {
+            ret_live = vec![u32::MAX; nfuncs];
+        }
+    }
+
+    // Phase 3: lints under the converged state.
+    let mut diags = Vec::new();
+    let mut claims = Vec::new();
+    for i in 0..nfuncs {
+        let live = Live {
+            program,
+            sums: &sums,
+            ret_live: ret_live[i],
+        };
+        let sol = dataflow::solve(&live, &cfgs[i]);
+        for (bi, block) in cfgs[i].blocks().iter().enumerate() {
+            let mut live_after = sol.exit[bi];
+            for pc in block.range().rev() {
+                let Some(inst) = program.fetch(Addr(pc)) else {
+                    continue;
+                };
+                if let Some(rd) = inst.dest() {
+                    if live_after & bit(rd) == 0 {
+                        claims.push(DeadWrite {
+                            pc: Addr(pc),
+                            reg: rd,
+                        });
+                        diags.push(
+                            Diagnostic::new(
+                                &codes::DEAD_WRITE,
+                                format!("dead write: the value put in {rd} is never read"),
+                            )
+                            .at(Addr(pc)),
+                        );
+                    }
+                }
+                live_after = live.step(Addr(pc), &inst, live_after);
+            }
+        }
+    }
+
+    // Maybe-uninit reads, entry function only (other functions receive
+    // arguments in registers; the entry starts from architectural zeros).
+    let entry_f = program.entry_function();
+    let mut defined_somewhere = 0u32;
+    for f in program.functions() {
+        for pc in f.range() {
+            if let Some(rd) = program.fetch(Addr(pc)).as_ref().and_then(Instruction::dest) {
+                defined_somewhere |= bit(rd);
+            }
+        }
+    }
+    let cfg = &cfgs[entry_f.index()];
+    let mi = MustInit {
+        program,
+        sums: &sums,
+    };
+    let sol = dataflow::solve(&mi, cfg);
+    for (bi, block) in cfg.blocks().iter().enumerate() {
+        let Some(mut mask) = sol.entry[bi] else {
+            continue;
+        };
+        for pc in block.range() {
+            let Some(inst) = program.fetch(Addr(pc)) else {
+                continue;
+            };
+            for r in inst.sources() {
+                // `x = x op k` accumulating from the architectural zero is
+                // a deliberate idiom, not a missing initialisation.
+                if inst.dest() == Some(r) {
+                    continue;
+                }
+                if mask & bit(r) == 0 && defined_somewhere & bit(r) != 0 {
+                    diags.push(
+                        Diagnostic::new(
+                            &codes::UNINIT_READ,
+                            format!("{r} may be read here before it is initialised"),
+                        )
+                        .at(Addr(pc)),
+                    );
+                }
+            }
+            mask = mi.step(Addr(pc), &inst, mask);
+        }
+    }
+
+    claims.sort_by_key(|c| (c.pc, c.reg.index()));
+    claims.dedup();
+    LivenessReport { diags, claims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{AluOp, Cond, ProgramBuilder};
+
+    /// Adversarial fixture: a value computed and immediately overwritten
+    /// on every path must be claimed dead.
+    #[test]
+    fn overwritten_value_is_a_dead_write() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 41); // dead: rewritten below, never read
+        b.load_imm(Reg(1), 42);
+        b.store(Reg(1), Reg(0), 0);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = check(&p);
+        assert!(
+            r.claims.contains(&DeadWrite {
+                pc: Addr(0),
+                reg: Reg(1)
+            }),
+            "{:?}",
+            r.claims
+        );
+        assert!(r.diags.iter().any(|d| d.code.id == "N060"));
+        // The second write is stored, hence live.
+        assert!(!r.claims.contains(&DeadWrite {
+            pc: Addr(1),
+            reg: Reg(1)
+        }));
+    }
+
+    /// A value read only on one branch side is still live — no claim.
+    #[test]
+    fn conditionally_read_value_is_live() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let skip = b.new_label();
+        b.load_imm(Reg(1), 7);
+        b.branch(Cond::Eq, Reg(2), Reg(3), skip);
+        b.store(Reg(1), Reg(0), 0);
+        b.bind(skip);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = check(&p);
+        assert!(!r.claims.iter().any(|c| c.pc == Addr(0)), "{:?}", r.claims);
+    }
+
+    /// A write whose only reader is a callee (through the use summary) is
+    /// live; a write the callee always clobbers before reading is dead.
+    #[test]
+    fn callee_summaries_gate_liveness_across_calls() {
+        let mut b = ProgramBuilder::new();
+        let reader = b.begin_function("reader");
+        b.op_imm(AluOp::Add, Reg(2), Reg(1), 1); // reads r1
+        b.ret();
+        b.end_function();
+        let clobber = b.begin_function("clobber");
+        b.load_imm(Reg(3), 5); // writes r3 before any read
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 10); // live: read by `reader`
+        b.load_imm(Reg(3), 11); // dead: `clobber` rewrites r3, no read after
+        b.call_label(reader);
+        b.call_label(clobber);
+        b.store(Reg(2), Reg(0), 0);
+        b.store(Reg(3), Reg(0), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = check(&p);
+        let dead: Vec<_> = r.claims.iter().map(|c| c.pc).collect();
+        let (_, f) = p.function_by_name("main").unwrap();
+        let base = f.range().start;
+        assert!(
+            !dead.contains(&Addr(base)),
+            "r1 is read by the callee: {dead:?}"
+        );
+        assert!(
+            dead.contains(&Addr(base + 1)),
+            "r3 is clobbered before any read: {dead:?}"
+        );
+    }
+
+    /// Maybe-uninit: the entry function reads a register on a path where
+    /// it was never written (but it is written elsewhere, so the
+    /// zero-register exemption does not apply).
+    #[test]
+    fn uninit_read_is_reported_in_the_entry_function() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let skip = b.new_label();
+        b.branch(Cond::Eq, Reg(0), Reg(0), skip);
+        b.load_imm(Reg(5), 1);
+        b.bind(skip);
+        b.op_imm(AluOp::Add, Reg(6), Reg(5), 1); // r5 maybe uninit here
+        b.store(Reg(6), Reg(0), 0);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = check(&p);
+        assert!(
+            r.diags
+                .iter()
+                .any(|d| d.code.id == "N061" && d.span == Some(Addr(2))),
+            "{:?}",
+            r.diags
+        );
+    }
+
+    /// Reads of a register never written anywhere are the zero-register
+    /// idiom — exempt from N061.
+    #[test]
+    fn never_written_register_reads_are_exempt() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load(Reg(1), Reg(0), 0); // r0 never written: fine
+        b.store(Reg(1), Reg(0), 1);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = check(&p);
+        assert!(
+            !r.diags.iter().any(|d| d.code.id == "N061"),
+            "{:?}",
+            r.diags
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! block reachable from the task entry within the task", computed over the
 //! function CFG restricted to the task (see [`crate::reach`]).
 
-use crate::diag::{Diagnostic, Pass};
+use crate::diag::{codes, Diagnostic};
 use crate::reach;
 use multiscalar_isa::{Addr, Program, Reg};
 use multiscalar_taskform::TaskProgram;
@@ -42,8 +42,8 @@ pub fn check(program: &Program, tasks: &TaskProgram) -> Vec<Diagnostic> {
         let missing = may_write & !mask;
         if missing != 0 {
             diags.push(
-                Diagnostic::error(
-                    Pass::Mask,
+                Diagnostic::new(
+                    &codes::MASK_UNSOUND,
                     format!(
                         "unsound create mask: task may write {} but the mask omits {}",
                         regs(may_write),
@@ -57,8 +57,8 @@ pub fn check(program: &Program, tasks: &TaskProgram) -> Vec<Diagnostic> {
         let spurious = mask & !may_write;
         if spurious != 0 {
             diags.push(
-                Diagnostic::warning(
-                    Pass::Mask,
+                Diagnostic::new(
+                    &codes::MASK_OVERWIDE,
                     format!(
                         "over-wide create mask: {} can never be written by this task",
                         regs(spurious)

@@ -1,0 +1,478 @@
+//! Speculation-quality pass: per-task static exit classification and a
+//! squash-proneness score.
+//!
+//! The paper's sequencer walks the TFG by *predicting* one exit per task;
+//! every misprediction squashes the whole downstream task window. A task
+//! is cheap to speculate past exactly when its exits are statically
+//! determined — an always-taken transfer with one possible destination —
+//! and expensive when they depend on runtime data. This pass classifies
+//! every exit of every task:
+//!
+//! * **static** — the only edge control can take from the exit's source:
+//!   unconditional jumps and direct calls, implicit fall-throughs,
+//!   same-register always-taken branches, halts, and indirect transfers
+//!   with a declared single-entry target table;
+//! * **bounded-loop** — the latch branch of a counted loop whose trip
+//!   count [`TripBound`] is statically bounded: the exit direction
+//!   alternates with a period the bound caps, a pattern simple history
+//!   predictors capture;
+//! * **data-branch** — a conditional branch on runtime data, the paper's
+//!   squash-prone case;
+//! * **return** — target predicted by the return-address stack;
+//! * **indirect** — register-indirect transfer, with or without a
+//!   declared target table;
+//! * **dead** — statically infeasible edge (never taken, so never
+//!   squashes; `tfg_check` warns about it separately).
+//!
+//! Each class carries a squash-proneness penalty; a task's score is the
+//! sum over its exits, and `harness lint --speculation` renders the
+//! ranked report. The **static** classifications double as claims for
+//! the fuzz soundness oracle: a claimed exit source must never be
+//! observed transferring anywhere but the claimed target in any concrete
+//! execution.
+
+use multiscalar_cfg::{loop_bounds, Cfg, Terminator, TripBound};
+use multiscalar_isa::{Addr, Cond, ExitKind, Instruction, Program};
+use multiscalar_taskform::{ExitSpec, TaskId, TaskProgram};
+use std::collections::HashMap;
+
+/// Classification of one task exit (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitClass {
+    /// The only edge control can take from the source; `target` is `None`
+    /// for halts (no successor at all).
+    Static {
+        /// The unique destination, when execution continues.
+        target: Option<Addr>,
+    },
+    /// Latch branch of a counted loop: alternates with period ≤ `trips`.
+    BoundedLoop {
+        /// The loop's trip-count bound.
+        trips: u64,
+    },
+    /// Conditional branch on runtime data.
+    DataBranch,
+    /// Return through the return-address stack.
+    Return,
+    /// Indirect transfer with a declared target table of this size.
+    IndirectKnown {
+        /// Number of declared targets.
+        targets: usize,
+    },
+    /// Indirect transfer with no declared target set.
+    IndirectUnknown,
+    /// Statically infeasible edge; can never be taken.
+    Dead,
+}
+
+impl ExitClass {
+    /// The squash-proneness penalty this class contributes.
+    pub fn penalty(self) -> u32 {
+        match self {
+            ExitClass::Static { .. } | ExitClass::Dead => 0,
+            ExitClass::BoundedLoop { .. } => 5,
+            ExitClass::Return => 10,
+            ExitClass::IndirectKnown { .. } => 25,
+            ExitClass::DataBranch => 30,
+            ExitClass::IndirectUnknown => 40,
+        }
+    }
+
+    fn describe(self) -> String {
+        match self {
+            ExitClass::Static { target: Some(t) } => format!("static -> {t}"),
+            ExitClass::Static { target: None } => "static (halt)".into(),
+            ExitClass::BoundedLoop { trips } => format!("bounded loop (<= {trips} trips)"),
+            ExitClass::DataBranch => "data-dependent branch".into(),
+            ExitClass::Return => "return via RAS".into(),
+            ExitClass::IndirectKnown { targets } => format!("indirect ({targets} known targets)"),
+            ExitClass::IndirectUnknown => "indirect (unknown target set)".into(),
+            ExitClass::Dead => "dead (infeasible)".into(),
+        }
+    }
+}
+
+/// One classified exit of a task.
+#[derive(Debug, Clone, Copy)]
+pub struct ExitQuality {
+    /// Address of the instruction realising the exit.
+    pub source: Addr,
+    /// The header's exit specifier kind.
+    pub kind: ExitKind,
+    /// The derived class.
+    pub class: ExitClass,
+}
+
+/// Per-task speculation quality.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// The task.
+    pub task: TaskId,
+    /// The task's entry address.
+    pub entry: Addr,
+    /// Sum of exit penalties; 0 means every exit is statically determined.
+    pub score: u32,
+    /// All exits, in header order.
+    pub exits: Vec<ExitQuality>,
+}
+
+/// A soundness claim: whenever the instruction at `source` (inside
+/// `task`) transfers control, it transfers to `target`. The fuzz oracle
+/// checks every concrete execution against these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticExitClaim {
+    /// The claiming task.
+    pub task: TaskId,
+    /// The exit's source instruction.
+    pub source: Addr,
+    /// The unique destination.
+    pub target: Addr,
+}
+
+/// The full pass result.
+#[derive(Debug, Clone)]
+pub struct SpecReport {
+    /// One entry per task, in task-id order.
+    pub tasks: Vec<TaskSpec>,
+    /// All static-exit claims, in (task, source) order.
+    pub claims: Vec<StaticExitClaim>,
+}
+
+/// Classifies every exit of every task and derives static-exit claims.
+pub fn analyze(program: &Program, tasks: &TaskProgram) -> SpecReport {
+    // Trip bounds, keyed by the latch branch's address, per function.
+    let mut latch_bounds: HashMap<u32, TripBound> = HashMap::new();
+    for (f, _) in program.functions().iter().enumerate() {
+        let cfg = Cfg::build(program, multiscalar_isa::FuncId(f as u32));
+        for lb in loop_bounds(program, &cfg) {
+            for &latch in &lb.natural.latches {
+                let b = cfg.block(latch);
+                if b.terminator() == Terminator::CondBranch {
+                    latch_bounds.insert(b.last().index() as u32, lb.bound);
+                }
+            }
+        }
+    }
+
+    let mut out = SpecReport {
+        tasks: Vec::with_capacity(tasks.static_task_count()),
+        claims: Vec::new(),
+    };
+    for t in tasks.tasks() {
+        let mut exits = Vec::with_capacity(t.header().num_exits());
+        let mut score = 0u32;
+        for exit in t.header().exits() {
+            let class = classify(program, &latch_bounds, exit);
+            score += class.penalty();
+            if let ExitClass::Static { target: Some(tgt) } = class {
+                out.claims.push(StaticExitClaim {
+                    task: t.id(),
+                    source: exit.source,
+                    target: tgt,
+                });
+            }
+            exits.push(ExitQuality {
+                source: exit.source,
+                kind: exit.kind,
+                class,
+            });
+        }
+        out.tasks.push(TaskSpec {
+            task: t.id(),
+            entry: t.entry(),
+            score,
+            exits,
+        });
+    }
+    out.claims.sort_by_key(|c| (c.task.0, c.source));
+    out.claims.dedup();
+    out
+}
+
+fn classify(
+    program: &Program,
+    latch_bounds: &HashMap<u32, TripBound>,
+    exit: &ExitSpec,
+) -> ExitClass {
+    // A proven unique destination only yields `Static` when it is the
+    // destination *this* exit names; a header exit naming any other
+    // target can never be taken.
+    let static_to = |dest: Addr| {
+        if exit.target.is_none_or(|t| t == dest) {
+            ExitClass::Static { target: Some(dest) }
+        } else {
+            ExitClass::Dead
+        }
+    };
+    match program.fetch(exit.source) {
+        Some(Instruction::Jump { target }) | Some(Instruction::Call { target }) => {
+            static_to(target)
+        }
+        Some(Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        }) => {
+            if rs1 == rs2 {
+                // Same-register compare: the direction is a constant.
+                let taken = matches!(cond, Cond::Eq | Cond::Ge | Cond::Geu);
+                static_to(if taken { target } else { exit.source.next() })
+            } else {
+                match latch_bounds.get(&(exit.source.index() as u32)) {
+                    Some(TripBound::AtMost(n)) => ExitClass::BoundedLoop { trips: *n },
+                    _ => ExitClass::DataBranch,
+                }
+            }
+        }
+        Some(Instruction::Return) => ExitClass::Return,
+        Some(Instruction::JumpIndirect { .. }) | Some(Instruction::CallIndirect { .. }) => {
+            match program.indirect_targets(exit.source) {
+                Some([only]) => static_to(*only),
+                Some(ts) => ExitClass::IndirectKnown { targets: ts.len() },
+                None => ExitClass::IndirectUnknown,
+            }
+        }
+        Some(Instruction::Halt) => ExitClass::Static { target: None },
+        // Implicit fall-through exit: a straight-line last instruction of
+        // a block whose successor starts another task.
+        Some(_) => static_to(exit.source.next()),
+        // Out-of-range source — the IR pass errors on this; claim nothing.
+        None => ExitClass::DataBranch,
+    }
+}
+
+/// How many ranked tasks the report prints per target.
+const REPORT_TOP: usize = 8;
+
+/// Renders one target's ranked squash-proneness report.
+pub fn render_report(name: &str, program: &Program, report: &SpecReport) -> String {
+    let mut out = format!("# speculation: {name}\n");
+    let total_exits: usize = report.tasks.iter().map(|t| t.exits.len()).sum();
+    let static_exits: usize = report
+        .tasks
+        .iter()
+        .flat_map(|t| &t.exits)
+        .filter(|e| matches!(e.class, ExitClass::Static { .. }))
+        .count();
+    out.push_str(&format!(
+        "{} tasks, {} exits ({} static), {} static-exit claims\n",
+        report.tasks.len(),
+        total_exits,
+        static_exits,
+        report.claims.len()
+    ));
+
+    let mut ranked: Vec<&TaskSpec> = report.tasks.iter().filter(|t| t.score > 0).collect();
+    ranked.sort_by_key(|t| (std::cmp::Reverse(t.score), t.task.0));
+    if ranked.is_empty() {
+        out.push_str("every exit is statically determined\n\n");
+        return out;
+    }
+    for (i, t) in ranked.iter().take(REPORT_TOP).enumerate() {
+        let func = program
+            .function_at(t.entry)
+            .map(|f| program.function(f).name().to_string())
+            .unwrap_or_else(|| "?".into());
+        out.push_str(&format!(
+            "rank {}: task {} entry {} fn `{}` score {}\n",
+            i + 1,
+            t.task.0,
+            t.entry,
+            func,
+            t.score
+        ));
+        for e in &t.exits {
+            if e.class.penalty() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  - {} {}: {} (+{})\n",
+                e.source,
+                e.kind,
+                e.class.describe(),
+                e.class.penalty()
+            ));
+        }
+    }
+    if ranked.len() > REPORT_TOP {
+        out.push_str(&format!(
+            "... and {} more tasks with nonzero scores\n",
+            ranked.len() - REPORT_TOP
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{AluOp, ProgramBuilder, Reg};
+    use multiscalar_taskform::TaskFormer;
+
+    fn run(p: &Program) -> SpecReport {
+        let tasks = TaskFormer::default().form(p).unwrap();
+        analyze(p, &tasks)
+    }
+
+    fn class_at(report: &SpecReport, pc: Addr) -> Vec<ExitClass> {
+        report
+            .tasks
+            .iter()
+            .flat_map(|t| &t.exits)
+            .filter(|e| e.source == pc)
+            .map(|e| e.class)
+            .collect()
+    }
+
+    #[test]
+    fn jumps_calls_and_halts_are_static_and_claimed() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.call_label(f);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = run(&p);
+        // The call at main's entry is static with the callee as target.
+        let call_pc = p.function(p.entry_function()).entry();
+        assert_eq!(
+            class_at(&r, call_pc),
+            vec![ExitClass::Static {
+                target: Some(p.function(multiscalar_isa::FuncId(0)).entry())
+            }]
+        );
+        assert!(r.claims.iter().any(|c| c.source == call_pc));
+        // Every claim's class is Static by construction; none may be a
+        // return or data branch.
+        for c in &r.claims {
+            assert!(matches!(
+                class_at(&r, c.source)[0],
+                ExitClass::Static { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn data_dependent_branch_is_not_claimed_static() {
+        // Adversarial fixture: `while (mem[i] != limit)` — the latch
+        // branch compares against a loaded value, so no trip bound and no
+        // static claim may exist for it.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.load(Reg(2), Reg(1), 0);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = run(&p);
+        let branch_pc = Addr(3);
+        assert!(
+            class_at(&r, branch_pc)
+                .iter()
+                .all(|c| *c == ExitClass::DataBranch),
+            "{r:?}"
+        );
+        assert!(
+            r.claims.iter().all(|c| c.source != branch_pc),
+            "a data-dependent exit must never be claimed static: {:?}",
+            r.claims
+        );
+        // And the owning task is squash-prone.
+        let owner = r
+            .tasks
+            .iter()
+            .find(|t| t.exits.iter().any(|e| e.source == branch_pc))
+            .unwrap();
+        assert!(owner.score >= ExitClass::DataBranch.penalty());
+    }
+
+    #[test]
+    fn counted_loop_latch_scores_below_a_data_dependent_one() {
+        let counted = {
+            let mut b = ProgramBuilder::new();
+            let main = b.begin_function("main");
+            b.load_imm(Reg(1), 0);
+            b.load_imm(Reg(2), 10);
+            let top = b.here_label();
+            b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+            b.branch(Cond::Lt, Reg(1), Reg(2), top);
+            b.halt();
+            b.end_function();
+            b.finish(main).unwrap()
+        };
+        let r = run(&counted);
+        let classes = class_at(&r, Addr(3));
+        assert!(
+            classes
+                .iter()
+                .all(|c| matches!(c, ExitClass::BoundedLoop { .. })),
+            "{classes:?}"
+        );
+        let bounded_worst = r.tasks.iter().map(|t| t.score).max().unwrap();
+        assert!(bounded_worst <= ExitClass::BoundedLoop { trips: 0 }.penalty() * 2);
+        assert!(bounded_worst < ExitClass::DataBranch.penalty());
+    }
+
+    #[test]
+    fn single_target_indirect_is_static_multi_target_is_not() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        b.ret();
+        b.end_function();
+        let g = b.begin_function("g");
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.call_indirect_with_targets(Reg(3), &[f]);
+        b.call_indirect_with_targets(Reg(4), &[f, g]);
+        b.call_indirect(Reg(5));
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = run(&p);
+        let base = p.function(p.entry_function()).entry();
+        assert!(matches!(
+            class_at(&r, base)[0],
+            ExitClass::Static { target: Some(_) }
+        ));
+        assert!(r.claims.iter().any(|c| c.source == base));
+        assert_eq!(
+            class_at(&r, base.next())[0],
+            ExitClass::IndirectKnown { targets: 2 }
+        );
+        assert_eq!(
+            class_at(&r, Addr(base.index() as u32 + 2))[0],
+            ExitClass::IndirectUnknown
+        );
+    }
+
+    #[test]
+    fn report_renders_ranked_tasks() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.load(Reg(2), Reg(1), 0);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let r = run(&p);
+        let text = render_report("fixture", &p, &r);
+        assert!(text.contains("# speculation: fixture"), "{text}");
+        assert!(text.contains("data-dependent branch"), "{text}");
+        assert!(text.contains("score"), "{text}");
+        // Deterministic.
+        assert_eq!(text, render_report("fixture", &p, &r));
+    }
+}

@@ -7,7 +7,7 @@
 //! metadata that cannot hurt correctness but wastes header space or
 //! predictor reach (dead exits, unreachable tasks).
 
-use crate::diag::{Diagnostic, Pass};
+use crate::diag::{codes, Diagnostic};
 use crate::reach;
 use multiscalar_isa::{Addr, Cond, ExitKind, Instruction, Program, MAX_EXITS};
 use multiscalar_taskform::{ExitSpec, Task, TaskFlowGraph, TaskId, TaskProgram, TfgArc};
@@ -34,12 +34,18 @@ pub fn check(program: &Program, tasks: &TaskProgram, tfg: &TaskFlowGraph) -> Vec
 fn check_coverage(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diagnostic>) {
     for pc in 0..program.len() as u32 {
         if tasks.task_at(Addr(pc)).is_none() {
-            diags.push(Diagnostic::error(Pass::Tfg, "instruction belongs to no task").at(Addr(pc)));
+            diags.push(
+                Diagnostic::new(
+                    &codes::UNTASKED_INSTRUCTION,
+                    "instruction belongs to no task",
+                )
+                .at(Addr(pc)),
+            );
         }
     }
     if tasks.task_at(Addr(program.len() as u32)).is_some() {
-        diags.push(Diagnostic::error(
-            Pass::Tfg,
+        diags.push(Diagnostic::new(
+            &codes::TASK_MAP_OVERRUN,
             "task map extends past the end of the program",
         ));
     }
@@ -53,23 +59,26 @@ fn check_task(program: &Program, tasks: &TaskProgram, t: &Task, diags: &mut Vec<
     match tasks.task_at(t.entry()) {
         Some(owner) if owner == id => {}
         Some(owner) => diags.push(
-            Diagnostic::error(
-                Pass::Tfg,
+            Diagnostic::new(
+                &codes::TASK_OWNERSHIP,
                 format!("duplicate task entry: address also owned by {owner}"),
             )
             .in_task(id)
             .at(t.entry()),
         ),
         None => diags.push(
-            Diagnostic::error(Pass::Tfg, "task entry lies outside the program")
-                .in_task(id)
-                .at(t.entry()),
+            Diagnostic::new(
+                &codes::TASK_OWNERSHIP,
+                "task entry lies outside the program",
+            )
+            .in_task(id)
+            .at(t.entry()),
         ),
     }
     for &b in t.block_starts() {
         if tasks.task_at(b) != Some(id) {
             diags.push(
-                Diagnostic::error(Pass::Tfg, "task block not owned by the task")
+                Diagnostic::new(&codes::TASK_OWNERSHIP, "task block not owned by the task")
                     .in_task(id)
                     .at(b),
             );
@@ -81,14 +90,14 @@ fn check_task(program: &Program, tasks: &TaskProgram, t: &Task, diags: &mut Vec<
     let n = t.header().num_exits();
     if n == 0 {
         diags.push(
-            Diagnostic::error(Pass::Tfg, "task has no exits")
+            Diagnostic::new(&codes::NO_EXITS, "task has no exits")
                 .in_task(id)
                 .at(t.entry()),
         );
     } else if n > MAX_EXITS {
         diags.push(
-            Diagnostic::error(
-                Pass::Tfg,
+            Diagnostic::new(
+                &codes::TOO_MANY_EXITS,
                 format!("task has {n} exits, the header encodes at most {MAX_EXITS}"),
             )
             .in_task(id)
@@ -111,7 +120,7 @@ fn check_exit(
     let id = t.id();
     if tasks.task_at(e.source) != Some(id) {
         diags.push(
-            Diagnostic::error(Pass::Tfg, "exit source lies outside the task")
+            Diagnostic::new(&codes::EXIT_SOURCE, "exit source lies outside the task")
                 .in_task(id)
                 .at(e.source),
         );
@@ -127,8 +136,8 @@ fn check_exit(
         if let Some(a) = addr {
             if tasks.task_entered_at(a).is_none() {
                 diags.push(
-                    Diagnostic::error(
-                        Pass::Tfg,
+                    Diagnostic::new(
+                        &codes::EXIT_TARGET_NOT_TASK,
                         format!("{what} pc {} does not start a task", a.0),
                     )
                     .in_task(id)
@@ -147,7 +156,7 @@ fn check_exit_kind(program: &Program, t: &Task, e: &ExitSpec, diags: &mut Vec<Di
     let id = t.id();
     let Some(inst) = program.fetch(e.source) else {
         diags.push(
-            Diagnostic::error(Pass::Tfg, "exit source lies outside the program")
+            Diagnostic::new(&codes::EXIT_SOURCE, "exit source lies outside the program")
                 .in_task(id)
                 .at(e.source),
         );
@@ -155,8 +164,8 @@ fn check_exit_kind(program: &Program, t: &Task, e: &ExitSpec, diags: &mut Vec<Di
     };
     let mut bad = |why: &str| {
         diags.push(
-            Diagnostic::error(
-                Pass::Tfg,
+            Diagnostic::new(
+                &codes::EXIT_SPEC_MISMATCH,
                 format!("{} exit specifier does not match `{inst}`: {why}", e.kind),
             )
             .in_task(id)
@@ -215,8 +224,8 @@ fn check_exit_kind(program: &Program, t: &Task, e: &ExitSpec, diags: &mut Vec<Di
 /// The TFG must mirror the headers it was built from.
 fn check_arcs(tasks: &TaskProgram, tfg: &TaskFlowGraph, diags: &mut Vec<Diagnostic>) {
     if tfg.len() != tasks.static_task_count() {
-        diags.push(Diagnostic::error(
-            Pass::Tfg,
+        diags.push(Diagnostic::new(
+            &codes::TFG_DISAGREES,
             format!(
                 "TFG has {} nodes for {} tasks",
                 tfg.len(),
@@ -229,8 +238,8 @@ fn check_arcs(tasks: &TaskProgram, tfg: &TaskFlowGraph, diags: &mut Vec<Diagnost
         let arcs = tfg.arcs(t.id());
         if arcs.len() != t.header().num_exits() {
             diags.push(
-                Diagnostic::error(
-                    Pass::Tfg,
+                Diagnostic::new(
+                    &codes::TFG_DISAGREES,
                     format!(
                         "TFG records {} arcs for {} header exits",
                         arcs.len(),
@@ -248,8 +257,8 @@ fn check_arcs(tasks: &TaskProgram, tfg: &TaskFlowGraph, diags: &mut Vec<Diagnost
                 .map_or(TfgArc::Unknown(e.kind), TfgArc::To);
             if *a != expect {
                 diags.push(
-                    Diagnostic::error(
-                        Pass::Tfg,
+                    Diagnostic::new(
+                        &codes::TFG_DISAGREES,
                         format!("TFG arc {a:?} disagrees with header exit ({expect:?})"),
                     )
                     .in_task(t.id())
@@ -269,8 +278,11 @@ fn check_reachability(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Di
     }
     let Some(entry_task) = tasks.task_entered_at(program.entry_point()) else {
         diags.push(
-            Diagnostic::error(Pass::Tfg, "program entry point does not start a task")
-                .at(program.entry_point()),
+            Diagnostic::new(
+                &codes::ENTRY_NOT_TASK,
+                "program entry point does not start a task",
+            )
+            .at(program.entry_point()),
         );
         return;
     };
@@ -305,9 +317,12 @@ fn check_reachability(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Di
     for t in tasks.tasks() {
         if !seen.contains(&t.id()) {
             diags.push(
-                Diagnostic::warning(Pass::Tfg, "task is unreachable from the program entry")
-                    .in_task(t.id())
-                    .at(t.entry()),
+                Diagnostic::new(
+                    &codes::UNREACHABLE_TASK,
+                    "task is unreachable from the program entry",
+                )
+                .in_task(t.id())
+                .at(t.entry()),
             );
         }
     }
@@ -324,9 +339,12 @@ fn check_dead_exits(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diag
         };
         let Some(live) = reach::reachable_blocks(cfg, tasks, t) else {
             diags.push(
-                Diagnostic::error(Pass::Tfg, "task entry does not start a basic block")
-                    .in_task(t.id())
-                    .at(t.entry()),
+                Diagnostic::new(
+                    &codes::ENTRY_NOT_BLOCK,
+                    "task entry does not start a basic block",
+                )
+                .in_task(t.id())
+                .at(t.entry()),
             );
             continue;
         };
@@ -337,8 +355,8 @@ fn check_dead_exits(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diag
             match cfg.block_containing(e.source) {
                 Some(b) if live.contains(&b) => check_infeasible_branch(program, t, e, diags),
                 Some(_) => diags.push(
-                    Diagnostic::warning(
-                        Pass::Tfg,
+                    Diagnostic::new(
+                        &codes::DEAD_EXIT_UNREACHABLE,
                         "dead exit: source block is unreachable within the task",
                     )
                     .in_task(t.id())
@@ -372,8 +390,8 @@ fn check_infeasible_branch(program: &Program, t: &Task, e: &ExitSpec, diags: &mu
     };
     if e.target == Some(dead_side) {
         diags.push(
-            Diagnostic::warning(
-                Pass::Tfg,
+            Diagnostic::new(
+                &codes::DEAD_EXIT_INFEASIBLE,
                 format!("dead exit: `b{cond} {rs1}, {rs1}` always goes the other way",),
             )
             .in_task(t.id())

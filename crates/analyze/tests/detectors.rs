@@ -157,10 +157,16 @@ fn dead_exit_fires_on_unreachable_source_block() {
         vec![TaskId(0), TaskId(0), TaskId(0), TaskId(1)],
     );
     let diags = run(&p, &tp);
-    assert_eq!(diags.len(), 1, "{diags:?}");
-    assert_eq!(diags[0].severity, Severity::Warning);
-    assert_eq!(diags[0].span, Some(Addr(2)));
-    assert!(diags[0].message.contains("source block is unreachable"));
+    // The fixture's `li r1, 1` is also a (correct) dead-write note; the
+    // dead exit must be the only warning-or-worse finding.
+    let bad: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .collect();
+    assert_eq!(bad.len(), 1, "{diags:?}");
+    assert_eq!(bad[0].severity, Severity::Warning);
+    assert_eq!(bad[0].span, Some(Addr(2)));
+    assert!(bad[0].message.contains("source block is unreachable"));
 }
 
 #[test]
@@ -287,20 +293,32 @@ fn duplicate_task_entry_is_an_error() {
 
 #[test]
 fn all_builtin_workloads_lint_clean() {
+    // Notes are allowed (stack-assumed accesses report as N050); anything
+    // warning-or-worse fails `--deny warnings` in CI and fails here.
     for spec in Spec92::ALL {
         let w = spec.build(&WorkloadParams::small(42));
         let tp = form(&w.program);
         let diags = run(&w.program, &tp);
-        assert!(diags.is_empty(), "{}: {diags:#?}", w.name);
+        let bad: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "{}: {bad:#?}", w.name);
     }
 }
 
 #[test]
 fn synthetic_sweep_lints_clean() {
+    // Random programs legitimately contain dead writes (note-level);
+    // warnings or errors would fail `--deny warnings` and fail here.
     for seed in 0..24u64 {
         let p = random_program(seed, &SyntheticConfig::default());
         let tp = form(&p);
         let diags = run(&p, &tp);
-        assert!(diags.is_empty(), "seed {seed}: {diags:#?}");
+        let bad: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "seed {seed}: {bad:#?}");
     }
 }

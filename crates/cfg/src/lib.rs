@@ -41,8 +41,10 @@ mod build;
 mod dom;
 mod graph;
 mod loops;
+pub mod trip;
 
 pub use build::build_cfg;
 pub use dom::Dominators;
 pub use graph::{BasicBlock, BlockId, Cfg, Edge, EdgeKind, Terminator};
 pub use loops::{LoopInfo, NaturalLoop};
+pub use trip::{loop_bounds, LoopBound, TripBound};

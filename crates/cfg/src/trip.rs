@@ -1,0 +1,319 @@
+//! Syntactic trip-count bounds for natural loops.
+//!
+//! A [`TripBound`] is a sound upper bound on how many times a loop header
+//! can execute per entry from outside the loop. The derivation is purely
+//! syntactic — it recognises the counted-loop idiom the code generators
+//! emit (`ctr += step` in the latch, back edge taken while
+//! `ctr < limit`) — and answers [`TripBound::Unknown`] for anything it
+//! cannot prove, so consumers may rely on `AtMost` unconditionally.
+//!
+//! Two passes consume these bounds: the memory-bounds pass caps how far a
+//! loop-incremented register can climb (recovering pointer-increment
+//! loops that pure interval analysis widens to ⊤), and the
+//! speculation-quality pass treats short bounded loops as low squash
+//! risk.
+
+use crate::graph::{BlockId, Cfg, EdgeKind, Terminator};
+use crate::loops::NaturalLoop;
+use multiscalar_isa::{Addr, Cond, Instruction, Program, Reg};
+
+/// Upper bound on header executions per external loop entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripBound {
+    /// The header runs at most this many times each time the loop is
+    /// entered (so the back edge is traversed at most `n - 1` times).
+    AtMost(u64),
+    /// No syntactic bound could be derived.
+    Unknown,
+}
+
+/// One loop together with its derived bound.
+#[derive(Debug, Clone)]
+pub struct LoopBound {
+    /// The underlying natural loop.
+    pub natural: NaturalLoop,
+    /// The derived trip bound.
+    pub bound: TripBound,
+    /// The counter register and its per-traversal step, when the counted
+    /// idiom was recognised (the register behind an `AtMost` bound).
+    pub counter: Option<(Reg, u32)>,
+}
+
+/// Derives a [`LoopBound`] for every natural loop of `cfg`, in header
+/// order.
+pub fn loop_bounds(program: &Program, cfg: &Cfg) -> Vec<LoopBound> {
+    cfg.natural_loops()
+        .iter()
+        .map(|l| {
+            let (bound, counter) = derive(program, cfg, l);
+            LoopBound {
+                natural: l.clone(),
+                bound,
+                counter,
+            }
+        })
+        .collect()
+}
+
+fn derive(program: &Program, cfg: &Cfg, l: &NaturalLoop) -> (TripBound, Option<(Reg, u32)>) {
+    // One latch only: merged multi-latch loops have no single exit test.
+    let [latch] = l.latches[..] else {
+        return (TripBound::Unknown, None);
+    };
+    let lb = cfg.block(latch);
+    if lb.terminator() != Terminator::CondBranch {
+        return (TripBound::Unknown, None);
+    }
+    let Some(Instruction::Branch { cond, rs1, rs2, .. }) = program.fetch(lb.last()) else {
+        return (TripBound::Unknown, None);
+    };
+    // The back edge must be the taken side of `ctr < lim`.
+    let back_is_taken = lb
+        .succs()
+        .iter()
+        .any(|e| e.to == l.header && e.kind == EdgeKind::Taken);
+    if !back_is_taken || !matches!(cond, Cond::Lt | Cond::Ltu) {
+        return (TripBound::Unknown, None);
+    }
+    let (ctr, lim) = (rs1, rs2);
+
+    // A call anywhere in the loop may write any register.
+    for &b in &l.body {
+        for pc in cfg.block(b).range() {
+            if matches!(
+                program.fetch(Addr(pc)),
+                Some(Instruction::Call { .. } | Instruction::CallIndirect { .. })
+            ) {
+                return (TripBound::Unknown, None);
+            }
+        }
+    }
+
+    // The counter: written exactly once in the loop, by `ctr += s` in the
+    // latch block (which every back-edge traversal executes in full). Any
+    // write inside a nested inner loop would run more than once per
+    // traversal, but the latch of `l` is never inside a proper inner loop.
+    let mut step: Option<u32> = None;
+    for &b in &l.body {
+        for pc in cfg.block(b).range() {
+            let Some(inst) = program.fetch(Addr(pc)) else {
+                continue;
+            };
+            if writes(&inst) != Some(ctr) {
+                continue;
+            }
+            let one_step = matches!(
+                inst,
+                Instruction::OpImm {
+                    op: multiscalar_isa::AluOp::Add,
+                    rd,
+                    rs1,
+                    imm,
+                } if rd == ctr && rs1 == ctr && imm >= 1
+            );
+            if !one_step || b != latch || step.is_some() {
+                return (TripBound::Unknown, None);
+            }
+            if let Instruction::OpImm { imm, .. } = inst {
+                step = Some(imm as u32);
+            }
+        }
+    }
+    let Some(step) = step else {
+        return (TripBound::Unknown, None);
+    };
+
+    // The limit: a constant at the branch. Either the latch block itself
+    // establishes it (last write before the branch is a `LoadImm`), or it
+    // is loop-invariant and every out-of-loop header predecessor ends
+    // with the same `LoadImm`.
+    let lim_c = match last_write_in_block(program, cfg, latch, lim) {
+        Some(Instruction::LoadImm { imm, .. }) => Some(imm),
+        Some(_) => None,
+        None => {
+            if l.body.iter().any(|&b| block_writes(program, cfg, b, lim)) {
+                None
+            } else {
+                constant_from_entry_preds(program, cfg, l, lim)
+            }
+        }
+    };
+    let Some(lim_c) = lim_c else {
+        return (TripBound::Unknown, None);
+    };
+
+    // The counter's initial value, when every out-of-loop header
+    // predecessor pins it with a `LoadImm` (tightens the signed bound).
+    let init = constant_from_entry_preds(program, cfg, l, ctr);
+
+    let s = step as u64;
+    let back_edges = match cond {
+        // Unsigned: ctr >= 0 always, and after every traversal
+        // `ctr < lim` held, so at most lim/s traversals (+1 for a
+        // possible first-increment wrap).
+        Cond::Ltu => {
+            let c = lim_c as u32 as u64;
+            c / s + 2
+        }
+        Cond::Lt => {
+            let c = lim_c as i64;
+            if c < 0 {
+                return (TripBound::Unknown, None);
+            }
+            let floor = match init {
+                Some(i) => i as i64,
+                // Signed counter can start as low as i32::MIN.
+                None => i32::MIN as i64,
+            };
+            if floor >= c {
+                1 // the branch can still pass once before the increment ran
+            } else {
+                ((c - floor) as u64) / s + 2
+            }
+        }
+        _ => unreachable!(),
+    };
+    (TripBound::AtMost(back_edges + 1), Some((ctr, step)))
+}
+
+/// The destination register of `inst`, if it writes one.
+fn writes(inst: &Instruction) -> Option<Reg> {
+    match *inst {
+        Instruction::LoadImm { rd, .. }
+        | Instruction::Op { rd, .. }
+        | Instruction::OpImm { rd, .. }
+        | Instruction::Load { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+fn block_writes(program: &Program, cfg: &Cfg, b: BlockId, r: Reg) -> bool {
+    cfg.block(b)
+        .range()
+        .any(|pc| matches!(program.fetch(Addr(pc)), Some(i) if writes(&i) == Some(r)))
+}
+
+/// The last instruction in `b` writing `r`, if any.
+fn last_write_in_block(program: &Program, cfg: &Cfg, b: BlockId, r: Reg) -> Option<Instruction> {
+    cfg.block(b)
+        .range()
+        .rev()
+        .find_map(|pc| program.fetch(Addr(pc)).filter(|i| writes(i) == Some(r)))
+}
+
+/// If every out-of-loop predecessor of the header ends by loading the same
+/// constant into `r`, that constant.
+fn constant_from_entry_preds(program: &Program, cfg: &Cfg, l: &NaturalLoop, r: Reg) -> Option<i32> {
+    let mut val: Option<i32> = None;
+    let preds = cfg.block(l.header).preds();
+    let outside: Vec<BlockId> = preds.iter().copied().filter(|&p| !l.contains(p)).collect();
+    if outside.is_empty() {
+        return None;
+    }
+    for p in outside {
+        match last_write_in_block(program, cfg, p, r) {
+            Some(Instruction::LoadImm { imm, .. }) => match val {
+                None => val = Some(imm),
+                Some(v) if v == imm => {}
+                Some(_) => return None,
+            },
+            _ => return None,
+        }
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiscalar_isa::{AluOp, ProgramBuilder};
+
+    fn bounds_of(p: &Program) -> Vec<LoopBound> {
+        let cfg = Cfg::build(p, p.entry_function());
+        loop_bounds(p, &cfg)
+    }
+
+    #[test]
+    fn counted_loop_gets_a_tight_bound() {
+        // for (i = 0; i < 10; i++) {}
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), 10);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let bounds = bounds_of(&p);
+        assert_eq!(bounds.len(), 1);
+        let TripBound::AtMost(n) = bounds[0].bound else {
+            panic!("expected a bound: {bounds:?}");
+        };
+        // The loop runs 10 iterations; the bound may be loose but must
+        // cover it and stay in the same ballpark.
+        assert!((10..=16).contains(&n), "bound {n}");
+        assert_eq!(bounds[0].counter, Some((Reg(1), 1)));
+    }
+
+    #[test]
+    fn data_dependent_exit_is_unknown() {
+        // while (mem[i] != 0) { i++ } — limit comes from a load.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.load(Reg(2), Reg(1), 0);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let bounds = bounds_of(&p);
+        assert_eq!(bounds.len(), 1);
+        assert_eq!(bounds[0].bound, TripBound::Unknown);
+    }
+
+    #[test]
+    fn loop_containing_a_call_is_unknown() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("f");
+        b.ret();
+        b.end_function();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 0);
+        b.load_imm(Reg(2), 10);
+        let top = b.here_label();
+        b.call_label(f);
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Lt, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let bounds = bounds_of(&p);
+        assert_eq!(bounds.len(), 1);
+        assert_eq!(bounds[0].bound, TripBound::Unknown);
+    }
+
+    #[test]
+    fn unsigned_bound_needs_no_init() {
+        // Counter never initialised in the entry block; Ltu still bounds.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(2), 8);
+        b.load(Reg(1), Reg(0), 0); // unknown start
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        b.branch(Cond::Ltu, Reg(1), Reg(2), top);
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+        let bounds = bounds_of(&p);
+        assert_eq!(bounds.len(), 1);
+        let TripBound::AtMost(n) = bounds[0].bound else {
+            panic!("expected a bound: {bounds:?}");
+        };
+        assert!(n <= 16, "bound {n}");
+    }
+}

@@ -19,6 +19,7 @@ fn blocks_tile_every_function() {
                 functions,
                 constructs,
                 nesting: 2,
+                mem_ops: 0,
             },
         );
         for (i, f) in p.functions().iter().enumerate() {

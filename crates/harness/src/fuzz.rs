@@ -1,8 +1,10 @@
 //! `harness fuzz` — the differential fuzzer over every engine.
 //!
-//! Each seed becomes a [`FuzzCase`]: a shape drawn by
-//! [`FuzzShape::from_seed`] plus the seeded random program it generates
-//! (`workloads::fuzz`). [`run_case`] drives the case through the full
+//! Each seed becomes two [`FuzzCase`]s (see [`seed_cases`]): the bare
+//! shape drawn by [`FuzzShape::from_seed`] — byte-identical to every
+//! historical run of that seed — plus a companion with boundary-stressing
+//! memory-op shapes appended, the hard cases for the bounds pass and the
+//! soundness oracle. [`run_case`] drives each case through the full
 //! oracle stack:
 //!
 //! 1. **lint** — every `multiscalar-analyze` pass must come back clean
@@ -18,7 +20,12 @@
 //!    slots (perfect, PATH, and the two zoo families) must agree per slot;
 //! 6. **lane-packed vs scalar** — the SWAR batched sweep over the Figure 10
 //!    ladder must match the scalar fused walk, miss stats and
-//!    states-touched both.
+//!    states-touched both;
+//! 7. **analyzer soundness** — the bounds, dead-write, and static-exit
+//!    claims the dataflow passes make must survive the concrete execution
+//!    ([`multiscalar_analyze::soundness::check_execution`]): a claimed
+//!    in-bounds access never faults, a claimed dead write is never read,
+//!    a claimed static exit never takes another edge.
 //!
 //! Any violation becomes a [`Finding`]; [`shrink`] walks the shape lattice
 //! toward [`FuzzShape::minimal`], keeping each smaller shape that still
@@ -44,7 +51,7 @@ use multiscalar_sim::replay::{derive_trace, record_replay, simulate_replay_with_
 use multiscalar_sim::sanitize::{check_fused_agreement, check_replay_agreement};
 use multiscalar_sim::timing::{simulate_with_sink, NextTaskPredictor, TimingConfig};
 use multiscalar_taskform::TaskFormer;
-use multiscalar_workloads::fuzz::{fuzz_program, FuzzShape, MAX_STEPS};
+use multiscalar_workloads::fuzz::{fuzz_program, FuzzShape, MAX_MEMOPS, MAX_STEPS};
 use std::panic::AssertUnwindSafe;
 
 type Leh2 = LastExitHysteresis<2>;
@@ -250,9 +257,23 @@ pub fn differential(program: &Program, former: usize) -> Option<(&'static str, S
             .ok_or_else(|| format!("lane-packed {packed:?}\n  vs scalar {scalar:?}"))
     });
     match packed_check {
-        Ok(Ok(())) => None,
-        Ok(Err(detail)) => Some(("lane-packed-divergence", detail)),
-        Err(panic) => Some(("lane-packed-divergence", panic)),
+        Ok(Ok(())) => {}
+        Ok(Err(detail)) => return Some(("lane-packed-divergence", detail)),
+        Err(panic) => return Some(("lane-packed-divergence", panic)),
+    }
+
+    // Oracle 7: analyzer soundness — replay the bounds, dead-write and
+    // static-exit claims against the concrete execution.
+    match catching(|| multiscalar_analyze::soundness::check_execution(program, &tasks, MAX_STEPS)) {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => Some((
+            "soundness",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )),
+        Err(panic) => Some(("soundness", panic)),
     }
 }
 
@@ -302,26 +323,46 @@ pub fn shrink(finding: Finding, check: impl Fn(&FuzzCase) -> Option<Finding>) ->
 pub struct FuzzReport {
     /// Seeds swept (end exclusive).
     pub seeds: std::ops::Range<u64>,
+    /// Cases run (two per seed: bare shape + memop companion).
+    pub cases: usize,
     /// Shrunk findings, in seed order.
     pub findings: Vec<Finding>,
 }
 
-/// Sweeps `seeds`, one pool job per case, then shrinks every finding
-/// serially (findings are the rare path). Results are deterministic in the
-/// seed range regardless of pool width: jobs are independent and come back
-/// in submission order.
+/// The cases one seed contributes to a sweep: the bare seed-derived shape
+/// (byte-identical to every historical run of that seed), plus a companion
+/// with 1..=[`MAX_MEMOPS`] boundary-stressing memory-op shapes appended —
+/// the hard cases for the bounds pass and the soundness oracle.
+pub fn seed_cases(seed: u64) -> [FuzzCase; 2] {
+    let base = FuzzCase::from_seed(seed);
+    let hard = FuzzCase {
+        seed,
+        shape: FuzzShape {
+            memops: 1 + (seed % MAX_MEMOPS as u64) as usize,
+            ..base.shape
+        },
+    };
+    [base, hard]
+}
+
+/// Sweeps `seeds` ([`seed_cases`] per seed), one pool job per case, then
+/// shrinks every finding serially (findings are the rare path). Results are
+/// deterministic in the seed range regardless of pool width: jobs are
+/// independent and come back in submission order.
 pub fn fuzz_sweep(seeds: std::ops::Range<u64>, pool: &Pool) -> FuzzReport {
-    let jobs: Vec<_> = seeds
-        .clone()
-        .map(|seed| move || run_case(&FuzzCase::from_seed(seed)))
-        .collect();
+    let cases: Vec<FuzzCase> = seeds.clone().flat_map(seed_cases).collect();
+    let jobs: Vec<_> = cases.iter().map(|&case| move || run_case(&case)).collect();
     let findings = pool
         .run(jobs)
         .into_iter()
         .flatten()
         .map(|f| shrink(f, run_case))
         .collect();
-    FuzzReport { seeds, findings }
+    FuzzReport {
+        seeds,
+        cases: cases.len(),
+        findings,
+    }
 }
 
 /// Serialises a finding as a replayable `key=value` artifact
@@ -360,6 +401,7 @@ pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
             "constructs" => case.shape.constructs = parse(value)? as usize,
             "nesting" => case.shape.nesting = parse(value)? as u32,
             "former" => case.shape.former = parse(value)? as usize,
+            "memops" => case.shape.memops = parse(value)? as usize,
             _ => {}
         }
     }
@@ -378,19 +420,20 @@ pub fn render_report(report: &FuzzReport) -> String {
         "fuzz: seeds {}..{}, {} cases, {} findings",
         report.seeds.start,
         report.seeds.end,
-        report.seeds.end - report.seeds.start,
+        report.cases,
         report.findings.len()
     );
     for f in &report.findings {
         let _ = writeln!(
             s,
-            "  seed {} [{}] shape f{} c{} n{} b{}: {}",
+            "  seed {} [{}] shape f{} c{} n{} b{} m{}: {}",
             f.case.seed,
             f.kind,
             f.case.shape.functions,
             f.case.shape.constructs,
             f.case.shape.nesting,
             f.case.shape.former,
+            f.case.shape.memops,
             f.detail.replace('\n', "; ")
         );
     }
@@ -599,6 +642,19 @@ mod tests {
     }
 
     #[test]
+    fn memop_companion_cases_pass_every_oracle() {
+        for seed in [0, 5, 17] {
+            let [base, hard] = seed_cases(seed);
+            assert_eq!(base.shape.memops, 0);
+            assert!((1..=MAX_MEMOPS).contains(&hard.shape.memops), "{hard:?}");
+            assert!(
+                run_case(&hard).is_none(),
+                "seed {seed} memop companion must be clean"
+            );
+        }
+    }
+
+    #[test]
     fn shrink_descends_to_a_minimal_same_kind_reproducer() {
         // A synthetic failure predicate: "fails" whenever constructs >= 2
         // and nesting >= 1. The minimal reproducer under shrink_candidates'
@@ -619,6 +675,7 @@ mod tests {
                 constructs: 6,
                 nesting: 3,
                 former: 2,
+                memops: 0,
             },
         };
         let shrunk = shrink(fails(&start).unwrap(), fails);

@@ -33,7 +33,18 @@ impl LintTarget {
 
     /// Number of warning-severity diagnostics.
     pub fn warnings(&self) -> usize {
-        self.diagnostics.len() - self.errors()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Number of note-severity diagnostics (never fail a run).
+    pub fn notes(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Note)
+            .count()
     }
 }
 
@@ -48,8 +59,8 @@ pub fn lint_program(name: &str, program: multiscalar_isa::Program) -> LintTarget
         // pass still runs so the underlying cause is visible too.
         Err(e) => {
             let mut diags = multiscalar_analyze::analyze_program(&program);
-            diags.push(Diagnostic::error(
-                multiscalar_analyze::Pass::Tfg,
+            diags.push(Diagnostic::new(
+                &multiscalar_analyze::diag::codes::FORMATION_FAILED,
                 format!("task formation failed: {e}"),
             ));
             diags
@@ -92,8 +103,9 @@ pub fn render(targets: &[LintTarget]) -> String {
     }
     let errors: usize = targets.iter().map(|t| t.errors()).sum();
     let warnings: usize = targets.iter().map(|t| t.warnings()).sum();
+    let notes: usize = targets.iter().map(|t| t.notes()).sum();
     out.push_str(&format!(
-        "linted {} targets: {errors} errors, {warnings} warnings\n",
+        "linted {} targets: {errors} errors, {warnings} warnings, {notes} notes\n",
         targets.len()
     ));
     out
@@ -114,12 +126,52 @@ pub fn render_json(targets: &[LintTarget]) -> String {
     out
 }
 
+/// Renders one catalog entry for `harness lint --explain <CODE>`.
+pub fn render_explain(code: &multiscalar_analyze::diag::Code) -> String {
+    let mut out = format!(
+        "{} ({}, pass `{}`): {}\n\n",
+        code.id, code.severity, code.pass, code.brief
+    );
+    // Re-wrap the catalog's long-form text to ~76 columns.
+    let mut col = 0;
+    for word in code.explain.split_whitespace() {
+        if col > 0 && col + 1 + word.len() > 76 {
+            out.push('\n');
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(word);
+        col += word.len();
+    }
+    out.push('\n');
+    out
+}
+
 /// `true` if the run should fail CI: any error, or any warning when
 /// `deny_warnings` is set.
 pub fn failed(targets: &[LintTarget], deny_warnings: bool) -> bool {
     targets
         .iter()
         .any(|t| t.errors() > 0 || (deny_warnings && t.warnings() > 0))
+}
+
+/// Builds the ranked squash-proneness report for `harness lint
+/// --speculation` over the same target set as [`lint_all`].
+pub fn speculation_report(params: &WorkloadParams) -> String {
+    use multiscalar_taskform::TaskFormer;
+    let mut out = String::new();
+    for t in lint_all(params) {
+        let Ok(tasks) = TaskFormer::default().form(&t.program) else {
+            continue;
+        };
+        let report = multiscalar_analyze::spec::analyze(&t.program, &tasks);
+        out.push_str(&multiscalar_analyze::spec::render_report(
+            &t.name, &t.program, &report,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -49,6 +49,8 @@ struct Args {
     cache_max_bytes: Option<u64>,
     seeds: Option<std::ops::Range<u64>>,
     repro: Option<std::path::PathBuf>,
+    explain: Option<String>,
+    speculation: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
     let mut cache_max_bytes = None;
     let mut seeds = None;
     let mut repro = None;
+    let mut explain = None;
+    let mut speculation = false;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -119,6 +123,8 @@ fn parse_args() -> Result<Args, String> {
                 seeds = Some(start..end);
             }
             "--repro" => repro = Some(std::path::PathBuf::from(value()?)),
+            "--explain" => explain = Some(value()?),
+            "--speculation" => speculation = true,
             "--cache-max-bytes" => {
                 cache_max_bytes = Some(
                     value()?
@@ -151,6 +157,8 @@ fn parse_args() -> Result<Args, String> {
         cache_max_bytes,
         seeds,
         repro,
+        explain,
+        speculation,
     })
 }
 
@@ -161,7 +169,7 @@ fn usage() -> String {
      bench-pr6> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
      [--deny warnings] [--json] [--occupancy] [--smoke] [--cache-dir DIR] [--no-cache] \
-     [--cache-max-bytes N] [--seeds A..B] [--repro FILE]"
+     [--cache-max-bytes N] [--seeds A..B] [--repro FILE] [--explain CODE] [--speculation]"
         .to_string()
 }
 
@@ -289,6 +297,27 @@ fn main() -> ExitCode {
         };
     }
     if args.experiment == "lint" {
+        // `--explain CODE` prints the catalog entry and touches no program.
+        if let Some(code) = &args.explain {
+            return match multiscalar_analyze::diag::codes::lookup(code) {
+                Some(c) => {
+                    print!("{}", multiscalar_harness::lint::render_explain(c));
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown diagnostic code `{code}`; known codes:");
+                    for c in multiscalar_analyze::diag::codes::ALL {
+                        eprintln!("  {}  {}", c.id, c.brief);
+                    }
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        if args.speculation {
+            let report = multiscalar_harness::lint::speculation_report(&args.params);
+            print!("{report}");
+            return ExitCode::SUCCESS;
+        }
         let targets = multiscalar_harness::lint::lint_all(&args.params);
         if args.json {
             print!("{}", multiscalar_harness::lint::render_json(&targets));

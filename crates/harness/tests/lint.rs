@@ -1,0 +1,135 @@
+//! Golden-schema and determinism tests for `harness lint`.
+//!
+//! The JSON line format (`--json`) is machine-consumed — CI annotations
+//! and triage scripts key on `code` — so its shape is pinned against a
+//! golden file: structure, keys, code ids and messages stay fixed, with
+//! only the numbers (pcs, intervals, counts) masked out. A deliberate
+//! schema change updates `tests/golden/lint_schema.txt` in the same PR.
+
+use multiscalar_harness::lint::{lint_all, lint_program, render_json, speculation_report};
+use multiscalar_isa::{AluOp, Cond, ProgramBuilder, Reg, DEFAULT_MEMORY_WORDS};
+use multiscalar_workloads::WorkloadParams;
+
+/// Masks every standalone run of digits with `#`. Digits that are part of
+/// a letter-prefixed identifier — code ids like `E050`, register names
+/// like `r10` — are kept verbatim: those are the stable vocabulary this
+/// test pins, while pcs, intervals and counts are free to move.
+fn mask_numbers(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ident = false;
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_digit() && !in_ident {
+            while chars.peek().is_some_and(char::is_ascii_digit) {
+                chars.next();
+            }
+            out.push('#');
+        } else {
+            in_ident = c.is_ascii_alphabetic() || (in_ident && c.is_ascii_digit());
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// An orphan-code program: `other`'s body is only reachable through a
+/// cross-function branch, which the IR pass rejects.
+fn broken_program() -> multiscalar_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    let elsewhere = b.new_label();
+    b.branch(Cond::Eq, Reg(1), Reg(2), elsewhere);
+    b.halt();
+    b.end_function();
+    b.begin_function("other");
+    b.nop();
+    b.bind(elsewhere);
+    b.halt();
+    b.end_function();
+    b.finish(main).unwrap()
+}
+
+/// One provably out-of-bounds store (E050) plus a load at an address the
+/// interval analysis cannot bound (W050): the address is itself loaded
+/// from memory a prior store made unknown.
+fn bounds_program() -> multiscalar_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let scratch = b.alloc_zeroed(8);
+    let main = b.begin_function("main");
+    // E050: store past the top of memory.
+    b.load_imm(Reg(10), DEFAULT_MEMORY_WORDS as i32);
+    b.store(Reg(11), Reg(10), 0);
+    // W050: address widened beyond any provable bound — a loop-carried
+    // doubling never converges to a finite interval.
+    b.load_imm(Reg(12), 1);
+    let top = b.here_label();
+    b.op(AluOp::Add, Reg(12), Reg(12), Reg(12));
+    b.op_imm(AluOp::Add, Reg(13), Reg(13), 1);
+    b.load_imm(Reg(14), 8);
+    b.branch(Cond::Lt, Reg(13), Reg(14), top);
+    b.load(Reg(15), Reg(12), scratch as i32);
+    b.halt();
+    b.end_function();
+    b.finish(main).unwrap()
+}
+
+/// A dead write (N060: `r10` overwritten before any read) and an
+/// uninit-first read (N061: `r11` read before its only write).
+fn liveness_program() -> multiscalar_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.begin_function("main");
+    b.load_imm(Reg(10), 7); // dead: overwritten below, never read
+    b.load_imm(Reg(10), 8);
+    b.op_imm(AluOp::Add, Reg(12), Reg(11), 1); // r11 read before write
+    b.load_imm(Reg(11), 3);
+    b.op_imm(AluOp::Add, Reg(13), Reg(10), 0);
+    b.op_imm(AluOp::Add, Reg(13), Reg(12), 0);
+    b.op_imm(AluOp::Add, Reg(14), Reg(13), 0);
+    b.store(Reg(14), Reg(0), 0);
+    b.halt();
+    b.end_function();
+    b.finish(main).unwrap()
+}
+
+/// `lint --json` keeps its golden schema: same keys, same code ids, same
+/// messages, with only the numbers free to change.
+#[test]
+fn lint_json_matches_golden_schema() {
+    let targets = vec![
+        lint_program("fixture/broken", broken_program()),
+        lint_program("fixture/bounds", bounds_program()),
+        lint_program("fixture/liveness", liveness_program()),
+    ];
+    let json = render_json(&targets);
+    // The fixtures must cover an error, a warning and a note pass each,
+    // with their stable codes present.
+    for code in ["E050", "W050", "N060", "N061"] {
+        assert!(
+            json.contains(&format!("\"code\":\"{code}\"")),
+            "fixture set lost {code}:\n{json}"
+        );
+    }
+    assert_eq!(
+        mask_numbers(&json),
+        include_str!("golden/lint_schema.txt"),
+        "lint --json schema drifted; update tests/golden/lint_schema.txt \
+         if the change is deliberate"
+    );
+}
+
+/// Repeated lint runs — including the speculation report — are
+/// byte-identical: diagnostics carry no ambient state (timestamps, hash
+/// orderings, pool scheduling).
+#[test]
+fn lint_output_is_deterministic() {
+    let params = WorkloadParams::small(7);
+    let a = render_json(&lint_all(&params));
+    let b = render_json(&lint_all(&params));
+    assert_eq!(a, b, "lint --json must be deterministic");
+    assert!(!a.is_empty(), "the small sweep always has notes to report");
+    let sa = speculation_report(&params);
+    let sb = speculation_report(&params);
+    assert_eq!(sa, sb, "lint --speculation must be deterministic");
+    assert!(sa.contains("# speculation:"), "{sa}");
+    assert!(sa.contains("static-exit claims"), "{sa}");
+}

@@ -28,6 +28,7 @@ fn traces_are_well_formed() {
                 functions,
                 constructs,
                 nesting: 2,
+                mem_ops: 0,
             },
         );
         let tp = TaskFormer::default().form(&p).unwrap();

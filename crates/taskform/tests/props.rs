@@ -20,6 +20,7 @@ fn random_programs_form_valid_tasks() {
                 functions,
                 constructs,
                 nesting,
+                mem_ops: 0,
             },
         );
         let tp = TaskFormer::default().form(&p).expect("formation succeeds");

@@ -41,6 +41,10 @@ pub const MAX_NESTING: u32 = 3;
 /// harness's budget table; 1 is the default former).
 pub const FORMER_BUDGETS: usize = 3;
 
+/// Largest per-function memory-op shape count a fuzz case uses (see
+/// [`crate::synthetic::SyntheticConfig::mem_ops`]).
+pub const MAX_MEMOPS: usize = 4;
+
 /// Interpreter step budget every fuzz case must halt within. Sized ~4×
 /// above the worst shape's dynamic length: `6^6` worst-case call tree ×
 /// ≤5 driver trips × ~4 instructions per construct ≈ 1M steps.
@@ -60,6 +64,11 @@ pub struct FuzzShape {
     /// Task-former budget index (0..[`FORMER_BUDGETS`]; the harness maps
     /// it onto its small/default/large budget table).
     pub former: usize,
+    /// Boundary-stressing memory-op shapes per function
+    /// (0..=[`MAX_MEMOPS`]). Always 0 in seed-derived shapes so every
+    /// historical seed's program stays byte-identical; the harness sweeps
+    /// a memops-enabled companion case per seed.
+    pub memops: usize,
 }
 
 impl FuzzShape {
@@ -74,6 +83,10 @@ impl FuzzShape {
             constructs: rng.gen_range(1..MAX_CONSTRUCTS + 1),
             nesting: rng.gen_range(0..MAX_NESTING + 1),
             former: rng.gen_range(0..FORMER_BUDGETS),
+            // Not drawn from the stream: a bare seed's program must stay
+            // byte-identical across releases. Memop coverage comes from
+            // the sweep's explicit companion cases.
+            memops: 0,
         }
     }
 
@@ -84,6 +97,7 @@ impl FuzzShape {
             constructs: 1,
             nesting: 0,
             former: 1,
+            memops: 0,
         }
     }
 
@@ -125,6 +139,12 @@ impl FuzzShape {
                 ..*self
             });
         }
+        if self.memops > 0 {
+            out.push(FuzzShape {
+                memops: self.memops - 1,
+                ..*self
+            });
+        }
         if self.former != 1 {
             out.push(FuzzShape { former: 1, ..*self });
         }
@@ -135,8 +155,8 @@ impl FuzzShape {
     /// artifact (see `harness fuzz --repro`).
     pub fn render(&self) -> String {
         format!(
-            "functions={}\nconstructs={}\nnesting={}\nformer={}\n",
-            self.functions, self.constructs, self.nesting, self.former
+            "functions={}\nconstructs={}\nnesting={}\nformer={}\nmemops={}\n",
+            self.functions, self.constructs, self.nesting, self.former, self.memops
         )
     }
 }
@@ -152,6 +172,7 @@ pub fn fuzz_program(seed: u64, shape: &FuzzShape) -> Program {
             functions: shape.functions,
             constructs: shape.constructs,
             nesting: shape.nesting,
+            mem_ops: shape.memops,
         },
     )
 }
@@ -170,6 +191,53 @@ mod tests {
             assert!((1..=MAX_CONSTRUCTS).contains(&a.constructs), "{a:?}");
             assert!(a.nesting <= MAX_NESTING, "{a:?}");
             assert!(a.former < FORMER_BUDGETS, "{a:?}");
+            assert_eq!(a.memops, 0, "bare seeds must stay byte-identical");
+        }
+    }
+
+    /// FNV-1a over the disassembly: a cheap stable fingerprint.
+    fn disasm_hash(p: &Program) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in p.disassemble().bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn seed_derived_programs_are_pinned() {
+        // Historical seeds must regenerate the exact same programs —
+        // reproducer artifacts and triage notes reference them by seed.
+        // If a deliberate generator change breaks this, re-pin AND bump
+        // the artifact format notes in the fuzz module docs.
+        let pinned: [(u64, u64); 3] = [
+            (0, 0xf9c2_ba81_9744_761a),
+            (1, 0x6842_5df7_e59a_6fdc),
+            (17, 0x8c90_0c1a_5982_02d0),
+        ];
+        for (seed, want) in pinned {
+            let case = FuzzShape::from_seed(seed);
+            let got = disasm_hash(&fuzz_program(seed, &case));
+            assert_eq!(got, want, "seed {seed} drifted (got {got:#x})");
+        }
+    }
+
+    #[test]
+    fn memop_shapes_build_halt_and_add_memory_traffic() {
+        for seed in 0..12 {
+            let mut shape = FuzzShape::from_seed(seed);
+            shape.memops = 1 + (seed % MAX_MEMOPS as u64) as usize;
+            let with = fuzz_program(seed, &shape);
+            let without = fuzz_program(seed, &FuzzShape::from_seed(seed));
+            assert!(
+                with.len() > without.len(),
+                "seed {seed}: memops must add instructions"
+            );
+            let out = Interpreter::new(&with)
+                .run(MAX_STEPS)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(out.halted, "seed {seed} must halt with memops");
         }
     }
 
@@ -209,9 +277,14 @@ mod tests {
             constructs: MAX_CONSTRUCTS,
             nesting: MAX_NESTING,
             former: 2,
+            memops: MAX_MEMOPS,
         };
         let weight = |s: &FuzzShape| {
-            s.functions * 100 + s.constructs * 10 + s.nesting as usize + (s.former != 1) as usize
+            s.functions * 1000
+                + s.constructs * 100
+                + s.nesting as usize * 10
+                + s.memops
+                + (s.former != 1) as usize
         };
         let mut steps = 0;
         loop {

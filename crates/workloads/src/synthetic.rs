@@ -20,6 +20,12 @@ pub struct SyntheticConfig {
     pub constructs: usize,
     /// Maximum construct nesting depth.
     pub nesting: u32,
+    /// Boundary-stressing memory-op shapes appended per function body:
+    /// near-top and near-zero constant addresses, masked computed
+    /// indices, and branch-guarded computed indices — the hard cases for
+    /// the bounds pass and its soundness oracle. 0 (the default) keeps
+    /// the historical instruction stream byte-identical.
+    pub mem_ops: usize,
 }
 
 impl Default for SyntheticConfig {
@@ -28,6 +34,7 @@ impl Default for SyntheticConfig {
             functions: 6,
             constructs: 5,
             nesting: 2,
+            mem_ops: 0,
         }
     }
 }
@@ -45,6 +52,10 @@ impl Default for SyntheticConfig {
 pub fn random_program(seed: u64, config: &SyntheticConfig) -> Program {
     assert!(config.functions > 0, "need at least one function");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5A9D_0711);
+    // Separate stream for the appended memory-op shapes: with
+    // `mem_ops == 0` the body stream's draws — and hence the emitted
+    // program — are untouched, byte for byte.
+    let mut mrng = StdRng::seed_from_u64(seed ^ 0x3E3A_11C7);
     let mut b = ProgramBuilder::new();
     let scratch = b.alloc_zeroed(64);
 
@@ -59,6 +70,7 @@ pub fn random_program(seed: u64, config: &SyntheticConfig) -> Program {
         for _ in 0..config.constructs {
             construct(&mut b, &mut rng, &callees, scratch, config.nesting, false);
         }
+        memory_shapes(&mut b, &mut mrng, scratch, config.mem_ops);
         mov(&mut b, RV, T0);
         b.ret();
         b.end_function();
@@ -176,6 +188,63 @@ fn construct(
     }
 }
 
+/// Appends `n` boundary-stressing memory ops. Every shape is still
+/// provably in bounds — by an exact constant, a mask, or a comparison
+/// guard the interval analysis refines through — so the lint stays clean
+/// while the bounds pass (and the fuzz soundness oracle replaying its
+/// `InBounds` claims) gets exercised at the memory boundary and on
+/// computed indices.
+fn memory_shapes(b: &mut ProgramBuilder, rng: &mut StdRng, scratch: u32, n: usize) {
+    use multiscalar_isa::DEFAULT_MEMORY_WORDS;
+    for _ in 0..n {
+        match rng.gen_range(0..4) {
+            0 => {
+                // Near the very top of memory: exact constant address.
+                let a = DEFAULT_MEMORY_WORDS as i32 - 1 - rng.gen_range(0..4);
+                b.load_imm(T5, a);
+                if rng.gen_bool(0.5) {
+                    b.load(T2, T5, 0);
+                } else {
+                    b.store(T2, T5, 0);
+                }
+            }
+            1 => {
+                // Near address zero, inside the scratch area.
+                b.load_imm(T5, scratch as i32 + rng.gen_range(0..4));
+                if rng.gen_bool(0.5) {
+                    b.load(T2, T5, 0);
+                } else {
+                    b.store(T2, T5, 0);
+                }
+            }
+            2 => {
+                // Masked computed index into scratch.
+                b.op_imm(AluOp::And, T5, T2, 63);
+                b.op_imm(AluOp::Add, T5, T5, scratch as i32);
+                if rng.gen_bool(0.5) {
+                    b.load(T2, T5, 0);
+                } else {
+                    b.store(T3, T5, 0);
+                }
+            }
+            _ => {
+                // Guarded computed index: in bounds only through the
+                // branch refinement (`T5 < 64` on the taken side).
+                let ok = b.new_label();
+                let done = b.new_label();
+                b.op_imm(AluOp::And, T5, T2, 127);
+                b.load_imm(T6, 64);
+                b.branch(Cond::Ltu, T5, T6, ok);
+                b.jump(done);
+                b.bind(ok);
+                b.op_imm(AluOp::Add, T5, T5, scratch as i32);
+                b.load(T2, T5, 0);
+                b.bind(done);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +275,7 @@ mod tests {
             functions: 3,
             constructs: 2,
             nesting: 1,
+            mem_ops: 0,
         };
         let p = random_program(1, &cfg);
         assert_eq!(p.functions().len(), 4); // 3 + main

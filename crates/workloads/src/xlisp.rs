@@ -151,6 +151,9 @@ pub fn xlisp_like(params: &WorkloadParams) -> Workload {
         .map(|_| gen_tree(&mut rng, &mut nodes, 8))
         .collect();
     let n_nodes = nodes.len();
+    // Smallest all-ones mask covering every node index (identity on valid
+    // indices); applied at `eval` entry.
+    let node_mask = (n_nodes.max(1).next_power_of_two() - 1) as i32;
 
     let mut b = ProgramBuilder::new();
     let tag_base = b.alloc_data(&nodes.iter().map(|n| n.tag).collect::<Vec<_>>());
@@ -202,6 +205,11 @@ pub fn xlisp_like(params: &WorkloadParams) -> Workload {
         f_eval_label = b.begin_function("eval");
         push_regs(&mut b, &[S0, S1]);
         mov(&mut b, S0, A0);
+        // Every caller passes a valid node index (< n_nodes), so this mask
+        // is a dynamic no-op — but it bounds the index in the code itself,
+        // keeping the per-node table loads below provably in range for any
+        // forest size (the same masking idiom the bounds lint prescribes).
+        b.op_imm(AluOp::And, S0, S0, node_mask);
         b.op_imm(AluOp::Add, T0, S0, tag_base as i32);
         b.load(T0, T0, 0);
         let cases: Vec<_> = (0..NTAGS).map(|_| b.new_label()).collect();
@@ -265,9 +273,12 @@ pub fn xlisp_like(params: &WorkloadParams) -> Workload {
         b.jump(epilogue);
 
         // COUNTER: RV = counters[val]++, a value that changes over time.
+        // Counter vals are generated in 0..16; the mask makes that bound
+        // explicit in the code so the cell index is provably in range.
         b.bind(cases[T_COUNTER as usize]);
         b.op_imm(AluOp::Add, T0, S0, val_base as i32);
         b.load(T0, T0, 0);
+        b.op_imm(AluOp::And, T0, T0, 15);
         b.op_imm(AluOp::Add, T0, T0, counters_base as i32);
         b.load(RV, T0, 0);
         b.op_imm(AluOp::Add, T1, RV, 1);

@@ -19,6 +19,7 @@ fn random_programs_round_trip_through_masm() {
                 functions,
                 constructs,
                 nesting: 2,
+                mem_ops: 0,
             },
         );
         let text = to_masm(&p1);
