@@ -145,3 +145,15 @@ pub fn run(params: &WorkloadParams, pool: &Pool) -> Result<BenchPr5Report, Strin
         threads: pool.threads(),
     })
 }
+
+/// The registry tool entry: run the benchmark, emit the JSON report both
+/// as the body and as a `BENCH_PR5.json` artifact.
+pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output, String> {
+    let report = run(&ctx.params, ctx.pool).map_err(|e| format!("bench-pr5 failed: {e}"))?;
+    let json = report.to_json(&ctx.params);
+    Ok(crate::registry::Output {
+        body: format!("{json}wrote BENCH_PR5.json\n"),
+        files: vec![("BENCH_PR5.json".to_string(), json)],
+        ok: true,
+    })
+}

@@ -193,3 +193,21 @@ pub fn smoke(params: &WorkloadParams, pool: &Pool) -> Result<String, String> {
         ladder.len() * benches.len()
     ))
 }
+
+/// The registry tool entry: `--smoke` runs the deterministic parity
+/// check; otherwise run the benchmark and emit the JSON report both as
+/// the body and as a `BENCH_PR6.json` artifact.
+pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output, String> {
+    if ctx.req.opts.smoke {
+        let msg =
+            smoke(&ctx.params, ctx.pool).map_err(|e| format!("bench-pr6 smoke failed: {e}"))?;
+        return Ok(crate::registry::Output::text(format!("{msg}\n")));
+    }
+    let report = run(&ctx.params, ctx.pool).map_err(|e| format!("bench-pr6 failed: {e}"))?;
+    let json = report.to_json(&ctx.params);
+    Ok(crate::registry::Output {
+        body: format!("{json}wrote BENCH_PR6.json\n"),
+        files: vec![("BENCH_PR6.json".to_string(), json)],
+        ok: true,
+    })
+}

@@ -361,3 +361,103 @@ impl ArtifactCache {
         Ok(removed)
     }
 }
+
+/// `harness cache stats`: what is on disk, plus — via the registry's
+/// declared input sets — which benchmarks and experiments the cache
+/// already covers at these workload parameters. The per-experiment keys
+/// come from [`crate::registry::bench_keys`] /
+/// [`crate::registry::input_fingerprint`], the same derivation path the
+/// serve result cache memoises under.
+pub fn stats_report(store: &ArtifactCache, params: &WorkloadParams) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let entries = store.disk_entries();
+    let total: u64 = entries.iter().map(|(_, size)| size).sum();
+    let _ = writeln!(out, "cache directory: {}", store.dir().display());
+    let _ = writeln!(out, "entries: {} ({} bytes)", entries.len(), total);
+    for (name, size) in &entries {
+        let _ = writeln!(out, "  {name}  {size}");
+    }
+    // `gc` evicts in LRU (mtime) order and hits bump the served entry's
+    // mtime best-effort; report here when that recency signal is broken
+    // (read-only cache dir) instead of letting it fail silently.
+    let (touch_failures, probed) = store.probe_touch();
+    if touch_failures > 0 {
+        let _ = writeln!(
+            out,
+            "recency touch: FAILING for {touch_failures} of {probed} entries \
+             (hits will not age entries; gc LRU order goes stale)"
+        );
+    } else {
+        let _ = writeln!(out, "recency touch: ok ({probed} entries writable)");
+    }
+    let keys = crate::registry::bench_keys(params);
+    let _ = writeln!(
+        out,
+        "benchmark artifacts (seed {}, scale {}):",
+        params.seed, params.scale
+    );
+    for &(spec, key) in &keys {
+        let state = if store.entry_path(key).exists() {
+            "cached"
+        } else {
+            "cold"
+        };
+        let _ = writeln!(out, "  {:<10} {key}  {state}", spec.name());
+    }
+    let _ = writeln!(out, "experiment inputs:");
+    for exp in crate::registry::REGISTRY {
+        if exp.benches.specs().is_empty() {
+            continue;
+        }
+        let fp = crate::registry::input_fingerprint(exp, &keys);
+        let warm = exp.benches.specs().iter().all(|spec| {
+            keys.iter()
+                .find(|(s, _)| s == spec)
+                .is_some_and(|&(_, key)| store.entry_path(key).exists())
+        });
+        let state = if warm { "warm" } else { "cold" };
+        let _ = writeln!(out, "  {:<16} {fp}  {state}", exp.name);
+    }
+    out
+}
+
+/// The registry tool entry for `harness cache <stats|clear|gc>`. Operates
+/// on the invocation's resolved cache directory even when `--no-cache`
+/// disabled preparation caching.
+pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output, String> {
+    use crate::proto::CacheAction;
+    use crate::registry::Output;
+    let store = ArtifactCache::new(ctx.cache_dir.clone());
+    match ctx.req.opts.cache_action {
+        Some(CacheAction::Stats) => Ok(Output::text(stats_report(&store, &ctx.params))),
+        Some(CacheAction::Clear) => match store.clear() {
+            Ok(n) => Ok(Output::text(format!(
+                "removed {n} artifacts from {}\n",
+                store.dir().display()
+            ))),
+            Err(e) => Err(format!("cache clear failed: {e}")),
+        },
+        Some(CacheAction::Gc) => {
+            let Some(max_bytes) = ctx.req.opts.cache_max_bytes else {
+                return Err("cache gc needs --cache-max-bytes N".to_string());
+            };
+            match store.gc(max_bytes) {
+                Ok(r) => Ok(Output::text(format!(
+                    "evicted {} artifacts ({} bytes), kept {} ({} bytes) in {}\n",
+                    r.removed,
+                    r.removed_bytes,
+                    r.kept,
+                    r.kept_bytes,
+                    store.dir().display()
+                ))),
+                Err(e) => Err(format!("cache gc failed: {e}")),
+            }
+        }
+        None => Err(
+            "usage: harness cache <stats|clear|gc> [--cache-dir DIR] [--seed N] \
+             [--scale N] [--cache-max-bytes N]"
+                .to_string(),
+        ),
+    }
+}

@@ -469,6 +469,14 @@ impl Engine {
             _ => None,
         }
     }
+
+    /// The flag/wire name (inverse of [`Engine::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Legacy => "legacy",
+            Engine::Replay => "replay",
+        }
+    }
 }
 
 /// Re-records each benchmark's instruction replay from scratch (one job

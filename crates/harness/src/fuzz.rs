@@ -629,6 +629,69 @@ pub fn adversarial_checks() -> Vec<String> {
     failures
 }
 
+/// The registry tool entry: replay one reproducer (`--repro FILE`) or run
+/// the adversarial fixtures plus a seeded sweep, findings dumped as
+/// artifact files and reflected in the output's pass/fail.
+pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output, String> {
+    use crate::registry::Output;
+    // Replaying one dumped reproducer: parse, re-run, report.
+    if let Some(path) = &ctx.req.opts.repro {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let case = parse_case(&text).map_err(|e| format!("bad reproducer {path}: {e}"))?;
+        return Ok(match run_case(&case) {
+            None => Output::text(format!("repro seed {}: all oracles pass\n", case.seed)),
+            Some(f) => Output {
+                body: format!(
+                    "repro seed {}: [{}] {}\n",
+                    f.case.seed,
+                    f.kind,
+                    f.detail.replace('\n', "; ")
+                ),
+                files: Vec::new(),
+                ok: false,
+            },
+        });
+    }
+    let seeds = match (&ctx.req.opts.seeds, ctx.req.opts.smoke) {
+        (Some(r), _) => r.clone(),
+        (None, true) => SMOKE_SEEDS,
+        (None, false) => {
+            return Err("fuzz needs --seeds A..B (or --smoke for the pinned CI range)".to_string())
+        }
+    };
+    // Adversarial fixtures first, serially — the dispatch-fallback check
+    // asserts deltas on the process-global lane-packed counter, so
+    // nothing else may sweep concurrently. Their failure detail goes to
+    // stderr (a daemon log line under `serve`), the count into the body.
+    let adversarial = adversarial_checks();
+    for msg in &adversarial {
+        eprintln!("{msg}");
+    }
+    let mut body = format!(
+        "adversarial: {} checks, {} failures\n",
+        ADVERSARIAL_CHECKS,
+        adversarial.len()
+    );
+    let report = fuzz_sweep(seeds, ctx.pool);
+    body.push_str(&render_report(&report));
+    let files = report
+        .findings
+        .iter()
+        .map(|f| {
+            (
+                format!("fuzz-findings/seed-{}-{}.txt", f.case.seed, f.kind),
+                render_finding(f),
+            )
+        })
+        .collect();
+    Ok(Output {
+        body,
+        files,
+        ok: adversarial.is_empty() && report.findings.is_empty(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,8 +42,10 @@ pub mod fuzz;
 pub mod lint;
 pub mod pool;
 pub mod profile;
+pub mod proto;
 pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod verify;
 
 use std::sync::Arc;

@@ -174,6 +174,41 @@ pub fn speculation_report(params: &WorkloadParams) -> String {
     out
 }
 
+/// The registry tool entry: `--explain`, `--speculation`, or the full
+/// lint sweep rendered as text or JSON per the request's format, with
+/// denied warnings reported as a failing (but rendered) output.
+pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output, String> {
+    use crate::proto::OutputFormat;
+    use crate::registry::Output;
+    // `--explain CODE` prints the catalog entry and touches no program.
+    if let Some(code) = &ctx.req.opts.explain {
+        return match multiscalar_analyze::diag::codes::lookup(code) {
+            Some(c) => Ok(Output::text(render_explain(c))),
+            None => {
+                let mut msg = format!("unknown diagnostic code `{code}`; known codes:");
+                for c in multiscalar_analyze::diag::codes::ALL {
+                    msg.push_str(&format!("\n  {}  {}", c.id, c.brief));
+                }
+                Err(msg)
+            }
+        };
+    }
+    if ctx.req.opts.speculation {
+        return Ok(Output::text(speculation_report(&ctx.params)));
+    }
+    let targets = lint_all(&ctx.params);
+    let body = if ctx.req.format == OutputFormat::Json {
+        render_json(&targets)
+    } else {
+        render(&targets)
+    };
+    Ok(Output {
+        body,
+        files: Vec::new(),
+        ok: !failed(&targets, ctx.req.opts.deny_warnings),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,94 +2,81 @@
 //!
 //! ```text
 //! harness <experiment> [--seed N] [--scale N] [--bench NAME] [--threads N]
-//!                      [--engine legacy|replay] [--json] [--occupancy]
+//!                      [--engine legacy|replay] [--format text|csv|json]
 //!                      [--cache-dir DIR] [--no-cache]
+//! harness serve [--socket PATH] [--result-max-bytes N] [...]
 //!
 //! experiments: table2 fig3 fig4 fig6 fig7 fig8 fig10 fig11 fig12
 //!              table3 table4 profile all
 //! ```
 //!
-//! Every experiment lives in the typed [`registry`]: one entry per
-//! table/figure declaring its renderer, CSV writer, JSON serialiser,
-//! artifacts **and input set**, so `all` / `ext` / `csv` iterate the
-//! registry instead of a hand-written name list and running one experiment
-//! prepares only the benchmarks it declares. Benchmarks are prepared
-//! **once** per invocation (traces are shared, immutable, behind `Arc`)
-//! through the on-disk artifact cache (`.multiscalar-cache` by default;
-//! `--no-cache` disables, `harness cache stats|clear|gc` manages), and every
-//! sweep fans out over a `--threads`-wide job pool. Output is
-//! byte-identical for every thread count and for cold, warm or disabled
-//! caches. Table 4 runs on the record-once replay engine by default;
-//! `--engine legacy` re-interprets per column (bit-identical, for
-//! cross-checking).
+//! The binary is a thin shell around the typed request pipeline: parse
+//! the command line into a [`Request`] (`multiscalar_harness::proto`),
+//! run it through [`registry::dispatch`] — the one execution path shared
+//! with `harness serve` — and render the structured
+//! [`registry::Output`]: body to stdout, artifact files to disk, `ok` to
+//! the exit code, errors to stderr. Every subcommand, including the
+//! tools (`lint`, `fuzz`, `verify`, `cache`, `bench-pr*`), is a registry
+//! entry; nothing dispatches outside the registry.
+//!
+//! Benchmarks are prepared **once** per invocation (traces are shared,
+//! immutable, behind `Arc`) through the on-disk artifact cache
+//! (`.multiscalar-cache` by default; `--no-cache` disables, `harness
+//! cache stats|clear|gc` manages), and every sweep fans out over a
+//! `--threads`-wide job pool. Output is byte-identical for every thread
+//! count and for cold, warm or disabled caches. `harness serve` keeps
+//! prepared benchmarks and rendered results resident across requests —
+//! see `multiscalar_harness::serve`.
 
 use multiscalar_harness::cache::{self, ArtifactCache};
-use multiscalar_harness::experiments::Engine;
 use multiscalar_harness::pool::Pool;
-use multiscalar_harness::registry::{self, BenchSet, ExpCtx, Group, Prepared};
-use multiscalar_harness::{bench_pr1, bench_pr2, bench_pr5, bench_pr6};
-use multiscalar_isa::Fingerprint;
-use multiscalar_workloads::{Spec92, WorkloadParams};
+use multiscalar_harness::proto::{parse_seed_range, CacheAction, OutputFormat, Request};
+use multiscalar_harness::registry;
+use multiscalar_harness::serve::{self, ServeConfig};
+use multiscalar_workloads::Spec92;
 use std::process::ExitCode;
 
-struct Args {
-    experiment: String,
-    cache_action: Option<String>,
-    params: WorkloadParams,
-    bench: Option<Spec92>,
-    csv_dir: Option<std::path::PathBuf>,
-    cache_dir: Option<std::path::PathBuf>,
-    no_cache: bool,
+/// One parsed invocation: the typed request plus the process-level
+/// resources it runs with (pool width, cache location, serve endpoints).
+struct Invocation {
+    request: Request,
     pool: Pool,
-    engine: Engine,
-    deny_warnings: bool,
-    json: bool,
-    occupancy: bool,
-    smoke: bool,
-    cache_max_bytes: Option<u64>,
-    seeds: Option<std::ops::Range<u64>>,
-    repro: Option<std::path::PathBuf>,
-    explain: Option<String>,
-    speculation: bool,
+    cache_dir: std::path::PathBuf,
+    no_cache: bool,
+    socket: Option<std::path::PathBuf>,
+    result_max_bytes: u64,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Invocation, String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or_else(usage)?;
-    let mut cache_action = None;
-    let mut params = WorkloadParams::standard(0xC0FFEE);
-    let mut bench = None;
-    let mut csv_dir = None;
+    let mut request = Request::new(experiment);
+    let mut pool = Pool::auto();
     let mut cache_dir = None;
     let mut no_cache = false;
-    let mut pool = Pool::auto();
-    let mut engine = Engine::default();
-    let mut deny_warnings = false;
-    let mut json = false;
-    let mut occupancy = false;
-    let mut smoke = false;
-    let mut cache_max_bytes = None;
-    let mut seeds = None;
-    let mut repro = None;
-    let mut explain = None;
-    let mut speculation = false;
+    let mut socket = None;
+    let mut result_max_bytes = serve::DEFAULT_RESULT_MAX_BYTES;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
-            "--seed" => params.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
-            "--scale" => params.scale = value()?.parse().map_err(|e| format!("bad scale: {e}"))?,
+            "--seed" => {
+                request.params.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--scale" => {
+                request.params.scale = value()?.parse().map_err(|e| format!("bad scale: {e}"))?
+            }
             "--bench" => {
                 let name = value()?;
-                bench =
+                request.bench =
                     Some(Spec92::from_name(&name).ok_or(format!("unknown benchmark `{name}`"))?);
             }
-            "--csv" => csv_dir = Some(std::path::PathBuf::from(value()?)),
+            "--csv" => request.opts.csv_dir = Some(value()?),
             "--cache-dir" => cache_dir = Some(std::path::PathBuf::from(value()?)),
             "--no-cache" => no_cache = true,
-            "--occupancy" => occupancy = true,
+            "--occupancy" => request.opts.occupancy = true,
             "--engine" => {
                 let name = value()?;
-                engine = Engine::from_name(&name)
+                request.engine = multiscalar_harness::experiments::Engine::from_name(&name)
                     .ok_or(format!("unknown engine `{name}` (legacy|replay)"))?;
             }
             "--threads" => {
@@ -104,61 +91,52 @@ fn parse_args() -> Result<Args, String> {
                 if what != "warnings" {
                     return Err(format!("unknown deny class `{what}` (only `warnings`)"));
                 }
-                deny_warnings = true;
+                request.opts.deny_warnings = true;
             }
-            "--json" => json = true,
-            "--smoke" => smoke = true,
-            "--seeds" => {
-                let spec = value()?;
-                let (a, b) = spec
-                    .split_once("..")
-                    .ok_or(format!("bad seed range `{spec}` (want A..B)"))?;
-                let start: u64 = a
-                    .parse()
-                    .map_err(|e| format!("bad seed range start: {e}"))?;
-                let end: u64 = b.parse().map_err(|e| format!("bad seed range end: {e}"))?;
-                if start >= end {
-                    return Err(format!("empty seed range `{spec}`"));
-                }
-                seeds = Some(start..end);
+            "--json" => request.format = OutputFormat::Json,
+            "--format" => {
+                let name = value()?;
+                request.format = OutputFormat::from_name(&name)
+                    .ok_or(format!("unknown format `{name}` (text|csv|json)"))?;
             }
-            "--repro" => repro = Some(std::path::PathBuf::from(value()?)),
-            "--explain" => explain = Some(value()?),
-            "--speculation" => speculation = true,
+            "--smoke" => request.opts.smoke = true,
+            "--seeds" => request.opts.seeds = Some(parse_seed_range(&value()?)?),
+            "--repro" => request.opts.repro = Some(value()?),
+            "--explain" => request.opts.explain = Some(value()?),
+            "--speculation" => request.opts.speculation = true,
             "--cache-max-bytes" => {
-                cache_max_bytes = Some(
+                request.opts.cache_max_bytes = Some(
                     value()?
                         .parse()
                         .map_err(|e| format!("bad cache size cap: {e}"))?,
                 )
             }
+            "--socket" => socket = Some(std::path::PathBuf::from(value()?)),
+            "--result-max-bytes" => {
+                result_max_bytes = value()?
+                    .parse()
+                    .map_err(|e| format!("bad result cache cap: {e}"))?
+            }
             action
-                if !action.starts_with('-') && experiment == "cache" && cache_action.is_none() =>
+                if !action.starts_with('-')
+                    && request.experiment == "cache"
+                    && request.opts.cache_action.is_none() =>
             {
-                cache_action = Some(action.to_string())
+                request.opts.cache_action = Some(
+                    CacheAction::from_name(action)
+                        .ok_or(format!("unknown cache action `{action}` (stats|clear|gc)"))?,
+                );
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
-    Ok(Args {
-        experiment,
-        cache_action,
-        params,
-        bench,
-        csv_dir,
-        cache_dir,
-        no_cache,
+    Ok(Invocation {
+        request,
         pool,
-        engine,
-        deny_warnings,
-        json,
-        occupancy,
-        smoke,
-        cache_max_bytes,
-        seeds,
-        repro,
-        explain,
-        speculation,
+        cache_dir: cache_dir.unwrap_or_else(|| std::path::PathBuf::from(cache::DEFAULT_DIR)),
+        no_cache,
+        socket,
+        result_max_bytes,
     })
 }
 
@@ -166,24 +144,12 @@ fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
      ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|\
      profile|csv|verify|lint|fuzz|cache stats|cache clear|cache gc|bench-pr1|bench-pr2|bench-pr5|\
-     bench-pr6> \
+     bench-pr6|serve> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
-     [--deny warnings] [--json] [--occupancy] [--smoke] [--cache-dir DIR] [--no-cache] \
-     [--cache-max-bytes N] [--seeds A..B] [--repro FILE] [--explain CODE] [--speculation]"
+     [--deny warnings] [--format text|csv|json] [--json] [--occupancy] [--smoke] \
+     [--cache-dir DIR] [--no-cache] [--cache-max-bytes N] [--seeds A..B] [--repro FILE] \
+     [--explain CODE] [--speculation] [--socket PATH] [--result-max-bytes N]"
         .to_string()
-}
-
-/// The store the invocation uses: `--cache-dir` or the default directory,
-/// unless `--no-cache` turned caching off.
-fn open_cache(args: &Args) -> Option<ArtifactCache> {
-    if args.no_cache {
-        return None;
-    }
-    let dir = args
-        .cache_dir
-        .clone()
-        .unwrap_or_else(|| std::path::PathBuf::from(cache::DEFAULT_DIR));
-    Some(ArtifactCache::new(dir))
 }
 
 /// One stderr line summarising the invocation's cache traffic — stderr so
@@ -209,387 +175,85 @@ fn report_cache(store: Option<&ArtifactCache>) {
     }
 }
 
-/// `harness cache stats`: what is on disk, plus — via the registry's
-/// declared input sets — which benchmarks and experiments the cache
-/// already covers at these workload parameters.
-fn cache_stats_report(store: &ArtifactCache, params: &WorkloadParams) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let entries = store.disk_entries();
-    let total: u64 = entries.iter().map(|(_, size)| size).sum();
-    let _ = writeln!(out, "cache directory: {}", store.dir().display());
-    let _ = writeln!(out, "entries: {} ({} bytes)", entries.len(), total);
-    for (name, size) in &entries {
-        let _ = writeln!(out, "  {name}  {size}");
-    }
-    // `gc` evicts in LRU (mtime) order and hits bump the served entry's
-    // mtime best-effort; report here when that recency signal is broken
-    // (read-only cache dir) instead of letting it fail silently.
-    let (touch_failures, probed) = store.probe_touch();
-    if touch_failures > 0 {
-        let _ = writeln!(
-            out,
-            "recency touch: FAILING for {touch_failures} of {probed} entries \
-             (hits will not age entries; gc LRU order goes stale)"
-        );
-    } else {
-        let _ = writeln!(out, "recency touch: ok ({probed} entries writable)");
-    }
-    let keys: Vec<(Spec92, Fingerprint)> = Spec92::ALL
-        .iter()
-        .map(|&s| (s, cache::key_for(s, params)))
-        .collect();
-    let _ = writeln!(
-        out,
-        "benchmark artifacts (seed {}, scale {}):",
-        params.seed, params.scale
-    );
-    for &(spec, key) in &keys {
-        let state = if store.entry_path(key).exists() {
-            "cached"
-        } else {
-            "cold"
-        };
-        let _ = writeln!(out, "  {:<10} {key}  {state}", spec.name());
-    }
-    let _ = writeln!(out, "experiment inputs:");
-    for exp in registry::REGISTRY {
-        let fp = registry::input_fingerprint(exp, &keys);
-        let warm = exp.benches.specs().iter().all(|spec| {
-            keys.iter()
-                .find(|(s, _)| s == spec)
-                .is_some_and(|&(_, key)| store.entry_path(key).exists())
-        });
-        let state = if warm { "warm" } else { "cold" };
-        let _ = writeln!(out, "  {:<16} {fp}  {state}", exp.name);
-    }
-    out
-}
-
-/// Writes every registered experiment's CSV into `dir`, in registry order.
-fn write_all_csv(ctx: &ExpCtx, dir: &std::path::Path) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    for exp in registry::REGISTRY {
-        if let Some((name, write)) = exp.csv {
-            std::fs::write(dir.join(name), write(ctx))?;
-        }
-    }
-    Ok(())
-}
-
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let inv = match parse_args() {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
 
-    // Subcommands that manage their own preparation.
-    if args.experiment == "verify" {
-        let claims = multiscalar_harness::verify::verify(&args.params, &args.pool);
-        println!("{}", multiscalar_harness::verify::render(&claims));
-        return if multiscalar_harness::verify::all_hold(&claims) {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
+    // The resident server: same registry, same dispatch, plus residency
+    // and result memoisation (see `multiscalar_harness::serve`).
+    if inv.request.experiment == "serve" {
+        let config = ServeConfig {
+            pool: inv.pool,
+            cache_dir: inv.cache_dir,
+            no_cache: inv.no_cache,
+            result_max_bytes: inv.result_max_bytes,
+            socket: inv.socket,
         };
-    }
-    if args.experiment == "lint" {
-        // `--explain CODE` prints the catalog entry and touches no program.
-        if let Some(code) = &args.explain {
-            return match multiscalar_analyze::diag::codes::lookup(code) {
-                Some(c) => {
-                    print!("{}", multiscalar_harness::lint::render_explain(c));
-                    ExitCode::SUCCESS
-                }
-                None => {
-                    eprintln!("unknown diagnostic code `{code}`; known codes:");
-                    for c in multiscalar_analyze::diag::codes::ALL {
-                        eprintln!("  {}  {}", c.id, c.brief);
-                    }
-                    ExitCode::FAILURE
-                }
-            };
-        }
-        if args.speculation {
-            let report = multiscalar_harness::lint::speculation_report(&args.params);
-            print!("{report}");
-            return ExitCode::SUCCESS;
-        }
-        let targets = multiscalar_harness::lint::lint_all(&args.params);
-        if args.json {
-            print!("{}", multiscalar_harness::lint::render_json(&targets));
-        } else {
-            print!("{}", multiscalar_harness::lint::render(&targets));
-        }
-        return if multiscalar_harness::lint::failed(&targets, args.deny_warnings) {
-            ExitCode::FAILURE
-        } else {
-            ExitCode::SUCCESS
-        };
-    }
-    if args.experiment == "fuzz" {
-        use multiscalar_harness::fuzz;
-        // Replaying one dumped reproducer: parse, re-run, report.
-        if let Some(path) = &args.repro {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("could not read {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-            };
-            let case = match fuzz::parse_case(&text) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("bad reproducer {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-            };
-            return match fuzz::run_case(&case) {
-                None => {
-                    println!("repro seed {}: all oracles pass", case.seed);
-                    ExitCode::SUCCESS
-                }
-                Some(f) => {
-                    println!(
-                        "repro seed {}: [{}] {}",
-                        f.case.seed,
-                        f.kind,
-                        f.detail.replace('\n', "; ")
-                    );
-                    ExitCode::FAILURE
-                }
-            };
-        }
-        let seeds = match (&args.seeds, args.smoke) {
-            (Some(r), _) => r.clone(),
-            (None, true) => fuzz::SMOKE_SEEDS,
-            (None, false) => {
-                eprintln!("fuzz needs --seeds A..B (or --smoke for the pinned CI range)");
-                return ExitCode::FAILURE;
-            }
-        };
-        // Adversarial fixtures first, serially — the dispatch-fallback
-        // check asserts deltas on the process-global lane-packed counter,
-        // so nothing else may sweep concurrently.
-        let adversarial = fuzz::adversarial_checks();
-        for msg in &adversarial {
-            eprintln!("{msg}");
-        }
-        println!(
-            "adversarial: {} checks, {} failures",
-            fuzz::ADVERSARIAL_CHECKS,
-            adversarial.len()
-        );
-        let report = fuzz::fuzz_sweep(seeds, &args.pool);
-        print!("{}", fuzz::render_report(&report));
-        if !report.findings.is_empty() {
-            let dir = std::path::Path::new("fuzz-findings");
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("could not create {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-            for f in &report.findings {
-                let path = dir.join(format!("seed-{}-{}.txt", f.case.seed, f.kind));
-                if let Err(e) = std::fs::write(&path, fuzz::render_finding(f)) {
-                    eprintln!("could not write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("wrote {}", path.display());
-            }
-        }
-        return if adversarial.is_empty() && report.findings.is_empty() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
-    }
-    if args.experiment == "bench-pr1" {
-        let report = bench_pr1::run(&args.params, &args.pool);
-        let json = report.to_json(&args.params);
-        print!("{json}");
-        let path = std::path::Path::new("BENCH_PR1.json");
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("could not write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {}", path.display());
-        return ExitCode::SUCCESS;
-    }
-    if args.experiment == "bench-pr2" {
-        let report = bench_pr2::run(&args.params, &args.pool);
-        let json = report.to_json(&args.params);
-        print!("{json}");
-        let path = std::path::Path::new("BENCH_PR2.json");
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("could not write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {}", path.display());
-        return ExitCode::SUCCESS;
-    }
-    if args.experiment == "bench-pr5" {
-        let report = match bench_pr5::run(&args.params, &args.pool) {
-            Ok(r) => r,
+        return match serve::serve_main(&config) {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("bench-pr5 failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let json = report.to_json(&args.params);
-        print!("{json}");
-        let path = std::path::Path::new("BENCH_PR5.json");
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("could not write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {}", path.display());
-        return ExitCode::SUCCESS;
-    }
-    if args.experiment == "bench-pr6" {
-        if args.smoke {
-            return match bench_pr6::smoke(&args.params, &args.pool) {
-                Ok(msg) => {
-                    println!("{msg}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("bench-pr6 smoke failed: {e}");
-                    ExitCode::FAILURE
-                }
-            };
-        }
-        let report = match bench_pr6::run(&args.params, &args.pool) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("bench-pr6 failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let json = report.to_json(&args.params);
-        print!("{json}");
-        let path = std::path::Path::new("BENCH_PR6.json");
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("could not write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {}", path.display());
-        return ExitCode::SUCCESS;
-    }
-    if args.experiment == "cache" {
-        let store = ArtifactCache::new(
-            args.cache_dir
-                .clone()
-                .unwrap_or_else(|| std::path::PathBuf::from(cache::DEFAULT_DIR)),
-        );
-        return match args.cache_action.as_deref() {
-            Some("stats") => {
-                print!("{}", cache_stats_report(&store, &args.params));
-                ExitCode::SUCCESS
-            }
-            Some("clear") => match store.clear() {
-                Ok(n) => {
-                    println!("removed {n} artifacts from {}", store.dir().display());
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("cache clear failed: {e}");
-                    ExitCode::FAILURE
-                }
-            },
-            Some("gc") => {
-                let Some(max_bytes) = args.cache_max_bytes else {
-                    eprintln!("cache gc needs --cache-max-bytes N");
-                    return ExitCode::FAILURE;
-                };
-                match store.gc(max_bytes) {
-                    Ok(r) => {
-                        println!(
-                            "evicted {} artifacts ({} bytes), kept {} ({} bytes) in {}",
-                            r.removed,
-                            r.removed_bytes,
-                            r.kept,
-                            r.kept_bytes,
-                            store.dir().display()
-                        );
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("cache gc failed: {e}");
-                        ExitCode::FAILURE
-                    }
-                }
-            }
-            _ => {
-                eprintln!(
-                    "usage: harness cache <stats|clear|gc> [--cache-dir DIR] [--seed N] \
-                     [--scale N] [--cache-max-bytes N]"
-                );
+                eprintln!("{e}");
                 ExitCode::FAILURE
             }
         };
     }
 
-    // Running one experiment by name prepares only its declared benchmark
-    // set; `all` / `ext` / `csv` (and unknown names, which fail after
-    // preparation is skipped by the registry lookup below) use all five.
-    let set = registry::find(&args.experiment)
-        .map(|e| e.benches)
-        .unwrap_or(BenchSet::All);
-    let store = open_cache(&args);
-    let prep = Prepared::new(args.bench, set, &args.params, &args.pool, store.as_ref());
+    let store = if inv.no_cache {
+        None
+    } else {
+        Some(ArtifactCache::new(inv.cache_dir.clone()))
+    };
+    let resources = registry::Resources {
+        pool: &inv.pool,
+        store: store.as_ref(),
+        cache_dir: inv.cache_dir.clone(),
+        source: None,
+    };
+    let outcome = registry::dispatch(&inv.request, &resources);
     // Preparation is the only cache consumer, so the traffic summary is
     // final here (stderr — stdout stays byte-identical cold vs warm).
-    report_cache(store.as_ref());
-    let mut ctx = ExpCtx::new(&prep, &args.pool, args.engine, args.params);
-    ctx.occupancy = args.occupancy;
-
-    if args.experiment == "all" {
-        for exp in registry::by_group(Group::Paper) {
-            println!("{}", (exp.render)(&ctx));
-        }
-        return ExitCode::SUCCESS;
-    }
-    if args.experiment == "ext" {
-        for exp in registry::by_group(Group::Ext) {
-            println!("{}", (exp.render)(&ctx));
-        }
-        return ExitCode::SUCCESS;
-    }
-    if args.experiment == "csv" {
-        let dir = args
-            .csv_dir
-            .clone()
-            .unwrap_or_else(|| std::path::PathBuf::from("results"));
-        if let Err(e) = write_all_csv(&ctx, &dir) {
-            eprintln!("csv export failed: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("wrote CSV results to {}", dir.display());
-        return ExitCode::SUCCESS;
+    // Tools that declare no benchmark set never touched the store; skip
+    // the line for them, as the pre-registry special cases did.
+    let prepared_benches =
+        registry::find(&inv.request.experiment).is_some_and(|e| !e.benches.specs().is_empty());
+    if prepared_benches {
+        report_cache(store.as_ref());
     }
 
-    match registry::find(&args.experiment) {
-        Some(exp) => {
-            match (args.json, exp.json) {
-                (true, Some(json)) => print!("{}", json(&ctx)),
-                _ => println!("{}", (exp.render)(&ctx)),
-            }
-            if let Some((name, write)) = exp.artifact {
+    match outcome {
+        Ok(out) => {
+            for (name, content) in &out.files {
                 let path = std::path::Path::new(name);
-                if let Err(e) = std::fs::write(path, write(&ctx)) {
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("could not create {}: {e}", parent.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Err(e) = std::fs::write(path, content) {
                     eprintln!("could not write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
                 eprintln!("wrote {}", path.display());
             }
-            ExitCode::SUCCESS
+            print!("{}", out.body);
+            if out.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
-        None => {
-            eprintln!("unknown experiment `{}`\n{}", args.experiment, usage());
+        Err(e) => {
+            if e.starts_with("unknown experiment") {
+                eprintln!("{e}\n{}", usage());
+            } else {
+                eprintln!("{e}");
+            }
             ExitCode::FAILURE
         }
     }

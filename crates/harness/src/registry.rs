@@ -1,23 +1,34 @@
-//! The typed experiment registry behind the `harness` CLI.
+//! The typed experiment registry and the one dispatch path behind both the
+//! `harness` CLI and `harness serve`.
 //!
-//! Every experiment registers its name, group, renderer and (optionally)
-//! CSV writer, JSON serialiser and output artifact **once**, in
-//! [`REGISTRY`]; the CLI dispatches by [`find`] instead of a hand-written
-//! string match, and the `all` / `ext` / `csv` subcommands iterate the
-//! registry instead of duplicating name lists.
+//! Every subcommand — paper tables/figures, extensions, *and* the tools
+//! (`lint`, `fuzz`, `verify`, `cache`, the `bench-pr*` probes, `all`,
+//! `ext`, `csv`) — registers once in [`REGISTRY`] as an [`Experiment`].
+//! A [`crate::proto::Request`] names an entry; [`dispatch`] prepares the
+//! entry's declared benchmark set and [`execute`]s it into a structured
+//! [`Output`] (exact stdout bytes + artifact files + pass/fail), with
+//! errors as values rather than `eprintln!` + exit codes. The CLI prints
+//! the `Output`; the server serialises it into a
+//! [`crate::proto::Response`] and memoises it under [`result_key`].
+//!
+//! Entries come in two [`Kind`]s. Declarative [`Kind::Rendered`] entries
+//! (the paper artifacts) register text/CSV/JSON renderers and the request's
+//! [`crate::proto::OutputFormat`] picks one — three formats from one run.
+//! Self-contained [`Kind::Tool`] entries run a fallible function with full
+//! access to the request.
 //!
 //! Experiments run against an [`ExpCtx`], which owns the prepared
 //! benchmarks plus per-invocation caches: experiments that share work
 //! (Figures 10/11 share one predictor pass; `table4`'s rows feed both its
-//! table and its CSV) compute it once per invocation regardless of how
-//! many registry entries consume it.
+//! table and its CSV) compute it once per dispatch regardless of how many
+//! renderers consume it.
 //!
 //! Every entry also **declares its inputs**: which benchmark set it reads
 //! ([`BenchSet`]) and which derived artifacts it consumes ([`Needs`]).
-//! Running one experiment by name prepares only its declared set, and
-//! `harness cache stats` folds the declared inputs into a per-experiment
-//! [`input_fingerprint`] to report which experiments the on-disk artifact
-//! cache already covers.
+//! Running one experiment prepares only its declared set, and the declared
+//! inputs fold into a per-experiment [`input_fingerprint`] — the shared
+//! key-derivation path behind both `harness cache stats` coverage
+//! reporting and the serve result cache ([`result_key`]).
 
 use std::cell::OnceCell;
 
@@ -25,6 +36,7 @@ use crate::cache::ArtifactCache;
 use crate::experiments::{self, Engine, Fig10Row, Fig11Row, Table4Row};
 use crate::pool::Pool;
 use crate::profile::{self, ProfileRow};
+use crate::proto::{OutputFormat, Request};
 use crate::{csv, extensions, prepare_set_cached, report, Bench};
 use multiscalar_isa::{fingerprint::FingerprintHasher, Fingerprint};
 use multiscalar_sim::timing::TimingConfig;
@@ -40,7 +52,7 @@ pub enum BenchSet {
     Gcc,
     /// The two indirect-heavy benchmarks (Figures 8 and 12).
     GccXlisp,
-    /// No prepared benchmarks (`ext-taskform` re-generates its own).
+    /// No prepared benchmarks (tools that manage their own preparation).
     None,
 }
 
@@ -79,14 +91,36 @@ impl Needs {
         trace: false,
         replay: true,
     };
-    /// Experiments that only re-generate workloads (`ext-taskform`).
+    /// Both (the `all`/`csv` umbrellas, `ext-zoo`).
+    pub const BOTH: Needs = Needs {
+        trace: true,
+        replay: true,
+    };
+    /// Experiments that only re-generate workloads (`ext-taskform`) or
+    /// prepare entirely on their own (tools).
     pub const NONE: Needs = Needs {
         trace: false,
         replay: false,
     };
 }
 
-/// Benchmarks prepared once per invocation and reused by every experiment
+/// How dispatch obtains prepared benchmarks. The CLI uses the default
+/// (build + record through the artifact cache, once per invocation); the
+/// resident server substitutes its in-memory pool of already-prepared,
+/// `Arc`-shared benchmarks so repeated requests skip preparation
+/// entirely.
+pub trait BenchSource: Sync {
+    /// Returns one prepared [`Bench`] per spec, in `specs` order.
+    fn benches(
+        &self,
+        specs: &[Spec92],
+        params: &WorkloadParams,
+        pool: &Pool,
+        cache: Option<&ArtifactCache>,
+    ) -> Vec<Bench>;
+}
+
+/// Benchmarks prepared once per dispatch and reused by every experiment
 /// (traces are shared, immutable, behind `Arc`). `--bench` narrows
 /// preparation to one benchmark; running a single experiment narrows it to
 /// the experiment's declared [`BenchSet`].
@@ -105,16 +139,33 @@ impl Prepared {
         pool: &Pool,
         cache: Option<&ArtifactCache>,
     ) -> Prepared {
-        match bench {
-            Some(s) => Prepared {
-                benches: prepare_set_cached(std::slice::from_ref(&s), params, pool, cache),
-                narrowed: true,
-            },
-            None => Prepared {
-                benches: prepare_set_cached(set.specs(), params, pool, cache),
-                narrowed: false,
-            },
-        }
+        Prepared::with_source(bench, set, params, pool, cache, None)
+    }
+
+    /// [`Prepared::new`] with an optional [`BenchSource`] supplying the
+    /// benchmarks (the serve path's resident pool).
+    pub fn with_source(
+        bench: Option<Spec92>,
+        set: BenchSet,
+        params: &WorkloadParams,
+        pool: &Pool,
+        cache: Option<&ArtifactCache>,
+        source: Option<&dyn BenchSource>,
+    ) -> Prepared {
+        let (specs, narrowed): (&[Spec92], bool) = match &bench {
+            Some(s) => (std::slice::from_ref(s), true),
+            None => (set.specs(), false),
+        };
+        let benches = match source {
+            Some(src) => src.benches(specs, params, pool, cache),
+            None => prepare_set_cached(specs, params, pool, cache),
+        };
+        Prepared { benches, narrowed }
+    }
+
+    /// Wraps already-prepared benchmarks (tests, bespoke drivers).
+    pub fn from_benches(benches: Vec<Bench>, narrowed: bool) -> Prepared {
+        Prepared { benches, narrowed }
     }
 
     /// All prepared benchmarks.
@@ -154,14 +205,16 @@ impl Prepared {
     }
 }
 
-/// Everything one CLI invocation's experiments run against: the prepared
-/// benchmarks, the job pool, the Table 4 engine selection, and lazily
+/// Everything one dispatched request's experiments run against: the
+/// prepared benchmarks, the job pool, the full typed request, and lazily
 /// computed shared results.
 pub struct ExpCtx<'a> {
     /// The prepared benchmark set.
     pub prep: &'a Prepared,
     /// The `--threads`-wide job pool.
     pub pool: &'a Pool,
+    /// The request being executed (format, tool options, ...).
+    pub req: &'a Request,
     /// Which engine drives Table 4 (`--engine`; replay by default).
     pub engine: Engine,
     /// Workload parameters (for experiments that re-generate workloads).
@@ -170,21 +223,36 @@ pub struct ExpCtx<'a> {
     pub config: TimingConfig,
     /// Collect per-ring-unit occupancy in `profile` (`--occupancy`).
     pub occupancy: bool,
+    /// The artifact store this dispatch prepares through, if caching is
+    /// enabled.
+    pub store: Option<&'a ArtifactCache>,
+    /// The resolved artifact-cache directory (the `cache` tool operates on
+    /// it even when `--no-cache` disabled preparation caching).
+    pub cache_dir: std::path::PathBuf,
     fig10_fig11: OnceCell<(Vec<Fig10Row>, Vec<Fig11Row>)>,
     table4: OnceCell<Vec<Table4Row>>,
     profile: OnceCell<Vec<ProfileRow>>,
 }
 
 impl<'a> ExpCtx<'a> {
-    /// A fresh context with empty caches.
-    pub fn new(prep: &'a Prepared, pool: &'a Pool, engine: Engine, params: WorkloadParams) -> Self {
+    /// A fresh context with empty caches, carrying `req`'s parameters.
+    pub fn new(
+        prep: &'a Prepared,
+        pool: &'a Pool,
+        req: &'a Request,
+        store: Option<&'a ArtifactCache>,
+        cache_dir: std::path::PathBuf,
+    ) -> Self {
         ExpCtx {
             prep,
             pool,
-            engine,
-            params,
+            req,
+            engine: req.engine,
+            params: req.params,
             config: TimingConfig::paper(),
-            occupancy: false,
+            occupancy: req.opts.occupancy,
+            store,
+            cache_dir,
             fig10_fig11: OnceCell::new(),
             table4: OnceCell::new(),
             profile: OnceCell::new(),
@@ -218,7 +286,7 @@ impl<'a> ExpCtx<'a> {
         })
     }
 
-    /// The cycle-attribution profile grid; computed once per invocation.
+    /// The cycle-attribution profile grid; computed once per dispatch.
     pub fn profile(&self) -> &[ProfileRow] {
         self.profile.get_or_init(|| {
             profile::profile(self.prep.all(), &self.config, self.pool, self.occupancy)
@@ -233,7 +301,7 @@ pub enum Group {
     Paper,
     /// A beyond-the-paper extension: runs under `ext`.
     Ext,
-    /// A standalone tool (e.g. `profile`): runs only by name.
+    /// A standalone tool (e.g. `profile`, `lint`): runs only by name.
     Tool,
 }
 
@@ -243,263 +311,511 @@ pub type RenderFn = fn(&ExpCtx) -> String;
 /// A named output file (CSV export or run artifact): file name + writer.
 pub type FileOutput = (&'static str, RenderFn);
 
-/// One registered experiment: its CLI name plus everything the harness can
-/// do with it, declared once.
+/// A tool body: the full fallible run, errors as values.
+pub type RunFn = fn(&ExpCtx) -> Result<Output, String>;
+
+/// The structured outcome of one executed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// The exact bytes the CLI prints to stdout (trailing newlines
+    /// included), and the server memoises.
+    pub body: String,
+    /// Artifact files the run produces: `(relative path, content)`. The
+    /// CLI writes them; the server reports their names.
+    pub files: Vec<(String, String)>,
+    /// Whether the run passed. `false` — failed verify claims, denied lint
+    /// warnings, fuzz findings — maps to CLI exit code 1 with the body
+    /// still printed.
+    pub ok: bool,
+}
+
+impl Output {
+    /// A passing, file-less text output.
+    pub fn text(body: impl Into<String>) -> Output {
+        Output {
+            body: body.into(),
+            files: Vec::new(),
+            ok: true,
+        }
+    }
+}
+
+/// How an experiment executes.
+pub enum Kind {
+    /// Declarative renderers over a shared [`ExpCtx`]; the request's
+    /// format picks text, CSV or JSON from the same run.
+    Rendered {
+        /// Renders the human-readable table.
+        render: RenderFn,
+        /// CSV export: file name and writer, when the experiment has one.
+        csv: Option<FileOutput>,
+        /// JSON serialisation (`--format json`), when supported.
+        json: Option<RenderFn>,
+        /// An artifact file written whenever the experiment runs by name.
+        artifact: Option<FileOutput>,
+    },
+    /// A self-contained fallible tool.
+    Tool(RunFn),
+}
+
+/// One registered experiment: its CLI/wire name plus everything the
+/// harness can do with it, declared once.
 pub struct Experiment {
-    /// CLI subcommand name.
+    /// CLI subcommand / wire name.
     pub name: &'static str,
-    /// Grouping for the `all` / `ext` / `csv` subcommands.
+    /// Grouping for the `all` / `ext` / `csv` umbrellas.
     pub group: Group,
     /// The benchmark set this experiment reads — prepared (and only it)
-    /// when the experiment runs by name; folded into
-    /// [`input_fingerprint`] for `cache stats`.
+    /// when the experiment runs; folded into [`input_fingerprint`].
     pub benches: BenchSet,
     /// Which derived artifacts it consumes per benchmark.
     pub needs: Needs,
-    /// Renders the human-readable table.
-    pub render: RenderFn,
-    /// CSV export: file name and writer, when the experiment exports one.
-    pub csv: Option<FileOutput>,
-    /// JSON serialisation (`--json`), when supported.
-    pub json: Option<RenderFn>,
-    /// An artifact file written whenever the experiment runs by name.
-    pub artifact: Option<FileOutput>,
+    /// How it executes.
+    pub kind: Kind,
+    /// Whether a run is a pure function of its [`Request`] — the server
+    /// memoises only these. `false` for disk-mutating tools (`cache`) and
+    /// the wall-clock `bench-pr*` probes.
+    pub cache_safe: bool,
 }
 
-/// Every experiment the harness knows, in `all`-output order (paper
-/// artifacts first, then extensions, then tools).
+impl Experiment {
+    /// The CSV export, when the experiment registers one.
+    pub fn csv_output(&self) -> Option<FileOutput> {
+        match self.kind {
+            Kind::Rendered { csv, .. } => csv,
+            Kind::Tool(_) => None,
+        }
+    }
+}
+
+/// Every experiment and tool the harness knows, in `all`-output order
+/// (paper artifacts first, then extensions, then tools).
 pub const REGISTRY: &[Experiment] = &[
     Experiment {
         name: "table2",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_table2(&experiments::table2(c.prep.all())),
-        csv: Some(("table2.csv", |c| {
-            csv::table2(&experiments::table2(c.prep.all()))
-        })),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_table2(&experiments::table2(c.prep.all())),
+            csv: Some(("table2.csv", |c| {
+                csv::table2(&experiments::table2(c.prep.all()))
+            })),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig3",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_fig3(&experiments::fig3(c.prep.all())),
-        csv: Some(("fig3.csv", |c| csv::fig3(&experiments::fig3(c.prep.all())))),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_fig3(&experiments::fig3(c.prep.all())),
+            csv: Some(("fig3.csv", |c| csv::fig3(&experiments::fig3(c.prep.all())))),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig4",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_fig4(&experiments::fig4(c.prep.all())),
-        csv: Some(("fig4.csv", |c| csv::fig4(&experiments::fig4(c.prep.all())))),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_fig4(&experiments::fig4(c.prep.all())),
+            csv: Some(("fig4.csv", |c| csv::fig4(&experiments::fig4(c.prep.all())))),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig6",
         group: Group::Paper,
         benches: BenchSet::Gcc,
         needs: Needs::TRACE,
-        render: |c| report::render_fig6(&experiments::fig6(c.prep.gcc(), c.pool)),
-        csv: Some(("fig6.csv", |c| {
-            csv::fig6(&experiments::fig6(c.prep.gcc(), c.pool))
-        })),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_fig6(&experiments::fig6(c.prep.gcc(), c.pool)),
+            csv: Some(("fig6.csv", |c| {
+                csv::fig6(&experiments::fig6(c.prep.gcc(), c.pool))
+            })),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig7",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_fig7(&experiments::fig7(c.prep.all(), c.pool)),
-        csv: Some(("fig7.csv", |c| {
-            csv::fig7(&experiments::fig7(c.prep.all(), c.pool))
-        })),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_fig7(&experiments::fig7(c.prep.all(), c.pool)),
+            csv: Some(("fig7.csv", |c| {
+                csv::fig7(&experiments::fig7(c.prep.all(), c.pool))
+            })),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig8",
         group: Group::Paper,
         benches: BenchSet::GccXlisp,
         needs: Needs::TRACE,
-        // The paper studies the two indirect-heavy benchmarks.
-        render: |c| {
-            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-            report::render_fig8(&experiments::fig8(&b, c.pool))
+        kind: Kind::Rendered {
+            // The paper studies the two indirect-heavy benchmarks.
+            render: |c| {
+                let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+                report::render_fig8(&experiments::fig8(&b, c.pool))
+            },
+            csv: Some(("fig8.csv", |c| {
+                let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+                csv::fig8(&experiments::fig8(&b, c.pool))
+            })),
+            json: None,
+            artifact: None,
         },
-        csv: Some(("fig8.csv", |c| {
-            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-            csv::fig8(&experiments::fig8(&b, c.pool))
-        })),
-        json: None,
-        artifact: None,
+        cache_safe: true,
     },
     Experiment {
         name: "fig10",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_fig10(&c.fig10_fig11().0),
-        csv: Some(("fig10.csv", |c| csv::fig10(&c.fig10_fig11().0))),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_fig10(&c.fig10_fig11().0),
+            csv: Some(("fig10.csv", |c| csv::fig10(&c.fig10_fig11().0))),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig11",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_fig11(&c.fig11_rows()),
-        csv: Some(("fig11.csv", |c| csv::fig11(&c.fig11_rows()))),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_fig11(&c.fig11_rows()),
+            csv: Some(("fig11.csv", |c| csv::fig11(&c.fig11_rows()))),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "fig12",
         group: Group::Paper,
         benches: BenchSet::GccXlisp,
         needs: Needs::TRACE,
-        render: |c| {
-            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-            report::render_fig12(&experiments::fig12(&b, c.pool))
+        kind: Kind::Rendered {
+            render: |c| {
+                let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+                report::render_fig12(&experiments::fig12(&b, c.pool))
+            },
+            csv: Some(("fig12.csv", |c| {
+                let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
+                csv::fig12(&experiments::fig12(&b, c.pool))
+            })),
+            json: None,
+            artifact: None,
         },
-        csv: Some(("fig12.csv", |c| {
-            let b = c.prep.subset(&[Spec92::Gcc, Spec92::Xlisp]);
-            csv::fig12(&experiments::fig12(&b, c.pool))
-        })),
-        json: None,
-        artifact: None,
+        cache_safe: true,
     },
     Experiment {
         name: "table3",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_table3(&experiments::table3(c.prep.all(), c.pool)),
-        csv: Some(("table3.csv", |c| {
-            csv::table3(&experiments::table3(c.prep.all(), c.pool))
-        })),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_table3(&experiments::table3(c.prep.all(), c.pool)),
+            csv: Some(("table3.csv", |c| {
+                csv::table3(&experiments::table3(c.prep.all(), c.pool))
+            })),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "table4",
         group: Group::Paper,
         benches: BenchSet::All,
         needs: Needs::REPLAY,
-        render: |c| report::render_table4(c.table4()),
-        csv: Some(("table4.csv", |c| csv::table4(c.table4()))),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_table4(c.table4()),
+            csv: Some(("table4.csv", |c| csv::table4(c.table4()))),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-staleness",
         group: Group::Ext,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_staleness(&extensions::ext_staleness(c.prep.all())),
-        csv: Some(("ext_staleness.csv", |c| {
-            csv::staleness(&extensions::ext_staleness(c.prep.all()))
-        })),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_staleness(&extensions::ext_staleness(c.prep.all())),
+            csv: Some(("ext_staleness.csv", |c| {
+                csv::staleness(&extensions::ext_staleness(c.prep.all()))
+            })),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-hybrid",
         group: Group::Ext,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_hybrid(&extensions::ext_hybrid(c.prep.all())),
-        csv: None,
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_hybrid(&extensions::ext_hybrid(c.prep.all())),
+            csv: None,
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-taskform",
         group: Group::Ext,
         benches: BenchSet::None,
         needs: Needs::NONE,
-        render: |c| report::render_taskform(&extensions::ext_taskform(&c.params)),
-        csv: None,
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_taskform(&extensions::ext_taskform(&c.params)),
+            csv: None,
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-memory",
         group: Group::Ext,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_memory(&extensions::ext_memory(c.prep.all())),
-        csv: None,
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_memory(&extensions::ext_memory(c.prep.all())),
+            csv: None,
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-confidence",
         group: Group::Ext,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_confidence(&extensions::ext_confidence(c.prep.all())),
-        csv: None,
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_confidence(&extensions::ext_confidence(c.prep.all())),
+            csv: None,
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-intra",
         group: Group::Ext,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_intra(&extensions::ext_intra(c.prep.all())),
-        csv: None,
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_intra(&extensions::ext_intra(c.prep.all())),
+            csv: None,
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-pollution",
         group: Group::Ext,
         benches: BenchSet::All,
         needs: Needs::TRACE,
-        render: |c| report::render_pollution(&extensions::ext_pollution(c.prep.all())),
-        csv: Some(("ext_pollution.csv", |c| {
-            csv::pollution(&extensions::ext_pollution(c.prep.all()))
-        })),
-        json: None,
-        artifact: None,
+        kind: Kind::Rendered {
+            render: |c| report::render_pollution(&extensions::ext_pollution(c.prep.all())),
+            csv: Some(("ext_pollution.csv", |c| {
+                csv::pollution(&extensions::ext_pollution(c.prep.all()))
+            })),
+            json: None,
+            artifact: None,
+        },
+        cache_safe: true,
     },
     Experiment {
         name: "ext-zoo",
         group: Group::Ext,
         benches: BenchSet::All,
-        needs: Needs {
-            trace: true,
-            replay: true,
+        needs: Needs::BOTH,
+        kind: Kind::Rendered {
+            render: |c| report::render_zoo(&extensions::ext_zoo(c.prep.all())),
+            csv: None,
+            json: None,
+            artifact: None,
         },
-        render: |c| report::render_zoo(&extensions::ext_zoo(c.prep.all())),
-        csv: None,
-        json: None,
-        artifact: None,
+        cache_safe: true,
     },
     Experiment {
         name: "profile",
         group: Group::Tool,
         benches: BenchSet::All,
         needs: Needs::REPLAY,
-        render: |c| profile::render(c.profile()),
-        csv: None,
-        json: Some(|c| profile::to_json(c.profile())),
-        artifact: Some(("profile.json", |c| profile::to_json(c.profile()))),
+        kind: Kind::Rendered {
+            render: |c| profile::render(c.profile()),
+            csv: None,
+            json: Some(|c| profile::to_json(c.profile())),
+            artifact: Some(("profile.json", |c| profile::to_json(c.profile()))),
+        },
+        cache_safe: true,
+    },
+    Experiment {
+        name: "all",
+        group: Group::Tool,
+        benches: BenchSet::All,
+        needs: Needs::BOTH,
+        kind: Kind::Tool(run_all),
+        cache_safe: true,
+    },
+    Experiment {
+        name: "ext",
+        group: Group::Tool,
+        benches: BenchSet::All,
+        needs: Needs::BOTH,
+        kind: Kind::Tool(run_ext),
+        cache_safe: true,
+    },
+    Experiment {
+        name: "csv",
+        group: Group::Tool,
+        benches: BenchSet::All,
+        needs: Needs::BOTH,
+        kind: Kind::Tool(run_csv),
+        cache_safe: true,
+    },
+    Experiment {
+        name: "verify",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::verify::run_tool),
+        cache_safe: true,
+    },
+    Experiment {
+        name: "lint",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::lint::run_tool),
+        cache_safe: true,
+    },
+    Experiment {
+        name: "fuzz",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        // Deterministic per seed range, but `--repro` reads a file; the
+        // server additionally skips memoisation for repro requests.
+        kind: Kind::Tool(crate::fuzz::run_tool),
+        cache_safe: true,
+    },
+    Experiment {
+        name: "cache",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::cache::run_tool),
+        cache_safe: false,
+    },
+    Experiment {
+        name: "bench-pr1",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::bench_pr1::run_tool),
+        cache_safe: false,
+    },
+    Experiment {
+        name: "bench-pr2",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::bench_pr2::run_tool),
+        cache_safe: false,
+    },
+    Experiment {
+        name: "bench-pr5",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::bench_pr5::run_tool),
+        cache_safe: false,
+    },
+    Experiment {
+        name: "bench-pr6",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::bench_pr6::run_tool),
+        cache_safe: false,
     },
 ];
 
-/// Looks an experiment up by CLI name.
+/// `harness all`: every paper table/figure, in registry order — the same
+/// bytes as running each by name, one blank-line-terminated block each.
+fn run_all(ctx: &ExpCtx) -> Result<Output, String> {
+    let mut body = String::new();
+    for exp in by_group(Group::Paper) {
+        if let Kind::Rendered { render, .. } = exp.kind {
+            body.push_str(&render(ctx));
+            body.push('\n');
+        }
+    }
+    Ok(Output::text(body))
+}
+
+/// `harness ext`: every beyond-the-paper extension, in registry order.
+fn run_ext(ctx: &ExpCtx) -> Result<Output, String> {
+    let mut body = String::new();
+    for exp in by_group(Group::Ext) {
+        if let Kind::Rendered { render, .. } = exp.kind {
+            body.push_str(&render(ctx));
+            body.push('\n');
+        }
+    }
+    Ok(Output::text(body))
+}
+
+/// `harness csv`: every registered CSV export into `--csv DIR`
+/// (`results` by default), in registry order.
+fn run_csv(ctx: &ExpCtx) -> Result<Output, String> {
+    let dir = ctx
+        .req
+        .opts
+        .csv_dir
+        .clone()
+        .unwrap_or_else(|| "results".to_string());
+    let mut files = Vec::new();
+    for exp in REGISTRY {
+        if let Some((name, write)) = exp.csv_output() {
+            files.push((format!("{dir}/{name}"), write(ctx)));
+        }
+    }
+    Ok(Output {
+        body: format!("wrote CSV results to {dir}\n"),
+        files,
+        ok: true,
+    })
+}
+
+/// Looks an experiment up by CLI/wire name.
 pub fn find(name: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.name == name)
 }
@@ -509,10 +825,111 @@ pub fn by_group(group: Group) -> impl Iterator<Item = &'static Experiment> {
     REGISTRY.iter().filter(move |e| e.group == group)
 }
 
+/// The process-level resources one dispatch runs with. These deliberately
+/// sit outside [`Request`]: they are where the run executes (pool width,
+/// cache location), not what it computes.
+pub struct Resources<'a> {
+    /// The job pool experiments fan out on.
+    pub pool: &'a Pool,
+    /// The artifact store preparation reads/writes (`None` = `--no-cache`).
+    pub store: Option<&'a ArtifactCache>,
+    /// The resolved cache directory (the `cache` tool's target even when
+    /// `store` is `None`).
+    pub cache_dir: std::path::PathBuf,
+    /// Substitute benchmark preparation (the server's resident pool).
+    pub source: Option<&'a dyn BenchSource>,
+}
+
+/// The one dispatch path shared by the CLI and the server: look the
+/// experiment up, prepare its declared benchmark set, execute it into a
+/// structured [`Output`]. Unknown names, unsupported formats and tool
+/// failures all come back as `Err` values — the CLI prints them to stderr,
+/// the server wraps them in `Response::Error`.
+pub fn dispatch(req: &Request, res: &Resources) -> Result<Output, String> {
+    let exp =
+        find(&req.experiment).ok_or_else(|| format!("unknown experiment `{}`", req.experiment))?;
+    // Reject unsupported formats *before* paying for preparation.
+    if let Kind::Rendered { csv, json, .. } = &exp.kind {
+        match req.format {
+            OutputFormat::Csv if csv.is_none() => {
+                return Err(format!("experiment `{}` has no csv output", exp.name))
+            }
+            OutputFormat::Json if json.is_none() => {
+                return Err(format!("experiment `{}` has no json output", exp.name))
+            }
+            _ => {}
+        }
+    }
+    // Tools that manage their own preparation declare an empty set;
+    // `--bench` narrowing only applies where preparation happens at all.
+    let bench = if exp.benches.specs().is_empty() {
+        None
+    } else {
+        req.bench
+    };
+    let prep = Prepared::with_source(
+        bench,
+        exp.benches,
+        &req.params,
+        res.pool,
+        res.store,
+        res.source,
+    );
+    let ctx = ExpCtx::new(&prep, res.pool, req, res.store, res.cache_dir.clone());
+    execute(exp, &ctx)
+}
+
+/// Executes one registry entry against a prepared context.
+pub fn execute(exp: &Experiment, ctx: &ExpCtx) -> Result<Output, String> {
+    match &exp.kind {
+        Kind::Tool(run) => run(ctx),
+        Kind::Rendered {
+            render,
+            csv,
+            json,
+            artifact,
+        } => {
+            let body = match ctx.req.format {
+                OutputFormat::Text => format!("{}\n", render(ctx)),
+                OutputFormat::Csv => {
+                    let (_, write) =
+                        csv.ok_or(format!("experiment `{}` has no csv output", exp.name))?;
+                    write(ctx)
+                }
+                OutputFormat::Json => {
+                    let write =
+                        json.ok_or(format!("experiment `{}` has no json output", exp.name))?;
+                    write(ctx)
+                }
+            };
+            let files = artifact
+                .map(|(name, write)| vec![(name.to_string(), write(ctx))])
+                .unwrap_or_default();
+            Ok(Output {
+                body,
+                files,
+                ok: true,
+            })
+        }
+    }
+}
+
+/// The cache key every benchmark would be prepared under at `params` —
+/// computed without recording anything (see [`crate::cache::key_for`]).
+/// The shared key-derivation path: `harness cache stats` folds these into
+/// per-experiment coverage, and the serve result cache folds them into
+/// [`result_key`].
+pub fn bench_keys(params: &WorkloadParams) -> Vec<(Spec92, Fingerprint)> {
+    Spec92::ALL
+        .iter()
+        .map(|&s| (s, crate::cache::key_for(s, params)))
+        .collect()
+}
+
 /// The content address of everything `exp` reads: its name folded with the
 /// cache key of each benchmark in its declared set. `keys` maps every
-/// spec to its replay-artifact key (see [`crate::cache::key_for`]) so
-/// callers compute the five keys once and fold them per experiment.
+/// spec to its replay-artifact key (see [`bench_keys`]) so callers compute
+/// the five keys once and fold them per experiment.
 pub fn input_fingerprint(exp: &Experiment, keys: &[(Spec92, Fingerprint)]) -> Fingerprint {
     let mut h = FingerprintHasher::new();
     exp.name.hash(&mut h);
@@ -524,5 +941,32 @@ pub fn input_fingerprint(exp: &Experiment, keys: &[(Spec92, Fingerprint)]) -> Fi
             .expect("key for every spec");
         key.hash(&mut h);
     }
+    h.finish128()
+}
+
+/// The serve result cache's memoisation key: [`input_fingerprint`] (the
+/// experiment's content-addressed inputs) × engine × workload parameters ×
+/// output format × every tool option that can change the rendered bytes.
+/// Two requests with equal keys produce byte-identical [`Output`]s, so a
+/// cached body can be replayed verbatim.
+pub fn result_key(exp: &Experiment, req: &Request, keys: &[(Spec92, Fingerprint)]) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    input_fingerprint(exp, keys).hash(&mut h);
+    req.params.seed.hash(&mut h);
+    req.params.scale.hash(&mut h);
+    req.engine.name().hash(&mut h);
+    req.format.name().hash(&mut h);
+    req.bench.map(|b| b.name()).hash(&mut h);
+    let o = &req.opts;
+    o.occupancy.hash(&mut h);
+    o.deny_warnings.hash(&mut h);
+    o.speculation.hash(&mut h);
+    o.smoke.hash(&mut h);
+    o.explain.hash(&mut h);
+    o.seeds.as_ref().map(|r| (r.start, r.end)).hash(&mut h);
+    o.repro.hash(&mut h);
+    o.cache_action.map(|a| a.name()).hash(&mut h);
+    o.cache_max_bytes.hash(&mut h);
+    o.csv_dir.hash(&mut h);
     h.finish128()
 }

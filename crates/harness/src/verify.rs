@@ -175,3 +175,14 @@ pub fn render(claims: &[Claim]) -> String {
 pub fn all_hold(claims: &[Claim]) -> bool {
     claims.iter().all(|c| c.holds)
 }
+
+/// The registry tool entry: run the scorecard, with a failed claim
+/// reported as a failing (but rendered) [`Output`], not a process exit.
+pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output, String> {
+    let claims = verify(&ctx.params, ctx.pool);
+    Ok(crate::registry::Output {
+        body: format!("{}\n", render(&claims)),
+        files: Vec::new(),
+        ok: all_hold(&claims),
+    })
+}
