@@ -44,6 +44,8 @@ impl fmt::Display for Severity {
 /// Which analyzer pass produced a diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pass {
+    /// The `.masm` assembler frontend (`multiscalar_isa::asm`).
+    Asm,
     /// Instruction-level IR validation ([`crate::ir`]).
     Ir,
     /// Task/TFG structural checking ([`crate::tfg_check`]).
@@ -60,6 +62,7 @@ impl Pass {
     /// Short lowercase name used in both renderers (`error[tfg][E020]: ...`).
     pub fn name(self) -> &'static str {
         match self {
+            Pass::Asm => "asm",
             Pass::Ir => "ir",
             Pass::Tfg => "tfg",
             Pass::Mask => "create-mask",
@@ -309,12 +312,104 @@ pub mod codes {
              generator or compiler bug. Registers never written anywhere \
              in the program are exempt (the conventional zero register \
              idiom).";
+
+        // --- asm: .masm assembler frontend ----------------------------
+        ASM_SYNTAX = "E101", Error, Asm,
+            "malformed assembly syntax",
+            "The lexer or statement parser could not make sense of the \
+             line: an unexpected token, a stray character, or trailing \
+             tokens after a complete statement. The assembler recovers at \
+             the next line, so one syntax error does not hide findings in \
+             the rest of the file.";
+        ASM_UNKNOWN_MNEMONIC = "E102", Error, Asm,
+            "unknown mnemonic or directive",
+            "The statement head is neither an instruction mnemonic \
+             (add/addi/beq/li/ld/st/j/jr/call/callr/ret/halt/nop, ...) \
+             nor a recognised directive (.data/.zero/.task). Mnemonics \
+             are matched case-sensitively in lowercase, exactly as the \
+             disassembler prints them.";
+        ASM_BAD_REGISTER = "E103", Error, Asm,
+            "bad register name",
+            "Register operands are written r0..r31. Anything else — a \
+             different prefix, an index at or past the architectural file \
+             size, or a bare symbol where a register is required — is \
+             rejected rather than silently aliased.";
+        ASM_OUT_OF_RANGE = "E104", Error, Asm,
+            "value out of encodable range",
+            "A constant evaluated fine but does not fit where it is used: \
+             immediates must fit in i32, data words in a 32-bit word, \
+             `.zero` counts in 0..=2^20, and code addresses inside the \
+             assembled program. The message carries the offending value \
+             and the accepted range.";
+        ASM_DUPLICATE_LABEL = "E105", Error, Asm,
+            "duplicate label",
+            "Labels share one global namespace with functions and data \
+             labels (the disassembler numbers its labels globally, so \
+             round-tripping requires it). The second binding is reported \
+             and the first kept; the message cites the original line.";
+        ASM_UNDEFINED_SYMBOL = "E106", Error, Asm,
+            "undefined symbol",
+            "An expression references a name that no function, code \
+             label, or data label defines anywhere in the file. Forward \
+             references are fine — resolution happens in the second pass \
+             against the complete symbol table — so this means the name \
+             is defined nowhere at all.";
+        ASM_DUPLICATE_FUNCTION = "E107", Error, Asm,
+            "duplicate function name",
+            "Two `func` blocks bind the same name. The call target and \
+             symbol value would be ambiguous; the second definition is \
+             rejected.";
+        ASM_BAD_STRUCTURE = "E108", Error, Asm,
+            "misplaced statement",
+            "The file's block structure is broken: an instruction or \
+             `end` outside any `func`, a `func` starting inside another \
+             function, or a `func` left unclosed at end of file. The \
+             assembler closes or skips as needed and keeps going.";
+        ASM_BAD_FUNCTION = "E109", Error, Asm,
+            "malformed function body",
+            "A function body violates an invariant the rest of the stack \
+             relies on: it is empty, or its last instruction can fall \
+             through past the function's end (it must be an unconditional \
+             transfer — jump, return, or halt). These mirror the E002 and \
+             E003 program-level checks but fire at assembly time with \
+             source spans.";
+        ASM_BAD_EXPRESSION = "E110", Error, Asm,
+            "constant expression does not evaluate",
+            "Evaluation of a constant expression failed: division by \
+             zero or 64-bit signed overflow. Expressions support + - * /, \
+             unary minus, parentheses, and lo()/hi() 16-bit splits over \
+             integers and symbol values.";
+        ASM_BAD_TASK = "E111", Error, Asm,
+            "misplaced .task directive",
+            "`.task` marks the next instruction as a Multiscalar task \
+             entry, so it must appear inside a function and be followed \
+             by an instruction in the same function. A `.task` at top \
+             level, or dangling before `end`, marks nothing.";
+        ASM_BAD_ENTRY = "E112", Error, Asm,
+            "program entry is ambiguous or missing",
+            "Exactly one function may carry the `func!` entry marker. \
+             With no marker the last function in the file is the entry \
+             (matching the disassembler's layout); with two markers, or \
+             with no functions at all, there is no well-defined place to \
+             start execution.";
     }
 
     /// Looks a code up by id (`lookup("E050")`).
     pub fn lookup(id: &str) -> Option<&'static Code> {
         ALL.iter().copied().find(|c| c.id.eq_ignore_ascii_case(id))
     }
+}
+
+/// A location in `.masm` source text: 1-based line and column plus the
+/// length of the offending token run, for caret rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SrcLoc {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Length of the region in characters (at least 1).
+    pub len: u32,
 }
 
 /// One analyzer finding.
@@ -333,6 +428,9 @@ pub struct Diagnostic {
     pub message: String,
     /// The instruction address the finding anchors to, when address-scoped.
     pub span: Option<Addr>,
+    /// The `.masm` source location, when the finding came from assembling
+    /// text (assembler diagnostics only; analyzer passes leave it `None`).
+    pub src: Option<SrcLoc>,
 }
 
 impl Diagnostic {
@@ -346,7 +444,21 @@ impl Diagnostic {
             task: None,
             message: message.into(),
             span: None,
+            src: None,
         }
+    }
+
+    /// Converts an assembler diagnostic into the shared type, resolving
+    /// its stable code against the catalog and carrying the source span.
+    pub fn from_asm(d: &multiscalar_isa::AsmDiagnostic) -> Diagnostic {
+        let code = codes::lookup(d.code).unwrap_or(&codes::ASM_SYNTAX);
+        let mut out = Diagnostic::new(code, d.message.clone());
+        out.src = Some(SrcLoc {
+            line: d.span.line,
+            col: d.span.col,
+            len: d.span.len.max(1),
+        });
+        out
     }
 
     /// Attaches the task the finding concerns.
@@ -414,7 +526,46 @@ impl Diagnostic {
         }
         s.push(',');
         push_json_str(&mut s, "message", &self.message);
+        // Source coordinates are appended only when present so the JSON
+        // shape (and the golden files pinning it) is unchanged for every
+        // diagnostic that does not come from `.masm` text.
+        if let Some(l) = self.src {
+            s.push_str(&format!(",\"line\":{},\"col\":{}", l.line, l.col));
+        }
         s.push('}');
+        s
+    }
+
+    /// Renders one diagnostic against the `.masm` source it came from,
+    /// rustc-style with a caret line:
+    ///
+    /// ```text
+    /// error[asm][E102]: unknown mnemonic `bogus`
+    ///   --> prog.masm:2:3
+    ///    |
+    ///  2 |   bogus r1
+    ///    |   ^^^^^
+    /// ```
+    ///
+    /// Falls back to the headline alone when the diagnostic carries no
+    /// source location or the line is out of range for `source`.
+    pub fn render_in_source(&self, file: &str, source: &str) -> String {
+        let mut s = format!(
+            "{}[{}][{}]: {}",
+            self.severity, self.pass, self.code.id, self.message
+        );
+        let Some(loc) = self.src else { return s };
+        s.push_str(&format!("\n  --> {file}:{}:{}", loc.line, loc.col));
+        let Some(text) = source.lines().nth(loc.line as usize - 1) else {
+            return s;
+        };
+        let num = loc.line.to_string();
+        let gutter = " ".repeat(num.len());
+        let pad = " ".repeat(loc.col.saturating_sub(1) as usize);
+        let carets = "^".repeat(loc.len.max(1) as usize);
+        s.push_str(&format!(
+            "\n {gutter} |\n {num} | {text}\n {gutter} | {pad}{carets}"
+        ));
         s
     }
 }
@@ -470,6 +621,21 @@ pub fn render_all(diags: &[Diagnostic], program: &Program) -> String {
     out
 }
 
+/// Renders a whole batch against `.masm` source, one blank line between
+/// findings, ending with the same summary line as [`render_all`].
+pub fn render_all_in_source(diags: &[Diagnostic], file: &str, source: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_in_source(file, source));
+        out.push('\n');
+    }
+    let (errors, warnings, notes) = counts(diags);
+    out.push_str(&format!(
+        "{errors} errors, {warnings} warnings, {notes} notes\n"
+    ));
+    out
+}
+
 /// Renders a whole batch as JSON lines (one object per line).
 pub fn render_all_json(diags: &[Diagnostic]) -> String {
     let mut out = String::new();
@@ -497,6 +663,41 @@ mod tests {
     fn severity_ordering_puts_errors_above_warnings_above_notes() {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn asm_diagnostics_map_to_catalog_codes_with_source_spans() {
+        let errs = multiscalar_isa::assemble("func main\n  bogus r1\nend").unwrap_err();
+        let d = Diagnostic::from_asm(&errs[0]);
+        assert_eq!(d.code.id, "E102");
+        assert_eq!(d.pass, Pass::Asm);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(
+            d.src,
+            Some(SrcLoc {
+                line: 2,
+                col: 3,
+                len: 5
+            })
+        );
+        let json = d.render_json();
+        assert!(json.ends_with(",\"line\":2,\"col\":3}"), "{json}");
+
+        let rendered = d.render_in_source("prog.masm", "func main\n  bogus r1\nend");
+        assert!(rendered.contains("error[asm][E102]"), "{rendered}");
+        assert!(rendered.contains("--> prog.masm:2:3"), "{rendered}");
+        assert!(rendered.contains(" 2 |   bogus r1"), "{rendered}");
+        assert!(rendered.contains("|   ^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn analyzer_diagnostics_omit_source_fields_from_json() {
+        let d = Diagnostic::new(&codes::ORPHAN_INSTRUCTION, "m");
+        assert!(!d.render_json().contains("\"line\""));
+        assert!(d
+            .render_in_source("f.masm", "x")
+            .starts_with("error[ir][E001]: m"));
+        assert!(!d.render_in_source("f.masm", "x").contains("-->"));
     }
 
     #[test]

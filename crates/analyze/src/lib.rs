@@ -64,7 +64,10 @@ pub mod soundness;
 pub mod spec;
 pub mod tfg_check;
 
-pub use diag::{has_errors, render_all, render_all_json, Diagnostic, Pass, Severity};
+pub use diag::{
+    has_errors, render_all, render_all_in_source, render_all_json, Diagnostic, Pass, Severity,
+    SrcLoc,
+};
 
 use multiscalar_isa::Program;
 use multiscalar_taskform::{TaskFlowGraph, TaskProgram};
@@ -94,11 +97,26 @@ pub fn analyze_program(program: &Program) -> Vec<Diagnostic> {
 
 fn sort(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        (a.span, a.task, std::cmp::Reverse(a.severity), &a.message).cmp(&(
-            b.span,
-            b.task,
-            std::cmp::Reverse(b.severity),
-            &b.message,
-        ))
+        (
+            a.span,
+            a.src,
+            a.task,
+            std::cmp::Reverse(a.severity),
+            &a.message,
+        )
+            .cmp(&(
+                b.span,
+                b.src,
+                b.task,
+                std::cmp::Reverse(b.severity),
+                &b.message,
+            ))
     });
+}
+
+/// Converts a batch of assembler diagnostics (already in source order)
+/// into the shared [`Diagnostic`] type with catalog codes and source
+/// locations attached.
+pub fn asm_diagnostics(errs: &[multiscalar_isa::AsmDiagnostic]) -> Vec<Diagnostic> {
+    errs.iter().map(Diagnostic::from_asm).collect()
 }

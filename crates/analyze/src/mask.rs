@@ -20,7 +20,7 @@ use multiscalar_taskform::TaskProgram;
 /// Checks every task's create mask against its computed may-write set.
 pub fn check(program: &Program, tasks: &TaskProgram) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let cfgs = reach::build_cfgs(program);
+    let cfgs = reach::build_cfgs(program, tasks);
     for t in tasks.tasks() {
         let Some(cfg) = cfgs.get(&t.func().0) else {
             continue;

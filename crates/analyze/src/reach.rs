@@ -7,9 +7,26 @@ use multiscalar_taskform::{Task, TaskProgram};
 use std::collections::{HashMap, HashSet};
 
 /// Builds the CFG of every function once; passes index it by raw `FuncId`.
-pub(crate) fn build_cfgs(program: &Program) -> HashMap<u32, Cfg> {
+///
+/// Every task entry of the partition is injected as a block leader: the
+/// partition defines those boundaries (an assembler `.task` directive may
+/// start a task mid-block of the plain CFG), and the checkers must reason
+/// over the same block structure the former used. For partitions whose
+/// entries already fall on natural leaders — every former-derived
+/// partition without declared entries — the injected leaders are no-ops
+/// and the CFGs are identical to the plain build.
+pub(crate) fn build_cfgs(program: &Program, tasks: &TaskProgram) -> HashMap<u32, Cfg> {
+    let mut entries: HashMap<u32, Vec<multiscalar_isa::Addr>> = HashMap::new();
+    for t in tasks.tasks() {
+        entries.entry(t.func().0).or_default().push(t.entry());
+    }
     (0..program.functions().len() as u32)
-        .map(|f| (f, Cfg::build(program, multiscalar_isa::FuncId(f))))
+        .map(|f| {
+            let extra = entries.get(&f).map(Vec::as_slice).unwrap_or(&[]);
+            let cfg =
+                multiscalar_cfg::build_cfg_with_leaders(program, multiscalar_isa::FuncId(f), extra);
+            (f, cfg)
+        })
         .collect()
 }
 

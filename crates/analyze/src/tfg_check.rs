@@ -332,7 +332,7 @@ fn check_reachability(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Di
 /// reachable within the task, and branch exits on the statically dead side
 /// of a register-compared-with-itself conditional.
 fn check_dead_exits(program: &Program, tasks: &TaskProgram, diags: &mut Vec<Diagnostic>) {
-    let cfgs = reach::build_cfgs(program);
+    let cfgs = reach::build_cfgs(program, tasks);
     for t in tasks.tasks() {
         let Some(cfg) = cfgs.get(&t.func().0) else {
             continue;

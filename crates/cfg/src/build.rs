@@ -16,6 +16,17 @@ use std::collections::{BTreeSet, HashMap};
 ///
 /// Panics if `func` is out of range for `program`.
 pub fn build_cfg(program: &Program, func: FuncId) -> Cfg {
+    build_cfg_with_leaders(program, func, &[])
+}
+
+/// [`build_cfg`] with extra block leaders injected before block layout.
+///
+/// Addresses in `extra_leaders` that fall inside `func`'s range start a
+/// basic block even when no control flow demands it; out-of-range
+/// addresses are ignored. The assembler frontend uses this to make
+/// `.task`-declared entries fall on block boundaries, which downstream
+/// task formation requires of every task entry.
+pub fn build_cfg_with_leaders(program: &Program, func: FuncId, extra_leaders: &[Addr]) -> Cfg {
     let f = program.function(func);
     let range = f.range();
     let in_func = |a: Addr| range.contains(&a.0);
@@ -23,6 +34,11 @@ pub fn build_cfg(program: &Program, func: FuncId) -> Cfg {
     // 1. Collect leaders.
     let mut leaders: BTreeSet<u32> = BTreeSet::new();
     leaders.insert(range.start);
+    for &a in extra_leaders {
+        if in_func(a) {
+            leaders.insert(a.0);
+        }
+    }
     for pc in range.clone() {
         let inst = program.fetch(Addr(pc)).expect("address in function range");
         let Some(cf) = inst.control_flow() else {

@@ -43,7 +43,7 @@ mod graph;
 mod loops;
 pub mod trip;
 
-pub use build::build_cfg;
+pub use build::{build_cfg, build_cfg_with_leaders};
 pub use dom::Dominators;
 pub use graph::{BasicBlock, BlockId, Cfg, Edge, EdgeKind, Terminator};
 pub use loops::{LoopInfo, NaturalLoop};

@@ -25,7 +25,11 @@
 //!    claims the dataflow passes make must survive the concrete execution
 //!    ([`multiscalar_analyze::soundness::check_execution`]): a claimed
 //!    in-bounds access never faults, a claimed dead write is never read,
-//!    a claimed static exit never takes another edge.
+//!    a claimed static exit never takes another edge;
+//! 8. **assembler round trip** — the program's canonical `.masm` text
+//!    ([`multiscalar_isa::to_masm`]) must reassemble to the identical
+//!    program, and seeded byte-level mutations of that text must never
+//!    panic the assembler (accepted mutants must themselves round-trip).
 //!
 //! Any violation becomes a [`Finding`]; [`shrink`] walks the shape lattice
 //! toward [`FuzzShape::minimal`], keeping each smaller shape that still
@@ -265,16 +269,109 @@ pub fn differential(program: &Program, former: usize) -> Option<(&'static str, S
     // Oracle 7: analyzer soundness — replay the bounds, dead-write and
     // static-exit claims against the concrete execution.
     match catching(|| multiscalar_analyze::soundness::check_execution(program, &tasks, MAX_STEPS)) {
-        Ok(v) if v.is_empty() => None,
-        Ok(v) => Some((
-            "soundness",
-            v.iter()
-                .map(|x| x.to_string())
-                .collect::<Vec<_>>()
-                .join("; "),
-        )),
-        Err(panic) => Some(("soundness", panic)),
+        Ok(v) if v.is_empty() => {}
+        Ok(v) => {
+            return Some((
+                "soundness",
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ))
+        }
+        Err(panic) => return Some(("soundness", panic)),
     }
+
+    // Oracle 8: assembler round trip — the canonical `.masm` text must
+    // reassemble to the identical program, and seeded text mutations must
+    // never panic the assembler; whatever mutated text it still accepts
+    // must itself reach a canonical fixed point.
+    match catching(|| masm_roundtrip_check(program)) {
+        Ok(None) => None,
+        Ok(Some(detail)) => Some(("masm-roundtrip", detail)),
+        Err(panic) => Some(("masm-roundtrip", panic)),
+    }
+}
+
+/// How many mutated texts oracle 8 throws at the assembler per case.
+const MASM_MUTANTS: usize = 8;
+
+/// The assembler round-trip oracle: `parse(to_masm(p)) == p` exactly, and
+/// the assembler is total over [`MASM_MUTANTS`] seeded byte-level
+/// mutations of the canonical text — rejecting with diagnostics is fine,
+/// panicking is a finding, and any *accepted* mutant must itself
+/// round-trip through its own canonical form.
+fn masm_roundtrip_check(program: &Program) -> Option<String> {
+    let text = multiscalar_isa::to_masm(program);
+    match multiscalar_isa::parse_program(&text) {
+        Err(e) => return Some(format!("canonical text rejected: {e}")),
+        Ok(p) if &p != program => {
+            return Some("canonical text reassembles to a different program".to_string())
+        }
+        Ok(_) => {}
+    }
+    // The mutation stream is seeded from the program fingerprint, so a
+    // sweep is deterministic per seed with no global randomness.
+    let mut state = program.fingerprint().lo ^ 0x9E37_79B9_7F4A_7C15;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..MASM_MUTANTS {
+        let mutated = mutate_masm(&text, &mut rng);
+        if let Ok(accepted) = multiscalar_isa::parse_program(&mutated) {
+            let canon = multiscalar_isa::to_masm(&accepted);
+            match multiscalar_isa::parse_program(&canon) {
+                Ok(p) if p == accepted => {}
+                Ok(_) => {
+                    return Some(format!(
+                        "mutant {i}: accepted text's canonical form reassembles differently"
+                    ))
+                }
+                Err(e) => {
+                    return Some(format!(
+                        "mutant {i}: accepted text's canonical form is rejected: {e}"
+                    ))
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One seeded byte-level mutation of `.masm` text: a few deletions,
+/// insertions or replacements of printable ASCII (plus newlines, to move
+/// statement boundaries around).
+fn mutate_masm(text: &str, rng: &mut impl FnMut() -> u64) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let printable = |r: u64| {
+        // 0..95 → space..tilde, 95 → newline.
+        let c = (r % 96) as u8;
+        if c == 95 {
+            b'\n'
+        } else {
+            b' ' + c
+        }
+    };
+    let edits = 1 + (rng() % 4) as usize;
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = (rng() % bytes.len() as u64) as usize;
+        match rng() % 3 {
+            0 => {
+                bytes.remove(pos);
+            }
+            1 => bytes.insert(pos, printable(rng())),
+            _ => bytes[pos] = printable(rng()),
+        }
+    }
+    // Mutations only touch single ASCII bytes, so the result is valid
+    // UTF-8; `from_utf8_lossy` is belt and braces.
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 /// Runs one fuzz case through every oracle. `None` means the case passed.

@@ -40,6 +40,7 @@ pub mod experiments;
 pub mod extensions;
 pub mod fuzz;
 pub mod lint;
+pub mod masm;
 pub mod pool;
 pub mod profile;
 pub mod proto;

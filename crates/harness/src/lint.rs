@@ -1,6 +1,8 @@
 //! `harness lint` — runs every `multiscalar-analyze` pass over the built-in
 //! workloads plus a sweep of synthetic programs; the CI correctness gate
-//! for the task-formation pipeline.
+//! for the task-formation pipeline. `harness lint FILE.masm` instead
+//! assembles one source file and lints it alone, rendering assembly
+//! errors rustc-style with source spans.
 
 use multiscalar_analyze::{analyze, Diagnostic, Severity};
 use multiscalar_taskform::{TaskFlowGraph, TaskFormer};
@@ -50,7 +52,18 @@ impl LintTarget {
 
 /// Lints one already-built program.
 pub fn lint_program(name: &str, program: multiscalar_isa::Program) -> LintTarget {
-    let diagnostics = match TaskFormer::default().form(&program) {
+    lint_program_with_entries(name, program, &[])
+}
+
+/// [`lint_program`] honouring declared task entries (a `.masm` file's
+/// `.task` directives): formation treats them as mandatory boundaries, so
+/// the lint passes check exactly the partition `harness asm` runs.
+pub fn lint_program_with_entries(
+    name: &str,
+    program: multiscalar_isa::Program,
+    entries: &[multiscalar_isa::Addr],
+) -> LintTarget {
+    let diagnostics = match TaskFormer::default().form_with_entries(&program, entries) {
         Ok(tasks) => {
             let tfg = TaskFlowGraph::build(&tasks);
             analyze(&program, &tasks, &tfg)
@@ -195,6 +208,40 @@ pub fn run_tool(ctx: &crate::registry::ExpCtx) -> Result<crate::registry::Output
     }
     if ctx.req.opts.speculation {
         return Ok(Output::text(speculation_report(&ctx.params)));
+    }
+    // `harness lint FILE.masm`: assemble the file and lint it alone.
+    // Assembly errors render through the same diagnostic machinery with
+    // source spans (rustc-style carets, or `line`/`col` in JSON).
+    if let Some(path) = &ctx.req.opts.file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let target = match multiscalar_isa::assemble(&text) {
+            Ok(asm) => lint_program_with_entries(path, asm.program, &asm.task_entries),
+            Err(errs) => {
+                let diags = multiscalar_analyze::asm_diagnostics(&errs);
+                let body = if ctx.req.format == OutputFormat::Json {
+                    multiscalar_analyze::render_all_json(&diags)
+                } else {
+                    multiscalar_analyze::render_all_in_source(&diags, path, &text)
+                };
+                return Ok(Output {
+                    body,
+                    files: Vec::new(),
+                    ok: false,
+                });
+            }
+        };
+        let targets = std::slice::from_ref(&target);
+        let body = if ctx.req.format == OutputFormat::Json {
+            render_json(targets)
+        } else {
+            render(targets)
+        };
+        return Ok(Output {
+            body,
+            files: Vec::new(),
+            ok: !failed(targets, ctx.req.opts.deny_warnings),
+        });
     }
     let targets = lint_all(&ctx.params);
     let body = if ctx.req.format == OutputFormat::Json {

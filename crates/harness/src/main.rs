@@ -103,6 +103,7 @@ fn parse_args() -> Result<Invocation, String> {
             "--seeds" => request.opts.seeds = Some(parse_seed_range(&value()?)?),
             "--repro" => request.opts.repro = Some(value()?),
             "--explain" => request.opts.explain = Some(value()?),
+            "--file" => request.opts.file = Some(value()?),
             "--speculation" => request.opts.speculation = true,
             "--cache-max-bytes" => {
                 request.opts.cache_max_bytes = Some(
@@ -127,6 +128,14 @@ fn parse_args() -> Result<Invocation, String> {
                         .ok_or(format!("unknown cache action `{action}` (stats|clear|gc)"))?,
                 );
             }
+            // `harness asm FILE` / `disasm FILE` / `lint FILE` — the
+            // positional form of `--file`.
+            path if !path.starts_with('-')
+                && matches!(request.experiment.as_str(), "asm" | "disasm" | "lint")
+                && request.opts.file.is_none() =>
+            {
+                request.opts.file = Some(path.to_string());
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -143,12 +152,13 @@ fn parse_args() -> Result<Invocation, String> {
 fn usage() -> String {
     "usage: harness <table2|fig3|fig4|fig6|fig7|fig8|fig10|fig11|fig12|table3|table4|all|\
      ext-staleness|ext-hybrid|ext-taskform|ext-memory|ext-confidence|ext-intra|ext-pollution|ext|\
-     profile|csv|verify|lint|fuzz|cache stats|cache clear|cache gc|bench-pr1|bench-pr2|bench-pr5|\
+     profile|csv|verify|lint [FILE.masm]|asm FILE.masm|disasm FILE.masm|fuzz|\
+     cache stats|cache clear|cache gc|bench-pr1|bench-pr2|bench-pr5|\
      bench-pr6|serve> \
      [--seed N] [--scale N] [--bench NAME] [--csv DIR] [--threads N] [--engine legacy|replay] \
      [--deny warnings] [--format text|csv|json] [--json] [--occupancy] [--smoke] \
      [--cache-dir DIR] [--no-cache] [--cache-max-bytes N] [--seeds A..B] [--repro FILE] \
-     [--explain CODE] [--speculation] [--socket PATH] [--result-max-bytes N]"
+     [--explain CODE] [--speculation] [--file FILE.masm] [--socket PATH] [--result-max-bytes N]"
         .to_string()
 }
 

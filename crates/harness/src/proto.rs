@@ -116,6 +116,8 @@ pub struct ToolOpts {
     pub cache_max_bytes: Option<u64>,
     /// Output directory for the `csv` exporter (`--csv DIR`).
     pub csv_dir: Option<String>,
+    /// Input `.masm` source file (`asm FILE`, `disasm FILE`, `lint FILE`).
+    pub file: Option<String>,
 }
 
 /// One experiment request: everything that determines one run's output.
@@ -202,6 +204,9 @@ impl Request {
         if let Some(d) = &o.csv_dir {
             w.field_str("csv_dir", d);
         }
+        if let Some(f) = &o.file {
+            w.field_str("file", f);
+        }
     }
 
     /// Applies one wire field to the request under construction. Shared by
@@ -246,6 +251,7 @@ impl Request {
             }
             "cache_max_bytes" => self.opts.cache_max_bytes = Some(value.as_u64(key)?),
             "csv_dir" => self.opts.csv_dir = Some(value.as_str(key)?.to_string()),
+            "file" => self.opts.file = Some(value.as_str(key)?.to_string()),
             other => return Err(format!("unknown field `{other}`")),
         }
         Ok(())

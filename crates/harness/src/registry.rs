@@ -727,6 +727,26 @@ pub const REGISTRY: &[Experiment] = &[
         cache_safe: true,
     },
     Experiment {
+        name: "asm",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        // Reads a file from disk, so the server must not memoise: the
+        // same request can legitimately produce different bytes after an
+        // edit (the *artifact* cache is still safe — the replay key folds
+        // the source bytes).
+        kind: Kind::Tool(crate::masm::run_asm),
+        cache_safe: false,
+    },
+    Experiment {
+        name: "disasm",
+        group: Group::Tool,
+        benches: BenchSet::None,
+        needs: Needs::NONE,
+        kind: Kind::Tool(crate::masm::run_disasm),
+        cache_safe: false,
+    },
+    Experiment {
         name: "cache",
         group: Group::Tool,
         benches: BenchSet::None,
@@ -968,5 +988,6 @@ pub fn result_key(exp: &Experiment, req: &Request, keys: &[(Spec92, Fingerprint)
     o.cache_action.map(|a| a.name()).hash(&mut h);
     o.cache_max_bytes.hash(&mut h);
     o.csv_dir.hash(&mut h);
+    o.file.hash(&mut h);
     h.finish128()
 }

@@ -213,6 +213,68 @@ fn gc_evicts_lru_entries_past_the_byte_cap() {
     cleanup(&dir);
 }
 
+/// A file-sourced replay (`harness asm FILE`) keys on the source bytes:
+/// an untouched file is a counted warm hit on the second run, any edit —
+/// even a comment — re-records, and the rendered body never depends on
+/// which side of the cache served it.
+#[test]
+fn file_replay_cache_rekeys_on_source_edit() {
+    use multiscalar_harness::proto::Request;
+    use multiscalar_harness::registry;
+
+    let dir = scratch_dir("masm-file");
+    let src = std::env::temp_dir().join(format!("masm-cache-test-{}.masm", std::process::id()));
+    std::fs::write(
+        &src,
+        "func! main\n  li r1, 2\n  addi r1, r1, 3\n  halt\nend\n",
+    )
+    .unwrap();
+
+    let pool = Pool::new(1);
+    let store = ArtifactCache::new(&dir);
+    store.clear().unwrap();
+    let mut request = Request::new("asm");
+    request.opts.file = Some(src.to_string_lossy().into_owned());
+    let run = |store: &ArtifactCache, request: &Request| {
+        let resources = registry::Resources {
+            pool: &pool,
+            store: Some(store),
+            cache_dir: dir.clone(),
+            source: None,
+        };
+        registry::dispatch(request, &resources).expect("asm runs")
+    };
+
+    let cold = run(&store, &request);
+    let s = store.stats();
+    assert_eq!((s.hits, s.misses, s.stores), (0, 1, 1), "cold run records");
+
+    let warm = run(&store, &request);
+    let s = store.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.stores),
+        (1, 1, 1),
+        "untouched file hits"
+    );
+    assert_eq!(cold.body, warm.body, "warm body must be byte-identical");
+
+    // A comment-only edit leaves the assembled program identical, but the
+    // key folds the source bytes — the stale artifact must not be served.
+    let text = std::fs::read_to_string(&src).unwrap();
+    std::fs::write(&src, format!("; edited\n{text}")).unwrap();
+    let edited = run(&store, &request);
+    let s = store.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.stores),
+        (1, 2, 2),
+        "edited file re-records"
+    );
+    assert_eq!(cold.body, edited.body, "same program, same rendered body");
+
+    let _ = std::fs::remove_file(&src);
+    cleanup(&dir);
+}
+
 /// Regression: when entries share an mtime (1-second filesystem
 /// granularity makes this the common case for one `harness all` run), gc's
 /// eviction order must not depend on directory-iteration order — ties

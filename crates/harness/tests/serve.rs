@@ -159,6 +159,69 @@ fn repeated_request_is_a_counted_byte_identical_cache_hit() {
     assert_eq!(stat(&server, "bench_resident"), 5);
 }
 
+/// `asm`/`disasm` are first-class tool experiments behind the same
+/// [`registry::dispatch`] path the server and CLI share. Their rendered
+/// bodies — counts, canonical disassembly, rustc-style and JSON error
+/// rendering — are pinned against a golden file over committed fixtures.
+/// And because they read files, the server must never memoise them: an
+/// identical repeat request is counter-verified to re-run.
+#[test]
+fn masm_tool_dispatch_matches_golden_and_is_never_memoised() {
+    let pool = Pool::new(2);
+    let resources = registry::Resources {
+        pool: &pool,
+        store: None,
+        cache_dir: scratch_dir("masm-golden"),
+        source: None,
+    };
+    let cases = [
+        ("asm", "tests/fixtures/demo.masm", false),
+        ("disasm", "tests/fixtures/demo.masm", false),
+        ("asm", "tests/fixtures/broken.masm", false),
+        ("asm", "tests/fixtures/broken.masm", true),
+    ];
+    let mut out = String::new();
+    for (tool, file, json) in cases {
+        let mut r = req(tool);
+        r.opts.file = Some(file.to_string());
+        if json {
+            r.format = multiscalar_harness::proto::OutputFormat::Json;
+        }
+        let fmt = if json { "json" } else { "text" };
+        let output = registry::dispatch(&r, &resources).expect("masm tools dispatch");
+        out.push_str(&format!("== {tool} {file} ({fmt}) ok={}\n", output.ok));
+        out.push_str(&output.body);
+        if !output.body.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    let golden = include_str!("golden/masm_tools.txt");
+    if out != golden {
+        let dump = std::env::temp_dir().join("masm_tools_actual.txt");
+        std::fs::write(&dump, &out).unwrap();
+        panic!(
+            "masm tool output drifted; actual written to {} — copy it over \
+             tests/golden/masm_tools.txt if the change is deliberate",
+            dump.display()
+        );
+    }
+
+    // file-reading tools are registered `cache_safe: false` — the server
+    // re-runs an identical request rather than serving stale bytes.
+    let server = Server::new(&config("masm-memo", serve::DEFAULT_RESULT_MAX_BYTES));
+    let mut r = req("disasm");
+    r.opts.file = Some("tests/fixtures/demo.masm".to_string());
+    for id in 0..2 {
+        match server.run_request(Some(id), &r) {
+            Response::Ok { cached, .. } => {
+                assert!(!cached, "file-sourced tools must never be memoised")
+            }
+            other => panic!("disasm run failed: {other:?}"),
+        }
+    }
+    assert_eq!(stat(&server, "result_hits"), 0);
+}
+
 /// Concurrent clients interleave without affecting each other: every
 /// response is byte-identical to the serial reference, whatever the
 /// thread schedule.

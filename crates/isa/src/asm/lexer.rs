@@ -1,0 +1,297 @@
+//! The `.masm` lexer: source text to spanned tokens.
+//!
+//! The token stream is line-oriented — every source line ends with one
+//! [`Tok::Newline`] token — because statements never span lines and the
+//! assembler recovers from errors at line granularity. Comments run from
+//! `;` to end of line. Lexing never aborts: an unrecognised character
+//! becomes a diagnostic and is skipped, so one bad byte cannot hide every
+//! later finding.
+
+use super::{codes, AsmDiagnostic, Span};
+
+/// One lexical token kind. Identifiers stay uninterpreted here — whether
+/// `r7` is a register, `loop` a label or `add` a mnemonic is decided by
+/// the statement grammar, never the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident(String),
+    /// `.name` — a directive head (`name` excludes the dot).
+    Directive(String),
+    /// Unsigned integer literal, decimal or `0x` hex. Negation is the
+    /// expression grammar's unary minus, not the lexer's.
+    Int(i64),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `@`
+    At,
+    /// `!`
+    Bang,
+    /// End of a source line.
+    Newline,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers and integers).
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes the whole source. Returns every token (one [`Tok::Newline`] per
+/// source line, including the last even without a trailing `\n`) plus any
+/// diagnostics for malformed lexemes.
+pub fn lex(text: &str) -> (Vec<Token>, Vec<AsmDiagnostic>) {
+    let mut tokens = Vec::new();
+    let mut diags = Vec::new();
+    for (line_idx, line) in text.lines().enumerate() {
+        let line_no = line_idx as u32 + 1;
+        lex_line(line, line_no, &mut tokens, &mut diags);
+        let end_col = line.chars().count() as u32 + 1;
+        tokens.push(Token {
+            tok: Tok::Newline,
+            span: Span::at(line_no, end_col),
+        });
+    }
+    (tokens, diags)
+}
+
+fn lex_line(line: &str, line_no: u32, tokens: &mut Vec<Token>, diags: &mut Vec<AsmDiagnostic>) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = i as u32 + 1;
+        if c == ';' {
+            return; // comment to end of line
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let punct = match c {
+            ',' => Some(Tok::Comma),
+            ':' => Some(Tok::Colon),
+            '(' => Some(Tok::LParen),
+            ')' => Some(Tok::RParen),
+            '[' => Some(Tok::LBracket),
+            ']' => Some(Tok::RBracket),
+            '+' => Some(Tok::Plus),
+            '-' => Some(Tok::Minus),
+            '*' => Some(Tok::Star),
+            '/' => Some(Tok::Slash),
+            '@' => Some(Tok::At),
+            '!' => Some(Tok::Bang),
+            _ => None,
+        };
+        if let Some(tok) = punct {
+            tokens.push(Token {
+                tok,
+                span: Span::at(line_no, col),
+            });
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let name: String = chars[start..i].iter().collect();
+            tokens.push(Token {
+                tok: Tok::Ident(name),
+                span: Span {
+                    line: line_no,
+                    col,
+                    len: (i - start) as u32,
+                },
+            });
+            continue;
+        }
+        if c == '.' {
+            let start = i;
+            i += 1;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let name: String = chars[start + 1..i].iter().collect();
+            let span = Span {
+                line: line_no,
+                col,
+                len: (i - start) as u32,
+            };
+            if name.is_empty() {
+                diags.push(AsmDiagnostic::new(
+                    codes::SYNTAX,
+                    span,
+                    "`.` must start a directive name",
+                ));
+            } else {
+                tokens.push(Token {
+                    tok: Tok::Directive(name),
+                    span,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == '0' && chars.get(i + 1).is_some_and(|&n| n == 'x' || n == 'X');
+            if hex {
+                i += 2;
+                while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+            } else {
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let span = Span {
+                line: line_no,
+                col,
+                len: (i - start) as u32,
+            };
+            let value = if hex {
+                if text.len() == 2 {
+                    Err(()) // bare `0x`
+                } else {
+                    i64::from_str_radix(&text[2..], 16).map_err(|_| ())
+                }
+            } else {
+                text.parse::<i64>().map_err(|_| ())
+            };
+            match value {
+                Ok(v) => tokens.push(Token {
+                    tok: Tok::Int(v),
+                    span,
+                }),
+                Err(()) => diags.push(AsmDiagnostic::new(
+                    codes::OUT_OF_RANGE,
+                    span,
+                    format!("invalid integer literal `{text}`"),
+                )),
+            }
+            continue;
+        }
+        diags.push(AsmDiagnostic::new(
+            codes::SYNTAX,
+            Span::at(line_no, col),
+            format!("unexpected character `{c}`"),
+        ));
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<Tok> {
+        let (tokens, diags) = lex(text);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+        tokens.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn instruction_line_tokenizes_with_spans() {
+        let (tokens, diags) = lex("  addi r1, r2, 10");
+        assert!(diags.is_empty());
+        assert_eq!(tokens[0].tok, Tok::Ident("addi".into()));
+        assert_eq!(
+            tokens[0].span,
+            Span {
+                line: 1,
+                col: 3,
+                len: 4
+            }
+        );
+        assert_eq!(tokens[1].tok, Tok::Ident("r1".into()));
+        assert_eq!(tokens[2].tok, Tok::Comma);
+        assert_eq!(tokens[5].tok, Tok::Int(10));
+        assert_eq!(
+            tokens[5].span,
+            Span {
+                line: 1,
+                col: 16,
+                len: 2
+            }
+        );
+        assert_eq!(tokens.last().unwrap().tok, Tok::Newline);
+    }
+
+    #[test]
+    fn comments_and_hex_and_directives() {
+        assert_eq!(
+            kinds(".data 0xff, -2 ; trailing"),
+            vec![
+                Tok::Directive("data".into()),
+                Tok::Int(255),
+                Tok::Comma,
+                Tok::Minus,
+                Tok::Int(2),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn every_line_gets_a_newline_token() {
+        let (tokens, _) = lex("a\nb");
+        let newlines = tokens.iter().filter(|t| t.tok == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+        assert_eq!(tokens[3].span.line, 2);
+    }
+
+    #[test]
+    fn bad_characters_are_reported_not_fatal() {
+        let (tokens, diags) = lex("add ? r1");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::SYNTAX);
+        assert_eq!(diags[0].span.col, 5);
+        // Lexing continued past the bad byte.
+        assert!(tokens.iter().any(|t| t.tok == Tok::Ident("r1".into())));
+    }
+
+    #[test]
+    fn func_bang_is_two_tokens() {
+        assert_eq!(
+            kinds("func! main"),
+            vec![
+                Tok::Ident("func".into()),
+                Tok::Bang,
+                Tok::Ident("main".into()),
+                Tok::Newline
+            ]
+        );
+    }
+}

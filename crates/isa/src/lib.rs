@@ -42,6 +42,7 @@
 //! assert_eq!(interp.reg(Reg(1)), 10);
 //! ```
 
+pub mod asm;
 pub mod builder;
 pub mod fingerprint;
 pub mod inst;
@@ -49,6 +50,7 @@ pub mod interp;
 pub mod parse;
 pub mod program;
 
+pub use asm::{assemble, AsmDiagnostic, Assembled, Span};
 pub use builder::{BuildError, Label, ProgramBuilder};
 pub use fingerprint::{fingerprint_of, Fingerprint, FingerprintHasher};
 pub use inst::{

@@ -1,419 +1,114 @@
-//! A text assembler: parses the pseudo-assembly dialect that
-//! [`crate::Program::disassemble`] emits (plus labels and data directives)
-//! back into a [`crate::Program`] — so small programs and regression cases
-//! can live as readable `.masm` text instead of builder code.
+//! `.masm` text frontend: [`parse_program`] and the [`to_masm`]
+//! disassembler.
 //!
-//! # Syntax
+//! # The dialect
+//!
+//! A program is a sequence of data directives and function bodies; `;`
+//! starts a comment. Statements are line-oriented:
 //!
 //! ```text
-//! ; comments run to end of line
-//! .data 1 2 3          ; append words to the data segment
-//! .zero 16             ; append 16 zero words
+//! table:                      ; a data label: names the next data word
+//! .data 48, 18, lo(table)+2   ; comma-separated constant expressions
+//! .zero 8                     ; reserve 8 zeroed words
 //!
-//! func main            ; begin a function (the last one is the entry
-//!                      ;  unless one is marked `func! name`)
+//! func! main                  ; `!` marks the entry function
 //!   li   r1, 0
-//!   li   r2, 10
-//! top:
+//! loop:                       ; a code label (global namespace)
+//!   ld   r2, table(r1)        ; offset(base) memory operand
+//! .task                       ; declare a Multiscalar task boundary here
 //!   addi r1, r1, 1
-//!   blt  r1, r2, top
+//!   blt  r1, r3, loop
 //!   halt
 //! end
 //! ```
 //!
-//! Instructions: `add sub mul and or xor shl shr slt sltu` (3 registers),
-//! the same with an `i` suffix (register, register, immediate), `li`,
-//! `ld rd, off(rb)` / `st rs, off(rb)`, `beq bne blt bge bltu bgeu`,
-//! `j label`, `jr rN`, `call label`/`callr rN`, `ret`, `halt`, `nop`.
-//! Labels are per-function. Indirect target declarations:
-//! `jr rN [a, b, c]` / `callr rN [f, g]` list the possible target labels
-//! (function names allowed for `callr`).
+//! Wherever an immediate, offset, count or target address is expected,
+//! a full constant expression is accepted: `+ - * /`, unary minus,
+//! parentheses, `lo(x)`/`hi(x)` (low/high 16 bits), integer literals
+//! (decimal or `0x` hex) and symbols. A symbol names a function (its
+//! entry address), a code label (its instruction address) or a data
+//! label (its data-word index); forward references are resolved by the
+//! assembler's second pass. Instruction mnemonics are the ALU ops
+//! (`add`, `sub`, `mul`, `and`, `or`, `xor`, `shl`, `shr`, `slt`,
+//! `sltu`, plus an `i`-suffixed immediate form of each), `li`, `ld`/`st`,
+//! the branches (`beq`, `bne`, `blt`, `bge`, `bltu`, `bgeu`), `j`, `jr
+//! rN [targets...]`, `call`, `callr rN [targets...]`, `ret`, `halt` and
+//! `nop`.
+//!
+//! The entry point is the unique `func!` function, or the **last**
+//! function when no `func!` appears (the historical default, kept so
+//! existing sources assemble unchanged). `.task` directives do not
+//! change the program — they surface through
+//! [`crate::asm::Assembled::task_entries`] for the task former.
+//!
+//! # Errors
+//!
+//! The assembler never stops at the first problem: [`ParseError`] carries
+//! every [`AsmDiagnostic`] found, each with a stable `E1xx` code and a
+//! line/column [`crate::asm::Span`]. The `multiscalar-analyze` crate maps
+//! these codes into its diagnostic catalog for rustc-style and JSON
+//! rendering (`harness lint FILE.masm`, `harness lint --explain E1xx`).
+//!
+//! # Round trip
+//!
+//! [`to_masm`] renders any [`Program`] in this dialect with generated
+//! `L{n}` labels, and `parse_program(&to_masm(p))` reproduces `p`
+//! **exactly** (`Program` equality: code, function table, entry, data
+//! and indirect-target metadata). The property is enforced corpus-wide:
+//! over the five paper workloads, the seeded fuzz corpus and every
+//! differential-fuzzer case (oracle 8).
 
-use crate::builder::{BuildError, Label, ProgramBuilder};
-use crate::inst::{AluOp, Cond, Reg};
+use crate::asm::{assemble, AsmDiagnostic};
 use crate::program::Program;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Errors from [`parse_program`].
+/// Errors from [`parse_program`]: every assembly diagnostic, sorted by
+/// source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParseError {
-    /// A line could not be parsed.
-    Syntax {
-        /// 1-based source line.
-        line: usize,
-        /// What went wrong.
-        message: String,
-    },
-    /// The assembled program failed builder validation.
-    Build(BuildError),
+pub struct ParseError {
+    /// All findings, sorted by (line, column).
+    pub diagnostics: Vec<AsmDiagnostic>,
+}
+
+impl ParseError {
+    /// The first (source-order) diagnostic — what `Display` shows.
+    pub fn first(&self) -> &AsmDiagnostic {
+        &self.diagnostics[0]
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
-            ParseError::Build(e) => write!(f, "assembly failed to build: {e}"),
+        write!(f, "{}", self.first())?;
+        if self.diagnostics.len() > 1 {
+            write!(f, " (and {} more)", self.diagnostics.len() - 1)?;
         }
+        Ok(())
     }
 }
 
 impl std::error::Error for ParseError {}
 
-impl From<BuildError> for ParseError {
-    fn from(e: BuildError) -> Self {
-        ParseError::Build(e)
-    }
-}
-
-struct Parser {
-    b: ProgramBuilder,
-    /// Function entry labels by name (usable as call targets anywhere).
-    funcs: HashMap<String, Label>,
-    /// Calls to not-yet-defined functions: patched via deferred labels.
-    pending_funcs: HashMap<String, Label>,
-    /// Labels local to the current function.
-    locals: HashMap<String, Label>,
-    entry: Option<Label>,
-    last_func: Option<Label>,
-    in_func: bool,
-}
-
-impl Parser {
-    fn err(line: usize, message: impl Into<String>) -> ParseError {
-        ParseError::Syntax {
-            line,
-            message: message.into(),
-        }
-    }
-
-    /// A label for `name`: local first, then function, then a fresh pending
-    /// function label (forward references to functions).
-    fn label_for(&mut self, name: &str) -> Label {
-        if let Some(&l) = self.locals.get(name) {
-            return l;
-        }
-        if let Some(&l) = self.funcs.get(name) {
-            return l;
-        }
-        if let Some(&l) = self.pending_funcs.get(name) {
-            return l;
-        }
-        // Forward reference: create a local label bound later, either by a
-        // `name:` line or (for functions) checked at end.
-        let l = self.b.new_label();
-        self.locals.insert(name.to_string(), l);
-        l
-    }
-}
-
-fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
-    let t = tok.trim_end_matches(',');
-    let n = t
-        .strip_prefix('r')
-        .and_then(|d| d.parse::<u8>().ok())
-        .ok_or_else(|| Parser::err(line, format!("expected register, got `{t}`")))?;
-    Ok(Reg(n))
-}
-
-fn parse_imm(tok: &str, line: usize) -> Result<i32, ParseError> {
-    let t = tok.trim_end_matches(',');
-    let v = if let Some(h) = t.strip_prefix("0x") {
-        i64::from_str_radix(h, 16).ok()
-    } else if let Some(h) = t.strip_prefix("-0x") {
-        i64::from_str_radix(h, 16).ok().map(|v| -v)
-    } else {
-        t.parse::<i64>().ok()
-    };
-    v.and_then(|v| i32::try_from(v).ok())
-        .ok_or_else(|| Parser::err(line, format!("expected immediate, got `{t}`")))
-}
-
-/// Parses `off(rb)` memory operands.
-fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), ParseError> {
-    let t = tok.trim_end_matches(',');
-    let open = t
-        .find('(')
-        .ok_or_else(|| Parser::err(line, format!("expected off(reg), got `{t}`")))?;
-    let close = t
-        .strip_suffix(')')
-        .ok_or_else(|| Parser::err(line, format!("unclosed memory operand `{t}`")))?;
-    let off = parse_imm(&t[..open], line)?;
-    let reg = parse_reg(&close[open + 1..], line)?;
-    Ok((off, reg))
-}
-
-const ALU_OPS: [(&str, AluOp); 10] = [
-    ("add", AluOp::Add),
-    ("sub", AluOp::Sub),
-    ("mul", AluOp::Mul),
-    ("and", AluOp::And),
-    ("or", AluOp::Or),
-    ("xor", AluOp::Xor),
-    ("shl", AluOp::Shl),
-    ("shr", AluOp::Shr),
-    ("slt", AluOp::Slt),
-    ("sltu", AluOp::Sltu),
-];
-
-const CONDS: [(&str, Cond); 6] = [
-    ("beq", Cond::Eq),
-    ("bne", Cond::Ne),
-    ("blt", Cond::Lt),
-    ("bge", Cond::Ge),
-    ("bltu", Cond::Ltu),
-    ("bgeu", Cond::Geu),
-];
-
-/// Parses assembly text into a [`Program`].
-///
-/// See the [module docs](self) for the accepted syntax.
-///
-/// # Errors
-///
-/// Returns [`ParseError::Syntax`] for malformed lines and
-/// [`ParseError::Build`] when the assembled program violates a builder
-/// invariant (unbound label, fall-off-end function, ...).
+/// Parses `.masm` source into a [`Program`] (see the module docs for the
+/// dialect). Equivalent to [`crate::asm::assemble`] with the declared
+/// task boundaries dropped.
 pub fn parse_program(text: &str) -> Result<Program, ParseError> {
-    let mut p = Parser {
-        b: ProgramBuilder::new(),
-        funcs: HashMap::new(),
-        pending_funcs: HashMap::new(),
-        locals: HashMap::new(),
-        entry: None,
-        last_func: None,
-        in_func: false,
-    };
-
-    for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        let code = raw.split(';').next().unwrap_or("").trim();
-        if code.is_empty() {
-            continue;
-        }
-
-        // Directives and structure.
-        if let Some(rest) = code.strip_prefix(".data") {
-            let words: Result<Vec<u32>, _> = rest
-                .split_whitespace()
-                .map(|t| parse_imm(t, line).map(|v| v as u32))
-                .collect();
-            p.b.alloc_data(&words?);
-            continue;
-        }
-        if let Some(rest) = code.strip_prefix(".zero") {
-            let n = parse_imm(rest.trim(), line)?;
-            if n < 0 {
-                return Err(Parser::err(line, "negative .zero size"));
-            }
-            p.b.alloc_zeroed(n as usize);
-            continue;
-        }
-        if let Some(rest) = code
-            .strip_prefix("func!")
-            .or_else(|| code.strip_prefix("func"))
-        {
-            let mark_entry = code.starts_with("func!");
-            let name = rest.trim();
-            if name.is_empty() {
-                return Err(Parser::err(line, "function needs a name"));
-            }
-            if p.in_func {
-                return Err(Parser::err(line, "missing `end` before new function"));
-            }
-            p.locals.clear();
-            let entry = p.b.begin_function(name);
-            // Bind any pending forward calls to this function.
-            if let Some(pending) = p.pending_funcs.remove(name) {
-                // Pending labels were created unbound; bind here.
-                p.b.bind(pending);
-            }
-            p.funcs.insert(name.to_string(), entry);
-            p.in_func = true;
-            p.last_func = Some(entry);
-            if mark_entry {
-                p.entry = Some(entry);
-            }
-            continue;
-        }
-        if code == "end" {
-            if !p.in_func {
-                return Err(Parser::err(line, "`end` outside a function"));
-            }
-            // All locals must be bound — the builder checks at finish.
-            p.b.end_function();
-            p.in_func = false;
-            continue;
-        }
-        if let Some(name) = code.strip_suffix(':') {
-            if !p.in_func {
-                return Err(Parser::err(line, "label outside a function"));
-            }
-            match p.locals.get(name) {
-                Some(&l) => p.b.bind(l),
-                None => {
-                    let l = p.b.here_label();
-                    p.locals.insert(name.to_string(), l);
-                }
-            }
-            continue;
-        }
-
-        if !p.in_func {
-            return Err(Parser::err(line, "instruction outside a function"));
-        }
-
-        // Instructions.
-        let mut toks = code.split_whitespace();
-        let mnemonic = toks.next().expect("non-empty line");
-        let rest: Vec<&str> = toks.collect();
-        let need = |n: usize| -> Result<(), ParseError> {
-            if rest.len() == n {
-                Ok(())
-            } else {
-                Err(Parser::err(
-                    line,
-                    format!("`{mnemonic}` expects {n} operands"),
-                ))
-            }
-        };
-
-        if let Some((_, op)) = ALU_OPS.iter().find(|(m, _)| *m == mnemonic) {
-            need(3)?;
-            let rd = parse_reg(rest[0], line)?;
-            let rs1 = parse_reg(rest[1], line)?;
-            let rs2 = parse_reg(rest[2], line)?;
-            p.b.op(*op, rd, rs1, rs2);
-            continue;
-        }
-        if let Some(stripped) = mnemonic.strip_suffix('i') {
-            if let Some((_, op)) = ALU_OPS.iter().find(|(m, _)| *m == stripped) {
-                need(3)?;
-                let rd = parse_reg(rest[0], line)?;
-                let rs1 = parse_reg(rest[1], line)?;
-                let imm = parse_imm(rest[2], line)?;
-                p.b.op_imm(*op, rd, rs1, imm);
-                continue;
-            }
-        }
-        if let Some((_, cond)) = CONDS.iter().find(|(m, _)| *m == mnemonic) {
-            need(3)?;
-            let rs1 = parse_reg(rest[0], line)?;
-            let rs2 = parse_reg(rest[1], line)?;
-            let target = p.label_for(rest[2]);
-            p.b.branch(*cond, rs1, rs2, target);
-            continue;
-        }
-        match mnemonic {
-            "li" => {
-                need(2)?;
-                let rd = parse_reg(rest[0], line)?;
-                let imm = parse_imm(rest[1], line)?;
-                p.b.load_imm(rd, imm);
-            }
-            "ld" => {
-                need(2)?;
-                let rd = parse_reg(rest[0], line)?;
-                let (off, base) = parse_mem(rest[1], line)?;
-                p.b.load(rd, base, off);
-            }
-            "st" => {
-                need(2)?;
-                let rs = parse_reg(rest[0], line)?;
-                let (off, base) = parse_mem(rest[1], line)?;
-                p.b.store(rs, base, off);
-            }
-            "j" => {
-                need(1)?;
-                let target = p.label_for(rest[0]);
-                p.b.jump(target);
-            }
-            "jr" => {
-                if rest.is_empty() {
-                    return Err(Parser::err(line, "`jr` expects a register"));
-                }
-                let rs = parse_reg(rest[0], line)?;
-                if rest.len() > 1 {
-                    let targets = parse_target_list(&rest[1..], line, &mut p)?;
-                    p.b.jump_indirect_with_targets(rs, &targets);
-                } else {
-                    p.b.jump_indirect(rs);
-                }
-            }
-            "call" => {
-                need(1)?;
-                let name = rest[0];
-                let target = if let Some(&l) = p.funcs.get(name) {
-                    l
-                } else {
-                    *p.pending_funcs
-                        .entry(name.to_string())
-                        .or_insert_with(|| p.b.new_label())
-                };
-                p.b.call_label(target);
-            }
-            "callr" => {
-                if rest.is_empty() {
-                    return Err(Parser::err(line, "`callr` expects a register"));
-                }
-                let rs = parse_reg(rest[0], line)?;
-                if rest.len() > 1 {
-                    let targets = parse_target_list(&rest[1..], line, &mut p)?;
-                    p.b.call_indirect_with_targets(rs, &targets);
-                } else {
-                    p.b.call_indirect(rs);
-                }
-            }
-            "ret" => p.b.ret(),
-            "halt" => p.b.halt(),
-            "nop" => p.b.nop(),
-            other => return Err(Parser::err(line, format!("unknown mnemonic `{other}`"))),
-        }
+    match assemble(text) {
+        Ok(a) => Ok(a.program),
+        Err(diagnostics) => Err(ParseError { diagnostics }),
     }
-
-    if p.in_func {
-        return Err(Parser::err(
-            text.lines().count(),
-            "unterminated function (missing `end`)",
-        ));
-    }
-    let entry = p
-        .entry
-        .or(p.last_func)
-        .ok_or_else(|| Parser::err(0, "no functions defined"))?;
-    Ok(p.b.finish(entry)?)
-}
-
-/// Parses a `[a, b, c]` target-label list.
-fn parse_target_list(toks: &[&str], line: usize, p: &mut Parser) -> Result<Vec<Label>, ParseError> {
-    let joined = toks.join(" ");
-    let inner = joined
-        .strip_prefix('[')
-        .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| Parser::err(line, "targets must be wrapped in [ ... ]"))?;
-    inner
-        .split(',')
-        .map(|name| {
-            let name = name.trim();
-            if name.is_empty() {
-                Err(Parser::err(line, "empty target name"))
-            } else if let Some(&l) = p.funcs.get(name) {
-                Ok(l)
-            } else {
-                Ok(p.label_for(name))
-            }
-        })
-        .collect()
 }
 
 /// Renders a [`Program`] in the assembler dialect accepted by
-/// [`parse_program`], with auto-generated labels — the inverse of parsing,
-/// up to label names.
+/// [`parse_program`], with auto-generated labels — the inverse of
+/// parsing, up to label names.
 ///
-/// Reparsing the output reproduces the program's code, function table and
-/// indirect-target metadata exactly (`parse_program(&to_masm(p))` equals
-/// `p` modulo the data segment's trailing zeros); this round trip is
-/// property-tested against randomly generated programs.
+/// Reparsing the output reproduces the program exactly:
+/// `parse_program(&to_masm(p)) == Ok(p)` is a corpus-wide tested
+/// property. The output is canonical — disassembling a reassembled
+/// program is byte-identical (`to_masm(parse(to_masm(p))) ==
+/// to_masm(p)`), which CI exploits to byte-diff `asm → disasm → asm`.
 pub fn to_masm(program: &Program) -> String {
     use crate::inst::Instruction;
     use std::fmt::Write as _;
@@ -446,11 +141,13 @@ pub fn to_masm(program: &Program) -> String {
 
     let mut s = String::new();
     if !program.initial_data().is_empty() {
-        // Chunk the data directive for readability.
+        // Chunk the data directive for readability; comma separation
+        // keeps negative words unambiguous under expression parsing.
         for chunk in program.initial_data().chunks(16) {
             let _ = write!(s, ".data");
-            for w in chunk {
-                let _ = write!(s, " {}", *w as i32);
+            for (i, w) in chunk.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(s, "{sep} {}", *w as i32);
             }
             let _ = writeln!(s);
         }
@@ -533,185 +230,383 @@ pub fn to_masm(program: &Program) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::asm::{assemble, codes};
+    use crate::inst::{AluOp, Cond, Instruction, Reg};
     use crate::interp::Interpreter;
+    use crate::program::Addr;
 
-    #[test]
-    fn counting_loop_assembles_and_runs() {
-        let p = parse_program(
-            r"
-            ; count to ten
-            func main
-              li   r1, 0
-              li   r2, 10
-            top:
-              addi r1, r1, 1
-              blt  r1, r2, top
-              halt
-            end
-            ",
-        )
-        .unwrap();
-        let mut i = Interpreter::new(&p);
-        assert!(i.run(1000).unwrap().halted);
-        assert_eq!(i.reg(Reg(1)), 10);
+    fn parse_err(text: &str) -> Vec<AsmDiagnostic> {
+        parse_program(text)
+            .expect_err("source must not assemble")
+            .diagnostics
     }
 
     #[test]
-    fn calls_across_functions_including_forward() {
+    fn counting_loop() {
         let p = parse_program(
-            r"
-            func main            ; defined first, calls forward
-              call helper
-              call helper
-              halt
-            end
-            func helper
-              addi r5, r5, 7
-              ret
-            end
-            ",
+            "func main\n\
+             \x20 li r1, 0\n\
+             \x20 li r2, 10\n\
+             top:\n\
+             \x20 addi r1, r1, 1\n\
+             \x20 blt r1, r2, top\n\
+             \x20 halt\n\
+             end",
         )
         .unwrap();
-        // `main` is not last; without func! the *last* function would be
-        // the entry — so mark expectations accordingly.
-        let (_, main) = p.function_by_name("main").unwrap();
-        assert_eq!(main.len(), 3);
-        // entry defaults to the last function (helper) — run main manually:
-        // rebuild with explicit entry instead.
-        let p = parse_program(
-            r"
-            func! main
-              call helper
-              call helper
-              halt
-            end
-            func helper
-              addi r5, r5, 7
-              ret
-            end
-            ",
-        )
-        .unwrap();
-        let mut i = Interpreter::new(&p);
-        assert!(i.run(100).unwrap().halted);
-        assert_eq!(i.reg(Reg(5)), 14);
+        let mut interp = Interpreter::new(&p);
+        let out = interp.run(1_000).unwrap();
+        assert!(out.halted);
+        assert_eq!(interp.reg(Reg(1)), 10);
     }
 
     #[test]
-    fn data_and_memory_ops() {
+    fn calls_and_forward_references() {
+        // `helper` is called before it is defined: pass 2 resolves it.
         let p = parse_program(
-            r"
-            .data 7 8 9
-            .zero 2
-            func main
-              li r1, 0
-              ld r2, 2(r1)       ; r2 = 9
-              st r2, 3(r1)       ; mem[3] = 9
-              halt
-            end
-            ",
+            "func! main\n\
+             \x20 call helper\n\
+             \x20 halt\n\
+             end\n\
+             func helper\n\
+             \x20 li r7, 42\n\
+             \x20 ret\n\
+             end",
         )
         .unwrap();
-        let mut i = Interpreter::new(&p);
-        i.run(10).unwrap();
-        assert_eq!(i.mem(3), Some(9));
+        assert_eq!(p.functions().len(), 2);
+        assert_eq!(p.entry_function(), crate::FuncId(0));
+        let mut interp = Interpreter::new(&p);
+        interp.run(100).unwrap();
+        assert_eq!(interp.reg(Reg(7)), 42);
+    }
+
+    #[test]
+    fn entry_defaults_to_last_function() {
+        // The historical rule: without `func!` the last function is the
+        // entry point.
+        let p = parse_program(
+            "func helper\n\
+             \x20 ret\n\
+             end\n\
+             func main\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(p.function(p.entry_function()).name(), "main");
+    }
+
+    #[test]
+    fn data_directives_and_memory_ops() {
+        let p = parse_program(
+            ".data 11, -2, 0x10\n\
+             .zero 2\n\
+             .data 7\n\
+             func main\n\
+             \x20 li r1, 0\n\
+             \x20 ld r2, 2(r1)\n\
+             \x20 st r2, 3(r1)\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(p.initial_data(), &[11, (-2i32) as u32, 16, 0, 0, 7]);
+        assert!(matches!(
+            p.fetch(Addr(1)),
+            Some(Instruction::Load { offset: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn data_labels_and_expressions() {
+        let p = parse_program(
+            ".zero 3\n\
+             table:\n\
+             .data 5, 6\n\
+             after:\n\
+             func main\n\
+             \x20 li r1, table\n\
+             \x20 li r2, after\n\
+             \x20 li r3, table*2+1\n\
+             \x20 ld r4, table+1(r0)\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(Addr(0)),
+            Some(Instruction::LoadImm { rd: Reg(1), imm: 3 })
+        );
+        assert_eq!(
+            p.fetch(Addr(1)),
+            Some(Instruction::LoadImm { rd: Reg(2), imm: 5 })
+        );
+        assert_eq!(
+            p.fetch(Addr(2)),
+            Some(Instruction::LoadImm { rd: Reg(3), imm: 7 })
+        );
+        assert!(matches!(
+            p.fetch(Addr(3)),
+            Some(Instruction::Load { offset: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn lo_hi_split_addresses() {
+        let p = parse_program(
+            "func main\n\
+             \x20 li r1, lo(0x12345)\n\
+             \x20 li r2, hi(0x12345)\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(Addr(0)),
+            Some(Instruction::LoadImm {
+                rd: Reg(1),
+                imm: 0x2345
+            })
+        );
+        assert_eq!(
+            p.fetch(Addr(1)),
+            Some(Instruction::LoadImm { rd: Reg(2), imm: 1 })
+        );
     }
 
     #[test]
     fn jump_table_with_declared_targets() {
         let p = parse_program(
-            r"
-            func main
-              li r1, 4          ; address of case b (see disassembly order)
-              jr r1 [a, b]
-            a:
-              li r3, 1
-              halt
-            b:
-              li r3, 2
-              halt
-            end
-            ",
+            "func main\n\
+             \x20 li r1, 3\n\
+             \x20 jr r1 [a, b]\n\
+             a:\n\
+             \x20 halt\n\
+             b:\n\
+             \x20 halt\n\
+             end",
         )
         .unwrap();
-        assert!(p.indirect_targets(crate::Addr(1)).is_some());
-        let mut i = Interpreter::new(&p);
-        i.run(10).unwrap();
-        assert_eq!(i.reg(Reg(3)), 2);
+        assert_eq!(p.indirect_targets(Addr(1)), Some(&[Addr(2), Addr(3)][..]));
     }
 
     #[test]
-    fn error_reporting_points_at_lines() {
-        let err = parse_program("func main\n  bogus r1\nend").unwrap_err();
-        match err {
-            ParseError::Syntax { line, message } => {
-                assert_eq!(line, 2);
-                assert!(message.contains("bogus"));
-            }
-            other => panic!("expected syntax error, got {other}"),
-        }
-
-        let err = parse_program("li r1, 0").unwrap_err();
-        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
-
-        let err = parse_program("func main\n  li r1, 0\nend").unwrap_err();
-        assert!(matches!(err, ParseError::Build(BuildError::FallsOffEnd(_))));
+    fn task_directives_surface_entries() {
+        let a = assemble(
+            "func main\n\
+             \x20 li r1, 0\n\
+             .task\n\
+             \x20 addi r1, r1, 1\n\
+             .task\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(a.task_entries, vec![Addr(1), Addr(2)]);
+        // `.task` is source-level metadata: the program itself is
+        // unchanged and the disassembly does not reproduce it.
+        assert_eq!(a.program.len(), 3);
+        assert!(!to_masm(&a.program).contains(".task"));
     }
 
     #[test]
-    fn disassembly_is_reparseable_modulo_syntax() {
-        // Build, disassemble, massage into the assembler dialect, reparse,
-        // and compare code.
-        let text = r"
-            func! main
-              li   r1, 3
-              addi r2, r1, 4
-              slt  r3, r1, r2
-              halt
-            end
-        ";
-        let p1 = parse_program(text).unwrap();
-        let p2 = parse_program(text).unwrap();
-        assert_eq!(p1.code(), p2.code());
-        assert!(!p1.disassemble().is_empty());
-    }
-
-    #[test]
-    fn to_masm_round_trips() {
-        let text = r"
-            .data 5 6 7
-            func! main
-              li r1, 0
-              li r2, 3
-            top:
-              ld r3, 0(r1)
-              addi r1, r1, 1
-              blt r1, r2, top
-              call helper
-              halt
-            end
-            func helper
-              addi r9, r9, 1
-              ret
-            end
-        ";
-        let p1 = parse_program(text).unwrap();
-        let masm = to_masm(&p1);
-        let p2 = parse_program(&masm).unwrap();
-        assert_eq!(
-            p1.code(),
-            p2.code(),
-            "round trip must preserve code:\n{masm}"
+    fn dangling_task_directive_is_rejected() {
+        let d = parse_err(
+            "func main\n\
+             \x20 halt\n\
+             .task\n\
+             end",
         );
-        assert_eq!(p1.initial_data(), p2.initial_data());
-        assert_eq!(p1.entry_point(), p2.entry_point());
+        assert_eq!(d[0].code, codes::BAD_TASK_DIRECTIVE);
+        assert_eq!(d[0].span.line, 3);
+    }
+
+    #[test]
+    fn errors_carry_spans_and_codes() {
+        let d = parse_err("func main\n  bogus r1\nend");
+        assert_eq!(d[0].code, codes::UNKNOWN_MNEMONIC);
+        assert_eq!((d[0].span.line, d[0].span.col, d[0].span.len), (2, 3, 5));
+
+        let d = parse_err("li r1, 0");
+        assert_eq!(d[0].code, codes::BAD_STRUCTURE);
+        assert_eq!(d[0].span.line, 1);
+
+        let d = parse_err("func main\n  li r1, 0\nend");
+        assert_eq!(d[0].code, codes::BAD_FUNCTION);
+        assert_eq!(
+            d[0].span.line, 2,
+            "falls-off-end points at the last instruction"
+        );
+    }
+
+    #[test]
+    fn multiple_errors_reported_in_source_order() {
+        let d = parse_err(
+            "func main\n\
+             \x20 li r99, 0\n\
+             \x20 ld r1, nowhere(r2)\n\
+             \x20 halt\n\
+             end",
+        );
+        assert!(d.len() >= 2, "{d:?}");
+        assert_eq!(d[0].code, codes::BAD_REGISTER);
+        assert_eq!(d[0].span.line, 2);
+        assert_eq!(d[1].code, codes::UNDEFINED_SYMBOL);
+        assert_eq!(d[1].span.line, 3);
+    }
+
+    #[test]
+    fn duplicate_symbols_are_rejected() {
+        let d = parse_err(
+            "func main\n\
+             x:\n\
+             \x20 nop\n\
+             x:\n\
+             \x20 halt\n\
+             end",
+        );
+        assert_eq!(d[0].code, codes::DUPLICATE_LABEL);
+        assert!(d[0].message.contains("line 2"), "{}", d[0].message);
+
+        let d = parse_err("func f\n halt\nend\nfunc f\n halt\nend");
+        assert_eq!(d[0].code, codes::DUPLICATE_FUNCTION);
+    }
+
+    #[test]
+    fn structural_misuse_is_diagnosed() {
+        assert_eq!(parse_err("end")[0].code, codes::BAD_STRUCTURE);
+        assert_eq!(
+            parse_err("func a\n halt\nfunc b\n halt\nend")[0].code,
+            codes::BAD_STRUCTURE
+        );
+        assert_eq!(parse_err("func a\n halt")[0].code, codes::BAD_STRUCTURE);
+        assert_eq!(parse_err("")[0].code, codes::BAD_ENTRY);
+        assert_eq!(
+            parse_err("func! a\n halt\nend\nfunc! b\n halt\nend")[0].code,
+            codes::BAD_ENTRY
+        );
+        assert_eq!(parse_err("func a\nend")[0].code, codes::BAD_FUNCTION);
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let d = parse_err("func main\n li r1, 0x1ffffffff\n halt\nend");
+        assert_eq!(d[0].code, codes::OUT_OF_RANGE);
+        let d = parse_err("func main\n j 99\n halt\nend");
+        assert_eq!(d[0].code, codes::OUT_OF_RANGE);
+        let d = parse_err(".zero -1\nfunc main\n halt\nend");
+        assert_eq!(d[0].code, codes::OUT_OF_RANGE);
     }
 
     #[test]
     fn hex_immediates() {
-        let p = parse_program("func main\n li r1, 0xff\n halt\nend").unwrap();
-        let mut i = Interpreter::new(&p);
-        i.run(5).unwrap();
-        assert_eq!(i.reg(Reg(1)), 255);
+        let p = parse_program("func main\n li r1, 0xff\n li r2, -0x10\n halt\nend").unwrap();
+        assert_eq!(
+            p.fetch(Addr(0)),
+            Some(Instruction::LoadImm {
+                rd: Reg(1),
+                imm: 255
+            })
+        );
+        assert_eq!(
+            p.fetch(Addr(1)),
+            Some(Instruction::LoadImm {
+                rd: Reg(2),
+                imm: -16
+            })
+        );
+    }
+
+    #[test]
+    fn label_and_instruction_share_a_line() {
+        let p = parse_program(
+            "func main\n\
+             top: addi r1, r1, 1\n\
+             \x20 blt r1, r2, top\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.fetch(Addr(1)),
+            Some(Instruction::Branch {
+                target: Addr(0),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn call_at_explicit_address() {
+        let p = parse_program(
+            "func helper\n\
+             \x20 ret\n\
+             end\n\
+             func! main\n\
+             \x20 call @0\n\
+             \x20 halt\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(Addr(1)),
+            Some(Instruction::Call { target: Addr(0) })
+        );
+    }
+
+    #[test]
+    fn deterministic_parse() {
+        let text = "func main\n li r1, 2\n jr r1 [t, u]\nt:\n halt\nu:\n halt\nend";
+        let p1 = parse_program(text).unwrap();
+        let p2 = parse_program(text).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn to_masm_round_trips_exactly() {
+        let text = ".data 7, -9, 300\n\
+             func gcd\n\
+             top:\n\
+             \x20 beq r2, r0, out\n\
+             \x20 sub r1, r1, r2\n\
+             \x20 j top\n\
+             out:\n\
+             \x20 ret\n\
+             end\n\
+             func! main\n\
+             \x20 li r1, 48\n\
+             \x20 li r2, 18\n\
+             \x20 call gcd\n\
+             \x20 li r3, 1\n\
+             \x20 jr r3 [t0, t1]\n\
+             t0:\n\
+             \x20 halt\n\
+             t1:\n\
+             \x20 halt\n\
+             end";
+        let p1 = parse_program(text).unwrap();
+        let masm = to_masm(&p1);
+        let p2 = parse_program(&masm).unwrap();
+        assert_eq!(p1, p2, "full Program equality through the round trip");
+        // And the rendering is canonical: a second round trip is
+        // byte-identical.
+        assert_eq!(masm, to_masm(&p2));
+    }
+
+    #[test]
+    fn builder_programs_round_trip() {
+        use crate::builder::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        b.load_imm(Reg(1), 5);
+        let top = b.here_label();
+        b.op_imm(AluOp::Add, Reg(2), Reg(2), 1);
+        b.branch(Cond::Lt, Reg(2), Reg(1), top);
+        b.halt();
+        b.end_function();
+        let p1 = b.finish(main).unwrap();
+        let p2 = parse_program(&to_masm(&p1)).unwrap();
+        assert_eq!(p1, p2);
     }
 }

@@ -75,13 +75,34 @@ impl TaskFormer {
     /// Returns [`FormError::UnresolvedIndirectJump`] if any indirect jump
     /// lacks target metadata.
     pub fn form(&self, program: &Program) -> Result<TaskProgram, FormError> {
+        self.form_with_entries(program, &[])
+    }
+
+    /// [`form`](TaskFormer::form) with extra task entries declared up
+    /// front — the `.task` directives of an assembled `.masm` file.
+    ///
+    /// Each in-range address in `entries` is injected as a basic-block
+    /// leader (so block layout honours it) and made a mandatory task
+    /// entry: the instruction at that address starts its own task instead
+    /// of being absorbed into a grown region. Out-of-range addresses are
+    /// ignored, matching [`multiscalar_cfg::build_cfg_with_leaders`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormError::UnresolvedIndirectJump`] if any indirect jump
+    /// lacks target metadata.
+    pub fn form_with_entries(
+        &self,
+        program: &Program,
+        entries: &[Addr],
+    ) -> Result<TaskProgram, FormError> {
         let mut tasks: Vec<Task> = Vec::new();
         let mut task_by_addr: Vec<Option<TaskId>> = vec![None; program.len()];
 
         for (fidx, _) in program.functions().iter().enumerate() {
             let func = FuncId(fidx as u32);
-            let cfg = Cfg::build(program, func);
-            self.form_function(program, func, &cfg, &mut tasks, &mut task_by_addr)?;
+            let cfg = multiscalar_cfg::build_cfg_with_leaders(program, func, entries);
+            self.form_function(program, func, &cfg, entries, &mut tasks, &mut task_by_addr)?;
         }
 
         let task_by_addr = task_by_addr
@@ -99,6 +120,7 @@ impl TaskFormer {
         program: &Program,
         func: FuncId,
         cfg: &Cfg,
+        entries: &[Addr],
         tasks: &mut Vec<Task>,
         task_by_addr: &mut [Option<TaskId>],
     ) -> Result<(), FormError> {
@@ -120,6 +142,13 @@ impl TaskFormer {
                 if matches!(e.kind, EdgeKind::CallReturn | EdgeKind::IndirectCase) {
                     mandatory.insert(e.to);
                 }
+            }
+        }
+        // Declared entries (`.task`) were injected as leaders when the CFG
+        // was built, so each resolves to a block start here.
+        for &a in entries {
+            if let Some(b) = cfg.block_at(a) {
+                mandatory.insert(b);
             }
         }
 
@@ -535,6 +564,36 @@ mod tests {
         let p = b.finish(main).unwrap();
         let err = TaskFormer::default().form(&p).unwrap_err();
         assert!(matches!(err, FormError::UnresolvedIndirectJump(_)));
+    }
+
+    #[test]
+    fn declared_entries_split_blocks_and_start_tasks() {
+        // A straight-line function is one block and one task; a declared
+        // entry in the middle must split the block and start a task there.
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        for _ in 0..6 {
+            b.op_imm(AluOp::Add, Reg(1), Reg(1), 1);
+        }
+        b.halt();
+        b.end_function();
+        let p = b.finish(main).unwrap();
+
+        let plain = TaskFormer::default().form(&p).unwrap();
+        assert_eq!(plain.static_task_count(), 1);
+
+        let tp = TaskFormer::default()
+            .form_with_entries(&p, &[Addr(3)])
+            .unwrap();
+        tp.validate(&p).unwrap();
+        assert_eq!(tp.static_task_count(), 2);
+        assert!(tp.task_entered_at(Addr(3)).is_some());
+
+        // Out-of-range declared entries are ignored.
+        let same = TaskFormer::default()
+            .form_with_entries(&p, &[Addr(999)])
+            .unwrap();
+        assert_eq!(same.static_task_count(), 1);
     }
 
     #[test]

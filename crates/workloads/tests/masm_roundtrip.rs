@@ -40,12 +40,29 @@ fn random_programs_round_trip_through_masm() {
 #[test]
 fn spec92_analogs_round_trip() {
     // The real benchmark generators too — including jump tables, dispatch
-    // function-pointer tables and non-trivial data segments.
-    for seed in 0..8u64 {
-        let w = multiscalar_workloads::Spec92::Xlisp
-            .build(&multiscalar_workloads::WorkloadParams { seed, scale: 1 });
-        let text = to_masm(&w.program);
-        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}"));
-        assert_eq!(w.program.code(), p2.code());
+    // function-pointer tables and non-trivial data segments. Full structural
+    // equality: code, data, function table, entry point, indirect metadata.
+    for bench in multiscalar_workloads::Spec92::ALL {
+        for seed in 0..8u64 {
+            let w = bench.build(&multiscalar_workloads::WorkloadParams { seed, scale: 1 });
+            let text = to_masm(&w.program);
+            let p2 = parse_program(&text)
+                .unwrap_or_else(|e| panic!("{}/{seed}: reparse failed: {e}", bench.name()));
+            assert_eq!(w.program, p2, "{}/{seed}: round trip drifted", bench.name());
+        }
+    }
+}
+
+#[test]
+fn fuzz_corpus_round_trips() {
+    // A slice of the differential fuzzer's own corpus: the exact generator
+    // the fuzz oracle feeds through the `.masm` round-trip check.
+    use multiscalar_workloads::fuzz::{fuzz_program, FuzzShape};
+    for seed in 0..32u64 {
+        let p1 = fuzz_program(seed, &FuzzShape::from_seed(seed));
+        let text = to_masm(&p1);
+        let p2 =
+            parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}"));
+        assert_eq!(p1, p2, "seed {seed}: round trip drifted");
     }
 }

@@ -11,7 +11,7 @@ use multiscalar::taskform::TaskFormer;
 
 const SOURCE: &str = r"
 ; Euclid's algorithm, repeatedly, over a small table of pairs.
-.data 48 18 270 192 1071 462 6 35
+.data 48, 18, 270, 192, 1071, 462, 6, 35
 
 func gcd                 ; a in r1, b in r2 -> r1
 loop:
